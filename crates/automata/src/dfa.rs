@@ -1,0 +1,387 @@
+//! Subset construction against a concrete device alphabet, plus Hopcroft
+//! minimization.
+//!
+//! The DFA produced here is the finite automaton `(Σ, Q, F, q0, δ)` of
+//! §4.1, with `Σ` the device identifiers of a concrete topology. The
+//! planner multiplies it with the topology graph to obtain DPVNet.
+
+use crate::ast::Regex;
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// A complete deterministic automaton over device indices `0..alphabet_size`.
+///
+/// All states have a transition for every symbol; non-accepting sink
+/// behaviour is encoded by a dead state (if the language needs one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// `trans[state * alphabet_size + symbol]` = next state.
+    trans: Vec<u32>,
+    accept: Vec<bool>,
+    start: u32,
+    alphabet_size: usize,
+}
+
+impl Dfa {
+    /// Compiles a regex against a concrete alphabet of device names
+    /// (symbol `i` is `alphabet[i]`), then minimizes the result.
+    pub fn compile(re: &Regex, alphabet: &[String]) -> Dfa {
+        let nfa = Nfa::from_regex(re);
+        let dfa = subset_construction(&nfa, alphabet);
+        dfa.minimize()
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// Initial state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Is the state accepting?
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// The transition `δ(state, symbol)`.
+    pub fn step(&self, state: u32, symbol: usize) -> u32 {
+        self.trans[state as usize * self.alphabet_size + symbol]
+    }
+
+    /// Can any accepting state be reached from `state` (including by the
+    /// empty suffix)? Precomputed callers should use [`Dfa::live_states`].
+    pub fn accepts(&self, path: impl IntoIterator<Item = usize>) -> bool {
+        let mut s = self.start;
+        for sym in path {
+            s = self.step(s, sym);
+        }
+        self.is_accepting(s)
+    }
+
+    /// The length of the longest accepted word, or `None` when the
+    /// language is infinite (a cycle of live states is reachable from
+    /// the start). Finite languages give DPVNet construction an
+    /// intrinsic hop bound.
+    pub fn max_word_len(&self) -> Option<u32> {
+        let live = self.live_states();
+        if !live[self.start as usize] {
+            return Some(0); // empty language
+        }
+        // Longest path through live states from start; DFS with color
+        // marking detects cycles.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.num_states();
+        let mut color = vec![Color::White; n];
+        let mut depth = vec![0u32; n];
+        // Iterative DFS with an explicit stack.
+        let mut stack: Vec<(u32, usize, bool)> = vec![(self.start, 0, false)];
+        while let Some((s, sym, expanded)) = stack.pop() {
+            let si = s as usize;
+            if !expanded {
+                if sym == 0 {
+                    match color[si] {
+                        Color::Black => continue,
+                        Color::Gray => return None, // cycle
+                        Color::White => color[si] = Color::Gray,
+                    }
+                }
+                if sym < self.alphabet_size {
+                    stack.push((s, sym + 1, false));
+                    let t = self.step(s, sym);
+                    let ti = t as usize;
+                    if live[ti] {
+                        match color[ti] {
+                            Color::Gray => return None, // cycle
+                            Color::Black => {
+                                depth[si] = depth[si].max(1 + depth[ti]);
+                            }
+                            Color::White => {
+                                stack.push((s, sym, true)); // resume to fold t's depth
+                                stack.push((t, 0, false));
+                            }
+                        }
+                    }
+                } else {
+                    color[si] = Color::Black;
+                }
+            } else {
+                // Child (via `sym`) fully explored: fold its depth.
+                let t = self.step(s, sym);
+                depth[si] = depth[si].max(1 + depth[t as usize]);
+            }
+        }
+        Some(depth[self.start as usize])
+    }
+
+    /// For every state, whether some suffix leads to acceptance ("live").
+    /// Dead states can be pruned during product construction.
+    pub fn live_states(&self) -> Vec<bool> {
+        // Reverse reachability from accepting states.
+        let n = self.num_states();
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for a in 0..self.alphabet_size {
+                let t = self.step(s as u32, a);
+                rev[t as usize].push(s as u32);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&s| self.accept[s as usize]).collect();
+        for &s in &stack {
+            live[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !live[p as usize] {
+                    live[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// Hopcroft minimization. Unreachable states are removed first.
+    pub fn minimize(&self) -> Dfa {
+        let reachable = self.reachable_states();
+        // Remap to compact reachable-only indices.
+        let mut remap = vec![u32::MAX; self.num_states()];
+        let mut order = Vec::new();
+        for (i, &r) in reachable.iter().enumerate() {
+            if r {
+                remap[i] = order.len() as u32;
+                order.push(i);
+            }
+        }
+        let n = order.len();
+        let k = self.alphabet_size;
+        let step = |s: usize, a: usize| remap[self.step(order[s] as u32, a) as usize] as usize;
+
+        // Initial partition: accepting vs non-accepting.
+        let mut class = vec![0usize; n];
+        for (i, &orig) in order.iter().enumerate() {
+            class[i] = usize::from(self.accept[orig]);
+        }
+        let mut num_classes = if class.contains(&1) && class.contains(&0) {
+            2
+        } else {
+            1
+        };
+        if num_classes == 1 {
+            // Normalize to class 0.
+            class.iter_mut().for_each(|c| *c = 0);
+        }
+
+        // Iterative refinement (Moore's algorithm; O(k·n²) worst case but
+        // our automata are tiny — invariant regexes have a handful of
+        // states).
+        loop {
+            let mut sig_map: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut next_class = vec![0usize; n];
+            for s in 0..n {
+                let sig: Vec<usize> = (0..k).map(|a| class[step(s, a)]).collect();
+                let id = sig_map.len();
+                let e = sig_map.entry((class[s], sig)).or_insert(id);
+                next_class[s] = *e;
+            }
+            let next_num = sig_map.len();
+            if next_num == num_classes {
+                class = next_class;
+                break;
+            }
+            class = next_class;
+            num_classes = next_num;
+        }
+
+        let mut trans = vec![0u32; num_classes * k];
+        let mut accept = vec![false; num_classes];
+        for s in 0..n {
+            let c = class[s];
+            accept[c] |= self.accept[order[s]];
+            for a in 0..k {
+                trans[c * k + a] = class[step(s, a)] as u32;
+            }
+        }
+        let start = class[remap[self.start as usize] as usize] as u32;
+        Dfa {
+            trans,
+            accept,
+            start,
+            alphabet_size: k,
+        }
+    }
+
+    fn reachable_states(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for a in 0..self.alphabet_size {
+                let t = self.step(s, a);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+fn subset_construction(nfa: &Nfa, alphabet: &[String]) -> Dfa {
+    let k = alphabet.len();
+    let start_set = nfa.eps_closure(&[nfa.start]);
+    let mut sets: HashMap<Vec<usize>, u32> = HashMap::new();
+    let mut order: Vec<Vec<usize>> = Vec::new();
+    sets.insert(start_set.clone(), 0);
+    order.push(start_set);
+    let mut trans: Vec<u32> = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let cur = order[i].clone();
+        for letter in alphabet {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for (class, t) in &nfa.trans[s] {
+                    if class.matches(letter) {
+                        next.push(*t);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            let closure = nfa.eps_closure(&next);
+            let id = match sets.get(&closure) {
+                Some(&id) => id,
+                None => {
+                    let id = order.len() as u32;
+                    sets.insert(closure.clone(), id);
+                    order.push(closure);
+                    id
+                }
+            };
+            trans.push(id);
+        }
+        i += 1;
+    }
+    let accept = order.iter().map(|set| set.contains(&nfa.accept)).collect();
+    Dfa {
+        trans,
+        accept,
+        start: 0,
+        alphabet_size: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn idx(alphabet: &[String], name: &str) -> usize {
+        alphabet.iter().position(|a| a == name).unwrap()
+    }
+
+    fn path(alphabet: &[String], names: &[&str]) -> Vec<usize> {
+        names.iter().map(|n| idx(alphabet, n)).collect()
+    }
+
+    #[test]
+    fn waypoint_dfa_matches_figure_4() {
+        // Fig. 4: the DFA of S.*W.*D over Σ={S,W,A,B,D} has 4 live states
+        // (start, saw-S, saw-W, accept) plus a dead state.
+        let alphabet = alpha(&["S", "W", "A", "B", "D"]);
+        let re = Regex::parse("S .* W .* D").unwrap();
+        let dfa = Dfa::compile(&re, &alphabet);
+        assert!(dfa.accepts(path(&alphabet, &["S", "W", "D"])));
+        assert!(dfa.accepts(path(&alphabet, &["S", "A", "W", "B", "D"])));
+        assert!(dfa.accepts(path(&alphabet, &["S", "W", "D", "W", "D"])));
+        assert!(!dfa.accepts(path(&alphabet, &["S", "A", "B", "D"])));
+        assert!(!dfa.accepts(path(&alphabet, &["A", "W", "D"])));
+        assert_eq!(dfa.num_states(), 5);
+        let live = dfa.live_states();
+        assert_eq!(live.iter().filter(|&&l| l).count(), 4);
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        let alphabet = alpha(&["A", "B"]);
+        // (A|B)(A|B) — exactly two steps; unminimized subset DFA may have
+        // redundant states but minimal has 4 (start, after-1, accept, dead).
+        let re = Regex::parse("(A|B)(A|B)").unwrap();
+        let dfa = Dfa::compile(&re, &alphabet);
+        assert_eq!(dfa.num_states(), 4);
+        assert!(dfa.accepts(path(&alphabet, &["A", "B"])));
+        assert!(!dfa.accepts(path(&alphabet, &["A"])));
+        assert!(!dfa.accepts(path(&alphabet, &["A", "B", "A"])));
+    }
+
+    #[test]
+    fn empty_language() {
+        let alphabet = alpha(&["A"]);
+        let dfa = Dfa::compile(&Regex::Empty, &alphabet);
+        assert!(!dfa.accepts(path(&alphabet, &[])));
+        assert!(!dfa.accepts(path(&alphabet, &["A"])));
+        assert_eq!(dfa.num_states(), 1); // single dead state
+        assert!(dfa.live_states().iter().all(|&l| !l));
+    }
+
+    #[test]
+    fn universal_language() {
+        let alphabet = alpha(&["A", "B"]);
+        let dfa = Dfa::compile(&Regex::parse(".*").unwrap(), &alphabet);
+        assert_eq!(dfa.num_states(), 1);
+        assert!(dfa.accepts(path(&alphabet, &[])));
+        assert!(dfa.accepts(path(&alphabet, &["A", "B", "B"])));
+    }
+
+    #[test]
+    fn alternation_with_shared_suffix() {
+        let alphabet = alpha(&["S", "X", "Y", "D"]);
+        let re = Regex::parse("S X D | S Y D").unwrap();
+        let dfa = Dfa::compile(&re, &alphabet);
+        assert!(dfa.accepts(path(&alphabet, &["S", "X", "D"])));
+        assert!(dfa.accepts(path(&alphabet, &["S", "Y", "D"])));
+        assert!(!dfa.accepts(path(&alphabet, &["S", "D"])));
+        // Minimality: start, after-S, {X,Y merged}, accept, dead → 5 states.
+        assert_eq!(dfa.num_states(), 5);
+    }
+
+    #[test]
+    fn negated_class_dfa() {
+        let alphabet = alpha(&["S", "W", "D"]);
+        let re = Regex::parse("S [^W]* D").unwrap();
+        let dfa = Dfa::compile(&re, &alphabet);
+        assert!(dfa.accepts(path(&alphabet, &["S", "D"])));
+        assert!(dfa.accepts(path(&alphabet, &["S", "S", "D"])));
+        assert!(!dfa.accepts(path(&alphabet, &["S", "W", "D"])));
+    }
+
+    #[test]
+    fn step_is_total() {
+        let alphabet = alpha(&["A", "B", "C"]);
+        let dfa = Dfa::compile(&Regex::parse("A B").unwrap(), &alphabet);
+        for s in 0..dfa.num_states() as u32 {
+            for a in 0..dfa.alphabet_size() {
+                let t = dfa.step(s, a);
+                assert!((t as usize) < dfa.num_states());
+            }
+        }
+    }
+}

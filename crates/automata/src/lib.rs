@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Regular expressions over device names, compiled to minimal DFAs.
+//!
+//! Tulkun invariants constrain packet *paths* with regular expressions
+//! whose alphabet is the set of network devices (§3, §4.1): `S .* W .* D`
+//! is "start at S, later pass W, end at D". This crate provides:
+//!
+//! * [`ast`] — the regex AST and a parser for the paper's surface syntax
+//!   (device names, `.` wildcard, `[^A B]` negated classes, `[A B]`
+//!   classes, `*`, `+`, `?`, `|`, parentheses, juxtaposition for
+//!   concatenation).
+//! * [`nfa`] — Thompson construction.
+//! * [`dfa`] — subset construction against a concrete device alphabet and
+//!   Hopcroft minimization, producing the finite automaton the planner
+//!   multiplies with the topology (Figure 4 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use tulkun_automata::{ast::Regex, dfa::Dfa};
+//!
+//! let re = Regex::parse("S .* W .* D").unwrap();
+//! let alphabet = ["S", "A", "B", "W", "D"].map(String::from).to_vec();
+//! let dfa = Dfa::compile(&re, &alphabet);
+//! let idx = |s: &str| alphabet.iter().position(|a| a == s).unwrap();
+//! assert!(dfa.accepts([idx("S"), idx("A"), idx("W"), idx("D")]));
+//! assert!(!dfa.accepts([idx("S"), idx("A"), idx("B"), idx("D")])); // misses W
+//! ```
+
+pub mod ast;
+pub mod dfa;
+pub mod nfa;
+
+pub use ast::Regex;
+pub use dfa::Dfa;

@@ -1,0 +1,188 @@
+//! Thompson construction: regex → NFA with epsilon transitions.
+
+use crate::ast::{Regex, SymClass};
+
+/// NFA state index.
+pub type StateId = usize;
+
+/// A Thompson NFA over symbol classes.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Per state: transitions labeled with a symbol class.
+    pub trans: Vec<Vec<(SymClass, StateId)>>,
+    /// Per state: epsilon transitions.
+    pub eps: Vec<Vec<StateId>>,
+    /// Initial state.
+    pub start: StateId,
+    /// The unique accepting state (Thompson construction invariant).
+    pub accept: StateId,
+}
+
+impl Nfa {
+    /// Builds the NFA for a regex.
+    pub fn from_regex(re: &Regex) -> Nfa {
+        let mut b = Builder {
+            trans: Vec::new(),
+            eps: Vec::new(),
+        };
+        let (start, accept) = b.build(re);
+        Nfa {
+            trans: b.trans,
+            eps: b.eps,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Epsilon closure of a set of states (sorted, deduplicated).
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<StateId> = states.to_vec();
+        for &s in states {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+}
+
+struct Builder {
+    trans: Vec<Vec<(SymClass, StateId)>>,
+    eps: Vec<Vec<StateId>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> StateId {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    fn build(&mut self, re: &Regex) -> (StateId, StateId) {
+        match re {
+            Regex::Empty => {
+                let s = self.state();
+                let a = self.state();
+                (s, a) // no transition: accepts nothing
+            }
+            Regex::Epsilon => {
+                let s = self.state();
+                let a = self.state();
+                self.eps[s].push(a);
+                (s, a)
+            }
+            Regex::Sym(c) => {
+                let s = self.state();
+                let a = self.state();
+                self.trans[s].push((c.clone(), a));
+                (s, a)
+            }
+            Regex::Concat(x, y) => {
+                let (xs, xa) = self.build(x);
+                let (ys, ya) = self.build(y);
+                self.eps[xa].push(ys);
+                (xs, ya)
+            }
+            Regex::Alt(x, y) => {
+                let s = self.state();
+                let a = self.state();
+                let (xs, xa) = self.build(x);
+                let (ys, ya) = self.build(y);
+                self.eps[s].push(xs);
+                self.eps[s].push(ys);
+                self.eps[xa].push(a);
+                self.eps[ya].push(a);
+                (s, a)
+            }
+            Regex::Star(x) => {
+                let s = self.state();
+                let a = self.state();
+                let (xs, xa) = self.build(x);
+                self.eps[s].push(xs);
+                self.eps[s].push(a);
+                self.eps[xa].push(xs);
+                self.eps[xa].push(a);
+                (s, a)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulate(nfa: &Nfa, path: &[&str]) -> bool {
+        let mut cur = nfa.eps_closure(&[nfa.start]);
+        for step in path {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for (class, t) in &nfa.trans[s] {
+                    if class.matches(step) {
+                        next.push(*t);
+                    }
+                }
+            }
+            cur = nfa.eps_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&nfa.accept)
+    }
+
+    #[test]
+    fn waypoint_nfa() {
+        let re = Regex::parse("S .* W .* D").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(simulate(&nfa, &["S", "W", "D"]));
+        assert!(simulate(&nfa, &["S", "A", "W", "B", "D"]));
+        assert!(!simulate(&nfa, &["S", "A", "D"]));
+        assert!(!simulate(&nfa, &["S", "W"]));
+        assert!(!simulate(&nfa, &[]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        let nfa = Nfa::from_regex(&Regex::Empty);
+        assert!(!simulate(&nfa, &[]));
+        assert!(!simulate(&nfa, &["X"]));
+        let nfa = Nfa::from_regex(&Regex::Epsilon);
+        assert!(simulate(&nfa, &[]));
+        assert!(!simulate(&nfa, &["X"]));
+    }
+
+    #[test]
+    fn star_accepts_zero_or_more() {
+        let re = Regex::parse("A*").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(simulate(&nfa, &[]));
+        assert!(simulate(&nfa, &["A"]));
+        assert!(simulate(&nfa, &["A", "A", "A"]));
+        assert!(!simulate(&nfa, &["B"]));
+    }
+
+    #[test]
+    fn negated_class() {
+        let re = Regex::parse("S [^W]* D").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(simulate(&nfa, &["S", "A", "B", "D"]));
+        assert!(!simulate(&nfa, &["S", "W", "D"]));
+        assert!(simulate(&nfa, &["S", "D"]));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the compiled (minimized) DFA must accept exactly the
+//! words a direct NFA simulation accepts, for random regexes and random
+//! words; minimization must never change the language.
+
+use proptest::prelude::*;
+use tulkun_automata::ast::{Regex, SymClass};
+use tulkun_automata::nfa::Nfa;
+use tulkun_automata::Dfa;
+
+const ALPHA: [&str; 4] = ["A", "B", "C", "D"];
+
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0..ALPHA.len()).prop_map(|i| Regex::dev(ALPHA[i])),
+        Just(Regex::any()),
+        (0..ALPHA.len()).prop_map(|i| Regex::Sym(SymClass::NotIn(vec![ALPHA[i].into()]))),
+        Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Regex::Star(Box::new(a))),
+        ]
+    })
+}
+
+fn nfa_accepts(nfa: &Nfa, word: &[usize]) -> bool {
+    let mut cur = nfa.eps_closure(&[nfa.start]);
+    for &sym in word {
+        let mut next = Vec::new();
+        for &s in &cur {
+            for (class, t) in &nfa.trans[s] {
+                if class.matches(ALPHA[sym]) {
+                    next.push(*t);
+                }
+            }
+        }
+        cur = nfa.eps_closure(&next);
+        if cur.is_empty() {
+            return false;
+        }
+    }
+    cur.contains(&nfa.accept)
+}
+
+proptest! {
+    #[test]
+    fn dfa_equals_nfa(re in regex_strategy(), words in proptest::collection::vec(proptest::collection::vec(0usize..ALPHA.len(), 0..8), 24)) {
+        let alphabet: Vec<String> = ALPHA.iter().map(|s| s.to_string()).collect();
+        let nfa = Nfa::from_regex(&re);
+        let dfa = Dfa::compile(&re, &alphabet);
+        for w in &words {
+            prop_assert_eq!(
+                dfa.accepts(w.iter().copied()),
+                nfa_accepts(&nfa, w),
+                "word {:?} disagrees for regex {}", w, re
+            );
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_language(re in regex_strategy(), words in proptest::collection::vec(proptest::collection::vec(0usize..ALPHA.len(), 0..8), 16)) {
+        let alphabet: Vec<String> = ALPHA.iter().map(|s| s.to_string()).collect();
+        let dfa = Dfa::compile(&re, &alphabet);
+        let dfa2 = dfa.minimize(); // idempotent
+        prop_assert!(dfa2.num_states() <= dfa.num_states());
+        for w in &words {
+            prop_assert_eq!(dfa.accepts(w.iter().copied()), dfa2.accepts(w.iter().copied()));
+        }
+    }
+
+    #[test]
+    fn max_word_len_is_exact_bound(re in regex_strategy(), words in proptest::collection::vec(proptest::collection::vec(0usize..ALPHA.len(), 0..10), 24)) {
+        let alphabet: Vec<String> = ALPHA.iter().map(|s| s.to_string()).collect();
+        let dfa = Dfa::compile(&re, &alphabet);
+        if let Some(maxlen) = dfa.max_word_len() {
+            for w in &words {
+                if dfa.accepts(w.iter().copied()) {
+                    prop_assert!(
+                        w.len() as u32 <= maxlen,
+                        "accepted word {:?} longer than claimed bound {} for {}", w, maxlen, re
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips(re in regex_strategy()) {
+        let text = re.to_string();
+        // Some ASTs print to the same surface text after normalization —
+        // accept any parse that produces the same language on samples.
+        if let Ok(re2) = Regex::parse(&text) {
+            let alphabet: Vec<String> = ALPHA.iter().map(|s| s.to_string()).collect();
+            let d1 = Dfa::compile(&re, &alphabet);
+            let d2 = Dfa::compile(&re2, &alphabet);
+            for w in [vec![], vec![0], vec![1, 2], vec![0, 1, 2, 3], vec![3, 3, 3]] {
+                prop_assert_eq!(d1.accepts(w.iter().copied()), d2.accepts(w.iter().copied()));
+            }
+        }
+    }
+}

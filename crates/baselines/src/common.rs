@@ -1,0 +1,113 @@
+//! Shared baseline machinery: the verification workload, the report, and
+//! the trait all baselines implement.
+
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::topology::DeviceId;
+use tulkun_netmodel::IpPrefix;
+
+/// The standard evaluation workload: all-pair reachability — every
+/// device must reach every announced `(destination, prefix)` pair,
+/// without loops or blackholes.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// `(destination device, announced prefix)` pairs.
+    pub pairs: Vec<(DeviceId, IpPrefix)>,
+}
+
+impl Workload {
+    /// All-pair reachability over a network's external-port map.
+    pub fn all_pairs(net: &Network) -> Workload {
+        let mut pairs: Vec<(DeviceId, IpPrefix)> = net.topology.external_map().collect();
+        pairs.sort();
+        Workload { pairs }
+    }
+}
+
+/// The outcome of one (full or incremental) verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// `(packet class, source)` pairs that cannot reach their
+    /// destination.
+    pub violations: usize,
+    /// `(packet class, source)` pairs checked.
+    pub checked: usize,
+    /// Packet classes (ECs/atoms) examined.
+    pub classes: usize,
+}
+
+impl BaselineReport {
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: BaselineReport) {
+        self.violations += other.violations;
+        self.checked += other.checked;
+        self.classes += other.classes;
+    }
+}
+
+/// The interface every centralized baseline implements.
+pub trait CentralizedDpv {
+    /// Tool name as used in the figures.
+    fn name(&self) -> &'static str;
+
+    /// Ingest a full snapshot and verify the workload (burst update).
+    fn verify_burst(&mut self, net: &Network, workload: &Workload) -> BaselineReport;
+
+    /// Apply one rule update and incrementally re-verify what it
+    /// affects. Must be called after `verify_burst`.
+    fn apply_update(&mut self, update: &RuleUpdate) -> BaselineReport;
+
+    /// Re-verify the whole workload on the cached state without
+    /// re-ingesting rules (used after topology-only events, §9.3.4:
+    /// "when there is no rule update in fault scenes, centralized DPVs
+    /// do not need to update their ECs").
+    fn reverify(&mut self) -> BaselineReport;
+
+    /// Approximate resident memory of the tool's data structures, in
+    /// bytes (used for the memory-out comparisons).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Reverse-BFS reachability for one packet class: which devices reach
+/// `dst`, given each device's next hops for the class. Devices caught in
+/// loops or blackholes simply never enter the reached set.
+pub fn reach_set(num_devices: usize, edges: &[Vec<DeviceId>], dst: DeviceId) -> Vec<bool> {
+    // reverse adjacency
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); num_devices];
+    for (u, hops) in edges.iter().enumerate() {
+        for v in hops {
+            rev[v.idx()].push(u as u32);
+        }
+    }
+    let mut reached = vec![false; num_devices];
+    reached[dst.idx()] = true;
+    let mut stack = vec![dst.0];
+    while let Some(v) = stack.pop() {
+        for &u in &rev[v as usize] {
+            if !reached[u as usize] {
+                reached[u as usize] = true;
+                stack.push(u);
+            }
+        }
+    }
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reach_set_handles_loops_and_blackholes() {
+        // 0 → 1 → 2(dst); 3 → 4 → 3 (loop); 5 drops (no hops).
+        let edges: Vec<Vec<DeviceId>> = vec![
+            vec![DeviceId(1)],
+            vec![DeviceId(2)],
+            vec![],
+            vec![DeviceId(4)],
+            vec![DeviceId(3)],
+            vec![],
+        ];
+        let r = reach_set(6, &edges, DeviceId(2));
+        assert_eq!(r, vec![true, true, true, false, false, false]);
+    }
+}

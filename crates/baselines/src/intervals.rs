@@ -1,0 +1,199 @@
+//! IP-interval atoms over the destination address space — the shared
+//! machinery behind Delta-net, VeriFlow and Flash (all of which reason
+//! about destination-IP ranges rather than full header spaces).
+
+use tulkun_netmodel::fib::{Action, Fib};
+use tulkun_netmodel::IpPrefix;
+
+/// Half-open range `[lo, hi)` of a prefix in the 2³²-address space.
+pub fn prefix_range(p: &IpPrefix) -> (u64, u64) {
+    let lo = p.addr as u64;
+    let size = 1u64 << (32 - p.len as u32);
+    (lo, lo + size)
+}
+
+/// A partition of `[0, 2³²)` into elementary intervals (*atoms*, in
+/// Delta-net's terminology) induced by a set of boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalAtoms {
+    /// Sorted, deduplicated boundaries; always starts with 0 and ends
+    /// with 2³². Atom `i` is `[bounds[i], bounds[i+1])`.
+    bounds: Vec<u64>,
+}
+
+impl IntervalAtoms {
+    /// The trivial partition (one atom covering everything).
+    pub fn new() -> Self {
+        IntervalAtoms {
+            bounds: vec![0, 1 << 32],
+        }
+    }
+
+    /// Builds the partition induced by a set of prefixes.
+    pub fn from_prefixes<'a>(prefixes: impl Iterator<Item = &'a IpPrefix>) -> Self {
+        let mut bounds = vec![0u64, 1 << 32];
+        for p in prefixes {
+            let (lo, hi) = prefix_range(p);
+            bounds.push(lo);
+            bounds.push(hi);
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        IntervalAtoms { bounds }
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// True if only the trivial atom exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// The atom index range covering a prefix (assumes the prefix's
+    /// boundaries are present — they are whenever the prefix came from a
+    /// rule used to build the partition).
+    pub fn atoms_of(&self, p: &IpPrefix) -> std::ops::Range<usize> {
+        let (lo, hi) = prefix_range(p);
+        let a = self.bounds.partition_point(|&b| b < lo);
+        let b = self.bounds.partition_point(|&b| b < hi);
+        a..b
+    }
+
+    /// Inserts the boundaries of a prefix. Returns *duplication events*:
+    /// for each event `e`, applied in order, a side table `t` aligned
+    /// with the atoms must execute `t.insert(e, t[e].clone())` — the atom
+    /// at `e` was split in two.
+    pub fn insert(&mut self, p: &IpPrefix) -> Vec<usize> {
+        let (lo, hi) = prefix_range(p);
+        let mut events = Vec::new();
+        for v in [lo, hi] {
+            let i = self.bounds.partition_point(|&b| b < v);
+            if self.bounds.get(i) != Some(&v) {
+                // v falls strictly inside atom i-1.
+                self.bounds.insert(i, v);
+                events.push(i - 1);
+            }
+        }
+        events
+    }
+
+    /// A representative address inside atom `i`.
+    pub fn sample(&self, i: usize) -> u64 {
+        self.bounds[i]
+    }
+}
+
+/// Resolves a device's next hops per atom by painting rules from lowest
+/// to highest priority (higher priority wins). Returns, per atom, the
+/// device next hops (empty = drop) and whether it delivers externally.
+pub fn paint_device(atoms: &IntervalAtoms, fib: &Fib) -> Vec<AtomAction> {
+    let mut out = vec![AtomAction::default(); atoms.len()];
+    // `Fib::rules()` is descending priority; paint in reverse.
+    for rule in fib.rules().iter().rev() {
+        // Interval machinery models destination-IP forwarding only (the
+        // same restriction the paper notes for Delta-net's atoms); port
+        // or proto constraints are ignored here.
+        let range = atoms.atoms_of(&rule.matches.dst);
+        let act = AtomAction::from_action(&rule.action);
+        for slot in &mut out[range] {
+            *slot = act.clone();
+        }
+    }
+    out
+}
+
+/// A resolved per-atom action.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AtomAction {
+    /// Device next hops for the atom.
+    pub next_hops: Vec<tulkun_netmodel::DeviceId>,
+    /// Does the device deliver the atom externally?
+    pub delivers: bool,
+}
+
+impl AtomAction {
+    /// Projects a FIB action.
+    pub fn from_action(a: &Action) -> AtomAction {
+        AtomAction {
+            next_hops: a.device_next_hops(),
+            delivers: a.delivers_external(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_netmodel::fib::{MatchSpec, Rule};
+    use tulkun_netmodel::DeviceId;
+
+    fn pfx(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn partition_from_prefixes() {
+        let ps = [pfx("10.0.0.0/24"), pfx("10.0.0.0/23"), pfx("10.0.1.0/24")];
+        let atoms = IntervalAtoms::from_prefixes(ps.iter());
+        // Boundaries: 0, 10.0.0.0, 10.0.1.0, 10.0.2.0, 2^32 → 4 atoms.
+        assert_eq!(atoms.len(), 4);
+        assert_eq!(atoms.atoms_of(&pfx("10.0.0.0/23")), 1..3);
+        assert_eq!(atoms.atoms_of(&pfx("10.0.0.0/24")), 1..2);
+        assert_eq!(atoms.atoms_of(&pfx("10.0.1.0/24")), 2..3);
+    }
+
+    #[test]
+    fn insert_splits_atoms() {
+        let mut atoms = IntervalAtoms::from_prefixes([pfx("10.0.0.0/23")].iter());
+        assert_eq!(atoms.len(), 3);
+        let split = atoms.insert(&pfx("10.0.0.0/24"));
+        // 10.0.0.0 existed; 10.0.1.0 splits the middle atom (index 1).
+        assert_eq!(split, vec![1]);
+        assert_eq!(atoms.len(), 4);
+        // Re-inserting changes nothing.
+        assert!(atoms.insert(&pfx("10.0.0.0/24")).is_empty());
+    }
+
+    #[test]
+    fn insert_can_split_twice() {
+        let mut atoms = IntervalAtoms::new();
+        let events = atoms.insert(&pfx("10.0.0.0/24"));
+        assert_eq!(events, vec![0, 1]);
+        assert_eq!(atoms.len(), 3);
+        // Applying the events to an aligned side table keeps it aligned.
+        let mut table = vec!["x"];
+        for e in events {
+            table.insert(e, table[e]);
+        }
+        assert_eq!(table.len(), atoms.len());
+    }
+
+    #[test]
+    fn paint_respects_priority() {
+        let atoms = IntervalAtoms::from_prefixes([pfx("10.0.0.0/23"), pfx("10.0.0.0/24")].iter());
+        let mut fib = Fib::new();
+        fib.insert(Rule {
+            priority: 23,
+            matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+            action: Action::fwd(DeviceId(1)),
+        });
+        fib.insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+            action: Action::Drop,
+        });
+        let painted = paint_device(&atoms, &fib);
+        let r24 = atoms.atoms_of(&pfx("10.0.0.0/24"));
+        assert!(
+            painted[r24.start].next_hops.is_empty(),
+            "/24 must be dropped"
+        );
+        let r23 = atoms.atoms_of(&pfx("10.0.0.0/23"));
+        assert_eq!(painted[r23.end - 1].next_hops, vec![DeviceId(1)]);
+        // Outside both prefixes: default drop.
+        assert!(painted[0].next_hops.is_empty());
+    }
+}

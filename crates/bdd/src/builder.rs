@@ -1,0 +1,253 @@
+//! Predicate builders over a packet-header variable layout.
+//!
+//! Tulkun models packets by the header fields its invariants and FIBs match
+//! on: destination IPv4 address, destination transport port, and protocol.
+//! Each field occupies a contiguous run of BDD variables, most significant
+//! bit first, so longest-prefix matches become short conjunctions near the
+//! root of the variable order.
+
+use crate::manager::{BddManager, Pred};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous field of bits inside the header variable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// First BDD variable of the field (the field's MSB).
+    pub offset: u32,
+    /// Field width in bits.
+    pub width: u32,
+}
+
+impl Field {
+    /// Predicate: the field equals `value` exactly.
+    pub fn eq(&self, m: &mut BddManager, value: u64) -> Pred {
+        self.prefix(m, value, self.width)
+    }
+
+    /// Predicate: the top `plen` bits of the field equal the top `plen`
+    /// bits of `value` (a longest-prefix match). `plen == 0` matches all.
+    pub fn prefix(&self, m: &mut BddManager, value: u64, plen: u32) -> Pred {
+        assert!(plen <= self.width, "prefix length exceeds field width");
+        let mut acc = m.verum();
+        for i in 0..plen {
+            // Bit i of the prefix is bit (width-1-i) of the value.
+            let bit = (value >> (self.width - 1 - i)) & 1;
+            let var = self.offset + i;
+            let lit = if bit == 1 { m.var(var) } else { m.nvar(var) };
+            acc = m.and(acc, lit);
+        }
+        acc
+    }
+
+    /// Predicate: `lo <= field <= hi` (inclusive integer range).
+    pub fn range(&self, m: &mut BddManager, lo: u64, hi: u64) -> Pred {
+        assert!(lo <= hi, "empty range");
+        let max = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        assert!(hi <= max, "range exceeds field width");
+        let ge = self.cmp(m, lo, true);
+        let le = self.cmp(m, hi, false);
+        m.and(ge, le)
+    }
+
+    /// Predicate `field >= bound` (when `ge`) or `field <= bound`.
+    fn cmp(&self, m: &mut BddManager, bound: u64, ge: bool) -> Pred {
+        // Build bottom-up from the LSB: at each level the predicate is
+        // "remaining suffix of the field compares correctly with the
+        // corresponding suffix of the bound".
+        let mut acc = m.verum();
+        for i in (0..self.width).rev() {
+            let bit = (bound >> (self.width - 1 - i)) & 1;
+            let var = self.offset + i;
+            let v1 = m.var(var);
+            let v0 = m.nvar(var);
+            acc = if ge {
+                if bit == 1 {
+                    // Need this bit 1 and suffix >= rest.
+                    m.and(v1, acc)
+                } else {
+                    // Bit 1 → anything below wins; bit 0 → recurse.
+                    let rec = m.and(v0, acc);
+                    m.or(v1, rec)
+                }
+            } else if bit == 0 {
+                m.and(v0, acc)
+            } else {
+                let rec = m.and(v1, acc);
+                m.or(v0, rec)
+            };
+        }
+        acc
+    }
+}
+
+/// The variable layout of the packet headers Tulkun reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderLayout {
+    /// Destination IPv4 address (32 bits).
+    pub dst_ip: Field,
+    /// Destination transport port (16 bits).
+    pub dst_port: Field,
+    /// IP protocol number (8 bits).
+    pub proto: Field,
+}
+
+impl HeaderLayout {
+    /// The standard layout: dstIP (32) ∥ dstPort (16) ∥ proto (8).
+    pub fn ipv4_tcp() -> Self {
+        HeaderLayout {
+            dst_ip: Field {
+                offset: 0,
+                width: 32,
+            },
+            dst_port: Field {
+                offset: 32,
+                width: 16,
+            },
+            proto: Field {
+                offset: 48,
+                width: 8,
+            },
+        }
+    }
+
+    /// Total number of BDD variables the layout requires.
+    pub fn num_vars(&self) -> u32 {
+        (self.dst_ip.width + self.dst_port.width + self.proto.width).max(
+            [self.dst_ip, self.dst_port, self.proto]
+                .iter()
+                .map(|f| f.offset + f.width)
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Predicate for a destination prefix `a.b.c.d/plen`.
+    pub fn dst_prefix(&self, m: &mut BddManager, octets: [u8; 4], plen: u32) -> Pred {
+        let value = u32::from_be_bytes(octets) as u64;
+        self.dst_ip.prefix(m, value, plen)
+    }
+
+    /// Predicate for an exact destination port.
+    pub fn dst_port_eq(&self, m: &mut BddManager, port: u16) -> Pred {
+        self.dst_port.eq(m, port as u64)
+    }
+
+    /// Predicate for an inclusive destination port range.
+    pub fn dst_port_range(&self, m: &mut BddManager, lo: u16, hi: u16) -> Pred {
+        self.dst_port.range(m, lo as u64, hi as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_ip(m: &BddManager, layout: &HeaderLayout, p: Pred, ip: u32, port: u16) -> bool {
+        let mut bits = vec![false; layout.num_vars() as usize];
+        for i in 0..32 {
+            bits[(layout.dst_ip.offset + i) as usize] = (ip >> (31 - i)) & 1 == 1;
+        }
+        for i in 0..16 {
+            bits[(layout.dst_port.offset + i) as usize] = (port >> (15 - i)) & 1 == 1;
+        }
+        m.eval(p, &bits)
+    }
+
+    #[test]
+    fn prefix_semantics() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let p = layout.dst_prefix(&mut m, [10, 0, 0, 0], 23);
+        assert!(eval_ip(
+            &m,
+            &layout,
+            p,
+            u32::from_be_bytes([10, 0, 0, 5]),
+            0
+        ));
+        assert!(eval_ip(
+            &m,
+            &layout,
+            p,
+            u32::from_be_bytes([10, 0, 1, 200]),
+            0
+        ));
+        assert!(!eval_ip(
+            &m,
+            &layout,
+            p,
+            u32::from_be_bytes([10, 0, 2, 0]),
+            0
+        ));
+        assert!(!eval_ip(
+            &m,
+            &layout,
+            p,
+            u32::from_be_bytes([11, 0, 0, 0]),
+            0
+        ));
+    }
+
+    #[test]
+    fn prefix_nesting() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let p23 = layout.dst_prefix(&mut m, [10, 0, 0, 0], 23);
+        let p24a = layout.dst_prefix(&mut m, [10, 0, 0, 0], 24);
+        let p24b = layout.dst_prefix(&mut m, [10, 0, 1, 0], 24);
+        assert!(m.implies(p24a, p23));
+        assert!(m.implies(p24b, p23));
+        assert!(!m.intersects(p24a, p24b));
+        let u = m.or(p24a, p24b);
+        assert_eq!(u, p23);
+    }
+
+    #[test]
+    fn zero_length_prefix_matches_everything() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let p = layout.dst_prefix(&mut m, [1, 2, 3, 4], 0);
+        assert!(m.is_true(p));
+    }
+
+    #[test]
+    fn port_eq_and_range() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let p80 = layout.dst_port_eq(&mut m, 80);
+        assert!(eval_ip(&m, &layout, p80, 0, 80));
+        assert!(!eval_ip(&m, &layout, p80, 0, 81));
+
+        let r = layout.dst_port_range(&mut m, 1000, 2000);
+        assert!(!eval_ip(&m, &layout, r, 0, 999));
+        assert!(eval_ip(&m, &layout, r, 0, 1000));
+        assert!(eval_ip(&m, &layout, r, 0, 1500));
+        assert!(eval_ip(&m, &layout, r, 0, 2000));
+        assert!(!eval_ip(&m, &layout, r, 0, 2001));
+        // Count must match exactly: sat_count over non-port vars scales by 2^(32+8).
+        let total = m.sat_count(r);
+        let expected = 1001.0 * 2f64.powi(40);
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn range_degenerate_single_value_equals_eq() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let a = layout.dst_port_range(&mut m, 443, 443);
+        let b = layout.dst_port_eq(&mut m, 443);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_range_is_true() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let r = layout.dst_port_range(&mut m, 0, u16::MAX);
+        assert!(m.is_true(r));
+    }
+}

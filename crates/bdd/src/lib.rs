@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Binary decision diagrams (BDDs) for packet-set predicates.
+//!
+//! Tulkun's DVM protocol represents sets of packets as *predicates* and
+//! performs frequent set operations on them (union, intersection,
+//! difference, emptiness tests). Following the paper (§5.1), predicates are
+//! encoded as reduced ordered BDDs so every set operation is a logical
+//! operation on BDDs and equal sets share one canonical representation.
+//!
+//! This crate is a from-scratch substrate playing the role of the JDD
+//! library used by the paper's prototype:
+//!
+//! * [`BddManager`] — an arena of hash-consed nodes with operation caches.
+//! * [`Pred`] — a handle to a predicate (a root node in one manager).
+//! * [`builder`] — helpers that build predicates for IP prefixes, exact
+//!   values and integer ranges over a configurable header layout.
+//! * [`serial`] — a compact portable encoding so predicates can travel
+//!   inside DVM `UPDATE` messages between devices that each own a private
+//!   manager (as separate switches do).
+//!
+//! # Example
+//!
+//! ```
+//! use tulkun_bdd::{BddManager, builder::HeaderLayout};
+//!
+//! let layout = HeaderLayout::ipv4_tcp();
+//! let mut m = BddManager::new(layout.num_vars());
+//! let p1 = layout.dst_prefix(&mut m, [10, 0, 0, 0], 23);
+//! let p2 = layout.dst_prefix(&mut m, [10, 0, 1, 0], 24);
+//! // 10.0.1.0/24 ⊂ 10.0.0.0/23
+//! assert!(m.implies(p2, p1));
+//! assert!(!m.implies(p1, p2));
+//! ```
+
+pub mod builder;
+pub mod manager;
+pub mod serial;
+
+pub use builder::HeaderLayout;
+pub use manager::{BddManager, Pred};

@@ -1,0 +1,191 @@
+//! Portable predicate encoding for DVM messages.
+//!
+//! Each on-device verifier owns a private [`BddManager`] (as separate
+//! switches do in the paper's deployment). Predicates inside `UPDATE`
+//! messages therefore travel as a self-contained node list and are
+//! re-interned into the receiving manager, where hash-consing
+//! deduplicates them against existing nodes. This plays the role of the
+//! paper's JDD + Protobuf (de)serialization (§8).
+
+use crate::manager::{BddManager, Pred};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained, manager-independent encoding of one predicate.
+///
+/// Nodes are listed children-first, with local indices: 0 = FALSE,
+/// 1 = TRUE, and node `i >= 2` is `nodes[i - 2]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortablePred {
+    /// `(var, lo, hi)` triples in children-first order.
+    nodes: Vec<(u32, u32, u32)>,
+    /// Local index of the root.
+    root: u32,
+}
+
+impl PortablePred {
+    /// Number of decision nodes in the encoding.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the encoding has no decision nodes (constant predicate).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Approximate wire size in bytes (3 × u32 per node plus the root).
+    pub fn wire_bytes(&self) -> usize {
+        self.nodes.len() * 12 + 4
+    }
+}
+
+/// Exports a predicate from `m` into a portable encoding.
+pub fn export(m: &BddManager, pred: Pred) -> PortablePred {
+    let reach = m.reachable(pred.index());
+    // `reachable` is post-order (children first), so child indices are
+    // always resolvable in one pass.
+    let mut nodes = Vec::with_capacity(reach.len());
+    let mut local: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    local.insert(0, 0);
+    local.insert(1, 1);
+    for &(idx, var, lo, hi) in reach.iter() {
+        let lo = local[&lo];
+        let hi = local[&hi];
+        let li = nodes.len() as u32 + 2;
+        nodes.push((var, lo, hi));
+        local.insert(idx, li);
+    }
+    PortablePred {
+        nodes,
+        root: local[&pred.index()],
+    }
+}
+
+/// Errors raised while importing a portable predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// A node referenced a child that does not precede it.
+    ForwardReference {
+        /// Index of the offending node in the encoding.
+        node: usize,
+    },
+    /// A variable index was out of range for the receiving manager.
+    VarOutOfRange {
+        /// The out-of-range variable index.
+        var: u32,
+    },
+    /// The root index was invalid.
+    BadRoot,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::ForwardReference { node } => {
+                write!(f, "node {node} references a later node")
+            }
+            ImportError::VarOutOfRange { var } => write!(f, "variable {var} out of range"),
+            ImportError::BadRoot => write!(f, "root index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Imports a portable predicate into `m`, re-interning every node.
+pub fn import(m: &mut BddManager, p: &PortablePred) -> Result<Pred, ImportError> {
+    let mut map: Vec<u32> = Vec::with_capacity(p.nodes.len() + 2);
+    map.push(0);
+    map.push(1);
+    for (i, &(var, lo, hi)) in p.nodes.iter().enumerate() {
+        if var >= m.num_vars() {
+            return Err(ImportError::VarOutOfRange { var });
+        }
+        let lo = *map
+            .get(lo as usize)
+            .ok_or(ImportError::ForwardReference { node: i })?;
+        let hi = *map
+            .get(hi as usize)
+            .ok_or(ImportError::ForwardReference { node: i })?;
+        map.push(m.mk_raw(var, lo, hi));
+    }
+    map.get(p.root as usize)
+        .copied()
+        .map(Pred)
+        .ok_or(ImportError::BadRoot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HeaderLayout;
+
+    #[test]
+    fn round_trip_same_manager() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let p = layout.dst_prefix(&mut m, [192, 168, 0, 0], 16);
+        let port = layout.dst_port_range(&mut m, 53, 100);
+        let p = m.and(p, port);
+        let enc = export(&m, p);
+        let back = import(&mut m, &enc).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn round_trip_across_managers() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut a = BddManager::new(layout.num_vars());
+        let mut b = BddManager::new(layout.num_vars());
+        // Populate b differently first so node indices diverge.
+        let _noise = layout.dst_prefix(&mut b, [7, 7, 7, 0], 24);
+
+        let p1 = layout.dst_prefix(&mut a, [10, 0, 0, 0], 23);
+        let p2 = layout.dst_port_eq(&mut a, 80);
+        let p = a.and(p1, p2);
+        let enc = export(&a, p);
+        let q = import(&mut b, &enc).unwrap();
+
+        // Semantically identical: same sat count and same canonical form
+        // when rebuilt natively in b.
+        let q1 = layout.dst_prefix(&mut b, [10, 0, 0, 0], 23);
+        let q2 = layout.dst_port_eq(&mut b, 80);
+        let q_native = b.and(q1, q2);
+        assert_eq!(q, q_native);
+        assert_eq!(a.sat_count(p), b.sat_count(q));
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut m = BddManager::new(8);
+        for c in [Pred::TRUE, Pred::FALSE] {
+            let enc = export(&m, c);
+            assert!(enc.is_empty());
+            assert_eq!(import(&mut m, &enc).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_vars() {
+        let mut big = BddManager::new(64);
+        let mut small = BddManager::new(4);
+        let v = big.var(60);
+        let enc = export(&big, v);
+        assert!(matches!(
+            import(&mut small, &enc),
+            Err(ImportError::VarOutOfRange { var: 60 })
+        ));
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let mut m = BddManager::new(16);
+        let x = m.var(3);
+        let y = m.nvar(9);
+        let p = m.or(x, y);
+        let enc = export(&m, p);
+        let json = serde_json::to_string(&enc).unwrap();
+        let dec: PortablePred = serde_json::from_str(&json).unwrap();
+        assert_eq!(import(&mut m, &dec).unwrap(), p);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests: BDD operations against a brute-force
+//! truth-table model, and serialization round-trips.
+
+use proptest::prelude::*;
+use tulkun_bdd::{serial, BddManager, Pred};
+
+/// A tiny boolean-expression AST we can evaluate both ways.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+const VARS: u32 = 6;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (0..VARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, e: &Expr) -> Pred {
+    match e {
+        Expr::Var(i) => m.var(*i),
+        Expr::Not(a) => {
+            let x = build(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let x = build(m, a);
+            let y = build(m, b);
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let x = build(m, a);
+            let y = build(m, b);
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let x = build(m, a);
+            let y = build(m, b);
+            m.xor(x, y)
+        }
+    }
+}
+
+fn eval_model(e: &Expr, bits: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => bits[*i as usize],
+        Expr::Not(a) => !eval_model(a, bits),
+        Expr::And(a, b) => eval_model(a, bits) && eval_model(b, bits),
+        Expr::Or(a, b) => eval_model(a, bits) || eval_model(b, bits),
+        Expr::Xor(a, b) => eval_model(a, bits) != eval_model(b, bits),
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdd_agrees_with_truth_table(e in expr_strategy()) {
+        let mut m = BddManager::new(VARS);
+        let p = build(&mut m, &e);
+        let mut count = 0u64;
+        for assignment in 0..(1u32 << VARS) {
+            let bits: Vec<bool> = (0..VARS).map(|i| assignment >> i & 1 == 1).collect();
+            let expected = eval_model(&e, &bits);
+            prop_assert_eq!(m.eval(p, &bits), expected);
+            count += u64::from(expected);
+        }
+        prop_assert_eq!(m.sat_count(p), count as f64);
+    }
+
+    #[test]
+    fn canonicity(e in expr_strategy()) {
+        // Building the same function twice (even via double negation)
+        // yields the identical node handle.
+        let mut m = BddManager::new(VARS);
+        let p = build(&mut m, &e);
+        let q = build(&mut m, &e);
+        prop_assert_eq!(p, q);
+        let np = m.not(p);
+        let nnp = m.not(np);
+        prop_assert_eq!(nnp, p);
+    }
+
+    #[test]
+    fn export_import_round_trip(e in expr_strategy()) {
+        let mut src = BddManager::new(VARS);
+        let p = build(&mut src, &e);
+        let enc = serial::export(&src, p);
+        // Into a fresh manager with unrelated noise first.
+        let mut dst = BddManager::new(VARS);
+        let _noise = build(&mut dst, &Expr::Xor(
+            Box::new(Expr::Var(0)),
+            Box::new(Expr::Var(VARS - 1)),
+        ));
+        let q = serial::import(&mut dst, &enc).unwrap();
+        let native = build(&mut dst, &e);
+        prop_assert_eq!(q, native, "import must re-canonicalize to the same function");
+    }
+
+    #[test]
+    fn exists_matches_model(e in expr_strategy(), lo in 0u32..VARS, width in 1u32..3) {
+        let hi = (lo + width).min(VARS);
+        let mut m = BddManager::new(VARS);
+        let p = build(&mut m, &e);
+        let q = m.exists_range(p, lo, hi);
+        for assignment in 0..(1u32 << VARS) {
+            let bits: Vec<bool> = (0..VARS).map(|i| assignment >> i & 1 == 1).collect();
+            // ∃x_lo..x_hi . e — true iff some completion of those bits
+            // satisfies e.
+            let mut expected = false;
+            let quantified = hi - lo;
+            for fill in 0..(1u32 << quantified) {
+                let mut b = bits.clone();
+                for (k, item) in b.iter_mut().enumerate().take(hi as usize).skip(lo as usize) {
+                    *item = fill >> (k as u32 - lo) & 1 == 1;
+                }
+                if eval_model(&e, &b) {
+                    expected = true;
+                    break;
+                }
+            }
+            prop_assert_eq!(m.eval(q, &bits), expected);
+        }
+    }
+
+    #[test]
+    fn implies_is_subset(a in expr_strategy(), b in expr_strategy()) {
+        let mut m = BddManager::new(VARS);
+        let pa = build(&mut m, &a);
+        let pb = build(&mut m, &b);
+        let imp = m.implies(pa, pb);
+        let mut model_subset = true;
+        for assignment in 0..(1u32 << VARS) {
+            let bits: Vec<bool> = (0..VARS).map(|i| assignment >> i & 1 == 1).collect();
+            if eval_model(&a, &bits) && !eval_model(&b, &bits) {
+                model_subset = false;
+                break;
+            }
+        }
+        prop_assert_eq!(imp, model_subset);
+    }
+}

@@ -1,0 +1,236 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Minimal counting information** (Proposition 1): wire bytes and
+//!    messages with reduction on vs off.
+//! 2. **Suffix merging** (state minimization): DPVNet nodes vs the raw
+//!    path trie.
+//! 3. **LEC sharing across invariants** (§8): per-device init cost with
+//!    and without the shared table.
+//! 4. **Proposition-2 scene reuse**: fault-tolerant DPVNet computation
+//!    with and without the reuse short-cut.
+
+use std::time::Instant;
+use tulkun_bench::{fmt_ns, Cli, FigureTable};
+use tulkun_core::count::ReduceMode;
+use tulkun_core::dpvnet::{self, DpvNet};
+use tulkun_core::fault::{build_ft_dpvnet, expand_fault_spec};
+use tulkun_core::planner::Planner;
+use tulkun_core::spec::{FaultSpec, PathExpr};
+use tulkun_core::verify::Session;
+use tulkun_datasets::by_name;
+use tulkun_sim::event::LecCache;
+use tulkun_sim::{DvmSim, SimConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    ablate_reduction(&cli);
+    ablate_suffix_merging(&cli);
+    ablate_lec_sharing(&cli);
+    ablate_scene_reuse(&cli);
+}
+
+/// Proposition 1: minimal counting information on the wire.
+fn ablate_reduction(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_reduction",
+        "Proposition 1 (minimal counting information): wire cost, burst",
+        &["dataset", "mode", "messages", "bytes"],
+    );
+    for name in ["INet2", "B4-13", "BTNA"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
+        // The all-pair invariant tracks escapes → reduction off by
+        // design; ablate on the pure reachability variant instead.
+        let inv = tulkun_core::spec::Invariant {
+            behavior: tulkun_core::spec::Behavior::exist(
+                tulkun_core::count::CountExpr::ge(1),
+                inv.behavior.path_exprs()[0].clone(),
+            ),
+            ..inv
+        };
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let base = plan.counting().unwrap().clone();
+        for (label, reduce) in [
+            ("min (Prop. 1)", base.reduce),
+            ("full sets", ReduceMode::None),
+        ] {
+            let mut cp = base.clone();
+            cp.reduce = reduce;
+            let mut session = Session::from_counting(&ds.network, cp, &inv.packet_space);
+            session.run_to_quiescence();
+            let (msgs, bytes) = session
+                .plan()
+                .dpvnet
+                .iter()
+                .map(|(_, n)| n.dev)
+                .collect::<std::collections::BTreeSet<_>>()
+                .iter()
+                .filter_map(|d| session.verifier(*d))
+                .fold((0u64, 0u64), |(m, b), v| {
+                    (m + v.stats.messages_sent, b + v.stats.bytes_sent)
+                });
+            t.row(vec![
+                name.into(),
+                label.into(),
+                msgs.to_string(),
+                bytes.to_string(),
+            ]);
+        }
+    }
+    t.finish();
+}
+
+/// Suffix merging: minimal DAG vs raw trie size.
+fn ablate_suffix_merging(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_suffix_merge",
+        "State minimization (suffix merging): DPVNet nodes vs raw trie nodes",
+        &["dataset", "paths", "trie nodes", "merged nodes", "ratio"],
+    );
+    for name in ["INet2", "B4-13", "BTNA", "NTT"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let ingress: Vec<_> = topo.devices().filter(|d| *d != dst).collect();
+        let pe = PathExpr::parse(&format!(". * {}", topo.name(dst)))
+            .unwrap()
+            .loop_free()
+            .shortest_plus(2);
+        let paths =
+            dpvnet::enumerate_valid_paths(topo, &ingress, std::slice::from_ref(&pe), 2_000_000)
+                .unwrap();
+        // Raw trie size = number of distinct prefixes (incl. each path's
+        // nodes).
+        let mut prefixes = std::collections::BTreeSet::new();
+        for p in &paths {
+            for l in 1..=p.devices.len() {
+                prefixes.insert(p.devices[..l].to_vec());
+            }
+        }
+        let merged = dpvnet::from_paths(&paths, 1, topo);
+        t.row(vec![
+            name.into(),
+            paths.len().to_string(),
+            prefixes.len().to_string(),
+            merged.num_nodes().to_string(),
+            format!(
+                "{:.1}x",
+                prefixes.len() as f64 / merged.num_nodes().max(1) as f64
+            ),
+        ]);
+    }
+    t.finish();
+}
+
+/// LEC sharing (§8): per-device verifier construction with and without
+/// the shared table, across 8 destination invariants.
+fn ablate_lec_sharing(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_lec_sharing",
+        "Shared LEC tables across invariants: total verifier construction time",
+        &["dataset", "shared", "not shared", "speedup"],
+    );
+    for name in ["AT1-2", "BTNA"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let dsts: Vec<_> = tulkun_bench::workload::destinations(&ds.network)
+            .into_iter()
+            .take(8)
+            .collect();
+        let plans: Vec<_> = dsts
+            .iter()
+            .map(|(dst, prefixes)| {
+                let inv = tulkun_bench::workload::wan_invariant(&ds.network, *dst, prefixes);
+                (Planner::new(topo).plan(&inv).unwrap(), inv)
+            })
+            .collect();
+
+        let run = |share: bool| {
+            let t0 = Instant::now();
+            let mut cache = LecCache::new();
+            for (plan, inv) in &plans {
+                let cp = plan.counting().unwrap();
+                if share {
+                    let _ = DvmSim::new_cached(
+                        &ds.network,
+                        cp,
+                        &inv.packet_space,
+                        SimConfig::default(),
+                        &mut cache,
+                    );
+                } else {
+                    let _ = DvmSim::new(&ds.network, cp, &inv.packet_space, SimConfig::default());
+                }
+            }
+            t0.elapsed().as_nanos() as u64
+        };
+        let shared = run(true);
+        let unshared = run(false);
+        t.row(vec![
+            name.into(),
+            fmt_ns(shared),
+            fmt_ns(unshared),
+            format!("{:.2}x", unshared as f64 / shared.max(1) as f64),
+        ]);
+    }
+    t.finish();
+}
+
+/// Proposition 2: scene reuse in fault-tolerant DPVNet computation.
+fn ablate_scene_reuse(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_scene_reuse",
+        "Proposition 2 scene reuse in fault-tolerant DPVNet computation (k=2)",
+        &[
+            "dataset",
+            "scenes",
+            "reused",
+            "with reuse",
+            "naive estimate",
+        ],
+    );
+    for name in ["INet2", "B4-13", "STFD"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let src = topo.devices().find(|d| *d != dst).unwrap();
+        let pe = PathExpr::parse(&format!("{} .* {}", topo.name(src), topo.name(dst)))
+            .unwrap()
+            .loop_free()
+            .shortest_plus(1);
+        let scenes = expand_fault_spec(topo, &FaultSpec::AnyK(2), 2_000).unwrap();
+        let t0 = Instant::now();
+        let ft =
+            build_ft_dpvnet(topo, &[src], std::slice::from_ref(&pe), &scenes, 500_000).unwrap();
+        let with_reuse = t0.elapsed().as_nanos() as u64;
+        // Naive estimate: measure one full enumeration and charge it for
+        // every reused scene on top of the measured run.
+        let t1 = Instant::now();
+        let _ = DpvNet::build(topo, &[src], std::slice::from_ref(&pe)).unwrap();
+        let one = t1.elapsed().as_nanos() as u64;
+        let naive = with_reuse + one * ft.reused_scenes as u64;
+        t.row(vec![
+            name.into(),
+            scenes.len().to_string(),
+            ft.reused_scenes.to_string(),
+            fmt_ns(with_reuse),
+            fmt_ns(naive),
+        ]);
+    }
+    t.finish();
+}

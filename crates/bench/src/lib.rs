@@ -1,0 +1,125 @@
+//! Shared machinery for the figure-reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation: it builds the workload, runs Tulkun (simulated on
+//! the measured-CPU event simulator) and the centralized baselines, and
+//! prints the same rows/series the paper reports. Results are also
+//! written as JSON under `target/figures/` so EXPERIMENTS.md can be
+//! regenerated mechanically.
+
+pub mod report;
+pub mod workload;
+
+pub use report::FigureTable;
+pub use workload::{all_pair_workload, AllPairRun, TulkunAllPairs};
+
+/// Parses `--scale tiny|paper` and `--datasets a,b,c` style CLI args.
+pub struct Cli {
+    pub scale: tulkun_datasets::Scale,
+    pub datasets: Option<Vec<String>>,
+    pub updates: usize,
+    pub scenes: usize,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut scale = tulkun_datasets::Scale::Tiny;
+        let mut datasets = None;
+        let mut updates = 200;
+        let mut scenes = 10;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = match args.get(i).map(String::as_str) {
+                        Some("paper") => tulkun_datasets::Scale::Paper,
+                        _ => tulkun_datasets::Scale::Tiny,
+                    };
+                }
+                "--datasets" => {
+                    i += 1;
+                    datasets = args.get(i).map(|s| {
+                        s.split(',')
+                            .map(|x| x.trim().to_string())
+                            .collect::<Vec<_>>()
+                    });
+                }
+                "--updates" => {
+                    i += 1;
+                    updates = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(updates);
+                }
+                "--scenes" => {
+                    i += 1;
+                    scenes = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scenes);
+                }
+                other => {
+                    eprintln!("ignoring unknown argument {other:?}");
+                }
+            }
+            i += 1;
+        }
+        Cli {
+            scale,
+            datasets,
+            updates,
+            scenes,
+        }
+    }
+
+    /// Does the run include this dataset?
+    pub fn wants(&self, name: &str) -> bool {
+        self.datasets
+            .as_ref()
+            .is_none_or(|d| d.iter().any(|x| x == name))
+    }
+}
+
+/// Formats nanoseconds human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The p-quantile (0..=1) of a sample, by sorting.
+pub fn quantile(xs: &[u64], p: f64) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+    v[idx.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&xs, 0.0), 1);
+        assert_eq!(quantile(&xs, 1.0), 100);
+        let q80 = quantile(&xs, 0.8);
+        assert!((79..=81).contains(&q80));
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

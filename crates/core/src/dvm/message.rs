@@ -1,0 +1,123 @@
+//! DVM message formats (§5.2).
+//!
+//! Messages travel between the verifiers of neighboring devices over
+//! reliable, in-order channels (TCP in the paper's deployment; channels
+//! in the simulator and the tokio runner). Predicates cross device
+//! boundaries as [`PortablePred`]s because every device owns a private
+//! BDD manager.
+
+use crate::count::Counts;
+use crate::dpvnet::NodeId;
+use serde::{Deserialize, Serialize};
+use tulkun_bdd::serial::PortablePred;
+use tulkun_netmodel::DeviceId;
+
+/// A directed DPVNet edge `(upstream node, downstream node)` — the
+/// *intended link* of an UPDATE message. Counting results flow from
+/// `down`'s device to `up`'s device, against the edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// Upstream node (receiver of counting results).
+    pub up: NodeId,
+    /// Downstream node (sender of counting results).
+    pub down: NodeId,
+}
+
+/// DVM message payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Counting results from a downstream node (§5.2). Invariant (the
+    /// *UPDATE message principle*): the union of `withdrawn` equals the
+    /// union of the predicates in `results`.
+    Update {
+        /// The intended link.
+        edge: EdgeRef,
+        /// Predicates whose previous results are obsolete.
+        withdrawn: Vec<PortablePred>,
+        /// The incoming counting results.
+        results: Vec<(PortablePred, Counts)>,
+    },
+    /// Ask the downstream device to extend its counting scope for this
+    /// edge (packet transformation support, §5.2).
+    Subscribe {
+        /// The edge whose downstream node must grow its scope.
+        edge: EdgeRef,
+        /// The additional packet space to count.
+        space: PortablePred,
+    },
+}
+
+impl Payload {
+    /// The DPVNet edge the payload concerns.
+    pub fn edge(&self) -> EdgeRef {
+        match self {
+            Payload::Update { edge, .. } | Payload::Subscribe { edge, .. } => *edge,
+        }
+    }
+
+    /// Approximate serialized size in bytes (for overhead accounting).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Payload::Update {
+                withdrawn, results, ..
+            } => {
+                8 + withdrawn
+                    .iter()
+                    .map(PortablePred::wire_bytes)
+                    .sum::<usize>()
+                    + results
+                        .iter()
+                        .map(|(p, c)| p.wire_bytes() + 4 * c.len() * c.dim().max(1))
+                        .sum::<usize>()
+            }
+            Payload::Subscribe { space, .. } => 8 + space.wire_bytes(),
+        }
+    }
+}
+
+/// A device-to-device message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sending device.
+    pub from: DeviceId,
+    /// Receiving device.
+    pub to: DeviceId,
+    /// The DVM payload.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Approximate serialized size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.payload.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_bdd::{serial, BddManager};
+
+    #[test]
+    fn payload_round_trips_through_json() {
+        let mut m = BddManager::new(8);
+        let x = m.var(2);
+        let enc = serial::export(&m, x);
+        let env = Envelope {
+            from: DeviceId(1),
+            to: DeviceId(2),
+            payload: Payload::Update {
+                edge: EdgeRef {
+                    up: NodeId(0),
+                    down: NodeId(3),
+                },
+                withdrawn: vec![enc.clone()],
+                results: vec![(enc, Counts::scalars([0, 1]))],
+            },
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+        assert!(env.wire_bytes() > 0);
+    }
+}

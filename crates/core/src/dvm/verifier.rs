@@ -1,0 +1,944 @@
+//! The on-device verifier: executes counting tasks and speaks DVM (§5).
+//!
+//! Every device runs one `DeviceVerifier` holding:
+//!
+//! * a private BDD manager and the device's **LEC table** (predicate →
+//!   action classes built from the FIB, §5.1);
+//! * per DPVNet node mapped to this device: `CIBIn` (latest results per
+//!   downstream neighbor), `LocCIB` (this node's counting results) and
+//!   `CIBOut` (what upstream neighbors currently believe);
+//! * the counting scope (invariant packet space, grown by `SUBSCRIBE`
+//!   messages when upstream devices rewrite headers).
+//!
+//! Deviation from §5.2, documented in DESIGN.md: affected `LocCIB`
+//! entries are recomputed from the stored `CIBIn` tables instead of
+//! applying the inverse-⊗/⊕ trick; the two are equivalent because
+//! `CIBIn` always holds the latest complete results (the UPDATE message
+//! principle).
+
+use crate::count::{Counts, ReduceMode};
+use crate::dpvnet::NodeId;
+use crate::dvm::message::{EdgeRef, Envelope, Payload};
+use crate::planner::NodeTask;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use tulkun_bdd::serial::{self, PortablePred};
+use tulkun_bdd::{BddManager, HeaderLayout, Pred};
+use tulkun_netmodel::fib::{Action, ActionType, Fib, NextHop, Rewrite};
+use tulkun_netmodel::network::RuleUpdate;
+use tulkun_netmodel::DeviceId;
+
+/// How destination nodes count their own delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DestMode {
+    /// The paper's semantics: a destination node contributes one copy
+    /// axiomatically ("one copy will be sent to the correct external
+    /// ports", §2.2.2).
+    #[default]
+    Axiomatic,
+    /// Stricter: the destination contributes one copy only for packets
+    /// its FIB actually delivers out an external port.
+    CheckDelivery,
+}
+
+/// Static configuration shared by all verifiers of one plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifierConfig {
+    /// Number of path expressions.
+    pub n_exprs: usize,
+    /// Track the escape component (`covered` behaviors).
+    pub track_escapes: bool,
+    /// Minimal-counting-information reduction (Proposition 1).
+    pub reduce: ReduceMode,
+    /// Destination-delivery semantics.
+    pub dest_mode: DestMode,
+}
+
+impl VerifierConfig {
+    /// Outcome-vector dimension.
+    pub fn dim(&self) -> usize {
+        self.n_exprs + usize::from(self.track_escapes)
+    }
+}
+
+/// Counters for the overhead evaluation (§9.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifierStats {
+    /// UPDATE messages handled.
+    pub updates_processed: u64,
+    /// SUBSCRIBE messages handled.
+    pub subscribes_processed: u64,
+    /// Messages emitted.
+    pub messages_sent: u64,
+    /// Bytes emitted (wire estimate).
+    pub bytes_sent: u64,
+    /// Full or incremental LEC (re)builds.
+    pub lec_rebuilds: u64,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    task: NodeTask,
+    /// Packet sets this node counts for (packet space + subscriptions).
+    scope: Pred,
+    /// Indices of LEC classes intersecting `scope` — the only classes
+    /// counting ever touches (devices hold thousands of classes, an
+    /// invariant's packet space usually overlaps a handful).
+    relevant: Vec<usize>,
+    /// Latest results per downstream node (predicates in downstream
+    /// header space). Missing coverage means count zero.
+    cib_in: BTreeMap<NodeId, Vec<(Pred, Counts)>>,
+    /// This node's counting results (partitions `scope`).
+    loc_cib: Vec<(Pred, Counts)>,
+    /// What upstream currently believes (reduced counts; partitions
+    /// `scope`).
+    cib_out: Vec<(Pred, Counts)>,
+    /// Scope already requested from each downstream device.
+    sent_subs: BTreeMap<NodeId, Pred>,
+}
+
+/// The event-driven on-device verifier.
+pub struct DeviceVerifier {
+    dev: DeviceId,
+    layout: HeaderLayout,
+    mgr: BddManager,
+    fib: Fib,
+    lecs: Vec<(Pred, Action)>,
+    cfg: VerifierConfig,
+    packet_space: Pred,
+    nodes: BTreeMap<NodeId, NodeState>,
+    /// Neighbor devices currently unreachable (failed adjacent links).
+    down_neighbors: BTreeSet<DeviceId>,
+    /// Statistics for overhead benchmarks.
+    pub stats: VerifierStats,
+}
+
+impl DeviceVerifier {
+    /// Creates a verifier for `dev` with the tasks the planner assigned
+    /// to it. `packet_space` is the invariant's packet space.
+    pub fn new(
+        dev: DeviceId,
+        layout: HeaderLayout,
+        fib: Fib,
+        tasks: Vec<NodeTask>,
+        packet_space: &PortablePred,
+        cfg: VerifierConfig,
+    ) -> Self {
+        Self::new_with_lecs(dev, layout, fib, tasks, packet_space, cfg, None)
+    }
+
+    /// Like [`DeviceVerifier::new`], but optionally seeds the LEC table
+    /// from a previously exported one (one device's LEC table is shared
+    /// by all its tasks across invariants, §8 — re-deriving it per
+    /// invariant would be wasted work). The caller must guarantee the
+    /// exported table matches `fib`.
+    pub fn new_with_lecs(
+        dev: DeviceId,
+        layout: HeaderLayout,
+        fib: Fib,
+        tasks: Vec<NodeTask>,
+        packet_space: &PortablePred,
+        cfg: VerifierConfig,
+        lecs: Option<&[(PortablePred, Action)]>,
+    ) -> Self {
+        let mut mgr = BddManager::new(layout.num_vars());
+        let ps = serial::import(&mut mgr, packet_space).expect("packet space import");
+        let dim = cfg.dim();
+        let mut nodes = BTreeMap::new();
+        for task in tasks {
+            assert_eq!(task.dev, dev, "task assigned to the wrong device");
+            let mut devs: Vec<DeviceId> = task.downstream.iter().map(|(_, d)| *d).collect();
+            devs.sort();
+            let uniq = devs.windows(2).all(|w| w[0] != w[1]);
+            debug_assert!(uniq, "downstream devices of one node must be distinct");
+            nodes.insert(
+                task.node,
+                NodeState {
+                    task,
+                    scope: ps,
+                    relevant: Vec::new(),
+                    cib_in: BTreeMap::new(),
+                    loc_cib: vec![(ps, Counts::zero(dim))],
+                    cib_out: vec![(ps, Counts::zero(dim))],
+                    sent_subs: BTreeMap::new(),
+                },
+            );
+        }
+        let mut v = DeviceVerifier {
+            dev,
+            layout,
+            fib,
+            lecs: Vec::new(),
+            cfg,
+            packet_space: ps,
+            nodes,
+            down_neighbors: BTreeSet::new(),
+            stats: VerifierStats::default(),
+            mgr,
+        };
+        match lecs {
+            Some(lecs) => {
+                v.lecs = lecs
+                    .iter()
+                    .map(|(p, a)| {
+                        (
+                            serial::import(&mut v.mgr, p).expect("lec import"),
+                            a.clone(),
+                        )
+                    })
+                    .collect();
+                v.refresh_relevance();
+            }
+            None => v.rebuild_lecs(),
+        }
+        v
+    }
+
+    /// Exports the LEC table for reuse by another verifier of the same
+    /// device (see [`DeviceVerifier::new_with_lecs`]).
+    pub fn export_lecs(&self) -> Vec<(PortablePred, Action)> {
+        self.lecs
+            .iter()
+            .map(|(p, a)| (serial::export(&self.mgr, *p), a.clone()))
+            .collect()
+    }
+
+    /// The device this verifier runs on.
+    pub fn device(&self) -> DeviceId {
+        self.dev
+    }
+
+    /// DPVNet nodes hosted here.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Current LEC count (§9.4 initialization overhead).
+    pub fn lec_count(&self) -> usize {
+        self.lecs.len()
+    }
+
+    /// BDD nodes allocated (memory proxy for §9.4).
+    pub fn bdd_nodes(&self) -> usize {
+        self.mgr.node_count()
+    }
+
+    fn rebuild_lecs(&mut self) {
+        self.stats.lec_rebuilds += 1;
+        self.lecs = self
+            .fib
+            .local_equivalence_classes(&mut self.mgr, &self.layout)
+            .into_iter()
+            .map(|l| (l.pred, l.action))
+            .collect();
+        self.refresh_relevance();
+    }
+
+    /// Recomputes each node's relevant-LEC index after the LEC table or
+    /// a scope changed.
+    fn refresh_relevance(&mut self) {
+        let lecs = self.lecs.clone();
+        let ids = self.node_ids();
+        for id in ids {
+            let scope = self.nodes[&id].scope;
+            let relevant = lecs
+                .iter()
+                .enumerate()
+                .filter(|(_, (p, _))| self.mgr.intersects(*p, scope))
+                .map(|(i, _)| i)
+                .collect();
+            self.nodes.get_mut(&id).unwrap().relevant = relevant;
+        }
+    }
+
+    /// The LEC classes that can matter for one node (those intersecting
+    /// its scope).
+    fn relevant_lecs(&self, node: NodeId) -> Vec<(Pred, Action)> {
+        let st = &self.nodes[&node];
+        st.relevant.iter().map(|&i| self.lecs[i].clone()).collect()
+    }
+
+    /// Initialization (burst start): computes the LEC table and the
+    /// initial counting results; returns the initial UPDATE/SUBSCRIBE
+    /// messages (destination devices speak first — everyone else's
+    /// results stay at the implicit zero).
+    pub fn init(&mut self) -> Vec<Envelope> {
+        let ids = self.node_ids();
+        let mut out = Vec::new();
+        for id in ids {
+            let scope = self.nodes[&id].scope;
+            out.extend(self.emit_subscriptions(id, scope));
+            out.extend(self.recompute_node(id, scope));
+        }
+        out
+    }
+
+    /// Handles one incoming DVM message.
+    pub fn handle(&mut self, env: &Envelope) -> Vec<Envelope> {
+        assert_eq!(env.to, self.dev, "message routed to the wrong device");
+        match &env.payload {
+            Payload::Update {
+                edge,
+                withdrawn,
+                results,
+            } => {
+                self.stats.updates_processed += 1;
+                self.handle_update(*edge, withdrawn, results)
+            }
+            Payload::Subscribe { edge, space } => {
+                self.stats.subscribes_processed += 1;
+                self.handle_subscribe(*edge, space)
+            }
+        }
+    }
+
+    fn handle_update(
+        &mut self,
+        edge: EdgeRef,
+        withdrawn: &[PortablePred],
+        results: &[(PortablePred, Counts)],
+    ) -> Vec<Envelope> {
+        let node = edge.up;
+        let v = edge.down;
+        if !self.nodes.contains_key(&node) {
+            return Vec::new(); // stale message after a plan change
+        }
+        // Step 1: update CIBIn(v).
+        let mut w = self.mgr.falsum();
+        for p in withdrawn {
+            let p = serial::import(&mut self.mgr, p).expect("withdrawn import");
+            w = self.mgr.or(w, p);
+        }
+        let mut incoming = Vec::with_capacity(results.len());
+        for (p, c) in results {
+            let p = serial::import(&mut self.mgr, p).expect("result import");
+            incoming.push((p, c.clone()));
+        }
+        {
+            let st = self.nodes.get_mut(&node).unwrap();
+            let entry = st.cib_in.entry(v).or_default();
+            let mgr = &mut self.mgr;
+            entry.retain_mut(|(p, _)| {
+                *p = mgr.diff(*p, w);
+                !mgr.is_false(*p)
+            });
+            entry.extend(incoming);
+        }
+        // Step 2 + 3: recompute the affected region of LocCIB and emit.
+        // An edge absent from the current task (it may have been
+        // deactivated by a fault-scene switch) still refreshes CIBIn but
+        // affects nothing.
+        let Some(vdev) = self.nodes[&node]
+            .task
+            .downstream
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, d)| *d)
+        else {
+            return Vec::new();
+        };
+        let region = self.affected_region(node, vdev, w);
+        self.recompute_node(node, region)
+    }
+
+    /// Upstream region affected by a change of downstream predicates `w`
+    /// at neighbor device `vdev` (the causality lookup of §5.2): LEC
+    /// classes forwarding to `vdev`, pulled back through any rewrite.
+    fn affected_region(&mut self, node: NodeId, vdev: DeviceId, w: Pred) -> Pred {
+        let mut region = self.mgr.falsum();
+        let lecs = self.relevant_lecs(node);
+        for (pred, action) in &lecs {
+            let Action::Forward {
+                next_hops, rewrite, ..
+            } = action
+            else {
+                continue;
+            };
+            if !next_hops.contains(&NextHop::Device(vdev)) {
+                continue;
+            }
+            let wback = match rewrite {
+                Some(rw) => self.preimage(w, rw),
+                None => w,
+            };
+            let hit = self.mgr.and(*pred, wback);
+            region = self.mgr.or(region, hit);
+        }
+        region
+    }
+
+    fn handle_subscribe(&mut self, edge: EdgeRef, space: &PortablePred) -> Vec<Envelope> {
+        let node = edge.down;
+        if !self.nodes.contains_key(&node) {
+            return Vec::new();
+        }
+        let s = serial::import(&mut self.mgr, space).expect("subscribe import");
+        let scope = self.nodes[&node].scope;
+        let grow = self.mgr.diff(s, scope);
+        if self.mgr.is_false(grow) {
+            return Vec::new();
+        }
+        let zero = self.zero();
+        {
+            let mgr = &mut self.mgr;
+            let st = self.nodes.get_mut(&node).unwrap();
+            st.scope = mgr.or(st.scope, grow);
+            // The new region starts at the implicit zero on both tables.
+            st.loc_cib.push((grow, zero.clone()));
+            st.cib_out.push((grow, zero));
+        }
+        // The grown scope may make more LEC classes relevant.
+        {
+            let lecs = self.lecs.clone();
+            let scope = self.nodes[&node].scope;
+            let relevant: Vec<usize> = lecs
+                .iter()
+                .enumerate()
+                .filter(|(_, (p, _))| self.mgr.intersects(*p, scope))
+                .map(|(i, _)| i)
+                .collect();
+            self.nodes.get_mut(&node).unwrap().relevant = relevant;
+        }
+        let mut out = self.emit_subscriptions(node, grow);
+        out.extend(self.recompute_node(node, grow));
+        out
+    }
+
+    /// Applies a FIB rule update (internal event, §5.2) and returns the
+    /// resulting messages. The LEC table is maintained *incrementally*:
+    /// only the updated rule's match region can change class, so the
+    /// table is re-derived inside that region and spliced in — the §5.1
+    /// "maintain a table of a minimal number of LECs" behaviour, without
+    /// a full rebuild.
+    pub fn handle_fib_update(&mut self, update: &RuleUpdate) -> Vec<Envelope> {
+        assert_eq!(update.device(), self.dev);
+        let matches = match update {
+            RuleUpdate::Insert { rule, .. } => {
+                self.fib.insert(rule.clone());
+                rule.matches
+            }
+            RuleUpdate::Remove {
+                priority, matches, ..
+            } => {
+                self.fib.remove(*priority, matches);
+                *matches
+            }
+        };
+        self.stats.lec_rebuilds += 1;
+        let m = matches.to_pred(&mut self.mgr, &self.layout);
+
+        // Old effective actions inside the region (for the changed-region
+        // diff), keyed by action.
+        let mut old_in: Vec<(Pred, Action)> = Vec::new();
+        for (p, a) in &self.lecs.clone() {
+            let i = self.mgr.and(*p, m);
+            if !self.mgr.is_false(i) {
+                old_in.push((i, a.clone()));
+            }
+        }
+        // Splice: strip the region from every class, re-derive classes
+        // inside it, merge same-action classes back.
+        let fib = self.fib.clone();
+        let fresh = fib.local_equivalence_classes_in(m, &mut self.mgr, &self.layout);
+        {
+            let mgr = &mut self.mgr;
+            self.lecs.retain_mut(|(p, _)| {
+                *p = mgr.diff(*p, m);
+                !mgr.is_false(*p)
+            });
+        }
+        let mut changed = self.mgr.falsum();
+        for lec in fresh {
+            // Changed where the new action differs from the old one.
+            for (op, oa) in &old_in {
+                if *oa == lec.action {
+                    continue;
+                }
+                let i = self.mgr.and(*op, lec.pred);
+                changed = self.mgr.or(changed, i);
+            }
+            match self.lecs.iter_mut().find(|(_, a)| *a == lec.action) {
+                Some((p, _)) => *p = self.mgr.or(*p, lec.pred),
+                None => self.lecs.push((lec.pred, lec.action)),
+            }
+        }
+        self.refresh_relevance();
+        if self.mgr.is_false(changed) {
+            return Vec::new();
+        }
+        let ids = self.node_ids();
+        let mut out = Vec::new();
+        for id in ids {
+            out.extend(self.emit_subscriptions(id, changed));
+            out.extend(self.recompute_node(id, changed));
+        }
+        out
+    }
+
+    /// Swaps this device's tasks for a new fault-scene view (§6: after
+    /// link-state flooding, verifiers recount along the DPVNet subgraph
+    /// of the current scene without contacting the planner). `CIBOut` is
+    /// preserved — it still reflects what upstream neighbors believe, so
+    /// diff-based UPDATEs stay correct — and `CIBIn` keeps entries for
+    /// surviving downstream nodes.
+    pub fn set_tasks(&mut self, tasks: Vec<NodeTask>) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        for task in tasks {
+            assert_eq!(task.dev, self.dev);
+            let node = task.node;
+            let keep: Vec<NodeId> = task.downstream.iter().map(|(n, _)| *n).collect();
+            if let Some(st) = self.nodes.get_mut(&node) {
+                st.task = task;
+                st.cib_in.retain(|n, _| keep.contains(n));
+            } else {
+                let zero = Counts::zero(self.cfg.dim());
+                self.nodes.insert(
+                    node,
+                    NodeState {
+                        task,
+                        scope: self.packet_space,
+                        relevant: Vec::new(),
+                        cib_in: BTreeMap::new(),
+                        loc_cib: vec![(self.packet_space, zero.clone())],
+                        cib_out: vec![(self.packet_space, zero)],
+                        sent_subs: BTreeMap::new(),
+                    },
+                );
+            }
+            let scope = self.nodes[&node].scope;
+            out.extend(self.emit_subscriptions(node, scope));
+            out.extend(self.recompute_node(node, scope));
+        }
+        out
+    }
+
+    /// Marks the link to a neighbor device down/up and recounts (§6:
+    /// predicates forwarded over a failed link count zero).
+    pub fn handle_link_event(&mut self, neighbor: DeviceId, up: bool) -> Vec<Envelope> {
+        let changed = if up {
+            self.down_neighbors.remove(&neighbor)
+        } else {
+            self.down_neighbors.insert(neighbor)
+        };
+        if !changed {
+            return Vec::new();
+        }
+        // Region: everything forwarded toward that neighbor (per node,
+        // over its relevant classes only).
+        let ids = self.node_ids();
+        let mut out = Vec::new();
+        for id in ids {
+            let mut region = self.mgr.falsum();
+            for (pred, action) in self.relevant_lecs(id) {
+                if action.device_next_hops().contains(&neighbor) {
+                    region = self.mgr.or(region, pred);
+                }
+            }
+            out.extend(self.recompute_node(id, region));
+        }
+        out
+    }
+
+    /// Exports a node's current counting results.
+    pub fn node_result(&self, node: NodeId) -> Vec<(PortablePred, Counts)> {
+        self.nodes
+            .get(&node)
+            .map(|st| {
+                st.loc_cib
+                    .iter()
+                    .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Restricts a node's result to a packet set and returns the
+    /// distinct outcome sets intersecting it.
+    pub fn node_result_for(&mut self, node: NodeId, space: &PortablePred) -> Vec<Counts> {
+        let q = serial::import(&mut self.mgr, space).expect("space import");
+        let Some(st) = self.nodes.get(&node) else {
+            return Vec::new();
+        };
+        let entries: Vec<(Pred, Counts)> = st.loc_cib.clone();
+        let mut out = Vec::new();
+        for (p, c) in entries {
+            if self.mgr.intersects(p, q) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Counting core
+    // ------------------------------------------------------------------
+
+    fn zero(&self) -> Counts {
+        Counts::zero(self.cfg.dim())
+    }
+
+    /// Escape outcome: zeros with the escape component set to `n`
+    /// (or plain zero when escapes are not tracked).
+    fn esc(&self, n: u32) -> Counts {
+        if self.cfg.track_escapes && n > 0 {
+            let mut v = vec![0u32; self.cfg.dim()];
+            *v.last_mut().unwrap() = n;
+            Counts::single(v)
+        } else {
+            self.zero()
+        }
+    }
+
+    /// Base contribution of a node: its own acceptance (destination
+    /// initialization, §2.2.2).
+    fn base(&self, accept: &[bool], action: &Action) -> Counts {
+        let delivered = match self.cfg.dest_mode {
+            DestMode::Axiomatic => true,
+            DestMode::CheckDelivery => action.delivers_external(),
+        };
+        let mut v = vec![0u32; self.cfg.dim()];
+        if delivered {
+            for (i, &a) in accept.iter().enumerate() {
+                v[i] = u32::from(a);
+            }
+        }
+        Counts::single(v)
+    }
+
+    /// Recomputes `LocCIB` over `region` for one node and returns the
+    /// UPDATE messages for its upstream neighbors (steps 2–3 of §5.2).
+    fn recompute_node(&mut self, node: NodeId, region: Pred) -> Vec<Envelope> {
+        let scope = self.nodes[&node].scope;
+        let r = self.mgr.and(region, scope);
+        if self.mgr.is_false(r) {
+            return Vec::new();
+        }
+        let new_entries = self.compute_entries(node, r);
+
+        // Replace the region in LocCIB.
+        {
+            let mgr = &mut self.mgr;
+            let st = self.nodes.get_mut(&node).unwrap();
+            st.loc_cib.retain_mut(|(p, _)| {
+                *p = mgr.diff(*p, r);
+                !mgr.is_false(*p)
+            });
+            st.loc_cib.extend(new_entries.iter().cloned());
+        }
+
+        // Reduce (Proposition 1) and diff against CIBOut.
+        let reduced: Vec<(Pred, Counts)> = new_entries
+            .iter()
+            .map(|(p, c)| (*p, c.reduce(self.cfg.reduce)))
+            .collect();
+        let mut changed = self.mgr.falsum();
+        {
+            let old_out = self.nodes[&node].cib_out.clone();
+            for (p, c) in &reduced {
+                for (q, oc) in &old_out {
+                    if c != oc {
+                        let i = self.mgr.and(*p, *q);
+                        changed = self.mgr.or(changed, i);
+                    }
+                }
+            }
+        }
+        if self.mgr.is_false(changed) {
+            return Vec::new();
+        }
+        // Update CIBOut over the changed region.
+        let mut out_results: Vec<(Pred, Counts)> = Vec::new();
+        {
+            let mgr = &mut self.mgr;
+            let st = self.nodes.get_mut(&node).unwrap();
+            st.cib_out.retain_mut(|(p, _)| {
+                *p = mgr.diff(*p, changed);
+                !mgr.is_false(*p)
+            });
+            for (p, c) in &reduced {
+                let pc = mgr.and(*p, changed);
+                if mgr.is_false(pc) {
+                    continue;
+                }
+                match out_results.iter_mut().find(|(_, oc)| oc == c) {
+                    Some((op, _)) => *op = mgr.or(*op, pc),
+                    None => out_results.push((pc, c.clone())),
+                }
+            }
+            st.cib_out.extend(out_results.iter().cloned());
+        }
+
+        // Emit one UPDATE per upstream edge.
+        let withdrawn = vec![serial::export(&self.mgr, changed)];
+        let results: Vec<(PortablePred, Counts)> = out_results
+            .iter()
+            .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+            .collect();
+        let ups = self.nodes[&node].task.upstream.clone();
+        let mut msgs = Vec::with_capacity(ups.len());
+        for (un, udev) in ups {
+            let env = Envelope {
+                from: self.dev,
+                to: udev,
+                payload: Payload::Update {
+                    edge: EdgeRef { up: un, down: node },
+                    withdrawn: withdrawn.clone(),
+                    results: results.clone(),
+                },
+            };
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += env.wire_bytes() as u64;
+            msgs.push(env);
+        }
+        msgs
+    }
+
+    /// Computes fresh `(predicate, counts)` entries partitioning `r`
+    /// (Equations (1) and (2) refined per packet set).
+    fn compute_entries(&mut self, node: NodeId, r: Pred) -> Vec<(Pred, Counts)> {
+        let lecs = self.relevant_lecs(node);
+        let accept = self.nodes[&node].task.accept.clone();
+        let mut out: Vec<(Pred, Counts)> = Vec::new();
+        for (lp, action) in &lecs {
+            let p0 = self.mgr.and(*lp, r);
+            if self.mgr.is_false(p0) {
+                continue;
+            }
+            for (p, c) in self.combine(node, p0, &accept, action) {
+                // Merge equal outcome sets.
+                match out.iter_mut().find(|(_, oc)| *oc == c) {
+                    Some((op, _)) => *op = self.mgr.or(*op, p),
+                    None => out.push((p, c)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies Equations (1)/(2) for one LEC piece.
+    fn combine(
+        &mut self,
+        node: NodeId,
+        p0: Pred,
+        accept: &[bool],
+        action: &Action,
+    ) -> Vec<(Pred, Counts)> {
+        let accepting_any = accept.iter().any(|&a| a);
+        let base = self.base(accept, action);
+        let (mode, hops, rewrite, ext) = match action {
+            Action::Drop => {
+                let c = base.cross_sum(&self.esc(u32::from(!accepting_any)));
+                return vec![(p0, c)];
+            }
+            Action::Forward {
+                mode,
+                next_hops,
+                rewrite,
+            } => {
+                let mut hops: Vec<DeviceId> = next_hops
+                    .iter()
+                    .filter_map(|nh| match nh {
+                        NextHop::Device(d) => Some(*d),
+                        NextHop::External => None,
+                    })
+                    .collect();
+                hops.sort();
+                hops.dedup();
+                let ext = next_hops.contains(&NextHop::External);
+                (*mode, hops, *rewrite, ext)
+            }
+        };
+        if hops.is_empty() && !ext {
+            let c = base.cross_sum(&self.esc(u32::from(!accepting_any)));
+            return vec![(p0, c)];
+        }
+
+        // Split hops into DPVNet-covered downstream nodes and escapes.
+        let task_down = self.nodes[&node].task.downstream.clone();
+        let mut relevant: Vec<NodeId> = Vec::new();
+        let mut missing = 0u32;
+        for h in &hops {
+            if self.down_neighbors.contains(h) {
+                missing += 1;
+                continue;
+            }
+            match task_down.iter().find(|(_, d)| d == h) {
+                Some((n, _)) => relevant.push(*n),
+                None => missing += 1,
+            }
+        }
+
+        // Joint refinement of p0 against the relevant CIBIn partitions.
+        let pieces = self.refine(node, p0, &relevant, rewrite.as_ref());
+
+        let mut out = Vec::with_capacity(pieces.len());
+        for (p, cs) in pieces {
+            let fwd = match mode {
+                ActionType::All => {
+                    let mut acc = cs.iter().fold(self.zero(), |acc, c| acc.cross_sum(c));
+                    if missing > 0 {
+                        acc = acc.cross_sum(&self.esc(missing));
+                    }
+                    if ext && !accepting_any {
+                        acc = acc.cross_sum(&self.esc(1));
+                    }
+                    acc
+                }
+                ActionType::Any => {
+                    let mut options: Vec<Counts> = cs;
+                    if missing > 0 {
+                        options.push(self.esc(1));
+                    }
+                    if ext {
+                        options.push(if accepting_any {
+                            self.zero()
+                        } else {
+                            self.esc(1)
+                        });
+                    }
+                    let mut it = options.into_iter();
+                    let first = it.next().unwrap_or_else(|| self.zero());
+                    it.fold(first, |acc, c| acc.union(&c))
+                }
+            };
+            out.push((p, base.cross_sum(&fwd)));
+        }
+        out
+    }
+
+    /// Refines `p0` against the CIBIn partitions of the relevant
+    /// downstream nodes, yielding `(piece, per-node counts)` with missing
+    /// coverage defaulting to zero.
+    fn refine(
+        &mut self,
+        node: NodeId,
+        p0: Pred,
+        relevant: &[NodeId],
+        rewrite: Option<&Rewrite>,
+    ) -> Vec<(Pred, Vec<Counts>)> {
+        let mut pieces: Vec<(Pred, Vec<Counts>)> = vec![(p0, Vec::new())];
+        for v in relevant {
+            let parts: Vec<(Pred, Counts)> =
+                self.nodes[&node].cib_in.get(v).cloned().unwrap_or_default();
+            let mut next = Vec::with_capacity(pieces.len().max(parts.len()));
+            for (p, cs) in pieces {
+                let mut rem = p;
+                for (q, c) in &parts {
+                    if self.mgr.is_false(rem) {
+                        break;
+                    }
+                    let pq = match rewrite {
+                        Some(rw) => self.preimage(*q, rw),
+                        None => *q,
+                    };
+                    let hit = self.mgr.and(rem, pq);
+                    if self.mgr.is_false(hit) {
+                        continue;
+                    }
+                    let mut ncs = cs.clone();
+                    ncs.push(c.clone());
+                    next.push((hit, ncs));
+                    rem = self.mgr.diff(rem, pq);
+                }
+                if !self.mgr.is_false(rem) {
+                    let mut ncs = cs;
+                    ncs.push(self.zero());
+                    next.push((rem, ncs));
+                }
+            }
+            pieces = next;
+        }
+        pieces
+    }
+
+    /// Image of a packet set under a rewrite: the top `to.len` bits of
+    /// the destination address are replaced by the prefix bits.
+    fn image(&mut self, p: Pred, rw: &Rewrite) -> Pred {
+        let off = self.layout.dst_ip.offset;
+        let len = rw.to.len as u32;
+        let e = self.mgr.exists_range(p, off, off + len);
+        let pref = self
+            .layout
+            .dst_ip
+            .prefix(&mut self.mgr, rw.to.addr as u64, len);
+        self.mgr.and(e, pref)
+    }
+
+    /// Preimage of a downstream packet set under a rewrite.
+    fn preimage(&mut self, q: Pred, rw: &Rewrite) -> Pred {
+        let off = self.layout.dst_ip.offset;
+        let len = rw.to.len as u32;
+        let pref = self
+            .layout
+            .dst_ip
+            .prefix(&mut self.mgr, rw.to.addr as u64, len);
+        let qq = self.mgr.and(q, pref);
+        self.mgr.exists_range(qq, off, off + len)
+    }
+
+    /// Emits SUBSCRIBE messages (§5.2): downstream devices must count
+    /// the *image* of this node's scope under its forwarding — the
+    /// transformed space for rewriting classes, and any subscribed
+    /// region beyond the invariant's packet space for plain forwarding
+    /// (subscriptions propagate transitively toward destinations).
+    fn emit_subscriptions(&mut self, node: NodeId, region: Pred) -> Vec<Envelope> {
+        let lecs = self.relevant_lecs(node);
+        let scope = self.nodes[&node].scope;
+        let r = self.mgr.and(region, scope);
+        let mut out = Vec::new();
+        for (lp, action) in &lecs {
+            let Action::Forward {
+                next_hops, rewrite, ..
+            } = action
+            else {
+                continue;
+            };
+            let p = self.mgr.and(*lp, r);
+            if self.mgr.is_false(p) {
+                continue;
+            }
+            let img = match rewrite {
+                Some(rw) => self.image(p, rw),
+                None => p,
+            };
+            let task_down = self.nodes[&node].task.downstream.clone();
+            for (vn, vdev) in task_down {
+                if !next_hops.contains(&NextHop::Device(vdev)) {
+                    continue;
+                }
+                let already = self.nodes[&node]
+                    .sent_subs
+                    .get(&vn)
+                    .copied()
+                    .unwrap_or_else(|| self.mgr.falsum());
+                // Downstream scopes start at the packet space; only the
+                // region beyond it needs subscribing.
+                let known = self.mgr.or(already, self.packet_space);
+                let newspace = self.mgr.diff(img, known);
+                if self.mgr.is_false(newspace) {
+                    continue;
+                }
+                {
+                    let merged = self.mgr.or(already, newspace);
+                    self.nodes
+                        .get_mut(&node)
+                        .unwrap()
+                        .sent_subs
+                        .insert(vn, merged);
+                }
+                let env = Envelope {
+                    from: self.dev,
+                    to: vdev,
+                    payload: Payload::Subscribe {
+                        edge: EdgeRef { up: node, down: vn },
+                        space: serial::export(&self.mgr, newspace),
+                    },
+                };
+                self.stats.messages_sent += 1;
+                self.stats.bytes_sent += env.wire_bytes() as u64;
+                out.push(env);
+            }
+        }
+        out
+    }
+}

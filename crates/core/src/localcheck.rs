@@ -1,0 +1,295 @@
+//! Communication-free local contracts for `equal` behaviors (§4.2).
+//!
+//! For an invariant with the `equal` match operator, the minimal counting
+//! information of every node is the empty set: each device only checks
+//! that it forwards the invariant's packets to exactly the devices of its
+//! downstream DPVNet neighbors (and delivers externally at destination
+//! nodes). This generalizes Azure RCDC's local contracts for
+//! all-shortest-path availability.
+
+use crate::planner::LocalContract;
+use tulkun_bdd::serial::{self, PortablePred};
+use tulkun_bdd::{BddManager, HeaderLayout, Pred};
+use tulkun_netmodel::fib::{Action, Fib};
+use tulkun_netmodel::DeviceId;
+
+/// A local-contract violation found on a device.
+#[derive(Debug, Clone)]
+pub struct ContractViolation {
+    /// The device that broke its contract.
+    pub device: DeviceId,
+    /// The DPVNet node whose contract it is.
+    pub node: crate::dpvnet::NodeId,
+    /// The offending packet set.
+    pub pred: PortablePred,
+    /// What the contract requires.
+    pub expected: Vec<DeviceId>,
+    /// What the data plane does.
+    pub found: Vec<DeviceId>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// The per-device checker for `equal` plans: holds the device's LEC
+/// table and its contracts, and checks them locally, with no
+/// communication.
+pub struct LocalChecker {
+    dev: DeviceId,
+    mgr: BddManager,
+    layout: HeaderLayout,
+    fib: Fib,
+    contracts: Vec<LocalContract>,
+    packet_space: Pred,
+    /// LEC table, rebuilt lazily when the FIB changes.
+    lecs: Option<Vec<tulkun_netmodel::fib::Lec>>,
+}
+
+impl LocalChecker {
+    /// Creates a checker for `dev` with its assigned contracts.
+    pub fn new(
+        dev: DeviceId,
+        layout: HeaderLayout,
+        fib: Fib,
+        contracts: Vec<LocalContract>,
+        packet_space: &PortablePred,
+    ) -> Self {
+        Self::new_with_lecs(dev, layout, fib, contracts, packet_space, None)
+    }
+
+    /// Like [`LocalChecker::new`], but seeds the LEC table from a
+    /// previously exported one (the LEC table is shared across all the
+    /// invariants a device verifies, §8).
+    pub fn new_with_lecs(
+        dev: DeviceId,
+        layout: HeaderLayout,
+        fib: Fib,
+        contracts: Vec<LocalContract>,
+        packet_space: &PortablePred,
+        lecs: Option<&[(PortablePred, tulkun_netmodel::fib::Action)]>,
+    ) -> Self {
+        let mut mgr = BddManager::new(layout.num_vars());
+        let ps = serial::import(&mut mgr, packet_space).expect("packet space import");
+        for c in &contracts {
+            assert_eq!(c.dev, dev, "contract assigned to the wrong device");
+        }
+        let lecs = lecs.map(|ls| {
+            ls.iter()
+                .map(|(p, a)| tulkun_netmodel::fib::Lec {
+                    pred: serial::import(&mut mgr, p).expect("lec import"),
+                    action: a.clone(),
+                })
+                .collect()
+        });
+        LocalChecker {
+            dev,
+            mgr,
+            layout,
+            fib,
+            contracts,
+            packet_space: ps,
+            lecs,
+        }
+    }
+
+    /// Exports the LEC table for reuse (builds it if needed).
+    pub fn export_lecs(&mut self) -> Vec<(PortablePred, tulkun_netmodel::fib::Action)> {
+        self.ensure_lecs();
+        self.lecs
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|l| (serial::export(&self.mgr, l.pred), l.action.clone()))
+            .collect()
+    }
+
+    fn ensure_lecs(&mut self) {
+        if self.lecs.is_none() {
+            self.lecs = Some(
+                self.fib
+                    .local_equivalence_classes(&mut self.mgr, &self.layout),
+            );
+        }
+    }
+
+    /// Applies a FIB change (incremental checking).
+    pub fn update_fib(&mut self, fib: Fib) {
+        self.fib = fib;
+        self.lecs = None;
+    }
+
+    /// Runs all contracts against the current FIB.
+    pub fn check(&mut self) -> Vec<ContractViolation> {
+        self.ensure_lecs();
+        let lecs = self.lecs.clone().unwrap();
+        let mut out = Vec::new();
+        for contract in self.contracts.clone() {
+            if contract.required_next_hops.is_empty() && !contract.must_deliver {
+                continue; // dead node: nothing to check locally
+            }
+            for lec in &lecs {
+                let p = self.mgr.and(lec.pred, self.packet_space);
+                if self.mgr.is_false(p) {
+                    continue;
+                }
+                let mut found = lec.action.device_next_hops();
+                found.sort();
+                found.dedup();
+                let delivers = lec.action.delivers_external();
+                let reason = if found != contract.required_next_hops {
+                    Some(format!(
+                        "forwarding group {found:?} differs from contract {:?}",
+                        contract.required_next_hops
+                    ))
+                } else if delivers != contract.must_deliver {
+                    Some(if contract.must_deliver {
+                        "destination does not deliver externally".to_string()
+                    } else {
+                        "unexpected external delivery".to_string()
+                    })
+                } else if matches!(
+                    lec.action,
+                    Action::Forward {
+                        rewrite: Some(_),
+                        ..
+                    }
+                ) {
+                    Some("unexpected header rewrite".to_string())
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    out.push(ContractViolation {
+                        device: self.dev,
+                        node: contract.node,
+                        pred: serial::export(&self.mgr, p),
+                        expected: contract.required_next_hops.clone(),
+                        found,
+                        reason,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use crate::spec::{table1, PacketSpace};
+    use tulkun_netmodel::fib::{MatchSpec, Rule};
+    use tulkun_netmodel::routing::{generate_fibs, RoutingOptions};
+    use tulkun_netmodel::topology::Topology;
+    use tulkun_netmodel::IpPrefix;
+
+    fn diamond() -> Topology {
+        // S - A - D, S - B - D: two equal-cost paths.
+        let mut t = Topology::new();
+        let s = t.add_device("S");
+        let a = t.add_device("A");
+        let b = t.add_device("B");
+        let d = t.add_device("D");
+        t.add_link(s, a, 1);
+        t.add_link(s, b, 1);
+        t.add_link(a, d, 1);
+        t.add_link(b, d, 1);
+        t.add_external_prefix(d, "10.0.0.0/24".parse().unwrap());
+        t
+    }
+
+    fn packet_space_portable(layout: &HeaderLayout, ps: &PacketSpace) -> PortablePred {
+        let mut m = BddManager::new(layout.num_vars());
+        let p = ps.compile(&mut m, layout);
+        serial::export(&m, p)
+    }
+
+    #[test]
+    fn correct_ecmp_data_plane_passes() {
+        let topo = diamond();
+        let fibs = generate_fibs(&topo, &RoutingOptions::default());
+        let ps = PacketSpace::dst_prefix("10.0.0.0/24");
+        let inv = table1::all_shortest_path(ps.clone(), "S", "D").unwrap();
+        let plan = Planner::new(&topo).plan(&inv).unwrap();
+        let lp = plan.local().unwrap();
+        let layout = HeaderLayout::ipv4_tcp();
+        let psp = packet_space_portable(&layout, &ps);
+
+        for dev in topo.devices() {
+            let contracts: Vec<LocalContract> = lp
+                .contracts
+                .iter()
+                .filter(|c| c.dev == dev)
+                .cloned()
+                .collect();
+            if contracts.is_empty() {
+                continue;
+            }
+            let mut checker =
+                LocalChecker::new(dev, layout, fibs[dev.idx()].clone(), contracts, &psp);
+            let v = checker.check();
+            assert!(v.is_empty(), "device {} violations: {v:?}", topo.name(dev));
+        }
+    }
+
+    #[test]
+    fn missing_ecmp_member_is_caught() {
+        let topo = diamond();
+        let mut fibs = generate_fibs(&topo, &RoutingOptions::default());
+        // Break S: forward only via A instead of the ECMP pair {A, B}.
+        let s = topo.device("S").unwrap();
+        let a = topo.device("A").unwrap();
+        let p: IpPrefix = "10.0.0.0/24".parse().unwrap();
+        fibs[s.idx()] = Fib::new();
+        fibs[s.idx()].insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(p),
+            action: Action::fwd(a),
+        });
+
+        let ps = PacketSpace::dst_prefix("10.0.0.0/24");
+        let inv = table1::all_shortest_path(ps.clone(), "S", "D").unwrap();
+        let plan = Planner::new(&topo).plan(&inv).unwrap();
+        let lp = plan.local().unwrap();
+        let layout = HeaderLayout::ipv4_tcp();
+        let psp = packet_space_portable(&layout, &ps);
+
+        let contracts: Vec<LocalContract> = lp
+            .contracts
+            .iter()
+            .filter(|c| c.dev == s)
+            .cloned()
+            .collect();
+        let mut checker = LocalChecker::new(s, layout, fibs[s.idx()].clone(), contracts, &psp);
+        let v = checker.check();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].found, vec![a]);
+        assert_eq!(v[0].expected.len(), 2);
+    }
+
+    #[test]
+    fn destination_must_deliver() {
+        let topo = diamond();
+        let mut fibs = generate_fibs(&topo, &RoutingOptions::default());
+        let d = topo.device("D").unwrap();
+        fibs[d.idx()] = Fib::new(); // destination drops everything
+
+        let ps = PacketSpace::dst_prefix("10.0.0.0/24");
+        let inv = table1::all_shortest_path(ps.clone(), "S", "D").unwrap();
+        let plan = Planner::new(&topo).plan(&inv).unwrap();
+        let lp = plan.local().unwrap();
+        let layout = HeaderLayout::ipv4_tcp();
+        let psp = packet_space_portable(&layout, &ps);
+
+        let contracts: Vec<LocalContract> = lp
+            .contracts
+            .iter()
+            .filter(|c| c.dev == d)
+            .cloned()
+            .collect();
+        let mut checker = LocalChecker::new(d, layout, fibs[d.idx()].clone(), contracts, &psp);
+        let v = checker.check();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("deliver"), "{}", v[0].reason);
+    }
+}

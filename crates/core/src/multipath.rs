@@ -1,0 +1,339 @@
+//! Multi-path invariants (§7): comparing the packet traces of *two*
+//! packet spaces — e.g. route symmetry ("S→D and D→S use the same
+//! routers") or node-disjointness of a primary and a backup space.
+//!
+//! The paper sketches the mechanism: construct a DPVNet per packet
+//! space, let on-device verifiers collect the **actual downstream
+//! paths** (instead of counts) and send them upstream, then apply a
+//! user-defined comparison operator on the collected path sets at the
+//! source. This module implements exactly that: a path-collection pass
+//! over each DPVNet (same reverse-topological structure as Algorithm 1,
+//! with path-set values instead of count sets) and the two comparators
+//! the paper names.
+
+use crate::dpvnet::DpvNet;
+use crate::planner::PlanError;
+use crate::spec::{PacketSpace, PathExpr};
+use std::collections::BTreeSet;
+use tulkun_bdd::BddManager;
+use tulkun_netmodel::fib::{Action, NextHop};
+use tulkun_netmodel::network::Network;
+use tulkun_netmodel::topology::DeviceId;
+
+/// A set of concrete paths (device sequences). `None` stands in for
+/// "unboundedly many" — never produced here because DPVNets are finite.
+pub type PathSet = BTreeSet<Vec<DeviceId>>;
+
+/// The union, over all universes, of the traces a packet class can take
+/// along a DPVNet — the object multi-path comparators consume.
+#[derive(Debug, Clone, Default)]
+pub struct CollectedPaths {
+    /// Paths that occur in at least one universe.
+    pub paths: PathSet,
+}
+
+/// Collects the actual paths a packet class takes along the valid paths
+/// of a DPVNet (union across universes), by the same reverse-topological
+/// on-device pass as counting, with path suffixes as the carried value.
+pub fn collect_paths(
+    net: &Network,
+    dpvnet: &DpvNet,
+    space: &PacketSpace,
+    probe: &[bool],
+) -> Result<CollectedPaths, PlanError> {
+    let layout = net.layout;
+    let mut mgr = BddManager::new(layout.num_vars());
+    let ps = space.compile(&mut mgr, &layout);
+    if !mgr.eval(ps, probe) {
+        return Err(PlanError::Unsupported(
+            "probe packet outside the packet space".into(),
+        ));
+    }
+
+    // Per-node suffix sets, computed in reverse topological order — the
+    // value each device would ship upstream in the extended DVM.
+    let order = dpvnet.reverse_topo_order();
+    let mut suffixes: Vec<PathSet> = vec![PathSet::new(); dpvnet.num_nodes()];
+    for id in order {
+        let node = dpvnet.node(id);
+        let mut mine = PathSet::new();
+        if node.is_accepting() {
+            mine.insert(vec![node.dev]);
+        }
+        let action = effective_action(net, node.dev, &mut mgr, probe);
+        if let Action::Forward { next_hops, .. } = &action {
+            for nh in next_hops {
+                let NextHop::Device(h) = nh else { continue };
+                for &o in &node.out {
+                    if dpvnet.node(o).dev != *h {
+                        continue;
+                    }
+                    for sfx in &suffixes[o.idx()] {
+                        let mut p = vec![node.dev];
+                        p.extend(sfx);
+                        mine.insert(p);
+                    }
+                }
+            }
+        }
+        suffixes[id.idx()] = mine;
+    }
+    let mut out = CollectedPaths::default();
+    for &(_, s) in dpvnet.sources() {
+        out.paths.extend(suffixes[s.idx()].iter().cloned());
+    }
+    Ok(out)
+}
+
+fn effective_action(net: &Network, dev: DeviceId, mgr: &mut BddManager, probe: &[bool]) -> Action {
+    net.fib(dev).lookup(mgr, &net.layout, probe)
+}
+
+/// Builds the DPVNet for one `src .* dst` space and collects its paths
+/// for a probe packet.
+pub fn collect_for(
+    net: &Network,
+    src: &str,
+    dst: &str,
+    space: &PacketSpace,
+    probe: &[bool],
+) -> Result<CollectedPaths, PlanError> {
+    let topo = &net.topology;
+    let s = topo
+        .device(src)
+        .ok_or_else(|| PlanError::UnknownDevice(src.into()))?;
+    let pe = PathExpr::parse(&format!("{src} .* {dst}"))
+        .map_err(|e| PlanError::Unsupported(e.to_string()))?
+        .loop_free();
+    let dpvnet = DpvNet::build(topo, &[s], std::slice::from_ref(&pe))?;
+    collect_paths(net, &dpvnet, space, probe)
+}
+
+/// Comparators on collected path sets.
+pub mod compare {
+    use super::*;
+
+    /// Route symmetry (§7): every forward path, reversed, is a reverse
+    /// path — and vice versa.
+    pub fn symmetric(fwd: &CollectedPaths, rev: &CollectedPaths) -> bool {
+        let reversed: PathSet = fwd
+            .paths
+            .iter()
+            .map(|p| p.iter().rev().copied().collect())
+            .collect();
+        reversed == rev.paths
+    }
+
+    /// Node-disjointness: no interior device shared between any path of
+    /// `a` and any path of `b` (endpoints excluded).
+    pub fn node_disjoint(a: &CollectedPaths, b: &CollectedPaths) -> bool {
+        let interior = |ps: &PathSet| -> BTreeSet<DeviceId> {
+            ps.iter()
+                .flat_map(|p| p.iter().skip(1).take(p.len().saturating_sub(2)).copied())
+                .collect()
+        };
+        interior(&a.paths).is_disjoint(&interior(&b.paths))
+    }
+
+    /// Link-disjointness: no (undirected) link shared.
+    pub fn link_disjoint(a: &CollectedPaths, b: &CollectedPaths) -> bool {
+        let links = |ps: &PathSet| -> BTreeSet<(DeviceId, DeviceId)> {
+            ps.iter()
+                .flat_map(|p| {
+                    p.windows(2).map(|w| {
+                        if w[0] <= w[1] {
+                            (w[0], w[1])
+                        } else {
+                            (w[1], w[0])
+                        }
+                    })
+                })
+                .collect()
+        };
+        links(&a.paths).is_disjoint(&links(&b.paths))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_netmodel::fib::{MatchSpec, Rule};
+    use tulkun_netmodel::topology::Topology;
+    use tulkun_netmodel::IpPrefix;
+
+    fn probe_bits(net: &Network, ip: [u8; 4]) -> Vec<bool> {
+        let mut bits = vec![false; net.layout.num_vars() as usize];
+        let addr = u32::from_be_bytes(ip);
+        for (i, b) in bits.iter_mut().enumerate().take(32) {
+            *b = (addr >> (31 - i)) & 1 == 1;
+        }
+        bits
+    }
+
+    /// S — A — D and S — B — D; forward space 10.0.0.0/24 at D, reverse
+    /// space 10.1.0.0/24 at S.
+    fn sym_net(symmetric: bool) -> Network {
+        let mut t = Topology::new();
+        let s = t.add_device("S");
+        let a = t.add_device("A");
+        let b = t.add_device("B");
+        let d = t.add_device("D");
+        t.add_link(s, a, 1);
+        t.add_link(s, b, 1);
+        t.add_link(a, d, 1);
+        t.add_link(b, d, 1);
+        t.add_external_prefix(d, "10.0.0.0/24".parse().unwrap());
+        t.add_external_prefix(s, "10.1.0.0/24".parse().unwrap());
+        let mut net = Network::new(t);
+        let f: IpPrefix = "10.0.0.0/24".parse().unwrap();
+        let r: IpPrefix = "10.1.0.0/24".parse().unwrap();
+        // Forward: S → A → D.
+        net.fib_mut(s).insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(f),
+            action: Action::fwd(a),
+        });
+        net.fib_mut(a).insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(f),
+            action: Action::fwd(d),
+        });
+        net.fib_mut(d).insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(f),
+            action: Action::deliver(),
+        });
+        // Reverse: D → A → S (symmetric) or D → B → S (asymmetric).
+        let via = if symmetric { a } else { b };
+        net.fib_mut(d).insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(r),
+            action: Action::fwd(via),
+        });
+        net.fib_mut(via).insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(r),
+            action: Action::fwd(s),
+        });
+        net.fib_mut(s).insert(Rule {
+            priority: 24,
+            matches: MatchSpec::dst(r),
+            action: Action::deliver(),
+        });
+        net
+    }
+
+    #[test]
+    fn route_symmetry_holds_and_fails() {
+        for (sym, expect) in [(true, true), (false, false)] {
+            let net = sym_net(sym);
+            let fwd = collect_for(
+                &net,
+                "S",
+                "D",
+                &PacketSpace::dst_prefix("10.0.0.0/24"),
+                &probe_bits(&net, [10, 0, 0, 1]),
+            )
+            .unwrap();
+            let rev = collect_for(
+                &net,
+                "D",
+                "S",
+                &PacketSpace::dst_prefix("10.1.0.0/24"),
+                &probe_bits(&net, [10, 1, 0, 1]),
+            )
+            .unwrap();
+            assert!(!fwd.paths.is_empty() && !rev.paths.is_empty());
+            assert_eq!(compare::symmetric(&fwd, &rev), expect, "sym={sym}");
+        }
+    }
+
+    #[test]
+    fn disjointness_comparators() {
+        // Forward via A, reverse via B: node- and link-disjoint interiors.
+        let net = sym_net(false);
+        let fwd = collect_for(
+            &net,
+            "S",
+            "D",
+            &PacketSpace::dst_prefix("10.0.0.0/24"),
+            &probe_bits(&net, [10, 0, 0, 1]),
+        )
+        .unwrap();
+        let rev = collect_for(
+            &net,
+            "D",
+            "S",
+            &PacketSpace::dst_prefix("10.1.0.0/24"),
+            &probe_bits(&net, [10, 1, 0, 1]),
+        )
+        .unwrap();
+        assert!(compare::node_disjoint(&fwd, &rev));
+        assert!(compare::link_disjoint(&fwd, &rev));
+
+        // Symmetric routes share everything.
+        let net = sym_net(true);
+        let fwd = collect_for(
+            &net,
+            "S",
+            "D",
+            &PacketSpace::dst_prefix("10.0.0.0/24"),
+            &probe_bits(&net, [10, 0, 0, 1]),
+        )
+        .unwrap();
+        let rev = collect_for(
+            &net,
+            "D",
+            "S",
+            &PacketSpace::dst_prefix("10.1.0.0/24"),
+            &probe_bits(&net, [10, 1, 0, 1]),
+        )
+        .unwrap();
+        assert!(!compare::node_disjoint(&fwd, &rev));
+        assert!(!compare::link_disjoint(&fwd, &rev));
+    }
+
+    #[test]
+    fn collected_paths_respect_any_union() {
+        // ECMP ANY at S: both paths appear in the union across universes.
+        let mut net = sym_net(true);
+        let s = net.topology.device("S").unwrap();
+        let a = net.topology.device("A").unwrap();
+        let b = net.topology.device("B").unwrap();
+        let f: IpPrefix = "10.0.0.0/24".parse().unwrap();
+        net.fib_mut(s).insert(Rule {
+            priority: 50,
+            matches: MatchSpec::dst(f),
+            action: Action::fwd_any([a, b]),
+        });
+        let bdev = net.topology.device("B").unwrap();
+        let d = net.topology.device("D").unwrap();
+        net.fib_mut(bdev).insert(Rule {
+            priority: 50,
+            matches: MatchSpec::dst(f),
+            action: Action::fwd(d),
+        });
+        let fwd = collect_for(
+            &net,
+            "S",
+            "D",
+            &PacketSpace::dst_prefix("10.0.0.0/24"),
+            &probe_bits(&net, [10, 0, 0, 1]),
+        )
+        .unwrap();
+        assert_eq!(fwd.paths.len(), 2, "{:?}", fwd.paths);
+    }
+
+    #[test]
+    fn probe_outside_space_is_rejected() {
+        let net = sym_net(true);
+        let err = collect_for(
+            &net,
+            "S",
+            "D",
+            &PacketSpace::dst_prefix("10.0.0.0/24"),
+            &probe_bits(&net, [9, 0, 0, 1]),
+        );
+        assert!(err.is_err());
+    }
+}

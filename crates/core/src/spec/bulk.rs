@@ -1,0 +1,217 @@
+//! Device-set iterators and bulk invariant generation — the language's
+//! convenience layer (§3: "it allows users to specify a device set and
+//! provides device iterators").
+//!
+//! Operators rarely write one invariant; they write families ("every
+//! ToR pair", "every announced prefix reaches its owner"). These
+//! helpers expand such families against a topology, deriving packet
+//! spaces from the external-port map.
+
+use super::{Behavior, Invariant, PacketSpace, PathExpr, SpecError};
+use crate::count::CountExpr;
+use tulkun_netmodel::topology::{DeviceId, Topology};
+
+/// A named device set, resolved against a topology.
+#[derive(Debug, Clone)]
+pub enum DeviceSet {
+    /// Every device.
+    All,
+    /// Devices whose name starts with the prefix (e.g. `"tor"`).
+    NamePrefix(String),
+    /// Devices announcing at least one external prefix.
+    Announcing,
+    /// An explicit list of names.
+    Named(Vec<String>),
+}
+
+impl DeviceSet {
+    /// Resolves the set against a topology.
+    pub fn resolve(&self, topo: &Topology) -> Result<Vec<DeviceId>, SpecError> {
+        let out: Vec<DeviceId> = match self {
+            DeviceSet::All => topo.devices().collect(),
+            DeviceSet::NamePrefix(p) => topo
+                .devices()
+                .filter(|d| topo.name(*d).starts_with(p.as_str()))
+                .collect(),
+            DeviceSet::Announcing => {
+                let mut v: Vec<DeviceId> = topo.external_map().map(|(d, _)| d).collect();
+                v.sort();
+                v.dedup();
+                v
+            }
+            DeviceSet::Named(names) => names
+                .iter()
+                .map(|n| {
+                    topo.device(n)
+                        .ok_or_else(|| SpecError(format!("unknown device {n:?}")))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if out.is_empty() {
+            return Err(SpecError("device set resolves to nothing".into()));
+        }
+        Ok(out)
+    }
+}
+
+/// The packet space a destination owns: the union of its announced
+/// prefixes.
+pub fn owned_space(topo: &Topology, dst: DeviceId) -> Option<PacketSpace> {
+    let prefixes = topo.external_prefixes(dst);
+    let mut it = prefixes.iter();
+    let first = PacketSpace::DstPrefix(*it.next()?);
+    Some(it.fold(first, |acc, p| acc.or(PacketSpace::DstPrefix(*p))))
+}
+
+/// For every destination in `dsts`: every device in `srcs` (minus the
+/// destination itself) can deliver the destination's owned packet space
+/// along loop-free `<= shortest + slack` paths. One multi-ingress
+/// invariant per destination — the workload of §9.2/§9.3.
+pub fn all_pair_reachability(
+    topo: &Topology,
+    srcs: &DeviceSet,
+    dsts: &DeviceSet,
+    slack: i32,
+) -> Result<Vec<Invariant>, SpecError> {
+    let srcs = srcs.resolve(topo)?;
+    let mut out = Vec::new();
+    for dst in dsts.resolve(topo)? {
+        let Some(space) = owned_space(topo, dst) else {
+            continue;
+        };
+        let ingress: Vec<String> = srcs
+            .iter()
+            .filter(|s| **s != dst)
+            .map(|s| topo.name(*s).to_string())
+            .collect();
+        if ingress.is_empty() {
+            continue;
+        }
+        let path = PathExpr::parse(&format!(". * {}", topo.name(dst)))
+            .map_err(|e| SpecError(e.to_string()))?
+            .loop_free()
+            .shortest_plus(slack);
+        out.push(
+            Invariant::builder()
+                .name(format!("all-pair reachability -> {}", topo.name(dst)))
+                .packet_space(space)
+                .ingress(ingress)
+                .behavior(Behavior::exist(CountExpr::ge(1), path))
+                .build()?,
+        );
+    }
+    if out.is_empty() {
+        return Err(SpecError("no destination announces a prefix".into()));
+    }
+    Ok(out)
+}
+
+/// All-ToR-pair shortest-path availability (`equal`), one invariant per
+/// announcing destination — the DC workload (RCDC).
+pub fn all_pair_shortest_availability(
+    topo: &Topology,
+    srcs: &DeviceSet,
+    dsts: &DeviceSet,
+) -> Result<Vec<Invariant>, SpecError> {
+    let srcs = srcs.resolve(topo)?;
+    let mut out = Vec::new();
+    for dst in dsts.resolve(topo)? {
+        let Some(space) = owned_space(topo, dst) else {
+            continue;
+        };
+        let ingress: Vec<String> = srcs
+            .iter()
+            .filter(|s| **s != dst)
+            .map(|s| topo.name(*s).to_string())
+            .collect();
+        if ingress.is_empty() {
+            continue;
+        }
+        out.push(
+            Invariant::builder()
+                .name(format!(
+                    "all-shortest-path availability -> {}",
+                    topo.name(dst)
+                ))
+                .packet_space(space)
+                .ingress(ingress)
+                .behavior(Behavior::equal(
+                    PathExpr::parse(&format!(". * {}", topo.name(dst)))
+                        .map_err(|e| SpecError(e.to_string()))?
+                        .shortest_only(),
+                ))
+                .build()?,
+        );
+    }
+    if out.is_empty() {
+        return Err(SpecError("no destination announces a prefix".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_device("torA");
+        let b = t.add_device("torB");
+        let c = t.add_device("core");
+        t.add_link(a, c, 1);
+        t.add_link(b, c, 1);
+        t.add_external_prefix(a, "10.0.0.0/24".parse().unwrap());
+        t.add_external_prefix(b, "10.0.1.0/24".parse().unwrap());
+        t.add_external_prefix(b, "10.0.2.0/24".parse().unwrap());
+        t
+    }
+
+    #[test]
+    fn device_sets_resolve() {
+        let t = topo();
+        assert_eq!(DeviceSet::All.resolve(&t).unwrap().len(), 3);
+        assert_eq!(
+            DeviceSet::NamePrefix("tor".into())
+                .resolve(&t)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(DeviceSet::Announcing.resolve(&t).unwrap().len(), 2);
+        assert_eq!(
+            DeviceSet::Named(vec!["core".into()]).resolve(&t).unwrap(),
+            vec![t.device("core").unwrap()]
+        );
+        assert!(DeviceSet::NamePrefix("spine".into()).resolve(&t).is_err());
+        assert!(DeviceSet::Named(vec!["nope".into()]).resolve(&t).is_err());
+    }
+
+    #[test]
+    fn owned_space_unions_prefixes() {
+        let t = topo();
+        let b = t.device("torB").unwrap();
+        let space = owned_space(&t, b).unwrap();
+        assert!(matches!(space, PacketSpace::Or(..)));
+        let c = t.device("core").unwrap();
+        assert!(owned_space(&t, c).is_none());
+    }
+
+    #[test]
+    fn all_pair_family_expands() {
+        let t = topo();
+        let invs = all_pair_reachability(&t, &DeviceSet::All, &DeviceSet::Announcing, 2).unwrap();
+        assert_eq!(invs.len(), 2); // one per announcing destination
+        for inv in &invs {
+            assert_eq!(inv.ingress.len(), 2); // everyone but the dst
+            assert!(!inv.behavior.has_equal());
+        }
+        let eqs = all_pair_shortest_availability(
+            &t,
+            &DeviceSet::NamePrefix("tor".into()),
+            &DeviceSet::Announcing,
+        )
+        .unwrap();
+        assert_eq!(eqs.len(), 2);
+        assert!(eqs.iter().all(|i| i.behavior.has_equal()));
+    }
+}

@@ -1,0 +1,304 @@
+//! In-process verification driver.
+//!
+//! [`Session`] instantiates one on-device verifier per participating
+//! device, delivers DVM messages until quiescence, and evaluates the
+//! invariant's formula at the DPVNet sources. The discrete-event
+//! simulator and the tokio runner drive the same verifiers with real
+//! latencies; this driver is the convenient synchronous API (and the
+//! reference semantics the others are tested against).
+
+use crate::count::Counts;
+use crate::dpvnet::NodeId;
+use crate::dvm::{DestMode, DeviceVerifier, Envelope, VerifierConfig};
+use crate::localcheck::{ContractViolation, LocalChecker};
+use crate::planner::{CountingPlan, NodeTask, Plan, PlanKind};
+use crate::spec::PacketSpace;
+use std::collections::{BTreeMap, VecDeque};
+use tulkun_bdd::serial::{self, PortablePred};
+use tulkun_bdd::{BddManager, HeaderLayout};
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::DeviceId;
+
+/// Why an invariant does not hold.
+#[derive(Debug, Clone)]
+pub enum ViolationKind {
+    /// A universe's outcome vector fails the behavior formula at a
+    /// source.
+    Counting {
+        /// The per-universe outcome set at the source.
+        counts: Counts,
+    },
+    /// A local contract is broken (`equal` behaviors).
+    Contract {
+        /// Required forwarding set.
+        expected: Vec<DeviceId>,
+        /// Observed forwarding set.
+        found: Vec<DeviceId>,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+/// One violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The device reporting the violation (a source for counting; the
+    /// contract holder for `equal`).
+    pub device: DeviceId,
+    /// Its DPVNet node.
+    pub node: NodeId,
+    /// The violating packet set.
+    pub pred: PortablePred,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// The verification verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Everything that failed (empty = the invariant holds).
+    pub violations: Vec<Violation>,
+    /// DVM messages processed to reach quiescence.
+    pub messages: usize,
+}
+
+impl Report {
+    /// Does the invariant hold?
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Compiles a packet space to a portable predicate.
+pub fn compile_packet_space(layout: &HeaderLayout, ps: &PacketSpace) -> PortablePred {
+    let mut m = BddManager::new(layout.num_vars());
+    let p = ps.compile(&mut m, layout);
+    serial::export(&m, p)
+}
+
+/// A live distributed-counting session over a network snapshot.
+pub struct Session {
+    plan: CountingPlan,
+    packet_space: PortablePred,
+    formula_escape_idx: Option<usize>,
+    verifiers: BTreeMap<DeviceId, DeviceVerifier>,
+    queue: VecDeque<Envelope>,
+    /// Messages processed since creation.
+    pub messages_processed: usize,
+}
+
+impl Session {
+    /// Builds verifiers for every device with a task. Panics if the plan
+    /// is not a counting plan (use [`verify_snapshot`] for the generic
+    /// entry point).
+    pub fn new(net: &Network, plan: &Plan) -> Session {
+        let PlanKind::Counting(cp) = &plan.kind else {
+            panic!("Session requires a counting plan; use verify_snapshot for local plans");
+        };
+        Session::from_counting(net, cp.clone(), &plan.invariant.packet_space)
+    }
+
+    /// Builds a session directly from a counting plan.
+    pub fn from_counting(net: &Network, cp: CountingPlan, ps: &PacketSpace) -> Session {
+        let packet_space = compile_packet_space(&net.layout, ps);
+        let cfg = VerifierConfig {
+            n_exprs: cp.exprs.len(),
+            track_escapes: cp.track_escapes,
+            reduce: cp.reduce,
+            dest_mode: DestMode::Axiomatic,
+        };
+        // Group tasks by device.
+        let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
+        for t in &cp.tasks {
+            by_dev.entry(t.dev).or_default().push(t.clone());
+        }
+        let mut verifiers = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for (dev, tasks) in by_dev {
+            let mut v = DeviceVerifier::new(
+                dev,
+                net.layout,
+                net.fib(dev).clone(),
+                tasks,
+                &packet_space,
+                cfg.clone(),
+            );
+            queue.extend(v.init());
+            verifiers.insert(dev, v);
+        }
+        let escape_idx = cp.escape_idx();
+        Session {
+            plan: cp,
+            packet_space,
+            formula_escape_idx: escape_idx,
+            verifiers,
+            queue,
+            messages_processed: 0,
+        }
+    }
+
+    /// The counting plan driving this session.
+    pub fn plan(&self) -> &CountingPlan {
+        &self.plan
+    }
+
+    /// Access a device's verifier.
+    pub fn verifier(&self, dev: DeviceId) -> Option<&DeviceVerifier> {
+        self.verifiers.get(&dev)
+    }
+
+    /// Delivers queued messages until no messages are in flight.
+    /// Returns the number processed.
+    pub fn run_to_quiescence(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(env) = self.queue.pop_front() {
+            n += 1;
+            if let Some(v) = self.verifiers.get_mut(&env.to) {
+                let out = v.handle(&env);
+                self.queue.extend(out);
+            }
+        }
+        self.messages_processed += n;
+        n
+    }
+
+    /// Applies a rule update at its device and re-runs to quiescence.
+    /// Returns the number of messages the update caused.
+    pub fn apply_rule_update(&mut self, update: &RuleUpdate) -> usize {
+        if let Some(v) = self.verifiers.get_mut(&update.device()) {
+            let out = v.handle_fib_update(update);
+            self.queue.extend(out);
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Signals a link failure (`up = false`) or recovery to both
+    /// endpoint devices and re-runs to quiescence.
+    pub fn apply_link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> usize {
+        if let Some(v) = self.verifiers.get_mut(&a) {
+            let out = v.handle_link_event(b, up);
+            self.queue.extend(out);
+        }
+        if let Some(v) = self.verifiers.get_mut(&b) {
+            let out = v.handle_link_event(a, up);
+            self.queue.extend(out);
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Evaluates the invariant at every DPVNet source (each universe of
+    /// each packet set must satisfy the formula).
+    pub fn report(&mut self) -> Report {
+        let mut violations = Vec::new();
+        let sources: Vec<(DeviceId, NodeId)> = self.plan.dpvnet.sources().to_vec();
+        for (dev, node) in sources {
+            let Some(v) = self.verifiers.get_mut(&dev) else {
+                continue;
+            };
+            for (pred, counts) in v.node_result(node) {
+                let bad = counts
+                    .iter()
+                    .any(|u| !self.plan.formula.eval(u, self.formula_escape_idx));
+                if bad {
+                    violations.push(Violation {
+                        device: dev,
+                        node,
+                        pred,
+                        kind: ViolationKind::Counting {
+                            counts: counts.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        Report {
+            violations,
+            messages: self.messages_processed,
+        }
+    }
+
+    /// The invariant's packet space as a portable predicate.
+    pub fn packet_space(&self) -> &PortablePred {
+        &self.packet_space
+    }
+}
+
+/// Evaluates an invariant's formula at the DPVNet sources given a way to
+/// read each source node's counting results (used by the simulator and
+/// the tokio runner, which own their verifiers).
+pub fn evaluate_sources(
+    plan: &CountingPlan,
+    mut node_result: impl FnMut(DeviceId, NodeId) -> Vec<(PortablePred, Counts)>,
+) -> Report {
+    let escape_idx = plan.escape_idx();
+    let mut violations = Vec::new();
+    for (dev, node) in plan.dpvnet.sources() {
+        for (pred, counts) in node_result(*dev, *node) {
+            let bad = counts.iter().any(|u| !plan.formula.eval(u, escape_idx));
+            if bad {
+                violations.push(Violation {
+                    device: *dev,
+                    node: *node,
+                    pred,
+                    kind: ViolationKind::Counting { counts },
+                });
+            }
+        }
+    }
+    Report {
+        violations,
+        messages: 0,
+    }
+}
+
+/// Verifies a network snapshot against a plan (counting or local) and
+/// reports the verdict.
+pub fn verify_snapshot(net: &Network, plan: &Plan) -> Report {
+    match &plan.kind {
+        PlanKind::Counting(_) => {
+            let mut s = Session::new(net, plan);
+            let n = s.run_to_quiescence();
+            let mut r = s.report();
+            r.messages = n;
+            r
+        }
+        PlanKind::Local(lp) => {
+            let packet_space = compile_packet_space(&net.layout, &plan.invariant.packet_space);
+            let mut violations = Vec::new();
+            let mut by_dev: BTreeMap<DeviceId, Vec<crate::planner::LocalContract>> =
+                BTreeMap::new();
+            for c in &lp.contracts {
+                by_dev.entry(c.dev).or_default().push(c.clone());
+            }
+            for (dev, contracts) in by_dev {
+                let mut checker = LocalChecker::new(
+                    dev,
+                    net.layout,
+                    net.fib(dev).clone(),
+                    contracts,
+                    &packet_space,
+                );
+                for cv in checker.check() {
+                    violations.push(contract_violation(cv));
+                }
+            }
+            Report {
+                violations,
+                messages: 0,
+            }
+        }
+    }
+}
+
+fn contract_violation(cv: ContractViolation) -> Violation {
+    Violation {
+        device: cv.device,
+        node: cv.node,
+        pred: cv.pred,
+        kind: ViolationKind::Contract {
+            expected: cv.expected,
+            found: cv.found,
+            reason: cv.reason,
+        },
+    }
+}

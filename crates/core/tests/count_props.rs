@@ -1,0 +1,106 @@
+//! Algebraic properties of the counting operators (§4.2): ⊗ and ⊕ form
+//! the structure the distributed decomposition relies on, and the
+//! Proposition-1 reductions must preserve every verdict.
+
+use proptest::prelude::*;
+use tulkun_core::count::{CountExpr, Counts, ReduceMode};
+
+fn counts_strategy() -> impl Strategy<Value = Counts> {
+    proptest::collection::btree_set(0u32..6, 1..4).prop_map(Counts::scalars)
+}
+
+fn expr_strategy() -> impl Strategy<Value = CountExpr> {
+    (0u32..4, 0u32..5).prop_map(|(k, n)| match k {
+        0 => CountExpr::Ge(n),
+        1 => CountExpr::Gt(n),
+        2 => CountExpr::Le(n),
+        _ => CountExpr::Eq(n),
+    })
+}
+
+proptest! {
+    #[test]
+    fn cross_sum_is_commutative_monoid(a in counts_strategy(), b in counts_strategy(), c in counts_strategy()) {
+        prop_assert_eq!(a.cross_sum(&b), b.cross_sum(&a));
+        prop_assert_eq!(a.cross_sum(&b).cross_sum(&c), a.cross_sum(&b.cross_sum(&c)));
+        prop_assert_eq!(a.cross_sum(&Counts::zero(1)), a.clone());
+    }
+
+    #[test]
+    fn union_is_commutative_idempotent(a in counts_strategy(), b in counts_strategy(), c in counts_strategy()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn cross_sum_distributes_over_union(a in counts_strategy(), b in counts_strategy(), c in counts_strategy()) {
+        // (a ⊕ b) ⊗ c == (a ⊗ c) ⊕ (b ⊗ c): why per-node ANY/ALL
+        // combination order doesn't matter in the DAG decomposition.
+        prop_assert_eq!(
+            a.union(&b).cross_sum(&c),
+            a.cross_sum(&c).union(&b.cross_sum(&c))
+        );
+    }
+
+    #[test]
+    fn reduction_preserves_all_verdicts(a in counts_strategy(), expr in expr_strategy()) {
+        // Proposition 1 end to end: reducing by the expression's mode
+        // never changes `all_satisfy`.
+        let reduced = a.reduce(expr.reduce_mode());
+        prop_assert_eq!(
+            a.all_satisfy(0, &expr),
+            reduced.all_satisfy(0, &expr),
+            "expr {} on {}", expr, a
+        );
+    }
+
+    #[test]
+    fn reduction_commutes_with_upstream_combination(
+        a in counts_strategy(),
+        b in counts_strategy(),
+        expr in expr_strategy(),
+    ) {
+        // The reduction is only sound for >=/>: min(a ⊗ b) ==
+        // min(min(a) ⊗ min(b)), and dually for <=/< with max. For ==, the
+        // two smallest elements survive one ⊗ stage for verdict purposes.
+        match expr.reduce_mode() {
+            ReduceMode::Min => {
+                let full = a.cross_sum(&b).reduce(ReduceMode::Min);
+                let wire = a.reduce(ReduceMode::Min).cross_sum(&b.reduce(ReduceMode::Min)).reduce(ReduceMode::Min);
+                prop_assert_eq!(full, wire);
+            }
+            ReduceMode::Max => {
+                let full = a.cross_sum(&b).reduce(ReduceMode::Max);
+                let wire = a.reduce(ReduceMode::Max).cross_sum(&b.reduce(ReduceMode::Max)).reduce(ReduceMode::Max);
+                prop_assert_eq!(full, wire);
+            }
+            ReduceMode::TwoSmallest => {
+                // Verdict-level check for ==N across one ⊗ stage.
+                let full = a.cross_sum(&b);
+                let wire = a
+                    .reduce(ReduceMode::TwoSmallest)
+                    .cross_sum(&b.reduce(ReduceMode::TwoSmallest));
+                prop_assert_eq!(
+                    full.all_satisfy(0, &expr),
+                    wire.all_satisfy(0, &expr),
+                    "expr {} on {} vs {}", expr, full, wire
+                );
+            }
+            ReduceMode::None => {}
+        }
+    }
+
+    #[test]
+    fn union_reduction_verdicts(a in counts_strategy(), b in counts_strategy(), expr in expr_strategy()) {
+        // Same for one ⊕ stage.
+        let mode = expr.reduce_mode();
+        let full = a.union(&b);
+        let wire = a.reduce(mode).union(&b.reduce(mode));
+        prop_assert_eq!(
+            full.all_satisfy(0, &expr),
+            wire.all_satisfy(0, &expr),
+            "expr {} on {} vs {}", expr, full, wire
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for DPVNet: the suffix-merged DAG must represent
+//! *exactly* the enumerated valid path set (the paper's state
+//! minimization must not add or lose paths), and every edge must be a
+//! topology link.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tulkun_core::dpvnet::{self, DpvNet};
+use tulkun_core::spec::PathExpr;
+use tulkun_netmodel::topology::{DeviceId, Topology};
+
+fn random_topology() -> impl Strategy<Value = Topology> {
+    (
+        4usize..8,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..10),
+    )
+        .prop_map(|(n, extra)| {
+            let mut t = Topology::new();
+            let ids: Vec<DeviceId> = (0..n).map(|i| t.add_device(format!("n{i}"))).collect();
+            for i in 1..n {
+                t.add_link(ids[i - 1], ids[i], 1000);
+            }
+            for (a, b) in extra {
+                let a = a as usize % n;
+                let b = b as usize % n;
+                if a != b && t.link_between(ids[a], ids[b]).is_none() {
+                    t.add_link(ids[a], ids[b], 1000);
+                }
+            }
+            t
+        })
+}
+
+/// Path templates over the first/last device (+ a middle waypoint).
+fn expr_for(topo: &Topology, kind: u8) -> PathExpr {
+    let n = topo.num_devices();
+    let src = topo.name(DeviceId(0));
+    let dst = topo.name(DeviceId(n as u32 - 1));
+    let mid = topo.name(DeviceId((n / 2) as u32));
+    let pe = match kind % 4 {
+        0 => PathExpr::parse(&format!("{src} .* {dst}"))
+            .unwrap()
+            .loop_free(),
+        1 => PathExpr::parse(&format!("{src} .* {mid} .* {dst}"))
+            .unwrap()
+            .loop_free(),
+        2 => PathExpr::parse(&format!("{src} .* {dst}"))
+            .unwrap()
+            .loop_free()
+            .shortest_plus(1),
+        _ => PathExpr::parse(&format!("{src} [^{mid}]* {dst}"))
+            .unwrap()
+            .loop_free(),
+    };
+    pe
+}
+
+/// All root-to-accepting-node device sequences of the DAG.
+fn dag_paths(net: &DpvNet) -> BTreeSet<Vec<DeviceId>> {
+    let mut out = BTreeSet::new();
+    for &(_, src) in net.sources() {
+        let mut path = vec![net.node(src).dev];
+        walk(net, src, &mut path, &mut out);
+    }
+    out
+}
+
+fn walk(
+    net: &DpvNet,
+    node: tulkun_core::dpvnet::NodeId,
+    path: &mut Vec<DeviceId>,
+    out: &mut BTreeSet<Vec<DeviceId>>,
+) {
+    if net.node(node).is_accepting() {
+        out.insert(path.clone());
+    }
+    for &o in &net.node(node).out {
+        path.push(net.node(o).dev);
+        walk(net, o, path, out);
+        path.pop();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dag_language_equals_enumeration(topo in random_topology(), kind in any::<u8>()) {
+        let pe = expr_for(&topo, kind);
+        let src = DeviceId(0);
+        let enumerated = dpvnet::enumerate_valid_paths(&topo, &[src], std::slice::from_ref(&pe), 1_000_000)
+            .unwrap();
+        let expected: BTreeSet<Vec<DeviceId>> =
+            enumerated.iter().map(|p| p.devices.clone()).collect();
+        let net = DpvNet::build(&topo, &[src], std::slice::from_ref(&pe)).unwrap();
+        let got = dag_paths(&net);
+        prop_assert_eq!(&got, &expected, "DAG paths != enumerated paths for {}", pe);
+        // num_paths agrees too.
+        prop_assert_eq!(net.num_paths(), expected.len() as f64);
+    }
+
+    #[test]
+    fn edges_are_topology_links(topo in random_topology(), kind in any::<u8>()) {
+        let pe = expr_for(&topo, kind);
+        let net = DpvNet::build(&topo, &[DeviceId(0)], std::slice::from_ref(&pe)).unwrap();
+        for (id, n) in net.iter() {
+            for &o in &n.out {
+                let a = n.dev;
+                let b = net.node(o).dev;
+                prop_assert!(
+                    topo.link_between(a, b).is_some(),
+                    "edge {}→{} is not a topology link",
+                    net.node(id).label,
+                    net.node(o).label
+                );
+                // And inn is the exact inverse of out.
+                prop_assert!(net.node(o).inn.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn slack_dag_superset_of_exact_for_k2(topo in random_topology()) {
+        // For k=2 the slack DAG may add backtracking walks but must
+        // contain every exact loop-free ≤shortest+2 path.
+        let n = topo.num_devices();
+        let src = DeviceId(0);
+        let dst = DeviceId(n as u32 - 1);
+        let pe = PathExpr::parse(&format!(
+            "{} .* {}",
+            topo.name(src),
+            topo.name(dst)
+        ))
+        .unwrap()
+        .loop_free()
+        .shortest_plus(2);
+        let exact = DpvNet::build(&topo, &[src], std::slice::from_ref(&pe)).unwrap();
+        let fast = DpvNet::slack_dag(&topo, src, dst, 2);
+        let exact_paths = dag_paths(&exact);
+        let fast_paths = dag_paths(&fast);
+        for p in &exact_paths {
+            prop_assert!(fast_paths.contains(p), "missing exact path {p:?}");
+        }
+    }
+}

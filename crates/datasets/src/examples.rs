@@ -1,0 +1,197 @@
+//! The paper's example networks (Figures 2a, 5a and 6a) with their data
+//! planes, used by the demos, quickstart and tests.
+
+use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
+use tulkun_netmodel::network::Network;
+use tulkun_netmodel::topology::Topology;
+use tulkun_netmodel::IpPrefix;
+
+fn pfx(s: &str) -> IpPrefix {
+    s.parse().unwrap()
+}
+
+/// Figure 2a: the 5-device network (S, A, B, W, D) and its data plane.
+///
+/// * `P2 = 10.0.0.0/24`: A replicates to both B and W (`ALL`); B drops.
+/// * `P3 = 10.0.1.0/24 ∧ dstPort 80`: A picks B or W (`ANY`).
+/// * `P4 = 10.0.1.0/24 ∧ dstPort ≠ 80`: A forwards to W only.
+///
+/// The waypoint invariant of Figure 2b is violated by `P3` (in the
+/// universe where A picks B, the packet reaches D without passing W —
+/// wait, it *does* skip W: B forwards straight to D).
+pub fn fig2a_network() -> Network {
+    let mut t = Topology::new();
+    let s = t.add_device("S");
+    let a = t.add_device("A");
+    let b = t.add_device("B");
+    let w = t.add_device("W");
+    let d = t.add_device("D");
+    t.add_link(s, a, 1000);
+    t.add_link(a, b, 1000);
+    t.add_link(a, w, 1000);
+    t.add_link(b, w, 1000);
+    t.add_link(b, d, 1000);
+    t.add_link(w, d, 1000);
+    t.add_external_prefix(d, pfx("10.0.0.0/23"));
+
+    let mut net = Network::new(t);
+    net.fib_mut(s).insert(Rule {
+        priority: 23,
+        matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+        action: Action::fwd(a),
+    });
+    net.fib_mut(a).insert(Rule {
+        priority: 30,
+        matches: MatchSpec::dst(pfx("10.0.1.0/24")).with_port(80),
+        action: Action::fwd_any([b, w]),
+    });
+    net.fib_mut(a).insert(Rule {
+        priority: 20,
+        matches: MatchSpec::dst(pfx("10.0.1.0/24")),
+        action: Action::fwd(w),
+    });
+    net.fib_mut(a).insert(Rule {
+        priority: 10,
+        matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+        action: Action::fwd_all([b, w]),
+    });
+    net.fib_mut(b).insert(Rule {
+        priority: 10,
+        matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+        action: Action::Drop,
+    });
+    net.fib_mut(b).insert(Rule {
+        priority: 10,
+        matches: MatchSpec::dst(pfx("10.0.1.0/24")),
+        action: Action::fwd(d),
+    });
+    net.fib_mut(w).insert(Rule {
+        priority: 23,
+        matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+        action: Action::fwd(d),
+    });
+    net.fib_mut(d).insert(Rule {
+        priority: 23,
+        matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+        action: Action::deliver(),
+    });
+    net
+}
+
+/// Figure 5a: the anycast example. S forwards to either A (toward D) or
+/// B (toward E) — the invariant "reach D or E but not both" holds, but
+/// the per-destination cross-product strawman would flag it.
+pub fn fig5a_network() -> Network {
+    let mut t = Topology::new();
+    let s = t.add_device("S");
+    let a = t.add_device("A");
+    let b = t.add_device("B");
+    let d = t.add_device("D");
+    let e = t.add_device("E");
+    t.add_link(s, a, 1000);
+    t.add_link(s, b, 1000);
+    t.add_link(a, d, 1000);
+    t.add_link(b, e, 1000);
+    t.add_external_prefix(d, pfx("10.1.0.0/24"));
+    t.add_external_prefix(e, pfx("10.1.0.0/24"));
+
+    let mut net = Network::new(t);
+    let p = pfx("10.1.0.0/24");
+    net.fib_mut(s).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd_any([a, b]),
+    });
+    net.fib_mut(a).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd(d),
+    });
+    net.fib_mut(b).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd(e),
+    });
+    net.fib_mut(d).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::deliver(),
+    });
+    net.fib_mut(e).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::deliver(),
+    });
+    net
+}
+
+/// Figure 6a: the same-destination compound example. S replicates to A
+/// and B; A forwards to W then D; B forwards straight to D. The
+/// invariant "≥ 2 copies reach D on simple paths, or ≥ 1 copy reaches D
+/// through W" holds, but separate per-expression DPVNets cross-multiplied
+/// would raise a phantom error.
+pub fn fig6a_network() -> Network {
+    let mut t = Topology::new();
+    let s = t.add_device("S");
+    let a = t.add_device("A");
+    let b = t.add_device("B");
+    let w = t.add_device("W");
+    let d = t.add_device("D");
+    t.add_link(s, a, 1000);
+    t.add_link(s, b, 1000);
+    t.add_link(a, w, 1000);
+    t.add_link(w, d, 1000);
+    t.add_link(b, d, 1000);
+    t.add_external_prefix(d, pfx("10.2.0.0/24"));
+
+    let mut net = Network::new(t);
+    let p = pfx("10.2.0.0/24");
+    net.fib_mut(s).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd_all([a, b]),
+    });
+    net.fib_mut(a).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd(w),
+    });
+    net.fib_mut(w).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd(d),
+    });
+    net.fib_mut(b).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::fwd(d),
+    });
+    net.fib_mut(d).insert(Rule {
+        priority: 24,
+        matches: MatchSpec::dst(p),
+        action: Action::deliver(),
+    });
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_has_expected_shape() {
+        let net = fig2a_network();
+        assert_eq!(net.topology.num_devices(), 5);
+        assert_eq!(net.topology.num_links(), 6);
+        assert_eq!(net.total_rules(), 8);
+    }
+
+    #[test]
+    fn fig5a_and_fig6a_build() {
+        let n5 = fig5a_network();
+        assert_eq!(n5.topology.num_devices(), 5);
+        let n6 = fig6a_network();
+        assert_eq!(n6.topology.num_devices(), 5);
+        assert!(n6.topology.connected_without(&[]));
+    }
+}

@@ -1,0 +1,434 @@
+//! Dataset assembly: prefixes, FIBs, update streams.
+
+use crate::topologies;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::routing::{self, RoutingOptions};
+use tulkun_netmodel::topology::{DeviceId, Topology};
+use tulkun_netmodel::IpPrefix;
+
+/// Dataset category (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetKind {
+    /// Wide-area network (millisecond links).
+    Wan,
+    /// Campus LAN (10 µs links).
+    Lan,
+    /// Data center fabric (10 µs links, ToR-only announcements).
+    Dc,
+}
+
+/// Generation scale. `Tiny` keeps CI fast (fewer prefixes, smaller DC
+/// fabrics); `Paper` approaches the paper's sizes. Ratios between
+/// datasets are preserved at every scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// CI-friendly rule counts (default).
+    Tiny,
+    /// Rule counts approaching the paper's.
+    Paper,
+}
+
+impl Scale {
+    fn prefixes(self, per_device: usize) -> usize {
+        match self {
+            Scale::Tiny => per_device,
+            Scale::Paper => per_device * 8,
+        }
+    }
+}
+
+/// Static facts about a dataset (printed by the Fig. 10 harness).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Paper name (e.g. `"INet2"`).
+    pub name: String,
+    /// WAN / LAN / DC.
+    pub kind: NetKind,
+    /// Device count.
+    pub devices: usize,
+    /// Link count.
+    pub links: usize,
+    /// Total FIB rules.
+    pub rules: usize,
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Static facts (Fig. 10 row).
+    pub spec: DatasetSpec,
+    /// The generated snapshot.
+    pub network: Network,
+}
+
+/// Assigns `per_device` external /24 prefixes to every device
+/// (10.d.i.0/24-style, unique across the network).
+pub fn assign_prefixes(topo: &mut Topology, per_device: usize) {
+    for d in topo.devices().collect::<Vec<_>>() {
+        for i in 0..per_device {
+            let n = d.idx() * per_device + i;
+            let prefix = IpPrefix::from_octets(
+                [
+                    10u8.wrapping_add((n >> 16) as u8),
+                    (n >> 8) as u8,
+                    n as u8,
+                    0,
+                ],
+                24,
+            );
+            topo.add_external_prefix(d, prefix);
+        }
+    }
+}
+
+/// Assigns prefixes only to the listed devices (DC fabrics announce at
+/// ToRs only).
+pub fn assign_prefixes_at(topo: &mut Topology, devices: &[DeviceId], per_device: usize) {
+    for (k, &d) in devices.iter().enumerate() {
+        for i in 0..per_device {
+            let n = k * per_device + i;
+            let prefix = IpPrefix::from_octets(
+                [
+                    10u8.wrapping_add((n >> 16) as u8),
+                    (n >> 8) as u8,
+                    n as u8,
+                    0,
+                ],
+                24,
+            );
+            topo.add_external_prefix(d, prefix);
+        }
+    }
+}
+
+/// Builds a network with shortest-path/ECMP FIBs for every external
+/// prefix.
+pub fn routed_network(topo: Topology) -> Network {
+    let fibs = routing::generate_fibs(&topo, &RoutingOptions::default());
+    let mut net = Network::new(topo);
+    net.fibs = fibs;
+    net
+}
+
+/// Builds one of the 13 datasets by its paper name.
+pub fn build_dataset(name: &str, scale: Scale) -> Option<Dataset> {
+    let (kind, mut topo, prefixes, tor_only) = match name {
+        "INet2" => (
+            NetKind::Wan,
+            topologies::internet2(),
+            scale.prefixes(4),
+            false,
+        ),
+        "B4-13" => (NetKind::Wan, topologies::b4(13), scale.prefixes(3), false),
+        "B4-18" => (NetKind::Wan, topologies::b4(18), scale.prefixes(3), false),
+        "STFD" => (
+            NetKind::Lan,
+            topologies::stanford(),
+            scale.prefixes(4),
+            false,
+        ),
+        "AT1-1" => (
+            NetKind::Wan,
+            topologies::isp_like("at1", 25, 15, 0xA71),
+            scale.prefixes(2),
+            false,
+        ),
+        "AT1-2" => (
+            NetKind::Wan,
+            topologies::isp_like("at1", 25, 15, 0xA71),
+            scale.prefixes(7),
+            false,
+        ),
+        "BTNA" => (
+            NetKind::Wan,
+            topologies::isp_like("btna", 36, 40, 0xB7A),
+            scale.prefixes(3),
+            false,
+        ),
+        "NTT" => (
+            NetKind::Wan,
+            topologies::isp_like("ntt", 47, 170, 0x177),
+            scale.prefixes(3),
+            false,
+        ),
+        "AT2-1" => (
+            NetKind::Wan,
+            topologies::isp_like("at2", 108, 33, 0xA72),
+            scale.prefixes(1),
+            false,
+        ),
+        "AT2-2" => (
+            NetKind::Wan,
+            topologies::isp_like("at2", 108, 33, 0xA72),
+            scale.prefixes(12),
+            false,
+        ),
+        "OTEG" => (
+            NetKind::Wan,
+            topologies::isp_like("oteg", 93, 13, 0x07E),
+            scale.prefixes(2),
+            false,
+        ),
+        "FT-48" => {
+            let k = match scale {
+                Scale::Tiny => 8,
+                Scale::Paper => 48,
+            };
+            (NetKind::Dc, topologies::fattree(k), 1, true)
+        }
+        "NGDC" => {
+            let (pods, tors, aggs, spines) = match scale {
+                Scale::Tiny => (6, 8, 4, 8),
+                Scale::Paper => (32, 32, 8, 64),
+            };
+            (
+                NetKind::Dc,
+                topologies::clos_dc(pods, tors, aggs, spines),
+                1,
+                true,
+            )
+        }
+        _ => return None,
+    };
+    if tor_only {
+        let tors = topologies::tor_devices(&topo);
+        assign_prefixes_at(&mut topo, &tors, prefixes);
+    } else {
+        assign_prefixes(&mut topo, prefixes);
+    }
+    let network = routed_network(topo);
+    let spec = DatasetSpec {
+        name: name.to_string(),
+        kind,
+        devices: network.topology.num_devices(),
+        links: network.topology.num_links(),
+        rules: network.total_rules(),
+    };
+    Some(Dataset { spec, network })
+}
+
+/// Adds `per_device` ACL-style rules (port-matching drops on announced
+/// prefixes) to every device — the arbitrary-mix-of-headers data planes
+/// that defeat purely prefix-based partitioning (the Libra limitation
+/// the paper cites). Opt-in so Fig. 10's statistics stay comparable.
+pub fn add_acls(net: &mut Network, per_device: usize, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let prefixes: Vec<IpPrefix> = net.topology.external_map().map(|(_, p)| p).collect();
+    if prefixes.is_empty() {
+        return;
+    }
+    for d in net.topology.devices().collect::<Vec<_>>() {
+        for _ in 0..per_device {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            // Block a random high port on the prefix (priority above the
+            // /24 routes, below injected errors).
+            let port = rng.gen_range(1024..u16::MAX);
+            net.fib_mut(d).insert(Rule {
+                priority: 40,
+                matches: MatchSpec::dst(p).with_port(port),
+                action: Action::Drop,
+            });
+        }
+    }
+}
+
+/// Kinds of generated rule updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// Re-pin a route onto one member of its shortest-path set (the
+    /// common benign churn: most updates leave end-to-end behaviour
+    /// unchanged, which is why the paper sees most incremental
+    /// verifications complete locally).
+    EcmpReroute,
+    /// Forward to a random neighbor (may create detours or loops).
+    Detour,
+    /// Insert a more-specific /26 drop (a creeping blackhole).
+    SubprefixDrop,
+    /// Remove a previously inserted high-priority rule.
+    Retract,
+}
+
+/// Generates a deterministic stream of `n` rule updates against a
+/// network (the incremental-verification workload of §9.2/§9.3.3).
+/// Roughly: 55% benign ECMP re-pins, 15% detours, 20% sub-prefix drops,
+/// 10% retractions of earlier inserts.
+pub fn rule_updates(net: &Network, n: usize, seed: u64) -> Vec<RuleUpdate> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let topo = &net.topology;
+    let mut out = Vec::with_capacity(n);
+    let mut inserted: Vec<(DeviceId, u32, MatchSpec)> = Vec::new();
+    let devices: Vec<DeviceId> = topo.devices().collect();
+    // Destination device per announced prefix (for valid reroutes).
+    let announced: Vec<(DeviceId, IpPrefix)> = topo.external_map().collect();
+    while out.len() < n {
+        let dev = devices[rng.gen_range(0..devices.len())];
+        let fib = net.fib(dev);
+        if fib.is_empty() {
+            continue;
+        }
+        let rule = &fib.rules()[rng.gen_range(0..fib.len())];
+        let kind = match rng.gen_range(0..100) {
+            0..=54 => UpdateKind::EcmpReroute,
+            55..=69 => UpdateKind::Detour,
+            70..=89 => UpdateKind::SubprefixDrop,
+            _ => UpdateKind::Retract,
+        };
+        match kind {
+            UpdateKind::EcmpReroute => {
+                // Re-pin onto a shortest-path next hop toward the
+                // prefix's announcing device.
+                let Some((dst, _)) = announced
+                    .iter()
+                    .find(|(_, p)| p.overlaps(&rule.matches.dst))
+                else {
+                    continue;
+                };
+                if *dst == dev {
+                    continue;
+                }
+                let hops = routing::shortest_path_next_hops(topo, *dst, &[]);
+                let choices = &hops[dev.idx()];
+                if choices.is_empty() {
+                    continue;
+                }
+                let nb = choices[rng.gen_range(0..choices.len())];
+                let priority = 60 + (out.len() % 16) as u32;
+                out.push(RuleUpdate::Insert {
+                    device: dev,
+                    rule: Rule {
+                        priority,
+                        matches: rule.matches,
+                        action: Action::fwd(nb),
+                    },
+                });
+                inserted.push((dev, priority, rule.matches));
+            }
+            UpdateKind::Detour => {
+                let nbrs = topo.neighbors(dev);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let (nb, _) = nbrs[rng.gen_range(0..nbrs.len())];
+                let priority = 60 + (out.len() % 16) as u32;
+                out.push(RuleUpdate::Insert {
+                    device: dev,
+                    rule: Rule {
+                        priority,
+                        matches: rule.matches,
+                        action: Action::fwd(nb),
+                    },
+                });
+                inserted.push((dev, priority, rule.matches));
+            }
+            UpdateKind::SubprefixDrop => {
+                if rule.matches.dst.len >= 26 {
+                    continue;
+                }
+                let (lo, hi) = rule.matches.dst.split();
+                let sub = if rng.gen_bool(0.5) { lo } else { hi };
+                let m = MatchSpec::dst(sub);
+                out.push(RuleUpdate::Insert {
+                    device: dev,
+                    rule: Rule {
+                        priority: 90,
+                        matches: m,
+                        action: Action::Drop,
+                    },
+                });
+                inserted.push((dev, 90, m));
+            }
+            UpdateKind::Retract => {
+                if inserted.is_empty() {
+                    continue;
+                }
+                let (d, p, m) = inserted.swap_remove(rng.gen_range(0..inserted.len()));
+                out.push(RuleUpdate::Remove {
+                    device: d,
+                    priority: p,
+                    matches: m,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_unique() {
+        let mut t = topologies::internet2();
+        assign_prefixes(&mut t, 3);
+        let mut all: Vec<IpPrefix> = t.external_map().map(|(_, p)| p).collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate external prefixes");
+        assert_eq!(n, 9 * 3);
+    }
+
+    #[test]
+    fn routed_network_has_full_reachability_rules() {
+        let mut t = topologies::internet2();
+        assign_prefixes(&mut t, 1);
+        let net = routed_network(t);
+        // Every device holds a rule for every prefix (9 prefixes × 9
+        // devices).
+        assert_eq!(net.total_rules(), 81);
+    }
+
+    #[test]
+    fn updates_are_deterministic() {
+        let d = build_dataset("INet2", Scale::Tiny).unwrap();
+        let a = rule_updates(&d.network, 50, 7);
+        let b = rule_updates(&d.network, 50, 7);
+        assert_eq!(a, b);
+        let c = rule_updates(&d.network, 50, 8);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn updates_apply_cleanly() {
+        let d = build_dataset("B4-13", Scale::Tiny).unwrap();
+        let mut net = d.network.clone();
+        for u in rule_updates(&net, 100, 1) {
+            net.apply(&u);
+        }
+        assert!(net.total_rules() >= d.network.total_rules());
+    }
+
+    #[test]
+    fn acls_add_port_rules() {
+        let d = build_dataset("INet2", Scale::Tiny).unwrap();
+        let mut net = d.network.clone();
+        let before = net.total_rules();
+        add_acls(&mut net, 3, 9);
+        assert_eq!(net.total_rules(), before + 3 * 9);
+        // Rules carry port constraints.
+        let has_port = net
+            .fibs
+            .iter()
+            .flat_map(|f| f.rules())
+            .any(|r| r.matches.dst_port.is_some());
+        assert!(has_port);
+        // Deterministic.
+        let mut net2 = d.network.clone();
+        add_acls(&mut net2, 3, 9);
+        assert_eq!(net.fibs, net2.fibs);
+    }
+
+    #[test]
+    fn dc_datasets_announce_at_tors_only() {
+        let d = build_dataset("FT-48", Scale::Tiny).unwrap();
+        for (dev, _) in d.network.topology.external_map() {
+            assert!(d.network.topology.name(dev).starts_with("tor"));
+        }
+    }
+}

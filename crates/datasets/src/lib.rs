@@ -1,0 +1,88 @@
+#![warn(missing_docs)]
+//! Evaluation datasets (Figure 10) and the paper's example networks.
+//!
+//! The paper evaluates 13 datasets — 4 public, the rest synthesized from
+//! public topologies. The original FIBs are not redistributable, so this
+//! crate *generates* each dataset: a topology reproducing the published
+//! node/link counts, per-device external prefixes, shortest-path/ECMP
+//! FIBs, and deterministic rule-update streams. Rule-count relationships
+//! the evaluation depends on are preserved (AT1-2 and AT2-2 share their
+//! topologies with AT1-1/AT2-1 but carry several times the rules).
+//!
+//! Everything is seeded and reproducible.
+
+pub mod examples;
+pub mod gen;
+pub mod topologies;
+
+pub use examples::{fig2a_network, fig5a_network, fig6a_network};
+pub use gen::{rule_updates, Dataset, DatasetSpec, NetKind, Scale, UpdateKind};
+
+/// Names of the 13 evaluation datasets, in the paper's order.
+pub const DATASET_NAMES: [&str; 13] = [
+    "INet2", "B4-13", "STFD", "AT1-1", "AT1-2", "B4-18", "BTNA", "NTT", "AT2-1", "AT2-2", "OTEG",
+    "FT-48", "NGDC",
+];
+
+/// Builds a dataset by its paper name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Dataset> {
+    gen::build_dataset(name, scale)
+}
+
+/// Builds all 13 datasets at the given scale.
+pub fn all_datasets(scale: Scale) -> Vec<Dataset> {
+    DATASET_NAMES
+        .iter()
+        .map(|n| by_name(n, scale).expect("known dataset"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve() {
+        for name in DATASET_NAMES {
+            let d = by_name(name, Scale::Tiny).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(d.spec.name, name);
+            assert!(d.network.topology.num_devices() >= 5, "{name}");
+            assert!(d.network.total_rules() > 0, "{name} has no rules");
+        }
+        assert!(by_name("NOPE", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn topologies_are_connected() {
+        for name in DATASET_NAMES {
+            let d = by_name(name, Scale::Tiny).unwrap();
+            assert!(
+                d.network.topology.connected_without(&[]),
+                "{name} must be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_multipliers_hold() {
+        let a11 = by_name("AT1-1", Scale::Tiny).unwrap();
+        let a12 = by_name("AT1-2", Scale::Tiny).unwrap();
+        // Same topology...
+        assert_eq!(
+            a11.network.topology.num_devices(),
+            a12.network.topology.num_devices()
+        );
+        assert_eq!(
+            a11.network.topology.num_links(),
+            a12.network.topology.num_links()
+        );
+        // ...but several times the rules (paper: 3.39×).
+        let ratio = a12.network.total_rules() as f64 / a11.network.total_rules() as f64;
+        assert!(ratio > 2.5 && ratio < 4.5, "AT1 ratio {ratio}");
+
+        let a21 = by_name("AT2-1", Scale::Tiny).unwrap();
+        let a22 = by_name("AT2-2", Scale::Tiny).unwrap();
+        let ratio = a22.network.total_rules() as f64 / a21.network.total_rules() as f64;
+        assert!(ratio > 8.0 && ratio < 16.0, "AT2 ratio {ratio}");
+    }
+}

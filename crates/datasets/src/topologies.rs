@@ -1,0 +1,294 @@
+//! Topology builders: the public WAN/LAN topologies the paper uses and
+//! synthetic ISP/DC topologies reproducing the published sizes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tulkun_netmodel::topology::{DeviceId, Topology};
+
+const MS: u64 = 1_000_000;
+const US: u64 = 1_000;
+
+/// The 9-device Internet2 (Abilene-era) WAN with geography-based link
+/// latencies.
+pub fn internet2() -> Topology {
+    let mut t = Topology::new();
+    let names = [
+        "SEAT", "LOSA", "SALT", "HOUS", "KANS", "CHIC", "ATLA", "WASH", "NEWY",
+    ];
+    let ids: Vec<DeviceId> = names.iter().map(|n| t.add_device(*n)).collect();
+    let d = |n: &str| ids[names.iter().position(|x| *x == n).unwrap().to_owned()];
+    let links: [(&str, &str, u64); 12] = [
+        ("SEAT", "SALT", 14 * MS),
+        ("SEAT", "LOSA", 18 * MS),
+        ("LOSA", "SALT", 12 * MS),
+        ("LOSA", "HOUS", 22 * MS),
+        ("SALT", "KANS", 15 * MS),
+        ("HOUS", "KANS", 12 * MS),
+        ("HOUS", "ATLA", 14 * MS),
+        ("KANS", "CHIC", 9 * MS),
+        ("CHIC", "ATLA", 11 * MS),
+        ("CHIC", "NEWY", 13 * MS),
+        ("ATLA", "WASH", 10 * MS),
+        ("WASH", "NEWY", 4 * MS),
+    ];
+    for (a, b, lat) in links {
+        t.add_link(d(a), d(b), lat);
+    }
+    t
+}
+
+/// Google B4 as of 2013: 13 sites (B4-13) or the later 18-site
+/// expansion (B4-18), with WAN-scale latencies.
+pub fn b4(sites: usize) -> Topology {
+    assert!(sites == 13 || sites == 18, "B4 has 13 or 18 sites");
+    let mut t = Topology::new();
+    let ids: Vec<DeviceId> = (0..sites)
+        .map(|i| t.add_device(format!("b4-{i:02}")))
+        .collect();
+    // Base 13-site mesh-ish backbone (19 links), then the 18-site
+    // expansion adds 5 sites with dual-homing.
+    let base: [(usize, usize, u64); 19] = [
+        (0, 1, 8 * MS),
+        (0, 2, 12 * MS),
+        (1, 2, 6 * MS),
+        (1, 3, 25 * MS),
+        (2, 4, 28 * MS),
+        (3, 4, 9 * MS),
+        (3, 5, 14 * MS),
+        (4, 6, 11 * MS),
+        (5, 6, 7 * MS),
+        (5, 7, 30 * MS),
+        (6, 8, 26 * MS),
+        (7, 8, 10 * MS),
+        (7, 9, 13 * MS),
+        (8, 10, 12 * MS),
+        (9, 10, 8 * MS),
+        (9, 11, 20 * MS),
+        (10, 12, 18 * MS),
+        (11, 12, 6 * MS),
+        (2, 3, 16 * MS),
+    ];
+    for (a, b, lat) in base {
+        t.add_link(ids[a], ids[b], lat);
+    }
+    if sites == 18 {
+        let ext: [(usize, usize, u64); 10] = [
+            (13, 0, 9 * MS),
+            (13, 2, 11 * MS),
+            (14, 3, 8 * MS),
+            (14, 5, 12 * MS),
+            (15, 6, 10 * MS),
+            (15, 8, 14 * MS),
+            (16, 9, 7 * MS),
+            (16, 11, 9 * MS),
+            (17, 10, 13 * MS),
+            (17, 12, 8 * MS),
+        ];
+        for (a, b, lat) in ext {
+            t.add_link(ids[a], ids[b], lat);
+        }
+    }
+    t
+}
+
+/// A Stanford-backbone-like campus LAN: 2 core routers and 14 zone
+/// routers, each zone dual-homed to both cores (10 µs links).
+pub fn stanford() -> Topology {
+    let mut t = Topology::new();
+    let core_a = t.add_device("bbra");
+    let core_b = t.add_device("bbrb");
+    t.add_link(core_a, core_b, 10 * US);
+    for i in 0..14 {
+        let z = t.add_device(format!("zone{i:02}"));
+        t.add_link(z, core_a, 10 * US);
+        t.add_link(z, core_b, 10 * US);
+    }
+    t
+}
+
+/// A synthetic ISP backbone in the style of Rocketfuel-measured
+/// topologies: a random connected graph grown by preferential
+/// attachment with extra shortcut links, deterministic in `seed`.
+pub fn isp_like(name: &str, devices: usize, extra_links: usize, seed: u64) -> Topology {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let ids: Vec<DeviceId> = (0..devices)
+        .map(|i| t.add_device(format!("{name}-{i:03}")))
+        .collect();
+    // Spanning tree by preferential attachment.
+    let mut degree = vec![0usize; devices];
+    for i in 1..devices {
+        // Pick an existing node weighted by degree+1.
+        let total: usize = degree[..i].iter().map(|d| d + 1).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut j = 0;
+        while pick > degree[j] {
+            pick -= degree[j] + 1;
+            j += 1;
+        }
+        let lat = rng.gen_range(2..30) * MS;
+        t.add_link(ids[i], ids[j], lat);
+        degree[i] += 1;
+        degree[j] += 1;
+    }
+    // Extra shortcuts.
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_links && guard < extra_links * 50 {
+        guard += 1;
+        let a = rng.gen_range(0..devices);
+        let b = rng.gen_range(0..devices);
+        if a == b || t.link_between(ids[a], ids[b]).is_some() {
+            continue;
+        }
+        let lat = rng.gen_range(2..30) * MS;
+        t.add_link(ids[a], ids[b], lat);
+        added += 1;
+    }
+    t
+}
+
+/// A `k`-ary fat tree (Al-Fares et al.): `k` pods of `k/2` edge (ToR)
+/// and `k/2` aggregation switches plus `(k/2)²` core switches; 10 µs
+/// links. `k` must be even.
+pub fn fattree(k: usize) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat tree arity must be even");
+    let half = k / 2;
+    let mut t = Topology::new();
+    // Core switches: (k/2)².
+    let cores: Vec<DeviceId> = (0..half * half)
+        .map(|i| t.add_device(format!("core{i:04}")))
+        .collect();
+    for pod in 0..k {
+        let aggs: Vec<DeviceId> = (0..half)
+            .map(|i| t.add_device(format!("agg{pod:02}x{i:02}")))
+            .collect();
+        let edges: Vec<DeviceId> = (0..half)
+            .map(|i| t.add_device(format!("tor{pod:02}x{i:02}")))
+            .collect();
+        for (ai, &a) in aggs.iter().enumerate() {
+            for &e in &edges {
+                t.add_link(a, e, 10 * US);
+            }
+            // Aggregation switch ai connects to cores [ai*half, (ai+1)*half).
+            for c in 0..half {
+                t.add_link(a, cores[ai * half + c], 10 * US);
+            }
+        }
+    }
+    t
+}
+
+/// A Clos-based data center in the style of the paper's NGDC: `pods`
+/// pods of `tors_per_pod` ToRs and `aggs_per_pod` aggregation switches,
+/// with a `spines` spine layer.
+pub fn clos_dc(pods: usize, tors_per_pod: usize, aggs_per_pod: usize, spines: usize) -> Topology {
+    let mut t = Topology::new();
+    let spine: Vec<DeviceId> = (0..spines)
+        .map(|i| t.add_device(format!("spine{i:04}")))
+        .collect();
+    for p in 0..pods {
+        let aggs: Vec<DeviceId> = (0..aggs_per_pod)
+            .map(|i| t.add_device(format!("agg{p:03}x{i:02}")))
+            .collect();
+        for tor in 0..tors_per_pod {
+            let tor = t.add_device(format!("tor{p:03}x{tor:02}"));
+            for &a in &aggs {
+                t.add_link(tor, a, 10 * US);
+            }
+        }
+        // Each aggregation switch connects to an even stripe of spines.
+        for (ai, &a) in aggs.iter().enumerate() {
+            for s in 0..spines / aggs_per_pod {
+                t.add_link(a, spine[ai * (spines / aggs_per_pod) + s], 10 * US);
+            }
+        }
+    }
+    t
+}
+
+/// ToR device ids of a fat tree or Clos topology (devices named `tor…`).
+pub fn tor_devices(t: &Topology) -> Vec<DeviceId> {
+    t.devices()
+        .filter(|d| t.name(*d).starts_with("tor"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internet2_shape() {
+        let t = internet2();
+        assert_eq!(t.num_devices(), 9);
+        assert_eq!(t.num_links(), 12);
+        assert!(t.connected_without(&[]));
+        assert!(t.diameter_hops() <= 4);
+    }
+
+    #[test]
+    fn b4_shapes() {
+        let t13 = b4(13);
+        assert_eq!(t13.num_devices(), 13);
+        assert_eq!(t13.num_links(), 19);
+        assert!(t13.connected_without(&[]));
+        let t18 = b4(18);
+        assert_eq!(t18.num_devices(), 18);
+        assert_eq!(t18.num_links(), 29);
+        assert!(t18.connected_without(&[]));
+    }
+
+    #[test]
+    fn stanford_shape() {
+        let t = stanford();
+        assert_eq!(t.num_devices(), 16);
+        assert_eq!(t.num_links(), 29);
+        assert_eq!(t.diameter_hops(), 2);
+    }
+
+    #[test]
+    fn isp_like_is_deterministic_and_connected() {
+        let a = isp_like("at1", 25, 15, 42);
+        let b = isp_like("at1", 25, 15, 42);
+        assert_eq!(a.num_links(), b.num_links());
+        assert_eq!(a.num_devices(), 25);
+        assert!(a.connected_without(&[]));
+        let c = isp_like("at1", 25, 15, 43);
+        // Different seed, (almost surely) different wiring: compare edge
+        // sets via sorted endpoints.
+        let edges = |t: &Topology| {
+            let mut v: Vec<(u32, u32)> = t
+                .links()
+                .iter()
+                .map(|l| (l.a.0.min(l.b.0), l.a.0.max(l.b.0)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_ne!(edges(&a), edges(&c));
+    }
+
+    #[test]
+    fn fattree_shape() {
+        let t = fattree(4);
+        // k=4: 4 cores + 4 pods × (2 agg + 2 tor) = 20.
+        assert_eq!(t.num_devices(), 20);
+        assert!(t.connected_without(&[]));
+        assert_eq!(tor_devices(&t).len(), 8);
+        // Fat tree diameter: tor→agg→core→agg→tor = 4.
+        assert_eq!(t.diameter_hops(), 4);
+
+        let t48 = fattree(48);
+        assert_eq!(t48.num_devices(), 24 * 24 + 48 * 48); // 576 cores + 2304 pod switches
+        assert_eq!(tor_devices(&t48).len(), 48 * 24);
+    }
+
+    #[test]
+    fn clos_shape() {
+        let t = clos_dc(8, 12, 4, 16);
+        assert_eq!(t.num_devices(), 16 + 8 * (12 + 4));
+        assert!(t.connected_without(&[]));
+        assert_eq!(tor_devices(&t).len(), 96);
+    }
+}

@@ -1,0 +1,493 @@
+//! Prioritized match-action tables (the paper's data plane model, §2.1)
+//! and the LEC builder (§5.1).
+
+use crate::prefix::IpPrefix;
+use crate::topology::DeviceId;
+use serde::{Deserialize, Serialize};
+use tulkun_bdd::{BddManager, HeaderLayout, Pred};
+
+/// How a forwarding group treats its next hops (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ActionType {
+    /// The packet is replicated to **all** next hops in the group
+    /// (multicast / 1+1 protection): one universe, several traces.
+    All,
+    /// The packet is sent to **one** next hop chosen by an unknown,
+    /// vendor-specific algorithm (ECMP): several universes.
+    Any,
+}
+
+/// A member of a forwarding group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Forward to a neighboring device.
+    Device(DeviceId),
+    /// Deliver out an external port (the packet leaves the network
+    /// correctly at this device).
+    External,
+}
+
+/// An optional header rewrite applied before forwarding (packet
+/// transformation, §5.2). The destination IP is replaced so that the
+/// packet subsequently matches `to` instead of its original space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rewrite {
+    /// New destination prefix; all matched packets are mapped into it.
+    pub to: IpPrefix,
+}
+
+/// A data plane action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Action {
+    /// Drop the packet (the empty forwarding group of §2.1).
+    Drop,
+    /// Forward to a group of next hops.
+    Forward {
+        /// `ALL` (replicate) or `ANY` (pick one).
+        mode: ActionType,
+        /// The forwarding group.
+        next_hops: Vec<NextHop>,
+        /// Optional packet transformation applied before forwarding.
+        rewrite: Option<Rewrite>,
+    },
+}
+
+impl Action {
+    /// Convenience: forward to a single device (ALL and ANY coincide).
+    pub fn fwd(dev: DeviceId) -> Action {
+        Action::Forward {
+            mode: ActionType::All,
+            next_hops: vec![NextHop::Device(dev)],
+            rewrite: None,
+        }
+    }
+
+    /// Convenience: forward to all of the given devices.
+    pub fn fwd_all(devs: impl IntoIterator<Item = DeviceId>) -> Action {
+        Action::Forward {
+            mode: ActionType::All,
+            next_hops: devs.into_iter().map(NextHop::Device).collect(),
+            rewrite: None,
+        }
+    }
+
+    /// Convenience: forward to any one of the given devices.
+    pub fn fwd_any(devs: impl IntoIterator<Item = DeviceId>) -> Action {
+        Action::Forward {
+            mode: ActionType::Any,
+            next_hops: devs.into_iter().map(NextHop::Device).collect(),
+            rewrite: None,
+        }
+    }
+
+    /// Convenience: deliver out an external port.
+    pub fn deliver() -> Action {
+        Action::Forward {
+            mode: ActionType::All,
+            next_hops: vec![NextHop::External],
+            rewrite: None,
+        }
+    }
+
+    /// Device next hops of the action (empty for drop/deliver-only).
+    pub fn device_next_hops(&self) -> Vec<DeviceId> {
+        match self {
+            Action::Drop => Vec::new(),
+            Action::Forward { next_hops, .. } => next_hops
+                .iter()
+                .filter_map(|nh| match nh {
+                    NextHop::Device(d) => Some(*d),
+                    NextHop::External => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Does the action deliver out an external port?
+    pub fn delivers_external(&self) -> bool {
+        matches!(self, Action::Forward { next_hops, .. } if next_hops.contains(&NextHop::External))
+    }
+}
+
+/// What packets a rule matches: a destination prefix plus optional
+/// destination-port range and protocol constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatchSpec {
+    /// Destination prefix to match.
+    pub dst: IpPrefix,
+    /// Inclusive destination-port range, if constrained.
+    pub dst_port: Option<(u16, u16)>,
+    /// Exact protocol number, if constrained.
+    pub proto: Option<u8>,
+}
+
+impl MatchSpec {
+    /// Match on a destination prefix only.
+    pub fn dst(prefix: IpPrefix) -> Self {
+        MatchSpec {
+            dst: prefix,
+            dst_port: None,
+            proto: None,
+        }
+    }
+
+    /// Adds an exact destination port.
+    pub fn with_port(mut self, port: u16) -> Self {
+        self.dst_port = Some((port, port));
+        self
+    }
+
+    /// Compiles the match into a predicate.
+    pub fn to_pred(&self, m: &mut BddManager, layout: &HeaderLayout) -> Pred {
+        let mut p = self.dst.to_pred(m, layout);
+        if let Some((lo, hi)) = self.dst_port {
+            let r = layout.dst_port.range(m, lo as u64, hi as u64);
+            p = m.and(p, r);
+        }
+        if let Some(proto) = self.proto {
+            let q = layout.proto.eq(m, proto as u64);
+            p = m.and(p, q);
+        }
+        p
+    }
+}
+
+/// One prioritized rule. Higher `priority` wins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Higher priorities win.
+    pub priority: u32,
+    /// What the rule matches.
+    pub matches: MatchSpec,
+    /// What it does.
+    pub action: Action,
+}
+
+/// A device's forwarding table: rules ordered by descending priority.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fib {
+    rules: Vec<Rule>,
+}
+
+/// One local equivalence class: a set of packets (as a predicate) with an
+/// identical action at this device (§5.1).
+#[derive(Debug, Clone)]
+pub struct Lec {
+    /// The packets of the class.
+    pub pred: Pred,
+    /// Their shared action.
+    pub action: Action,
+}
+
+impl Fib {
+    /// Empty table (drops everything).
+    pub fn new() -> Self {
+        Fib::default()
+    }
+
+    /// Inserts a rule, keeping descending-priority order. Within equal
+    /// priority, later insertions sort after earlier ones.
+    pub fn insert(&mut self, rule: Rule) {
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(pos, rule);
+    }
+
+    /// Removes all rules matching the given priority and match spec;
+    /// returns how many were removed.
+    pub fn remove(&mut self, priority: u32, matches: &MatchSpec) -> usize {
+        let before = self.rules.len();
+        self.rules
+            .retain(|r| !(r.priority == priority && r.matches == *matches));
+        before - self.rules.len()
+    }
+
+    /// Rules in descending priority order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The **LEC builder** (§8): compresses the prioritized table into a
+    /// minimal list of `(predicate, action)` classes that partition the
+    /// full packet space. Packets matching no rule fall into a `Drop`
+    /// class. Classes with identical actions are merged.
+    pub fn local_equivalence_classes(&self, m: &mut BddManager, layout: &HeaderLayout) -> Vec<Lec> {
+        let mut remaining = m.verum();
+        // Group matched spaces by action.
+        let mut by_action: Vec<(Action, Pred)> = Vec::new();
+        for rule in &self.rules {
+            if m.is_false(remaining) {
+                break;
+            }
+            let mp = rule.matches.to_pred(m, layout);
+            let eff = m.and(mp, remaining);
+            if m.is_false(eff) {
+                continue;
+            }
+            remaining = m.diff(remaining, mp);
+            match by_action.iter_mut().find(|(a, _)| *a == rule.action) {
+                Some((_, p)) => *p = m.or(*p, eff),
+                None => by_action.push((rule.action.clone(), eff)),
+            }
+        }
+        if !m.is_false(remaining) {
+            match by_action.iter_mut().find(|(a, _)| *a == Action::Drop) {
+                Some((_, p)) => *p = m.or(*p, remaining),
+                None => by_action.push((Action::Drop, remaining)),
+            }
+        }
+        by_action
+            .into_iter()
+            .map(|(action, pred)| Lec { pred, action })
+            .collect()
+    }
+
+    /// Like [`Fib::local_equivalence_classes`], but restricted to the
+    /// packets in `region`: returns classes partitioning `region` only.
+    /// Used for incremental LEC maintenance after a rule update (only
+    /// the updated rule's match region can change class).
+    pub fn local_equivalence_classes_in(
+        &self,
+        region: Pred,
+        m: &mut BddManager,
+        layout: &HeaderLayout,
+    ) -> Vec<Lec> {
+        let mut remaining = region;
+        let mut by_action: Vec<(Action, Pred)> = Vec::new();
+        for rule in &self.rules {
+            if m.is_false(remaining) {
+                break;
+            }
+            let mp = rule.matches.to_pred(m, layout);
+            let eff = m.and(mp, remaining);
+            if m.is_false(eff) {
+                continue;
+            }
+            remaining = m.diff(remaining, mp);
+            match by_action.iter_mut().find(|(a, _)| *a == rule.action) {
+                Some((_, p)) => *p = m.or(*p, eff),
+                None => by_action.push((rule.action.clone(), eff)),
+            }
+        }
+        if !m.is_false(remaining) {
+            match by_action.iter_mut().find(|(a, _)| *a == Action::Drop) {
+                Some((_, p)) => *p = m.or(*p, remaining),
+                None => by_action.push((Action::Drop, remaining)),
+            }
+        }
+        by_action
+            .into_iter()
+            .map(|(action, pred)| Lec { pred, action })
+            .collect()
+    }
+
+    /// Looks up the effective action for a single concrete packet given as
+    /// a full variable assignment (testing aid).
+    pub fn lookup(&self, m: &mut BddManager, layout: &HeaderLayout, assignment: &[bool]) -> Action {
+        for rule in &self.rules {
+            let p = rule.matches.to_pred(m, layout);
+            if m.eval(p, assignment) {
+                return rule.action.clone();
+            }
+        }
+        Action::Drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout_and_mgr() -> (HeaderLayout, BddManager) {
+        let layout = HeaderLayout::ipv4_tcp();
+        let m = BddManager::new(layout.num_vars());
+        (layout, m)
+    }
+
+    fn pfx(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn priority_order_is_maintained() {
+        let mut fib = Fib::new();
+        fib.insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.0.0/8")),
+            action: Action::Drop,
+        });
+        fib.insert(Rule {
+            priority: 30,
+            matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+            action: Action::deliver(),
+        });
+        fib.insert(Rule {
+            priority: 20,
+            matches: MatchSpec::dst(pfx("10.0.0.0/16")),
+            action: Action::fwd(DeviceId(1)),
+        });
+        let prios: Vec<u32> = fib.rules().iter().map(|r| r.priority).collect();
+        assert_eq!(prios, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn lec_partitions_full_space() {
+        let (layout, mut m) = layout_and_mgr();
+        let mut fib = Fib::new();
+        fib.insert(Rule {
+            priority: 20,
+            matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+            action: Action::fwd(DeviceId(1)),
+        });
+        fib.insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.0.0/16")),
+            action: Action::fwd(DeviceId(2)),
+        });
+        let lecs = fib.local_equivalence_classes(&mut m, &layout);
+        // Classes must be disjoint and cover everything.
+        let mut union = m.falsum();
+        for (i, a) in lecs.iter().enumerate() {
+            for b in &lecs[i + 1..] {
+                assert!(!m.intersects(a.pred, b.pred), "LECs overlap");
+            }
+            union = m.or(union, a.pred);
+        }
+        assert!(m.is_true(union), "LECs do not cover the packet space");
+        assert_eq!(lecs.len(), 3); // /24 → dev1, /16 minus /24 → dev2, rest → drop
+    }
+
+    #[test]
+    fn lec_respects_priority_shadowing() {
+        let (layout, mut m) = layout_and_mgr();
+        let mut fib = Fib::new();
+        // Low priority broad rule fully shadowed on the /24.
+        fib.insert(Rule {
+            priority: 5,
+            matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+            action: Action::fwd(DeviceId(9)),
+        });
+        fib.insert(Rule {
+            priority: 50,
+            matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+            action: Action::Drop,
+        });
+        let lecs = fib.local_equivalence_classes(&mut m, &layout);
+        // The /24 must be dropped; device 9 never appears.
+        assert!(lecs
+            .iter()
+            .all(|l| l.action.device_next_hops() != vec![DeviceId(9)]));
+    }
+
+    #[test]
+    fn lec_merges_identical_actions() {
+        let (layout, mut m) = layout_and_mgr();
+        let mut fib = Fib::new();
+        fib.insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.0.0/24")),
+            action: Action::fwd(DeviceId(1)),
+        });
+        fib.insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.1.0/24")),
+            action: Action::fwd(DeviceId(1)),
+        });
+        let lecs = fib.local_equivalence_classes(&mut m, &layout);
+        assert_eq!(lecs.len(), 2); // merged class + default drop
+        let (layout2, mut m2) = layout_and_mgr();
+        let expect = pfx("10.0.0.0/23").to_pred(&mut m2, &layout2);
+        let got = lecs.iter().find(|l| l.action != Action::Drop).unwrap().pred;
+        // Same canonical shape in both managers (fresh managers, same build order).
+        assert_eq!(m.sat_count(got), m2.sat_count(expect));
+    }
+
+    #[test]
+    fn empty_fib_drops_everything() {
+        let (layout, mut m) = layout_and_mgr();
+        let fib = Fib::new();
+        let lecs = fib.local_equivalence_classes(&mut m, &layout);
+        assert_eq!(lecs.len(), 1);
+        assert_eq!(lecs[0].action, Action::Drop);
+        assert!(m.is_true(lecs[0].pred));
+    }
+
+    #[test]
+    fn port_match_refines_classes() {
+        let (layout, mut m) = layout_and_mgr();
+        let mut fib = Fib::new();
+        fib.insert(Rule {
+            priority: 20,
+            matches: MatchSpec::dst(pfx("10.0.1.0/24")).with_port(80),
+            action: Action::fwd(DeviceId(1)),
+        });
+        fib.insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.1.0/24")),
+            action: Action::fwd(DeviceId(2)),
+        });
+        let lecs = fib.local_equivalence_classes(&mut m, &layout);
+        assert_eq!(lecs.len(), 3);
+        // Port-80 class is a strict subset of the /24 predicate.
+        let p24 = pfx("10.0.1.0/24").to_pred(&mut m, &layout);
+        let c80 = lecs
+            .iter()
+            .find(|l| l.action == Action::fwd(DeviceId(1)))
+            .unwrap()
+            .pred;
+        assert!(m.implies(c80, p24));
+    }
+
+    #[test]
+    fn remove_deletes_matching_rules() {
+        let mut fib = Fib::new();
+        let ms = MatchSpec::dst(pfx("10.0.0.0/24"));
+        fib.insert(Rule {
+            priority: 10,
+            matches: ms,
+            action: Action::Drop,
+        });
+        fib.insert(Rule {
+            priority: 20,
+            matches: ms,
+            action: Action::deliver(),
+        });
+        assert_eq!(fib.remove(10, &ms), 1);
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.remove(99, &ms), 0);
+    }
+
+    #[test]
+    fn lookup_follows_priority() {
+        let (layout, mut m) = layout_and_mgr();
+        let mut fib = Fib::new();
+        fib.insert(Rule {
+            priority: 1,
+            matches: MatchSpec::dst(pfx("0.0.0.0/0")),
+            action: Action::Drop,
+        });
+        fib.insert(Rule {
+            priority: 9,
+            matches: MatchSpec::dst(pfx("10.0.0.0/8")),
+            action: Action::deliver(),
+        });
+        let mut bits = vec![false; layout.num_vars() as usize];
+        // dst = 10.0.0.1
+        let addr = u32::from_be_bytes([10, 0, 0, 1]);
+        for i in 0..32 {
+            bits[i as usize] = (addr >> (31 - i)) & 1 == 1;
+        }
+        assert_eq!(fib.lookup(&mut m, &layout, &bits), Action::deliver());
+        let bits0 = vec![false; layout.num_vars() as usize];
+        assert_eq!(fib.lookup(&mut m, &layout, &bits0), Action::Drop);
+    }
+}

@@ -1,0 +1,123 @@
+//! A network: topology plus one data plane (FIB) per device.
+
+use crate::fib::{Fib, MatchSpec, Rule};
+use crate::topology::{DeviceId, Topology};
+use serde::{Deserialize, Serialize};
+use tulkun_bdd::HeaderLayout;
+
+/// A complete network snapshot: topology, per-device FIBs, and the header
+/// layout its predicates are expressed over.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    /// Devices, links and external ports.
+    pub topology: Topology,
+    /// One FIB per device, indexed by `DeviceId`.
+    pub fibs: Vec<Fib>,
+    /// Header-bit layout of all predicates.
+    pub layout: HeaderLayout,
+}
+
+/// One rule update: install or withdraw a rule at a device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleUpdate {
+    /// Install a rule.
+    Insert {
+        /// Device whose FIB changes.
+        device: DeviceId,
+        /// The new rule.
+        rule: Rule,
+    },
+    /// Withdraw all rules with this priority and match.
+    Remove {
+        /// Device whose FIB changes.
+        device: DeviceId,
+        /// Priority of the rules to remove.
+        priority: u32,
+        /// Match of the rules to remove.
+        matches: MatchSpec,
+    },
+}
+
+impl RuleUpdate {
+    /// The device whose FIB the update touches.
+    pub fn device(&self) -> DeviceId {
+        match self {
+            RuleUpdate::Insert { device, .. } | RuleUpdate::Remove { device, .. } => *device,
+        }
+    }
+}
+
+impl Network {
+    /// A network over the given topology with empty (drop-all) FIBs.
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.num_devices();
+        Network {
+            topology,
+            fibs: vec![Fib::new(); n],
+            layout: HeaderLayout::ipv4_tcp(),
+        }
+    }
+
+    /// The FIB of a device.
+    pub fn fib(&self, d: DeviceId) -> &Fib {
+        &self.fibs[d.idx()]
+    }
+
+    /// Mutable FIB of a device.
+    pub fn fib_mut(&mut self, d: DeviceId) -> &mut Fib {
+        &mut self.fibs[d.idx()]
+    }
+
+    /// Total rules across all devices.
+    pub fn total_rules(&self) -> usize {
+        self.fibs.iter().map(Fib::len).sum()
+    }
+
+    /// Applies a rule update to the snapshot.
+    pub fn apply(&mut self, update: &RuleUpdate) {
+        match update {
+            RuleUpdate::Insert { device, rule } => self.fib_mut(*device).insert(rule.clone()),
+            RuleUpdate::Remove {
+                device,
+                priority,
+                matches,
+            } => {
+                self.fib_mut(*device).remove(*priority, matches);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::Action;
+    use crate::prefix::IpPrefix;
+
+    #[test]
+    fn apply_updates() {
+        let mut t = Topology::new();
+        let a = t.add_device("A");
+        let _b = t.add_device("B");
+        let mut net = Network::new(t);
+        assert_eq!(net.total_rules(), 0);
+        let p: IpPrefix = "10.0.0.0/24".parse().unwrap();
+        let rule = Rule {
+            priority: 10,
+            matches: MatchSpec::dst(p),
+            action: Action::deliver(),
+        };
+        net.apply(&RuleUpdate::Insert {
+            device: a,
+            rule: rule.clone(),
+        });
+        assert_eq!(net.total_rules(), 1);
+        assert_eq!(net.fib(a).rules()[0], rule);
+        net.apply(&RuleUpdate::Remove {
+            device: a,
+            priority: 10,
+            matches: MatchSpec::dst(p),
+        });
+        assert_eq!(net.total_rules(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! IPv4 prefixes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use tulkun_bdd::{BddManager, HeaderLayout, Pred};
+
+/// An IPv4 prefix `addr/len` with host bits zeroed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IpPrefix {
+    /// Network address with host bits zero.
+    pub addr: u32,
+    /// Prefix length, 0..=32.
+    pub len: u8,
+}
+
+impl IpPrefix {
+    /// Builds a prefix, zeroing any host bits of `addr`.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range");
+        IpPrefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// Builds a prefix from dotted octets.
+    pub fn from_octets(octets: [u8; 4], len: u8) -> Self {
+        Self::new(u32::from_be_bytes(octets), len)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Does this prefix contain the address?
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & Self::mask(self.len) == self.addr
+    }
+
+    /// Does this prefix contain (or equal) the other prefix?
+    pub fn covers(&self, other: &IpPrefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+
+    /// Do the two prefixes share any address?
+    pub fn overlaps(&self, other: &IpPrefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// The two halves of this prefix (undefined for /32).
+    pub fn split(&self) -> (IpPrefix, IpPrefix) {
+        assert!(self.len < 32, "cannot split a /32");
+        let len = self.len + 1;
+        let lo = IpPrefix::new(self.addr, len);
+        let hi = IpPrefix::new(self.addr | (1 << (32 - len as u32)), len);
+        (lo, hi)
+    }
+
+    /// Compiles the prefix into a destination-IP predicate.
+    pub fn to_pred(&self, m: &mut BddManager, layout: &HeaderLayout) -> Pred {
+        layout.dst_ip.prefix(m, self.addr as u64, self.len as u32)
+    }
+}
+
+impl fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+/// Error from parsing an [`IpPrefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for IpPrefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError(s.to_string());
+        let (ip, len) = match s.split_once('/') {
+            Some((ip, len)) => (ip, len.parse::<u8>().map_err(|_| err())?),
+            None => (s, 32),
+        };
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = [0u8; 4];
+        let mut parts = ip.split('.');
+        for o in octets.iter_mut() {
+            *o = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(IpPrefix::from_octets(octets, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["10.0.0.0/23", "192.168.1.0/24", "0.0.0.0/0", "1.2.3.4/32"] {
+            let p: IpPrefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_host_without_len() {
+        let p: IpPrefix = "1.2.3.4".parse().unwrap();
+        assert_eq!(p.len, 32);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "10.0.0/24",
+            "10.0.0.0.0/24",
+            "10.0.0.0/33",
+            "a.b.c.d/8",
+            "10.0.0.256/8",
+        ] {
+            assert!(s.parse::<IpPrefix>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn host_bits_are_zeroed() {
+        let p = IpPrefix::from_octets([10, 0, 1, 77], 24);
+        assert_eq!(p.to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn containment() {
+        let p23: IpPrefix = "10.0.0.0/23".parse().unwrap();
+        let p24: IpPrefix = "10.0.1.0/24".parse().unwrap();
+        assert!(p23.covers(&p24));
+        assert!(!p24.covers(&p23));
+        assert!(p23.overlaps(&p24));
+        assert!(p23.contains(u32::from_be_bytes([10, 0, 1, 9])));
+        assert!(!p23.contains(u32::from_be_bytes([10, 0, 2, 0])));
+        let other: IpPrefix = "10.1.0.0/16".parse().unwrap();
+        assert!(!p23.overlaps(&other));
+    }
+
+    #[test]
+    fn split_partitions() {
+        let p: IpPrefix = "10.0.0.0/23".parse().unwrap();
+        let (lo, hi) = p.split();
+        assert_eq!(lo.to_string(), "10.0.0.0/24");
+        assert_eq!(hi.to_string(), "10.0.1.0/24");
+        assert!(p.covers(&lo) && p.covers(&hi));
+        assert!(!lo.overlaps(&hi));
+    }
+
+    #[test]
+    fn pred_agrees_with_contains() {
+        let layout = HeaderLayout::ipv4_tcp();
+        let mut m = BddManager::new(layout.num_vars());
+        let p: IpPrefix = "172.16.0.0/12".parse().unwrap();
+        let pred = p.to_pred(&mut m, &layout);
+        for addr in [
+            u32::from_be_bytes([172, 16, 0, 1]),
+            u32::from_be_bytes([172, 31, 255, 255]),
+            u32::from_be_bytes([172, 32, 0, 0]),
+            u32::from_be_bytes([10, 0, 0, 1]),
+        ] {
+            let mut bits = vec![false; layout.num_vars() as usize];
+            for i in 0..32 {
+                bits[i as usize] = (addr >> (31 - i)) & 1 == 1;
+            }
+            assert_eq!(m.eval(pred, &bits), p.contains(addr), "addr {addr:#x}");
+        }
+    }
+}

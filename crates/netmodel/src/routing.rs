@@ -1,0 +1,271 @@
+//! Shortest-path / ECMP FIB generation and error injection.
+//!
+//! The evaluation datasets need data planes that look like real ones:
+//! longest-prefix-match rules computed by shortest-path routing with ECMP
+//! groups, plus controlled errors (blackholes, loops, detours) for the
+//! error-detection experiments.
+
+use crate::fib::{Action, ActionType, Fib, MatchSpec, NextHop, Rule};
+use crate::network::{Network, RuleUpdate};
+use crate::prefix::IpPrefix;
+use crate::topology::{DeviceId, LinkId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// How ECMP groups are encoded in generated rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EcmpMode {
+    /// Multiple equal-cost next hops become one `ANY`-type group
+    /// (the realistic encoding; creates multiple universes).
+    Any,
+    /// Only the first (lowest-id) shortest-path next hop is used.
+    Single,
+    /// Multiple equal-cost next hops become an `ALL`-type group
+    /// (replication; used to build multicast-style data planes).
+    All,
+}
+
+/// Options for FIB generation.
+#[derive(Debug, Clone)]
+pub struct RoutingOptions {
+    /// How equal-cost next-hop sets become actions.
+    pub ecmp: EcmpMode,
+    /// Links considered failed while computing routes.
+    pub down_links: Vec<LinkId>,
+}
+
+impl Default for RoutingOptions {
+    fn default() -> Self {
+        RoutingOptions {
+            ecmp: EcmpMode::Any,
+            down_links: Vec::new(),
+        }
+    }
+}
+
+/// For every device, the neighbors that lie on a shortest path toward
+/// `dst` (empty at `dst` itself and at unreachable devices).
+pub fn shortest_path_next_hops(
+    topo: &Topology,
+    dst: DeviceId,
+    down: &[LinkId],
+) -> Vec<Vec<DeviceId>> {
+    let dist = topo.bfs_hops(dst, down);
+    topo.devices()
+        .map(|d| {
+            if d == dst || dist[d.idx()] == u32::MAX {
+                return Vec::new();
+            }
+            let mut hops: Vec<DeviceId> = topo
+                .neighbors(d)
+                .iter()
+                .filter(|(n, l)| !down.contains(l) && dist[n.idx()] + 1 == dist[d.idx()])
+                .map(|(n, _)| *n)
+                .collect();
+            hops.sort();
+            hops
+        })
+        .collect()
+}
+
+/// Generates FIBs implementing shortest-path routing toward every
+/// `(device, prefix)` external-port pair of the topology.
+pub fn generate_fibs(topo: &Topology, opts: &RoutingOptions) -> Vec<Fib> {
+    let mut fibs = vec![Fib::new(); topo.num_devices()];
+    for (dst, prefix) in topo.external_map() {
+        install_route(topo, &mut fibs, dst, prefix, opts);
+    }
+    fibs
+}
+
+/// Installs the rules that route `prefix` toward `dst` into `fibs`.
+pub fn install_route(
+    topo: &Topology,
+    fibs: &mut [Fib],
+    dst: DeviceId,
+    prefix: IpPrefix,
+    opts: &RoutingOptions,
+) {
+    let next = shortest_path_next_hops(topo, dst, &opts.down_links);
+    for d in topo.devices() {
+        let rule = if d == dst {
+            Rule {
+                priority: prefix.len as u32,
+                matches: MatchSpec::dst(prefix),
+                action: Action::deliver(),
+            }
+        } else {
+            let hops = &next[d.idx()];
+            if hops.is_empty() {
+                continue; // unreachable: leave the default drop
+            }
+            let action = match (opts.ecmp, hops.len()) {
+                (_, 1) | (EcmpMode::Single, _) => Action::fwd(hops[0]),
+                (EcmpMode::Any, _) => Action::fwd_any(hops.iter().copied()),
+                (EcmpMode::All, _) => Action::fwd_all(hops.iter().copied()),
+            };
+            Rule {
+                priority: prefix.len as u32,
+                matches: MatchSpec::dst(prefix),
+                action,
+            }
+        };
+        fibs[d.idx()].insert(rule);
+    }
+}
+
+/// A deliberately injected data plane error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedError {
+    /// `device` silently drops `prefix` (high-priority drop rule).
+    Blackhole {
+        /// Where the drop is installed.
+        device: DeviceId,
+        /// The dropped prefix.
+        prefix: IpPrefix,
+    },
+    /// `device` forwards `prefix` to a neighbor that is *farther* from the
+    /// destination, creating a detour or loop.
+    Detour {
+        /// Where the detour is installed.
+        device: DeviceId,
+        /// The detoured prefix.
+        prefix: IpPrefix,
+        /// The (wrong) next hop used.
+        wrong_hop: DeviceId,
+    },
+}
+
+impl InjectedError {
+    /// The rule update realizing the error (priority 100 outranks all
+    /// generated prefix-length priorities, which are ≤ 32).
+    pub fn to_update(&self) -> RuleUpdate {
+        match self {
+            InjectedError::Blackhole { device, prefix } => RuleUpdate::Insert {
+                device: *device,
+                rule: Rule {
+                    priority: 100,
+                    matches: MatchSpec::dst(*prefix),
+                    action: Action::Drop,
+                },
+            },
+            InjectedError::Detour {
+                device,
+                prefix,
+                wrong_hop,
+            } => RuleUpdate::Insert {
+                device: *device,
+                rule: Rule {
+                    priority: 100,
+                    matches: MatchSpec::dst(*prefix),
+                    action: Action::Forward {
+                        mode: ActionType::All,
+                        next_hops: vec![NextHop::Device(*wrong_hop)],
+                        rewrite: None,
+                    },
+                },
+            },
+        }
+    }
+}
+
+/// Applies injected errors to a network snapshot.
+pub fn inject_errors(net: &mut Network, errors: &[InjectedError]) {
+    for e in errors {
+        net.apply(&e.to_update());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2a of the paper: S–A, A–B, A–W, B–W, B–D, W–D (C omitted).
+    fn line_with_diamond() -> (Topology, [DeviceId; 5]) {
+        let mut t = Topology::new();
+        let s = t.add_device("S");
+        let a = t.add_device("A");
+        let b = t.add_device("B");
+        let w = t.add_device("W");
+        let d = t.add_device("D");
+        t.add_link(s, a, 1000);
+        t.add_link(a, b, 1000);
+        t.add_link(a, w, 1000);
+        t.add_link(b, w, 1000);
+        t.add_link(b, d, 1000);
+        t.add_link(w, d, 1000);
+        (t, [s, a, b, w, d])
+    }
+
+    #[test]
+    fn next_hops_follow_bfs() {
+        let (t, [s, a, b, w, d]) = line_with_diamond();
+        let nh = shortest_path_next_hops(&t, d, &[]);
+        assert_eq!(nh[d.idx()], Vec::<DeviceId>::new());
+        assert_eq!(nh[b.idx()], vec![d]);
+        assert_eq!(nh[w.idx()], vec![d]);
+        assert_eq!(nh[a.idx()], vec![b, w]); // ECMP
+        assert_eq!(nh[s.idx()], vec![a]);
+    }
+
+    #[test]
+    fn next_hops_respect_down_links() {
+        let (t, [_, a, b, w, d]) = line_with_diamond();
+        let l = t.link_between(b, d).unwrap();
+        let nh = shortest_path_next_hops(&t, d, &[l]);
+        assert_eq!(nh[b.idx()], vec![w]); // reroute via w
+        assert_eq!(nh[a.idx()], vec![w]); // b is now farther
+    }
+
+    #[test]
+    fn generated_fibs_deliver_at_destination() {
+        let (mut t, [s, a, _, _, d]) = line_with_diamond();
+        let p: IpPrefix = "10.0.0.0/23".parse().unwrap();
+        t.add_external_prefix(d, p);
+        let fibs = generate_fibs(&t, &RoutingOptions::default());
+        assert!(fibs[d.idx()].rules()[0].action.delivers_external());
+        // A has an ANY ECMP group of size 2.
+        match &fibs[a.idx()].rules()[0].action {
+            Action::Forward {
+                mode: ActionType::Any,
+                next_hops,
+                ..
+            } => {
+                assert_eq!(next_hops.len(), 2)
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        // S forwards to A.
+        assert_eq!(fibs[s.idx()].rules()[0].action.device_next_hops(), vec![a]);
+    }
+
+    #[test]
+    fn single_mode_picks_one_hop() {
+        let (mut t, [_, a, b, _, d]) = line_with_diamond();
+        t.add_external_prefix(d, "10.0.0.0/23".parse().unwrap());
+        let opts = RoutingOptions {
+            ecmp: EcmpMode::Single,
+            ..Default::default()
+        };
+        let fibs = generate_fibs(&t, &opts);
+        assert_eq!(fibs[a.idx()].rules()[0].action.device_next_hops(), vec![b]);
+    }
+
+    #[test]
+    fn blackhole_injection_overrides_route() {
+        let (mut t, [_, a, _, _, d]) = line_with_diamond();
+        let p: IpPrefix = "10.0.0.0/23".parse().unwrap();
+        t.add_external_prefix(d, p);
+        let fibs = generate_fibs(&t, &RoutingOptions::default());
+        let mut net = Network::new(t);
+        net.fibs = fibs;
+        inject_errors(
+            &mut net,
+            &[InjectedError::Blackhole {
+                device: a,
+                prefix: p,
+            }],
+        );
+        // The top-priority rule at A is now a drop.
+        assert_eq!(net.fib(a).rules()[0].action, Action::Drop);
+    }
+}

@@ -1,0 +1,113 @@
+//! The centralized-baseline harness: models the paper's methodology for
+//! centralized DPV tools (§9.3.1) — "we randomly assign a device as the
+//! location of the verifier, and let all devices send it their data
+//! planes along lowest-latency paths" — then adds the tool's measured
+//! compute time.
+
+use std::time::Instant;
+use tulkun_baselines::{BaselineReport, CentralizedDpv, Workload};
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::DeviceId;
+
+/// Outcome of one centralized run.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralRun {
+    /// Latency for the data (rules/updates) to reach the verifier.
+    pub collect_latency_ns: u64,
+    /// Measured compute time of the tool.
+    pub verify_ns: u64,
+    /// End-to-end verification time.
+    pub total_ns: u64,
+    /// The tool's verdict.
+    pub report: BaselineReport,
+    /// Tool data-structure memory after the run.
+    pub memory_bytes: usize,
+}
+
+/// Serialized size of one rule on the management network, in bytes.
+pub const RULE_WIRE_BYTES: u64 = 48;
+
+/// Management-network bandwidth into the verifier, bits per second.
+pub const MGMT_BANDWIDTH_BPS: u64 = 1_000_000_000;
+
+/// Runs a burst verification on a centralized tool: every device ships
+/// its data plane to `verifier_loc` (max lowest-latency path, plus the
+/// serialization time of all rules through the verifier's management
+/// uplink), then the tool verifies.
+pub fn central_burst(
+    tool: &mut dyn CentralizedDpv,
+    net: &Network,
+    workload: &Workload,
+    verifier_loc: DeviceId,
+) -> CentralRun {
+    let dist = net.topology.dijkstra_latency(verifier_loc, &[]);
+    let prop = dist
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let bytes = net.total_rules() as u64 * RULE_WIRE_BYTES;
+    let transfer = bytes * 8 * 1_000_000_000 / MGMT_BANDWIDTH_BPS;
+    let collect = prop + transfer;
+    let wall = Instant::now();
+    let report = tool.verify_burst(net, workload);
+    let verify_ns = wall.elapsed().as_nanos() as u64;
+    CentralRun {
+        collect_latency_ns: collect,
+        verify_ns,
+        total_ns: collect + verify_ns,
+        report,
+        memory_bytes: tool.memory_bytes(),
+    }
+}
+
+/// Runs one incremental update: the update travels from its device to
+/// the verifier, then the tool re-verifies.
+pub fn central_update(
+    tool: &mut dyn CentralizedDpv,
+    net: &Network,
+    update: &RuleUpdate,
+    verifier_loc: DeviceId,
+) -> CentralRun {
+    let dist = net.topology.dijkstra_latency(verifier_loc, &[]);
+    let collect = dist[update.device().idx()];
+    let collect = if collect == u64::MAX { 0 } else { collect };
+    let wall = Instant::now();
+    let report = tool.apply_update(update);
+    let verify_ns = wall.elapsed().as_nanos() as u64;
+    CentralRun {
+        collect_latency_ns: collect,
+        verify_ns,
+        total_ns: collect + verify_ns,
+        report,
+        memory_bytes: tool.memory_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_baselines::deltanet::DeltaNet;
+    use tulkun_datasets::{by_name, rule_updates, Scale};
+
+    #[test]
+    fn burst_and_update_timing() {
+        let d = by_name("INet2", Scale::Tiny).unwrap();
+        let wl = Workload::all_pairs(&d.network);
+        let loc = d.network.topology.devices().next().unwrap();
+        let mut tool = DeltaNet::new();
+        let run = central_burst(&mut tool, &d.network, &wl, loc);
+        assert_eq!(run.report.violations, 0);
+        assert!(
+            run.collect_latency_ns > 0,
+            "WAN collection latency must be nonzero"
+        );
+        assert!(run.total_ns >= run.verify_ns);
+
+        for u in rule_updates(&d.network, 5, 11) {
+            let r = central_update(&mut tool, &d.network, &u, loc);
+            assert!(r.total_ns >= r.collect_latency_ns);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Execution substrates for Tulkun's evaluation.
+//!
+//! The paper runs Tulkun on real switches; this crate virtualizes the
+//! testbed while running the *real* verifier code:
+//!
+//! * [`event`] — a discrete-event simulator: every device is a
+//!   sequential processor whose per-event CPU time is *measured* (not
+//!   modeled), and DVM messages travel with the topology's link
+//!   latencies. Verification time is the quiescence instant, exactly as
+//!   the paper measures it (§9.3.1).
+//! * [`models`] — the four commodity switch models of §9.4 as CPU speed
+//!   factors.
+//! * [`central`] — the harness for centralized baselines: data planes
+//!   travel to a verifier device over lowest-latency paths, then the
+//!   baseline's measured compute time is added.
+//! * [`distributed`] — a tokio runtime where each on-device verifier is
+//!   an async task and links are in-order channels (the deployment shape
+//!   of the paper's prototype).
+//! * [`localsim`] — the same event engine for `equal`-operator local
+//!   contracts (communication-free; time = slowest device).
+
+pub mod central;
+pub mod distributed;
+pub mod event;
+pub mod localsim;
+pub mod models;
+
+pub use central::{central_burst, central_update, CentralRun};
+pub use event::{DeviceStats, DvmSim, SimConfig, SimResult};
+pub use models::SwitchModel;

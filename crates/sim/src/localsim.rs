@@ -1,0 +1,163 @@
+//! Simulated execution of `equal`-operator local contracts (RCDC-style):
+//! every device checks its contracts in parallel with no communication,
+//! so verification time is the slowest device's measured check time.
+
+use crate::models::SwitchModel;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tulkun_core::localcheck::{ContractViolation, LocalChecker};
+use tulkun_core::planner::{LocalContract, LocalPlan};
+use tulkun_core::spec::PacketSpace;
+use tulkun_core::verify::compile_packet_space;
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::DeviceId;
+
+/// Outcome of a local-contract round.
+#[derive(Debug, Clone, Default)]
+pub struct LocalSimResult {
+    /// Max scaled per-device check time (devices run in parallel).
+    pub completion_ns: u64,
+    /// Sum of all device check times (the centralized-equivalent cost).
+    pub total_cpu_ns: u64,
+    /// Scaled check time per participating device.
+    pub per_device: Vec<(DeviceId, u64)>,
+    /// Contract violations found.
+    pub violations: Vec<ContractViolation>,
+}
+
+/// The set of per-device checkers for one local plan.
+pub struct LocalSim {
+    model: SwitchModel,
+    checkers: BTreeMap<DeviceId, LocalChecker>,
+}
+
+impl LocalSim {
+    /// Builds one checker per device holding contracts.
+    pub fn new(net: &Network, plan: &LocalPlan, ps: &PacketSpace, model: SwitchModel) -> LocalSim {
+        let mut cache = crate::event::LecCache::new();
+        Self::new_cached(net, plan, ps, model, &mut cache)
+    }
+
+    /// Like [`LocalSim::new`], sharing a per-device LEC cache across
+    /// invariants (the §8 architecture: one LEC table per device).
+    pub fn new_cached(
+        net: &Network,
+        plan: &LocalPlan,
+        ps: &PacketSpace,
+        model: SwitchModel,
+        lec_cache: &mut crate::event::LecCache,
+    ) -> LocalSim {
+        let psp = compile_packet_space(&net.layout, ps);
+        let mut by_dev: BTreeMap<DeviceId, Vec<LocalContract>> = BTreeMap::new();
+        for c in &plan.contracts {
+            by_dev.entry(c.dev).or_default().push(c.clone());
+        }
+        let checkers = by_dev
+            .into_iter()
+            .map(|(dev, contracts)| {
+                let cached = lec_cache.get(&dev);
+                let mut checker = LocalChecker::new_with_lecs(
+                    dev,
+                    net.layout,
+                    net.fib(dev).clone(),
+                    contracts,
+                    &psp,
+                    cached.map(Vec::as_slice),
+                );
+                if cached.is_none() {
+                    lec_cache.insert(dev, checker.export_lecs());
+                }
+                (dev, checker)
+            })
+            .collect();
+        LocalSim { model, checkers }
+    }
+
+    /// Runs every device's checks (burst).
+    pub fn burst(&mut self) -> LocalSimResult {
+        let mut out = LocalSimResult::default();
+        for (dev, checker) in self.checkers.iter_mut() {
+            let wall = Instant::now();
+            let v = checker.check();
+            let ns = self.model.scale_ns(wall.elapsed().as_nanos() as u64);
+            out.completion_ns = out.completion_ns.max(ns);
+            out.total_cpu_ns += ns;
+            out.per_device.push((*dev, ns));
+            out.violations.extend(v);
+        }
+        out
+    }
+
+    /// Applies a rule update: only the updated device re-checks.
+    pub fn incremental(&mut self, net: &mut Network, update: &RuleUpdate) -> LocalSimResult {
+        net.apply(update);
+        let dev = update.device();
+        let mut out = LocalSimResult::default();
+        if let Some(checker) = self.checkers.get_mut(&dev) {
+            let wall = Instant::now();
+            checker.update_fib(net.fib(dev).clone());
+            let v = checker.check();
+            let ns = self.model.scale_ns(wall.elapsed().as_nanos() as u64);
+            out.completion_ns = ns;
+            out.total_cpu_ns = ns;
+            out.per_device.push((dev, ns));
+            out.violations = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_core::planner::Planner;
+    use tulkun_core::spec::table1;
+    use tulkun_datasets::{by_name, Scale};
+    use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
+
+    #[test]
+    fn dc_local_contracts_run_in_parallel() {
+        let d = by_name("FT-48", Scale::Tiny).unwrap();
+        let (dst, prefix) = d.network.topology.external_map().next().unwrap();
+        let dst_name = d.network.topology.name(dst).to_string();
+        let some_tor = d
+            .network
+            .topology
+            .devices()
+            .find(|x| d.network.topology.name(*x).starts_with("tor") && *x != dst)
+            .unwrap();
+        let src_name = d.network.topology.name(some_tor).to_string();
+        let inv = table1::all_shortest_path(PacketSpace::DstPrefix(prefix), &src_name, &dst_name)
+            .unwrap();
+        let plan = Planner::new(&d.network.topology).plan(&inv).unwrap();
+        let lp = plan.local().unwrap();
+        let mut sim = LocalSim::new(
+            &d.network,
+            lp,
+            &plan.invariant.packet_space,
+            SwitchModel::MELLANOX,
+        );
+        let r = sim.burst();
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.completion_ns <= r.total_cpu_ns);
+        assert!(r.completion_ns > 0);
+
+        // Break the ECMP group at one aggregation switch.
+        let mut net = d.network.clone();
+        let agg = net
+            .topology
+            .devices()
+            .find(|x| net.topology.name(*x).starts_with("agg"))
+            .unwrap();
+        let up = RuleUpdate::Insert {
+            device: agg,
+            rule: Rule {
+                priority: 99,
+                matches: MatchSpec::dst(prefix),
+                action: Action::Drop,
+            },
+        };
+        let r = sim.incremental(&mut net, &up);
+        assert!(!r.violations.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! The four commodity switch models of §9.4, abstracted as CPU speed
+//! factors relative to the x86 server the simulator runs on.
+
+use serde::{Deserialize, Serialize};
+
+/// A switch model: its on-device CPU runs verifier code `cpu_factor`
+/// times slower than the simulation host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchModel {
+    /// Vendor/model label used in figures.
+    pub name: &'static str,
+    /// CPU slowdown relative to the simulation host.
+    pub cpu_factor: f64,
+}
+
+impl SwitchModel {
+    /// Mellanox SN2700 (x86 Celeron-class CPU).
+    pub const MELLANOX: SwitchModel = SwitchModel {
+        name: "Mellanox",
+        cpu_factor: 1.6,
+    };
+    /// UfiSpace S9180-32X (x86 Xeon-D-class CPU).
+    pub const UFISPACE: SwitchModel = SwitchModel {
+        name: "UfiSpace",
+        cpu_factor: 1.8,
+    };
+    /// Edgecore Wedge100-32X (x86 Atom-class CPU).
+    pub const EDGECORE: SwitchModel = SwitchModel {
+        name: "Edgecore",
+        cpu_factor: 2.2,
+    };
+    /// Centec (ARM CPU; the slowest in Fig. 14).
+    pub const CENTEC: SwitchModel = SwitchModel {
+        name: "Centec",
+        cpu_factor: 4.0,
+    };
+
+    /// All four models, as benchmarked in §9.4.
+    pub const ALL: [SwitchModel; 4] =
+        [Self::MELLANOX, Self::UFISPACE, Self::EDGECORE, Self::CENTEC];
+
+    /// Scales a measured host duration to this switch's CPU.
+    pub fn scale_ns(&self, host_ns: u64) -> u64 {
+        (host_ns as f64 * self.cpu_factor) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centec_is_slowest() {
+        assert!(SwitchModel::ALL
+            .iter()
+            .all(|m| m.cpu_factor <= SwitchModel::CENTEC.cpu_factor));
+        assert_eq!(SwitchModel::CENTEC.scale_ns(1000), 4000);
+    }
+}

@@ -1,0 +1,107 @@
+//! RCDC-style data center verification: the `equal` operator turns
+//! all-ToR-pair shortest-path availability into communication-free local
+//! contracts — every switch checks only its own FIB, in parallel
+//! (the special case of Tulkun that §4.2 proves needs no counting at
+//! all).
+//!
+//! ```sh
+//! cargo run --example datacenter_rcdc
+//! ```
+
+use tulkun::core::localcheck::LocalChecker;
+use tulkun::core::planner::LocalContract;
+use tulkun::core::verify::compile_packet_space;
+use tulkun::netmodel::fib::MatchSpec;
+use tulkun::netmodel::network::RuleUpdate;
+use tulkun::prelude::*;
+
+fn main() {
+    // An 8-ary fat tree: 80 switches, ECMP everywhere.
+    let ds = tulkun::datasets::by_name("FT-48", tulkun::datasets::Scale::Tiny).unwrap();
+    let net = &ds.network;
+    println!("fabric: {}", net.topology);
+
+    // Pick one destination ToR; the invariant covers every other ToR as
+    // ingress.
+    let (dst, prefix) = net.topology.external_map().next().unwrap();
+    let dst_name = net.topology.name(dst).to_string();
+    let ingress: Vec<String> = net
+        .topology
+        .devices()
+        .filter(|d| *d != dst && net.topology.name(*d).starts_with("tor"))
+        .map(|d| net.topology.name(d).to_string())
+        .collect();
+    let inv = Invariant::builder()
+        .name(format!("all-shortest-path availability -> {dst_name}"))
+        .packet_space(PacketSpace::DstPrefix(prefix))
+        .ingress(ingress)
+        .behavior(Behavior::equal(
+            PathExpr::parse(&format!(". * {dst_name}"))
+                .unwrap()
+                .shortest_only(),
+        ))
+        .build()
+        .unwrap();
+
+    let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+    let lp = plan
+        .local()
+        .expect("equal behaviors compile to local contracts");
+    println!(
+        "local plan: {} contracts over the {}-node shortest-path DAG — zero DVM messages",
+        lp.contracts.len(),
+        lp.dpvnet.num_nodes()
+    );
+
+    // Run every device's check.
+    let psp = compile_packet_space(&net.layout, &inv.packet_space);
+    let mut violations = 0;
+    for dev in net.topology.devices() {
+        let contracts: Vec<LocalContract> = lp
+            .contracts
+            .iter()
+            .filter(|c| c.dev == dev)
+            .cloned()
+            .collect();
+        if contracts.is_empty() {
+            continue;
+        }
+        let mut checker = LocalChecker::new(dev, net.layout, net.fib(dev).clone(), contracts, &psp);
+        violations += checker.check().len();
+    }
+    println!("clean fabric: {violations} violations");
+    assert_eq!(violations, 0);
+
+    // Break one aggregation switch's ECMP group (drop the prefix) and
+    // re-check just that switch — the contract catches it locally.
+    let agg = net
+        .topology
+        .devices()
+        .find(|d| net.topology.name(*d).starts_with("agg"))
+        .unwrap();
+    let mut broken = net.clone();
+    broken.apply(&RuleUpdate::Insert {
+        device: agg,
+        rule: Rule {
+            priority: 99,
+            matches: MatchSpec::dst(prefix),
+            action: Action::Drop,
+        },
+    });
+    let contracts: Vec<LocalContract> = lp
+        .contracts
+        .iter()
+        .filter(|c| c.dev == agg)
+        .cloned()
+        .collect();
+    let mut checker =
+        LocalChecker::new(agg, broken.layout, broken.fib(agg).clone(), contracts, &psp);
+    let found = checker.check();
+    println!(
+        "after breaking {}: {} violation(s) found locally, e.g. {:?}",
+        broken.topology.name(agg),
+        found.len(),
+        found.first().map(|v| v.reason.clone())
+    );
+    assert!(!found.is_empty());
+}

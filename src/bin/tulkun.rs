@@ -1,0 +1,281 @@
+//! The `tulkun` command-line tool: plan and verify invariants against a
+//! network snapshot, export DPVNets, and generate datasets.
+//!
+//! ```text
+//! tulkun datasets --name INet2 --out net.json        # generate a snapshot
+//! tulkun verify --network net.json --invariants invs.tk
+//! tulkun plan   --network net.json --invariant "(…)" [--dot dpvnet.dot]
+//! tulkun example --out fig2a.json                    # the paper's Fig. 2a
+//! ```
+//!
+//! Invariant files (`.tk`) hold one textual invariant per line, `#`
+//! comments allowed:
+//!
+//! ```text
+//! # every packet to 10.0.0.0/23 entering at S waypoints W
+//! (dstIP=10.0.0.0/23, [S], (exist >= 1, /S .* W .* D/ loop_free))
+//! ```
+
+use std::process::ExitCode;
+use tulkun::core::planner::{Plan, PlanKind, Planner, PlannerOptions};
+use tulkun::core::spec::Invariant;
+use tulkun::core::verify::{verify_snapshot, ViolationKind};
+use tulkun::netmodel::network::Network;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    match cmd.as_str() {
+        "datasets" => {
+            let name = get("--name").unwrap_or_else(|| "INet2".into());
+            let scale = match get("--scale").as_deref() {
+                Some("paper") => tulkun::datasets::Scale::Paper,
+                _ => tulkun::datasets::Scale::Tiny,
+            };
+            let Some(ds) = tulkun::datasets::by_name(&name, scale) else {
+                eprintln!(
+                    "unknown dataset {name:?}; available: {}",
+                    tulkun::datasets::DATASET_NAMES.join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            write_network(&ds.network, get("--out"))
+        }
+        "example" => write_network(&tulkun::datasets::fig2a_network(), get("--out")),
+        "verify" => {
+            let net = match load_network(get("--network")) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let invariants = match load_invariants(get("--invariants"), get("--invariant")) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let planner = Planner::with_options(
+                &net.topology,
+                PlannerOptions {
+                    skip_consistency_check: args.iter().any(|a| a == "--no-consistency-check"),
+                    ..Default::default()
+                },
+            );
+            let mut failed = false;
+            for inv in &invariants {
+                let plan = match planner.plan(inv) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{}: planning failed: {e}", inv.name);
+                        failed = true;
+                        continue;
+                    }
+                };
+                let report = verify_snapshot(&net, &plan);
+                if report.holds() {
+                    println!("PASS  {}", inv.name);
+                } else {
+                    failed = true;
+                    println!(
+                        "FAIL  {} ({} violation class(es))",
+                        inv.name,
+                        report.violations.len()
+                    );
+                    for v in report.violations.iter().take(5) {
+                        describe_violation(&net, &plan, v);
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "plan" => {
+            let net = match load_network(get("--network")) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(text) = get("--invariant") else {
+                eprintln!("--invariant \"(...)\" required");
+                return ExitCode::FAILURE;
+            };
+            let inv = match Invariant::parse(&text) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let planner = Planner::with_options(
+                &net.topology,
+                PlannerOptions {
+                    skip_consistency_check: true,
+                    ..Default::default()
+                },
+            );
+            let plan = match planner.plan(&inv) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("planning failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            summarize_plan(&net, &plan);
+            if let Some(path) = get("--dot") {
+                let dpvnet = match &plan.kind {
+                    PlanKind::Counting(c) => &c.dpvnet,
+                    PlanKind::Local(l) => &l.dpvnet,
+                };
+                if let Err(e) = std::fs::write(&path, dpvnet.to_dot(&net.topology)) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tulkun datasets --name <NAME> [--scale tiny|paper] [--out net.json]\n  \
+         tulkun example [--out net.json]\n  \
+         tulkun verify --network net.json (--invariants file.tk | --invariant \"(...)\") \
+         [--no-consistency-check]\n  \
+         tulkun plan --network net.json --invariant \"(...)\" [--dot out.dot]"
+    );
+    ExitCode::FAILURE
+}
+
+fn write_network(net: &Network, out: Option<String>) -> ExitCode {
+    let json = serde_json::to_string_pretty(net).expect("serialize network");
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {path}: {} devices, {} links, {} rules",
+                net.topology.num_devices(),
+                net.topology.num_links(),
+                net.total_rules()
+            );
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_network(path: Option<String>) -> Result<Network, String> {
+    let path = path.ok_or("--network <file.json> required")?;
+    let data = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn load_invariants(file: Option<String>, inline: Option<String>) -> Result<Vec<Invariant>, String> {
+    let mut out = Vec::new();
+    if let Some(text) = inline {
+        out.push(Invariant::parse(&text).map_err(|e| e.to_string())?);
+    }
+    if let Some(path) = file {
+        let data = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        for (lineno, line) in data.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut inv =
+                Invariant::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            if inv.name == "invariant" {
+                inv.name = format!("{path}:{}", lineno + 1);
+            }
+            out.push(inv);
+        }
+    }
+    if out.is_empty() {
+        return Err("no invariants given (use --invariants or --invariant)".into());
+    }
+    Ok(out)
+}
+
+fn summarize_plan(net: &Network, plan: &Plan) {
+    match &plan.kind {
+        PlanKind::Counting(cp) => {
+            println!(
+                "counting plan: {} DPVNet nodes, {} valid paths, {} path expression(s), \
+                 reduction {:?}, {} on-device tasks across {} devices",
+                cp.dpvnet.num_nodes(),
+                cp.dpvnet.num_paths(),
+                cp.exprs.len(),
+                cp.reduce,
+                cp.tasks.len(),
+                cp.tasks
+                    .iter()
+                    .map(|t| t.dev)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len(),
+            );
+        }
+        PlanKind::Local(lp) => {
+            println!(
+                "local-contract plan ('equal'): {} contracts over a {}-node shortest-path DAG, \
+                 zero messages",
+                lp.contracts.len(),
+                lp.dpvnet.num_nodes()
+            );
+        }
+    }
+    let _ = net;
+}
+
+fn describe_violation(net: &Network, plan: &Plan, v: &tulkun::core::verify::Violation) {
+    let label = match &plan.kind {
+        PlanKind::Counting(c) => c.dpvnet.node(v.node).label.clone(),
+        PlanKind::Local(l) => l.dpvnet.node(v.node).label.clone(),
+    };
+    match &v.kind {
+        ViolationKind::Counting { counts } => {
+            println!(
+                "      at {} (node {label}): per-universe counts {counts}",
+                net.topology.name(v.device)
+            );
+        }
+        ViolationKind::Contract {
+            expected,
+            found,
+            reason,
+        } => {
+            let names = |ds: &[tulkun::netmodel::DeviceId]| {
+                ds.iter()
+                    .map(|d| net.topology.name(*d).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            println!(
+                "      at {} (node {label}): {reason} (expected [{}], found [{}])",
+                net.topology.name(v.device),
+                names(expected),
+                names(found)
+            );
+        }
+    }
+}
