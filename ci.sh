@@ -1,0 +1,11 @@
+#!/bin/sh
+# Workspace CI gate. Run from the repository root.
+#
+# Note: a bare `cargo test` only exercises the facade package; the
+# `--workspace` flag below is what covers every crate and shim.
+set -eux
+
+cargo build --release --workspace --all-targets
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

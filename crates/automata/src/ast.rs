@@ -1,10 +1,9 @@
 //! Regex AST and parser.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A class of symbols (devices) matched by one path step.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SymClass {
     /// `.` — any device.
     Any,
@@ -38,7 +37,7 @@ impl SymClass {
 }
 
 /// A regular expression over device names.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Regex {
     /// Matches nothing.
     Empty,

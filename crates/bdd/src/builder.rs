@@ -7,10 +7,9 @@
 //! root of the variable order.
 
 use crate::manager::{BddManager, Pred};
-use serde::{Deserialize, Serialize};
 
 /// A contiguous field of bits inside the header variable order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Field {
     /// First BDD variable of the field (the field's MSB).
     pub offset: u32,
@@ -84,8 +83,10 @@ impl Field {
     }
 }
 
+tulkun_json::impl_json_object!(Field { offset, width });
+
 /// The variable layout of the packet headers Tulkun reasons about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeaderLayout {
     /// Destination IPv4 address (32 bits).
     pub dst_ip: Field,
@@ -141,6 +142,12 @@ impl HeaderLayout {
         self.dst_port.range(m, lo as u64, hi as u64)
     }
 }
+
+tulkun_json::impl_json_object!(HeaderLayout {
+    dst_ip,
+    dst_port,
+    proto
+});
 
 #[cfg(test)]
 mod tests {

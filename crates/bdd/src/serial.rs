@@ -8,19 +8,20 @@
 //! paper's JDD + Protobuf (de)serialization (§8).
 
 use crate::manager::{BddManager, Pred};
-use serde::{Deserialize, Serialize};
 
 /// A self-contained, manager-independent encoding of one predicate.
 ///
 /// Nodes are listed children-first, with local indices: 0 = FALSE,
 /// 1 = TRUE, and node `i >= 2` is `nodes[i - 2]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct PortablePred {
     /// `(var, lo, hi)` triples in children-first order.
     nodes: Vec<(u32, u32, u32)>,
     /// Local index of the root.
     root: u32,
 }
+
+tulkun_json::impl_json_object!(PortablePred { nodes, root });
 
 impl PortablePred {
     /// Number of decision nodes in the encoding.
@@ -178,14 +179,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_json_round_trip() {
+    fn json_round_trip() {
         let mut m = BddManager::new(16);
         let x = m.var(3);
         let y = m.nvar(9);
         let p = m.or(x, y);
         let enc = export(&m, p);
-        let json = serde_json::to_string(&enc).unwrap();
-        let dec: PortablePred = serde_json::from_str(&json).unwrap();
+        let json = tulkun_json::to_string(&enc);
+        let dec: PortablePred = tulkun_json::from_str(&json).unwrap();
         assert_eq!(import(&mut m, &dec).unwrap(), p);
     }
 }

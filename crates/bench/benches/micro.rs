@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks for the core operations the evaluation
-//! depends on: BDD predicate algebra, LEC construction, DPVNet
-//! construction, DVM message handling, and per-update incremental
-//! verification.
+//! Micro-benchmarks for the core operations the evaluation depends on:
+//! BDD predicate algebra, LEC construction, DPVNet construction, DVM
+//! message handling, and per-update incremental verification.
+//!
+//! Self-contained harness (`harness = false`): each benchmark runs a
+//! fixed number of timed iterations after a warmup and reports
+//! min/median/mean wall-clock time. Run with
+//! `cargo bench -p tulkun-bench`; filter by substring argument.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 use tulkun_bdd::{BddManager, HeaderLayout};
 use tulkun_core::count::CountExpr;
 use tulkun_core::planner::Planner;
@@ -13,77 +17,95 @@ use tulkun_datasets::{by_name, fig2a_network, rule_updates, Scale};
 use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
 use tulkun_netmodel::network::RuleUpdate;
 
-fn bench_bdd(c: &mut Criterion) {
+const WARMUP: usize = 2;
+const SAMPLES: usize = 10;
+
+struct Bencher {
+    filter: Option<String>,
+}
+
+impl Bencher {
+    fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(fi) = &self.filter {
+            if !name.contains(fi.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..WARMUP {
+            std::hint::black_box(f());
+        }
+        let mut ns: Vec<u64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        ns.sort_unstable();
+        let mean = ns.iter().sum::<u64>() / ns.len() as u64;
+        println!(
+            "{name:<40} min {:>12} ns   median {:>12} ns   mean {:>12} ns",
+            ns[0],
+            ns[ns.len() / 2],
+            mean
+        );
+    }
+}
+
+fn bench_bdd(c: &Bencher) {
     let layout = HeaderLayout::ipv4_tcp();
-    c.bench_function("bdd/prefix_and_intersect", |b| {
-        b.iter_batched(
-            || BddManager::new(layout.num_vars()),
-            |mut m| {
-                let p1 = layout.dst_prefix(&mut m, [10, 0, 0, 0], 23);
-                let p2 = layout.dst_prefix(&mut m, [10, 0, 1, 0], 24);
-                let port = layout.dst_port_range(&mut m, 80, 443);
-                let x = m.and(p1, port);
-                let y = m.and(p2, x);
-                m.sat_count(y)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("bdd/export_import", |b| {
+    c.bench("bdd/prefix_and_intersect", || {
         let mut m = BddManager::new(layout.num_vars());
-        let p = layout.dst_prefix(&mut m, [10, 2, 0, 0], 16);
-        let q = layout.dst_port_range(&mut m, 1000, 2000);
-        let r = m.and(p, q);
-        b.iter_batched(
-            || BddManager::new(layout.num_vars()),
-            |mut dst| {
-                let enc = tulkun_bdd::serial::export(&m, r);
-                tulkun_bdd::serial::import(&mut dst, &enc).unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+        let p1 = layout.dst_prefix(&mut m, [10, 0, 0, 0], 23);
+        let p2 = layout.dst_prefix(&mut m, [10, 0, 1, 0], 24);
+        let port = layout.dst_port_range(&mut m, 80, 443);
+        let x = m.and(p1, port);
+        let y = m.and(p2, x);
+        m.sat_count(y)
+    });
+    let mut m = BddManager::new(layout.num_vars());
+    let p = layout.dst_prefix(&mut m, [10, 2, 0, 0], 16);
+    let q = layout.dst_port_range(&mut m, 1000, 2000);
+    let r = m.and(p, q);
+    c.bench("bdd/export_import", || {
+        let mut dst = BddManager::new(layout.num_vars());
+        let enc = tulkun_bdd::serial::export(&m, r);
+        tulkun_bdd::serial::import(&mut dst, &enc).unwrap()
     });
 }
 
-fn bench_lec(c: &mut Criterion) {
+fn bench_lec(c: &Bencher) {
     let ds = by_name("INet2", Scale::Tiny).unwrap();
     let layout = ds.network.layout;
     let dev = ds.network.topology.devices().next().unwrap();
     let fib = ds.network.fib(dev).clone();
-    c.bench_function("lec/build_inet2_device", |b| {
-        b.iter_batched(
-            || BddManager::new(layout.num_vars()),
-            |mut m| fib.local_equivalence_classes(&mut m, &layout).len(),
-            BatchSize::SmallInput,
-        )
+    c.bench("lec/build_inet2_device", || {
+        let mut m = BddManager::new(layout.num_vars());
+        fib.local_equivalence_classes(&mut m, &layout).len()
     });
 }
 
-fn bench_dpvnet(c: &mut Criterion) {
+fn bench_dpvnet(c: &Bencher) {
     let net = fig2a_network();
-    c.bench_function("dpvnet/build_waypoint_fig2", |b| {
-        let s = net.topology.device("S").unwrap();
-        let pe = PathExpr::parse("S .* W .* D").unwrap().loop_free();
-        b.iter(|| {
-            tulkun_core::dpvnet::DpvNet::build(&net.topology, &[s], std::slice::from_ref(&pe))
-                .unwrap()
-                .num_nodes()
-        })
+    let s = net.topology.device("S").unwrap();
+    let pe = PathExpr::parse("S .* W .* D").unwrap().loop_free();
+    c.bench("dpvnet/build_waypoint_fig2", || {
+        tulkun_core::dpvnet::DpvNet::build(&net.topology, &[s], std::slice::from_ref(&pe))
+            .unwrap()
+            .num_nodes()
     });
     let ds = by_name("B4-13", Scale::Tiny).unwrap();
-    c.bench_function("dpvnet/build_allpair_b4_one_dst", |b| {
-        let topo = &ds.network.topology;
-        let (dst, _) = topo.external_map().next().unwrap();
-        let ingress: Vec<_> = topo.devices().filter(|d| *d != dst).collect();
-        let pe = PathExpr::parse(&format!(". * {}", topo.name(dst)))
+    let topo = ds.network.topology.clone();
+    let (dst, _) = topo.external_map().next().unwrap();
+    let ingress: Vec<_> = topo.devices().filter(|d| *d != dst).collect();
+    let pe = PathExpr::parse(&format!(". * {}", topo.name(dst)))
+        .unwrap()
+        .loop_free()
+        .shortest_plus(2);
+    c.bench("dpvnet/build_allpair_b4_one_dst", || {
+        tulkun_core::dpvnet::DpvNet::build(&topo, &ingress, std::slice::from_ref(&pe))
             .unwrap()
-            .loop_free()
-            .shortest_plus(2);
-        b.iter(|| {
-            tulkun_core::dpvnet::DpvNet::build(topo, &ingress, std::slice::from_ref(&pe))
-                .unwrap()
-                .num_nodes()
-        })
+            .num_nodes()
     });
 }
 
@@ -104,34 +126,29 @@ fn waypoint_session() -> (tulkun_netmodel::Network, Session) {
     (net, s)
 }
 
-fn bench_dvm(c: &mut Criterion) {
-    c.bench_function("dvm/burst_fig2_waypoint", |b| {
-        b.iter(|| {
-            let (_, mut s) = waypoint_session();
-            s.report().violations.len()
-        })
+fn bench_dvm(c: &Bencher) {
+    c.bench("dvm/burst_fig2_waypoint", || {
+        let (_, mut s) = waypoint_session();
+        s.report().violations.len()
     });
-    c.bench_function("dvm/incremental_fig2_update", |b| {
-        let (net, _) = waypoint_session();
-        let bdev = net.topology.device("B").unwrap();
-        let w = net.topology.device("W").unwrap();
-        let update = RuleUpdate::Insert {
-            device: bdev,
-            rule: Rule {
-                priority: 50,
-                matches: MatchSpec::dst("10.0.1.0/24".parse().unwrap()),
-                action: Action::fwd(w),
-            },
-        };
-        b.iter_batched(
-            || waypoint_session().1,
-            |mut s| s.apply_rule_update(&update),
-            BatchSize::SmallInput,
-        )
+    let (net, _) = waypoint_session();
+    let bdev = net.topology.device("B").unwrap();
+    let w = net.topology.device("W").unwrap();
+    let update = RuleUpdate::Insert {
+        device: bdev,
+        rule: Rule {
+            priority: 50,
+            matches: MatchSpec::dst("10.0.1.0/24".parse().unwrap()),
+            action: Action::fwd(w),
+        },
+    };
+    c.bench("dvm/incremental_fig2_update", || {
+        let mut s = waypoint_session().1;
+        s.apply_rule_update(&update)
     });
 }
 
-fn bench_incremental_inet2(c: &mut Criterion) {
+fn bench_incremental_inet2(c: &Bencher) {
     let ds = by_name("INet2", Scale::Tiny).unwrap();
     let updates = rule_updates(&ds.network, 64, 0xbe5c);
     let topo = &ds.network.topology;
@@ -139,50 +156,42 @@ fn bench_incremental_inet2(c: &mut Criterion) {
     let prefixes: Vec<_> = topo.external_prefixes(dst).to_vec();
     let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
     let plan = Planner::new(topo).plan(&inv).unwrap();
-    c.bench_function("dvm/incremental_inet2_stream", |b| {
-        b.iter_batched(
-            || {
-                let mut s = Session::new(&ds.network, &plan);
-                s.run_to_quiescence();
-                s
-            },
-            |mut s| {
-                for u in &updates {
-                    s.apply_rule_update(u);
-                }
-                s.report().violations.len()
-            },
-            BatchSize::LargeInput,
-        )
+    c.bench("dvm/incremental_inet2_stream", || {
+        let mut s = Session::new(&ds.network, &plan);
+        s.run_to_quiescence();
+        for u in &updates {
+            s.apply_rule_update(u);
+        }
+        s.report().violations.len()
     });
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn bench_baselines(c: &Bencher) {
     let ds = by_name("INet2", Scale::Tiny).unwrap();
     let wl = tulkun_baselines::Workload::all_pairs(&ds.network);
     let update = rule_updates(&ds.network, 1, 0xAB).remove(0);
 
-    let mut group = c.benchmark_group("baselines/burst_inet2");
     for mut tool in tulkun_baselines::all_baselines() {
-        group.bench_function(tool.name(), |b| {
-            b.iter(|| tool.verify_burst(&ds.network, &wl).violations)
-        });
+        let name = format!("baselines/burst_inet2/{}", tool.name());
+        c.bench(&name, || tool.verify_burst(&ds.network, &wl).violations);
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("baselines/update_inet2");
     for mut tool in tulkun_baselines::all_baselines() {
         tool.verify_burst(&ds.network, &wl);
-        group.bench_function(tool.name(), |b| {
-            b.iter(|| tool.apply_update(&update).violations)
-        });
+        let name = format!("baselines/update_inet2/{}", tool.name());
+        c.bench(&name, || tool.apply_update(&update).violations);
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bdd, bench_lec, bench_dpvnet, bench_dvm, bench_incremental_inet2, bench_baselines
+fn main() {
+    // `cargo bench -- <filter>` passes extra args through; also tolerate
+    // the libtest-style `--bench` flag.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    let c = Bencher { filter };
+    bench_bdd(&c);
+    bench_lec(&c);
+    bench_dpvnet(&c);
+    bench_dvm(&c);
+    bench_incremental_inet2(&c);
+    bench_baselines(&c);
 }
-criterion_main!(benches);

@@ -8,6 +8,9 @@
 //!    and without the shared table.
 //! 4. **Proposition-2 scene reuse**: fault-tolerant DPVNet computation
 //!    with and without the reuse short-cut.
+//! 5. **Parallel init**: engine burst-init wall clock with sequential
+//!    vs concurrent per-device verifier construction (the runtime
+//!    layer's `parallel_init` option), with a report-equality check.
 
 use std::time::Instant;
 use tulkun_bench::{fmt_ns, Cli, FigureTable};
@@ -27,6 +30,61 @@ fn main() {
     ablate_suffix_merging(&cli);
     ablate_lec_sharing(&cli);
     ablate_scene_reuse(&cli);
+    ablate_parallel_init(&cli);
+}
+
+/// Runtime-layer `parallel_init`: wall-clock burst init (verifier
+/// construction + LEC build) sequential vs concurrent, same verdict.
+fn ablate_parallel_init(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_parallel_init",
+        "parallel_init: burst-init wall clock, sequential vs concurrent",
+        &[
+            "dataset",
+            "sequential",
+            "parallel",
+            "speedup",
+            "same report",
+        ],
+    );
+    for name in ["INet2", "BTNA"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap();
+
+        let run = |parallel_init: bool| {
+            let t0 = Instant::now();
+            let mut sim = DvmSim::new(
+                &ds.network,
+                cp,
+                &inv.packet_space,
+                SimConfig {
+                    parallel_init,
+                    ..Default::default()
+                },
+            );
+            let init_wall = t0.elapsed().as_nanos() as u64;
+            sim.burst();
+            (init_wall, sim.report().canonical_bytes())
+        };
+        let (seq, seq_report) = run(false);
+        let (par, par_report) = run(true);
+        t.row(vec![
+            name.into(),
+            fmt_ns(seq),
+            fmt_ns(par),
+            format!("{:.2}x", seq as f64 / par.max(1) as f64),
+            (seq_report == par_report).to_string(),
+        ]);
+    }
+    t.finish();
 }
 
 /// Proposition 1: minimal counting information on the wire.

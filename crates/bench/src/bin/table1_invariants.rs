@@ -47,10 +47,7 @@ fn main() {
             table1::multicast(ps(), "S", &["D", "W"]).unwrap(),
         ),
         ("Anycast", table1::anycast(ps(), "S", "D", "W").unwrap()),
-        (
-            "1+1 routing",
-            table1::one_plus_one(ps(), "S", "D").unwrap(),
-        ),
+        ("1+1 routing", table1::one_plus_one(ps(), "S", "D").unwrap()),
     ];
 
     let planner = Planner::with_options(

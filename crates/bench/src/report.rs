@@ -1,10 +1,9 @@
 //! Table printing and JSON figure output.
 
-use serde::Serialize;
 use std::path::PathBuf;
 
 /// A printable figure/table with a JSON sidecar.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureTable {
     pub id: String,
     pub title: String,
@@ -21,6 +20,11 @@ impl FigureTable {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
+    }
+
+    /// The table as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        tulkun_json::to_string(self)
     }
 
     /// Adds a row.
@@ -64,7 +68,7 @@ impl FigureTable {
                 .join("figures");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).unwrap())?;
+        std::fs::write(&path, tulkun_json::to_string_pretty(self))?;
         Ok(path)
     }
 
@@ -78,6 +82,13 @@ impl FigureTable {
     }
 }
 
+tulkun_json::impl_json_object!(FigureTable {
+    id,
+    title,
+    headers,
+    rows
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,8 +97,10 @@ mod tests {
     fn table_builds_and_serializes() {
         let mut t = FigureTable::new("test", "demo", &["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);
-        let json = serde_json::to_string(&t).unwrap();
+        let json = t.to_json_string();
         assert!(json.contains("demo"));
+        let back: FigureTable = tulkun_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, t.rows);
         t.print();
     }
 

@@ -303,7 +303,7 @@ impl TulkunAllPairs {
         let mut dev: std::collections::BTreeMap<DeviceId, (u64, u64)> = Default::default();
         for pd in &mut self.per_dst {
             if let PerDst::Counting { sim, .. } = pd {
-                msg.append(&mut sim.msg_times_ns);
+                msg.append(&mut sim.stats_mut().drain_msg_samples());
                 for (d, st) in sim.device_stats() {
                     let e = dev.entry(*d).or_default();
                     e.0 += st.busy_ns;

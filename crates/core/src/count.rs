@@ -8,12 +8,11 @@
 //! forwarding takes the union ⊕ of the children's outcome sets
 //! (Equations (1) and (2)).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A count expression `count_exp` of the specification language (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CountExpr {
     /// `== N`
     Eq(u32),
@@ -74,7 +73,7 @@ impl fmt::Display for CountExpr {
 
 /// How a node shrinks its count set before propagating it upstream
 /// (Proposition 1: the *minimal counting information*).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceMode {
     /// Send everything (used for compound, multi-expression invariants,
     /// where reductions do not commute with the behavior formula).
@@ -93,10 +92,40 @@ pub enum ReduceMode {
 /// every element has length `dim`, and the set is never empty (an empty
 /// outcome set is meaningless — "no universes" — so constructors always
 /// produce at least one element).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Counts {
     dim: usize,
     elems: BTreeSet<Vec<u32>>,
+}
+
+impl tulkun_json::ToJson for Counts {
+    fn to_json(&self) -> tulkun_json::Json {
+        tulkun_json::Json::Object(vec![
+            ("dim".to_string(), tulkun_json::ToJson::to_json(&self.dim)),
+            (
+                "elems".to_string(),
+                tulkun_json::ToJson::to_json(&self.elems),
+            ),
+        ])
+    }
+}
+
+impl tulkun_json::FromJson for Counts {
+    fn from_json(v: &tulkun_json::Json) -> Result<Self, tulkun_json::JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| tulkun_json::JsonError::missing_field(name))
+        };
+        let dim: usize = tulkun_json::FromJson::from_json(field("dim")?)?;
+        let elems: BTreeSet<Vec<u32>> = tulkun_json::FromJson::from_json(field("elems")?)?;
+        if elems.is_empty() {
+            return Err(tulkun_json::JsonError::new("empty outcome set"));
+        }
+        if elems.iter().any(|e| e.len() != dim) {
+            return Err(tulkun_json::JsonError::new("outcome vector dim mismatch"));
+        }
+        Ok(Counts { dim, elems })
+    }
 }
 
 impl Counts {

@@ -20,14 +20,13 @@
 //!   `<= shortest + k` reachability, linear in `|E| · k`.
 
 use crate::spec::PathExpr;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use tulkun_automata::Dfa;
 use tulkun_netmodel::topology::{DeviceId, Topology};
 
 /// A node in a DPVNet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -37,8 +36,20 @@ impl NodeId {
     }
 }
 
+impl tulkun_json::ToJson for NodeId {
+    fn to_json(&self) -> tulkun_json::Json {
+        tulkun_json::ToJson::to_json(&self.0)
+    }
+}
+
+impl tulkun_json::FromJson for NodeId {
+    fn from_json(v: &tulkun_json::Json) -> Result<Self, tulkun_json::JsonError> {
+        tulkun_json::FromJson::from_json(v).map(NodeId)
+    }
+}
+
 /// A DPVNet node: one (device, automaton-progress) point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DpvNode {
     /// The network device this node's task runs on.
     pub dev: DeviceId,
@@ -62,7 +73,7 @@ impl DpvNode {
 }
 
 /// The DAG of all valid paths, with one source node per ingress device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DpvNet {
     nodes: Vec<DpvNode>,
     /// `(ingress device, its source node)` pairs.

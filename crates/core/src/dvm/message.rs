@@ -2,20 +2,20 @@
 //!
 //! Messages travel between the verifiers of neighboring devices over
 //! reliable, in-order channels (TCP in the paper's deployment; channels
-//! in the simulator and the tokio runner). Predicates cross device
+//! in the simulator and the threaded runner). Predicates cross device
 //! boundaries as [`PortablePred`]s because every device owns a private
 //! BDD manager.
 
 use crate::count::Counts;
 use crate::dpvnet::NodeId;
-use serde::{Deserialize, Serialize};
 use tulkun_bdd::serial::PortablePred;
+use tulkun_json::{FromJson, Json, JsonError, ToJson};
 use tulkun_netmodel::DeviceId;
 
 /// A directed DPVNet edge `(upstream node, downstream node)` — the
 /// *intended link* of an UPDATE message. Counting results flow from
 /// `down`'s device to `up`'s device, against the edge direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EdgeRef {
     /// Upstream node (receiver of counting results).
     pub up: NodeId,
@@ -24,7 +24,7 @@ pub struct EdgeRef {
 }
 
 /// DVM message payloads.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// Counting results from a downstream node (§5.2). Invariant (the
     /// *UPDATE message principle*): the union of `withdrawn` equals the
@@ -76,7 +76,7 @@ impl Payload {
 }
 
 /// A device-to-device message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Sending device.
     pub from: DeviceId,
@@ -92,6 +92,57 @@ impl Envelope {
         8 + self.payload.wire_bytes()
     }
 }
+
+tulkun_json::impl_json_object!(EdgeRef { up, down });
+
+impl ToJson for Payload {
+    fn to_json(&self) -> Json {
+        match self {
+            Payload::Update {
+                edge,
+                withdrawn,
+                results,
+            } => Json::Object(vec![(
+                "Update".to_string(),
+                Json::Object(vec![
+                    ("edge".to_string(), edge.to_json()),
+                    ("withdrawn".to_string(), withdrawn.to_json()),
+                    ("results".to_string(), results.to_json()),
+                ]),
+            )]),
+            Payload::Subscribe { edge, space } => Json::Object(vec![(
+                "Subscribe".to_string(),
+                Json::Object(vec![
+                    ("edge".to_string(), edge.to_json()),
+                    ("space".to_string(), space.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Payload {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(u) = v.get("Update") {
+            let field = |name: &str| u.get(name).ok_or_else(|| JsonError::missing_field(name));
+            return Ok(Payload::Update {
+                edge: FromJson::from_json(field("edge")?)?,
+                withdrawn: FromJson::from_json(field("withdrawn")?)?,
+                results: FromJson::from_json(field("results")?)?,
+            });
+        }
+        if let Some(s) = v.get("Subscribe") {
+            let field = |name: &str| s.get(name).ok_or_else(|| JsonError::missing_field(name));
+            return Ok(Payload::Subscribe {
+                edge: FromJson::from_json(field("edge")?)?,
+                space: FromJson::from_json(field("space")?)?,
+            });
+        }
+        Err(JsonError::expected("DVM payload", v))
+    }
+}
+
+tulkun_json::impl_json_object!(Envelope { from, to, payload });
 
 #[cfg(test)]
 mod tests {
@@ -115,8 +166,8 @@ mod tests {
                 results: vec![(enc, Counts::scalars([0, 1]))],
             },
         };
-        let json = serde_json::to_string(&env).unwrap();
-        let back: Envelope = serde_json::from_str(&json).unwrap();
+        let json = tulkun_json::to_string(&env);
+        let back: Envelope = tulkun_json::from_str(&json).unwrap();
         assert_eq!(back, env);
         assert!(env.wire_bytes() > 0);
     }

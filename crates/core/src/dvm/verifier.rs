@@ -20,7 +20,6 @@ use crate::count::{Counts, ReduceMode};
 use crate::dpvnet::NodeId;
 use crate::dvm::message::{EdgeRef, Envelope, Payload};
 use crate::planner::NodeTask;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use tulkun_bdd::serial::{self, PortablePred};
 use tulkun_bdd::{BddManager, HeaderLayout, Pred};
@@ -29,7 +28,7 @@ use tulkun_netmodel::network::RuleUpdate;
 use tulkun_netmodel::DeviceId;
 
 /// How destination nodes count their own delivery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DestMode {
     /// The paper's semantics: a destination node contributes one copy
     /// axiomatically ("one copy will be sent to the correct external
@@ -42,7 +41,7 @@ pub enum DestMode {
 }
 
 /// Static configuration shared by all verifiers of one plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VerifierConfig {
     /// Number of path expressions.
     pub n_exprs: usize,

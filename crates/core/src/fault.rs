@@ -12,7 +12,6 @@
 use crate::dpvnet::{self, DpvNet, DpvNetError, NodeId, ValidPath};
 use crate::planner::{CountingPlan, NodeTask, PlanError};
 use crate::spec::{FaultSpec, Invariant, PathExpr};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use tulkun_netmodel::topology::{DeviceId, Topology};
 
@@ -30,7 +29,7 @@ pub fn link_pair(a: DeviceId, b: DeviceId) -> LinkPair {
 }
 
 /// One fault scene: a sorted set of failed links.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FaultScene(pub Vec<LinkPair>);
 
 impl FaultScene {
@@ -192,7 +191,7 @@ pub fn subtopology(topo: &Topology, down: &FaultScene) -> Topology {
 }
 
 /// A bitmask over scene indices.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SceneMask(Vec<u64>);
 
 impl SceneMask {
@@ -220,7 +219,7 @@ impl SceneMask {
 }
 
 /// The fault-tolerant DPVNet: the union DAG plus per-scene validity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FtDpvNet {
     /// Union DAG (accept flags = valid in *some* scene).
     pub dpvnet: DpvNet,

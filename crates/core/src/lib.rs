@@ -23,7 +23,7 @@
 //! * [`fault`] — fault-tolerant DPVNet precomputation and online
 //!   recounting (§6).
 //! * [`verify`] — an in-process driver that runs all on-device verifiers
-//!   to quiescence over a network snapshot (the simulator and the tokio
+//!   to quiescence over a network snapshot (the simulator and the threaded
 //!   runner drive the same verifiers asynchronously).
 
 pub mod count;

@@ -44,7 +44,6 @@ use crate::count::{CountExpr, Counts};
 use crate::planner::{PlanError, Planner, PlannerOptions};
 use crate::spec::{Behavior, Invariant, PacketSpace, PathExpr};
 use crate::verify::Session;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tulkun_bdd::serial;
 use tulkun_bdd::{BddManager, Pred};
@@ -53,7 +52,7 @@ use tulkun_netmodel::network::Network;
 use tulkun_netmodel::topology::{DeviceId, Topology};
 
 /// A partition of the device set into named groups.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partitioning {
     groups: Vec<Vec<DeviceId>>,
     /// Device → group index.

@@ -5,14 +5,13 @@
 use crate::count::{CountExpr, ReduceMode};
 use crate::dpvnet::{DpvNet, DpvNetError, NodeId};
 use crate::spec::{Behavior, FilterOp, Invariant, LengthBound, PathExpr};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tulkun_automata::{Dfa, Regex};
 use tulkun_netmodel::topology::{DeviceId, Topology};
 
 /// The behavior formula compiled to indices into the plan's expression
 /// list, evaluated per universe on the final outcome vector.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Formula {
     /// Count of expression `expr` satisfies `count`.
     Exist {
@@ -55,7 +54,7 @@ impl Formula {
 }
 
 /// The counting task assigned to one DPVNet node, shipped to its device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeTask {
     /// The DPVNet node.
     pub node: NodeId,
@@ -70,7 +69,7 @@ pub struct NodeTask {
 }
 
 /// A distributed-counting plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CountingPlan {
     /// The DAG of valid paths.
     pub dpvnet: DpvNet,
@@ -103,7 +102,7 @@ impl CountingPlan {
 /// One local contract (the `equal` operator, §4.2): the device of `node`
 /// must forward the packet space to exactly `required_next_hops`, and
 /// deliver externally iff `must_deliver`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalContract {
     /// The DPVNet node of the contract.
     pub node: NodeId,
@@ -117,7 +116,7 @@ pub struct LocalContract {
 
 /// A local-contract plan (communication-free; the minimal counting
 /// information of every node is the empty set).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LocalPlan {
     /// The valid-path DAG the contracts were derived from.
     pub dpvnet: DpvNet,
@@ -126,7 +125,7 @@ pub struct LocalPlan {
 }
 
 /// A compiled plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum PlanKind {
     /// Distributed counting over a DPVNet.
     Counting(CountingPlan),
@@ -135,7 +134,7 @@ pub enum PlanKind {
 }
 
 /// A plan for one invariant.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Plan {
     /// The invariant being verified.
     pub invariant: Invariant,

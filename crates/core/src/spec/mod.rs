@@ -20,14 +20,13 @@ pub mod parse;
 pub mod table1;
 
 use crate::count::CountExpr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tulkun_automata::Regex;
 use tulkun_bdd::{BddManager, HeaderLayout, Pred};
 use tulkun_netmodel::IpPrefix;
 
 /// A symbolic set of packets, compiled to a BDD predicate on demand.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PacketSpace {
     /// All packets.
     All,
@@ -122,7 +121,7 @@ impl PacketSpace {
 }
 
 /// A length-filter comparison operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterOp {
     /// `<=`
     Le,
@@ -139,7 +138,7 @@ pub enum FilterOp {
 /// A length-filter bound: concrete hop count, or symbolic relative to the
 /// shortest path between a path's endpoints (§6 distinguishes the two for
 /// fault tolerance).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LengthBound {
     /// A fixed hop count.
     Hops(u32),
@@ -149,7 +148,7 @@ pub enum LengthBound {
 }
 
 /// A length filter on matched paths, e.g. `(<= shortest+1)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LengthFilter {
     /// The comparison.
     pub op: FilterOp,
@@ -183,7 +182,7 @@ impl LengthFilter {
 
 /// A path expression: a regular expression over devices plus optional
 /// length filters and the `loop_free` shortcut.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathExpr {
     /// The regular expression over device names.
     pub regex: Regex,
@@ -286,7 +285,7 @@ impl fmt::Display for PathExpr {
 
 /// A verification behavior: a boolean combination of match operations on
 /// path expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Behavior {
     /// In every universe, the number of traces matching `path` satisfies
     /// `count`.
@@ -396,7 +395,7 @@ impl Behavior {
 
 /// Fault-tolerance specification (§6): which failure scenes the invariant
 /// must additionally hold under.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum FaultSpec {
     /// No fault tolerance requested.
     #[default]
@@ -409,7 +408,7 @@ pub enum FaultSpec {
 }
 
 /// A complete invariant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Invariant {
     /// Human-readable name (diagnostics only).
     pub name: String,

@@ -3,7 +3,7 @@
 //! [`Session`] instantiates one on-device verifier per participating
 //! device, delivers DVM messages until quiescence, and evaluates the
 //! invariant's formula at the DPVNet sources. The discrete-event
-//! simulator and the tokio runner drive the same verifiers with real
+//! simulator and the threaded runner drive the same verifiers with real
 //! latencies; this driver is the convenient synchronous API (and the
 //! reference semantics the others are tested against).
 
@@ -16,6 +16,7 @@ use crate::spec::PacketSpace;
 use std::collections::{BTreeMap, VecDeque};
 use tulkun_bdd::serial::{self, PortablePred};
 use tulkun_bdd::{BddManager, HeaderLayout};
+use tulkun_json::{Json, ToJson};
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::DeviceId;
 
@@ -62,10 +63,87 @@ pub struct Report {
     pub messages: usize,
 }
 
+impl ToJson for ViolationKind {
+    fn to_json(&self) -> Json {
+        match self {
+            ViolationKind::Counting { counts } => Json::Object(vec![(
+                "Counting".to_string(),
+                Json::Object(vec![("counts".to_string(), counts.to_json())]),
+            )]),
+            ViolationKind::Contract {
+                expected,
+                found,
+                reason,
+            } => Json::Object(vec![(
+                "Contract".to_string(),
+                Json::Object(vec![
+                    ("expected".to_string(), expected.to_json()),
+                    ("found".to_string(), found.to_json()),
+                    ("reason".to_string(), reason.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl tulkun_json::FromJson for ViolationKind {
+    fn from_json(v: &Json) -> Result<Self, tulkun_json::JsonError> {
+        use tulkun_json::{FromJson, JsonError};
+        if let Some(c) = v.get("Counting") {
+            return Ok(ViolationKind::Counting {
+                counts: FromJson::from_json(
+                    c.get("counts")
+                        .ok_or_else(|| JsonError::missing_field("counts"))?,
+                )?,
+            });
+        }
+        if let Some(c) = v.get("Contract") {
+            let field = |name: &str| c.get(name).ok_or_else(|| JsonError::missing_field(name));
+            return Ok(ViolationKind::Contract {
+                expected: FromJson::from_json(field("expected")?)?,
+                found: FromJson::from_json(field("found")?)?,
+                reason: FromJson::from_json(field("reason")?)?,
+            });
+        }
+        Err(JsonError::expected("violation kind", v))
+    }
+}
+
+tulkun_json::impl_json_object!(Violation {
+    device,
+    node,
+    pred,
+    kind
+});
+
 impl Report {
     /// Does the invariant hold?
     pub fn holds(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// A deterministic, substrate-independent byte encoding of the
+    /// verdict: violations serialized to JSON and sorted. The message
+    /// count is deliberately excluded — it is a property of the
+    /// execution substrate (the event simulator, the threaded runner
+    /// and the synchronous reference deliver different message
+    /// schedules), while the verdict itself must be identical.
+    /// Predicates are already canonical: BDD export is children-first
+    /// post-order over a hash-consed DAG, so equal functions under the
+    /// same variable order serialize to equal bytes on every substrate.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut rendered: Vec<String> =
+            self.violations.iter().map(tulkun_json::to_string).collect();
+        rendered.sort();
+        let mut out = String::from("[");
+        for (i, r) in rendered.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(r);
+        }
+        out.push(']');
+        out.into_bytes()
     }
 }
 
@@ -225,7 +303,7 @@ impl Session {
 
 /// Evaluates an invariant's formula at the DPVNet sources given a way to
 /// read each source node's counting results (used by the simulator and
-/// the tokio runner, which own their verifiers).
+/// the threaded runner, which own their verifiers).
 pub fn evaluate_sources(
     plan: &CountingPlan,
     mut node_result: impl FnMut(DeviceId, NodeId) -> Vec<(PortablePred, Counts)>,

@@ -3,7 +3,6 @@
 use crate::topologies;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::routing::{self, RoutingOptions};
@@ -11,7 +10,7 @@ use tulkun_netmodel::topology::{DeviceId, Topology};
 use tulkun_netmodel::IpPrefix;
 
 /// Dataset category (Figure 10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetKind {
     /// Wide-area network (millisecond links).
     Wan,
@@ -24,7 +23,7 @@ pub enum NetKind {
 /// Generation scale. `Tiny` keeps CI fast (fewer prefixes, smaller DC
 /// fabrics); `Paper` approaches the paper's sizes. Ratios between
 /// datasets are preserved at every scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// CI-friendly rule counts (default).
     Tiny,
@@ -42,7 +41,7 @@ impl Scale {
 }
 
 /// Static facts about a dataset (printed by the Fig. 10 harness).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSpec {
     /// Paper name (e.g. `"INet2"`).
     pub name: String,
@@ -237,7 +236,7 @@ pub fn add_acls(net: &mut Network, per_device: usize, seed: u64) {
 }
 
 /// Kinds of generated rule updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateKind {
     /// Re-pin a route onto one member of its shortest-path set (the
     /// common benign churn: most updates leave end-to-end behaviour

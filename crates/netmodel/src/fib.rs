@@ -3,11 +3,11 @@
 
 use crate::prefix::IpPrefix;
 use crate::topology::DeviceId;
-use serde::{Deserialize, Serialize};
 use tulkun_bdd::{BddManager, HeaderLayout, Pred};
+use tulkun_json::{FromJson, Json, JsonError, ToJson};
 
 /// How a forwarding group treats its next hops (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ActionType {
     /// The packet is replicated to **all** next hops in the group
     /// (multicast / 1+1 protection): one universe, several traces.
@@ -18,7 +18,7 @@ pub enum ActionType {
 }
 
 /// A member of a forwarding group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NextHop {
     /// Forward to a neighboring device.
     Device(DeviceId),
@@ -30,14 +30,14 @@ pub enum NextHop {
 /// An optional header rewrite applied before forwarding (packet
 /// transformation, §5.2). The destination IP is replaced so that the
 /// packet subsequently matches `to` instead of its original space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rewrite {
     /// New destination prefix; all matched packets are mapped into it.
     pub to: IpPrefix,
 }
 
 /// A data plane action.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Action {
     /// Drop the packet (the empty forwarding group of §2.1).
     Drop,
@@ -111,7 +111,7 @@ impl Action {
 
 /// What packets a rule matches: a destination prefix plus optional
 /// destination-port range and protocol constraints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatchSpec {
     /// Destination prefix to match.
     pub dst: IpPrefix,
@@ -153,7 +153,7 @@ impl MatchSpec {
 }
 
 /// One prioritized rule. Higher `priority` wins.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// Higher priorities win.
     pub priority: u32,
@@ -164,7 +164,7 @@ pub struct Rule {
 }
 
 /// A device's forwarding table: rules ordered by descending priority.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Fib {
     rules: Vec<Rule>,
 }
@@ -300,6 +300,121 @@ impl Fib {
             }
         }
         Action::Drop
+    }
+}
+
+impl ToJson for ActionType {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ActionType::All => "All",
+                ActionType::Any => "Any",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ActionType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("All") => Ok(ActionType::All),
+            Some("Any") => Ok(ActionType::Any),
+            _ => Err(JsonError::expected("\"All\" or \"Any\"", v)),
+        }
+    }
+}
+
+impl ToJson for NextHop {
+    fn to_json(&self) -> Json {
+        match self {
+            NextHop::Device(d) => Json::Object(vec![("Device".to_string(), d.to_json())]),
+            NextHop::External => Json::Str("External".to_string()),
+        }
+    }
+}
+
+impl FromJson for NextHop {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.as_str() == Some("External") {
+            return Ok(NextHop::External);
+        }
+        if let Some(d) = v.get("Device") {
+            return Ok(NextHop::Device(FromJson::from_json(d)?));
+        }
+        Err(JsonError::expected("next hop", v))
+    }
+}
+
+tulkun_json::impl_json_object!(Rewrite { to });
+
+impl ToJson for Action {
+    fn to_json(&self) -> Json {
+        match self {
+            Action::Drop => Json::Str("Drop".to_string()),
+            Action::Forward {
+                mode,
+                next_hops,
+                rewrite,
+            } => Json::Object(vec![(
+                "Forward".to_string(),
+                Json::Object(vec![
+                    ("mode".to_string(), mode.to_json()),
+                    ("next_hops".to_string(), next_hops.to_json()),
+                    ("rewrite".to_string(), rewrite.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Action {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.as_str() == Some("Drop") {
+            return Ok(Action::Drop);
+        }
+        if let Some(f) = v.get("Forward") {
+            let field = |name: &str| f.get(name).ok_or_else(|| JsonError::missing_field(name));
+            return Ok(Action::Forward {
+                mode: FromJson::from_json(field("mode")?)?,
+                next_hops: FromJson::from_json(field("next_hops")?)?,
+                rewrite: FromJson::from_json(field("rewrite")?)?,
+            });
+        }
+        Err(JsonError::expected("action", v))
+    }
+}
+
+tulkun_json::impl_json_object!(MatchSpec {
+    dst,
+    dst_port,
+    proto
+});
+tulkun_json::impl_json_object!(Rule {
+    priority,
+    matches,
+    action
+});
+
+impl ToJson for Fib {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![("rules".to_string(), self.rules.to_json())])
+    }
+}
+
+impl FromJson for Fib {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let rules: Vec<Rule> = FromJson::from_json(
+            v.get("rules")
+                .ok_or_else(|| JsonError::missing_field("rules"))?,
+        )?;
+        let mut fib = Fib::new();
+        // Re-inserting keeps the descending-priority invariant even if
+        // the document was edited by hand.
+        for rule in rules {
+            fib.insert(rule);
+        }
+        Ok(fib)
     }
 }
 

@@ -2,12 +2,11 @@
 
 use crate::fib::{Fib, MatchSpec, Rule};
 use crate::topology::{DeviceId, Topology};
-use serde::{Deserialize, Serialize};
 use tulkun_bdd::HeaderLayout;
 
 /// A complete network snapshot: topology, per-device FIBs, and the header
 /// layout its predicates are expressed over.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     /// Devices, links and external ports.
     pub topology: Topology,
@@ -18,7 +17,7 @@ pub struct Network {
 }
 
 /// One rule update: install or withdraw a rule at a device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuleUpdate {
     /// Install a rule.
     Insert {
@@ -87,6 +86,12 @@ impl Network {
         }
     }
 }
+
+tulkun_json::impl_json_object!(Network {
+    topology,
+    fibs,
+    layout
+});
 
 #[cfg(test)]
 mod tests {

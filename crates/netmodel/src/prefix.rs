@@ -1,12 +1,11 @@
 //! IPv4 prefixes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 use tulkun_bdd::{BddManager, HeaderLayout, Pred};
 
 /// An IPv4 prefix `addr/len` with host bits zeroed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IpPrefix {
     /// Network address with host bits zero.
     pub addr: u32,
@@ -64,6 +63,22 @@ impl IpPrefix {
     /// Compiles the prefix into a destination-IP predicate.
     pub fn to_pred(&self, m: &mut BddManager, layout: &HeaderLayout) -> Pred {
         layout.dst_ip.prefix(m, self.addr as u64, self.len as u32)
+    }
+}
+
+impl tulkun_json::ToJson for IpPrefix {
+    fn to_json(&self) -> tulkun_json::Json {
+        tulkun_json::Json::Str(self.to_string())
+    }
+}
+
+impl tulkun_json::FromJson for IpPrefix {
+    fn from_json(v: &tulkun_json::Json) -> Result<Self, tulkun_json::JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| tulkun_json::JsonError::expected("prefix string", v))?;
+        s.parse()
+            .map_err(|e: ParsePrefixError| tulkun_json::JsonError::new(e.to_string()))
     }
 }
 

@@ -9,10 +9,9 @@ use crate::fib::{Action, ActionType, Fib, MatchSpec, NextHop, Rule};
 use crate::network::{Network, RuleUpdate};
 use crate::prefix::IpPrefix;
 use crate::topology::{DeviceId, LinkId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// How ECMP groups are encoded in generated rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EcmpMode {
     /// Multiple equal-cost next hops become one `ANY`-type group
     /// (the realistic encoding; creates multiple universes).
@@ -114,7 +113,7 @@ pub fn install_route(
 }
 
 /// A deliberately injected data plane error.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InjectedError {
     /// `device` silently drops `prefix` (high-priority drop rule).
     Blackhole {

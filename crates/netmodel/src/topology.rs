@@ -1,12 +1,12 @@
 //! Devices, links and the external-port prefix mapping.
 
 use crate::prefix::IpPrefix;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use tulkun_json::{FromJson, Json, JsonError, ToJson};
 
 /// A network device (switch/router), identified by a dense index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub u32);
 
 impl DeviceId {
@@ -17,11 +17,11 @@ impl DeviceId {
 }
 
 /// An undirected link between two devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkId(pub u32);
 
 /// Link record: endpoints and propagation latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
     /// One endpoint.
     pub a: DeviceId,
@@ -45,7 +45,7 @@ impl Link {
 
 /// The network topology: devices, named; links with latencies; and the
 /// `(device, IP prefix)` mapping for external ports (§3).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     names: Vec<String>,
     by_name: HashMap<String, DeviceId>,
@@ -237,6 +237,79 @@ impl Topology {
         }
         let dist = self.bfs_hops(DeviceId(0), down);
         dist.iter().all(|&d| d != u32::MAX)
+    }
+}
+
+impl ToJson for DeviceId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for DeviceId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(DeviceId)
+    }
+}
+
+impl ToJson for LinkId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for LinkId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(LinkId)
+    }
+}
+
+tulkun_json::impl_json_object!(Link { a, b, latency_ns });
+
+impl ToJson for Topology {
+    fn to_json(&self) -> Json {
+        // The by-name index and adjacency lists are derived state and
+        // rebuilt on load; external ports serialize sorted by device
+        // for deterministic output.
+        let mut external: Vec<(DeviceId, Vec<IpPrefix>)> = self
+            .external
+            .iter()
+            .map(|(d, ps)| (*d, ps.clone()))
+            .collect();
+        external.sort_by_key(|(d, _)| *d);
+        Json::Object(vec![
+            ("names".to_string(), self.names.to_json()),
+            ("links".to_string(), self.links.to_json()),
+            ("external".to_string(), external.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Topology {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| v.get(name).ok_or_else(|| JsonError::missing_field(name));
+        let names: Vec<String> = FromJson::from_json(field("names")?)?;
+        let links: Vec<Link> = FromJson::from_json(field("links")?)?;
+        let external: Vec<(DeviceId, Vec<IpPrefix>)> = FromJson::from_json(field("external")?)?;
+        let mut t = Topology::new();
+        for name in names {
+            t.add_device(name);
+        }
+        for l in &links {
+            if l.a.idx() >= t.num_devices() || l.b.idx() >= t.num_devices() {
+                return Err(JsonError::new("link endpoint out of range"));
+            }
+            t.add_link(l.a, l.b, l.latency_ns);
+        }
+        for (d, ps) in external {
+            if d.idx() >= t.num_devices() {
+                return Err(JsonError::new("external device out of range"));
+            }
+            for p in ps {
+                t.add_external_prefix(d, p);
+            }
+        }
+        Ok(t)
     }
 }
 

@@ -2,9 +2,10 @@
 //! centralized DPV tools (§9.3.1) — "we randomly assign a device as the
 //! location of the verifier, and let all devices send it their data
 //! planes along lowest-latency paths" — then adds the tool's measured
-//! compute time.
+//! compute time. The collection timing is the runtime layer's
+//! [`CollectionClock`]; compute is timed with [`runtime::measure`].
 
-use std::time::Instant;
+use crate::runtime::{self, CollectionClock};
 use tulkun_baselines::{BaselineReport, CentralizedDpv, Workload};
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::DeviceId;
@@ -40,19 +41,9 @@ pub fn central_burst(
     workload: &Workload,
     verifier_loc: DeviceId,
 ) -> CentralRun {
-    let dist = net.topology.dijkstra_latency(verifier_loc, &[]);
-    let prop = dist
-        .iter()
-        .filter(|&&d| d != u64::MAX)
-        .max()
-        .copied()
-        .unwrap_or(0);
-    let bytes = net.total_rules() as u64 * RULE_WIRE_BYTES;
-    let transfer = bytes * 8 * 1_000_000_000 / MGMT_BANDWIDTH_BPS;
-    let collect = prop + transfer;
-    let wall = Instant::now();
-    let report = tool.verify_burst(net, workload);
-    let verify_ns = wall.elapsed().as_nanos() as u64;
+    let clock = CollectionClock::new(&net.topology, verifier_loc, MGMT_BANDWIDTH_BPS);
+    let collect = clock.collect_all(net.total_rules() as u64 * RULE_WIRE_BYTES);
+    let (report, verify_ns) = runtime::measure(|| tool.verify_burst(net, workload));
     CentralRun {
         collect_latency_ns: collect,
         verify_ns,
@@ -70,12 +61,9 @@ pub fn central_update(
     update: &RuleUpdate,
     verifier_loc: DeviceId,
 ) -> CentralRun {
-    let dist = net.topology.dijkstra_latency(verifier_loc, &[]);
-    let collect = dist[update.device().idx()];
-    let collect = if collect == u64::MAX { 0 } else { collect };
-    let wall = Instant::now();
-    let report = tool.apply_update(update);
-    let verify_ns = wall.elapsed().as_nanos() as u64;
+    let clock = CollectionClock::new(&net.topology, verifier_loc, MGMT_BANDWIDTH_BPS);
+    let collect = clock.collect_from(update.device());
+    let (report, verify_ns) = runtime::measure(|| tool.apply_update(update));
     CentralRun {
         collect_latency_ns: collect,
         verify_ns,

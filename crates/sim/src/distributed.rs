@@ -1,211 +1,70 @@
-//! The tokio distributed runner: one async task per device verifier,
-//! in-order channels for DVM links — the deployment shape of the
-//! paper's prototype (one verification agent per switch over TCP).
+//! The distributed runner: one OS thread per device verifier, in-order
+//! channels for DVM links — the deployment shape of the paper's
+//! prototype (one verification agent per switch over TCP). A thin
+//! wrapper over [`ThreadedEngine`], the runtime layer's concurrent
+//! substrate.
 //!
-//! Quiescence is detected with an in-flight message counter: a message's
-//! outputs are enqueued (and counted) before its own count is released,
-//! so the counter only reaches zero when no message is queued or being
-//! processed anywhere.
+//! Quiescence is detected with the runtime's in-flight gauge: a
+//! message's outputs are enqueued (and counted) before its own count is
+//! released, so the gauge only reaches zero when no message is queued
+//! or being processed anywhere.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
-use tokio::sync::{mpsc, oneshot, Notify};
-use tulkun_bdd::serial::PortablePred;
-use tulkun_core::count::Counts;
-use tulkun_core::dpvnet::NodeId;
-use tulkun_core::dvm::{DeviceVerifier, Envelope, VerifierConfig};
-use tulkun_core::planner::{CountingPlan, NodeTask};
+use crate::runtime::{DevicePanic, EngineConfig, LecCache, RuntimeStats, ThreadedEngine};
+use tulkun_core::planner::CountingPlan;
 use tulkun_core::spec::PacketSpace;
-use tulkun_core::verify::{self, Report};
+use tulkun_core::verify::Report;
 use tulkun_netmodel::network::{Network, RuleUpdate};
-use tulkun_netmodel::DeviceId;
 
-/// One node's exported counting results.
-type NodeResults = Vec<(NodeId, Vec<(PortablePred, Counts)>)>;
-
-enum DeviceMsg {
-    Dvm(Envelope),
-    FibUpdate(RuleUpdate),
-    Collect(Vec<NodeId>, oneshot::Sender<NodeResults>),
-    Shutdown,
-}
-
-/// A running distributed verification: per-device tokio tasks plus the
+/// A running distributed verification: per-device threads plus the
 /// in-flight accounting needed to observe quiescence.
 pub struct DistributedRun {
-    plan: CountingPlan,
-    senders: BTreeMap<DeviceId, mpsc::UnboundedSender<DeviceMsg>>,
-    inflight: Arc<AtomicI64>,
-    quiescent: Arc<Notify>,
-    handles: Vec<tokio::task::JoinHandle<()>>,
+    engine: ThreadedEngine,
 }
 
 impl DistributedRun {
-    /// Spawns one verifier task per participating device and performs
+    /// Spawns one verifier thread per participating device and performs
     /// the initial (burst) exchange.
     pub fn spawn(net: &Network, plan: &CountingPlan, ps: &PacketSpace) -> DistributedRun {
-        let packet_space = verify::compile_packet_space(&net.layout, ps);
-        let vcfg = VerifierConfig {
-            n_exprs: plan.exprs.len(),
-            track_escapes: plan.track_escapes,
-            reduce: plan.reduce,
-            dest_mode: Default::default(),
-        };
-        let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
-        for t in &plan.tasks {
-            by_dev.entry(t.dev).or_default().push(t.clone());
-        }
+        let mut cache = LecCache::new();
+        Self::spawn_with(net, plan, ps, &EngineConfig::default(), &mut cache)
+    }
 
-        let inflight = Arc::new(AtomicI64::new(0));
-        let quiescent = Arc::new(Notify::new());
-        let mut senders: BTreeMap<DeviceId, mpsc::UnboundedSender<DeviceMsg>> = BTreeMap::new();
-        let mut receivers: BTreeMap<DeviceId, mpsc::UnboundedReceiver<DeviceMsg>> = BTreeMap::new();
-        for &dev in by_dev.keys() {
-            let (tx, rx) = mpsc::unbounded_channel();
-            senders.insert(dev, tx);
-            receivers.insert(dev, rx);
-        }
-
-        let mut handles = Vec::new();
-        for (dev, tasks) in by_dev {
-            let mut verifier = DeviceVerifier::new(
-                dev,
-                net.layout,
-                net.fib(dev).clone(),
-                tasks,
-                &packet_space,
-                vcfg.clone(),
-            );
-            let mut rx = receivers.remove(&dev).expect("receiver");
-            let peers = senders.clone();
-            let inflight = inflight.clone();
-            let quiescent = quiescent.clone();
-
-            // The initial messages count as in-flight before any task
-            // starts, so quiescence cannot be observed prematurely.
-            let init = verifier.init();
-            inflight.fetch_add(init.len() as i64, Ordering::SeqCst);
-            for env in &init {
-                if let Some(tx) = peers.get(&env.to) {
-                    let _ = tx.send(DeviceMsg::Dvm(env.clone()));
-                } else {
-                    inflight.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-
-            handles.push(tokio::spawn(async move {
-                while let Some(msg) = rx.recv().await {
-                    match msg {
-                        DeviceMsg::Dvm(env) => {
-                            let out = verifier.handle(&env);
-                            route(&peers, out, &inflight);
-                            release(&inflight, &quiescent);
-                        }
-                        DeviceMsg::FibUpdate(u) => {
-                            let out = verifier.handle_fib_update(&u);
-                            route(&peers, out, &inflight);
-                            release(&inflight, &quiescent);
-                        }
-                        DeviceMsg::Collect(nodes, reply) => {
-                            let results = nodes
-                                .into_iter()
-                                .map(|n| (n, verifier.node_result(n)))
-                                .collect();
-                            let _ = reply.send(results);
-                        }
-                        DeviceMsg::Shutdown => break,
-                    }
-                }
-            }));
-        }
-
+    /// Like [`DistributedRun::spawn`], with explicit engine options and
+    /// a shared LEC cache (`parallel_init` builds device verifiers
+    /// concurrently before the threads start).
+    pub fn spawn_with(
+        net: &Network,
+        plan: &CountingPlan,
+        ps: &PacketSpace,
+        cfg: &EngineConfig,
+        lec_cache: &mut LecCache,
+    ) -> DistributedRun {
         DistributedRun {
-            plan: plan.clone(),
-            senders,
-            inflight,
-            quiescent,
-            handles,
+            engine: ThreadedEngine::spawn(net, plan, ps, cfg, lec_cache),
         }
     }
 
-    /// Waits until no DVM message is queued or being processed.
-    pub async fn quiesce(&self) {
-        loop {
-            if self.inflight.load(Ordering::SeqCst) == 0 {
-                return;
-            }
-            self.quiescent.notified().await;
-        }
+    /// Blocks until no DVM message is queued or being processed.
+    pub fn quiesce(&self) {
+        self.engine.wait_quiescent();
     }
 
     /// Injects a rule update at its device (counts as one in-flight
     /// event until processed).
     pub fn inject_update(&self, update: RuleUpdate) {
-        if let Some(tx) = self.senders.get(&update.device()) {
-            self.inflight.fetch_add(1, Ordering::SeqCst);
-            let _ = tx.send(DeviceMsg::FibUpdate(update));
-        }
+        self.engine.inject_update(update);
     }
 
     /// Collects source results and evaluates the invariant.
-    pub async fn report(&self) -> Report {
-        // Group source nodes by device.
-        let mut by_dev: BTreeMap<DeviceId, Vec<NodeId>> = BTreeMap::new();
-        for (dev, node) in self.plan.dpvnet.sources() {
-            by_dev.entry(*dev).or_default().push(*node);
-        }
-        let mut results: BTreeMap<(DeviceId, NodeId), Vec<(PortablePred, Counts)>> =
-            BTreeMap::new();
-        for (dev, nodes) in by_dev {
-            let Some(tx) = self.senders.get(&dev) else {
-                continue;
-            };
-            let (reply_tx, reply_rx) = oneshot::channel();
-            if tx.send(DeviceMsg::Collect(nodes, reply_tx)).is_err() {
-                continue;
-            }
-            if let Ok(rs) = reply_rx.await {
-                for (node, r) in rs {
-                    results.insert((dev, node), r);
-                }
-            }
-        }
-        verify::evaluate_sources(&self.plan, |dev, node| {
-            results.get(&(dev, node)).cloned().unwrap_or_default()
-        })
+    pub fn report(&self) -> Report {
+        self.engine.report()
     }
 
-    /// Shuts all device tasks down.
-    pub async fn shutdown(self) {
-        for tx in self.senders.values() {
-            let _ = tx.send(DeviceMsg::Shutdown);
-        }
-        for h in self.handles {
-            let _ = h.await;
-        }
-    }
-}
-
-fn route(
-    peers: &BTreeMap<DeviceId, mpsc::UnboundedSender<DeviceMsg>>,
-    out: Vec<Envelope>,
-    inflight: &AtomicI64,
-) {
-    inflight.fetch_add(out.len() as i64, Ordering::SeqCst);
-    for env in out {
-        match peers.get(&env.to) {
-            Some(tx) if tx.send(DeviceMsg::Dvm(env)).is_ok() => {}
-            _ => {
-                inflight.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
-    }
-}
-
-fn release(inflight: &AtomicI64, quiescent: &Notify) {
-    if inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
-        quiescent.notify_waiters();
+    /// Shuts all device threads down, joining every handle. Returns the
+    /// merged per-device runtime stats, or the panics of crashed device
+    /// tasks. Dropping without calling this still joins all threads.
+    pub fn shutdown(self) -> Result<RuntimeStats, Vec<DevicePanic>> {
+        self.engine.shutdown()
     }
 }
 
@@ -214,12 +73,12 @@ mod tests {
     use super::*;
     use tulkun_core::count::CountExpr;
     use tulkun_core::planner::Planner;
-    use tulkun_core::spec::{Behavior, Invariant, PathExpr};
+    use tulkun_core::spec::{Behavior, Invariant, PacketSpace, PathExpr};
     use tulkun_datasets::fig2a_network;
     use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn distributed_run_matches_reference() {
+    #[test]
+    fn distributed_run_matches_reference() {
         let net = fig2a_network();
         let inv = Invariant::builder()
             .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
@@ -234,8 +93,8 @@ mod tests {
         let cp = plan.counting().unwrap();
 
         let run = DistributedRun::spawn(&net, cp, &inv.packet_space);
-        run.quiesce().await;
-        let report = run.report().await;
+        run.quiesce();
+        let report = run.report();
         assert!(!report.holds());
         assert_eq!(report.violations.len(), 1);
 
@@ -250,9 +109,11 @@ mod tests {
                 action: Action::fwd(w),
             },
         });
-        run.quiesce().await;
-        let report = run.report().await;
+        run.quiesce();
+        let report = run.report();
         assert!(report.holds(), "{:?}", report.violations);
-        run.shutdown().await;
+        let stats = run.shutdown().expect("clean shutdown");
+        assert!(stats.messages > 0);
+        assert!(stats.per_device.values().any(|s| s.busy_ns > 0));
     }
 }

@@ -1,4 +1,6 @@
-//! The discrete-event simulator for distributed counting plans.
+//! The discrete-event simulator for distributed counting plans — the
+//! [`crate::runtime::Engine`] instantiated with a virtual-time
+//! [`LatencyTransport`] and a [`VirtualClock`].
 //!
 //! Each device is a sequential processor: an event arriving at time `t`
 //! starts processing at `max(t, device_free)`, runs for its *measured*
@@ -10,15 +12,16 @@
 //! including the propagation delays").
 
 use crate::models::SwitchModel;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-use std::time::Instant;
-use tulkun_core::dvm::{DeviceVerifier, Envelope, VerifierConfig};
+use crate::runtime::{Engine, EngineConfig, LatencyTransport, RuntimeStats, VirtualClock};
+use std::collections::BTreeMap;
+use tulkun_core::dvm::DeviceVerifier;
 use tulkun_core::planner::{CountingPlan, NodeTask};
 use tulkun_core::spec::PacketSpace;
-use tulkun_core::verify::{self, Report};
+use tulkun_core::verify::Report;
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::DeviceId;
+
+pub use crate::runtime::{DeviceStats, LecCache, RunOutcome as SimResult};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +31,9 @@ pub struct SimConfig {
     /// Latency used when two communicating devices share no direct link
     /// (only possible for virtual constructions).
     pub fallback_latency_ns: u64,
+    /// Build per-device verifiers concurrently (see
+    /// [`EngineConfig::parallel_init`]).
+    pub parallel_init: bool,
 }
 
 impl Default for SimConfig {
@@ -35,84 +41,24 @@ impl Default for SimConfig {
         SimConfig {
             model: SwitchModel::MELLANOX,
             fallback_latency_ns: 10_000,
+            parallel_init: false,
         }
     }
 }
 
-/// Per-device counters for the §9.4 overhead figures.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DeviceStats {
-    /// Scaled CPU time spent initializing (LEC + initial counting).
-    pub init_ns: u64,
-    /// Scaled CPU time spent processing DVM messages.
-    pub busy_ns: u64,
-    /// DVM messages processed.
-    pub messages: u64,
-    /// Bytes sent.
-    pub bytes_sent: u64,
-    /// BDD nodes allocated (memory proxy).
-    pub bdd_nodes: usize,
-    /// Scaled per-message processing times (ns) — drained by the Fig. 15
-    /// harness.
-    pub max_msg_ns: u64,
+impl From<SimConfig> for EngineConfig {
+    fn from(cfg: SimConfig) -> EngineConfig {
+        EngineConfig {
+            model: cfg.model,
+            fallback_latency_ns: cfg.fallback_latency_ns,
+            parallel_init: cfg.parallel_init,
+        }
+    }
 }
 
-/// A shared per-device LEC-table cache (exported predicates + actions),
-/// valid as long as the device's FIB is unchanged.
-pub type LecCache = BTreeMap<
-    DeviceId,
-    Vec<(
-        tulkun_bdd::serial::PortablePred,
-        tulkun_netmodel::fib::Action,
-    )>,
->;
-
-/// The outcome of one simulated verification round.
-#[derive(Debug, Clone, Default)]
-pub struct SimResult {
-    /// Simulated completion (quiescence) time in ns.
-    pub completion_ns: u64,
-    /// Messages delivered.
-    pub messages: usize,
-    /// Total bytes on the wire.
-    pub bytes: u64,
-}
-
-/// The simulator: owns the verifiers, the clock, and the event queue.
+/// The simulator: a virtual-time instantiation of the runtime engine.
 pub struct DvmSim {
-    cfg: SimConfig,
-    plan: CountingPlan,
-    topo: tulkun_netmodel::Topology,
-    verifiers: BTreeMap<DeviceId, DeviceVerifier>,
-    /// Device busy-until times.
-    free_at: BTreeMap<DeviceId, u64>,
-    /// Event queue: (arrival time, sequence, envelope).
-    queue: BinaryHeap<Reverse<(u64, u64, EnvelopeOrd)>>,
-    seq: u64,
-    clock: u64,
-    stats: BTreeMap<DeviceId, DeviceStats>,
-    /// Per-message scaled processing times (ns), for Fig. 15.
-    pub msg_times_ns: Vec<u64>,
-}
-
-/// Envelope wrapper ordered by sequence only (BinaryHeap needs Ord).
-struct EnvelopeOrd(Envelope);
-
-impl PartialEq for EnvelopeOrd {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl Eq for EnvelopeOrd {}
-impl PartialOrd for EnvelopeOrd {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EnvelopeOrd {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
+    engine: Engine<LatencyTransport, VirtualClock>,
 }
 
 impl DvmSim {
@@ -135,213 +81,63 @@ impl DvmSim {
         cfg: SimConfig,
         lec_cache: &mut LecCache,
     ) -> DvmSim {
-        let packet_space = verify::compile_packet_space(&net.layout, ps);
-        let vcfg = VerifierConfig {
-            n_exprs: plan.exprs.len(),
-            track_escapes: plan.track_escapes,
-            reduce: plan.reduce,
-            dest_mode: Default::default(),
-        };
-        let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
-        for t in &plan.tasks {
-            by_dev.entry(t.dev).or_default().push(t.clone());
+        let ecfg: EngineConfig = cfg.into();
+        let transport = LatencyTransport::new(net.topology.clone(), ecfg.fallback_latency_ns);
+        let clock = VirtualClock::new(ecfg.model);
+        DvmSim {
+            engine: Engine::new_cached(net, plan, ps, &ecfg, lec_cache, transport, clock),
         }
-        let mut sim = DvmSim {
-            cfg,
-            plan: plan.clone(),
-            topo: net.topology.clone(),
-            verifiers: BTreeMap::new(),
-            free_at: BTreeMap::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            clock: 0,
-            stats: BTreeMap::new(),
-            msg_times_ns: Vec::new(),
-        };
-        for (dev, tasks) in by_dev {
-            let start = Instant::now();
-            let cached = lec_cache.get(&dev);
-            let mut v = DeviceVerifier::new_with_lecs(
-                dev,
-                net.layout,
-                net.fib(dev).clone(),
-                tasks,
-                &packet_space,
-                vcfg.clone(),
-                cached.map(Vec::as_slice),
-            );
-            if cached.is_none() {
-                lec_cache.insert(dev, v.export_lecs());
-            }
-            let init_out = v.init();
-            let elapsed = sim.cfg.model.scale_ns(start.elapsed().as_nanos() as u64);
-            let st = sim.stats.entry(dev).or_default();
-            st.init_ns = elapsed;
-            st.bdd_nodes = v.bdd_nodes();
-            sim.free_at.insert(dev, elapsed);
-            for env in init_out {
-                sim.send(dev, elapsed, env);
-            }
-            sim.verifiers.insert(dev, v);
-        }
-        sim
-    }
-
-    fn latency(&self, a: DeviceId, b: DeviceId) -> u64 {
-        if a == b {
-            return 0;
-        }
-        match self.topo.link_between(a, b) {
-            Some(l) => self.topo.link(l).latency_ns,
-            None => self.cfg.fallback_latency_ns,
-        }
-    }
-
-    fn send(&mut self, from: DeviceId, at: u64, env: Envelope) {
-        let arrival = at + self.latency(from, env.to);
-        self.seq += 1;
-        self.queue
-            .push(Reverse((arrival, self.seq, EnvelopeOrd(env))));
-    }
-
-    /// Runs the queue dry. Returns the quiescence result.
-    fn run(&mut self) -> SimResult {
-        let mut result = SimResult::default();
-        let mut last_finish = self.clock;
-        while let Some(Reverse((arrival, _, EnvelopeOrd(env)))) = self.queue.pop() {
-            let dev = env.to;
-            let Some(v) = self.verifiers.get_mut(&dev) else {
-                continue;
-            };
-            let begin = arrival.max(*self.free_at.get(&dev).unwrap_or(&0));
-            let wall = Instant::now();
-            let bytes_before = v.stats.bytes_sent;
-            let out = v.handle(&env);
-            let host_ns = wall.elapsed().as_nanos() as u64;
-            let cpu = self.cfg.model.scale_ns(host_ns);
-            let finish = begin + cpu;
-            self.free_at.insert(dev, finish);
-            last_finish = last_finish.max(finish);
-            result.messages += 1;
-            result.bytes += env.wire_bytes() as u64;
-            self.msg_times_ns.push(cpu);
-            {
-                let st = self.stats.entry(dev).or_default();
-                st.busy_ns += cpu;
-                st.messages += 1;
-                st.max_msg_ns = st.max_msg_ns.max(cpu);
-                st.bytes_sent += self.verifiers[&dev].stats.bytes_sent - bytes_before;
-                st.bdd_nodes = self.verifiers[&dev].bdd_nodes();
-            }
-            for env in out {
-                self.send(dev, finish, env);
-            }
-        }
-        self.clock = last_finish;
-        result.completion_ns = last_finish;
-        result
     }
 
     /// The burst phase: all FIBs arrive at t=0 (already ingested during
     /// construction); runs the initial counting to quiescence.
     pub fn burst(&mut self) -> SimResult {
-        self.run()
+        self.engine.burst()
     }
 
     /// One incremental rule update: arrives at its device "now"
     /// (relative clock reset to 0 so results are per-update times).
     pub fn incremental(&mut self, update: &RuleUpdate) -> SimResult {
-        self.reset_clock();
-        let dev = update.device();
-        let Some(v) = self.verifiers.get_mut(&dev) else {
-            return SimResult::default();
-        };
-        let wall = Instant::now();
-        let out = v.handle_fib_update(update);
-        let cpu = self.cfg.model.scale_ns(wall.elapsed().as_nanos() as u64);
-        self.free_at.insert(dev, cpu);
-        {
-            let st = self.stats.entry(dev).or_default();
-            st.busy_ns += cpu;
-        }
-        for env in out {
-            self.send(dev, cpu, env);
-        }
-        let mut r = self.run();
-        r.completion_ns = r.completion_ns.max(cpu);
-        r
+        self.engine.incremental(update)
     }
 
     /// A link failure/recovery event delivered to both endpoints at t=0.
     pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> SimResult {
-        self.reset_clock();
-        for (x, y) in [(a, b), (b, a)] {
-            let Some(v) = self.verifiers.get_mut(&x) else {
-                continue;
-            };
-            let wall = Instant::now();
-            let out = v.handle_link_event(y, up);
-            let cpu = self.cfg.model.scale_ns(wall.elapsed().as_nanos() as u64);
-            self.free_at.insert(x, cpu);
-            for env in out {
-                self.send(x, cpu, env);
-            }
-        }
-        self.run()
+        self.engine.link_event(a, b, up)
     }
 
     /// Swaps every verifier to a fault-scene task view (after link-state
     /// flooding, §6) and recounts. `flood_ns` models the flooding delay
     /// added to the completion time.
     pub fn apply_scene(&mut self, tasks: &[NodeTask], flood_ns: u64) -> SimResult {
-        self.reset_clock();
-        let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
-        for t in tasks {
-            by_dev.entry(t.dev).or_default().push(t.clone());
-        }
-        for (dev, tasks) in by_dev {
-            let Some(v) = self.verifiers.get_mut(&dev) else {
-                continue;
-            };
-            let wall = Instant::now();
-            let out = v.set_tasks(tasks);
-            let cpu = self.cfg.model.scale_ns(wall.elapsed().as_nanos() as u64);
-            let begin = flood_ns + cpu;
-            self.free_at.insert(dev, begin);
-            for env in out {
-                self.send(dev, begin, env);
-            }
-        }
-        let mut r = self.run();
-        r.completion_ns = r.completion_ns.max(flood_ns);
-        r
-    }
-
-    fn reset_clock(&mut self) {
-        self.clock = 0;
-        for t in self.free_at.values_mut() {
-            *t = 0;
-        }
+        self.engine.apply_scene(tasks, flood_ns)
     }
 
     /// Evaluates the invariant at the sources.
     pub fn report(&self) -> Report {
-        verify::evaluate_sources(&self.plan, |dev, node| {
-            self.verifiers
-                .get(&dev)
-                .map(|v| v.node_result(node))
-                .unwrap_or_default()
-        })
+        self.engine.report()
     }
 
     /// Per-device overhead counters.
     pub fn device_stats(&self) -> &BTreeMap<DeviceId, DeviceStats> {
-        &self.stats
+        &self.engine.stats().per_device
+    }
+
+    /// The full runtime observability surface (per-message samples,
+    /// totals).
+    pub fn stats(&self) -> &RuntimeStats {
+        self.engine.stats()
+    }
+
+    /// Mutable stats access (the Fig. 15 harness drains the
+    /// per-message samples through this).
+    pub fn stats_mut(&mut self) -> &mut RuntimeStats {
+        self.engine.stats_mut()
     }
 
     /// Mutable access to one verifier (used by the replay harness).
     pub fn verifier_mut(&mut self, dev: DeviceId) -> Option<&mut DeviceVerifier> {
-        self.verifiers.get_mut(&dev)
+        self.engine.verifier_mut(dev)
     }
 }
 
@@ -485,5 +281,10 @@ mod tests {
         assert!(!stats.is_empty());
         assert!(stats.values().any(|s| s.messages > 0));
         assert!(stats.values().all(|s| s.bdd_nodes > 2));
+        // Per-message samples are drainable for the Fig. 15 harness.
+        let total_msgs: u64 = sim.device_stats().values().map(|s| s.messages).sum();
+        let samples = sim.stats_mut().drain_msg_samples();
+        assert_eq!(samples.len() as u64, total_msgs);
+        assert!(sim.stats().msg_ns_samples.is_empty());
     }
 }

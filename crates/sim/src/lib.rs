@@ -2,30 +2,48 @@
 //! Execution substrates for Tulkun's evaluation.
 //!
 //! The paper runs Tulkun on real switches; this crate virtualizes the
-//! testbed while running the *real* verifier code:
+//! testbed while running the *real* verifier code. All substrates sit
+//! on one shared device-runtime layer:
 //!
-//! * [`event`] — a discrete-event simulator: every device is a
-//!   sequential processor whose per-event CPU time is *measured* (not
-//!   modeled), and DVM messages travel with the topology's link
+//! * [`runtime`] — the [`Transport`]/[`Clock`] traits, the generic
+//!   [`Engine`] (verifier construction, envelope routing, quiescence
+//!   detection, result collection, report assembly), the concurrent
+//!   [`ThreadedEngine`], and the single [`RuntimeStats`] observability
+//!   surface every harness reads.
+//! * [`event`] — the discrete-event simulator: the engine with a
+//!   virtual-time heap ([`runtime::LatencyTransport`]) and a
+//!   [`runtime::VirtualClock`]; per-event CPU time is *measured* (not
+//!   modeled) and DVM messages travel with the topology's link
 //!   latencies. Verification time is the quiescence instant, exactly as
 //!   the paper measures it (§9.3.1).
 //! * [`models`] — the four commodity switch models of §9.4 as CPU speed
 //!   factors.
 //! * [`central`] — the harness for centralized baselines: data planes
-//!   travel to a verifier device over lowest-latency paths, then the
-//!   baseline's measured compute time is added.
-//! * [`distributed`] — a tokio runtime where each on-device verifier is
-//!   an async task and links are in-order channels (the deployment shape
-//!   of the paper's prototype).
-//! * [`localsim`] — the same event engine for `equal`-operator local
-//!   contracts (communication-free; time = slowest device).
+//!   travel to a verifier device over lowest-latency paths (the
+//!   runtime's [`runtime::CollectionClock`]), then the baseline's
+//!   measured compute time is added.
+//! * [`distributed`] — one OS thread per on-device verifier with
+//!   in-order channels (the deployment shape of the paper's prototype),
+//!   wrapping [`runtime::ThreadedEngine`].
+//! * [`localsim`] — `equal`-operator local contracts (communication-
+//!   free; time = slowest device), instrumented through the same
+//!   runtime clock and stats.
+//!
+//! [`Transport`]: runtime::Transport
+//! [`Clock`]: runtime::Clock
+//! [`Engine`]: runtime::Engine
+//! [`ThreadedEngine`]: runtime::ThreadedEngine
+//! [`RuntimeStats`]: runtime::RuntimeStats
 
 pub mod central;
 pub mod distributed;
 pub mod event;
 pub mod localsim;
 pub mod models;
+pub mod runtime;
 
 pub use central::{central_burst, central_update, CentralRun};
+pub use distributed::DistributedRun;
 pub use event::{DeviceStats, DvmSim, SimConfig, SimResult};
 pub use models::SwitchModel;
+pub use runtime::{Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine};

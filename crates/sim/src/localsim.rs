@@ -1,8 +1,14 @@
 //! Simulated execution of `equal`-operator local contracts (RCDC-style):
 //! every device checks its contracts in parallel with no communication,
 //! so verification time is the slowest device's measured check time.
+//!
+//! Communication-free means there is no transport to drive; the
+//! substrate still runs on the runtime layer — a [`VirtualClock`]
+//! charges each device's measured check time and a [`RuntimeStats`]
+//! carries the per-device counters the harnesses read.
 
 use crate::models::SwitchModel;
+use crate::runtime::{Clock, LecCache, RuntimeStats, VirtualClock};
 use std::collections::BTreeMap;
 use std::time::Instant;
 use tulkun_core::localcheck::{ContractViolation, LocalChecker};
@@ -27,14 +33,15 @@ pub struct LocalSimResult {
 
 /// The set of per-device checkers for one local plan.
 pub struct LocalSim {
-    model: SwitchModel,
+    clock: VirtualClock,
     checkers: BTreeMap<DeviceId, LocalChecker>,
+    stats: RuntimeStats,
 }
 
 impl LocalSim {
     /// Builds one checker per device holding contracts.
     pub fn new(net: &Network, plan: &LocalPlan, ps: &PacketSpace, model: SwitchModel) -> LocalSim {
-        let mut cache = crate::event::LecCache::new();
+        let mut cache = LecCache::new();
         Self::new_cached(net, plan, ps, model, &mut cache)
     }
 
@@ -45,16 +52,19 @@ impl LocalSim {
         plan: &LocalPlan,
         ps: &PacketSpace,
         model: SwitchModel,
-        lec_cache: &mut crate::event::LecCache,
+        lec_cache: &mut LecCache,
     ) -> LocalSim {
         let psp = compile_packet_space(&net.layout, ps);
         let mut by_dev: BTreeMap<DeviceId, Vec<LocalContract>> = BTreeMap::new();
         for c in &plan.contracts {
             by_dev.entry(c.dev).or_default().push(c.clone());
         }
+        let mut stats = RuntimeStats::default();
+        let clock = VirtualClock::new(model);
         let checkers = by_dev
             .into_iter()
             .map(|(dev, contracts)| {
+                let wall = Instant::now();
                 let cached = lec_cache.get(&dev);
                 let mut checker = LocalChecker::new_with_lecs(
                     dev,
@@ -67,43 +77,66 @@ impl LocalSim {
                 if cached.is_none() {
                     lec_cache.insert(dev, checker.export_lecs());
                 }
+                stats.per_device.entry(dev).or_default().init_ns =
+                    model.scale_ns(wall.elapsed().as_nanos() as u64);
                 (dev, checker)
             })
             .collect();
-        LocalSim { model, checkers }
+        LocalSim {
+            clock,
+            checkers,
+            stats,
+        }
+    }
+
+    /// Runs one device's check through the clock, recording it in the
+    /// runtime stats.
+    fn check_device(
+        &mut self,
+        dev: DeviceId,
+        out: &mut LocalSimResult,
+        update: Option<&RuleUpdate>,
+        net: Option<&Network>,
+    ) {
+        let Some(checker) = self.checkers.get_mut(&dev) else {
+            return;
+        };
+        let wall = Instant::now();
+        if let (Some(_), Some(net)) = (update, net) {
+            checker.update_fib(net.fib(dev).clone());
+        }
+        let v = checker.check();
+        let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
+        self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
+        out.completion_ns = out.completion_ns.max(span.cpu_ns);
+        out.total_cpu_ns += span.cpu_ns;
+        out.per_device.push((dev, span.cpu_ns));
+        out.violations.extend(v);
     }
 
     /// Runs every device's checks (burst).
     pub fn burst(&mut self) -> LocalSimResult {
+        self.clock.reset();
         let mut out = LocalSimResult::default();
-        for (dev, checker) in self.checkers.iter_mut() {
-            let wall = Instant::now();
-            let v = checker.check();
-            let ns = self.model.scale_ns(wall.elapsed().as_nanos() as u64);
-            out.completion_ns = out.completion_ns.max(ns);
-            out.total_cpu_ns += ns;
-            out.per_device.push((*dev, ns));
-            out.violations.extend(v);
+        let devices: Vec<DeviceId> = self.checkers.keys().copied().collect();
+        for dev in devices {
+            self.check_device(dev, &mut out, None, None);
         }
         out
     }
 
     /// Applies a rule update: only the updated device re-checks.
     pub fn incremental(&mut self, net: &mut Network, update: &RuleUpdate) -> LocalSimResult {
+        self.clock.reset();
         net.apply(update);
-        let dev = update.device();
         let mut out = LocalSimResult::default();
-        if let Some(checker) = self.checkers.get_mut(&dev) {
-            let wall = Instant::now();
-            checker.update_fib(net.fib(dev).clone());
-            let v = checker.check();
-            let ns = self.model.scale_ns(wall.elapsed().as_nanos() as u64);
-            out.completion_ns = ns;
-            out.total_cpu_ns = ns;
-            out.per_device.push((dev, ns));
-            out.violations = v;
-        }
+        self.check_device(update.device(), &mut out, Some(update), Some(net));
         out
+    }
+
+    /// The runtime observability surface (per-device init/busy time).
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
     }
 }
 
@@ -141,6 +174,7 @@ mod tests {
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.completion_ns <= r.total_cpu_ns);
         assert!(r.completion_ns > 0);
+        assert!(sim.stats().per_device.values().any(|s| s.busy_ns > 0));
 
         // Break the ECMP group at one aggregation switch.
         let mut net = d.network.clone();

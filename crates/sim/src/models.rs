@@ -1,11 +1,9 @@
 //! The four commodity switch models of §9.4, abstracted as CPU speed
 //! factors relative to the x86 server the simulator runs on.
 
-use serde::{Deserialize, Serialize};
-
 /// A switch model: its on-device CPU runs verifier code `cpu_factor`
 /// times slower than the simulation host.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchModel {
     /// Vendor/model label used in figures.
     pub name: &'static str,

@@ -1,0 +1,1140 @@
+//! The shared device-runtime layer.
+//!
+//! The paper's core claim is that the *same* on-device verifier code
+//! runs everywhere — testbed switches, simulation, emulation (§8–9).
+//! This module is the repro's embodiment of that claim: one generic
+//! [`Engine`] owns verifier construction, envelope routing, quiescence
+//! detection, result collection and [`Report`] assembly, while the
+//! execution substrates differ only in two small policy objects:
+//!
+//! * a [`Transport`] decides *when and in what order* envelopes are
+//!   delivered ([`LatencyTransport`] replays topology link latencies
+//!   through a virtual-time heap; [`FifoTransport`] delivers instantly
+//!   in order — the synchronous reference semantics);
+//! * a [`Clock`] decides *what processing costs* (a [`VirtualClock`]
+//!   charges measured host CPU time scaled by a [`SwitchModel`] to a
+//!   per-device timeline; an [`InstantClock`] charges nothing).
+//!
+//! The genuinely concurrent substrate — one OS thread per device, the
+//! deployment shape of the paper's prototype — is [`ThreadedEngine`].
+//! It shares the engine's constructor ([`build_verifiers`]), its
+//! quiescence rule (an in-flight gauge: a message's outputs are counted
+//! before its own count is released) and its [`RuntimeStats`]; only the
+//! driver loop runs on worker threads instead of a pull loop.
+//!
+//! Every substrate reports through one [`RuntimeStats`] so the Fig. 14
+//! (init overhead), Fig. 15 (message overhead) and ablation harnesses
+//! read a single API regardless of how the verifiers were driven.
+//!
+//! Adding a new backend (real TCP, sharded partitions) means writing a
+//! `Transport` impl — roughly a hundred lines — not a fourth copy of
+//! the spawn/route/quiesce/collect loop.
+
+use crate::models::SwitchModel;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use tulkun_bdd::serial::PortablePred;
+use tulkun_core::count::Counts;
+use tulkun_core::dpvnet::NodeId;
+use tulkun_core::dvm::{DeviceVerifier, Envelope, VerifierConfig};
+use tulkun_core::planner::{CountingPlan, NodeTask};
+use tulkun_core::spec::PacketSpace;
+use tulkun_core::verify::{self, Report};
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::{DeviceId, Topology};
+
+/// A shared per-device LEC-table cache (exported predicates + actions),
+/// valid as long as the device's FIB is unchanged. One device builds
+/// its LEC table once for all invariants — the paper's §8 architecture.
+pub type LecCache = BTreeMap<DeviceId, Vec<(PortablePred, tulkun_netmodel::fib::Action)>>;
+
+/// Per-device counters for the §9.4 overhead figures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceStats {
+    /// Scaled CPU time spent initializing (LEC + initial counting).
+    pub init_ns: u64,
+    /// Scaled CPU time spent processing DVM messages.
+    pub busy_ns: u64,
+    /// DVM messages processed.
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// BDD nodes allocated (memory proxy).
+    pub bdd_nodes: usize,
+    /// Largest scaled single-message processing time (ns). Per-message
+    /// *samples* live in [`RuntimeStats::msg_ns_samples`].
+    pub max_msg_ns: u64,
+}
+
+impl DeviceStats {
+    fn absorb_message(&mut self, cpu_ns: u64, bytes_sent: u64, bdd_nodes: usize) {
+        self.busy_ns += cpu_ns;
+        self.messages += 1;
+        self.max_msg_ns = self.max_msg_ns.max(cpu_ns);
+        self.bytes_sent += bytes_sent;
+        self.bdd_nodes = bdd_nodes;
+    }
+}
+
+/// The single observability surface of the runtime layer: every
+/// substrate fills one of these, and every harness (Fig. 14, Fig. 15,
+/// the ablation bench) reads it the same way.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Per-device overhead counters.
+    pub per_device: BTreeMap<DeviceId, DeviceStats>,
+    /// Scaled per-message processing-time samples (ns), appended in
+    /// delivery order. Drain with [`RuntimeStats::drain_msg_samples`]
+    /// (the Fig. 15 harness does).
+    pub msg_ns_samples: Vec<u64>,
+    /// Messages delivered across all devices.
+    pub messages: usize,
+    /// Total bytes on the wire.
+    pub bytes: u64,
+}
+
+impl RuntimeStats {
+    /// Takes the per-message samples accumulated so far, leaving the
+    /// vector empty (so repeated harness phases don't double-count).
+    pub fn drain_msg_samples(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.msg_ns_samples)
+    }
+
+    /// Histogram of the current per-message samples: `bounds` are the
+    /// inclusive upper edges of each bucket; one overflow bucket is
+    /// appended, so the result has `bounds.len() + 1` entries.
+    pub fn msg_ns_histogram(&self, bounds: &[u64]) -> Vec<usize> {
+        let mut h = vec![0usize; bounds.len() + 1];
+        for &s in &self.msg_ns_samples {
+            let i = bounds.iter().position(|&b| s <= b).unwrap_or(bounds.len());
+            h[i] += 1;
+        }
+        h
+    }
+
+    /// Largest single-message processing time across all devices.
+    pub fn max_msg_ns(&self) -> u64 {
+        self.per_device
+            .values()
+            .map(|s| s.max_msg_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn merge_device(&mut self, dev: DeviceId, st: DeviceStats) {
+        let e = self.per_device.entry(dev).or_default();
+        e.init_ns += st.init_ns;
+        e.busy_ns += st.busy_ns;
+        e.messages += st.messages;
+        e.bytes_sent += st.bytes_sent;
+        e.bdd_nodes = st.bdd_nodes;
+        e.max_msg_ns = e.max_msg_ns.max(st.max_msg_ns);
+    }
+}
+
+/// The timeline slice one message occupied on its device.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// When processing started (arrival, or later if the device was
+    /// busy).
+    pub begin: u64,
+    /// Charged (scaled) CPU time.
+    pub cpu_ns: u64,
+    /// `begin + cpu_ns`.
+    pub finish: u64,
+}
+
+/// Maps measured host CPU time onto a substrate's notion of time.
+pub trait Clock {
+    /// Charges `host_ns` of measured work to `dev` for a message that
+    /// arrived at `arrival`; returns the occupied span.
+    fn charge(&mut self, dev: DeviceId, arrival: u64, host_ns: u64) -> Span;
+    /// Resets all per-device timelines to zero (per-event relative
+    /// timing, as the incremental harnesses need).
+    fn reset(&mut self);
+    /// Marks a device busy until `t` without charging CPU (used when
+    /// init cost is accounted outside the message loop).
+    fn set_free_at(&mut self, dev: DeviceId, t: u64);
+}
+
+/// The event-simulator clock: each device is a sequential processor; a
+/// message arriving at `t` starts at `max(t, device_free)` and runs for
+/// its *measured* host CPU time scaled by the switch model (§9.3.1).
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    /// The switch model whose CPU factor scales measured host time.
+    pub model: SwitchModel,
+    free_at: BTreeMap<DeviceId, u64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock for one switch model.
+    pub fn new(model: SwitchModel) -> VirtualClock {
+        VirtualClock {
+            model,
+            free_at: BTreeMap::new(),
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn charge(&mut self, dev: DeviceId, arrival: u64, host_ns: u64) -> Span {
+        let begin = arrival.max(self.free_at.get(&dev).copied().unwrap_or(0));
+        let cpu_ns = self.model.scale_ns(host_ns);
+        let finish = begin + cpu_ns;
+        self.free_at.insert(dev, finish);
+        Span {
+            begin,
+            cpu_ns,
+            finish,
+        }
+    }
+
+    fn reset(&mut self) {
+        for t in self.free_at.values_mut() {
+            *t = 0;
+        }
+    }
+
+    fn set_free_at(&mut self, dev: DeviceId, t: u64) {
+        self.free_at.insert(dev, t);
+    }
+}
+
+/// The zero-cost clock of the synchronous reference substrate: message
+/// processing takes no simulated time, so only the verdict (not the
+/// timeline) is meaningful.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstantClock;
+
+impl Clock for InstantClock {
+    fn charge(&mut self, _dev: DeviceId, _arrival: u64, _host_ns: u64) -> Span {
+        Span {
+            begin: 0,
+            cpu_ns: 0,
+            finish: 0,
+        }
+    }
+    fn reset(&mut self) {}
+    fn set_free_at(&mut self, _dev: DeviceId, _t: u64) {}
+}
+
+/// The centralized-collection clock (§9.3.1): data planes travel to a
+/// verifier device over lowest-latency paths, plus serialization time
+/// through the verifier's management uplink. The central baseline
+/// substrate is this clock plus a measured compute phase — it has no
+/// transport because nothing is distributed.
+#[derive(Debug, Clone)]
+pub struct CollectionClock {
+    /// Lowest-latency distance from every device to the verifier
+    /// location (`u64::MAX` = unreachable).
+    dist: Vec<u64>,
+    /// Management-network bandwidth into the verifier, bits/second.
+    pub mgmt_bandwidth_bps: u64,
+}
+
+impl CollectionClock {
+    /// Precomputes lowest-latency paths to `verifier_loc`.
+    pub fn new(topo: &Topology, verifier_loc: DeviceId, mgmt_bandwidth_bps: u64) -> Self {
+        CollectionClock {
+            dist: topo.dijkstra_latency(verifier_loc, &[]),
+            mgmt_bandwidth_bps,
+        }
+    }
+
+    /// Latency for every device to ship `total_bytes` of data plane to
+    /// the verifier: the slowest reachable device's propagation delay
+    /// plus the serialization time of all bytes through the uplink.
+    pub fn collect_all(&self, total_bytes: u64) -> u64 {
+        let prop = self
+            .dist
+            .iter()
+            .filter(|&&d| d != u64::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        prop + total_bytes * 8 * 1_000_000_000 / self.mgmt_bandwidth_bps
+    }
+
+    /// Latency for one device's update to reach the verifier.
+    pub fn collect_from(&self, dev: DeviceId) -> u64 {
+        match self.dist.get(dev.idx()).copied().unwrap_or(u64::MAX) {
+            u64::MAX => 0,
+            d => d,
+        }
+    }
+}
+
+/// Measures one closure's host CPU time in nanoseconds.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let wall = Instant::now();
+    let out = f();
+    (out, wall.elapsed().as_nanos() as u64)
+}
+
+/// Decides when and in what order envelopes are delivered.
+pub trait Transport {
+    /// Accepts an envelope sent by `from` at (substrate) time `at`.
+    fn send(&mut self, from: DeviceId, at: u64, env: Envelope);
+    /// The next envelope to deliver, with its arrival time, or `None`
+    /// when no message is in flight (quiescence).
+    fn recv(&mut self) -> Option<(u64, Envelope)>;
+}
+
+/// Delivery through the topology's links: each envelope arrives after
+/// its link's propagation latency, and the earliest arrival is
+/// delivered first (a virtual-time event heap).
+pub struct LatencyTransport {
+    topo: Topology,
+    /// Latency used when two communicating devices share no direct
+    /// link (only possible for virtual constructions).
+    fallback_latency_ns: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, EnvelopeOrd)>>,
+    seq: u64,
+}
+
+impl LatencyTransport {
+    /// A transport over one topology snapshot.
+    pub fn new(topo: Topology, fallback_latency_ns: u64) -> LatencyTransport {
+        LatencyTransport {
+            topo,
+            fallback_latency_ns,
+            queue: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn latency(&self, a: DeviceId, b: DeviceId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        match self.topo.link_between(a, b) {
+            Some(l) => self.topo.link(l).latency_ns,
+            None => self.fallback_latency_ns,
+        }
+    }
+}
+
+impl Transport for LatencyTransport {
+    fn send(&mut self, from: DeviceId, at: u64, env: Envelope) {
+        let arrival = at + self.latency(from, env.to);
+        self.seq += 1;
+        self.queue
+            .push(Reverse((arrival, self.seq, EnvelopeOrd(env))));
+    }
+
+    fn recv(&mut self) -> Option<(u64, Envelope)> {
+        self.queue
+            .pop()
+            .map(|Reverse((arrival, _, EnvelopeOrd(env)))| (arrival, env))
+    }
+}
+
+/// Instant in-order delivery: the synchronous reference semantics
+/// (zero latency, FIFO), and the natural transport for communication-
+/// free local plans.
+#[derive(Debug, Default)]
+pub struct FifoTransport {
+    queue: VecDeque<Envelope>,
+}
+
+impl Transport for FifoTransport {
+    fn send(&mut self, _from: DeviceId, _at: u64, env: Envelope) {
+        self.queue.push_back(env);
+    }
+
+    fn recv(&mut self) -> Option<(u64, Envelope)> {
+        self.queue.pop_front().map(|env| (0, env))
+    }
+}
+
+/// Envelope wrapper ordered by heap sequence only (`BinaryHeap` needs
+/// `Ord`; envelopes themselves are not ordered).
+struct EnvelopeOrd(Envelope);
+
+impl PartialEq for EnvelopeOrd {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EnvelopeOrd {}
+impl PartialOrd for EnvelopeOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EnvelopeOrd {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Engine construction options shared by every substrate.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Switch model whose CPU factor scales measured host time.
+    pub model: SwitchModel,
+    /// Latency used when two communicating devices share no direct
+    /// link.
+    pub fallback_latency_ns: u64,
+    /// Build per-device verifiers (LEC tables + initial counting)
+    /// concurrently with scoped threads. The resulting [`Report`] is
+    /// identical to sequential init — construction is deterministic
+    /// per device and initial envelopes are enqueued in device order —
+    /// but wall-clock burst-init time drops on multi-core hosts.
+    pub parallel_init: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            model: SwitchModel::MELLANOX,
+            fallback_latency_ns: 10_000,
+            parallel_init: false,
+        }
+    }
+}
+
+/// One constructed device verifier with its init byproducts.
+struct BuiltVerifier {
+    dev: DeviceId,
+    verifier: DeviceVerifier,
+    init_out: Vec<Envelope>,
+    /// Scaled init time.
+    init_ns: u64,
+}
+
+/// Builds one `DeviceVerifier` per participating device, timing each
+/// construction (LEC build + initial counting) as init cost. With
+/// `parallel` set, devices build concurrently under scoped threads —
+/// the cache is shared behind a mutex, and results are returned in
+/// device order so downstream scheduling stays deterministic.
+fn build_verifiers(
+    net: &Network,
+    plan: &CountingPlan,
+    packet_space: &PortablePred,
+    cfg: &EngineConfig,
+    lec_cache: &mut LecCache,
+) -> Vec<BuiltVerifier> {
+    let vcfg = VerifierConfig {
+        n_exprs: plan.exprs.len(),
+        track_escapes: plan.track_escapes,
+        reduce: plan.reduce,
+        dest_mode: Default::default(),
+    };
+    let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
+    for t in &plan.tasks {
+        by_dev.entry(t.dev).or_default().push(t.clone());
+    }
+
+    let build_one = |dev: DeviceId,
+                     tasks: Vec<NodeTask>,
+                     cached: Option<Vec<(PortablePred, tulkun_netmodel::fib::Action)>>|
+     -> (
+        BuiltVerifier,
+        Option<Vec<(PortablePred, tulkun_netmodel::fib::Action)>>,
+    ) {
+        let start = Instant::now();
+        let had_cache = cached.is_some();
+        let mut v = DeviceVerifier::new_with_lecs(
+            dev,
+            net.layout,
+            net.fib(dev).clone(),
+            tasks,
+            packet_space,
+            vcfg.clone(),
+            cached.as_deref(),
+        );
+        let exported = if had_cache {
+            None
+        } else {
+            Some(v.export_lecs())
+        };
+        let init_out = v.init();
+        let init_ns = cfg.model.scale_ns(start.elapsed().as_nanos() as u64);
+        (
+            BuiltVerifier {
+                dev,
+                verifier: v,
+                init_out,
+                init_ns,
+            },
+            exported,
+        )
+    };
+
+    if !cfg.parallel_init {
+        let mut out = Vec::with_capacity(by_dev.len());
+        for (dev, tasks) in by_dev {
+            let cached = lec_cache.get(&dev).cloned();
+            let (built, exported) = build_one(dev, tasks, cached);
+            if let Some(lecs) = exported {
+                lec_cache.insert(dev, lecs);
+            }
+            out.push(built);
+        }
+        return out;
+    }
+
+    // Worker pool sized to the host, not one thread per device: devices
+    // outnumber cores on every evaluation topology, and per-device
+    // spawns serialize into pure overhead on small hosts.
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(by_dev.len().max(1));
+    let jobs: Mutex<Vec<(DeviceId, Vec<NodeTask>)>> = Mutex::new(by_dev.into_iter().collect());
+    let cache = Mutex::new(&mut *lec_cache);
+    let results: Mutex<Vec<BuiltVerifier>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let jobs = &jobs;
+            let cache = &cache;
+            let results = &results;
+            let build_one = &build_one;
+            s.spawn(move || {
+                while let Some((dev, tasks)) = {
+                    let mut q = jobs.lock().unwrap();
+                    q.pop()
+                } {
+                    let cached = cache.lock().unwrap().get(&dev).cloned();
+                    let (built, exported) = build_one(dev, tasks, cached);
+                    if let Some(lecs) = exported {
+                        cache.lock().unwrap().insert(dev, lecs);
+                    }
+                    results.lock().unwrap().push(built);
+                }
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|b| b.dev);
+    out
+}
+
+/// The outcome of one driven round (burst, incremental update, link
+/// event or fault-scene swap).
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Substrate completion (quiescence) time in ns.
+    pub completion_ns: u64,
+    /// Messages delivered this round.
+    pub messages: usize,
+    /// Bytes on the wire this round.
+    pub bytes: u64,
+}
+
+/// The generic single-driver engine: owns the verifiers, a [`Clock`],
+/// a [`Transport`] and the [`RuntimeStats`]; every deterministic
+/// substrate is an instantiation of this one loop.
+pub struct Engine<T: Transport, C: Clock> {
+    plan: CountingPlan,
+    verifiers: BTreeMap<DeviceId, DeviceVerifier>,
+    transport: T,
+    clock: C,
+    stats: RuntimeStats,
+    watermark: u64,
+}
+
+impl<T: Transport, C: Clock> Engine<T, C> {
+    /// Builds an engine over a network snapshot and a counting plan,
+    /// sharing a per-device LEC cache across engines. Verifier
+    /// construction is timed as init cost; call [`Engine::burst`] to
+    /// run the initial exchange to quiescence.
+    pub fn new_cached(
+        net: &Network,
+        plan: &CountingPlan,
+        ps: &PacketSpace,
+        cfg: &EngineConfig,
+        lec_cache: &mut LecCache,
+        mut transport: T,
+        mut clock: C,
+    ) -> Engine<T, C> {
+        let packet_space = verify::compile_packet_space(&net.layout, ps);
+        let built = build_verifiers(net, plan, &packet_space, cfg, lec_cache);
+        let mut verifiers = BTreeMap::new();
+        let mut stats = RuntimeStats::default();
+        for b in built {
+            let st = stats.per_device.entry(b.dev).or_default();
+            st.init_ns = b.init_ns;
+            st.bdd_nodes = b.verifier.bdd_nodes();
+            clock.set_free_at(b.dev, b.init_ns);
+            for env in b.init_out {
+                transport.send(b.dev, b.init_ns, env);
+            }
+            verifiers.insert(b.dev, b.verifier);
+        }
+        Engine {
+            plan: plan.clone(),
+            verifiers,
+            transport,
+            clock,
+            stats,
+            watermark: 0,
+        }
+    }
+
+    /// Delivers messages until the transport runs dry (quiescence).
+    fn run(&mut self) -> RunOutcome {
+        let mut out = RunOutcome::default();
+        let mut last_finish = self.watermark;
+        while let Some((arrival, env)) = self.transport.recv() {
+            let dev = env.to;
+            let Some(v) = self.verifiers.get_mut(&dev) else {
+                continue;
+            };
+            let wall = Instant::now();
+            let bytes_before = v.stats.bytes_sent;
+            let replies = v.handle(&env);
+            let host_ns = wall.elapsed().as_nanos() as u64;
+            let sent = v.stats.bytes_sent - bytes_before;
+            let bdd_nodes = v.bdd_nodes();
+            let span = self.clock.charge(dev, arrival, host_ns);
+            last_finish = last_finish.max(span.finish);
+            out.messages += 1;
+            out.bytes += env.wire_bytes() as u64;
+            self.stats.messages += 1;
+            self.stats.bytes += env.wire_bytes() as u64;
+            self.stats.msg_ns_samples.push(span.cpu_ns);
+            self.stats
+                .per_device
+                .entry(dev)
+                .or_default()
+                .absorb_message(span.cpu_ns, sent, bdd_nodes);
+            for env in replies {
+                self.transport.send(dev, span.finish, env);
+            }
+        }
+        self.watermark = last_finish;
+        out.completion_ns = last_finish;
+        out
+    }
+
+    /// The burst phase: all FIBs arrive at t=0 (already ingested during
+    /// construction); runs the initial counting to quiescence.
+    pub fn burst(&mut self) -> RunOutcome {
+        self.run()
+    }
+
+    /// One incremental rule update: arrives at its device "now"
+    /// (relative clock reset to 0 so results are per-update times).
+    pub fn incremental(&mut self, update: &RuleUpdate) -> RunOutcome {
+        self.reset_time();
+        let dev = update.device();
+        let Some(v) = self.verifiers.get_mut(&dev) else {
+            return RunOutcome::default();
+        };
+        let wall = Instant::now();
+        let replies = v.handle_fib_update(update);
+        let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
+        self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
+        for env in replies {
+            self.transport.send(dev, span.finish, env);
+        }
+        let mut r = self.run();
+        r.completion_ns = r.completion_ns.max(span.finish);
+        r
+    }
+
+    /// A link failure/recovery event delivered to both endpoints at
+    /// t=0.
+    pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> RunOutcome {
+        self.reset_time();
+        for (x, y) in [(a, b), (b, a)] {
+            let Some(v) = self.verifiers.get_mut(&x) else {
+                continue;
+            };
+            let wall = Instant::now();
+            let replies = v.handle_link_event(y, up);
+            let span = self.clock.charge(x, 0, wall.elapsed().as_nanos() as u64);
+            for env in replies {
+                self.transport.send(x, span.finish, env);
+            }
+        }
+        self.run()
+    }
+
+    /// Swaps every verifier to a fault-scene task view (after
+    /// link-state flooding, §6) and recounts. `flood_ns` models the
+    /// flooding delay added to the completion time.
+    pub fn apply_scene(&mut self, tasks: &[NodeTask], flood_ns: u64) -> RunOutcome {
+        self.reset_time();
+        let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
+        for t in tasks {
+            by_dev.entry(t.dev).or_default().push(t.clone());
+        }
+        for (dev, tasks) in by_dev {
+            let Some(v) = self.verifiers.get_mut(&dev) else {
+                continue;
+            };
+            let wall = Instant::now();
+            let replies = v.set_tasks(tasks);
+            let span = self
+                .clock
+                .charge(dev, flood_ns, wall.elapsed().as_nanos() as u64);
+            for env in replies {
+                self.transport.send(dev, span.finish, env);
+            }
+        }
+        let mut r = self.run();
+        r.completion_ns = r.completion_ns.max(flood_ns);
+        r
+    }
+
+    fn reset_time(&mut self) {
+        self.watermark = 0;
+        self.clock.reset();
+    }
+
+    /// Evaluates the invariant at the DPVNet sources.
+    pub fn report(&self) -> Report {
+        verify::evaluate_sources(&self.plan, |dev, node| {
+            self.verifiers
+                .get(&dev)
+                .map(|v| v.node_result(node))
+                .unwrap_or_default()
+        })
+    }
+
+    /// The runtime observability surface.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Mutable stats access (to drain per-message samples).
+    pub fn stats_mut(&mut self) -> &mut RuntimeStats {
+        &mut self.stats
+    }
+
+    /// Mutable access to one verifier (used by the replay harness).
+    pub fn verifier_mut(&mut self, dev: DeviceId) -> Option<&mut DeviceVerifier> {
+        self.verifiers.get_mut(&dev)
+    }
+
+    /// The counting plan driving this engine.
+    pub fn plan(&self) -> &CountingPlan {
+        &self.plan
+    }
+}
+
+// ---------------------------------------------------------------------
+// The concurrent substrate: one OS thread per device.
+// ---------------------------------------------------------------------
+
+/// One node's exported counting results.
+type NodeResults = Vec<(NodeId, Vec<(PortablePred, Counts)>)>;
+
+enum DeviceMsg {
+    Dvm(Envelope),
+    FibUpdate(RuleUpdate),
+    Collect(Vec<NodeId>, mpsc::Sender<NodeResults>),
+    #[cfg(test)]
+    Crash,
+    Shutdown,
+}
+
+/// Quiescence gauge shared by all device threads: a message's outputs
+/// are added (and counted) before its own count is released, so the
+/// gauge only reaches zero when no message is queued or being
+/// processed anywhere.
+struct InflightGauge {
+    count: AtomicI64,
+    zero: Condvar,
+    lock: Mutex<()>,
+}
+
+impl InflightGauge {
+    fn new() -> Arc<InflightGauge> {
+        Arc::new(InflightGauge {
+            count: AtomicI64::new(0),
+            zero: Condvar::new(),
+            lock: Mutex::new(()),
+        })
+    }
+
+    fn add(&self, n: i64) {
+        self.count.fetch_add(n, Ordering::SeqCst);
+    }
+
+    fn release(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.lock.lock().unwrap();
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while self.count.load(Ordering::SeqCst) != 0 {
+            guard = self.zero.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A device-task panic, surfaced by [`ThreadedEngine::shutdown`].
+#[derive(Debug)]
+pub struct DevicePanic {
+    /// The device whose thread panicked.
+    pub device: DeviceId,
+    /// The panic payload rendered to a string.
+    pub message: String,
+}
+
+/// The genuinely concurrent substrate: one OS thread per device
+/// verifier, in-order channels for DVM links — the deployment shape of
+/// the paper's prototype (one verification agent per switch over TCP).
+///
+/// Construction, quiescence accounting, stats and report assembly are
+/// the runtime layer's; only the driver loop runs on worker threads.
+pub struct ThreadedEngine {
+    plan: CountingPlan,
+    senders: BTreeMap<DeviceId, mpsc::Sender<DeviceMsg>>,
+    inflight: Arc<InflightGauge>,
+    handles: Vec<(DeviceId, std::thread::JoinHandle<DeviceStats>)>,
+    init_stats: RuntimeStats,
+    joined: bool,
+}
+
+impl ThreadedEngine {
+    /// Spawns one verifier thread per participating device and injects
+    /// the initial (burst) exchange; call
+    /// [`ThreadedEngine::wait_quiescent`] to let it drain.
+    pub fn spawn(
+        net: &Network,
+        plan: &CountingPlan,
+        ps: &PacketSpace,
+        cfg: &EngineConfig,
+        lec_cache: &mut LecCache,
+    ) -> ThreadedEngine {
+        let packet_space = verify::compile_packet_space(&net.layout, ps);
+        let built = build_verifiers(net, plan, &packet_space, cfg, lec_cache);
+
+        let inflight = InflightGauge::new();
+        let mut senders: BTreeMap<DeviceId, mpsc::Sender<DeviceMsg>> = BTreeMap::new();
+        let mut receivers: BTreeMap<DeviceId, mpsc::Receiver<DeviceMsg>> = BTreeMap::new();
+        for b in &built {
+            let (tx, rx) = mpsc::channel();
+            senders.insert(b.dev, tx);
+            receivers.insert(b.dev, rx);
+        }
+
+        let mut init_stats = RuntimeStats::default();
+        let mut handles = Vec::new();
+        for b in built {
+            let BuiltVerifier {
+                dev,
+                mut verifier,
+                init_out,
+                init_ns,
+            } = b;
+            {
+                let st = init_stats.per_device.entry(dev).or_default();
+                st.init_ns = init_ns;
+                st.bdd_nodes = verifier.bdd_nodes();
+            }
+            let rx = receivers.remove(&dev).expect("receiver");
+            let peers = senders.clone();
+            let inflight = inflight.clone();
+            let model = cfg.model;
+
+            // The initial messages count as in-flight before any thread
+            // starts, so quiescence cannot be observed prematurely.
+            inflight.add(init_out.len() as i64);
+            for env in init_out {
+                match peers.get(&env.to) {
+                    Some(tx) if tx.send(DeviceMsg::Dvm(env)).is_ok() => {}
+                    _ => inflight.release(),
+                }
+            }
+
+            handles.push((
+                dev,
+                std::thread::spawn(move || {
+                    let mut stats = DeviceStats::default();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            DeviceMsg::Dvm(env) => {
+                                let wall = Instant::now();
+                                let bytes_before = verifier.stats.bytes_sent;
+                                let out = verifier.handle(&env);
+                                let cpu = model.scale_ns(wall.elapsed().as_nanos() as u64);
+                                stats.absorb_message(
+                                    cpu,
+                                    verifier.stats.bytes_sent - bytes_before,
+                                    verifier.bdd_nodes(),
+                                );
+                                route(&peers, out, &inflight);
+                                inflight.release();
+                            }
+                            DeviceMsg::FibUpdate(u) => {
+                                let wall = Instant::now();
+                                let out = verifier.handle_fib_update(&u);
+                                stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
+                                route(&peers, out, &inflight);
+                                inflight.release();
+                            }
+                            DeviceMsg::Collect(nodes, reply) => {
+                                let results = nodes
+                                    .into_iter()
+                                    .map(|n| (n, verifier.node_result(n)))
+                                    .collect();
+                                let _ = reply.send(results);
+                            }
+                            #[cfg(test)]
+                            DeviceMsg::Crash => panic!("injected device-task crash"),
+                            DeviceMsg::Shutdown => break,
+                        }
+                    }
+                    stats
+                }),
+            ));
+        }
+
+        ThreadedEngine {
+            plan: plan.clone(),
+            senders,
+            inflight,
+            handles,
+            init_stats,
+            joined: false,
+        }
+    }
+
+    /// Blocks until no DVM message is queued or being processed.
+    pub fn wait_quiescent(&self) {
+        self.inflight.wait_zero();
+    }
+
+    /// Injects a rule update at its device (counts as one in-flight
+    /// event until processed).
+    pub fn inject_update(&self, update: RuleUpdate) {
+        if let Some(tx) = self.senders.get(&update.device()) {
+            self.inflight.add(1);
+            if tx.send(DeviceMsg::FibUpdate(update)).is_err() {
+                self.inflight.release();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn inject_crash(&self, dev: DeviceId) {
+        if let Some(tx) = self.senders.get(&dev) {
+            let _ = tx.send(DeviceMsg::Crash);
+        }
+    }
+
+    /// Collects source results and evaluates the invariant — the same
+    /// report assembly as the single-driver engine, over channels.
+    pub fn report(&self) -> Report {
+        let mut by_dev: BTreeMap<DeviceId, Vec<NodeId>> = BTreeMap::new();
+        for (dev, node) in self.plan.dpvnet.sources() {
+            by_dev.entry(*dev).or_default().push(*node);
+        }
+        let mut results: BTreeMap<(DeviceId, NodeId), Vec<(PortablePred, Counts)>> =
+            BTreeMap::new();
+        for (dev, nodes) in by_dev {
+            let Some(tx) = self.senders.get(&dev) else {
+                continue;
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(DeviceMsg::Collect(nodes, reply_tx)).is_err() {
+                continue;
+            }
+            if let Ok(rs) = reply_rx.recv() {
+                for (node, r) in rs {
+                    results.insert((dev, node), r);
+                }
+            }
+        }
+        verify::evaluate_sources(&self.plan, |dev, node| {
+            results.get(&(dev, node)).cloned().unwrap_or_default()
+        })
+    }
+
+    /// Shuts all device threads down, joining every handle. Per-device
+    /// runtime stats (merged with the init-time stats) come back on
+    /// success; a panicked device task is surfaced as [`DevicePanic`]
+    /// instead of being silently leaked.
+    pub fn shutdown(mut self) -> Result<RuntimeStats, Vec<DevicePanic>> {
+        let mut stats = std::mem::take(&mut self.init_stats);
+        let mut panics = Vec::new();
+        for tx in self.senders.values() {
+            let _ = tx.send(DeviceMsg::Shutdown);
+        }
+        for (dev, h) in self.handles.drain(..) {
+            match h.join() {
+                Ok(st) => stats.merge_device(dev, st),
+                Err(payload) => panics.push(DevicePanic {
+                    device: dev,
+                    message: panic_message(payload),
+                }),
+            }
+        }
+        self.joined = true;
+        if panics.is_empty() {
+            for st in stats.per_device.values() {
+                stats.messages += st.messages as usize;
+                stats.bytes += st.bytes_sent;
+            }
+            Ok(stats)
+        } else {
+            Err(panics)
+        }
+    }
+}
+
+impl Drop for ThreadedEngine {
+    /// Dropping without an explicit [`ThreadedEngine::shutdown`] still
+    /// joins every device thread so no task leaks past the engine's
+    /// lifetime (panics are swallowed here — call `shutdown` to
+    /// observe them).
+    fn drop(&mut self) {
+        if self.joined {
+            return;
+        }
+        for tx in self.senders.values() {
+            let _ = tx.send(DeviceMsg::Shutdown);
+        }
+        for (_, h) in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn route(
+    peers: &BTreeMap<DeviceId, mpsc::Sender<DeviceMsg>>,
+    out: Vec<Envelope>,
+    inflight: &InflightGauge,
+) {
+    inflight.add(out.len() as i64);
+    for env in out {
+        match peers.get(&env.to) {
+            Some(tx) if tx.send(DeviceMsg::Dvm(env)).is_ok() => {}
+            _ => inflight.release(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_core::count::CountExpr;
+    use tulkun_core::planner::Planner;
+    use tulkun_core::spec::{Behavior, Invariant, PathExpr};
+    use tulkun_datasets::fig2a_network;
+
+    fn waypoint_plan(net: &Network) -> (CountingPlan, PacketSpace) {
+        let inv = Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress(["S"])
+            .behavior(Behavior::exist(
+                CountExpr::ge(1),
+                PathExpr::parse("S .* W .* D").unwrap().loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        (cp, inv.packet_space)
+    }
+
+    #[test]
+    fn fifo_engine_matches_reference_verdict() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let mut cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &mut cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        let r = engine.burst();
+        assert!(r.messages > 0);
+        assert_eq!(r.completion_ns, 0, "instant clock charges nothing");
+        let report = engine.report();
+        assert!(!report.holds());
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn parallel_init_report_is_identical() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let run = |parallel_init: bool| {
+            let mut cache = LecCache::new();
+            let cfg = EngineConfig {
+                parallel_init,
+                ..Default::default()
+            };
+            let mut engine = Engine::new_cached(
+                &net,
+                &cp,
+                &ps,
+                &cfg,
+                &mut cache,
+                LatencyTransport::new(net.topology.clone(), cfg.fallback_latency_ns),
+                VirtualClock::new(cfg.model),
+            );
+            engine.burst();
+            engine.report().canonical_bytes()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn threaded_engine_converges_and_reports() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let mut cache = LecCache::new();
+        let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
+        engine.wait_quiescent();
+        let report = engine.report();
+        assert!(!report.holds());
+        let stats = engine.shutdown().expect("no panics");
+        assert!(stats.messages > 0);
+        assert!(stats.per_device.values().any(|s| s.messages > 0));
+    }
+
+    #[test]
+    fn threaded_engine_surfaces_device_panics() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let mut cache = LecCache::new();
+        let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
+        engine.wait_quiescent();
+        let dev = net.topology.device("W").unwrap();
+        engine.inject_crash(dev);
+        let err = engine.shutdown().expect_err("panic must be surfaced");
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].device, dev);
+        assert!(err[0].message.contains("injected device-task crash"));
+    }
+
+    #[test]
+    fn histogram_and_drain() {
+        let mut stats = RuntimeStats {
+            msg_ns_samples: vec![5, 50, 500, 5000],
+            ..Default::default()
+        };
+        assert_eq!(stats.msg_ns_histogram(&[10, 100, 1000]), vec![1, 1, 1, 1]);
+        assert_eq!(stats.drain_msg_samples().len(), 4);
+        assert!(stats.msg_ns_samples.is_empty());
+    }
+}

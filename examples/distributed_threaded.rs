@@ -1,18 +1,17 @@
-//! Distributed deployment shape: every on-device verifier runs as its
-//! own tokio task, connected by in-order channels — the same topology of
+//! Distributed deployment shape: every on-device verifier runs on its
+//! own OS thread, connected by in-order channels — the same topology of
 //! verification agents the paper's prototype runs over TCP between
 //! switches.
 //!
 //! ```sh
-//! cargo run --example distributed_tokio
+//! cargo run --example distributed_threaded
 //! ```
 
 use tulkun::core::planner::Planner;
 use tulkun::prelude::*;
 use tulkun::sim::distributed::DistributedRun;
 
-#[tokio::main(flavor = "multi_thread", worker_threads = 4)]
-async fn main() {
+fn main() {
     let net = tulkun::datasets::fig2a_network();
     let invariant =
         Invariant::parse("(dstIP=10.0.0.0/23, [S], (exist >= 1, /S .* W .* D/ loop_free))")
@@ -21,13 +20,13 @@ async fn main() {
     let cp = plan.counting().unwrap();
 
     println!(
-        "spawning {} device verifiers as tokio tasks ({} DPVNet nodes)",
+        "spawning {} device verifiers as threads ({} DPVNet nodes)",
         net.topology.num_devices(),
         cp.dpvnet.num_nodes()
     );
     let run = DistributedRun::spawn(&net, cp, &invariant.packet_space);
-    run.quiesce().await;
-    let report = run.report().await;
+    run.quiesce();
+    let report = run.report();
     println!("burst verdict: holds = {}", report.holds());
     assert!(!report.holds());
 
@@ -42,11 +41,14 @@ async fn main() {
             action: Action::fwd(w),
         },
     });
-    run.quiesce().await;
-    let report = run.report().await;
+    run.quiesce();
+    let report = run.report();
     println!("after live update: holds = {}", report.holds());
     assert!(report.holds());
 
-    run.shutdown().await;
-    println!("all verifier tasks shut down cleanly");
+    let stats = run.shutdown().expect("clean shutdown");
+    println!(
+        "all verifier threads joined cleanly ({} messages, {} bytes on the wire)",
+        stats.messages, stats.bytes
+    );
 }

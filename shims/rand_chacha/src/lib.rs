@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+//! A vendored ChaCha8-based RNG exposing the same names the repo used
+//! from the external `rand_chacha` crate ([`ChaCha8Rng`]).
+//!
+//! Implements the real ChaCha8 stream cipher keystream (RFC 8439 round
+//! function, 8 rounds) over the [`rand`] shim traits, so dataset
+//! generation keeps a statistically strong, seed-deterministic source.
+//! `seed_from_u64` expands the 64-bit state into a 32-byte key with
+//! SplitMix64 — the exact stream differs from upstream `rand_chacha`,
+//! but determinism per seed (the property tests and datasets rely on)
+//! is preserved.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// ChaCha state template: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current 64-byte output block, as sixteen 32-bit words.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means "refill".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Builds a generator from a full 256-bit key.
+    pub fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        // words 12..14: 64-bit block counter; 14..16: nonce (zero).
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, init) in working.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.block = working;
+        self.cursor = 0;
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 key expansion, as upstream rand does for seeds.
+        let mut s = state;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = next();
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ChaCha8Rng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn keystream_crosses_block_boundaries() {
+        // 16 words per block: draw 40 words and make sure refills work
+        // and values are not trivially repeating.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let words: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        let unique: std::collections::BTreeSet<_> = words.iter().collect();
+        assert!(unique.len() > 35, "keystream looks degenerate: {words:?}");
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0u32..10);
+            assert!(x < 10);
+        }
+    }
+}

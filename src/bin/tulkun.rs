@@ -166,7 +166,7 @@ fn usage() -> ExitCode {
 }
 
 fn write_network(net: &Network, out: Option<String>) -> ExitCode {
-    let json = serde_json::to_string_pretty(net).expect("serialize network");
+    let json = tulkun::json::to_string_pretty(net);
     match out {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, json) {
@@ -188,7 +188,7 @@ fn write_network(net: &Network, out: Option<String>) -> ExitCode {
 fn load_network(path: Option<String>) -> Result<Network, String> {
     let path = path.ok_or("--network <file.json> required")?;
     let data = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+    tulkun::json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
 }
 
 fn load_invariants(file: Option<String>, inline: Option<String>) -> Result<Vec<Invariant>, String> {

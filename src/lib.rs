@@ -19,8 +19,12 @@
 //! * [`core`] — the paper's contribution: specification language, planner,
 //!   DPVNet, counting, the DVM protocol, on-device verifiers, and
 //!   fault-tolerance support.
-//! * [`sim`] — a discrete-event simulator and a tokio-based distributed
-//!   runner that execute the verifiers at scale.
+//! * [`sim`] — the shared device-runtime layer (`Engine`, `Transport`,
+//!   `Clock`, `RuntimeStats`) with its substrates: a discrete-event
+//!   simulator and a threaded distributed runner that execute the
+//!   verifiers at scale.
+//! * [`json`] — the vendored, dependency-free JSON (de)serialization
+//!   layer the workspace uses for all wire and sidecar formats.
 //! * [`baselines`] — centralized DPV baselines (AP, APKeep, Delta-net,
 //!   VeriFlow, Flash) used by the evaluation harness.
 //! * [`datasets`] — generators for the thirteen evaluation datasets.
@@ -48,8 +52,8 @@
 //! // Plan: invariant × topology → DPVNet → on-device tasks.
 //! let plan = Planner::new(&net.topology).plan(&inv).unwrap();
 //!
-//! // Verify in-process (the simulator and tokio runner exercise the same
-//! // verifier code distributed across devices).
+//! // Verify in-process (the simulator and threaded runner exercise the
+//! // same verifier code distributed across devices).
 //! let report = verify_snapshot(&net, &plan);
 //! assert!(!report.holds()); // Fig. 2a's data plane violates the invariant.
 //! ```
@@ -59,6 +63,7 @@ pub use tulkun_baselines as baselines;
 pub use tulkun_bdd as bdd;
 pub use tulkun_core as core;
 pub use tulkun_datasets as datasets;
+pub use tulkun_json as json;
 pub use tulkun_netmodel as netmodel;
 pub use tulkun_sim as sim;
 

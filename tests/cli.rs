@@ -10,8 +10,8 @@ fn bin() -> Command {
 #[test]
 fn network_json_round_trip() {
     let net = tulkun::datasets::fig2a_network();
-    let json = serde_json::to_string(&net).unwrap();
-    let back: tulkun::netmodel::network::Network = serde_json::from_str(&json).unwrap();
+    let json = tulkun::json::to_string(&net);
+    let back: tulkun::netmodel::network::Network = tulkun::json::from_str(&json).unwrap();
     assert_eq!(back.topology.num_devices(), net.topology.num_devices());
     assert_eq!(back.topology.num_links(), net.topology.num_links());
     assert_eq!(back.total_rules(), net.total_rules());
@@ -140,6 +140,6 @@ fn cli_dataset_export() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let net: tulkun::netmodel::network::Network = serde_json::from_slice(&out.stdout).unwrap();
+    let net: tulkun::netmodel::network::Network = tulkun::json::from_slice(&out.stdout).unwrap();
     assert_eq!(net.topology.num_devices(), 9);
 }
