@@ -11,18 +11,22 @@
 //! 5. **Parallel init**: engine burst-init wall clock with sequential
 //!    vs concurrent per-device verifier construction (the runtime
 //!    layer's `parallel_init` option), with a report-equality check.
+//! 6. **Verification under loss**: DVM over a lossy management network
+//!    (the sim crate's `FaultyTransport`) — retransmit/ack overhead per
+//!    loss rate, with a report-equality check against the perfect
+//!    channel.
 
 use std::time::Instant;
 use tulkun_bench::{fmt_ns, Cli, FigureTable};
 use tulkun_core::count::ReduceMode;
 use tulkun_core::dpvnet::{self, DpvNet};
-use tulkun_core::fault::{build_ft_dpvnet, expand_fault_spec};
+use tulkun_core::fault::{build_ft_dpvnet, expand_fault_spec, FaultProfile};
 use tulkun_core::planner::Planner;
 use tulkun_core::spec::{FaultSpec, PathExpr};
 use tulkun_core::verify::Session;
 use tulkun_datasets::by_name;
 use tulkun_sim::event::LecCache;
-use tulkun_sim::{DvmSim, SimConfig};
+use tulkun_sim::{DvmSim, FaultyDvmSim, SimConfig};
 
 fn main() {
     let cli = Cli::parse();
@@ -31,6 +35,7 @@ fn main() {
     ablate_lec_sharing(&cli);
     ablate_scene_reuse(&cli);
     ablate_parallel_init(&cli);
+    ablate_fault_overhead(&cli);
 }
 
 /// Runtime-layer `parallel_init`: wall-clock burst init (verifier
@@ -83,6 +88,66 @@ fn ablate_parallel_init(cli: &Cli) {
             format!("{:.2}x", seq as f64 / par.max(1) as f64),
             (seq_report == par_report).to_string(),
         ]);
+    }
+    t.finish();
+}
+
+/// Verification under loss: at-least-once DVM delivery over the
+/// fault-injecting transport, overhead per loss rate (fixed seed 23).
+fn ablate_fault_overhead(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_fault_overhead",
+        "DVM under message loss: retransmit/ack overhead, burst (seed 23)",
+        &[
+            "dataset",
+            "loss",
+            "messages",
+            "drops",
+            "retransmits",
+            "retx bytes",
+            "acks",
+            "ack bytes",
+            "same report",
+        ],
+    );
+    for name in ["INet2", "B4-13"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap();
+
+        let mut clean = DvmSim::new(&ds.network, cp, &inv.packet_space, SimConfig::default());
+        clean.burst();
+        let reference = clean.report().canonical_bytes();
+
+        for loss in [0.0, 0.01, 0.10] {
+            let mut sim = FaultyDvmSim::new(
+                &ds.network,
+                cp,
+                &inv.packet_space,
+                SimConfig::default(),
+                FaultProfile::loss(23, loss),
+            );
+            let r = sim.burst();
+            let f = sim.stats().fault;
+            t.row(vec![
+                name.into(),
+                format!("{:.0}%", loss * 100.0),
+                r.messages.to_string(),
+                f.drops.to_string(),
+                f.retransmits.to_string(),
+                f.retransmit_bytes.to_string(),
+                f.acks.to_string(),
+                f.ack_bytes.to_string(),
+                (sim.report().canonical_bytes() == reference).to_string(),
+            ]);
+        }
     }
     t.finish();
 }

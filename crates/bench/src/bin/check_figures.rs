@@ -1,0 +1,111 @@
+//! CI validator for the JSON figure sidecars.
+//!
+//! The `bench-smoke` CI stage runs a bench binary on a tiny topology
+//! and then runs this tool to assert the run actually produced
+//! well-formed output: every `*.json` under `target/figures/` must
+//! parse back into a [`FigureTable`] with consistent row widths, and
+//! every id named on the command line must exist with at least one row.
+//!
+//! Usage: `check_figures [required-id ...]`
+//!
+//! No timing is checked anywhere — the CI box has 1 CPU, so the smoke
+//! stage guards structure, not speed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tulkun_bench::FigureTable;
+
+fn figures_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("figures")
+}
+
+fn main() -> ExitCode {
+    let required: Vec<String> = std::env::args().skip(1).collect();
+    let dir = figures_dir();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("check_figures: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut failed = false;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("check_figures: cannot read {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let table: FigureTable = match tulkun_json::from_str(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "check_figures: {} is not a well-formed FigureTable: {e:?}",
+                    path.display()
+                );
+                failed = true;
+                continue;
+            }
+        };
+        if table.headers.is_empty() {
+            eprintln!("check_figures: {} has no headers", path.display());
+            failed = true;
+        }
+        for (i, row) in table.rows.iter().enumerate() {
+            if row.len() != table.headers.len() {
+                eprintln!(
+                    "check_figures: {} row {i} has {} cells, expected {}",
+                    path.display(),
+                    row.len(),
+                    table.headers.len()
+                );
+                failed = true;
+            }
+        }
+        println!(
+            "check_figures: ok {} ({} rows, {} cols)",
+            table.id,
+            table.rows.len(),
+            table.headers.len()
+        );
+        seen.push((table.id, table.rows.len()));
+    }
+
+    for id in &required {
+        match seen.iter().find(|(s, _)| s == id) {
+            Some((_, rows)) if *rows > 0 => {}
+            Some(_) => {
+                eprintln!("check_figures: required figure {id:?} has no rows");
+                failed = true;
+            }
+            None => {
+                eprintln!(
+                    "check_figures: required figure {id:?} missing from {}",
+                    dir.display()
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "check_figures: {} figure(s) validated, {} required id(s) present",
+            seen.len(),
+            required.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

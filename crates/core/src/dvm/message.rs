@@ -5,6 +5,14 @@
 //! in the simulator and the threaded runner). Predicates cross device
 //! boundaries as [`PortablePred`]s because every device owns a private
 //! BDD manager.
+//!
+//! When the underlying channel is best-effort instead (a lossy
+//! management network), the reliability layer in [`crate::dvm::reliable`]
+//! rebuilds the TCP guarantees on top of these formats: every data
+//! envelope carries a per-`(from, to)` channel sequence number
+//! ([`Envelope::seq`], assigned by the sender window — verifiers always
+//! emit `seq == 0`), receivers acknowledge with [`Payload::Ack`], and
+//! unacknowledged envelopes are retransmitted with exponential backoff.
 
 use crate::count::Counts;
 use crate::dpvnet::NodeId;
@@ -45,14 +53,28 @@ pub enum Payload {
         /// The additional packet space to count.
         space: PortablePred,
     },
+    /// Acknowledges receipt of the data envelope with sequence number
+    /// `of` on the reverse channel. Generated and consumed entirely by
+    /// the reliability layer — verifiers never see acks.
+    Ack {
+        /// The acknowledged sequence number.
+        of: u64,
+    },
 }
 
 impl Payload {
-    /// The DPVNet edge the payload concerns.
-    pub fn edge(&self) -> EdgeRef {
+    /// The DPVNet edge the payload concerns (`None` for acks, which
+    /// concern a channel, not an edge).
+    pub fn edge(&self) -> Option<EdgeRef> {
         match self {
-            Payload::Update { edge, .. } | Payload::Subscribe { edge, .. } => *edge,
+            Payload::Update { edge, .. } | Payload::Subscribe { edge, .. } => Some(*edge),
+            Payload::Ack { .. } => None,
         }
+    }
+
+    /// Is this a reliability-layer ack (as opposed to verifier data)?
+    pub fn is_ack(&self) -> bool {
+        matches!(self, Payload::Ack { .. })
     }
 
     /// Approximate serialized size in bytes (for overhead accounting).
@@ -71,6 +93,7 @@ impl Payload {
                         .sum::<usize>()
             }
             Payload::Subscribe { space, .. } => 8 + space.wire_bytes(),
+            Payload::Ack { .. } => 8,
         }
     }
 }
@@ -82,11 +105,26 @@ pub struct Envelope {
     pub from: DeviceId,
     /// Receiving device.
     pub to: DeviceId,
+    /// Channel sequence number, per directed `(from, to)` pair. `0`
+    /// means "unsequenced": verifiers always emit 0 and the reliability
+    /// layer assigns 1, 2, … at send time. Acks carry 0 themselves and
+    /// name the acknowledged data seq in [`Payload::Ack`].
+    pub seq: u64,
     /// The DVM payload.
     pub payload: Payload,
 }
 
 impl Envelope {
+    /// A fresh, unsequenced data envelope (the form verifiers emit).
+    pub fn data(from: DeviceId, to: DeviceId, payload: Payload) -> Envelope {
+        Envelope {
+            from,
+            to,
+            seq: 0,
+            payload,
+        }
+    }
+
     /// Approximate serialized size in bytes.
     pub fn wire_bytes(&self) -> usize {
         8 + self.payload.wire_bytes()
@@ -117,6 +155,10 @@ impl ToJson for Payload {
                     ("space".to_string(), space.to_json()),
                 ]),
             )]),
+            Payload::Ack { of } => Json::Object(vec![(
+                "Ack".to_string(),
+                Json::Object(vec![("of".to_string(), of.to_json())]),
+            )]),
         }
     }
 }
@@ -138,11 +180,22 @@ impl FromJson for Payload {
                 space: FromJson::from_json(field("space")?)?,
             });
         }
+        if let Some(a) = v.get("Ack") {
+            let of = a.get("of").ok_or_else(|| JsonError::missing_field("of"))?;
+            return Ok(Payload::Ack {
+                of: FromJson::from_json(of)?,
+            });
+        }
         Err(JsonError::expected("DVM payload", v))
     }
 }
 
-tulkun_json::impl_json_object!(Envelope { from, to, payload });
+tulkun_json::impl_json_object!(Envelope {
+    from,
+    to,
+    seq,
+    payload
+});
 
 #[cfg(test)]
 mod tests {
@@ -157,6 +210,7 @@ mod tests {
         let env = Envelope {
             from: DeviceId(1),
             to: DeviceId(2),
+            seq: 7,
             payload: Payload::Update {
                 edge: EdgeRef {
                     up: NodeId(0),
@@ -170,5 +224,17 @@ mod tests {
         let back: Envelope = tulkun_json::from_str(&json).unwrap();
         assert_eq!(back, env);
         assert!(env.wire_bytes() > 0);
+    }
+
+    #[test]
+    fn ack_round_trips_and_is_small() {
+        let env = Envelope::data(DeviceId(2), DeviceId(1), Payload::Ack { of: 42 });
+        assert!(env.payload.is_ack());
+        assert!(env.payload.edge().is_none());
+        let json = tulkun_json::to_string(&env);
+        let back: Envelope = tulkun_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+        // Acks must stay tiny: they are pure protocol overhead.
+        assert!(env.wire_bytes() <= 16);
     }
 }

@@ -9,7 +9,9 @@
 //! edges of the acyclic DPVNet, so no message loop can form.
 
 pub mod message;
+pub mod reliable;
 pub mod verifier;
 
 pub use message::{EdgeRef, Envelope, Payload};
+pub use reliable::{Accepted, ReceiverLedger, SenderWindow};
 pub use verifier::{DestMode, DeviceVerifier, VerifierConfig, VerifierStats};

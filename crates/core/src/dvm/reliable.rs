@@ -1,0 +1,264 @@
+//! At-least-once delivery over best-effort channels.
+//!
+//! The paper's deployment runs DVM over TCP; the simulator's
+//! fault-injection transport instead models a lossy management network
+//! that drops, duplicates, reorders and delays envelopes. This module
+//! rebuilds the TCP guarantees the protocol relies on:
+//!
+//! * a [`SenderWindow`] assigns per-`(from, to)` channel sequence
+//!   numbers, keeps every unacknowledged envelope, and schedules
+//!   timeout-driven retransmissions with exponential backoff;
+//! * a [`ReceiverLedger`] suppresses duplicates and releases envelopes
+//!   strictly in channel order (buffering out-of-order arrivals), so
+//!   each verifier observes exactly the per-link FIFO semantics of §5.2.
+//!
+//! Delivery is *at-least-once* on the wire and *exactly-once, in-order*
+//! at the verifier; since `UPDATE`/`SUBSCRIBE` application is also
+//! idempotent (diff-based against `CIBOut`, grow-only scopes), counting
+//! results converge to the same fixpoint as over a perfect channel.
+//!
+//! The structures are pure state machines over virtual time — the
+//! transport decides what "now" is and when to ask for retransmissions,
+//! so the same code serves the instant FIFO reference and the
+//! virtual-time event simulator.
+
+use crate::dvm::message::Envelope;
+use std::collections::BTreeMap;
+use tulkun_netmodel::DeviceId;
+
+/// A directed sender→receiver channel.
+pub type ChannelKey = (DeviceId, DeviceId);
+
+/// One envelope awaiting acknowledgment.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The sequenced envelope (retransmitted verbatim).
+    pub env: Envelope,
+    /// Virtual time at which the retransmission timer fires.
+    pub deadline: u64,
+    /// Retransmissions performed so far.
+    pub attempts: u32,
+}
+
+/// Sender half: sequence assignment, the unacked window, backoff.
+#[derive(Debug, Default)]
+pub struct SenderWindow {
+    next_seq: BTreeMap<ChannelKey, u64>,
+    unacked: BTreeMap<(ChannelKey, u64), Pending>,
+}
+
+impl SenderWindow {
+    /// A fresh window (all channels start at sequence 1).
+    pub fn new() -> SenderWindow {
+        SenderWindow::default()
+    }
+
+    /// Assigns the next sequence number on the envelope's channel,
+    /// stamps it into `env`, and registers the envelope as unacked with
+    /// its first retransmission deadline at `now + rto_ns`.
+    pub fn assign(&mut self, env: &mut Envelope, now: u64, rto_ns: u64) {
+        let ch = (env.from, env.to);
+        let seq = self.next_seq.entry(ch).or_insert(1);
+        env.seq = *seq;
+        *seq += 1;
+        self.unacked.insert(
+            (ch, env.seq),
+            Pending {
+                env: env.clone(),
+                deadline: now.saturating_add(rto_ns),
+                attempts: 0,
+            },
+        );
+    }
+
+    /// Clears one acknowledged envelope; returns whether it was still
+    /// outstanding (duplicate acks return `false`).
+    pub fn ack(&mut self, ch: ChannelKey, seq: u64) -> bool {
+        self.unacked.remove(&(ch, seq)).is_some()
+    }
+
+    /// The unacked entry with the earliest retransmission deadline.
+    pub fn earliest_due(&self) -> Option<(ChannelKey, u64)> {
+        self.unacked
+            .iter()
+            .min_by_key(|(_, p)| p.deadline)
+            .map(|((ch, seq), _)| (*ch, *seq))
+    }
+
+    /// The current retransmission deadline of one unacked entry.
+    pub fn deadline_of(&self, ch: ChannelKey, seq: u64) -> Option<u64> {
+        self.unacked.get(&(ch, seq)).map(|p| p.deadline)
+    }
+
+    /// Advances one entry's timer for a retransmission at `now`: bumps
+    /// the attempt count and pushes the deadline out by the backed-off
+    /// timeout (`rto_ns << attempts`, exponent capped). Returns a clone
+    /// of the envelope to resend plus the new attempt count.
+    pub fn bump(
+        &mut self,
+        ch: ChannelKey,
+        seq: u64,
+        now: u64,
+        rto_ns: u64,
+        max_backoff_exp: u32,
+    ) -> Option<(Envelope, u32)> {
+        let p = self.unacked.get_mut(&(ch, seq))?;
+        p.attempts += 1;
+        let timeout = rto_ns.saturating_mul(1u64 << p.attempts.min(max_backoff_exp));
+        p.deadline = now.max(p.deadline).saturating_add(timeout);
+        Some((p.env.clone(), p.attempts))
+    }
+
+    /// Number of unacknowledged envelopes.
+    pub fn outstanding(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Is every sent envelope acknowledged?
+    pub fn is_empty(&self) -> bool {
+        self.unacked.is_empty()
+    }
+}
+
+/// What the receiver ledger decided about one arrival.
+#[derive(Debug)]
+pub enum Accepted {
+    /// New in-order envelopes, released for delivery (the arrival
+    /// itself plus any buffered successors it unblocked). Each carries
+    /// the virtual time at which it becomes deliverable.
+    Ready(Vec<(u64, Envelope)>),
+    /// Out-of-order: buffered until the gap fills. Still acked.
+    Buffered,
+    /// Already seen (retransmission or injected duplicate). Re-acked.
+    Duplicate,
+}
+
+/// Receiver half: duplicate suppression and in-order release.
+#[derive(Debug, Default)]
+pub struct ReceiverLedger {
+    expected: BTreeMap<ChannelKey, u64>,
+    /// Out-of-order arrivals, per channel, keyed by sequence.
+    buffered: BTreeMap<ChannelKey, BTreeMap<u64, (u64, Envelope)>>,
+}
+
+impl ReceiverLedger {
+    /// A fresh ledger (all channels expect sequence 1).
+    pub fn new() -> ReceiverLedger {
+        ReceiverLedger::default()
+    }
+
+    /// Processes one data arrival at virtual time `arrival`.
+    pub fn accept(&mut self, arrival: u64, env: Envelope) -> Accepted {
+        debug_assert!(env.seq > 0, "data envelopes must be sequenced");
+        let ch = (env.from, env.to);
+        let expected = self.expected.entry(ch).or_insert(1);
+        if env.seq < *expected {
+            return Accepted::Duplicate;
+        }
+        if env.seq > *expected {
+            let slot = self.buffered.entry(ch).or_default();
+            if slot.contains_key(&env.seq) {
+                return Accepted::Duplicate;
+            }
+            slot.insert(env.seq, (arrival, env));
+            return Accepted::Buffered;
+        }
+        // In order: release it plus any directly following buffered
+        // envelopes. A released successor becomes deliverable no earlier
+        // than the arrival that unblocked it.
+        let mut ready = vec![(arrival, env)];
+        *expected += 1;
+        if let Some(slot) = self.buffered.get_mut(&ch) {
+            while let Some((a, e)) = slot.remove(expected) {
+                ready.push((a.max(arrival), e));
+                *expected += 1;
+            }
+        }
+        Accepted::Ready(ready)
+    }
+
+    /// Envelopes currently buffered out of order.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered.values().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvm::message::Payload;
+
+    fn env(from: u32, to: u32) -> Envelope {
+        Envelope::data(DeviceId(from), DeviceId(to), Payload::Ack { of: 0 })
+    }
+
+    #[test]
+    fn sender_assigns_monotonic_seqs_per_channel() {
+        let mut w = SenderWindow::new();
+        let mut a = env(1, 2);
+        let mut b = env(1, 2);
+        let mut c = env(1, 3);
+        w.assign(&mut a, 0, 100);
+        w.assign(&mut b, 0, 100);
+        w.assign(&mut c, 0, 100);
+        assert_eq!((a.seq, b.seq, c.seq), (1, 2, 1));
+        assert_eq!(w.outstanding(), 3);
+        assert!(w.ack((DeviceId(1), DeviceId(2)), 1));
+        assert!(!w.ack((DeviceId(1), DeviceId(2)), 1), "double ack");
+        assert_eq!(w.outstanding(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut w = SenderWindow::new();
+        let mut a = env(1, 2);
+        w.assign(&mut a, 0, 100);
+        let ch = (DeviceId(1), DeviceId(2));
+        assert_eq!(w.earliest_due(), Some((ch, 1)));
+        let (_, n1) = w.bump(ch, 1, 100, 100, 3).unwrap();
+        assert_eq!(n1, 1);
+        // deadline = max(100, 100) + 100<<1 = 300.
+        let (_, n2) = w.bump(ch, 1, 300, 100, 3).unwrap();
+        assert_eq!(n2, 2);
+        // Exponent caps at 3: attempts 5 uses 100<<3.
+        for now in [700, 1500, 2300] {
+            w.bump(ch, 1, now, 100, 3).unwrap();
+        }
+        let p = w.unacked.get(&(ch, 1)).unwrap();
+        assert_eq!(p.attempts, 5);
+        assert_eq!(p.deadline, 2300 + (100 << 3));
+        // Unknown entries bump to None.
+        assert!(w.bump(ch, 99, 0, 100, 3).is_none());
+    }
+
+    #[test]
+    fn receiver_releases_in_order_and_suppresses_dups() {
+        let mut r = ReceiverLedger::new();
+        let mk = |seq: u64| {
+            let mut e = env(1, 2);
+            e.seq = seq;
+            e
+        };
+        // 2 arrives first: buffered.
+        assert!(matches!(r.accept(20, mk(2)), Accepted::Buffered));
+        assert_eq!(r.buffered_len(), 1);
+        // 2 again while buffered: duplicate.
+        assert!(matches!(r.accept(21, mk(2)), Accepted::Duplicate));
+        // 1 arrives: releases 1 then 2, with 2 no earlier than 1's
+        // unblocking arrival.
+        match r.accept(30, mk(1)) {
+            Accepted::Ready(v) => {
+                assert_eq!(v.len(), 2);
+                assert_eq!((v[0].0, v[0].1.seq), (30, 1));
+                assert_eq!((v[1].0, v[1].1.seq), (30, 2));
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        // Replays of released seqs are duplicates.
+        assert!(matches!(r.accept(40, mk(1)), Accepted::Duplicate));
+        assert!(matches!(r.accept(40, mk(2)), Accepted::Duplicate));
+        // The next in-order seq flows straight through.
+        assert!(matches!(r.accept(50, mk(3)), Accepted::Ready(_)));
+        assert_eq!(r.buffered_len(), 0);
+    }
+}

@@ -288,6 +288,9 @@ impl DeviceVerifier {
                 self.stats.subscribes_processed += 1;
                 self.handle_subscribe(*edge, space)
             }
+            // Acks belong to the reliability layer; a verifier that sees
+            // one (e.g. over a perfect transport) ignores it.
+            Payload::Ack { .. } => Vec::new(),
         }
     }
 
@@ -538,6 +541,106 @@ impl DeviceVerifier {
         out
     }
 
+    /// Simulates a device crash + restart of the verification agent:
+    /// all soft counting state (`CIBIn`, `LocCIB`, `CIBOut`, grown
+    /// scopes, subscription ledger) is lost and re-initialized, then the
+    /// verifier recounts from scratch and returns its fresh initial
+    /// messages. The FIB and the LEC table survive — they live in the
+    /// switch hardware / FIB agent, not in the verification process —
+    /// and so does local link state (`down_neighbors`), which the agent
+    /// re-reads from the platform on start.
+    ///
+    /// Recovery of the *inputs* (neighbors' last counting results and
+    /// subscriptions) is driven by the runtime calling
+    /// [`DeviceVerifier::replay_for_restart`] on each neighbor.
+    pub fn reboot(&mut self) -> Vec<Envelope> {
+        let dim = self.cfg.dim();
+        let ps = self.packet_space;
+        for st in self.nodes.values_mut() {
+            st.scope = ps;
+            st.cib_in.clear();
+            st.loc_cib = vec![(ps, Counts::zero(dim))];
+            st.cib_out = vec![(ps, Counts::zero(dim))];
+            st.sent_subs.clear();
+        }
+        self.refresh_relevance();
+        self.init()
+    }
+
+    /// Re-sends this device's durable protocol state toward a freshly
+    /// restarted neighbor so it can rebuild its lost soft state:
+    ///
+    /// * for each hosted node with an *upstream* edge into `restarted`,
+    ///   a full-scope UPDATE carrying the current `CIBOut` (the
+    ///   neighbor's `CIBIn` entry for us, lost in the crash — the
+    ///   `withdrawn = scope` form makes the replay idempotent);
+    /// * for each *downstream* edge into `restarted`, a SUBSCRIBE
+    ///   re-stating every packet space we ever requested beyond the
+    ///   invariant's (the neighbor's scope reset to the packet space).
+    ///
+    /// Replays are plain DVM messages, so the protocol re-converges to
+    /// the same fixpoint it held before the crash.
+    pub fn replay_for_restart(&mut self, restarted: DeviceId) -> Vec<Envelope> {
+        let ids = self.node_ids();
+        let mut out = Vec::new();
+        for node in ids {
+            let st = &self.nodes[&node];
+            let ups: Vec<NodeId> = st
+                .task
+                .upstream
+                .iter()
+                .filter(|(_, d)| *d == restarted)
+                .map(|(n, _)| *n)
+                .collect();
+            if !ups.is_empty() {
+                let withdrawn = vec![serial::export(&self.mgr, st.scope)];
+                let results: Vec<(PortablePred, Counts)> = st
+                    .cib_out
+                    .iter()
+                    .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+                    .collect();
+                for un in ups {
+                    let env = Envelope::data(
+                        self.dev,
+                        restarted,
+                        Payload::Update {
+                            edge: EdgeRef { up: un, down: node },
+                            withdrawn: withdrawn.clone(),
+                            results: results.clone(),
+                        },
+                    );
+                    self.stats.messages_sent += 1;
+                    self.stats.bytes_sent += env.wire_bytes() as u64;
+                    out.push(env);
+                }
+            }
+            let downs: Vec<(NodeId, Pred)> = self.nodes[&node]
+                .task
+                .downstream
+                .iter()
+                .filter(|(_, d)| *d == restarted)
+                .filter_map(|(n, _)| self.nodes[&node].sent_subs.get(n).map(|s| (*n, *s)))
+                .collect();
+            for (vn, space) in downs {
+                if self.mgr.is_false(space) {
+                    continue;
+                }
+                let env = Envelope::data(
+                    self.dev,
+                    restarted,
+                    Payload::Subscribe {
+                        edge: EdgeRef { up: node, down: vn },
+                        space: serial::export(&self.mgr, space),
+                    },
+                );
+                self.stats.messages_sent += 1;
+                self.stats.bytes_sent += env.wire_bytes() as u64;
+                out.push(env);
+            }
+        }
+        out
+    }
+
     /// Exports a node's current counting results.
     pub fn node_result(&self, node: NodeId) -> Vec<(PortablePred, Counts)> {
         self.nodes
@@ -676,15 +779,15 @@ impl DeviceVerifier {
         let ups = self.nodes[&node].task.upstream.clone();
         let mut msgs = Vec::with_capacity(ups.len());
         for (un, udev) in ups {
-            let env = Envelope {
-                from: self.dev,
-                to: udev,
-                payload: Payload::Update {
+            let env = Envelope::data(
+                self.dev,
+                udev,
+                Payload::Update {
                     edge: EdgeRef { up: un, down: node },
                     withdrawn: withdrawn.clone(),
                     results: results.clone(),
                 },
-            };
+            );
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += env.wire_bytes() as u64;
             msgs.push(env);
@@ -925,14 +1028,14 @@ impl DeviceVerifier {
                         .sent_subs
                         .insert(vn, merged);
                 }
-                let env = Envelope {
-                    from: self.dev,
-                    to: vdev,
-                    payload: Payload::Subscribe {
+                let env = Envelope::data(
+                    self.dev,
+                    vdev,
+                    Payload::Subscribe {
                         edge: EdgeRef { up: node, down: vn },
                         space: serial::export(&self.mgr, newspace),
                     },
-                };
+                );
                 self.stats.messages_sent += 1;
                 self.stats.bytes_sent += env.wire_bytes() as u64;
                 out.push(env);

@@ -8,12 +8,132 @@
 //! flag with the scenes it is valid in. When a scene happens, verifiers
 //! switch to the corresponding task view and recount — the planner is
 //! contacted only for unspecified scenes.
+//!
+//! Besides *data-plane* faults (failed links), this module also models
+//! *management-plane* faults: [`FaultProfile`] describes a lossy
+//! best-effort channel between verifiers (drop, duplicate, reorder,
+//! delay) plus the retransmission parameters the DVM reliability layer
+//! ([`crate::dvm::reliable`]) uses to mask it, and [`FaultStats`]
+//! carries the injection/recovery counters every runtime substrate
+//! surfaces.
 
 use crate::dpvnet::{self, DpvNet, DpvNetError, NodeId, ValidPath};
 use crate::planner::{CountingPlan, NodeTask, PlanError};
 use crate::spec::{FaultSpec, Invariant, PathExpr};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use tulkun_netmodel::topology::{DeviceId, Topology};
+
+/// Describes the behaviour of a lossy management network between
+/// device verifiers, plus the retransmission policy that masks it.
+///
+/// All randomness is drawn from one seeded stream, so a profile plus a
+/// seed fully determines a run: the CI fault matrix exercises fixed
+/// `(seed, drop_rate)` grids and asserts byte-identical [`Report`]s.
+///
+/// [`Report`]: crate::verify::Report
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Seed of the ChaCha stream all fault decisions are drawn from.
+    pub seed: u64,
+    /// Probability that a freshly sent data envelope is dropped.
+    pub drop_rate: f64,
+    /// Probability that a data envelope is delivered twice.
+    pub dup_rate: f64,
+    /// Probability that a data envelope is held back and released only
+    /// after a later send (an explicit order inversion).
+    pub reorder_rate: f64,
+    /// Probability that a data envelope is delayed by up to
+    /// [`FaultProfile::max_delay_ns`] extra nanoseconds.
+    pub delay_rate: f64,
+    /// Upper bound of the injected extra delay.
+    pub max_delay_ns: u64,
+    /// Initial retransmission timeout of the at-least-once layer.
+    pub rto_ns: u64,
+    /// Cap on the exponential-backoff exponent (timeout never exceeds
+    /// `rto_ns << max_backoff_exp`).
+    pub max_backoff_exp: u32,
+    /// After this many retransmissions of one envelope, further copies
+    /// bypass the fault injector — the channel is lossy but *fair*, so
+    /// persistent retransmission eventually succeeds; this bounds the
+    /// simulated run deterministically.
+    pub force_after_attempts: u32,
+}
+
+impl FaultProfile {
+    /// A fault-free profile (the reliability layer still runs: every
+    /// envelope is sequenced and acked, nothing is ever lost).
+    pub fn none(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_ns: 0,
+            rto_ns: 1_000_000,
+            max_backoff_exp: 8,
+            force_after_attempts: 16,
+        }
+    }
+
+    /// Pure message loss at the given rate (applies to data and acks).
+    pub fn loss(seed: u64, rate: f64) -> FaultProfile {
+        FaultProfile {
+            drop_rate: rate,
+            ..FaultProfile::none(seed)
+        }
+    }
+
+    /// Everything at once: loss, duplication, reordering and delay —
+    /// the adversarial profile of the CI fault matrix.
+    pub fn chaos(seed: u64) -> FaultProfile {
+        FaultProfile {
+            drop_rate: 0.05,
+            dup_rate: 0.05,
+            reorder_rate: 0.10,
+            delay_rate: 0.10,
+            max_delay_ns: 50_000,
+            ..FaultProfile::none(seed)
+        }
+    }
+
+    /// Does this profile inject no faults at all?
+    pub fn is_quiet(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.dup_rate <= 0.0
+            && self.reorder_rate <= 0.0
+            && self.delay_rate <= 0.0
+    }
+}
+
+/// Injection and recovery counters of one faulty channel, surfaced
+/// through the runtime layer's `RuntimeStats` so the overhead harnesses
+/// can report the cost of verification under loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data envelopes dropped by the injector.
+    pub drops: u64,
+    /// Acks dropped by the injector.
+    pub ack_drops: u64,
+    /// Duplicate data copies injected.
+    pub dups: u64,
+    /// Envelopes held back to invert delivery order.
+    pub reorders: u64,
+    /// Envelopes given extra delay.
+    pub delays: u64,
+    /// Retransmissions performed by the at-least-once layer.
+    pub retransmits: u64,
+    /// Bytes spent on retransmissions.
+    pub retransmit_bytes: u64,
+    /// Retransmissions forced past the injector after the attempt cap.
+    pub forced: u64,
+    /// Envelopes discarded by receiver-side duplicate suppression.
+    pub dup_suppressed: u64,
+    /// Acks delivered to the sender window.
+    pub acks: u64,
+    /// Bytes spent on acks.
+    pub ack_bytes: u64,
+}
 
 /// A failed link named by its (canonically ordered) endpoint devices —
 /// stable across subtopologies, unlike `LinkId`.

@@ -55,6 +55,13 @@ impl DistributedRun {
         self.engine.inject_update(update);
     }
 
+    /// Crashes and restarts one device's verification agent; every
+    /// other device replays its durable protocol state toward it. Call
+    /// [`DistributedRun::quiesce`] to let the recovery exchange drain.
+    pub fn crash_restart(&mut self, dev: tulkun_netmodel::DeviceId) {
+        self.engine.crash_restart(dev);
+    }
+
     /// Collects source results and evaluates the invariant.
     pub fn report(&self) -> Report {
         self.engine.report()

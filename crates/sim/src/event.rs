@@ -11,10 +11,12 @@
 //! updates at devices to the time when all invariants are verified,
 //! including the propagation delays").
 
+use crate::faults::FaultyTransport;
 use crate::models::SwitchModel;
 use crate::runtime::{Engine, EngineConfig, LatencyTransport, RuntimeStats, VirtualClock};
 use std::collections::BTreeMap;
 use tulkun_core::dvm::DeviceVerifier;
+use tulkun_core::fault::FaultProfile;
 use tulkun_core::planner::{CountingPlan, NodeTask};
 use tulkun_core::spec::PacketSpace;
 use tulkun_core::verify::Report;
@@ -135,9 +137,92 @@ impl DvmSim {
         self.engine.stats_mut()
     }
 
+    /// Crashes and restarts one device's verification agent and drives
+    /// the recovery exchange (neighbor replays) to quiescence.
+    pub fn crash_restart(&mut self, dev: DeviceId) -> SimResult {
+        self.engine.crash_restart(dev)
+    }
+
     /// Mutable access to one verifier (used by the replay harness).
     pub fn verifier_mut(&mut self, dev: DeviceId) -> Option<&mut DeviceVerifier> {
         self.engine.verifier_mut(dev)
+    }
+}
+
+/// The event simulator over a *faulty* management network: identical to
+/// [`DvmSim`] except envelopes travel through a
+/// [`FaultyTransport`]-decorated [`LatencyTransport`], so messages are
+/// dropped, duplicated, reordered and delayed per a seeded
+/// [`FaultProfile`] and recovered by the at-least-once reliability
+/// layer. The Report converges to the same fixpoint as the perfect-
+/// channel simulator; `stats().fault` records what it cost.
+pub struct FaultyDvmSim {
+    engine: Engine<FaultyTransport<LatencyTransport>, VirtualClock>,
+}
+
+impl FaultyDvmSim {
+    /// Builds a fault-injecting simulator (see [`DvmSim::new`]).
+    pub fn new(
+        net: &Network,
+        plan: &CountingPlan,
+        ps: &PacketSpace,
+        cfg: SimConfig,
+        profile: FaultProfile,
+    ) -> FaultyDvmSim {
+        let mut cache = LecCache::new();
+        Self::new_cached(net, plan, ps, cfg, profile, &mut cache)
+    }
+
+    /// Like [`FaultyDvmSim::new`] with a shared LEC cache.
+    pub fn new_cached(
+        net: &Network,
+        plan: &CountingPlan,
+        ps: &PacketSpace,
+        cfg: SimConfig,
+        profile: FaultProfile,
+        lec_cache: &mut LecCache,
+    ) -> FaultyDvmSim {
+        let ecfg: EngineConfig = cfg.into();
+        let transport = FaultyTransport::new(
+            LatencyTransport::new(net.topology.clone(), ecfg.fallback_latency_ns),
+            profile,
+        );
+        let clock = VirtualClock::new(ecfg.model);
+        FaultyDvmSim {
+            engine: Engine::new_cached(net, plan, ps, &ecfg, lec_cache, transport, clock),
+        }
+    }
+
+    /// The burst phase under faults (see [`DvmSim::burst`]).
+    pub fn burst(&mut self) -> SimResult {
+        self.engine.burst()
+    }
+
+    /// One incremental rule update under faults.
+    pub fn incremental(&mut self, update: &RuleUpdate) -> SimResult {
+        self.engine.incremental(update)
+    }
+
+    /// A link failure/recovery event delivered to both endpoints at t=0.
+    pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> SimResult {
+        self.engine.link_event(a, b, up)
+    }
+
+    /// Crashes and restarts one device's verification agent and drives
+    /// the recovery exchange — over the faulty channel — to quiescence.
+    pub fn crash_restart(&mut self, dev: DeviceId) -> SimResult {
+        self.engine.crash_restart(dev)
+    }
+
+    /// Evaluates the invariant at the sources.
+    pub fn report(&self) -> Report {
+        self.engine.report()
+    }
+
+    /// The runtime observability surface; `stats().fault` holds the
+    /// reliability-layer counters (drops, retransmits, acks, …).
+    pub fn stats(&self) -> &RuntimeStats {
+        self.engine.stats()
     }
 }
 
@@ -271,6 +356,49 @@ mod tests {
             slow > fast,
             "Centec ({slow}) must accumulate more CPU than Mellanox ({fast})"
         );
+    }
+
+    #[test]
+    fn faulty_sim_report_matches_clean_sim() {
+        let (net, mut clean) = waypoint_sim();
+        clean.burst();
+        let reference = clean.report().canonical_bytes();
+        let inv = tulkun_core::spec::Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress(["S"])
+            .behavior(tulkun_core::spec::Behavior::exist(
+                tulkun_core::count::CountExpr::ge(1),
+                tulkun_core::spec::PathExpr::parse("S .* W .* D")
+                    .unwrap()
+                    .loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        let mut faulty = FaultyDvmSim::new(
+            &net,
+            &cp,
+            &inv.packet_space,
+            SimConfig::default(),
+            FaultProfile::loss(3, 0.10),
+        );
+        faulty.burst();
+        assert_eq!(
+            faulty.report().canonical_bytes(),
+            reference,
+            "10% loss must be invisible to the Report"
+        );
+        let f = faulty.stats().fault;
+        assert!(f.drops > 0, "loss profile must drop something");
+        assert!(f.retransmits >= f.drops);
+        assert!(f.acks > 0);
+
+        // A crash mid-run over the faulty channel also recovers.
+        let w = net.topology.device("W").unwrap();
+        faulty.crash_restart(w);
+        assert_eq!(faulty.report().canonical_bytes(), reference);
+        assert_eq!(faulty.stats().crashes_recovered, 1);
     }
 
     #[test]

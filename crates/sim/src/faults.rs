@@ -1,0 +1,350 @@
+//! Fault injection for the management network.
+//!
+//! The paper's prototype runs DVM over TCP, so its correctness under a
+//! lossy management network is inherited from the kernel. This module
+//! makes that assumption testable: [`FaultyTransport`] decorates any
+//! [`Transport`] with seeded drops, duplicates, reorders and delays
+//! (per a [`FaultProfile`]) and pairs the damage with the at-least-once
+//! machinery of [`tulkun_core::dvm::reliable`] — sequence numbers,
+//! acks, timeout-driven retransmission with exponential backoff, and
+//! in-order duplicate-suppressed release at the receiver.
+//!
+//! The decorated transport still satisfies the [`Transport`] contract
+//! the engine's quiescence rule needs: `recv` returns `None` only when
+//! nothing is in flight *and* every data envelope has been delivered
+//! exactly once and acknowledged. Termination under arbitrary loss
+//! rates is guaranteed by `FaultProfile::force_after_attempts`: after
+//! that many retransmissions an envelope bypasses the injector, and
+//! re-acks prompted by suppressed duplicates always bypass it.
+//!
+//! Everything is driven by one seeded ChaCha stream, so a run under
+//! faults is exactly reproducible — the property the `fault-matrix` CI
+//! stage builds on.
+
+use crate::runtime::Transport;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use tulkun_core::dvm::reliable::{Accepted, ReceiverLedger, SenderWindow};
+use tulkun_core::dvm::{Envelope, Payload};
+use tulkun_core::fault::{FaultProfile, FaultStats};
+use tulkun_netmodel::DeviceId;
+
+/// A [`Transport`] decorator that injects seeded message faults and
+/// recovers from them with at-least-once delivery.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    profile: FaultProfile,
+    rng: ChaCha8Rng,
+    sender: SenderWindow,
+    receiver: ReceiverLedger,
+    /// In-order envelopes released by the ledger, awaiting delivery.
+    ready: VecDeque<(u64, Envelope)>,
+    /// Copies stashed by reorder injection; flushed behind the next
+    /// send (or at the next idle point).
+    held: Vec<(u64, Envelope)>,
+    stats: FaultStats,
+    /// Latest substrate time observed (send or arrival).
+    now: u64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Decorates `inner` with the faults of `profile`.
+    pub fn new(inner: T, profile: FaultProfile) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            profile,
+            rng: ChaCha8Rng::seed_from_u64(profile.seed),
+            sender: SenderWindow::new(),
+            receiver: ReceiverLedger::new(),
+            ready: VecDeque::new(),
+            held: Vec::new(),
+            stats: FaultStats::default(),
+            now: 0,
+        }
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> FaultProfile {
+        self.profile
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Bernoulli roll that consumes no randomness at rate zero, so a
+    /// quiet profile leaves the ChaCha stream untouched.
+    fn roll(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else {
+            self.rng.gen_bool(p.min(1.0))
+        }
+    }
+
+    /// Pushes one (possibly duplicated/delayed/reordered) wire copy of
+    /// a sequenced envelope toward the inner transport.
+    fn inject_copies(&mut self, from: DeviceId, at: u64, env: &Envelope) {
+        let copies = if self.roll(self.profile.dup_rate) {
+            self.stats.dups += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut t = at;
+            if self.roll(self.profile.delay_rate) {
+                self.stats.delays += 1;
+                t += self.rng.gen_range(0..=self.profile.max_delay_ns);
+            }
+            if self.roll(self.profile.reorder_rate) {
+                self.stats.reorders += 1;
+                self.held.push((t, env.clone()));
+            } else {
+                self.inner.send(from, t, env.clone());
+            }
+        }
+    }
+
+    /// Emits an ack for `env` back to its sender, subject (unless
+    /// `forced`) to the same drop probability as data.
+    fn send_ack(&mut self, arrival: u64, env: &Envelope, forced: bool) {
+        if !forced && self.roll(self.profile.drop_rate) {
+            self.stats.ack_drops += 1;
+            return;
+        }
+        let ack = Envelope::data(env.to, env.from, Payload::Ack { of: env.seq });
+        self.stats.acks += 1;
+        self.stats.ack_bytes += ack.wire_bytes() as u64;
+        self.inner.send(env.to, arrival, ack);
+    }
+
+    /// Flushes reorder-stashed copies into the inner transport.
+    fn flush_held(&mut self) -> bool {
+        if self.held.is_empty() {
+            return false;
+        }
+        for (t, env) in std::mem::take(&mut self.held) {
+            let from = env.from;
+            self.inner.send(from, t, env);
+        }
+        true
+    }
+
+    /// Retransmits the unacked envelope whose timer fires next.
+    /// Retransmissions keep passing through the injector until the
+    /// forcing cap, after which they bypass it — the termination bound.
+    fn retransmit_due(&mut self) -> bool {
+        let Some((ch, seq)) = self.sender.earliest_due() else {
+            return false;
+        };
+        let fire = self
+            .sender
+            .deadline_of(ch, seq)
+            .unwrap_or(self.now)
+            .max(self.now);
+        self.now = fire;
+        let Some((env, attempts)) = self.sender.bump(
+            ch,
+            seq,
+            fire,
+            self.profile.rto_ns,
+            self.profile.max_backoff_exp,
+        ) else {
+            return false;
+        };
+        self.stats.retransmits += 1;
+        self.stats.retransmit_bytes += env.wire_bytes() as u64;
+        let from = env.from;
+        if attempts >= self.profile.force_after_attempts {
+            self.stats.forced += 1;
+            self.inner.send(from, fire, env);
+        } else {
+            self.inject_copies(from, fire, &env);
+        }
+        true
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    /// Sequences the envelope, registers it for retransmission, then
+    /// exposes it to the injector. A stash from an earlier reorder roll
+    /// is flushed *behind* this send, producing a genuine inversion.
+    fn send(&mut self, from: DeviceId, at: u64, env: Envelope) {
+        self.now = self.now.max(at);
+        let stash = std::mem::take(&mut self.held);
+        let mut env = env;
+        self.sender.assign(&mut env, at, self.profile.rto_ns);
+        if self.roll(self.profile.drop_rate) {
+            self.stats.drops += 1;
+        } else {
+            self.inject_copies(from, at, &env);
+        }
+        for (t, held) in stash {
+            let hfrom = held.from;
+            self.inner.send(hfrom, t, held);
+        }
+    }
+
+    /// Delivers the next in-order data envelope; acks, duplicates and
+    /// retransmissions are consumed here and never reach the engine.
+    /// Returns `None` only at true quiescence: inner transport dry, no
+    /// stashed copies, every data envelope acknowledged.
+    fn recv(&mut self) -> Option<(u64, Envelope)> {
+        loop {
+            if let Some(ready) = self.ready.pop_front() {
+                return Some(ready);
+            }
+            match self.inner.recv() {
+                Some((t, env)) => {
+                    self.now = self.now.max(t);
+                    if let Payload::Ack { of } = env.payload {
+                        // An ack from `env.from` acknowledges data we
+                        // sent on the (env.to, env.from) channel.
+                        self.sender.ack((env.to, env.from), of);
+                        continue;
+                    }
+                    match self.receiver.accept(t, env.clone()) {
+                        Accepted::Ready(released) => {
+                            self.send_ack(t, &env, false);
+                            self.ready.extend(released);
+                        }
+                        Accepted::Buffered => {
+                            self.send_ack(t, &env, false);
+                        }
+                        Accepted::Duplicate => {
+                            // The sender is retransmitting: our ack was
+                            // lost. Re-ack reliably so it can stop.
+                            self.stats.dup_suppressed += 1;
+                            self.send_ack(t, &env, true);
+                        }
+                    }
+                }
+                None => {
+                    if self.flush_held() {
+                        continue;
+                    }
+                    if self.retransmit_due() {
+                        continue;
+                    }
+                    debug_assert!(self.sender.is_empty(), "quiescent with unacked data");
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        Some(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::FifoTransport;
+    use tulkun_core::dpvnet::NodeId;
+    use tulkun_core::dvm::EdgeRef;
+
+    fn data(from: u32, to: u32) -> Envelope {
+        let m = tulkun_bdd::BddManager::new(1);
+        Envelope::data(
+            DeviceId(from),
+            DeviceId(to),
+            Payload::Subscribe {
+                edge: EdgeRef {
+                    up: NodeId(0),
+                    down: NodeId(1),
+                },
+                space: tulkun_bdd::serial::export(&m, m.verum()),
+            },
+        )
+    }
+
+    /// Drains every deliverable envelope, asserting termination.
+    fn drain<T: Transport>(t: &mut FaultyTransport<T>) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        for _ in 0..100_000 {
+            match t.recv() {
+                Some((_, env)) => out.push(env),
+                None => return out,
+            }
+        }
+        panic!("transport did not quiesce");
+    }
+
+    #[test]
+    fn quiet_profile_is_transparent_fifo() {
+        let mut t = FaultyTransport::new(FifoTransport::default(), FaultProfile::none(1));
+        for _ in 0..5 {
+            t.send(DeviceId(1), 0, data(1, 2));
+        }
+        let got = drain(&mut t);
+        assert_eq!(got.len(), 5);
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        let st = t.stats();
+        assert_eq!(st.drops + st.dups + st.reorders + st.delays, 0);
+        assert_eq!(st.retransmits, 0);
+    }
+
+    #[test]
+    fn heavy_loss_still_delivers_everything_in_order() {
+        let mut t = FaultyTransport::new(FifoTransport::default(), FaultProfile::loss(42, 0.5));
+        let n = 200;
+        for _ in 0..n {
+            t.send(DeviceId(1), 0, data(1, 2));
+        }
+        let got = drain(&mut t);
+        assert_eq!(got.len(), n);
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (1..=n as u64).collect::<Vec<_>>()
+        );
+        let st = t.stats();
+        assert!(st.drops > 0, "50% loss must drop something");
+        assert!(st.retransmits >= st.drops, "every drop needs a retransmit");
+        assert!(t.fault_stats().is_some());
+    }
+
+    #[test]
+    fn chaos_profile_delivers_exactly_once_per_channel_in_order() {
+        let mut t = FaultyTransport::new(FifoTransport::default(), FaultProfile::chaos(7));
+        let n = 100;
+        for i in 0..n {
+            t.send(DeviceId(1), i, data(1, 2));
+            t.send(DeviceId(3), i, data(3, 2));
+        }
+        let got = drain(&mut t);
+        assert_eq!(got.len(), 2 * n as usize);
+        for from in [1u32, 3] {
+            let seqs: Vec<u64> = got
+                .iter()
+                .filter(|e| e.from == DeviceId(from))
+                .map(|e| e.seq)
+                .collect();
+            assert_eq!(seqs, (1..=n).collect::<Vec<_>>(), "channel {from} order");
+        }
+        let st = t.stats();
+        assert!(st.dups + st.reorders + st.delays > 0, "chaos must act");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed| {
+            let mut t = FaultyTransport::new(FifoTransport::default(), FaultProfile::chaos(seed));
+            for i in 0..50 {
+                t.send(DeviceId(1), i, data(1, 2));
+            }
+            drain(&mut t);
+            let s = t.stats();
+            (s.drops, s.dups, s.reorders, s.delays, s.retransmits)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds should diverge");
+    }
+}

@@ -28,6 +28,14 @@
 //! * [`localsim`] — `equal`-operator local contracts (communication-
 //!   free; time = slowest device), instrumented through the same
 //!   runtime clock and stats.
+//! * [`faults`] — the lossy-management-network decorator
+//!   ([`faults::FaultyTransport`]): seeded drops, duplicates, reorders
+//!   and delays per a `FaultProfile`, recovered by the at-least-once
+//!   reliability layer (`tulkun_core::dvm::reliable`) so Reports stay
+//!   byte-identical under loss; [`event::FaultyDvmSim`] is the event
+//!   simulator over this channel, and both engines recover injected
+//!   device crash/restarts (`Engine::crash_restart`,
+//!   `ThreadedEngine::crash_restart`).
 //!
 //! [`Transport`]: runtime::Transport
 //! [`Clock`]: runtime::Clock
@@ -38,12 +46,14 @@
 pub mod central;
 pub mod distributed;
 pub mod event;
+pub mod faults;
 pub mod localsim;
 pub mod models;
 pub mod runtime;
 
 pub use central::{central_burst, central_update, CentralRun};
 pub use distributed::DistributedRun;
-pub use event::{DeviceStats, DvmSim, SimConfig, SimResult};
+pub use event::{DeviceStats, DvmSim, FaultyDvmSim, SimConfig, SimResult};
+pub use faults::FaultyTransport;
 pub use models::SwitchModel;
 pub use runtime::{Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine};

@@ -5,7 +5,10 @@
 //! Communication-free means there is no transport to drive; the
 //! substrate still runs on the runtime layer — a [`VirtualClock`]
 //! charges each device's measured check time and a [`RuntimeStats`]
-//! carries the per-device counters the harnesses read.
+//! carries the per-device counters the harnesses read. It is also the
+//! one substrate the fault-injection layer ([`crate::faults`]) cannot
+//! touch: with no messages there is nothing to drop, so its
+//! `RuntimeStats::fault` counters stay zero by construction.
 
 use crate::models::SwitchModel;
 use crate::runtime::{Clock, LecCache, RuntimeStats, VirtualClock};

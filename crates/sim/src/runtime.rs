@@ -41,6 +41,7 @@ use tulkun_bdd::serial::PortablePred;
 use tulkun_core::count::Counts;
 use tulkun_core::dpvnet::NodeId;
 use tulkun_core::dvm::{DeviceVerifier, Envelope, VerifierConfig};
+use tulkun_core::fault::FaultStats;
 use tulkun_core::planner::{CountingPlan, NodeTask};
 use tulkun_core::spec::PacketSpace;
 use tulkun_core::verify::{self, Report};
@@ -95,6 +96,11 @@ pub struct RuntimeStats {
     pub messages: usize,
     /// Total bytes on the wire.
     pub bytes: u64,
+    /// Reliability-layer counters (drops, retransmits, acks, …) when the
+    /// run used a fault-injecting transport; all-zero otherwise.
+    pub fault: FaultStats,
+    /// Device crash/restart events recovered without aborting the run.
+    pub crashes_recovered: u64,
 }
 
 impl RuntimeStats {
@@ -283,6 +289,12 @@ pub trait Transport {
     /// The next envelope to deliver, with its arrival time, or `None`
     /// when no message is in flight (quiescence).
     fn recv(&mut self) -> Option<(u64, Envelope)>;
+    /// Reliability-layer counters, for transports that inject faults
+    /// (see `FaultyTransport` in the sim crate). Perfect transports
+    /// report `None`.
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 }
 
 /// Delivery through the topology's links: each envelope arrives after
@@ -610,6 +622,9 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         }
         self.watermark = last_finish;
         out.completion_ns = last_finish;
+        if let Some(f) = self.transport.fault_stats() {
+            self.stats.fault = f;
+        }
         out
     }
 
@@ -684,6 +699,51 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         r
     }
 
+    /// Crashes and restarts one device's verification agent (§8: the
+    /// agent is a process beside the FIB agent — it can die without the
+    /// switch losing its FIB). The crashed verifier loses all soft
+    /// counting state and recounts from scratch; every *other* verifier
+    /// replays its durable protocol state toward the restarted device
+    /// ([`DeviceVerifier::replay_for_restart`]), and the exchange is
+    /// driven to quiescence — the run recovers instead of aborting, and
+    /// the Report re-converges to the pre-crash fixpoint.
+    pub fn crash_restart(&mut self, dev: DeviceId) -> RunOutcome {
+        self.reset_time();
+        {
+            let Some(v) = self.verifiers.get_mut(&dev) else {
+                return RunOutcome::default();
+            };
+            let wall = Instant::now();
+            let replies = v.reboot();
+            let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
+            self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
+            for env in replies {
+                self.transport.send(dev, span.finish, env);
+            }
+        }
+        let others: Vec<DeviceId> = self
+            .verifiers
+            .keys()
+            .copied()
+            .filter(|d| *d != dev)
+            .collect();
+        for nb in others {
+            let v = self.verifiers.get_mut(&nb).unwrap();
+            let wall = Instant::now();
+            let replays = v.replay_for_restart(dev);
+            if replays.is_empty() {
+                continue;
+            }
+            let span = self.clock.charge(nb, 0, wall.elapsed().as_nanos() as u64);
+            self.stats.per_device.entry(nb).or_default().busy_ns += span.cpu_ns;
+            for env in replays {
+                self.transport.send(nb, span.finish, env);
+            }
+        }
+        self.stats.crashes_recovered += 1;
+        self.run()
+    }
+
     fn reset_time(&mut self) {
         self.watermark = 0;
         self.clock.reset();
@@ -731,6 +791,11 @@ enum DeviceMsg {
     Dvm(Envelope),
     FibUpdate(RuleUpdate),
     Collect(Vec<NodeId>, mpsc::Sender<NodeResults>),
+    /// Crash + restart this device's verification agent: drop all soft
+    /// counting state and recount from scratch.
+    Reboot,
+    /// Replay durable protocol state toward a freshly restarted device.
+    ReplayFor(DeviceId),
     #[cfg(test)]
     Crash,
     Shutdown,
@@ -876,6 +941,20 @@ impl ThreadedEngine {
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
+                            DeviceMsg::Reboot => {
+                                let wall = Instant::now();
+                                let out = verifier.reboot();
+                                stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
+                                route(&peers, out, &inflight);
+                                inflight.release();
+                            }
+                            DeviceMsg::ReplayFor(d) => {
+                                let wall = Instant::now();
+                                let out = verifier.replay_for_restart(d);
+                                stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
+                                route(&peers, out, &inflight);
+                                inflight.release();
+                            }
                             DeviceMsg::Collect(nodes, reply) => {
                                 let results = nodes
                                     .into_iter()
@@ -917,6 +996,35 @@ impl ThreadedEngine {
                 self.inflight.release();
             }
         }
+    }
+
+    /// Crashes and restarts one device's verification agent, then has
+    /// every other device replay its durable protocol state toward it
+    /// (the concurrent analogue of [`Engine::crash_restart`]). The
+    /// `Reboot` is enqueued on the crashed device's channel *before*
+    /// any neighbor is told to replay, so per-channel FIFO guarantees
+    /// the replayed messages land on the fresh state. Call
+    /// [`ThreadedEngine::wait_quiescent`] afterwards to let the
+    /// recovery exchange drain.
+    pub fn crash_restart(&mut self, dev: DeviceId) {
+        let Some(tx) = self.senders.get(&dev) else {
+            return;
+        };
+        self.inflight.add(1);
+        if tx.send(DeviceMsg::Reboot).is_err() {
+            self.inflight.release();
+            return;
+        }
+        for (nb, tx) in &self.senders {
+            if *nb == dev {
+                continue;
+            }
+            self.inflight.add(1);
+            if tx.send(DeviceMsg::ReplayFor(dev)).is_err() {
+                self.inflight.release();
+            }
+        }
+        self.init_stats.crashes_recovered += 1;
     }
 
     #[cfg(test)]
@@ -1119,12 +1227,73 @@ mod tests {
         let mut cache = LecCache::new();
         let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
         engine.wait_quiescent();
+        let participants = engine.handles.len();
+        assert!(participants > 1, "test needs surviving threads");
         let dev = net.topology.device("W").unwrap();
         engine.inject_crash(dev);
+        // shutdown() drains every handle: returning at all means the
+        // surviving threads joined; the error must name exactly the
+        // crashed device and nothing else.
         let err = engine.shutdown().expect_err("panic must be surfaced");
-        assert_eq!(err.len(), 1);
+        assert_eq!(
+            err.len(),
+            1,
+            "only the crashed device may panic; the other {} threads must join cleanly",
+            participants - 1
+        );
         assert_eq!(err[0].device, dev);
         assert!(err[0].message.contains("injected device-task crash"));
+    }
+
+    #[test]
+    fn engine_crash_restart_reconverges_to_same_report() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let mut cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &mut cache,
+            LatencyTransport::new(net.topology.clone(), 10_000),
+            VirtualClock::new(SwitchModel::MELLANOX),
+        );
+        engine.burst();
+        let before = engine.report().canonical_bytes();
+        // Crash every participating device in turn; each recovery must
+        // land back on the identical Report.
+        let devs: Vec<DeviceId> = engine.verifiers.keys().copied().collect();
+        for dev in devs {
+            let r = engine.crash_restart(dev);
+            assert!(r.messages > 0, "recovery exchanges messages");
+            assert_eq!(
+                engine.report().canonical_bytes(),
+                before,
+                "crash of {dev:?} must recover the pre-crash Report"
+            );
+        }
+        assert_eq!(
+            engine.stats().crashes_recovered,
+            engine.verifiers.len() as u64
+        );
+    }
+
+    #[test]
+    fn threaded_engine_crash_restart_reconverges() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let mut cache = LecCache::new();
+        let mut engine =
+            ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
+        engine.wait_quiescent();
+        let before = engine.report().canonical_bytes();
+        let dev = net.topology.device("W").unwrap();
+        engine.crash_restart(dev);
+        engine.wait_quiescent();
+        assert_eq!(engine.report().canonical_bytes(), before);
+        let stats = engine.shutdown().expect("no panics");
+        assert_eq!(stats.crashes_recovered, 1);
     }
 
     #[test]

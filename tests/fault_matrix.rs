@@ -1,0 +1,162 @@
+//! The `ci.sh fault-matrix` gate: substrate equivalence under injected
+//! message faults.
+//!
+//! With a fixed fault seed, the event simulator over a lossy management
+//! network ([`tulkun::sim::FaultyDvmSim`]) must produce Reports
+//! *byte-identical* to the perfect-channel reference — at every loss
+//! rate in {0%, 1%, 10%}, for every seed in the matrix, before and
+//! after the Figure 2a repair update. Retransmission makes loss
+//! invisible to results; these tests fail on any divergence.
+//!
+//! Run via `./ci.sh fault-matrix` (a release-mode invocation of this
+//! file); the same tests also run in the plain workspace test pass.
+
+use tulkun::core::fault::FaultProfile;
+use tulkun::core::planner::Planner;
+use tulkun::netmodel::fib::MatchSpec;
+use tulkun::netmodel::network::RuleUpdate;
+use tulkun::prelude::*;
+use tulkun::sim::{DvmSim, FaultyDvmSim, SimConfig};
+
+/// The fixed CI seed matrix.
+const SEEDS: [u64; 4] = [1, 7, 23, 101];
+/// The loss rates of the acceptance criterion.
+const LOSS_RATES: [f64; 3] = [0.0, 0.01, 0.10];
+
+fn fig2_setup() -> (Network, Invariant, RuleUpdate) {
+    let net = tulkun::datasets::fig2a_network();
+    let inv = Invariant::parse("(dstIP=10.0.0.0/23, [S], (exist >= 1, /S .* W .* D/ loop_free))")
+        .unwrap();
+    let b = net.topology.expect_device("B");
+    let w = net.topology.expect_device("W");
+    let update = RuleUpdate::Insert {
+        device: b,
+        rule: Rule {
+            priority: 50,
+            matches: MatchSpec::dst("10.0.1.0/24".parse().unwrap()),
+            action: Action::fwd(w),
+        },
+    };
+    (net, inv, update)
+}
+
+/// Reference Reports (burst, post-update) from the perfect-channel
+/// event simulator.
+fn reference_reports(net: &Network, inv: &Invariant, update: &RuleUpdate) -> (Vec<u8>, Vec<u8>) {
+    let plan = Planner::new(&net.topology).plan(inv).unwrap();
+    let cp = plan.counting().unwrap().clone();
+    let mut sim = DvmSim::new(net, &cp, &inv.packet_space, SimConfig::default());
+    sim.burst();
+    let before = sim.report().canonical_bytes();
+    sim.incremental(update);
+    let after = sim.report().canonical_bytes();
+    assert_ne!(before, after, "repair update must change the verdict");
+    (before, after)
+}
+
+#[test]
+fn seed_matrix_loss_rates_leave_reports_byte_identical() {
+    let (net, inv, update) = fig2_setup();
+    let (ref_before, ref_after) = reference_reports(&net, &inv, &update);
+    let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+    let cp = plan.counting().unwrap().clone();
+
+    let mut high_loss_drops = 0u64;
+    for seed in SEEDS {
+        for rate in LOSS_RATES {
+            let profile = FaultProfile::loss(seed, rate);
+            let mut sim =
+                FaultyDvmSim::new(&net, &cp, &inv.packet_space, SimConfig::default(), profile);
+            sim.burst();
+            assert_eq!(
+                sim.report().canonical_bytes(),
+                ref_before,
+                "burst Report diverged (seed {seed}, loss {rate})"
+            );
+            sim.incremental(&update);
+            assert_eq!(
+                sim.report().canonical_bytes(),
+                ref_after,
+                "post-update Report diverged (seed {seed}, loss {rate})"
+            );
+            let f = sim.stats().fault;
+            if rate == 0.0 {
+                assert_eq!(f.drops, 0, "0% loss must drop nothing (seed {seed})");
+                assert_eq!(f.retransmits, 0, "0% loss needs no retransmits");
+            } else {
+                assert!(
+                    f.retransmits >= f.drops,
+                    "every dropped envelope needs at least one retransmit"
+                );
+                if rate >= 0.10 {
+                    high_loss_drops += f.drops;
+                }
+            }
+        }
+    }
+    // The workload is small, so one unlucky seed may drop nothing —
+    // but across the whole matrix, 10% loss must actually bite.
+    assert!(
+        high_loss_drops > 0,
+        "10% loss dropped nothing across the entire seed matrix"
+    );
+}
+
+#[test]
+fn chaos_profile_reports_stay_byte_identical() {
+    // Drops + duplicates + reorders + delays together, same matrix
+    // seeds: the reliability layer must mask all four fault kinds.
+    let (net, inv, update) = fig2_setup();
+    let (ref_before, ref_after) = reference_reports(&net, &inv, &update);
+    let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+    let cp = plan.counting().unwrap().clone();
+
+    for seed in SEEDS {
+        let profile = FaultProfile::chaos(seed);
+        let mut sim =
+            FaultyDvmSim::new(&net, &cp, &inv.packet_space, SimConfig::default(), profile);
+        sim.burst();
+        assert_eq!(
+            sim.report().canonical_bytes(),
+            ref_before,
+            "chaos burst Report diverged (seed {seed})"
+        );
+        sim.incremental(&update);
+        assert_eq!(
+            sim.report().canonical_bytes(),
+            ref_after,
+            "chaos post-update Report diverged (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn crash_restart_under_loss_recovers_the_report() {
+    // Device crash/restart on top of a lossy channel: the restarted
+    // agent recounts from scratch, neighbors replay their durable
+    // state, and the Report must land back on the reference bytes.
+    let (net, inv, update) = fig2_setup();
+    let (_, ref_after) = reference_reports(&net, &inv, &update);
+    let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+    let cp = plan.counting().unwrap().clone();
+
+    let w = net.topology.expect_device("W");
+    let s = net.topology.expect_device("S");
+    for seed in SEEDS {
+        let profile = FaultProfile::loss(seed, 0.05);
+        let mut sim =
+            FaultyDvmSim::new(&net, &cp, &inv.packet_space, SimConfig::default(), profile);
+        sim.burst();
+        sim.incremental(&update);
+        for dev in [w, s] {
+            sim.crash_restart(dev);
+            assert_eq!(
+                sim.report().canonical_bytes(),
+                ref_after,
+                "crash of {:?} under loss diverged (seed {seed})",
+                net.topology.name(dev)
+            );
+        }
+        assert_eq!(sim.stats().crashes_recovered, 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! The bare-`cargo test` footgun guard.
+//!
+//! `cargo test` without `--workspace` only runs the facade package —
+//! historically a silent all-green that covered none of the member
+//! crates. This test closes the gap: when the facade's test suite runs
+//! *outside* the workspace-wide invocation, it spawns the member-crate
+//! test run itself (`cargo test --workspace --exclude tulkun`), so a
+//! naive `cargo test` still exercises every crate and fails if any of
+//! them does.
+//!
+//! The `TULKUN_WORKSPACE_TESTS` environment variable marks an outer
+//! workspace run (`ci.sh test` sets it); in that case the guard is a
+//! no-op so member tests don't run twice.
+
+use std::process::Command;
+
+#[test]
+fn bare_cargo_test_covers_the_workspace() {
+    if std::env::var_os("TULKUN_WORKSPACE_TESTS").is_some() {
+        // Already inside `cargo test --workspace` (or ci.sh): the
+        // member crates run in this same invocation.
+        return;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let status = Command::new(cargo)
+        .args([
+            "test",
+            "-q",
+            "--workspace",
+            "--exclude",
+            "tulkun",
+            "--manifest-path",
+            manifest,
+        ])
+        .env("TULKUN_WORKSPACE_TESTS", "1")
+        .status()
+        .expect("spawning the workspace test run");
+    assert!(
+        status.success(),
+        "member-crate tests failed. A bare `cargo test` only runs the \
+         facade package, so this guard ran the rest of the workspace for \
+         you — rerun `cargo test --workspace` (or `./ci.sh test`) to see \
+         the failure directly."
+    );
+}
