@@ -45,14 +45,15 @@ stage_fault_matrix() {
 
 stage_bench_smoke() {
     cargo run --release -p tulkun-bench --bin ablation -- \
-        --scale tiny --datasets INet2,AT1-2
+        --scale tiny --datasets INet2,AT1-2 --updates 48
     cargo run --release -p tulkun-bench --bin check_figures -- \
         ablation_reduction \
         ablation_suffix_merge \
         ablation_lec_sharing \
         ablation_scene_reuse \
         ablation_parallel_init \
-        ablation_fault_overhead
+        ablation_fault_overhead \
+        ablation_burst_updates
 }
 
 stage_doc_check() {

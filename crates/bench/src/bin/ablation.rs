@@ -36,6 +36,61 @@ fn main() {
     ablate_scene_reuse(&cli);
     ablate_parallel_init(&cli);
     ablate_fault_overhead(&cli);
+    ablate_burst_updates(&cli);
+}
+
+/// Burst-update pipeline: replaying a churn trace rule-by-rule vs as
+/// coalesced per-device batches — wire cost and verification time per
+/// burst size, with a report-equality check against the per-rule run.
+fn ablate_burst_updates(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_burst_updates",
+        "Burst updates: per-rule vs coalesced batch replay (seed 7)",
+        &[
+            "dataset",
+            "burst",
+            "batches",
+            "messages",
+            "bytes",
+            "verify time",
+            "same report",
+        ],
+    );
+    for name in ["INet2", "B4-13"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap();
+
+        let trace = tulkun_bench::churn_trace(&ds.network, cli.updates.min(96), 7);
+        let mut reference = None;
+        for burst in [1usize, 4, 16, 64] {
+            let r = tulkun_bench::replay_trace(&ds.network, cp, &inv.packet_space, &trace, burst);
+            let same = match &reference {
+                None => {
+                    reference = Some(r.report.clone());
+                    true
+                }
+                Some(reference) => *reference == r.report,
+            };
+            t.row(vec![
+                name.into(),
+                burst.to_string(),
+                r.batches.to_string(),
+                r.messages.to_string(),
+                r.bytes.to_string(),
+                fmt_ns(r.completion_ns),
+                same.to_string(),
+            ]);
+        }
+    }
+    t.finish();
 }
 
 /// Runtime-layer `parallel_init`: wall-clock burst init (verifier
@@ -282,7 +337,7 @@ fn ablate_lec_sharing(cli: &Cli) {
 
         let run = |share: bool| {
             let t0 = Instant::now();
-            let mut cache = LecCache::new();
+            let cache = LecCache::new();
             for (plan, inv) in &plans {
                 let cp = plan.counting().unwrap();
                 if share {
@@ -291,7 +346,7 @@ fn ablate_lec_sharing(cli: &Cli) {
                         cp,
                         &inv.packet_space,
                         SimConfig::default(),
-                        &mut cache,
+                        &cache,
                     );
                 } else {
                     let _ = DvmSim::new(&ds.network, cp, &inv.packet_space, SimConfig::default());

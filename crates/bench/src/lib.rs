@@ -7,9 +7,11 @@
 //! written as JSON under `target/figures/` so EXPERIMENTS.md can be
 //! regenerated mechanically.
 
+pub mod replay;
 pub mod report;
 pub mod workload;
 
+pub use replay::{churn_trace, replay_trace, ReplayOutcome};
 pub use report::FigureTable;
 pub use workload::{all_pair_workload, AllPairRun, TulkunAllPairs};
 

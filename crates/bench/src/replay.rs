@@ -1,0 +1,111 @@
+//! Update-trace replay: replays a deterministic churn trace
+//! ([`tulkun_datasets::rule_updates`]) against one destination's DVM
+//! session, either rule-by-rule or as coalesced per-device bursts, and
+//! reports the wire cost and verification time of each regime. The
+//! final [`Report`] must be byte-identical across burst sizes — the
+//! batched pipeline changes how much work is done, never the verdict.
+
+use tulkun_core::planner::CountingPlan;
+use tulkun_core::spec::PacketSpace;
+use tulkun_datasets::rule_updates;
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_sim::{DvmSim, SimConfig};
+
+/// Cost and verdict of one trace replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Rule updates replayed.
+    pub updates: usize,
+    /// Batches applied (== `updates` at burst size 1).
+    pub batches: usize,
+    /// Summed simulated verification time across batches.
+    pub completion_ns: u64,
+    /// DVM messages sent re-converging after the trace.
+    pub messages: usize,
+    /// DVM bytes on the wire re-converging after the trace.
+    pub bytes: u64,
+    /// Canonical bytes of the final report (burst-size independent).
+    pub report: Vec<u8>,
+}
+
+/// Replays `trace` in chunks of `burst` updates (each chunk applied as
+/// one coalesced [`tulkun_netmodel::UpdateBatch`]); `burst = 1` is the
+/// per-rule baseline.
+pub fn replay_trace(
+    net: &Network,
+    cp: &CountingPlan,
+    ps: &PacketSpace,
+    trace: &[RuleUpdate],
+    burst: usize,
+) -> ReplayOutcome {
+    assert!(burst > 0, "burst size must be positive");
+    let mut sim = DvmSim::new(net, cp, ps, SimConfig::default());
+    sim.burst();
+    let mut out = ReplayOutcome {
+        updates: trace.len(),
+        batches: 0,
+        completion_ns: 0,
+        messages: 0,
+        bytes: 0,
+        report: Vec::new(),
+    };
+    for chunk in trace.chunks(burst) {
+        let r = sim.apply_batch(chunk);
+        out.batches += 1;
+        out.completion_ns += r.completion_ns;
+        out.messages += r.messages;
+        out.bytes += r.bytes;
+    }
+    out.report = sim.report().canonical_bytes();
+    out
+}
+
+/// A deterministic churn trace for a dataset network (first announced
+/// destination's session replays it).
+pub fn churn_trace(net: &Network, n: usize, seed: u64) -> Vec<RuleUpdate> {
+    rule_updates(net, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_bench_testutil::*;
+
+    #[test]
+    fn burst_sizes_agree_on_the_verdict() {
+        let (net, cp, ps) = inet2_session();
+        let trace = churn_trace(&net, 24, 7);
+        let per_rule = replay_trace(&net, &cp, &ps, &trace, 1);
+        let batched = replay_trace(&net, &cp, &ps, &trace, 8);
+        assert_eq!(per_rule.updates, 24);
+        assert_eq!(per_rule.batches, 24);
+        assert_eq!(batched.batches, 3);
+        assert_eq!(
+            per_rule.report, batched.report,
+            "burst size must not change the verdict"
+        );
+        // Message counts depend on delivery order (the event sim
+        // schedules by measured CPU time), so only the verdict is
+        // asserted, not the wire counters.
+    }
+}
+
+#[cfg(test)]
+mod tulkun_bench_testutil {
+    use tulkun_core::planner::{CountingPlan, Planner};
+    use tulkun_core::spec::PacketSpace;
+    use tulkun_datasets::{by_name, Scale};
+    use tulkun_netmodel::network::Network;
+
+    /// One WAN destination's counting session on tiny INet2.
+    pub fn inet2_session() -> (Network, CountingPlan, PacketSpace) {
+        let ds = by_name("INet2", Scale::Tiny).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = crate::workload::wan_invariant(&ds.network, dst, &prefixes);
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        (ds.network.clone(), cp, inv.packet_space)
+    }
+}

@@ -133,7 +133,7 @@ fn build_per_dst(
     dst: DeviceId,
     prefixes: Vec<IpPrefix>,
     plan_ns: &mut u64,
-    lec_cache: &mut LecCache,
+    lec_cache: &LecCache,
 ) -> PerDst {
     let net = &ds.network;
     let planner = Planner::with_options(
@@ -191,12 +191,12 @@ impl TulkunAllPairs {
         keep: impl Fn(DeviceId) -> bool,
     ) -> TulkunAllPairs {
         let mut plan_ns = 0;
-        let mut lec_cache = LecCache::new();
+        let lec_cache = LecCache::new();
         let per_dst = destinations(&ds.network)
             .into_iter()
             .filter(|(d, _)| keep(*d))
             .map(|(dst, prefixes)| {
-                build_per_dst(ds, model, dst, prefixes, &mut plan_ns, &mut lec_cache)
+                build_per_dst(ds, model, dst, prefixes, &mut plan_ns, &lec_cache)
             })
             .collect();
         TulkunAllPairs { per_dst, plan_ns }
@@ -281,9 +281,9 @@ impl TulkunAllPairs {
     }
 
     /// Total current violations across destinations.
-    pub fn violations(&self) -> usize {
+    pub fn violations(&mut self) -> usize {
         self.per_dst
-            .iter()
+            .iter_mut()
             .map(|pd| match pd {
                 PerDst::Counting { sim, .. } => sim.report().violations.len(),
                 PerDst::Local { .. } => 0, // local checks report at check time
@@ -328,9 +328,9 @@ pub fn burst_streaming(ds: &Dataset, model: SwitchModel) -> (AllPairRun, u64) {
     let mut per_device_init: std::collections::BTreeMap<DeviceId, u64> = Default::default();
     let mut max_dst = 0u64;
     let mut plan_ns = 0u64;
-    let mut lec_cache = LecCache::new();
+    let lec_cache = LecCache::new();
     for (dst, prefixes) in destinations(&ds.network) {
-        let pd = build_per_dst(ds, model, dst, prefixes, &mut plan_ns, &mut lec_cache);
+        let pd = build_per_dst(ds, model, dst, prefixes, &mut plan_ns, &lec_cache);
         match pd {
             PerDst::Counting { mut sim, .. } => {
                 let r = sim.burst();

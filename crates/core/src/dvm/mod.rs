@@ -12,6 +12,6 @@ pub mod message;
 pub mod reliable;
 pub mod verifier;
 
-pub use message::{EdgeRef, Envelope, Payload};
+pub use message::{EdgeRef, Envelope, Outbox, Payload};
 pub use reliable::{Accepted, ReceiverLedger, SenderWindow};
-pub use verifier::{DestMode, DeviceVerifier, VerifierConfig, VerifierStats};
+pub use verifier::{DestMode, DeviceVerifier, VerifierBuilder, VerifierConfig, VerifierStats};

@@ -18,7 +18,7 @@
 
 use crate::count::{Counts, ReduceMode};
 use crate::dpvnet::NodeId;
-use crate::dvm::message::{EdgeRef, Envelope, Payload};
+use crate::dvm::message::{EdgeRef, Envelope, Outbox, Payload};
 use crate::planner::NodeTask;
 use std::collections::{BTreeMap, BTreeSet};
 use tulkun_bdd::serial::{self, PortablePred};
@@ -112,34 +112,63 @@ pub struct DeviceVerifier {
     pub stats: VerifierStats,
 }
 
-impl DeviceVerifier {
-    /// Creates a verifier for `dev` with the tasks the planner assigned
-    /// to it. `packet_space` is the invariant's packet space.
-    pub fn new(
-        dev: DeviceId,
-        layout: HeaderLayout,
-        fib: Fib,
-        tasks: Vec<NodeTask>,
-        packet_space: &PortablePred,
-        cfg: VerifierConfig,
-    ) -> Self {
-        Self::new_with_lecs(dev, layout, fib, tasks, packet_space, cfg, None)
+/// Builds a [`DeviceVerifier`]: mandatory device/FIB/packet-space
+/// context plus the optional parts (planner tasks, a pre-built LEC
+/// table, a destination-mode override).
+///
+/// One device's LEC table is shared by all its tasks across invariants
+/// (§8 — re-deriving it per invariant would be wasted work); seed it
+/// with [`VerifierBuilder::lecs`]. The caller must guarantee the
+/// exported table matches `fib`.
+pub struct VerifierBuilder<'a> {
+    dev: DeviceId,
+    layout: HeaderLayout,
+    fib: Fib,
+    packet_space: &'a PortablePred,
+    cfg: VerifierConfig,
+    tasks: Vec<NodeTask>,
+    lecs: Option<&'a [(PortablePred, Action)]>,
+}
+
+impl<'a> VerifierBuilder<'a> {
+    /// The counting tasks the planner assigned to this device.
+    pub fn tasks(mut self, tasks: Vec<NodeTask>) -> Self {
+        self.tasks = tasks;
+        self
     }
 
-    /// Like [`DeviceVerifier::new`], but optionally seeds the LEC table
-    /// from a previously exported one (one device's LEC table is shared
-    /// by all its tasks across invariants, §8 — re-deriving it per
-    /// invariant would be wasted work). The caller must guarantee the
-    /// exported table matches `fib`.
-    pub fn new_with_lecs(
-        dev: DeviceId,
-        layout: HeaderLayout,
-        fib: Fib,
-        tasks: Vec<NodeTask>,
-        packet_space: &PortablePred,
-        cfg: VerifierConfig,
-        lecs: Option<&[(PortablePred, Action)]>,
-    ) -> Self {
+    /// Seeds the LEC table from a previously exported one instead of
+    /// deriving it from the FIB.
+    pub fn lecs(mut self, lecs: &'a [(PortablePred, Action)]) -> Self {
+        self.lecs = Some(lecs);
+        self
+    }
+
+    /// Seeds the LEC table when a cached export is available; a `None`
+    /// falls back to deriving from the FIB.
+    pub fn maybe_lecs(mut self, lecs: Option<&'a [(PortablePred, Action)]>) -> Self {
+        self.lecs = lecs;
+        self
+    }
+
+    /// Overrides the destination-delivery semantics of the config.
+    pub fn dest_mode(mut self, mode: DestMode) -> Self {
+        self.cfg.dest_mode = mode;
+        self
+    }
+
+    /// Builds the verifier (computing the LEC table unless one was
+    /// provided).
+    pub fn build(self) -> DeviceVerifier {
+        let VerifierBuilder {
+            dev,
+            layout,
+            fib,
+            packet_space,
+            cfg,
+            tasks,
+            lecs,
+        } = self;
         let mut mgr = BddManager::new(layout.num_vars());
         let ps = serial::import(&mut mgr, packet_space).expect("packet space import");
         let dim = cfg.dim();
@@ -192,9 +221,32 @@ impl DeviceVerifier {
         }
         v
     }
+}
+
+impl DeviceVerifier {
+    /// Starts building a verifier for `dev`. `packet_space` is the
+    /// invariant's packet space; tasks, cached LECs and a dest-mode
+    /// override are supplied on the returned [`VerifierBuilder`].
+    pub fn builder(
+        dev: DeviceId,
+        layout: HeaderLayout,
+        fib: Fib,
+        packet_space: &PortablePred,
+        cfg: VerifierConfig,
+    ) -> VerifierBuilder<'_> {
+        VerifierBuilder {
+            dev,
+            layout,
+            fib,
+            packet_space,
+            cfg,
+            tasks: Vec::new(),
+            lecs: None,
+        }
+    }
 
     /// Exports the LEC table for reuse by another verifier of the same
-    /// device (see [`DeviceVerifier::new_with_lecs`]).
+    /// device (see [`VerifierBuilder::lecs`]).
     pub fn export_lecs(&self) -> Vec<(PortablePred, Action)> {
         self.lecs
             .iter()
@@ -258,22 +310,20 @@ impl DeviceVerifier {
     }
 
     /// Initialization (burst start): computes the LEC table and the
-    /// initial counting results; returns the initial UPDATE/SUBSCRIBE
-    /// messages (destination devices speak first — everyone else's
-    /// results stay at the implicit zero).
-    pub fn init(&mut self) -> Vec<Envelope> {
+    /// initial counting results; writes the initial UPDATE/SUBSCRIBE
+    /// messages into `out` (destination devices speak first — everyone
+    /// else's results stay at the implicit zero).
+    pub fn init(&mut self, out: &mut dyn Outbox) {
         let ids = self.node_ids();
-        let mut out = Vec::new();
         for id in ids {
             let scope = self.nodes[&id].scope;
-            out.extend(self.emit_subscriptions(id, scope));
-            out.extend(self.recompute_node(id, scope));
+            self.emit_subscriptions(id, scope, out);
+            self.recompute_node(id, scope, out);
         }
-        out
     }
 
-    /// Handles one incoming DVM message.
-    pub fn handle(&mut self, env: &Envelope) -> Vec<Envelope> {
+    /// Handles one incoming DVM message, writing any responses to `out`.
+    pub fn handle(&mut self, env: &Envelope, out: &mut dyn Outbox) {
         assert_eq!(env.to, self.dev, "message routed to the wrong device");
         match &env.payload {
             Payload::Update {
@@ -282,15 +332,15 @@ impl DeviceVerifier {
                 results,
             } => {
                 self.stats.updates_processed += 1;
-                self.handle_update(*edge, withdrawn, results)
+                self.handle_update(*edge, withdrawn, results, out);
             }
             Payload::Subscribe { edge, space } => {
                 self.stats.subscribes_processed += 1;
-                self.handle_subscribe(*edge, space)
+                self.handle_subscribe(*edge, space, out);
             }
             // Acks belong to the reliability layer; a verifier that sees
             // one (e.g. over a perfect transport) ignores it.
-            Payload::Ack { .. } => Vec::new(),
+            Payload::Ack { .. } => {}
         }
     }
 
@@ -299,11 +349,12 @@ impl DeviceVerifier {
         edge: EdgeRef,
         withdrawn: &[PortablePred],
         results: &[(PortablePred, Counts)],
-    ) -> Vec<Envelope> {
+        out: &mut dyn Outbox,
+    ) {
         let node = edge.up;
         let v = edge.down;
         if !self.nodes.contains_key(&node) {
-            return Vec::new(); // stale message after a plan change
+            return; // stale message after a plan change
         }
         // Step 1: update CIBIn(v).
         let mut w = self.mgr.falsum();
@@ -337,10 +388,10 @@ impl DeviceVerifier {
             .find(|(n, _)| *n == v)
             .map(|(_, d)| *d)
         else {
-            return Vec::new();
+            return;
         };
         let region = self.affected_region(node, vdev, w);
-        self.recompute_node(node, region)
+        self.recompute_node(node, region, out);
     }
 
     /// Upstream region affected by a change of downstream predicates `w`
@@ -369,16 +420,16 @@ impl DeviceVerifier {
         region
     }
 
-    fn handle_subscribe(&mut self, edge: EdgeRef, space: &PortablePred) -> Vec<Envelope> {
+    fn handle_subscribe(&mut self, edge: EdgeRef, space: &PortablePred, out: &mut dyn Outbox) {
         let node = edge.down;
         if !self.nodes.contains_key(&node) {
-            return Vec::new();
+            return;
         }
         let s = serial::import(&mut self.mgr, space).expect("subscribe import");
         let scope = self.nodes[&node].scope;
         let grow = self.mgr.diff(s, scope);
         if self.mgr.is_false(grow) {
-            return Vec::new();
+            return;
         }
         let zero = self.zero();
         {
@@ -401,33 +452,54 @@ impl DeviceVerifier {
                 .collect();
             self.nodes.get_mut(&node).unwrap().relevant = relevant;
         }
-        let mut out = self.emit_subscriptions(node, grow);
-        out.extend(self.recompute_node(node, grow));
-        out
+        self.emit_subscriptions(node, grow, out);
+        self.recompute_node(node, grow, out);
     }
 
-    /// Applies a FIB rule update (internal event, §5.2) and returns the
-    /// resulting messages. The LEC table is maintained *incrementally*:
-    /// only the updated rule's match region can change class, so the
-    /// table is re-derived inside that region and spliced in — the §5.1
-    /// "maintain a table of a minimal number of LECs" behaviour, without
-    /// a full rebuild.
-    pub fn handle_fib_update(&mut self, update: &RuleUpdate) -> Vec<Envelope> {
-        assert_eq!(update.device(), self.dev);
-        let matches = match update {
-            RuleUpdate::Insert { rule, .. } => {
-                self.fib.insert(rule.clone());
-                rule.matches
-            }
-            RuleUpdate::Remove {
-                priority, matches, ..
-            } => {
-                self.fib.remove(*priority, matches);
-                *matches
-            }
-        };
+    /// Applies one FIB rule update (internal event, §5.2), writing the
+    /// resulting messages to `out`. Single-update form of
+    /// [`DeviceVerifier::handle_fib_batch`].
+    pub fn handle_fib_update(&mut self, update: &RuleUpdate, out: &mut dyn Outbox) {
+        self.handle_fib_batch(std::slice::from_ref(update), out);
+    }
+
+    /// Applies a whole burst of FIB rule updates for this device with a
+    /// *single* LEC delta and one CIB recompute per affected node,
+    /// emitting one coalesced UPDATE per upstream edge instead of one
+    /// per rule. The LEC table is maintained *incrementally*: only the
+    /// updated rules' match regions can change class, so the table is
+    /// re-derived inside the union of those regions and spliced in — the
+    /// §5.1 "maintain a table of a minimal number of LECs" behaviour,
+    /// without a full rebuild.
+    ///
+    /// The batch leaves the verifier in exactly the state sequential
+    /// application would: the FIB mutations happen in order, and the LEC
+    /// splice derives the *final* classes inside the touched region.
+    pub fn handle_fib_batch(&mut self, updates: &[RuleUpdate], out: &mut dyn Outbox) {
+        if updates.is_empty() {
+            return;
+        }
+        // Apply every FIB mutation in order, unioning the touched match
+        // regions.
+        let mut m = self.mgr.falsum();
+        for update in updates {
+            assert_eq!(update.device(), self.dev);
+            let matches = match update {
+                RuleUpdate::Insert { rule, .. } => {
+                    self.fib.insert(rule.clone());
+                    rule.matches
+                }
+                RuleUpdate::Remove {
+                    priority, matches, ..
+                } => {
+                    self.fib.remove(*priority, matches);
+                    *matches
+                }
+            };
+            let mp = matches.to_pred(&mut self.mgr, &self.layout);
+            m = self.mgr.or(m, mp);
+        }
         self.stats.lec_rebuilds += 1;
-        let m = matches.to_pred(&mut self.mgr, &self.layout);
 
         // Old effective actions inside the region (for the changed-region
         // diff), keyed by action.
@@ -466,15 +538,13 @@ impl DeviceVerifier {
         }
         self.refresh_relevance();
         if self.mgr.is_false(changed) {
-            return Vec::new();
+            return;
         }
         let ids = self.node_ids();
-        let mut out = Vec::new();
         for id in ids {
-            out.extend(self.emit_subscriptions(id, changed));
-            out.extend(self.recompute_node(id, changed));
+            self.emit_subscriptions(id, changed, out);
+            self.recompute_node(id, changed, out);
         }
-        out
     }
 
     /// Swaps this device's tasks for a new fault-scene view (§6: after
@@ -483,8 +553,7 @@ impl DeviceVerifier {
     /// preserved — it still reflects what upstream neighbors believe, so
     /// diff-based UPDATEs stay correct — and `CIBIn` keeps entries for
     /// surviving downstream nodes.
-    pub fn set_tasks(&mut self, tasks: Vec<NodeTask>) -> Vec<Envelope> {
-        let mut out = Vec::new();
+    pub fn set_tasks(&mut self, tasks: Vec<NodeTask>, out: &mut dyn Outbox) {
         for task in tasks {
             assert_eq!(task.dev, self.dev);
             let node = task.node;
@@ -508,27 +577,25 @@ impl DeviceVerifier {
                 );
             }
             let scope = self.nodes[&node].scope;
-            out.extend(self.emit_subscriptions(node, scope));
-            out.extend(self.recompute_node(node, scope));
+            self.emit_subscriptions(node, scope, out);
+            self.recompute_node(node, scope, out);
         }
-        out
     }
 
     /// Marks the link to a neighbor device down/up and recounts (§6:
     /// predicates forwarded over a failed link count zero).
-    pub fn handle_link_event(&mut self, neighbor: DeviceId, up: bool) -> Vec<Envelope> {
+    pub fn handle_link_event(&mut self, neighbor: DeviceId, up: bool, out: &mut dyn Outbox) {
         let changed = if up {
             self.down_neighbors.remove(&neighbor)
         } else {
             self.down_neighbors.insert(neighbor)
         };
         if !changed {
-            return Vec::new();
+            return;
         }
         // Region: everything forwarded toward that neighbor (per node,
         // over its relevant classes only).
         let ids = self.node_ids();
-        let mut out = Vec::new();
         for id in ids {
             let mut region = self.mgr.falsum();
             for (pred, action) in self.relevant_lecs(id) {
@@ -536,9 +603,8 @@ impl DeviceVerifier {
                     region = self.mgr.or(region, pred);
                 }
             }
-            out.extend(self.recompute_node(id, region));
+            self.recompute_node(id, region, out);
         }
-        out
     }
 
     /// Simulates a device crash + restart of the verification agent:
@@ -553,7 +619,7 @@ impl DeviceVerifier {
     /// Recovery of the *inputs* (neighbors' last counting results and
     /// subscriptions) is driven by the runtime calling
     /// [`DeviceVerifier::replay_for_restart`] on each neighbor.
-    pub fn reboot(&mut self) -> Vec<Envelope> {
+    pub fn reboot(&mut self, out: &mut dyn Outbox) {
         let dim = self.cfg.dim();
         let ps = self.packet_space;
         for st in self.nodes.values_mut() {
@@ -564,7 +630,7 @@ impl DeviceVerifier {
             st.sent_subs.clear();
         }
         self.refresh_relevance();
-        self.init()
+        self.init(out);
     }
 
     /// Re-sends this device's durable protocol state toward a freshly
@@ -580,9 +646,8 @@ impl DeviceVerifier {
     ///
     /// Replays are plain DVM messages, so the protocol re-converges to
     /// the same fixpoint it held before the crash.
-    pub fn replay_for_restart(&mut self, restarted: DeviceId) -> Vec<Envelope> {
+    pub fn replay_for_restart(&mut self, restarted: DeviceId, out: &mut dyn Outbox) {
         let ids = self.node_ids();
-        let mut out = Vec::new();
         for node in ids {
             let st = &self.nodes[&node];
             let ups: Vec<NodeId> = st
@@ -638,34 +703,27 @@ impl DeviceVerifier {
                 out.push(env);
             }
         }
-        out
     }
 
-    /// Exports a node's current counting results.
-    pub fn node_result(&self, node: NodeId) -> Vec<(PortablePred, Counts)> {
-        self.nodes
-            .get(&node)
-            .map(|st| {
-                st.loc_cib
-                    .iter()
-                    .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
-                    .collect()
-            })
-            .unwrap_or_default()
-    }
-
-    /// Restricts a node's result to a packet set and returns the
-    /// distinct outcome sets intersecting it.
-    pub fn node_result_for(&mut self, node: NodeId, space: &PortablePred) -> Vec<Counts> {
-        let q = serial::import(&mut self.mgr, space).expect("space import");
+    /// Exports a node's current counting results, optionally restricted
+    /// to the entries intersecting a packet-space filter.
+    pub fn node_result(
+        &mut self,
+        node: NodeId,
+        space: Option<&PortablePred>,
+    ) -> Vec<(PortablePred, Counts)> {
+        let q = space.map(|s| serial::import(&mut self.mgr, s).expect("space import"));
         let Some(st) = self.nodes.get(&node) else {
             return Vec::new();
         };
-        let entries: Vec<(Pred, Counts)> = st.loc_cib.clone();
         let mut out = Vec::new();
-        for (p, c) in entries {
-            if self.mgr.intersects(p, q) {
-                out.push(c);
+        for (p, c) in st.loc_cib.iter() {
+            let keep = match q {
+                None => true,
+                Some(q) => self.mgr.intersects(*p, q),
+            };
+            if keep {
+                out.push((serial::export(&self.mgr, *p), c.clone()));
             }
         }
         out
@@ -707,13 +765,14 @@ impl DeviceVerifier {
         Counts::single(v)
     }
 
-    /// Recomputes `LocCIB` over `region` for one node and returns the
-    /// UPDATE messages for its upstream neighbors (steps 2–3 of §5.2).
-    fn recompute_node(&mut self, node: NodeId, region: Pred) -> Vec<Envelope> {
+    /// Recomputes `LocCIB` over `region` for one node and writes the
+    /// UPDATE messages for its upstream neighbors (steps 2–3 of §5.2)
+    /// to `out`.
+    fn recompute_node(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
         let scope = self.nodes[&node].scope;
         let r = self.mgr.and(region, scope);
         if self.mgr.is_false(r) {
-            return Vec::new();
+            return;
         }
         let new_entries = self.compute_entries(node, r);
 
@@ -746,7 +805,7 @@ impl DeviceVerifier {
             }
         }
         if self.mgr.is_false(changed) {
-            return Vec::new();
+            return;
         }
         // Update CIBOut over the changed region.
         let mut out_results: Vec<(Pred, Counts)> = Vec::new();
@@ -777,7 +836,6 @@ impl DeviceVerifier {
             .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
             .collect();
         let ups = self.nodes[&node].task.upstream.clone();
-        let mut msgs = Vec::with_capacity(ups.len());
         for (un, udev) in ups {
             let env = Envelope::data(
                 self.dev,
@@ -790,9 +848,8 @@ impl DeviceVerifier {
             );
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += env.wire_bytes() as u64;
-            msgs.push(env);
+            out.push(env);
         }
-        msgs
     }
 
     /// Computes fresh `(predicate, counts)` entries partitioning `r`
@@ -983,11 +1040,10 @@ impl DeviceVerifier {
     /// transformed space for rewriting classes, and any subscribed
     /// region beyond the invariant's packet space for plain forwarding
     /// (subscriptions propagate transitively toward destinations).
-    fn emit_subscriptions(&mut self, node: NodeId, region: Pred) -> Vec<Envelope> {
+    fn emit_subscriptions(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
         let lecs = self.relevant_lecs(node);
         let scope = self.nodes[&node].scope;
         let r = self.mgr.and(region, scope);
-        let mut out = Vec::new();
         for (lp, action) in &lecs {
             let Action::Forward {
                 next_hops, rewrite, ..
@@ -1041,6 +1097,5 @@ impl DeviceVerifier {
                 out.push(env);
             }
         }
-        out
     }
 }

@@ -324,8 +324,8 @@ pub fn verify_hierarchical(hp: &HierarchicalPlan) -> HierarchicalReport {
             let sub_entry = gs.dev_map[&t.entry];
             let sources: Vec<_> = plan_sources(&plan, sub_entry);
             for node in sources {
-                if let Some(v) = session.verifier(sub_entry) {
-                    for (pred, counts) in v.node_result(node) {
+                if let Some(v) = session.verifier_mut(sub_entry) {
+                    for (pred, counts) in v.node_result(node, None) {
                         if let Ok(p) = serial::import(&mut m, &pred) {
                             universes.push((p, counts));
                         }

@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, VecDeque};
 use tulkun_bdd::serial::{self, PortablePred};
 use tulkun_bdd::{BddManager, HeaderLayout};
 use tulkun_json::{Json, ToJson};
-use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::DeviceId;
 
 /// Why an invariant does not hold.
@@ -193,15 +193,16 @@ impl Session {
         let mut verifiers = BTreeMap::new();
         let mut queue = VecDeque::new();
         for (dev, tasks) in by_dev {
-            let mut v = DeviceVerifier::new(
+            let mut v = DeviceVerifier::builder(
                 dev,
                 net.layout,
                 net.fib(dev).clone(),
-                tasks,
                 &packet_space,
                 cfg.clone(),
-            );
-            queue.extend(v.init());
+            )
+            .tasks(tasks)
+            .build();
+            v.init(&mut queue);
             verifiers.insert(dev, v);
         }
         let escape_idx = cp.escape_idx();
@@ -225,6 +226,12 @@ impl Session {
         self.verifiers.get(&dev)
     }
 
+    /// Mutable access to a device's verifier (result export needs the
+    /// device's BDD manager).
+    pub fn verifier_mut(&mut self, dev: DeviceId) -> Option<&mut DeviceVerifier> {
+        self.verifiers.get_mut(&dev)
+    }
+
     /// Delivers queued messages until no messages are in flight.
     /// Returns the number processed.
     pub fn run_to_quiescence(&mut self) -> usize {
@@ -232,8 +239,7 @@ impl Session {
         while let Some(env) = self.queue.pop_front() {
             n += 1;
             if let Some(v) = self.verifiers.get_mut(&env.to) {
-                let out = v.handle(&env);
-                self.queue.extend(out);
+                v.handle(&env, &mut self.queue);
             }
         }
         self.messages_processed += n;
@@ -243,9 +249,18 @@ impl Session {
     /// Applies a rule update at its device and re-runs to quiescence.
     /// Returns the number of messages the update caused.
     pub fn apply_rule_update(&mut self, update: &RuleUpdate) -> usize {
-        if let Some(v) = self.verifiers.get_mut(&update.device()) {
-            let out = v.handle_fib_update(update);
-            self.queue.extend(out);
+        self.apply_batch(std::slice::from_ref(update))
+    }
+
+    /// Applies a burst of rule updates — one coalesced per-device batch
+    /// each — and re-runs to quiescence. Returns the number of messages
+    /// the burst caused.
+    pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> usize {
+        let batch: UpdateBatch = updates.iter().cloned().collect();
+        for (dev, ops) in batch.coalesced() {
+            if let Some(v) = self.verifiers.get_mut(&dev) {
+                v.handle_fib_batch(&ops, &mut self.queue);
+            }
         }
         self.run_to_quiescence()
     }
@@ -254,12 +269,10 @@ impl Session {
     /// endpoint devices and re-runs to quiescence.
     pub fn apply_link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> usize {
         if let Some(v) = self.verifiers.get_mut(&a) {
-            let out = v.handle_link_event(b, up);
-            self.queue.extend(out);
+            v.handle_link_event(b, up, &mut self.queue);
         }
         if let Some(v) = self.verifiers.get_mut(&b) {
-            let out = v.handle_link_event(a, up);
-            self.queue.extend(out);
+            v.handle_link_event(a, up, &mut self.queue);
         }
         self.run_to_quiescence()
     }
@@ -273,7 +286,7 @@ impl Session {
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 continue;
             };
-            for (pred, counts) in v.node_result(node) {
+            for (pred, counts) in v.node_result(node, None) {
                 let bad = counts
                     .iter()
                     .any(|u| !self.plan.formula.eval(u, self.formula_escape_idx));

@@ -59,26 +59,27 @@ fn run_with_mode(net: &Network, mode: DestMode) -> bool {
     let mut verifiers: std::collections::BTreeMap<_, _> = Default::default();
     let mut queue: std::collections::VecDeque<Envelope> = Default::default();
     for task in &cp.tasks {
-        let mut v = DeviceVerifier::new(
+        let mut v = DeviceVerifier::builder(
             task.dev,
             net.layout,
             net.fib(task.dev).clone(),
-            vec![task.clone()],
             &psp,
             cfg.clone(),
-        );
-        queue.extend(v.init());
+        )
+        .tasks(vec![task.clone()])
+        .build();
+        v.init(&mut queue);
         verifiers.insert(task.dev, v);
     }
     while let Some(env) = queue.pop_front() {
         if let Some(v) = verifiers.get_mut(&env.to) {
-            queue.extend(v.handle(&env));
+            v.handle(&env, &mut queue);
         }
     }
     evaluate_sources(cp, |dev, node| {
         verifiers
-            .get(&dev)
-            .map(|v| v.node_result(node))
+            .get_mut(&dev)
+            .map(|v| v.node_result(node, None))
             .unwrap_or_default()
     })
     .holds()

@@ -63,15 +63,16 @@ fn init_envelopes(net: &Network, plan: &tulkun_core::planner::Plan) -> Vec<Envel
     };
     let mut out = Vec::new();
     for task in &cp.tasks {
-        let mut v = DeviceVerifier::new(
+        let mut v = DeviceVerifier::builder(
             task.dev,
             net.layout,
             net.fib(task.dev).clone(),
-            vec![task.clone()],
             &psp,
             cfg.clone(),
-        );
-        out.extend(v.init());
+        )
+        .tasks(vec![task.clone()])
+        .build();
+        v.init(&mut out);
     }
     out
 }
@@ -194,7 +195,7 @@ fn reduction_min_is_on_the_wire() {
     // S's LocCIB for the source node holds the reduced [0] (not [0,1]).
     let cp = session.plan();
     let (sdev, snode) = cp.dpvnet.sources()[0];
-    let results = session.verifier(sdev).unwrap().node_result(snode);
+    let results = session.verifier_mut(sdev).unwrap().node_result(snode, None);
     assert_eq!(results.len(), 1);
     assert_eq!(results[0].1, Counts::scalars([0]));
     assert!(!session.report().holds());
@@ -240,9 +241,9 @@ fn loccib_partitions_scope() {
     {
         session.apply_rule_update(&up);
         for dev in [s, a, d] {
-            let v = session.verifier(dev).unwrap();
+            let v = session.verifier_mut(dev).unwrap();
             for node in v.node_ids() {
-                let entries = v.node_result(node);
+                let entries = v.node_result(node, None);
                 let mut m = BddManager::new(net.layout.num_vars());
                 let mut union = m.falsum();
                 let preds: Vec<_> = entries
@@ -297,33 +298,37 @@ fn set_tasks_keeps_upstream_consistent() {
     let mut verifiers: std::collections::BTreeMap<_, _> = Default::default();
     let mut queue: std::collections::VecDeque<Envelope> = Default::default();
     for task in &cp.tasks {
-        let mut v = DeviceVerifier::new(
+        let mut v = DeviceVerifier::builder(
             task.dev,
             net.layout,
             net.fib(task.dev).clone(),
-            vec![task.clone()],
             &psp,
             cfg.clone(),
-        );
-        queue.extend(v.init());
+        )
+        .tasks(vec![task.clone()])
+        .build();
+        v.init(&mut queue);
         verifiers.insert(task.dev, v);
     }
     while let Some(env) = queue.pop_front() {
         if let Some(v) = verifiers.get_mut(&env.to) {
-            queue.extend(v.handle(&env));
+            v.handle(&env, &mut queue);
         }
     }
     // Switch A's tasks.
     let new_a_tasks: Vec<_> = tasks.iter().filter(|t| t.dev == a).cloned().collect();
-    queue.extend(verifiers.get_mut(&a).unwrap().set_tasks(new_a_tasks));
+    verifiers
+        .get_mut(&a)
+        .unwrap()
+        .set_tasks(new_a_tasks, &mut queue);
     while let Some(env) = queue.pop_front() {
         if let Some(v) = verifiers.get_mut(&env.to) {
-            queue.extend(v.handle(&env));
+            v.handle(&env, &mut queue);
         }
     }
     // The source now sees count 0.
     let (sdev, snode) = cp.dpvnet.sources()[0];
-    let results = verifiers[&sdev].node_result(snode);
+    let results = verifiers.get_mut(&sdev).unwrap().node_result(snode, None);
     assert_eq!(results.len(), 1);
     assert_eq!(results[0].1, Counts::scalars([0]));
 }

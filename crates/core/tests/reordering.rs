@@ -45,15 +45,13 @@ impl ChannelDriver {
             rng: ChaCha8Rng::seed_from_u64(seed),
         };
         for (dev, tasks) in by_dev {
-            let mut v = DeviceVerifier::new(
-                dev,
-                net.layout,
-                net.fib(dev).clone(),
-                tasks,
-                &psp,
-                cfg.clone(),
-            );
-            for env in v.init() {
+            let mut v =
+                DeviceVerifier::builder(dev, net.layout, net.fib(dev).clone(), &psp, cfg.clone())
+                    .tasks(tasks)
+                    .build();
+            let mut out = Vec::new();
+            v.init(&mut out);
+            for env in out {
                 driver.push(env);
             }
             driver.verifiers.insert(dev, v);
@@ -82,10 +80,12 @@ impl ChannelDriver {
         }
         let k = keys[self.rng.gen_range(0..keys.len())];
         let env = self.channels.get_mut(&k).unwrap().pop_front().unwrap();
+        let mut out = Vec::new();
         if let Some(v) = self.verifiers.get_mut(&env.to) {
-            for out in v.handle(&env) {
-                self.push(out);
-            }
+            v.handle(&env, &mut out);
+        }
+        for env in out {
+            self.push(env);
         }
         true
     }
@@ -95,11 +95,10 @@ impl ChannelDriver {
     }
 
     fn inject(&mut self, update: &RuleUpdate) {
-        let out = self
-            .verifiers
-            .get_mut(&update.device())
-            .map(|v| v.handle_fib_update(update))
-            .unwrap_or_default();
+        let mut out = Vec::new();
+        if let Some(v) = self.verifiers.get_mut(&update.device()) {
+            v.handle_fib_update(update, &mut out);
+        }
         for env in out {
             self.push(env);
         }
@@ -182,13 +181,13 @@ fn waypoint_plan(net: &Network) -> tulkun_core::planner::Plan {
     Planner::new(&net.topology).plan(&inv).unwrap()
 }
 
-fn verdict(driver: &ChannelDriver, plan: &tulkun_core::planner::Plan) -> usize {
+fn verdict(driver: &mut ChannelDriver, plan: &tulkun_core::planner::Plan) -> usize {
     let cp = plan.counting().unwrap();
+    let verifiers = &mut driver.verifiers;
     let report = verify::evaluate_sources(cp, |dev, node| {
-        driver
-            .verifiers
-            .get(&dev)
-            .map(|v| v.node_result(node))
+        verifiers
+            .get_mut(&dev)
+            .map(|v| v.node_result(node, None))
             .unwrap_or_default()
     });
     report.violations.len()
@@ -202,7 +201,7 @@ fn verdict_is_order_independent() {
     for seed in 0..20 {
         let mut driver = ChannelDriver::new(&net, &plan, seed);
         driver.run();
-        verdicts.insert(verdict(&driver, &plan));
+        verdicts.insert(verdict(&mut driver, &plan));
     }
     assert_eq!(
         verdicts.len(),
@@ -241,7 +240,7 @@ fn verdict_is_order_independent_with_midflight_updates() {
         driver.inject(&update);
         driver.run();
         assert_eq!(
-            verdict(&driver, &plan),
+            verdict(&mut driver, &plan),
             0,
             "seed {seed}: repaired network must verify regardless of interleaving"
         );

@@ -25,8 +25,8 @@ impl DistributedRun {
     /// Spawns one verifier thread per participating device and performs
     /// the initial (burst) exchange.
     pub fn spawn(net: &Network, plan: &CountingPlan, ps: &PacketSpace) -> DistributedRun {
-        let mut cache = LecCache::new();
-        Self::spawn_with(net, plan, ps, &EngineConfig::default(), &mut cache)
+        let cache = LecCache::new();
+        Self::spawn_with(net, plan, ps, &EngineConfig::default(), &cache)
     }
 
     /// Like [`DistributedRun::spawn`], with explicit engine options and
@@ -37,7 +37,7 @@ impl DistributedRun {
         plan: &CountingPlan,
         ps: &PacketSpace,
         cfg: &EngineConfig,
-        lec_cache: &mut LecCache,
+        lec_cache: &LecCache,
     ) -> DistributedRun {
         DistributedRun {
             engine: ThreadedEngine::spawn(net, plan, ps, cfg, lec_cache),
@@ -53,6 +53,13 @@ impl DistributedRun {
     /// event until processed).
     pub fn inject_update(&self, update: RuleUpdate) {
         self.engine.inject_update(update);
+    }
+
+    /// Injects a burst of rule updates, coalesced into one batch
+    /// message per affected device (see
+    /// [`crate::runtime::ThreadedEngine::inject_batch`]).
+    pub fn inject_batch(&self, updates: Vec<RuleUpdate>) {
+        self.engine.inject_batch(updates);
     }
 
     /// Crashes and restarts one device's verification agent; every

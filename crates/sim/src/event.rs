@@ -68,8 +68,8 @@ impl DvmSim {
     /// Verifier construction (LEC building and initial counting) is
     /// timed as initialization; call [`DvmSim::burst`] to run it.
     pub fn new(net: &Network, plan: &CountingPlan, ps: &PacketSpace, cfg: SimConfig) -> DvmSim {
-        let mut cache = LecCache::new();
-        Self::new_cached(net, plan, ps, cfg, &mut cache)
+        let cache = LecCache::new();
+        Self::new_cached(net, plan, ps, cfg, &cache)
     }
 
     /// Like [`DvmSim::new`], but shares a per-device LEC cache across
@@ -81,7 +81,7 @@ impl DvmSim {
         plan: &CountingPlan,
         ps: &PacketSpace,
         cfg: SimConfig,
-        lec_cache: &mut LecCache,
+        lec_cache: &LecCache,
     ) -> DvmSim {
         let ecfg: EngineConfig = cfg.into();
         let transport = LatencyTransport::new(net.topology.clone(), ecfg.fallback_latency_ns);
@@ -103,6 +103,12 @@ impl DvmSim {
         self.engine.incremental(update)
     }
 
+    /// Applies a burst of rule updates as coalesced per-device batches
+    /// (see [`crate::runtime::Engine::apply_batch`]).
+    pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> SimResult {
+        self.engine.apply_batch(updates)
+    }
+
     /// A link failure/recovery event delivered to both endpoints at t=0.
     pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> SimResult {
         self.engine.link_event(a, b, up)
@@ -116,7 +122,7 @@ impl DvmSim {
     }
 
     /// Evaluates the invariant at the sources.
-    pub fn report(&self) -> Report {
+    pub fn report(&mut self) -> Report {
         self.engine.report()
     }
 
@@ -169,8 +175,8 @@ impl FaultyDvmSim {
         cfg: SimConfig,
         profile: FaultProfile,
     ) -> FaultyDvmSim {
-        let mut cache = LecCache::new();
-        Self::new_cached(net, plan, ps, cfg, profile, &mut cache)
+        let cache = LecCache::new();
+        Self::new_cached(net, plan, ps, cfg, profile, &cache)
     }
 
     /// Like [`FaultyDvmSim::new`] with a shared LEC cache.
@@ -180,7 +186,7 @@ impl FaultyDvmSim {
         ps: &PacketSpace,
         cfg: SimConfig,
         profile: FaultProfile,
-        lec_cache: &mut LecCache,
+        lec_cache: &LecCache,
     ) -> FaultyDvmSim {
         let ecfg: EngineConfig = cfg.into();
         let transport = FaultyTransport::new(
@@ -203,6 +209,12 @@ impl FaultyDvmSim {
         self.engine.incremental(update)
     }
 
+    /// Applies a burst of rule updates as coalesced per-device batches,
+    /// delivered over the faulty channel.
+    pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> SimResult {
+        self.engine.apply_batch(updates)
+    }
+
     /// A link failure/recovery event delivered to both endpoints at t=0.
     pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> SimResult {
         self.engine.link_event(a, b, up)
@@ -215,7 +227,7 @@ impl FaultyDvmSim {
     }
 
     /// Evaluates the invariant at the sources.
-    pub fn report(&self) -> Report {
+    pub fn report(&mut self) -> Report {
         self.engine.report()
     }
 

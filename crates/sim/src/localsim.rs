@@ -44,8 +44,8 @@ pub struct LocalSim {
 impl LocalSim {
     /// Builds one checker per device holding contracts.
     pub fn new(net: &Network, plan: &LocalPlan, ps: &PacketSpace, model: SwitchModel) -> LocalSim {
-        let mut cache = LecCache::new();
-        Self::new_cached(net, plan, ps, model, &mut cache)
+        let cache = LecCache::new();
+        Self::new_cached(net, plan, ps, model, &cache)
     }
 
     /// Like [`LocalSim::new`], sharing a per-device LEC cache across
@@ -55,7 +55,7 @@ impl LocalSim {
         plan: &LocalPlan,
         ps: &PacketSpace,
         model: SwitchModel,
-        lec_cache: &mut LecCache,
+        lec_cache: &LecCache,
     ) -> LocalSim {
         let psp = compile_packet_space(&net.layout, ps);
         let mut by_dev: BTreeMap<DeviceId, Vec<LocalContract>> = BTreeMap::new();
@@ -68,14 +68,14 @@ impl LocalSim {
             .into_iter()
             .map(|(dev, contracts)| {
                 let wall = Instant::now();
-                let cached = lec_cache.get(&dev);
+                let cached = lec_cache.get(dev);
                 let mut checker = LocalChecker::new_with_lecs(
                     dev,
                     net.layout,
                     net.fib(dev).clone(),
                     contracts,
                     &psp,
-                    cached.map(Vec::as_slice),
+                    cached.as_deref().map(Vec::as_slice),
                 );
                 if cached.is_none() {
                     lec_cache.insert(dev, checker.export_lecs());

@@ -45,13 +45,67 @@ use tulkun_core::fault::FaultStats;
 use tulkun_core::planner::{CountingPlan, NodeTask};
 use tulkun_core::spec::PacketSpace;
 use tulkun_core::verify::{self, Report};
-use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::{DeviceId, Topology};
+
+/// One device's exported LEC table (predicates + actions).
+pub type LecTable = Vec<(PortablePred, tulkun_netmodel::fib::Action)>;
+
+/// Number of lock shards in a [`LecCache`]. Device ids hash trivially
+/// (`idx % SHARDS`), so any modest power of two spreads contention.
+const LEC_CACHE_SHARDS: usize = 16;
 
 /// A shared per-device LEC-table cache (exported predicates + actions),
 /// valid as long as the device's FIB is unchanged. One device builds
 /// its LEC table once for all invariants — the paper's §8 architecture.
-pub type LecCache = BTreeMap<DeviceId, Vec<(PortablePred, tulkun_netmodel::fib::Action)>>;
+///
+/// The cache is sharded per device: each shard has its own lock, and
+/// tables are handed out as `Arc`s, so `parallel_init` workers and
+/// concurrent batch application never serialize on one global `Mutex`.
+/// All methods take `&self`; existing `&mut LecCache` call sites keep
+/// working through auto-coercion.
+pub struct LecCache {
+    shards: [Mutex<BTreeMap<DeviceId, Arc<LecTable>>>; LEC_CACHE_SHARDS],
+}
+
+impl LecCache {
+    /// An empty cache.
+    pub fn new() -> LecCache {
+        LecCache {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    fn shard(&self, dev: DeviceId) -> &Mutex<BTreeMap<DeviceId, Arc<LecTable>>> {
+        &self.shards[dev.idx() % LEC_CACHE_SHARDS]
+    }
+
+    /// The cached LEC table of a device, if any.
+    pub fn get(&self, dev: DeviceId) -> Option<Arc<LecTable>> {
+        self.shard(dev).lock().unwrap().get(&dev).cloned()
+    }
+
+    /// Caches a device's exported LEC table.
+    pub fn insert(&self, dev: DeviceId, lecs: LecTable) {
+        self.shard(dev).lock().unwrap().insert(dev, Arc::new(lecs));
+    }
+
+    /// Number of devices with a cached table.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True if no device has a cached table.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+}
+
+impl Default for LecCache {
+    fn default() -> LecCache {
+        LecCache::new()
+    }
+}
 
 /// Per-device counters for the §9.4 overhead figures.
 #[derive(Debug, Clone, Copy, Default)]
@@ -423,14 +477,15 @@ struct BuiltVerifier {
 /// Builds one `DeviceVerifier` per participating device, timing each
 /// construction (LEC build + initial counting) as init cost. With
 /// `parallel` set, devices build concurrently under scoped threads —
-/// the cache is shared behind a mutex, and results are returned in
-/// device order so downstream scheduling stays deterministic.
+/// the sharded [`LecCache`] is used directly (per-shard locking, no
+/// global mutex), and results are returned in device order so
+/// downstream scheduling stays deterministic.
 fn build_verifiers(
     net: &Network,
     plan: &CountingPlan,
     packet_space: &PortablePred,
     cfg: &EngineConfig,
-    lec_cache: &mut LecCache,
+    lec_cache: &LecCache,
 ) -> Vec<BuiltVerifier> {
     let vcfg = VerifierConfig {
         n_exprs: plan.exprs.len(),
@@ -443,53 +498,38 @@ fn build_verifiers(
         by_dev.entry(t.dev).or_default().push(t.clone());
     }
 
-    let build_one = |dev: DeviceId,
-                     tasks: Vec<NodeTask>,
-                     cached: Option<Vec<(PortablePred, tulkun_netmodel::fib::Action)>>|
-     -> (
-        BuiltVerifier,
-        Option<Vec<(PortablePred, tulkun_netmodel::fib::Action)>>,
-    ) {
+    let build_one = |dev: DeviceId, tasks: Vec<NodeTask>| -> BuiltVerifier {
         let start = Instant::now();
-        let had_cache = cached.is_some();
-        let mut v = DeviceVerifier::new_with_lecs(
+        let cached = lec_cache.get(dev);
+        let mut v = DeviceVerifier::builder(
             dev,
             net.layout,
             net.fib(dev).clone(),
-            tasks,
             packet_space,
             vcfg.clone(),
-            cached.as_deref(),
-        );
-        let exported = if had_cache {
-            None
-        } else {
-            Some(v.export_lecs())
-        };
-        let init_out = v.init();
-        let init_ns = cfg.model.scale_ns(start.elapsed().as_nanos() as u64);
-        (
-            BuiltVerifier {
-                dev,
-                verifier: v,
-                init_out,
-                init_ns,
-            },
-            exported,
         )
+        .tasks(tasks)
+        .maybe_lecs(cached.as_deref().map(Vec::as_slice))
+        .build();
+        if cached.is_none() {
+            lec_cache.insert(dev, v.export_lecs());
+        }
+        let mut init_out = Vec::new();
+        v.init(&mut init_out);
+        let init_ns = cfg.model.scale_ns(start.elapsed().as_nanos() as u64);
+        BuiltVerifier {
+            dev,
+            verifier: v,
+            init_out,
+            init_ns,
+        }
     };
 
     if !cfg.parallel_init {
-        let mut out = Vec::with_capacity(by_dev.len());
-        for (dev, tasks) in by_dev {
-            let cached = lec_cache.get(&dev).cloned();
-            let (built, exported) = build_one(dev, tasks, cached);
-            if let Some(lecs) = exported {
-                lec_cache.insert(dev, lecs);
-            }
-            out.push(built);
-        }
-        return out;
+        return by_dev
+            .into_iter()
+            .map(|(dev, tasks)| build_one(dev, tasks))
+            .collect();
     }
 
     // Worker pool sized to the host, not one thread per device: devices
@@ -499,12 +539,10 @@ fn build_verifiers(
         .map_or(1, |n| n.get())
         .min(by_dev.len().max(1));
     let jobs: Mutex<Vec<(DeviceId, Vec<NodeTask>)>> = Mutex::new(by_dev.into_iter().collect());
-    let cache = Mutex::new(&mut *lec_cache);
     let results: Mutex<Vec<BuiltVerifier>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = &jobs;
-            let cache = &cache;
             let results = &results;
             let build_one = &build_one;
             s.spawn(move || {
@@ -512,11 +550,7 @@ fn build_verifiers(
                     let mut q = jobs.lock().unwrap();
                     q.pop()
                 } {
-                    let cached = cache.lock().unwrap().get(&dev).cloned();
-                    let (built, exported) = build_one(dev, tasks, cached);
-                    if let Some(lecs) = exported {
-                        cache.lock().unwrap().insert(dev, lecs);
-                    }
+                    let built = build_one(dev, tasks);
                     results.lock().unwrap().push(built);
                 }
             });
@@ -561,7 +595,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         plan: &CountingPlan,
         ps: &PacketSpace,
         cfg: &EngineConfig,
-        lec_cache: &mut LecCache,
+        lec_cache: &LecCache,
         mut transport: T,
         mut clock: C,
     ) -> Engine<T, C> {
@@ -600,7 +634,8 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             };
             let wall = Instant::now();
             let bytes_before = v.stats.bytes_sent;
-            let replies = v.handle(&env);
+            let mut replies = Vec::new();
+            v.handle(&env, &mut replies);
             let host_ns = wall.elapsed().as_nanos() as u64;
             let sent = v.stats.bytes_sent - bytes_before;
             let bdd_nodes = v.bdd_nodes();
@@ -634,23 +669,38 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         self.run()
     }
 
-    /// One incremental rule update: arrives at its device "now"
-    /// (relative clock reset to 0 so results are per-update times).
+    /// One incremental rule update: a one-element batch through the
+    /// single update code path ([`Engine::apply_batch`]).
     pub fn incremental(&mut self, update: &RuleUpdate) -> RunOutcome {
+        self.apply_batch(std::slice::from_ref(update))
+    }
+
+    /// Applies a burst of rule updates: the batch is coalesced per
+    /// device ([`UpdateBatch::coalesced`]), each affected device applies
+    /// its whole sub-batch with one LEC delta and one recompute per
+    /// node, and the resulting coalesced UPDATEs are driven to
+    /// quiescence. All updates arrive "now" (relative clock reset to 0
+    /// so results are per-burst times).
+    pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> RunOutcome {
         self.reset_time();
-        let dev = update.device();
-        let Some(v) = self.verifiers.get_mut(&dev) else {
-            return RunOutcome::default();
-        };
-        let wall = Instant::now();
-        let replies = v.handle_fib_update(update);
-        let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
-        self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
-        for env in replies {
-            self.transport.send(dev, span.finish, env);
+        let batch: UpdateBatch = updates.iter().cloned().collect();
+        let mut last_span = 0;
+        for (dev, ops) in batch.coalesced() {
+            let Some(v) = self.verifiers.get_mut(&dev) else {
+                continue;
+            };
+            let wall = Instant::now();
+            let mut replies = Vec::new();
+            v.handle_fib_batch(&ops, &mut replies);
+            let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
+            self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
+            last_span = last_span.max(span.finish);
+            for env in replies {
+                self.transport.send(dev, span.finish, env);
+            }
         }
         let mut r = self.run();
-        r.completion_ns = r.completion_ns.max(span.finish);
+        r.completion_ns = r.completion_ns.max(last_span);
         r
     }
 
@@ -663,7 +713,8 @@ impl<T: Transport, C: Clock> Engine<T, C> {
                 continue;
             };
             let wall = Instant::now();
-            let replies = v.handle_link_event(y, up);
+            let mut replies = Vec::new();
+            v.handle_link_event(y, up, &mut replies);
             let span = self.clock.charge(x, 0, wall.elapsed().as_nanos() as u64);
             for env in replies {
                 self.transport.send(x, span.finish, env);
@@ -686,7 +737,8 @@ impl<T: Transport, C: Clock> Engine<T, C> {
                 continue;
             };
             let wall = Instant::now();
-            let replies = v.set_tasks(tasks);
+            let mut replies = Vec::new();
+            v.set_tasks(tasks, &mut replies);
             let span = self
                 .clock
                 .charge(dev, flood_ns, wall.elapsed().as_nanos() as u64);
@@ -714,7 +766,8 @@ impl<T: Transport, C: Clock> Engine<T, C> {
                 return RunOutcome::default();
             };
             let wall = Instant::now();
-            let replies = v.reboot();
+            let mut replies = Vec::new();
+            v.reboot(&mut replies);
             let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
             self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
             for env in replies {
@@ -730,7 +783,8 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         for nb in others {
             let v = self.verifiers.get_mut(&nb).unwrap();
             let wall = Instant::now();
-            let replays = v.replay_for_restart(dev);
+            let mut replays = Vec::new();
+            v.replay_for_restart(dev, &mut replays);
             if replays.is_empty() {
                 continue;
             }
@@ -749,12 +803,14 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         self.clock.reset();
     }
 
-    /// Evaluates the invariant at the DPVNet sources.
-    pub fn report(&self) -> Report {
+    /// Evaluates the invariant at the DPVNet sources. Takes `&mut self`
+    /// because result export runs through each device's BDD manager.
+    pub fn report(&mut self) -> Report {
+        let verifiers = &mut self.verifiers;
         verify::evaluate_sources(&self.plan, |dev, node| {
-            self.verifiers
-                .get(&dev)
-                .map(|v| v.node_result(node))
+            verifiers
+                .get_mut(&dev)
+                .map(|v| v.node_result(node, None))
                 .unwrap_or_default()
         })
     }
@@ -789,7 +845,9 @@ type NodeResults = Vec<(NodeId, Vec<(PortablePred, Counts)>)>;
 
 enum DeviceMsg {
     Dvm(Envelope),
-    FibUpdate(RuleUpdate),
+    /// A coalesced per-device batch of FIB updates, applied with one
+    /// LEC delta.
+    FibBatch(Vec<RuleUpdate>),
     Collect(Vec<NodeId>, mpsc::Sender<NodeResults>),
     /// Crash + restart this device's verification agent: drop all soft
     /// counting state and recount from scratch.
@@ -872,7 +930,7 @@ impl ThreadedEngine {
         plan: &CountingPlan,
         ps: &PacketSpace,
         cfg: &EngineConfig,
-        lec_cache: &mut LecCache,
+        lec_cache: &LecCache,
     ) -> ThreadedEngine {
         let packet_space = verify::compile_packet_space(&net.layout, ps);
         let built = build_verifiers(net, plan, &packet_space, cfg, lec_cache);
@@ -924,7 +982,8 @@ impl ThreadedEngine {
                             DeviceMsg::Dvm(env) => {
                                 let wall = Instant::now();
                                 let bytes_before = verifier.stats.bytes_sent;
-                                let out = verifier.handle(&env);
+                                let mut out = Vec::new();
+                                verifier.handle(&env, &mut out);
                                 let cpu = model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 stats.absorb_message(
                                     cpu,
@@ -934,23 +993,26 @@ impl ThreadedEngine {
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
-                            DeviceMsg::FibUpdate(u) => {
+                            DeviceMsg::FibBatch(us) => {
                                 let wall = Instant::now();
-                                let out = verifier.handle_fib_update(&u);
+                                let mut out = Vec::new();
+                                verifier.handle_fib_batch(&us, &mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
                             DeviceMsg::Reboot => {
                                 let wall = Instant::now();
-                                let out = verifier.reboot();
+                                let mut out = Vec::new();
+                                verifier.reboot(&mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
                             DeviceMsg::ReplayFor(d) => {
                                 let wall = Instant::now();
-                                let out = verifier.replay_for_restart(d);
+                                let mut out = Vec::new();
+                                verifier.replay_for_restart(d, &mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 route(&peers, out, &inflight);
                                 inflight.release();
@@ -958,7 +1020,7 @@ impl ThreadedEngine {
                             DeviceMsg::Collect(nodes, reply) => {
                                 let results = nodes
                                     .into_iter()
-                                    .map(|n| (n, verifier.node_result(n)))
+                                    .map(|n| (n, verifier.node_result(n, None)))
                                     .collect();
                                 let _ = reply.send(results);
                             }
@@ -990,10 +1052,20 @@ impl ThreadedEngine {
     /// Injects a rule update at its device (counts as one in-flight
     /// event until processed).
     pub fn inject_update(&self, update: RuleUpdate) {
-        if let Some(tx) = self.senders.get(&update.device()) {
-            self.inflight.add(1);
-            if tx.send(DeviceMsg::FibUpdate(update)).is_err() {
-                self.inflight.release();
+        self.inject_batch(vec![update]);
+    }
+
+    /// Injects a burst of rule updates: coalesced per device
+    /// ([`UpdateBatch::coalesced`]), one `FibBatch` message per affected
+    /// device (each counts as one in-flight event until processed).
+    pub fn inject_batch(&self, updates: Vec<RuleUpdate>) {
+        let batch: UpdateBatch = updates.into_iter().collect();
+        for (dev, ops) in batch.coalesced() {
+            if let Some(tx) = self.senders.get(&dev) {
+                self.inflight.add(1);
+                if tx.send(DeviceMsg::FibBatch(ops)).is_err() {
+                    self.inflight.release();
+                }
             }
         }
     }
@@ -1163,13 +1235,13 @@ mod tests {
     fn fifo_engine_matches_reference_verdict() {
         let net = fig2a_network();
         let (cp, ps) = waypoint_plan(&net);
-        let mut cache = LecCache::new();
+        let cache = LecCache::new();
         let mut engine = Engine::new_cached(
             &net,
             &cp,
             &ps,
             &EngineConfig::default(),
-            &mut cache,
+            &cache,
             FifoTransport::default(),
             InstantClock,
         );
@@ -1186,7 +1258,7 @@ mod tests {
         let net = fig2a_network();
         let (cp, ps) = waypoint_plan(&net);
         let run = |parallel_init: bool| {
-            let mut cache = LecCache::new();
+            let cache = LecCache::new();
             let cfg = EngineConfig {
                 parallel_init,
                 ..Default::default()
@@ -1196,7 +1268,7 @@ mod tests {
                 &cp,
                 &ps,
                 &cfg,
-                &mut cache,
+                &cache,
                 LatencyTransport::new(net.topology.clone(), cfg.fallback_latency_ns),
                 VirtualClock::new(cfg.model),
             );
@@ -1210,8 +1282,8 @@ mod tests {
     fn threaded_engine_converges_and_reports() {
         let net = fig2a_network();
         let (cp, ps) = waypoint_plan(&net);
-        let mut cache = LecCache::new();
-        let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
+        let cache = LecCache::new();
+        let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &cache);
         engine.wait_quiescent();
         let report = engine.report();
         assert!(!report.holds());
@@ -1224,8 +1296,8 @@ mod tests {
     fn threaded_engine_surfaces_device_panics() {
         let net = fig2a_network();
         let (cp, ps) = waypoint_plan(&net);
-        let mut cache = LecCache::new();
-        let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
+        let cache = LecCache::new();
+        let engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &cache);
         engine.wait_quiescent();
         let participants = engine.handles.len();
         assert!(participants > 1, "test needs surviving threads");
@@ -1249,13 +1321,13 @@ mod tests {
     fn engine_crash_restart_reconverges_to_same_report() {
         let net = fig2a_network();
         let (cp, ps) = waypoint_plan(&net);
-        let mut cache = LecCache::new();
+        let cache = LecCache::new();
         let mut engine = Engine::new_cached(
             &net,
             &cp,
             &ps,
             &EngineConfig::default(),
-            &mut cache,
+            &cache,
             LatencyTransport::new(net.topology.clone(), 10_000),
             VirtualClock::new(SwitchModel::MELLANOX),
         );
@@ -1283,9 +1355,8 @@ mod tests {
     fn threaded_engine_crash_restart_reconverges() {
         let net = fig2a_network();
         let (cp, ps) = waypoint_plan(&net);
-        let mut cache = LecCache::new();
-        let mut engine =
-            ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &mut cache);
+        let cache = LecCache::new();
+        let mut engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &cache);
         engine.wait_quiescent();
         let before = engine.report().canonical_bytes();
         let dev = net.topology.device("W").unwrap();

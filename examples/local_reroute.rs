@@ -79,10 +79,10 @@ fn main() {
     assert!(session.report().holds());
 
     // A's own view: counts from each of its DPVNet neighbors.
-    let show_counts = |session: &Session, dev, label: &str| {
-        let v = session.verifier(dev).unwrap();
+    let show_counts = |session: &mut Session, dev, label: &str| {
+        let v = session.verifier_mut(dev).unwrap();
         for node in v.node_ids() {
-            for (_, counts) in v.node_result(node) {
+            for (_, counts) in v.node_result(node, None) {
                 println!(
                     "  {label} ({}): deliverable copies {counts}",
                     cp.dpvnet.node(node).label
@@ -91,9 +91,9 @@ fn main() {
         }
     };
     println!("before the failure:");
-    show_counts(&session, a, "A");
-    show_counts(&session, b, "B");
-    show_counts(&session, w, "W");
+    show_counts(&mut session, a, "A");
+    show_counts(&mut session, b, "B");
+    show_counts(&mut session, w, "W");
 
     // B blackholes the prefix. DVM pushes B's count drop to A within one
     // message — A now *locally* knows its primary path is dead while W
@@ -110,18 +110,19 @@ fn main() {
         "\nafter B blackholes (invariant holds = {}):",
         session.report().holds()
     );
-    show_counts(&session, a, "A");
-    show_counts(&session, b, "B");
-    show_counts(&session, w, "W");
+    show_counts(&mut session, a, "A");
+    show_counts(&mut session, b, "B");
+    show_counts(&mut session, w, "W");
     assert!(!session.report().holds());
 
     // The local routing service on A reads its neighbors' counts and
     // re-pins to the neighbor that still delivers — W.
     let b_count: Vec<_> = {
-        let v = session.verifier(b).unwrap();
-        v.node_ids()
+        let v = session.verifier_mut(b).unwrap();
+        let nodes = v.node_ids();
+        nodes
             .iter()
-            .flat_map(|n| v.node_result(*n))
+            .flat_map(|n| v.node_result(*n, None))
             .map(|(_, c)| c)
             .collect()
     };

@@ -99,7 +99,7 @@ fn oracle_counts(net: &Network, src: DeviceId, dst: DeviceId) -> BTreeSet<u32> {
 }
 
 /// Extracts the source node's DVM count set for one concrete packet.
-fn dvm_counts(session: &Session, net: &Network, src: DeviceId) -> Counts {
+fn dvm_counts(session: &mut Session, net: &Network, src: DeviceId) -> Counts {
     let cp = session.plan();
     let (sdev, snode) = cp
         .dpvnet
@@ -108,7 +108,7 @@ fn dvm_counts(session: &Session, net: &Network, src: DeviceId) -> Counts {
         .find(|(d, _)| *d == src)
         .copied()
         .expect("source node");
-    let v = session.verifier(sdev).expect("verifier");
+    let v = session.verifier_mut(sdev).expect("verifier");
     // Pick the entry containing the probe packet 10.9.0.1:80.
     let layout = net.layout;
     let mut m = tulkun::bdd::BddManager::new(layout.num_vars());
@@ -118,7 +118,7 @@ fn dvm_counts(session: &Session, net: &Network, src: DeviceId) -> Counts {
         bits[i] = (addr >> (31 - i)) & 1 == 1;
     }
     bits[32 + 15] = true; // port 1
-    for (pred, counts) in v.node_result(snode) {
+    for (pred, counts) in v.node_result(snode, None) {
         let p = tulkun::bdd::serial::import(&mut m, &pred).unwrap();
         if m.eval(p, &bits) {
             return counts;
@@ -253,8 +253,8 @@ proptest! {
     #[test]
     fn dvm_burst_matches_trace_oracle(sc in scenario_strategy()) {
         let expected = oracle_counts(&sc.net, sc.src, sc.dst);
-        let session = reachability_session(&sc.net, sc.src, sc.dst);
-        let got = dvm_counts(&session, &sc.net, sc.src);
+        let mut session = reachability_session(&sc.net, sc.src, sc.dst);
+        let got = dvm_counts(&mut session, &sc.net, sc.src);
         let got_set: BTreeSet<u32> = got.iter().map(|v| v[0]).collect();
         prop_assert_eq!(got_set, expected, "burst mismatch");
     }
@@ -271,14 +271,14 @@ proptest! {
             session.apply_rule_update(u);
         }
         let expected = oracle_counts(&net, sc.src, sc.dst);
-        let got = dvm_counts(&session, &net, sc.src);
+        let got = dvm_counts(&mut session, &net, sc.src);
         let got_set: BTreeSet<u32> = got.iter().map(|v| v[0]).collect();
         prop_assert_eq!(got_set, expected, "incremental mismatch");
 
         // And the incrementally-maintained session agrees with a fresh
         // burst over the final network.
-        let fresh = reachability_session(&net, sc.src, sc.dst);
-        let fresh_counts = dvm_counts(&fresh, &net, sc.src);
+        let mut fresh = reachability_session(&net, sc.src, sc.dst);
+        let fresh_counts = dvm_counts(&mut fresh, &net, sc.src);
         let fresh_set: BTreeSet<u32> = fresh_counts.iter().map(|v| v[0]).collect();
         let got_set: BTreeSet<u32> = got.iter().map(|v| v[0]).collect();
         prop_assert_eq!(got_set, fresh_set, "incremental vs fresh burst mismatch");

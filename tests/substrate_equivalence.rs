@@ -52,13 +52,13 @@ fn all_substrates_agree_byte_for_byte() {
     assert_ne!(ref_before, ref_after, "repair update must change verdict");
 
     // Engine with reference FIFO transport and zero-cost clock.
-    let mut cache = LecCache::new();
+    let cache = LecCache::new();
     let mut engine = Engine::new_cached(
         &net,
         cp,
         &inv.packet_space,
         &EngineConfig::default(),
-        &mut cache,
+        &cache,
         FifoTransport::default(),
         InstantClock,
     );
