@@ -20,6 +20,11 @@
 #   bench-smoke   runs the ablation harness on tiny topologies and
 #                 validates every emitted figure JSON (structure only,
 #                 no timing assertions -- the CI box has 1 CPU)
+#   obs-smoke     runs `tulkun trace` / `tulkun metrics` on tiny INet2
+#                 and validates the Chrome-trace JSON and Prometheus
+#                 text with check_telemetry (structure only, no timing
+#                 -- the CI box has 1 CPU); also asserts a run with
+#                 telemetry disabled (--off) emits zero output
 #   doc-check     README/DESIGN must document the core runtime types
 set -eu
 
@@ -56,8 +61,28 @@ stage_bench_smoke() {
         ablation_burst_updates
 }
 
+stage_obs_smoke() {
+    obs_dir="target/obs-smoke"
+    mkdir -p "$obs_dir"
+    cargo run --release -p tulkun --bin tulkun -- \
+        trace --name INet2 --scale tiny --out "$obs_dir/trace.json"
+    cargo run --release -p tulkun --bin tulkun -- \
+        metrics --name INet2 --scale tiny --out "$obs_dir/metrics.prom"
+    cargo run --release -p tulkun-bench --bin check_telemetry -- \
+        --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.prom"
+    # The disabled path must be a no-op: zero spans, zero metrics.
+    cargo run --release -p tulkun --bin tulkun -- \
+        trace --name INet2 --scale tiny --off --out "$obs_dir/trace_off.json"
+    cargo run --release -p tulkun --bin tulkun -- \
+        metrics --name INet2 --scale tiny --off --out "$obs_dir/metrics_off.prom"
+    cargo run --release -p tulkun-bench --bin check_telemetry -- \
+        --expect-empty \
+        --trace "$obs_dir/trace_off.json" --metrics "$obs_dir/metrics_off.prom"
+}
+
 stage_doc_check() {
-    for name in Engine ThreadedEngine FaultyTransport RuntimeStats; do
+    for name in Engine ThreadedEngine FaultyTransport RuntimeStats \
+                TelemetryConfig MetricsRegistry; do
         for doc in README.md DESIGN.md; do
             if ! grep -q "$name" "$doc"; then
                 echo "doc-check: $doc does not mention $name" >&2
@@ -77,15 +102,16 @@ run_stage() {
         fmt)          stage_fmt ;;
         fault-matrix) stage_fault_matrix ;;
         bench-smoke)  stage_bench_smoke ;;
+        obs-smoke)    stage_obs_smoke ;;
         doc-check)    stage_doc_check ;;
         all)
-            for s in build test lint fmt fault-matrix bench-smoke doc-check; do
+            for s in build test lint fmt fault-matrix bench-smoke obs-smoke doc-check; do
                 run_stage "$s"
             done
             ;;
         *)
             echo "ci.sh: unknown stage '$1'" >&2
-            echo "stages: build test lint fmt fault-matrix bench-smoke doc-check all" >&2
+            echo "stages: build test lint fmt fault-matrix bench-smoke obs-smoke doc-check all" >&2
             exit 2
             ;;
     esac

@@ -26,7 +26,7 @@ use tulkun_core::spec::{FaultSpec, PathExpr};
 use tulkun_core::verify::Session;
 use tulkun_datasets::by_name;
 use tulkun_sim::event::LecCache;
-use tulkun_sim::{DvmSim, FaultyDvmSim, SimConfig};
+use tulkun_sim::{DvmSim, FaultyDvmSim, SimConfig, Telemetry, TelemetryConfig};
 
 fn main() {
     let cli = Cli::parse();
@@ -53,6 +53,9 @@ fn ablate_burst_updates(cli: &Cli) {
             "messages",
             "bytes",
             "verify time",
+            "p50",
+            "p90",
+            "p99",
             "same report",
         ],
     );
@@ -86,6 +89,9 @@ fn ablate_burst_updates(cli: &Cli) {
                 r.messages.to_string(),
                 r.bytes.to_string(),
                 fmt_ns(r.completion_ns),
+                fmt_ns(r.p50_ns),
+                fmt_ns(r.p90_ns),
+                fmt_ns(r.p99_ns),
                 same.to_string(),
             ]);
         }
@@ -104,6 +110,7 @@ fn ablate_parallel_init(cli: &Cli) {
             "sequential",
             "parallel",
             "speedup",
+            "workers",
             "same report",
         ],
     );
@@ -119,7 +126,11 @@ fn ablate_parallel_init(cli: &Cli) {
         let plan = Planner::new(topo).plan(&inv).unwrap();
         let cp = plan.counting().unwrap();
 
+        // Per-worker construction timings come from the telemetry
+        // `init.build` spans (worker index in `aux`), so the figure can
+        // report how many workers the pool actually used on this host.
         let run = |parallel_init: bool| {
+            let telemetry = Telemetry::new(TelemetryConfig::enabled());
             let t0 = Instant::now();
             let mut sim = DvmSim::new(
                 &ds.network,
@@ -127,20 +138,29 @@ fn ablate_parallel_init(cli: &Cli) {
                 &inv.packet_space,
                 SimConfig {
                     parallel_init,
+                    telemetry: telemetry.clone(),
                     ..Default::default()
                 },
             );
             let init_wall = t0.elapsed().as_nanos() as u64;
             sim.burst();
-            (init_wall, sim.report().canonical_bytes())
+            let workers = telemetry
+                .spans()
+                .iter()
+                .filter(|s| s.name == "init.build")
+                .map(|s| s.aux)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            (init_wall, sim.report().canonical_bytes(), workers)
         };
-        let (seq, seq_report) = run(false);
-        let (par, par_report) = run(true);
+        let (seq, seq_report, _) = run(false);
+        let (par, par_report, workers) = run(true);
         t.row(vec![
             name.into(),
             fmt_ns(seq),
             fmt_ns(par),
             format!("{:.2}x", seq as f64 / par.max(1) as f64),
+            workers.to_string(),
             (seq_report == par_report).to_string(),
         ]);
     }

@@ -1,0 +1,284 @@
+//! CI validator for the telemetry exporters.
+//!
+//! The `obs-smoke` CI stage runs `tulkun trace` / `tulkun metrics` on a
+//! tiny dataset and then runs this tool to assert the artifacts are
+//! structurally sound — no timing is checked anywhere (the CI box has
+//! 1 CPU), only shape:
+//!
+//! * `--trace <file>`: the file is Chrome `trace_event` JSON — a
+//!   `traceEvents` array whose entries carry `ph`/`pid`/`tid`/`name`,
+//!   spans (`ph: "X"`) carry `ts`/`dur`, and at least one causal trace
+//!   id (`args.trace >= 1`) links spans on two or more distinct `tid`s
+//!   (devices) — the cross-device UPDATE-wave reconstruction the
+//!   telemetry subsystem exists for.
+//! * `--metrics <file>`: the file is Prometheus text exposition —
+//!   `# TYPE` lines, `name{labels} value` samples, and every histogram
+//!   has monotonically non-decreasing cumulative buckets ending in
+//!   `le="+Inf"` plus `_sum` and `_count` lines, with `_count` equal
+//!   to the `+Inf` bucket.
+//! * `--expect-empty`: inverts the non-emptiness requirements — the
+//!   trace must have zero events and the metrics text must be empty,
+//!   which is what a run with telemetry disabled must produce.
+//!
+//! Usage: `check_telemetry [--expect-empty] [--trace f.json] [--metrics f.prom]`
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use tulkun_json::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let expect_empty = args.iter().any(|a| a == "--expect-empty");
+    let trace = get("--trace");
+    let metrics = get("--metrics");
+    if trace.is_none() && metrics.is_none() {
+        eprintln!("usage: check_telemetry [--expect-empty] [--trace f.json] [--metrics f.prom]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    if let Some(path) = trace {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                if let Err(e) = check_trace(&text, expect_empty) {
+                    eprintln!("check_telemetry: {path}: {e}");
+                    failed = true;
+                } else {
+                    println!("check_telemetry: ok {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("check_telemetry: cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = metrics {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                if let Err(e) = check_metrics(&text, expect_empty) {
+                    eprintln!("check_telemetry: {path}: {e}");
+                    failed = true;
+                } else {
+                    println!("check_telemetry: ok {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("check_telemetry: cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn int_of(v: &Json) -> Option<i64> {
+    match v {
+        Json::Int(i) => Some(*i),
+        Json::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+        _ => None,
+    }
+}
+
+/// Validates Chrome `trace_event` JSON (structure only).
+fn check_trace(text: &str, expect_empty: bool) -> Result<(), String> {
+    let doc = tulkun_json::parse(text).map_err(|e| format!("not JSON: {e:?}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("no traceEvents array")?;
+    if expect_empty {
+        return if events.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected an empty trace (telemetry disabled), found {} event(s)",
+                events.len()
+            ))
+        };
+    }
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    // args.trace id -> set of tids (devices) that carry a span with it.
+    let mut waves: BTreeMap<i64, BTreeSet<i64>> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(int_of)
+                .ok_or(format!("event {i}: missing {key}"))?;
+        }
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        match ph {
+            "M" => {} // metadata (thread_name) has no timestamp
+            "X" | "i" => {
+                ev.get("ts")
+                    .and_then(|t| match t {
+                        Json::Int(_) | Json::Float(_) => Some(()),
+                        _ => None,
+                    })
+                    .ok_or(format!("event {i}: {ph} event missing numeric ts"))?;
+                if ph == "X" {
+                    spans += 1;
+                    ev.get("dur")
+                        .and_then(|t| match t {
+                            Json::Int(_) | Json::Float(_) => Some(()),
+                            _ => None,
+                        })
+                        .ok_or(format!("event {i}: X event missing numeric dur"))?;
+                }
+                let trace = ev
+                    .get("args")
+                    .and_then(|a| a.get("trace"))
+                    .and_then(int_of)
+                    .ok_or(format!("event {i}: missing args.trace"))?;
+                let tid = ev.get("tid").and_then(int_of).unwrap();
+                if trace >= 1 {
+                    waves.entry(trace).or_default().insert(tid);
+                }
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+    if spans == 0 {
+        return Err("no complete (ph: X) spans".into());
+    }
+    let Some((trace, tids)) = waves.iter().max_by_key(|(_, tids)| tids.len()) else {
+        return Err("no span carries a causal trace id >= 1".into());
+    };
+    if tids.len() < 2 {
+        return Err(format!(
+            "no causal trace id links spans on >= 2 devices (best: trace {trace} on {} device(s))",
+            tids.len()
+        ));
+    }
+    println!(
+        "check_telemetry: {} events, {spans} spans, trace {trace} spans {} devices",
+        events.len(),
+        tids.len()
+    );
+    Ok(())
+}
+
+/// Per-histogram accumulator while scanning the exposition text.
+#[derive(Default)]
+struct HistAcc {
+    /// Bucket counts in file order.
+    buckets: Vec<u64>,
+    /// Whether the `le="+Inf"` bucket has been seen (must be last).
+    saw_inf: bool,
+    sum: Option<f64>,
+    count: Option<u64>,
+}
+
+/// Validates Prometheus text exposition (structure only).
+fn check_metrics(text: &str, expect_empty: bool) -> Result<(), String> {
+    if expect_empty {
+        return if text.trim().is_empty() {
+            Ok(())
+        } else {
+            Err("expected empty metrics output (telemetry disabled)".into())
+        };
+    }
+    if text.trim().is_empty() {
+        return Err("metrics output is empty".into());
+    }
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next(), it.next());
+            match (name, kind) {
+                (Some(_), Some("counter" | "gauge" | "histogram")) => continue,
+                _ => return Err(format!("line {}: malformed TYPE line", lineno + 1)),
+            }
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {}: no sample value", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: non-numeric value {value:?}", lineno + 1))?;
+        samples += 1;
+        if let Some((name, labels)) = name_part.split_once('{') {
+            let le = labels
+                .strip_suffix('}')
+                .and_then(|l| l.strip_prefix("le=\""))
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or(format!(
+                    "line {}: unsupported labels {labels:?}",
+                    lineno + 1
+                ))?;
+            let base = name.strip_suffix("_bucket").ok_or(format!(
+                "line {}: labeled sample is not a _bucket",
+                lineno + 1
+            ))?;
+            let h = hists.entry(base.to_string()).or_default();
+            if h.saw_inf {
+                return Err(format!("line {}: bucket after le=\"+Inf\"", lineno + 1));
+            }
+            h.buckets.push(value as u64);
+            if le == "+Inf" {
+                h.saw_inf = true;
+            }
+        } else if let Some(base) = name_part.strip_suffix("_sum") {
+            hists.entry(base.to_string()).or_default().sum = Some(value);
+        } else if let Some(base) = name_part.strip_suffix("_count") {
+            hists.entry(base.to_string()).or_default().count = Some(value as u64);
+        }
+    }
+    if samples == 0 {
+        return Err("no samples".into());
+    }
+    for (name, h) in &hists {
+        if h.buckets.is_empty() {
+            return Err(format!("histogram {name}: no buckets"));
+        }
+        if !h.saw_inf {
+            return Err(format!("histogram {name}: missing le=\"+Inf\" bucket"));
+        }
+        if h.buckets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("histogram {name}: buckets not cumulative"));
+        }
+        if h.sum.is_none() {
+            return Err(format!("histogram {name}: missing _sum"));
+        }
+        let count = h.count.ok_or(format!("histogram {name}: missing _count"))?;
+        if count != *h.buckets.last().unwrap() {
+            return Err(format!(
+                "histogram {name}: _count {count} != +Inf bucket {}",
+                h.buckets.last().unwrap()
+            ));
+        }
+    }
+    println!(
+        "check_telemetry: {samples} samples, {} histogram(s) validated",
+        hists.len()
+    );
+    Ok(())
+}

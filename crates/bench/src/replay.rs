@@ -9,7 +9,8 @@ use tulkun_core::planner::CountingPlan;
 use tulkun_core::spec::PacketSpace;
 use tulkun_datasets::rule_updates;
 use tulkun_netmodel::network::{Network, RuleUpdate};
-use tulkun_sim::{DvmSim, SimConfig};
+use tulkun_sim::{DvmSim, SimConfig, Telemetry, TelemetryConfig};
+use tulkun_telemetry::HANDLE_NS;
 
 /// Cost and verdict of one trace replay.
 #[derive(Debug, Clone)]
@@ -26,6 +27,14 @@ pub struct ReplayOutcome {
     pub bytes: u64,
     /// Canonical bytes of the final report (burst-size independent).
     pub report: Vec<u8>,
+    /// Per-message handle-time percentiles (scaled ns), derived from
+    /// the telemetry `tulkun_dvm_handle_ns` histogram — bucket upper
+    /// bounds, so values are quantized to the 1-2-5 grid.
+    pub p50_ns: u64,
+    /// 90th percentile of per-message handle time (scaled ns).
+    pub p90_ns: u64,
+    /// 99th percentile of per-message handle time (scaled ns).
+    pub p99_ns: u64,
 }
 
 /// Replays `trace` in chunks of `burst` updates (each chunk applied as
@@ -39,7 +48,16 @@ pub fn replay_trace(
     burst: usize,
 ) -> ReplayOutcome {
     assert!(burst > 0, "burst size must be positive");
-    let mut sim = DvmSim::new(net, cp, ps, SimConfig::default());
+    let telemetry = Telemetry::new(TelemetryConfig::enabled());
+    let mut sim = DvmSim::new(
+        net,
+        cp,
+        ps,
+        SimConfig {
+            telemetry: telemetry.clone(),
+            ..SimConfig::default()
+        },
+    );
     sim.burst();
     let mut out = ReplayOutcome {
         updates: trace.len(),
@@ -48,6 +66,9 @@ pub fn replay_trace(
         messages: 0,
         bytes: 0,
         report: Vec::new(),
+        p50_ns: 0,
+        p90_ns: 0,
+        p99_ns: 0,
     };
     for chunk in trace.chunks(burst) {
         let r = sim.apply_batch(chunk);
@@ -57,6 +78,10 @@ pub fn replay_trace(
         out.bytes += r.bytes;
     }
     out.report = sim.report().canonical_bytes();
+    let m = telemetry.metrics();
+    out.p50_ns = m.percentile(HANDLE_NS.name, 0.50).unwrap_or(0);
+    out.p90_ns = m.percentile(HANDLE_NS.name, 0.90).unwrap_or(0);
+    out.p99_ns = m.percentile(HANDLE_NS.name, 0.99).unwrap_or(0);
     out
 }
 

@@ -110,6 +110,13 @@ pub struct Envelope {
     /// layer assigns 1, 2, … at send time. Acks carry 0 themselves and
     /// name the acknowledged data seq in [`Payload::Ack`].
     pub seq: u64,
+    /// Causal trace id: every envelope emitted while processing a
+    /// given FIB update (or while relaying its consequences) carries
+    /// the same id, so telemetry can reconstruct the whole UPDATE wave
+    /// across devices. `0` means "untraced". Observability metadata
+    /// only — excluded from [`Envelope::wire_bytes`] and never read by
+    /// the protocol itself.
+    pub trace: u64,
     /// The DVM payload.
     pub payload: Payload,
 }
@@ -121,6 +128,7 @@ impl Envelope {
             from,
             to,
             seq: 0,
+            trace: 0,
             payload,
         }
     }
@@ -218,6 +226,7 @@ tulkun_json::impl_json_object!(Envelope {
     from,
     to,
     seq,
+    trace,
     payload
 });
 
@@ -235,6 +244,7 @@ mod tests {
             from: DeviceId(1),
             to: DeviceId(2),
             seq: 7,
+            trace: 11,
             payload: Payload::Update {
                 edge: EdgeRef {
                     up: NodeId(0),

@@ -24,7 +24,9 @@
 
 use crate::dvm::message::Envelope;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tulkun_netmodel::DeviceId;
+use tulkun_telemetry::Telemetry;
 
 /// A directed sender→receiver channel.
 pub type ChannelKey = (DeviceId, DeviceId);
@@ -41,16 +43,32 @@ pub struct Pending {
 }
 
 /// Sender half: sequence assignment, the unacked window, backoff.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SenderWindow {
     next_seq: BTreeMap<ChannelKey, u64>,
     unacked: BTreeMap<(ChannelKey, u64), Pending>,
+    tel: Arc<Telemetry>,
+}
+
+impl Default for SenderWindow {
+    fn default() -> Self {
+        SenderWindow {
+            next_seq: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            tel: Telemetry::disabled(),
+        }
+    }
 }
 
 impl SenderWindow {
     /// A fresh window (all channels start at sequence 1).
     pub fn new() -> SenderWindow {
         SenderWindow::default()
+    }
+
+    /// Attaches a telemetry handle recording retransmit/ack events.
+    pub fn set_telemetry(&mut self, tel: Arc<Telemetry>) {
+        self.tel = tel;
     }
 
     /// Assigns the next sequence number on the envelope's channel,
@@ -69,12 +87,17 @@ impl SenderWindow {
                 attempts: 0,
             },
         );
+        self.tel.count(env.from, "tulkun_reliable_sent_total", 1);
     }
 
     /// Clears one acknowledged envelope; returns whether it was still
     /// outstanding (duplicate acks return `false`).
     pub fn ack(&mut self, ch: ChannelKey, seq: u64) -> bool {
-        self.unacked.remove(&(ch, seq)).is_some()
+        let cleared = self.unacked.remove(&(ch, seq)).is_some();
+        if cleared {
+            self.tel.count(ch.0, "tulkun_reliable_acked_total", 1);
+        }
+        cleared
     }
 
     /// The unacked entry with the earliest retransmission deadline.
@@ -106,7 +129,22 @@ impl SenderWindow {
         p.attempts += 1;
         let timeout = rto_ns.saturating_mul(1u64 << p.attempts.min(max_backoff_exp));
         p.deadline = now.max(p.deadline).saturating_add(timeout);
-        Some((p.env.clone(), p.attempts))
+        let (env, attempts) = (p.env.clone(), p.attempts);
+        if self.tel.is_enabled() {
+            self.tel.count(ch.0, "tulkun_reliable_retransmits_total", 1);
+            // Event tick is host time (one timeline per trace); the
+            // substrate's virtual `now` rides in aux.
+            self.tel.span_aux(
+                ch.0,
+                "reliable.retransmit",
+                "reliable",
+                self.tel.host_tick(),
+                0,
+                env.trace,
+                now,
+            );
+        }
+        Some((env, attempts))
     }
 
     /// Number of unacknowledged envelopes.
@@ -134,11 +172,22 @@ pub enum Accepted {
 }
 
 /// Receiver half: duplicate suppression and in-order release.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReceiverLedger {
     expected: BTreeMap<ChannelKey, u64>,
     /// Out-of-order arrivals, per channel, keyed by sequence.
     buffered: BTreeMap<ChannelKey, BTreeMap<u64, (u64, Envelope)>>,
+    tel: Arc<Telemetry>,
+}
+
+impl Default for ReceiverLedger {
+    fn default() -> Self {
+        ReceiverLedger {
+            expected: BTreeMap::new(),
+            buffered: BTreeMap::new(),
+            tel: Telemetry::disabled(),
+        }
+    }
 }
 
 impl ReceiverLedger {
@@ -147,18 +196,38 @@ impl ReceiverLedger {
         ReceiverLedger::default()
     }
 
+    /// Attaches a telemetry handle recording gap-buffer/dup events.
+    pub fn set_telemetry(&mut self, tel: Arc<Telemetry>) {
+        self.tel = tel;
+    }
+
     /// Processes one data arrival at virtual time `arrival`.
     pub fn accept(&mut self, arrival: u64, env: Envelope) -> Accepted {
         debug_assert!(env.seq > 0, "data envelopes must be sequenced");
         let ch = (env.from, env.to);
         let expected = self.expected.entry(ch).or_insert(1);
         if env.seq < *expected {
+            self.tel.count(env.to, "tulkun_reliable_dups_total", 1);
             return Accepted::Duplicate;
         }
         if env.seq > *expected {
             let slot = self.buffered.entry(ch).or_default();
             if slot.contains_key(&env.seq) {
+                self.tel.count(env.to, "tulkun_reliable_dups_total", 1);
                 return Accepted::Duplicate;
+            }
+            if self.tel.is_enabled() {
+                self.tel
+                    .count(env.to, "tulkun_reliable_gap_buffered_total", 1);
+                self.tel.span_aux(
+                    env.to,
+                    "reliable.gap_buffer",
+                    "reliable",
+                    self.tel.host_tick(),
+                    0,
+                    env.trace,
+                    arrival,
+                );
             }
             slot.insert(env.seq, (arrival, env));
             return Accepted::Buffered;

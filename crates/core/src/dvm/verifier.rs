@@ -21,11 +21,14 @@ use crate::dpvnet::NodeId;
 use crate::dvm::message::{EdgeRef, Envelope, Outbox, Payload};
 use crate::planner::NodeTask;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
 use tulkun_bdd::serial::{self, PortablePred};
 use tulkun_bdd::{BddManager, HeaderLayout, Pred};
 use tulkun_netmodel::fib::{Action, ActionType, Fib, NextHop, Rewrite};
 use tulkun_netmodel::network::RuleUpdate;
 use tulkun_netmodel::DeviceId;
+use tulkun_telemetry::{Telemetry, CIB_RECOMPUTE_NS, FIB_BATCH_NS, LEC_DELTA_NS};
 
 /// How destination nodes count their own delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,6 +111,12 @@ pub struct DeviceVerifier {
     nodes: BTreeMap<NodeId, NodeState>,
     /// Neighbor devices currently unreachable (failed adjacent links).
     down_neighbors: BTreeSet<DeviceId>,
+    /// Causal trace id of the event currently being processed; stamped
+    /// onto every emitted envelope (see [`Envelope::trace`]).
+    trace: u64,
+    /// Telemetry sink (disabled handle by default — every record call
+    /// is then a single branch).
+    tel: Arc<Telemetry>,
     /// Statistics for overhead benchmarks.
     pub stats: VerifierStats,
 }
@@ -128,6 +137,7 @@ pub struct VerifierBuilder<'a> {
     cfg: VerifierConfig,
     tasks: Vec<NodeTask>,
     lecs: Option<&'a [(PortablePred, Action)]>,
+    tel: Option<Arc<Telemetry>>,
 }
 
 impl<'a> VerifierBuilder<'a> {
@@ -157,6 +167,13 @@ impl<'a> VerifierBuilder<'a> {
         self
     }
 
+    /// Attaches a telemetry handle; omitted, the verifier uses the
+    /// disabled handle (recording is a no-op).
+    pub fn telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.tel = Some(tel);
+        self
+    }
+
     /// Builds the verifier (computing the LEC table unless one was
     /// provided).
     pub fn build(self) -> DeviceVerifier {
@@ -168,6 +185,7 @@ impl<'a> VerifierBuilder<'a> {
             cfg,
             tasks,
             lecs,
+            tel,
         } = self;
         let mut mgr = BddManager::new(layout.num_vars());
         let ps = serial::import(&mut mgr, packet_space).expect("packet space import");
@@ -201,6 +219,8 @@ impl<'a> VerifierBuilder<'a> {
             packet_space: ps,
             nodes,
             down_neighbors: BTreeSet::new(),
+            trace: 0,
+            tel: tel.unwrap_or_else(Telemetry::disabled),
             stats: VerifierStats::default(),
             mgr,
         };
@@ -242,6 +262,7 @@ impl DeviceVerifier {
             cfg,
             tasks: Vec::new(),
             lecs: None,
+            tel: None,
         }
     }
 
@@ -257,6 +278,29 @@ impl DeviceVerifier {
     /// The device this verifier runs on.
     pub fn device(&self) -> DeviceId {
         self.dev
+    }
+
+    /// Sets the causal trace id stamped onto subsequently emitted
+    /// envelopes. Runtimes call this before injecting an internal
+    /// event (FIB batch, link event, reboot, replay) so the whole
+    /// resulting UPDATE wave shares one id; incoming envelopes set it
+    /// automatically in [`DeviceVerifier::handle`].
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    /// The causal trace id currently in effect.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// Stamps the current trace id, accounts stats and forwards `env`
+    /// to `out`. Every data envelope leaves through here.
+    fn emit(&mut self, mut env: Envelope, out: &mut dyn Outbox) {
+        env.trace = self.trace;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += env.wire_bytes() as u64;
+        out.push(env);
     }
 
     /// DPVNet nodes hosted here.
@@ -325,6 +369,7 @@ impl DeviceVerifier {
     /// Handles one incoming DVM message, writing any responses to `out`.
     pub fn handle(&mut self, env: &Envelope, out: &mut dyn Outbox) {
         assert_eq!(env.to, self.dev, "message routed to the wrong device");
+        self.trace = env.trace;
         match &env.payload {
             Payload::Update {
                 edge,
@@ -332,10 +377,12 @@ impl DeviceVerifier {
                 results,
             } => {
                 self.stats.updates_processed += 1;
+                self.tel.count(self.dev, "tulkun_dvm_updates_total", 1);
                 self.handle_update(*edge, withdrawn, results, out);
             }
             Payload::Subscribe { edge, space } => {
                 self.stats.subscribes_processed += 1;
+                self.tel.count(self.dev, "tulkun_dvm_subscribes_total", 1);
                 self.handle_subscribe(*edge, space, out);
             }
             // Acks belong to the reliability layer; a verifier that sees
@@ -479,6 +526,20 @@ impl DeviceVerifier {
         if updates.is_empty() {
             return;
         }
+        if !self.tel.is_enabled() {
+            return self.fib_batch_inner(updates, out);
+        }
+        let begin = self.tel.host_tick();
+        let wall = Instant::now();
+        self.fib_batch_inner(updates, out);
+        let dur = (wall.elapsed().as_nanos() as u64).max(1);
+        let tel = self.tel.clone();
+        tel.span(self.dev, "fib.batch", "dvm", begin, dur, self.trace);
+        tel.observe(self.dev, &FIB_BATCH_NS, dur);
+        tel.count(self.dev, "tulkun_fib_updates_total", updates.len() as u64);
+    }
+
+    fn fib_batch_inner(&mut self, updates: &[RuleUpdate], out: &mut dyn Outbox) {
         // Apply every FIB mutation in order, unioning the touched match
         // regions.
         let mut m = self.mgr.falsum();
@@ -500,6 +561,10 @@ impl DeviceVerifier {
             m = self.mgr.or(m, mp);
         }
         self.stats.lec_rebuilds += 1;
+        let lec_timer = self
+            .tel
+            .is_enabled()
+            .then(|| (self.tel.host_tick(), Instant::now()));
 
         // Old effective actions inside the region (for the changed-region
         // diff), keyed by action.
@@ -537,6 +602,12 @@ impl DeviceVerifier {
             }
         }
         self.refresh_relevance();
+        if let Some((begin, wall)) = lec_timer {
+            let dur = (wall.elapsed().as_nanos() as u64).max(1);
+            let tel = self.tel.clone();
+            tel.span(self.dev, "lec.delta", "dvm", begin, dur, self.trace);
+            tel.observe(self.dev, &LEC_DELTA_NS, dur);
+        }
         if self.mgr.is_false(changed) {
             return;
         }
@@ -674,9 +745,7 @@ impl DeviceVerifier {
                             results: results.clone(),
                         },
                     );
-                    self.stats.messages_sent += 1;
-                    self.stats.bytes_sent += env.wire_bytes() as u64;
-                    out.push(env);
+                    self.emit(env, out);
                 }
             }
             let downs: Vec<(NodeId, Pred)> = self.nodes[&node]
@@ -698,9 +767,7 @@ impl DeviceVerifier {
                         space: serial::export(&self.mgr, space),
                     },
                 );
-                self.stats.messages_sent += 1;
-                self.stats.bytes_sent += env.wire_bytes() as u64;
-                out.push(env);
+                self.emit(env, out);
             }
         }
     }
@@ -769,6 +836,19 @@ impl DeviceVerifier {
     /// UPDATE messages for its upstream neighbors (steps 2–3 of §5.2)
     /// to `out`.
     fn recompute_node(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
+        if !self.tel.is_enabled() {
+            return self.recompute_node_inner(node, region, out);
+        }
+        let begin = self.tel.host_tick();
+        let wall = Instant::now();
+        self.recompute_node_inner(node, region, out);
+        let dur = (wall.elapsed().as_nanos() as u64).max(1);
+        let tel = self.tel.clone();
+        tel.span(self.dev, "cib.recompute", "dvm", begin, dur, self.trace);
+        tel.observe(self.dev, &CIB_RECOMPUTE_NS, dur);
+    }
+
+    fn recompute_node_inner(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
         let scope = self.nodes[&node].scope;
         let r = self.mgr.and(region, scope);
         if self.mgr.is_false(r) {
@@ -846,9 +926,7 @@ impl DeviceVerifier {
                     results: results.clone(),
                 },
             );
-            self.stats.messages_sent += 1;
-            self.stats.bytes_sent += env.wire_bytes() as u64;
-            out.push(env);
+            self.emit(env, out);
         }
     }
 
@@ -1092,9 +1170,7 @@ impl DeviceVerifier {
                         space: serial::export(&self.mgr, newspace),
                     },
                 );
-                self.stats.messages_sent += 1;
-                self.stats.bytes_sent += env.wire_bytes() as u64;
-                out.push(env);
+                self.emit(env, out);
             }
         }
     }

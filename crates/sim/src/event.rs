@@ -15,6 +15,7 @@ use crate::faults::FaultyTransport;
 use crate::models::SwitchModel;
 use crate::runtime::{Engine, EngineConfig, LatencyTransport, RuntimeStats, VirtualClock};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tulkun_core::dvm::DeviceVerifier;
 use tulkun_core::fault::FaultProfile;
 use tulkun_core::planner::{CountingPlan, NodeTask};
@@ -22,6 +23,7 @@ use tulkun_core::spec::PacketSpace;
 use tulkun_core::verify::Report;
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::DeviceId;
+use tulkun_telemetry::Telemetry;
 
 pub use crate::runtime::{DeviceStats, LecCache, RunOutcome as SimResult};
 
@@ -36,6 +38,9 @@ pub struct SimConfig {
     /// Build per-device verifiers concurrently (see
     /// [`EngineConfig::parallel_init`]).
     pub parallel_init: bool,
+    /// Telemetry handle shared by every verifier and the driver loop
+    /// (disabled by default: a no-op that takes no locks).
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for SimConfig {
@@ -44,6 +49,7 @@ impl Default for SimConfig {
             model: SwitchModel::MELLANOX,
             fallback_latency_ns: 10_000,
             parallel_init: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -54,6 +60,7 @@ impl From<SimConfig> for EngineConfig {
             model: cfg.model,
             fallback_latency_ns: cfg.fallback_latency_ns,
             parallel_init: cfg.parallel_init,
+            telemetry: cfg.telemetry,
         }
     }
 }
@@ -189,9 +196,10 @@ impl FaultyDvmSim {
         lec_cache: &LecCache,
     ) -> FaultyDvmSim {
         let ecfg: EngineConfig = cfg.into();
-        let transport = FaultyTransport::new(
+        let transport = FaultyTransport::with_telemetry(
             LatencyTransport::new(net.topology.clone(), ecfg.fallback_latency_ns),
             profile,
+            ecfg.telemetry.clone(),
         );
         let clock = VirtualClock::new(ecfg.model);
         FaultyDvmSim {

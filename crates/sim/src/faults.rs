@@ -25,10 +25,12 @@ use crate::runtime::Transport;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use tulkun_core::dvm::reliable::{Accepted, ReceiverLedger, SenderWindow};
 use tulkun_core::dvm::{Envelope, Payload};
 use tulkun_core::fault::{FaultProfile, FaultStats};
 use tulkun_netmodel::DeviceId;
+use tulkun_telemetry::Telemetry;
 
 /// A [`Transport`] decorator that injects seeded message faults and
 /// recovers from them with at-least-once delivery.
@@ -46,21 +48,40 @@ pub struct FaultyTransport<T: Transport> {
     stats: FaultStats,
     /// Latest substrate time observed (send or arrival).
     now: u64,
+    /// Telemetry handle: injected faults are recorded as instant
+    /// events (`fault.*`, substrate time in `aux`); disabled by
+    /// default.
+    tel: Arc<Telemetry>,
 }
 
 impl<T: Transport> FaultyTransport<T> {
     /// Decorates `inner` with the faults of `profile`.
     pub fn new(inner: T, profile: FaultProfile) -> FaultyTransport<T> {
+        Self::with_telemetry(inner, profile, Telemetry::disabled())
+    }
+
+    /// Like [`FaultyTransport::new`], recording injected faults and
+    /// reliability-layer events into `tel`.
+    pub fn with_telemetry(
+        inner: T,
+        profile: FaultProfile,
+        tel: Arc<Telemetry>,
+    ) -> FaultyTransport<T> {
+        let mut sender = SenderWindow::new();
+        let mut receiver = ReceiverLedger::new();
+        sender.set_telemetry(tel.clone());
+        receiver.set_telemetry(tel.clone());
         FaultyTransport {
             inner,
             profile,
             rng: ChaCha8Rng::seed_from_u64(profile.seed),
-            sender: SenderWindow::new(),
-            receiver: ReceiverLedger::new(),
+            sender,
+            receiver,
             ready: VecDeque::new(),
             held: Vec::new(),
             stats: FaultStats::default(),
             now: 0,
+            tel,
         }
     }
 
@@ -89,6 +110,7 @@ impl<T: Transport> FaultyTransport<T> {
     fn inject_copies(&mut self, from: DeviceId, at: u64, env: &Envelope) {
         let copies = if self.roll(self.profile.dup_rate) {
             self.stats.dups += 1;
+            self.fault_event(from, "fault.dup", env.trace, at);
             2
         } else {
             1
@@ -98,13 +120,24 @@ impl<T: Transport> FaultyTransport<T> {
             if self.roll(self.profile.delay_rate) {
                 self.stats.delays += 1;
                 t += self.rng.gen_range(0..=self.profile.max_delay_ns);
+                self.fault_event(from, "fault.delay", env.trace, t);
             }
             if self.roll(self.profile.reorder_rate) {
                 self.stats.reorders += 1;
+                self.fault_event(from, "fault.reorder", env.trace, t);
                 self.held.push((t, env.clone()));
             } else {
                 self.inner.send(from, t, env.clone());
             }
+        }
+    }
+
+    /// Records one injected fault as an instant event (substrate time
+    /// in `aux`); a single branch when telemetry is disabled.
+    fn fault_event(&self, dev: DeviceId, name: &'static str, trace: u64, at: u64) {
+        if self.tel.is_enabled() {
+            self.tel
+                .span_aux(dev, name, "fault", self.tel.host_tick(), 0, trace, at);
         }
     }
 
@@ -113,6 +146,7 @@ impl<T: Transport> FaultyTransport<T> {
     fn send_ack(&mut self, arrival: u64, env: &Envelope, forced: bool) {
         if !forced && self.roll(self.profile.drop_rate) {
             self.stats.ack_drops += 1;
+            self.fault_event(env.to, "fault.ack_drop", env.trace, arrival);
             return;
         }
         let ack = Envelope::data(env.to, env.from, Payload::Ack { of: env.seq });
@@ -160,6 +194,7 @@ impl<T: Transport> FaultyTransport<T> {
         let from = env.from;
         if attempts >= self.profile.force_after_attempts {
             self.stats.forced += 1;
+            self.fault_event(from, "fault.forced", env.trace, fire);
             self.inner.send(from, fire, env);
         } else {
             self.inject_copies(from, fire, &env);
@@ -179,6 +214,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.sender.assign(&mut env, at, self.profile.rto_ns);
         if self.roll(self.profile.drop_rate) {
             self.stats.drops += 1;
+            self.fault_event(from, "fault.drop", env.trace, at);
         } else {
             self.inject_copies(from, at, &env);
         }

@@ -57,3 +57,4 @@ pub use event::{DeviceStats, DvmSim, FaultyDvmSim, SimConfig, SimResult};
 pub use faults::FaultyTransport;
 pub use models::SwitchModel;
 pub use runtime::{Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine};
+pub use tulkun_telemetry::{Telemetry, TelemetryConfig};

@@ -33,20 +33,21 @@
 use crate::models::SwitchModel;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 use tulkun_bdd::serial::PortablePred;
 use tulkun_core::count::Counts;
 use tulkun_core::dpvnet::NodeId;
-use tulkun_core::dvm::{DeviceVerifier, Envelope, VerifierConfig};
+use tulkun_core::dvm::{DeviceVerifier, Envelope, Payload, VerifierConfig};
 use tulkun_core::fault::FaultStats;
 use tulkun_core::planner::{CountingPlan, NodeTask};
 use tulkun_core::spec::PacketSpace;
 use tulkun_core::verify::{self, Report};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::{DeviceId, Topology};
+use tulkun_telemetry::{Reservoir, Telemetry, HANDLE_NS};
 
 /// One device's exported LEC table (predicates + actions).
 pub type LecTable = Vec<(PortablePred, tulkun_netmodel::fib::Action)>;
@@ -142,10 +143,14 @@ impl DeviceStats {
 pub struct RuntimeStats {
     /// Per-device overhead counters.
     pub per_device: BTreeMap<DeviceId, DeviceStats>,
-    /// Scaled per-message processing-time samples (ns), appended in
-    /// delivery order. Drain with [`RuntimeStats::drain_msg_samples`]
-    /// (the Fig. 15 harness does).
-    pub msg_ns_samples: Vec<u64>,
+    /// Scaled per-message processing-time samples (ns), offered in
+    /// delivery order to a bounded reservoir
+    /// ([`tulkun_telemetry::RESERVOIR_CAP`] = 65 536 kept samples, a
+    /// deterministic uniform sample once a long replay exceeds the
+    /// cap — unbounded growth was a leak on multi-million-message
+    /// runs). Drain with [`RuntimeStats::drain_msg_samples`] (the
+    /// Fig. 15 harness does).
+    pub msg_ns_samples: Reservoir,
     /// Messages delivered across all devices.
     pub messages: usize,
     /// Total bytes on the wire.
@@ -158,10 +163,11 @@ pub struct RuntimeStats {
 }
 
 impl RuntimeStats {
-    /// Takes the per-message samples accumulated so far, leaving the
-    /// vector empty (so repeated harness phases don't double-count).
+    /// Takes the per-message samples kept so far, leaving the
+    /// reservoir empty (so repeated harness phases don't
+    /// double-count).
     pub fn drain_msg_samples(&mut self) -> Vec<u64> {
-        std::mem::take(&mut self.msg_ns_samples)
+        self.msg_ns_samples.drain()
     }
 
     /// Histogram of the current per-message samples: `bounds` are the
@@ -169,7 +175,7 @@ impl RuntimeStats {
     /// appended, so the result has `bounds.len() + 1` entries.
     pub fn msg_ns_histogram(&self, bounds: &[u64]) -> Vec<usize> {
         let mut h = vec![0usize; bounds.len() + 1];
-        for &s in &self.msg_ns_samples {
+        for &s in self.msg_ns_samples.as_slice() {
             let i = bounds.iter().position(|&b| s <= b).unwrap_or(bounds.len());
             h[i] += 1;
         }
@@ -453,6 +459,11 @@ pub struct EngineConfig {
     /// per device and initial envelopes are enqueued in device order —
     /// but wall-clock burst-init time drops on multi-core hosts.
     pub parallel_init: bool,
+    /// Telemetry handle shared by the engine, its verifiers and (for
+    /// fault substrates) the transport. Defaults to the disabled
+    /// handle, under which every record call is a single branch — no
+    /// locks on the disabled path.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for EngineConfig {
@@ -461,7 +472,23 @@ impl Default for EngineConfig {
             model: SwitchModel::MELLANOX,
             fallback_latency_ns: 10_000,
             parallel_init: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+/// Causal trace id of the initial burst wave (every later internal
+/// event allocates a fresh id starting at [`FIRST_EVENT_TRACE`]).
+const INIT_TRACE: u64 = 1;
+/// First trace id handed to post-burst events.
+const FIRST_EVENT_TRACE: u64 = 2;
+
+/// Span name for one handled DVM envelope, by payload kind.
+fn dvm_span_name(payload: &Payload) -> &'static str {
+    match payload {
+        Payload::Update { .. } => "dvm.update",
+        Payload::Subscribe { .. } => "dvm.subscribe",
+        Payload::Ack { .. } => "dvm.ack",
     }
 }
 
@@ -498,7 +525,9 @@ fn build_verifiers(
         by_dev.entry(t.dev).or_default().push(t.clone());
     }
 
-    let build_one = |dev: DeviceId, tasks: Vec<NodeTask>| -> BuiltVerifier {
+    let tel = &cfg.telemetry;
+    let build_one = |dev: DeviceId, tasks: Vec<NodeTask>, worker: u64| -> BuiltVerifier {
+        let begin = tel.host_tick();
         let start = Instant::now();
         let cached = lec_cache.get(dev);
         let mut v = DeviceVerifier::builder(
@@ -510,13 +539,28 @@ fn build_verifiers(
         )
         .tasks(tasks)
         .maybe_lecs(cached.as_deref().map(Vec::as_slice))
+        .telemetry(tel.clone())
         .build();
         if cached.is_none() {
             lec_cache.insert(dev, v.export_lecs());
         }
+        // The whole initial burst is one causal wave.
+        v.set_trace(INIT_TRACE);
         let mut init_out = Vec::new();
         v.init(&mut init_out);
-        let init_ns = cfg.model.scale_ns(start.elapsed().as_nanos() as u64);
+        let host_ns = start.elapsed().as_nanos() as u64;
+        // Per-device init span, attributed to its worker (aux) so the
+        // EXPERIMENTS parallel-init entry can read actual occupancy.
+        tel.span_aux(
+            dev,
+            "init.build",
+            "init",
+            begin,
+            host_ns.max(1),
+            INIT_TRACE,
+            worker,
+        );
+        let init_ns = cfg.model.scale_ns(host_ns);
         BuiltVerifier {
             dev,
             verifier: v,
@@ -528,7 +572,7 @@ fn build_verifiers(
     if !cfg.parallel_init {
         return by_dev
             .into_iter()
-            .map(|(dev, tasks)| build_one(dev, tasks))
+            .map(|(dev, tasks)| build_one(dev, tasks, 0))
             .collect();
     }
 
@@ -541,7 +585,7 @@ fn build_verifiers(
     let jobs: Mutex<Vec<(DeviceId, Vec<NodeTask>)>> = Mutex::new(by_dev.into_iter().collect());
     let results: Mutex<Vec<BuiltVerifier>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let jobs = &jobs;
             let results = &results;
             let build_one = &build_one;
@@ -550,7 +594,7 @@ fn build_verifiers(
                     let mut q = jobs.lock().unwrap();
                     q.pop()
                 } {
-                    let built = build_one(dev, tasks);
+                    let built = build_one(dev, tasks, w as u64);
                     results.lock().unwrap().push(built);
                 }
             });
@@ -583,6 +627,9 @@ pub struct Engine<T: Transport, C: Clock> {
     clock: C,
     stats: RuntimeStats,
     watermark: u64,
+    tel: Arc<Telemetry>,
+    /// Next causal trace id handed to an injected internal event.
+    next_trace: u64,
 }
 
 impl<T: Transport, C: Clock> Engine<T, C> {
@@ -620,7 +667,16 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             clock,
             stats,
             watermark: 0,
+            tel: cfg.telemetry.clone(),
+            next_trace: FIRST_EVENT_TRACE,
         }
+    }
+
+    /// Allocates a fresh causal trace id for one injected event.
+    fn alloc_trace(&mut self) -> u64 {
+        let t = self.next_trace;
+        self.next_trace += 1;
+        t
     }
 
     /// Delivers messages until the transport runs dry (quiescence).
@@ -632,6 +688,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 continue;
             };
+            let begin_tick = self.tel.host_tick();
             let wall = Instant::now();
             let bytes_before = v.stats.bytes_sent;
             let mut replies = Vec::new();
@@ -640,6 +697,20 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             let sent = v.stats.bytes_sent - bytes_before;
             let bdd_nodes = v.bdd_nodes();
             let span = self.clock.charge(dev, arrival, host_ns);
+            if self.tel.is_enabled() {
+                // Host-tick timeline; the substrate's virtual begin
+                // time rides in aux for offline re-keying.
+                self.tel.span_aux(
+                    dev,
+                    dvm_span_name(&env.payload),
+                    "dvm",
+                    begin_tick,
+                    host_ns.max(1),
+                    env.trace,
+                    span.begin,
+                );
+                self.tel.observe(dev, &HANDLE_NS, span.cpu_ns);
+            }
             last_finish = last_finish.max(span.finish);
             out.messages += 1;
             out.bytes += env.wire_bytes() as u64;
@@ -683,6 +754,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// so results are per-burst times).
     pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> RunOutcome {
         self.reset_time();
+        let trace = self.alloc_trace();
         let batch: UpdateBatch = updates.iter().cloned().collect();
         let mut last_span = 0;
         for (dev, ops) in batch.coalesced() {
@@ -691,6 +763,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             };
             let wall = Instant::now();
             let mut replies = Vec::new();
+            v.set_trace(trace);
             v.handle_fib_batch(&ops, &mut replies);
             let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
             self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
@@ -708,12 +781,14 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// t=0.
     pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> RunOutcome {
         self.reset_time();
+        let trace = self.alloc_trace();
         for (x, y) in [(a, b), (b, a)] {
             let Some(v) = self.verifiers.get_mut(&x) else {
                 continue;
             };
             let wall = Instant::now();
             let mut replies = Vec::new();
+            v.set_trace(trace);
             v.handle_link_event(y, up, &mut replies);
             let span = self.clock.charge(x, 0, wall.elapsed().as_nanos() as u64);
             for env in replies {
@@ -728,6 +803,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// flooding delay added to the completion time.
     pub fn apply_scene(&mut self, tasks: &[NodeTask], flood_ns: u64) -> RunOutcome {
         self.reset_time();
+        let trace = self.alloc_trace();
         let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
         for t in tasks {
             by_dev.entry(t.dev).or_default().push(t.clone());
@@ -738,6 +814,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             };
             let wall = Instant::now();
             let mut replies = Vec::new();
+            v.set_trace(trace);
             v.set_tasks(tasks, &mut replies);
             let span = self
                 .clock
@@ -761,12 +838,14 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// the Report re-converges to the pre-crash fixpoint.
     pub fn crash_restart(&mut self, dev: DeviceId) -> RunOutcome {
         self.reset_time();
+        let trace = self.alloc_trace();
         {
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 return RunOutcome::default();
             };
             let wall = Instant::now();
             let mut replies = Vec::new();
+            v.set_trace(trace);
             v.reboot(&mut replies);
             let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
             self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
@@ -784,6 +863,7 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             let v = self.verifiers.get_mut(&nb).unwrap();
             let wall = Instant::now();
             let mut replays = Vec::new();
+            v.set_trace(trace);
             v.replay_for_restart(dev, &mut replays);
             if replays.is_empty() {
                 continue;
@@ -846,14 +926,16 @@ type NodeResults = Vec<(NodeId, Vec<(PortablePred, Counts)>)>;
 enum DeviceMsg {
     Dvm(Envelope),
     /// A coalesced per-device batch of FIB updates, applied with one
-    /// LEC delta.
-    FibBatch(Vec<RuleUpdate>),
+    /// LEC delta. Carries the causal trace id of the injected burst.
+    FibBatch(Vec<RuleUpdate>, u64),
     Collect(Vec<NodeId>, mpsc::Sender<NodeResults>),
     /// Crash + restart this device's verification agent: drop all soft
-    /// counting state and recount from scratch.
-    Reboot,
-    /// Replay durable protocol state toward a freshly restarted device.
-    ReplayFor(DeviceId),
+    /// counting state and recount from scratch. Carries the trace id of
+    /// the recovery wave.
+    Reboot(u64),
+    /// Replay durable protocol state toward a freshly restarted device,
+    /// tagged with the recovery wave's trace id.
+    ReplayFor(DeviceId, u64),
     #[cfg(test)]
     Crash,
     Shutdown,
@@ -918,6 +1000,10 @@ pub struct ThreadedEngine {
     inflight: Arc<InflightGauge>,
     handles: Vec<(DeviceId, std::thread::JoinHandle<DeviceStats>)>,
     init_stats: RuntimeStats,
+    /// Next causal trace id for injected events (init is [`INIT_TRACE`];
+    /// injections count up from [`FIRST_EVENT_TRACE`]). Atomic because
+    /// `inject_batch` takes `&self`.
+    next_trace: AtomicU64,
     joined: bool,
 }
 
@@ -962,6 +1048,7 @@ impl ThreadedEngine {
             let peers = senders.clone();
             let inflight = inflight.clone();
             let model = cfg.model;
+            let tel = cfg.telemetry.clone();
 
             // The initial messages count as in-flight before any thread
             // starts, so quiescence cannot be observed prematurely.
@@ -980,38 +1067,54 @@ impl ThreadedEngine {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             DeviceMsg::Dvm(env) => {
+                                let begin = tel.host_tick();
                                 let wall = Instant::now();
                                 let bytes_before = verifier.stats.bytes_sent;
                                 let mut out = Vec::new();
                                 verifier.handle(&env, &mut out);
-                                let cpu = model.scale_ns(wall.elapsed().as_nanos() as u64);
+                                let host_ns = wall.elapsed().as_nanos() as u64;
+                                let cpu = model.scale_ns(host_ns);
                                 stats.absorb_message(
                                     cpu,
                                     verifier.stats.bytes_sent - bytes_before,
                                     verifier.bdd_nodes(),
                                 );
+                                if tel.is_enabled() {
+                                    tel.span(
+                                        dev,
+                                        dvm_span_name(&env.payload),
+                                        "dvm",
+                                        begin,
+                                        host_ns.max(1),
+                                        env.trace,
+                                    );
+                                    tel.observe(dev, &HANDLE_NS, cpu);
+                                }
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
-                            DeviceMsg::FibBatch(us) => {
+                            DeviceMsg::FibBatch(us, trace) => {
                                 let wall = Instant::now();
                                 let mut out = Vec::new();
+                                verifier.set_trace(trace);
                                 verifier.handle_fib_batch(&us, &mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
-                            DeviceMsg::Reboot => {
+                            DeviceMsg::Reboot(trace) => {
                                 let wall = Instant::now();
                                 let mut out = Vec::new();
+                                verifier.set_trace(trace);
                                 verifier.reboot(&mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 route(&peers, out, &inflight);
                                 inflight.release();
                             }
-                            DeviceMsg::ReplayFor(d) => {
+                            DeviceMsg::ReplayFor(d, trace) => {
                                 let wall = Instant::now();
                                 let mut out = Vec::new();
+                                verifier.set_trace(trace);
                                 verifier.replay_for_restart(d, &mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
                                 route(&peers, out, &inflight);
@@ -1040,8 +1143,13 @@ impl ThreadedEngine {
             inflight,
             handles,
             init_stats,
+            next_trace: AtomicU64::new(FIRST_EVENT_TRACE),
             joined: false,
         }
+    }
+
+    fn alloc_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::SeqCst)
     }
 
     /// Blocks until no DVM message is queued or being processed.
@@ -1059,11 +1167,12 @@ impl ThreadedEngine {
     /// ([`UpdateBatch::coalesced`]), one `FibBatch` message per affected
     /// device (each counts as one in-flight event until processed).
     pub fn inject_batch(&self, updates: Vec<RuleUpdate>) {
+        let trace = self.alloc_trace();
         let batch: UpdateBatch = updates.into_iter().collect();
         for (dev, ops) in batch.coalesced() {
             if let Some(tx) = self.senders.get(&dev) {
                 self.inflight.add(1);
-                if tx.send(DeviceMsg::FibBatch(ops)).is_err() {
+                if tx.send(DeviceMsg::FibBatch(ops, trace)).is_err() {
                     self.inflight.release();
                 }
             }
@@ -1082,8 +1191,9 @@ impl ThreadedEngine {
         let Some(tx) = self.senders.get(&dev) else {
             return;
         };
+        let trace = self.alloc_trace();
         self.inflight.add(1);
-        if tx.send(DeviceMsg::Reboot).is_err() {
+        if tx.send(DeviceMsg::Reboot(trace)).is_err() {
             self.inflight.release();
             return;
         }
@@ -1092,7 +1202,7 @@ impl ThreadedEngine {
                 continue;
             }
             self.inflight.add(1);
-            if tx.send(DeviceMsg::ReplayFor(dev)).is_err() {
+            if tx.send(DeviceMsg::ReplayFor(dev, trace)).is_err() {
                 self.inflight.release();
             }
         }
@@ -1369,10 +1479,10 @@ mod tests {
 
     #[test]
     fn histogram_and_drain() {
-        let mut stats = RuntimeStats {
-            msg_ns_samples: vec![5, 50, 500, 5000],
-            ..Default::default()
-        };
+        let mut stats = RuntimeStats::default();
+        for s in [5, 50, 500, 5000] {
+            stats.msg_ns_samples.push(s);
+        }
         assert_eq!(stats.msg_ns_histogram(&[10, 100, 1000]), vec![1, 1, 1, 1]);
         assert_eq!(stats.drain_msg_samples().len(), 4);
         assert!(stats.msg_ns_samples.is_empty());

@@ -1,0 +1,177 @@
+//! Deterministic exporters: Chrome `trace_event` JSON (loadable in
+//! `about:tracing` / Perfetto) and Prometheus text exposition.
+//! Both iterate sorted snapshots, so equal recordings export to
+//! byte-equal output.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use tulkun_json::Json;
+
+use crate::{MetricsSnapshot, SpanEvent};
+
+fn micros(ns: u64) -> Json {
+    // Chrome-trace timestamps are microseconds; keep sub-µs precision
+    // as a fractional part. ns fits f64 exactly below 2^53.
+    Json::Float(ns as f64 / 1000.0)
+}
+
+/// Render spans as a Chrome `trace_event` JSON document. Devices map
+/// to threads (`tid` = device index) of one process (`pid` = 1);
+/// completed spans use phase `"X"`, instantaneous events phase `"i"`;
+/// the causal trace id and the auxiliary word ride in `args`.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut events = Vec::new();
+    let devices: BTreeSet<u32> = spans.iter().map(|s| s.device.0).collect();
+    for d in &devices {
+        events.push(Json::Object(vec![
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::Int(1)),
+            ("tid".into(), Json::Int(*d as i64)),
+            ("name".into(), Json::Str("thread_name".into())),
+            (
+                "args".into(),
+                Json::Object(vec![("name".into(), Json::Str(format!("dev{d}")))]),
+            ),
+        ]));
+    }
+    for s in spans {
+        let mut ev = vec![
+            ("name".into(), Json::Str(s.name.into())),
+            ("cat".into(), Json::Str(s.cat.into())),
+        ];
+        if s.dur > 0 {
+            ev.push(("ph".into(), Json::Str("X".into())));
+            ev.push(("ts".into(), micros(s.begin)));
+            ev.push(("dur".into(), micros(s.dur)));
+        } else {
+            ev.push(("ph".into(), Json::Str("i".into())));
+            ev.push(("s".into(), Json::Str("t".into())));
+            ev.push(("ts".into(), micros(s.begin)));
+        }
+        ev.push(("pid".into(), Json::Int(1)));
+        ev.push(("tid".into(), Json::Int(s.device.0 as i64)));
+        ev.push((
+            "args".into(),
+            Json::Object(vec![
+                ("trace".into(), Json::Int(s.trace as i64)),
+                ("aux".into(), Json::Int(s.aux as i64)),
+            ]),
+        ));
+        events.push(Json::Object(ev));
+    }
+    let doc = Json::Object(vec![
+        ("displayTimeUnit".into(), Json::Str("ns".into())),
+        ("traceEvents".into(), Json::Array(events)),
+    ]);
+    tulkun_json::to_string(&doc)
+}
+
+/// Render a metrics snapshot in Prometheus text exposition format:
+/// `# TYPE` comments, cumulative `_bucket{le="..."}` lines, `_sum`
+/// and `_count` per histogram. Deterministic: sorted by metric name.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &snap.hists {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (bound, c) in h.bounds.iter().zip(&h.buckets) {
+            cum += c;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        cum += h.buckets.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSpec, MetricsRegistry, Telemetry};
+    use tulkun_netmodel::topology::DeviceId;
+
+    const TINY: HistogramSpec = HistogramSpec {
+        name: "tiny_ns",
+        bounds: &[10, 100],
+    };
+
+    #[test]
+    fn chrome_trace_round_trips_and_links_devices() {
+        let tel = Telemetry::enabled();
+        tel.span(DeviceId(0), "fib.batch", "dvm", 100, 50, 7);
+        tel.span(DeviceId(2), "dvm.update", "dvm", 200, 25, 7);
+        tel.instant(DeviceId(2), "reliable.retransmit", "reliable", 300, 7);
+        let text = tel.chrome_trace_json();
+        let doc = tulkun_json::parse(&text).expect("exporter emits valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 2 thread_name metadata + 3 events.
+        assert_eq!(events.len(), 5);
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .collect();
+        let tids: BTreeSet<i64> = spans
+            .iter()
+            .filter_map(|e| match e.get("tid") {
+                Some(Json::Int(i)) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tids.len(), 2, "spans from two devices");
+        for s in &spans {
+            let trace = s.get("args").and_then(|a| a.get("trace"));
+            assert_eq!(trace, Some(&Json::Int(7)), "one causal trace id");
+        }
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.count(DeviceId(0), "b_total", 2);
+        reg.count(DeviceId(0), "a_total", 1);
+        reg.observe(DeviceId(0), &TINY, 5);
+        reg.observe(DeviceId(0), &TINY, 50);
+        reg.observe(DeviceId(0), &TINY, 5000);
+        let text = prometheus_text(&reg.snapshot());
+        let expected = "\
+# TYPE a_total counter
+a_total 1
+# TYPE b_total counter
+b_total 2
+# TYPE tiny_ns histogram
+tiny_ns_bucket{le=\"10\"} 1
+tiny_ns_bucket{le=\"100\"} 2
+tiny_ns_bucket{le=\"+Inf\"} 3
+tiny_ns_sum 5055
+tiny_ns_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn empty_snapshot_exports_empty_documents() {
+        let tel = Telemetry::disabled();
+        assert_eq!(tel.prometheus_text(), "");
+        let doc = tulkun_json::parse(&tel.chrome_trace_json()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

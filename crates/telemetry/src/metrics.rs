@@ -1,0 +1,313 @@
+//! Metrics registry: named counters, gauges and fixed-bucket
+//! histograms behind [`crate::SHARDS`] lock shards keyed by device
+//! index — the `LecCache` sharding rule, so one-thread-per-device
+//! runtimes never contend.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use tulkun_netmodel::topology::DeviceId;
+
+use crate::SHARDS;
+
+/// Static description of a histogram: name + ascending bucket upper
+/// bounds. Values above the last bound land in an implicit overflow
+/// (`+Inf`) bucket. Declare as `const` so call sites carry no
+/// allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSpec {
+    /// Metric name (Prometheus-style, e.g. `tulkun_dvm_handle_ns`).
+    pub name: &'static str,
+    /// Ascending upper bounds, in the metric's unit.
+    pub bounds: &'static [u64],
+}
+
+/// Shared nanosecond bucket bounds: 1 µs … 1 s, roughly 1-2-5.
+pub const NS_BOUNDS: &[u64] = &[
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Per-message `DeviceVerifier::handle` latency.
+pub const HANDLE_NS: HistogramSpec = HistogramSpec {
+    name: "tulkun_dvm_handle_ns",
+    bounds: NS_BOUNDS,
+};
+
+/// LEC table delta/splice latency inside `handle_fib_batch`.
+pub const LEC_DELTA_NS: HistogramSpec = HistogramSpec {
+    name: "tulkun_lec_delta_ns",
+    bounds: NS_BOUNDS,
+};
+
+/// Single-node CIB recomputation latency.
+pub const CIB_RECOMPUTE_NS: HistogramSpec = HistogramSpec {
+    name: "tulkun_cib_recompute_ns",
+    bounds: NS_BOUNDS,
+};
+
+/// Whole `handle_fib_batch` call latency.
+pub const FIB_BATCH_NS: HistogramSpec = HistogramSpec {
+    name: "tulkun_fib_batch_ns",
+    bounds: NS_BOUNDS,
+};
+
+#[derive(Debug, Clone)]
+struct Hist {
+    bounds: &'static [u64],
+    /// One count per bound plus the overflow bucket.
+    buckets: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Hist {
+    fn new(bounds: &'static [u64]) -> Hist {
+        Hist {
+            bounds,
+            buckets: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.count += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+/// Sharded metrics sink; see [`crate::Telemetry`] for the recording
+/// API and [`MetricsSnapshot`] for reading.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    fn shard(&self, dev: DeviceId) -> &Mutex<Shard> {
+        &self.shards[dev.idx() % SHARDS]
+    }
+
+    /// Add `n` to counter `name` in `dev`'s shard.
+    pub fn count(&self, dev: DeviceId, name: &'static str, n: u64) {
+        let mut s = self.shard(dev).lock().unwrap();
+        *s.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Set gauge `name` in `dev`'s shard; the snapshot reports the
+    /// maximum across shards.
+    pub fn gauge_set(&self, dev: DeviceId, name: &'static str, value: i64) {
+        let mut s = self.shard(dev).lock().unwrap();
+        s.gauges.insert(name, value);
+    }
+
+    /// Record `value` into the histogram described by `spec`.
+    pub fn observe(&self, dev: DeviceId, spec: &HistogramSpec, value: u64) {
+        let mut s = self.shard(dev).lock().unwrap();
+        s.hists
+            .entry(spec.name)
+            .or_insert_with(|| Hist::new(spec.bounds))
+            .observe(value);
+    }
+
+    /// Merge every shard into one snapshot: counters and histogram
+    /// buckets sum; gauges take the shard maximum (they track
+    /// high-water marks).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            for (&name, &v) in &s.counters {
+                *snap.counters.entry(name.to_string()).or_insert(0) += v;
+            }
+            for (&name, &v) in &s.gauges {
+                let e = snap.gauges.entry(name.to_string()).or_insert(i64::MIN);
+                *e = (*e).max(v);
+            }
+            for (&name, h) in &s.hists {
+                let e = snap
+                    .hists
+                    .entry(name.to_string())
+                    .or_insert_with(|| HistSnapshot {
+                        bounds: h.bounds.to_vec(),
+                        buckets: vec![0; h.buckets.len()],
+                        sum: 0,
+                        count: 0,
+                    });
+                for (b, v) in e.buckets.iter_mut().zip(&h.buckets) {
+                    *b += v;
+                }
+                e.sum = e.sum.saturating_add(h.sum);
+                e.count += h.count;
+            }
+        }
+        snap
+    }
+}
+
+/// Merged view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (0 < q ≤ 1). Observations in the overflow bucket report the
+    /// last finite bound — a lower bound on the true quantile. `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    *self.bounds.last().expect("histogram has bounds")
+                });
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+/// Point-in-time merge of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter name → summed value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → maximum shard value.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → merged buckets.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// `quantile(q)` of histogram `name`, if present and non-empty.
+    pub fn percentile(&self, name: &str, q: f64) -> Option<u64> {
+        self.hists.get(name).and_then(|h| h.quantile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+
+    const TINY: HistogramSpec = HistogramSpec {
+        name: "tiny",
+        bounds: &[10, 100, 1000],
+    };
+
+    #[test]
+    fn hand_computed_bucket_counts_are_exact() {
+        let reg = MetricsRegistry::new();
+        // Buckets: (..=10], (..=100], (..=1000], +Inf.
+        for v in [1, 10, 11, 100, 101, 1000, 1001, 5000] {
+            reg.observe(dev(3), &TINY, v);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.hists["tiny"];
+        assert_eq!(h.buckets, vec![2, 2, 2, 2]);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 1 + 10 + 11 + 100 + 101 + 1000 + 1001 + 5000);
+    }
+
+    #[test]
+    fn shards_merge_counters_and_buckets() {
+        let reg = MetricsRegistry::new();
+        // Devices 0 and 16 share a shard; 1 lands elsewhere.
+        reg.count(dev(0), "msgs", 2);
+        reg.count(dev(16), "msgs", 3);
+        reg.count(dev(1), "msgs", 5);
+        reg.observe(dev(0), &TINY, 5);
+        reg.observe(dev(1), &TINY, 500);
+        reg.gauge_set(dev(0), "hw", 7);
+        reg.gauge_set(dev(1), "hw", 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["msgs"], 10);
+        assert_eq!(snap.hists["tiny"].buckets, vec![1, 0, 1, 0]);
+        assert_eq!(snap.gauges["hw"], 7);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let reg = MetricsRegistry::new();
+        for _ in 0..90 {
+            reg.observe(dev(0), &TINY, 10);
+        }
+        for _ in 0..9 {
+            reg.observe(dev(0), &TINY, 100);
+        }
+        reg.observe(dev(0), &TINY, 99_999); // overflow bucket
+        let snap = reg.snapshot();
+        assert_eq!(snap.percentile("tiny", 0.50), Some(10));
+        assert_eq!(snap.percentile("tiny", 0.90), Some(10));
+        assert_eq!(snap.percentile("tiny", 0.95), Some(100));
+        // p100 sits in the overflow bucket → last finite bound.
+        assert_eq!(snap.percentile("tiny", 1.0), Some(1000));
+        assert_eq!(snap.percentile("absent", 0.5), None);
+    }
+}

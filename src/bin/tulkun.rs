@@ -17,10 +17,15 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use tulkun::core::count::CountExpr;
+use tulkun::core::fault::FaultProfile;
 use tulkun::core::planner::{Plan, PlanKind, Planner, PlannerOptions};
-use tulkun::core::spec::Invariant;
+use tulkun::core::spec::{Behavior, Invariant, PacketSpace, PathExpr};
 use tulkun::core::verify::{verify_snapshot, ViolationKind};
+use tulkun::json::Json;
 use tulkun::netmodel::network::Network;
+use tulkun::sim::{DvmSim, FaultyDvmSim, RuntimeStats, SimConfig, Telemetry, TelemetryConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -150,6 +155,20 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "trace" => match observed_run(&args, &get) {
+            Ok(run) => emit_observed(run.telemetry.chrome_trace_json(), &run, &args, &get),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "metrics" => match observed_run(&args, &get) {
+            Ok(run) => emit_observed(run.telemetry.prometheus_text(), &run, &args, &get),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => usage(),
     }
 }
@@ -160,9 +179,204 @@ fn usage() -> ExitCode {
          tulkun example [--out net.json]\n  \
          tulkun verify --network net.json (--invariants file.tk | --invariant \"(...)\") \
          [--no-consistency-check]\n  \
-         tulkun plan --network net.json --invariant \"(...)\" [--dot out.dot]"
+         tulkun plan --network net.json --invariant \"(...)\" [--dot out.dot]\n  \
+         tulkun trace [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
+         [--faults SEED] [--off] [--out trace.json] [--stats]\n  \
+         tulkun metrics [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
+         [--faults SEED] [--off] [--out metrics.prom] [--stats]"
     );
     ExitCode::FAILURE
+}
+
+/// A finished, telemetry-observed DVM run (see [`observed_run`]).
+struct ObservedRun {
+    telemetry: Arc<Telemetry>,
+    stats: RuntimeStats,
+    holds: bool,
+}
+
+/// Runs one destination's counting session on a generated dataset with
+/// telemetry attached: burst, then a deterministic churn trace applied
+/// as coalesced batches (over a seeded lossy channel with `--faults`).
+/// This is the workload behind `tulkun trace` and `tulkun metrics`.
+fn observed_run(
+    args: &[String],
+    get: &dyn Fn(&str) -> Option<String>,
+) -> Result<ObservedRun, String> {
+    let name = get("--name").unwrap_or_else(|| "INet2".into());
+    let scale = match get("--scale").as_deref() {
+        Some("paper") => tulkun::datasets::Scale::Paper,
+        _ => tulkun::datasets::Scale::Tiny,
+    };
+    let ds = tulkun::datasets::by_name(&name, scale).ok_or_else(|| {
+        format!(
+            "unknown dataset {name:?}; available: {}",
+            tulkun::datasets::DATASET_NAMES.join(", ")
+        )
+    })?;
+    let net = &ds.network;
+    let topo = &net.topology;
+    let (dst, _) = topo
+        .external_map()
+        .next()
+        .ok_or_else(|| format!("dataset {name:?} announces no external prefixes"))?;
+    let prefixes = topo.external_prefixes(dst).to_vec();
+
+    // One WAN destination's subset-reachability invariant (the §9.3.1
+    // workload shape): every other device delivers along loop-free,
+    // <= shortest+2 paths.
+    let dst_name = topo.name(dst);
+    let ingress: Vec<String> = topo
+        .devices()
+        .filter(|d| *d != dst)
+        .map(|d| topo.name(d).to_string())
+        .collect();
+    let mut ps = PacketSpace::DstPrefix(prefixes[0]);
+    for p in &prefixes[1..] {
+        ps = ps.or(PacketSpace::DstPrefix(*p));
+    }
+    let path = PathExpr::parse(&format!(". * {dst_name}"))
+        .map_err(|e| e.to_string())?
+        .loop_free()
+        .shortest_plus(2);
+    let inv = Invariant::builder()
+        .name(format!("subset reachability -> {dst_name}"))
+        .packet_space(ps)
+        .ingress(ingress)
+        .behavior(Behavior::exist(CountExpr::ge(1), path.clone()).and(Behavior::covered(path)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let plan = Planner::new(topo)
+        .plan(&inv)
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let cp = plan
+        .counting()
+        .ok_or("invariant planned as a local contract; nothing to trace")?
+        .clone();
+
+    let telemetry = if args.iter().any(|a| a == "--off") {
+        Telemetry::disabled()
+    } else {
+        Telemetry::new(TelemetryConfig::enabled())
+    };
+    let cfg = SimConfig {
+        telemetry: telemetry.clone(),
+        ..SimConfig::default()
+    };
+    let updates: usize = get("--updates").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let trace = tulkun::datasets::rule_updates(net, updates, seed);
+    let burst = (updates / 2).max(1);
+
+    let (stats, holds) = match get("--faults").and_then(|v| v.parse::<u64>().ok()) {
+        Some(fault_seed) => {
+            let mut sim = FaultyDvmSim::new(
+                net,
+                &cp,
+                &inv.packet_space,
+                cfg,
+                FaultProfile::loss(fault_seed, 0.10),
+            );
+            sim.burst();
+            for chunk in trace.chunks(burst) {
+                sim.apply_batch(chunk);
+            }
+            let holds = sim.report().holds();
+            (sim.stats().clone(), holds)
+        }
+        None => {
+            let mut sim = DvmSim::new(net, &cp, &inv.packet_space, cfg);
+            sim.burst();
+            for chunk in trace.chunks(burst) {
+                sim.apply_batch(chunk);
+            }
+            let holds = sim.report().holds();
+            (sim.stats().clone(), holds)
+        }
+    };
+    Ok(ObservedRun {
+        telemetry,
+        stats,
+        holds,
+    })
+}
+
+/// Writes the exported artifact (`--out` or stdout); with `--stats`,
+/// prints the final [`RuntimeStats`] as JSON on stderr.
+fn emit_observed(
+    artifact: String,
+    run: &ObservedRun,
+    args: &[String],
+    get: &dyn Fn(&str) -> Option<String>,
+) -> ExitCode {
+    if args.iter().any(|a| a == "--stats") {
+        eprintln!("{}", tulkun::json::to_string_pretty(&stats_json(run)));
+    }
+    match get("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, artifact) {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{artifact}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The final [`RuntimeStats`] (including fault-injection counters and
+/// crash recoveries) as a JSON value.
+fn stats_json(run: &ObservedRun) -> Json {
+    let s = &run.stats;
+    let f = &s.fault;
+    let int = |v: u64| Json::Int(v as i64);
+    let fault = Json::Object(vec![
+        ("drops".into(), int(f.drops)),
+        ("ack_drops".into(), int(f.ack_drops)),
+        ("dups".into(), int(f.dups)),
+        ("reorders".into(), int(f.reorders)),
+        ("delays".into(), int(f.delays)),
+        ("retransmits".into(), int(f.retransmits)),
+        ("retransmit_bytes".into(), int(f.retransmit_bytes)),
+        ("forced".into(), int(f.forced)),
+        ("dup_suppressed".into(), int(f.dup_suppressed)),
+        ("acks".into(), int(f.acks)),
+        ("ack_bytes".into(), int(f.ack_bytes)),
+    ]);
+    let per_device = Json::Object(
+        s.per_device
+            .iter()
+            .map(|(dev, d)| {
+                (
+                    format!("dev{}", dev.0),
+                    Json::Object(vec![
+                        ("init_ns".into(), int(d.init_ns)),
+                        ("busy_ns".into(), int(d.busy_ns)),
+                        ("messages".into(), int(d.messages)),
+                        ("bytes_sent".into(), int(d.bytes_sent)),
+                        ("bdd_nodes".into(), int(d.bdd_nodes as u64)),
+                        ("max_msg_ns".into(), int(d.max_msg_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        ("holds".into(), Json::Bool(run.holds)),
+        ("messages".into(), int(s.messages as u64)),
+        ("bytes".into(), int(s.bytes)),
+        ("max_msg_ns".into(), int(s.max_msg_ns())),
+        (
+            "msg_samples_kept".into(),
+            int(s.msg_ns_samples.len() as u64),
+        ),
+        ("msg_samples_seen".into(), int(s.msg_ns_samples.seen())),
+        ("crashes_recovered".into(), int(s.crashes_recovered)),
+        ("fault".into(), fault),
+        ("per_device".into(), per_device),
+        ("spans_dropped".into(), int(run.telemetry.spans_dropped())),
+    ])
 }
 
 fn write_network(net: &Network, out: Option<String>) -> ExitCode {

@@ -23,6 +23,8 @@
 //!   `Clock`, `RuntimeStats`) with its substrates: a discrete-event
 //!   simulator and a threaded distributed runner that execute the
 //!   verifiers at scale.
+//! * [`telemetry`] — span tracing, the sharded metrics registry, and
+//!   the Chrome-trace / Prometheus exporters shared by every substrate.
 //! * [`json`] — the vendored, dependency-free JSON (de)serialization
 //!   layer the workspace uses for all wire and sidecar formats.
 //! * [`baselines`] — centralized DPV baselines (AP, APKeep, Delta-net,
@@ -66,6 +68,7 @@ pub use tulkun_datasets as datasets;
 pub use tulkun_json as json;
 pub use tulkun_netmodel as netmodel;
 pub use tulkun_sim as sim;
+pub use tulkun_telemetry as telemetry;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
