@@ -17,6 +17,11 @@
 #                 seeds {1,7,23,101} x loss {0%,1%,10%} plus chaos and
 #                 crash/restart profiles; fails on any Report
 #                 divergence (tests/fault_matrix.rs, release mode)
+#   churn-matrix  substrate equivalence under live topology churn:
+#                 seeds {1,7,23,101} x loss {0%,10%} x crash/restart
+#                 interleaved with link/device down/up events; fails on
+#                 any epoch-final Report divergence
+#                 (tests/churn_matrix.rs, release mode)
 #   bench-smoke   runs the ablation harness on tiny topologies and
 #                 validates every emitted figure JSON (structure only,
 #                 no timing assertions -- the CI box has 1 CPU)
@@ -26,7 +31,44 @@
 #                 -- the CI box has 1 CPU); also asserts a run with
 #                 telemetry disabled (--off) emits zero output
 #   doc-check     README/DESIGN must document the core runtime types
+#
+# Every stage runs under a wall-clock cap (CI_STAGE_TIMEOUT seconds,
+# default 1800): a convergence hang — a wedged device thread, a lost
+# quiescence signal — must fail CI loudly instead of stalling the
+# runner forever.
 set -eu
+
+STAGE_TIMEOUT="${CI_STAGE_TIMEOUT:-1800}"
+
+# Runs `$2` (a stage function) with stage name `$1` under the
+# wall-clock cap. The stage runs in a background subshell; a watcher
+# kills it on expiry, so the `wait` below returns non-zero and `set -e`
+# aborts the pipeline. The watcher polls in short sleeps (never one
+# long sleep) so it exits — and releases any pipe CI wraps around this
+# script — promptly after the stage finishes. (Killing cargo can leave
+# a test child behind, but CI still exits loudly — the box is recycled
+# per run.)
+run_with_timeout() {
+    "$2" &
+    cmd=$!
+    (
+        elapsed=0
+        while kill -0 "$cmd" 2>/dev/null; do
+            if [ "$elapsed" -ge "$STAGE_TIMEOUT" ]; then
+                echo "ci.sh: stage '$1' exceeded ${STAGE_TIMEOUT}s (convergence hang?)" >&2
+                kill -TERM "$cmd" 2>/dev/null
+                exit 0
+            fi
+            sleep 5
+            elapsed=$((elapsed + 5))
+        done
+    ) &
+    watcher=$!
+    rc=0
+    wait "$cmd" || rc=$?
+    wait "$watcher" 2>/dev/null || true
+    return "$rc"
+}
 
 stage_build() {
     cargo build --release --workspace --all-targets
@@ -48,6 +90,10 @@ stage_fault_matrix() {
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test fault_matrix
 }
 
+stage_churn_matrix() {
+    TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test churn_matrix
+}
+
 stage_bench_smoke() {
     cargo run --release -p tulkun-bench --bin ablation -- \
         --scale tiny --datasets INet2,AT1-2 --updates 48
@@ -58,7 +104,8 @@ stage_bench_smoke() {
         ablation_scene_reuse \
         ablation_parallel_init \
         ablation_fault_overhead \
-        ablation_burst_updates
+        ablation_burst_updates \
+        ablation_churn
 }
 
 stage_obs_smoke() {
@@ -96,22 +143,24 @@ stage_doc_check() {
 run_stage() {
     echo "== ci.sh: $1 =="
     case "$1" in
-        build)        stage_build ;;
-        test)         stage_test ;;
-        lint)         stage_lint ;;
-        fmt)          stage_fmt ;;
-        fault-matrix) stage_fault_matrix ;;
-        bench-smoke)  stage_bench_smoke ;;
-        obs-smoke)    stage_obs_smoke ;;
-        doc-check)    stage_doc_check ;;
+        build)        run_with_timeout "$1" stage_build ;;
+        test)         run_with_timeout "$1" stage_test ;;
+        lint)         run_with_timeout "$1" stage_lint ;;
+        fmt)          run_with_timeout "$1" stage_fmt ;;
+        fault-matrix) run_with_timeout "$1" stage_fault_matrix ;;
+        churn-matrix) run_with_timeout "$1" stage_churn_matrix ;;
+        bench-smoke)  run_with_timeout "$1" stage_bench_smoke ;;
+        obs-smoke)    run_with_timeout "$1" stage_obs_smoke ;;
+        doc-check)    run_with_timeout "$1" stage_doc_check ;;
         all)
-            for s in build test lint fmt fault-matrix bench-smoke obs-smoke doc-check; do
+            for s in build test lint fmt fault-matrix churn-matrix \
+                     bench-smoke obs-smoke doc-check; do
                 run_stage "$s"
             done
             ;;
         *)
             echo "ci.sh: unknown stage '$1'" >&2
-            echo "stages: build test lint fmt fault-matrix bench-smoke obs-smoke doc-check all" >&2
+            echo "stages: build test lint fmt fault-matrix churn-matrix bench-smoke obs-smoke doc-check all" >&2
             exit 2
             ;;
     esac

@@ -18,6 +18,7 @@
 
 use std::time::Instant;
 use tulkun_bench::{fmt_ns, Cli, FigureTable};
+use tulkun_core::churn::{ChurnSchedule, ChurnState, TopologyEvent};
 use tulkun_core::count::ReduceMode;
 use tulkun_core::dpvnet::{self, DpvNet};
 use tulkun_core::fault::{build_ft_dpvnet, expand_fault_spec, FaultProfile};
@@ -25,6 +26,7 @@ use tulkun_core::planner::Planner;
 use tulkun_core::spec::{FaultSpec, PathExpr};
 use tulkun_core::verify::Session;
 use tulkun_datasets::by_name;
+use tulkun_netmodel::network::Network;
 use tulkun_sim::event::LecCache;
 use tulkun_sim::{DvmSim, FaultyDvmSim, SimConfig, Telemetry, TelemetryConfig};
 
@@ -37,6 +39,91 @@ fn main() {
     ablate_parallel_init(&cli);
     ablate_fault_overhead(&cli);
     ablate_burst_updates(&cli);
+    ablate_churn(&cli);
+}
+
+/// Live topology churn: incremental re-plan (epoch fence + reused
+/// DPVNet nodes) vs tearing the session down and re-initializing from a
+/// fresh plan of the post-churn topology — convergence wall clock and
+/// wire cost per event, with a report-equality check.
+fn ablate_churn(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "ablation_churn",
+        "Topology churn: incremental re-plan vs full re-init (seed 7)",
+        &[
+            "dataset",
+            "event",
+            "reused nodes",
+            "re-plan",
+            "messages",
+            "re-init",
+            "init messages",
+            "speedup",
+            "same report",
+        ],
+    );
+    for name in ["INet2", "B4-13"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap();
+
+        let schedule = ChurnSchedule::seeded(topo, &inv, 7, 4);
+        let mut sim = DvmSim::new(&ds.network, cp, &inv.packet_space, SimConfig::default());
+        sim.burst();
+        let mut churn = ChurnState::new();
+        for ev in &schedule.0 {
+            let t0 = Instant::now();
+            let (r, total, reused) = match sim.apply_topology_event_with_delta(ev, topo, &inv) {
+                Ok(x) => x,
+                Err(_) => continue,
+            };
+            let replan_wall = t0.elapsed().as_nanos() as u64;
+            churn.apply(ev);
+
+            // Full re-init: fresh plan + verifier construction + burst
+            // over the same post-churn topology.
+            let post = Network {
+                topology: churn.apply_to(topo),
+                fibs: ds.network.fibs.clone(),
+                layout: ds.network.layout,
+            };
+            let t1 = Instant::now();
+            let fresh_plan = Planner::new(&post.topology).plan(&inv).unwrap();
+            let fresh_cp = fresh_plan.counting().unwrap();
+            let mut fresh = DvmSim::new(&post, fresh_cp, &inv.packet_space, SimConfig::default());
+            let fr = fresh.burst();
+            let reinit_wall = t1.elapsed().as_nanos() as u64;
+
+            t.row(vec![
+                name.into(),
+                match ev {
+                    TopologyEvent::LinkDown(a, b) => {
+                        format!("link-down {}-{}", topo.name(*a), topo.name(*b))
+                    }
+                    TopologyEvent::LinkUp(a, b) => {
+                        format!("link-up {}-{}", topo.name(*a), topo.name(*b))
+                    }
+                    TopologyEvent::DeviceDown(d) => format!("device-down {}", topo.name(*d)),
+                    TopologyEvent::DeviceUp(d) => format!("device-up {}", topo.name(*d)),
+                },
+                format!("{reused}/{total}"),
+                fmt_ns(replan_wall),
+                r.messages.to_string(),
+                fmt_ns(reinit_wall),
+                fr.messages.to_string(),
+                format!("{:.2}x", reinit_wall as f64 / replan_wall.max(1) as f64),
+                (sim.report().canonical_bytes() == fresh.report().canonical_bytes()).to_string(),
+            ]);
+        }
+    }
+    t.finish();
 }
 
 /// Burst-update pipeline: replaying a churn trace rule-by-rule vs as

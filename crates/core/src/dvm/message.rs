@@ -117,6 +117,14 @@ pub struct Envelope {
     /// only — excluded from [`Envelope::wire_bytes`] and never read by
     /// the protocol itself.
     pub trace: u64,
+    /// Epoch fence: the topology generation the sender was planned
+    /// against when it emitted this envelope. Unlike [`Envelope::trace`]
+    /// this *is* protocol-relevant — after a topology churn bumps the
+    /// generation, verifiers discard in-flight envelopes stamped with a
+    /// superseded epoch instead of letting them corrupt the new round,
+    /// and the reliability layer drops superseded retransmission
+    /// entries. `0` is the pre-churn epoch every run starts in.
+    pub epoch: u64,
     /// The DVM payload.
     pub payload: Payload,
 }
@@ -129,6 +137,7 @@ impl Envelope {
             to,
             seq: 0,
             trace: 0,
+            epoch: 0,
             payload,
         }
     }
@@ -227,6 +236,7 @@ tulkun_json::impl_json_object!(Envelope {
     to,
     seq,
     trace,
+    epoch,
     payload
 });
 
@@ -245,6 +255,7 @@ mod tests {
             to: DeviceId(2),
             seq: 7,
             trace: 11,
+            epoch: 3,
             payload: Payload::Update {
                 edge: EdgeRef {
                     up: NodeId(0),

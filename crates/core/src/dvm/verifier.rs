@@ -76,6 +76,9 @@ pub struct VerifierStats {
     pub bytes_sent: u64,
     /// Full or incremental LEC (re)builds.
     pub lec_rebuilds: u64,
+    /// Envelopes discarded by the epoch fence (stamped with a
+    /// superseded topology generation).
+    pub epoch_discarded: u64,
 }
 
 #[derive(Debug)]
@@ -114,6 +117,10 @@ pub struct DeviceVerifier {
     /// Causal trace id of the event currently being processed; stamped
     /// onto every emitted envelope (see [`Envelope::trace`]).
     trace: u64,
+    /// Topology generation this verifier is planned against; stamped
+    /// onto every emitted envelope (see [`Envelope::epoch`]). Incoming
+    /// envelopes from an older generation are discarded at the fence.
+    epoch: u64,
     /// Telemetry sink (disabled handle by default — every record call
     /// is then a single branch).
     tel: Arc<Telemetry>,
@@ -220,6 +227,7 @@ impl<'a> VerifierBuilder<'a> {
             nodes,
             down_neighbors: BTreeSet::new(),
             trace: 0,
+            epoch: 0,
             tel: tel.unwrap_or_else(Telemetry::disabled),
             stats: VerifierStats::default(),
             mgr,
@@ -294,10 +302,24 @@ impl DeviceVerifier {
         self.trace
     }
 
-    /// Stamps the current trace id, accounts stats and forwards `env`
-    /// to `out`. Every data envelope leaves through here.
+    /// Sets the topology generation this verifier is planned against.
+    /// Runtimes call this when a churn bumps the epoch, *before*
+    /// applying re-planned tasks, so every resulting emission carries
+    /// the new generation.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The topology generation currently in effect.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the current trace id and epoch, accounts stats and
+    /// forwards `env` to `out`. Every data envelope leaves through here.
     fn emit(&mut self, mut env: Envelope, out: &mut dyn Outbox) {
         env.trace = self.trace;
+        env.epoch = self.epoch;
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += env.wire_bytes() as u64;
         out.push(env);
@@ -367,8 +389,19 @@ impl DeviceVerifier {
     }
 
     /// Handles one incoming DVM message, writing any responses to `out`.
+    ///
+    /// The **epoch fence**: an envelope stamped with a generation older
+    /// than this verifier's is in-flight residue of a superseded
+    /// topology and is discarded unprocessed — its counting results
+    /// describe a DPVNet that no longer exists, and applying them would
+    /// corrupt the new round.
     pub fn handle(&mut self, env: &Envelope, out: &mut dyn Outbox) {
         assert_eq!(env.to, self.dev, "message routed to the wrong device");
+        if env.epoch < self.epoch {
+            self.stats.epoch_discarded += 1;
+            self.tel.count(self.dev, "tulkun_epoch_discarded_total", 1);
+            return;
+        }
         self.trace = env.trace;
         match &env.payload {
             Payload::Update {
@@ -625,6 +658,7 @@ impl DeviceVerifier {
     /// diff-based UPDATEs stay correct — and `CIBIn` keeps entries for
     /// surviving downstream nodes.
     pub fn set_tasks(&mut self, tasks: Vec<NodeTask>, out: &mut dyn Outbox) {
+        let mut touched = Vec::with_capacity(tasks.len());
         for task in tasks {
             assert_eq!(task.dev, self.dev);
             let node = task.node;
@@ -647,9 +681,82 @@ impl DeviceVerifier {
                     },
                 );
             }
+            touched.push(node);
+        }
+        // New nodes start with an empty relevance index; recomputing
+        // through it would see no LEC classes and silently zero the
+        // node out. Rebuild relevance before the first recount.
+        self.refresh_relevance();
+        for node in touched {
             let scope = self.nodes[&node].scope;
             self.emit_subscriptions(node, scope, out);
             self.recompute_node(node, scope, out);
+        }
+    }
+
+    /// Drops DPVNet nodes a re-plan no longer assigns to this device
+    /// (their paths vanished with the churned topology). In-flight
+    /// messages naming a removed node are tolerated by the stale-node
+    /// guard in UPDATE handling.
+    pub fn remove_nodes(&mut self, nodes: &[NodeId]) {
+        for n in nodes {
+            self.nodes.remove(n);
+        }
+    }
+
+    /// Re-announces this device's durable protocol state to *all*
+    /// neighbors after an epoch bump: a full-scope UPDATE carrying the
+    /// current `CIBOut` on every upstream edge (the `withdrawn = scope`
+    /// form makes it idempotent) and a SUBSCRIBE re-stating every grown
+    /// scope on every downstream edge. The epoch fence dropped whatever
+    /// was in flight when the topology churned; re-announcing repairs
+    /// exactly the `CIBIn`/scope entries those lost messages carried, so
+    /// the new epoch re-converges to the fixpoint of a fresh plan.
+    pub fn reannounce(&mut self, out: &mut dyn Outbox) {
+        let ids = self.node_ids();
+        for node in ids {
+            let st = &self.nodes[&node];
+            let ups: Vec<(NodeId, DeviceId)> = st.task.upstream.clone();
+            if !ups.is_empty() {
+                let withdrawn = vec![serial::export(&self.mgr, st.scope)];
+                let results: Vec<(PortablePred, Counts)> = st
+                    .cib_out
+                    .iter()
+                    .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+                    .collect();
+                for (un, ud) in ups {
+                    let env = Envelope::data(
+                        self.dev,
+                        ud,
+                        Payload::Update {
+                            edge: EdgeRef { up: un, down: node },
+                            withdrawn: withdrawn.clone(),
+                            results: results.clone(),
+                        },
+                    );
+                    self.emit(env, out);
+                }
+            }
+            let downs: Vec<(NodeId, DeviceId, Pred)> = self.nodes[&node]
+                .task
+                .downstream
+                .iter()
+                .filter_map(|(n, d)| self.nodes[&node].sent_subs.get(n).map(|s| (*n, *d, *s)))
+                .collect();
+            for (vn, vd, space) in downs {
+                if self.mgr.is_false(space) {
+                    continue;
+                }
+                let env = Envelope::data(
+                    self.dev,
+                    vd,
+                    Payload::Subscribe {
+                        edge: EdgeRef { up: node, down: vn },
+                        space: serial::export(&self.mgr, space),
+                    },
+                );
+                self.emit(env, out);
+            }
         }
     }
 

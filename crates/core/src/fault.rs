@@ -133,6 +133,9 @@ pub struct FaultStats {
     pub acks: u64,
     /// Bytes spent on acks.
     pub ack_bytes: u64,
+    /// Sends parked (window at cap) plus arrivals refused (reorder
+    /// buffer at cap) by the bounded reliability layer's backpressure.
+    pub backpressure: u64,
 }
 
 /// A failed link named by its (canonically ordered) endpoint devices —

@@ -22,10 +22,13 @@
 //!   behaviors (§4.2), generalizing Azure RCDC.
 //! * [`fault`] — fault-tolerant DPVNet precomputation and online
 //!   recounting (§6).
+//! * [`churn`] — live topology churn: epoch-fenced incremental
+//!   re-planning around link/device up/down events at runtime.
 //! * [`verify`] — an in-process driver that runs all on-device verifiers
 //!   to quiescence over a network snapshot (the simulator and the threaded
 //!   runner drive the same verifiers asynchronously).
 
+pub mod churn;
 pub mod count;
 pub mod dpvnet;
 pub mod dvm;

@@ -54,7 +54,7 @@ impl Formula {
 }
 
 /// The counting task assigned to one DPVNet node, shipped to its device.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeTask {
     /// The DPVNet node.
     pub node: NodeId,

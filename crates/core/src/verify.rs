@@ -7,17 +7,19 @@
 //! latencies; this driver is the convenient synchronous API (and the
 //! reference semantics the others are tested against).
 
+use crate::churn::{replan_for_churn, ChurnState, TopologyEvent};
 use crate::count::Counts;
 use crate::dpvnet::NodeId;
 use crate::dvm::{DestMode, DeviceVerifier, Envelope, VerifierConfig};
 use crate::localcheck::{ContractViolation, LocalChecker};
-use crate::planner::{CountingPlan, NodeTask, Plan, PlanKind};
-use crate::spec::PacketSpace;
-use std::collections::{BTreeMap, VecDeque};
+use crate::planner::{CountingPlan, NodeTask, Plan, PlanError, PlanKind};
+use crate::spec::{Invariant, PacketSpace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tulkun_bdd::serial::{self, PortablePred};
 use tulkun_bdd::{BddManager, HeaderLayout};
 use tulkun_json::{Json, ToJson};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
+use tulkun_netmodel::topology::Topology;
 use tulkun_netmodel::DeviceId;
 
 /// Why an invariant does not hold.
@@ -54,6 +56,20 @@ pub struct Violation {
     pub kind: ViolationKind,
 }
 
+/// How current one DPVNet node's contribution to the verdict is after
+/// topology churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// Counted against the current epoch's plan.
+    Fresh,
+    /// The node's device last converged in the given (superseded)
+    /// epoch — e.g. the convergence watchdog gave up on it mid-round.
+    Stale(u64),
+    /// The node's device is quarantined (dead or partitioned); its last
+    /// known results are not part of the current plan at all.
+    Unreachable,
+}
+
 /// The verification verdict.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -61,6 +77,14 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// DVM messages processed to reach quiescence.
     pub messages: usize,
+    /// Per-node freshness markers, sorted by node id. Empty until a
+    /// topology churn occurs; callers then get explicit partial results
+    /// (`Fresh`/`Stale`/`Unreachable`) instead of a hang. Like
+    /// `messages`, excluded from [`Report::canonical_bytes`] — the
+    /// verdict over reachable nodes must stay substrate-identical.
+    pub freshness: Vec<(NodeId, Freshness)>,
+    /// Devices currently quarantined (dead or partitioned), sorted.
+    pub quarantined: Vec<DeviceId>,
 }
 
 impl ToJson for ViolationKind {
@@ -163,6 +187,14 @@ pub struct Session {
     queue: VecDeque<Envelope>,
     /// Messages processed since creation.
     pub messages_processed: usize,
+    /// Topology generation (bumped by every applied churn event).
+    epoch: u64,
+    /// Cumulative link/device churn.
+    churn: ChurnState,
+    /// Devices currently quarantined (no deliveries, no recounting).
+    quarantined: BTreeSet<DeviceId>,
+    /// Old-plan nodes stranded on quarantined devices.
+    unreachable: BTreeMap<NodeId, DeviceId>,
 }
 
 impl Session {
@@ -213,6 +245,10 @@ impl Session {
             verifiers,
             queue,
             messages_processed: 0,
+            epoch: 0,
+            churn: ChurnState::new(),
+            quarantined: BTreeSet::new(),
+            unreachable: BTreeMap::new(),
         }
     }
 
@@ -238,6 +274,9 @@ impl Session {
         let mut n = 0;
         while let Some(env) = self.queue.pop_front() {
             n += 1;
+            if self.quarantined.contains(&env.to) {
+                continue;
+            }
             if let Some(v) = self.verifiers.get_mut(&env.to) {
                 v.handle(&env, &mut self.queue);
             }
@@ -277,6 +316,89 @@ impl Session {
         self.run_to_quiescence()
     }
 
+    /// The current topology generation (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one live topology churn event: folds it into the
+    /// cumulative churn state, re-plans the invariant against the
+    /// post-churn topology (`base` is the *original* topology; `inv`
+    /// the invariant this session's plan was compiled from), bumps the
+    /// epoch fence, applies the incremental task diff, has every
+    /// reachable device re-announce its durable state under the new
+    /// epoch, and re-runs to quiescence. Returns the number of messages
+    /// the churn caused.
+    ///
+    /// Devices named by `DeviceDown` are quarantined: no deliveries, no
+    /// recounting; their old-plan nodes show up `Unreachable` in the
+    /// report. A device that had no tasks in the running plan cannot be
+    /// assigned new ones (its verifier was never built) — such re-plans
+    /// fail with [`PlanError::Unsupported`] and leave the session on
+    /// the old epoch.
+    pub fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &Topology,
+        inv: &Invariant,
+    ) -> Result<usize, PlanError> {
+        let mut churn = self.churn.clone();
+        if !churn.apply(ev) {
+            return Ok(0);
+        }
+        let delta = replan_for_churn(base, inv, &self.plan, &churn)?;
+        for dev in delta.changed.keys() {
+            if !self.verifiers.contains_key(dev) {
+                return Err(PlanError::Unsupported(format!(
+                    "churn re-plan assigns tasks to device {dev:?}, which has no verifier"
+                )));
+            }
+        }
+        self.churn = churn;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for v in self.verifiers.values_mut() {
+            v.set_epoch(epoch);
+        }
+        match ev {
+            TopologyEvent::DeviceDown(d) => {
+                self.quarantined.insert(*d);
+            }
+            TopologyEvent::DeviceUp(d) => {
+                // Revived: clean slate — soft state from before the
+                // outage is meaningless under the new plan.
+                self.quarantined.remove(d);
+                if let Some(v) = self.verifiers.get_mut(d) {
+                    let all = v.node_ids();
+                    v.remove_nodes(&all);
+                }
+            }
+            TopologyEvent::LinkDown(..) | TopologyEvent::LinkUp(..) => {}
+        }
+        for (dev, gone) in &delta.removed {
+            if let Some(v) = self.verifiers.get_mut(dev) {
+                v.remove_nodes(gone);
+            }
+        }
+        for (dev, tasks) in &delta.changed {
+            let v = self.verifiers.get_mut(dev).expect("checked above");
+            v.set_tasks(tasks.clone(), &mut self.queue);
+        }
+        // Everyone reachable re-announces: the epoch fence dropped
+        // whatever was in flight, re-announcement repairs it.
+        for (dev, v) in self.verifiers.iter_mut() {
+            if !self.quarantined.contains(dev) {
+                v.reannounce(&mut self.queue);
+            }
+        }
+        self.unreachable.retain(|_, d| self.churn.is_down(*d));
+        for (n, d) in &delta.unreachable {
+            self.unreachable.insert(*n, *d);
+        }
+        self.plan = delta.plan;
+        Ok(self.run_to_quiescence())
+    }
+
     /// Evaluates the invariant at every DPVNet source (each universe of
     /// each packet set must satisfy the formula).
     pub fn report(&mut self) -> Report {
@@ -302,10 +424,21 @@ impl Session {
                 }
             }
         }
-        Report {
+        let mut r = Report {
             violations,
             messages: self.messages_processed,
+            ..Report::default()
+        };
+        if self.epoch > 0 {
+            mark_freshness(
+                &mut r,
+                &self.plan,
+                &self.unreachable,
+                self.quarantined.iter().copied(),
+                &BTreeMap::new(),
+            );
         }
+        r
     }
 
     /// The invariant's packet space as a portable predicate.
@@ -339,7 +472,36 @@ pub fn evaluate_sources(
     Report {
         violations,
         messages: 0,
+        ..Report::default()
     }
+}
+
+/// Fills a churn-era report's freshness and quarantine fields: every
+/// node of the *current* plan is `Fresh` unless its device appears in
+/// `stale_devices` (the watchdog's stall map, device → epoch at stall),
+/// and every entry of `unreachable` (old-plan nodes on quarantined
+/// devices) is appended as `Unreachable`. Node ids are plan-relative, so
+/// an `Unreachable` entry refers to the superseded plan's numbering;
+/// both entries are kept when an id collides.
+pub fn mark_freshness(
+    r: &mut Report,
+    plan: &CountingPlan,
+    unreachable: &BTreeMap<NodeId, DeviceId>,
+    quarantined: impl IntoIterator<Item = DeviceId>,
+    stale_devices: &BTreeMap<DeviceId, u64>,
+) {
+    let mut fr: Vec<(NodeId, Freshness)> = plan
+        .tasks
+        .iter()
+        .map(|t| match stale_devices.get(&t.dev) {
+            Some(e) => (t.node, Freshness::Stale(*e)),
+            None => (t.node, Freshness::Fresh),
+        })
+        .collect();
+    fr.extend(unreachable.keys().map(|n| (*n, Freshness::Unreachable)));
+    fr.sort_by_key(|(n, _)| *n);
+    r.freshness = fr;
+    r.quarantined = quarantined.into_iter().collect();
 }
 
 /// Verifies a network snapshot against a plan (counting or local) and
@@ -376,6 +538,7 @@ pub fn verify_snapshot(net: &Network, plan: &Plan) -> Report {
             Report {
                 violations,
                 messages: 0,
+                ..Report::default()
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Devices, links and the external-port prefix mapping.
 
 use crate::prefix::IpPrefix;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use tulkun_json::{FromJson, Json, JsonError, ToJson};
 
@@ -51,7 +51,9 @@ pub struct Topology {
     by_name: HashMap<String, DeviceId>,
     links: Vec<Link>,
     adj: Vec<Vec<(DeviceId, LinkId)>>,
-    external: HashMap<DeviceId, Vec<IpPrefix>>,
+    /// Ordered so `external_map()` iterates deterministically — callers
+    /// pick "the first destination" and must get the same one each run.
+    external: BTreeMap<DeviceId, Vec<IpPrefix>>,
 }
 
 impl Topology {
@@ -269,14 +271,13 @@ tulkun_json::impl_json_object!(Link { a, b, latency_ns });
 impl ToJson for Topology {
     fn to_json(&self) -> Json {
         // The by-name index and adjacency lists are derived state and
-        // rebuilt on load; external ports serialize sorted by device
-        // for deterministic output.
-        let mut external: Vec<(DeviceId, Vec<IpPrefix>)> = self
+        // rebuilt on load; external ports iterate sorted by device, so
+        // the serialized output is deterministic.
+        let external: Vec<(DeviceId, Vec<IpPrefix>)> = self
             .external
             .iter()
             .map(|(d, ps)| (*d, ps.clone()))
             .collect();
-        external.sort_by_key(|(d, _)| *d);
         Json::Object(vec![
             ("names".to_string(), self.names.to_json()),
             ("links".to_string(), self.links.to_json()),

@@ -9,7 +9,11 @@
 //! released, so the gauge only reaches zero when no message is queued
 //! or being processed anywhere.
 
-use crate::runtime::{DevicePanic, EngineConfig, LecCache, RuntimeStats, ThreadedEngine};
+use crate::runtime::{
+    DevicePanic, EngineConfig, LecCache, RuntimeStats, ThreadedEngine, WatchdogConfig,
+    WatchdogVerdict,
+};
+use tulkun_core::churn::TopologyEvent;
 use tulkun_core::planner::CountingPlan;
 use tulkun_core::spec::PacketSpace;
 use tulkun_core::verify::Report;
@@ -67,6 +71,32 @@ impl DistributedRun {
     /// [`DistributedRun::quiesce`] to let the recovery exchange drain.
     pub fn crash_restart(&mut self, dev: tulkun_netmodel::DeviceId) {
         self.engine.crash_restart(dev);
+    }
+
+    /// Waits for quiescence under the convergence watchdog: per-device
+    /// progress heartbeats distinguish "still converging" from a
+    /// wedged, dead or partitioned device (see
+    /// [`crate::runtime::ThreadedEngine::wait_quiescent_watched`]).
+    pub fn quiesce_watched(&self, cfg: &WatchdogConfig) -> WatchdogVerdict {
+        self.engine.wait_quiescent_watched(cfg)
+    }
+
+    /// Applies one live topology churn event (epoch fence + incremental
+    /// re-plan, delivered as one atomic bundle per device thread); call
+    /// [`DistributedRun::quiesce`] or
+    /// [`DistributedRun::quiesce_watched`] to let re-convergence drain.
+    pub fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &tulkun_netmodel::topology::Topology,
+        inv: &tulkun_core::spec::Invariant,
+    ) -> Result<(), tulkun_core::planner::PlanError> {
+        self.engine.apply_topology_event(ev, base, inv)
+    }
+
+    /// The current topology generation (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
     }
 
     /// Collects source results and evaluates the invariant.

@@ -16,10 +16,11 @@ use crate::models::SwitchModel;
 use crate::runtime::{Engine, EngineConfig, LatencyTransport, RuntimeStats, VirtualClock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use tulkun_core::churn::TopologyEvent;
 use tulkun_core::dvm::DeviceVerifier;
 use tulkun_core::fault::FaultProfile;
-use tulkun_core::planner::{CountingPlan, NodeTask};
-use tulkun_core::spec::PacketSpace;
+use tulkun_core::planner::{CountingPlan, NodeTask, PlanError};
+use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::Report;
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::DeviceId;
@@ -156,6 +157,47 @@ impl DvmSim {
         self.engine.crash_restart(dev)
     }
 
+    /// Applies one live topology churn event (epoch fence + incremental
+    /// re-plan + re-announcement) and runs re-convergence to
+    /// quiescence. See [`crate::runtime::Engine::apply_topology_event`].
+    pub fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &tulkun_netmodel::topology::Topology,
+        inv: &Invariant,
+    ) -> Result<SimResult, PlanError> {
+        self.engine.apply_topology_event(ev, base, inv)
+    }
+
+    /// Like [`DvmSim::apply_topology_event`], also returning the
+    /// re-plan delta's `(total_nodes, reused_nodes)` (for the churn
+    /// ablation bench and the CLI).
+    pub fn apply_topology_event_with_delta(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &tulkun_netmodel::topology::Topology,
+        inv: &Invariant,
+    ) -> Result<(SimResult, usize, usize), PlanError> {
+        self.engine.apply_topology_event_with_delta(ev, base, inv)
+    }
+
+    /// Stages a batch of rule updates (enqueued, not yet drained) so a
+    /// churn event can land mid-flight; drain with
+    /// [`DvmSim::run_staged`].
+    pub fn stage_batch(&mut self, updates: &[RuleUpdate]) {
+        self.engine.stage_batch(updates)
+    }
+
+    /// Drains staged and churn-induced traffic to quiescence.
+    pub fn run_staged(&mut self) -> SimResult {
+        self.engine.run_staged()
+    }
+
+    /// The current topology generation (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
     /// Mutable access to one verifier (used by the replay harness).
     pub fn verifier_mut(&mut self, dev: DeviceId) -> Option<&mut DeviceVerifier> {
         self.engine.verifier_mut(dev)
@@ -237,6 +279,33 @@ impl FaultyDvmSim {
     /// Evaluates the invariant at the sources.
     pub fn report(&mut self) -> Report {
         self.engine.report()
+    }
+
+    /// Applies one live topology churn event over the faulty channel:
+    /// the epoch fence additionally wipes the reliability layer's
+    /// in-flight state (windows, reorder buffers, delayed copies).
+    pub fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &tulkun_netmodel::topology::Topology,
+        inv: &Invariant,
+    ) -> Result<SimResult, PlanError> {
+        self.engine.apply_topology_event(ev, base, inv)
+    }
+
+    /// Stages a batch of rule updates without draining them.
+    pub fn stage_batch(&mut self, updates: &[RuleUpdate]) {
+        self.engine.stage_batch(updates)
+    }
+
+    /// Drains staged and churn-induced traffic to quiescence.
+    pub fn run_staged(&mut self) -> SimResult {
+        self.engine.run_staged()
+    }
+
+    /// The current topology generation (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
     }
 
     /// The runtime observability surface; `stats().fault` holds the
@@ -419,6 +488,62 @@ mod tests {
         faulty.crash_restart(w);
         assert_eq!(faulty.report().canonical_bytes(), reference);
         assert_eq!(faulty.stats().crashes_recovered, 1);
+    }
+
+    #[test]
+    fn churn_under_loss_matches_clean_sim() {
+        // Topology churn over a lossy channel: the epoch fence wipes
+        // the reliability layer's in-flight state, and re-convergence
+        // must still reach the clean substrate's exact report.
+        let (net, mut clean) = waypoint_sim();
+        clean.burst();
+        let inv = tulkun_core::spec::Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress(["S"])
+            .behavior(tulkun_core::spec::Behavior::exist(
+                tulkun_core::count::CountExpr::ge(1),
+                tulkun_core::spec::PathExpr::parse("S .* W .* D")
+                    .unwrap()
+                    .loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        let mut faulty = FaultyDvmSim::new(
+            &net,
+            &cp,
+            &inv.packet_space,
+            SimConfig::default(),
+            FaultProfile::loss(9, 0.10),
+        );
+        faulty.burst();
+        let a = net.topology.device("A").unwrap();
+        let b = net.topology.device("B").unwrap();
+        let w = net.topology.device("W").unwrap();
+        use tulkun_core::churn::TopologyEvent as Ev;
+        for ev in [Ev::LinkDown(a, b), Ev::DeviceDown(b), Ev::DeviceUp(b)] {
+            clean
+                .apply_topology_event(&ev, &net.topology, &inv)
+                .unwrap();
+            faulty
+                .apply_topology_event(&ev, &net.topology, &inv)
+                .unwrap();
+            assert_eq!(
+                faulty.report().canonical_bytes(),
+                clean.report().canonical_bytes(),
+                "churn {ev:?} must converge identically under 10% loss"
+            );
+        }
+        assert_eq!(clean.epoch(), 3);
+        assert_eq!(faulty.epoch(), 3);
+        // A crash_restart composed after churn still reconverges.
+        clean.crash_restart(w);
+        faulty.crash_restart(w);
+        assert_eq!(
+            faulty.report().canonical_bytes(),
+            clean.report().canonical_bytes()
+        );
     }
 
     #[test]

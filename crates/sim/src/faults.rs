@@ -24,12 +24,12 @@
 use crate::runtime::Transport;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
-use tulkun_core::dvm::reliable::{Accepted, ReceiverLedger, SenderWindow};
+use tulkun_core::dvm::reliable::{Accepted, ChannelKey, ReceiverLedger, SenderWindow};
 use tulkun_core::dvm::{Envelope, Payload};
 use tulkun_core::fault::{FaultProfile, FaultStats};
-use tulkun_netmodel::DeviceId;
+use tulkun_netmodel::{DeviceId, Topology};
 use tulkun_telemetry::Telemetry;
 
 /// A [`Transport`] decorator that injects seeded message faults and
@@ -45,6 +45,9 @@ pub struct FaultyTransport<T: Transport> {
     /// Copies stashed by reorder injection; flushed behind the next
     /// send (or at the next idle point).
     held: Vec<(u64, Envelope)>,
+    /// Sends parked by window backpressure, still un-sequenced; they
+    /// re-enter the sender window in order as acks free capacity.
+    backlog: VecDeque<(DeviceId, Envelope)>,
     stats: FaultStats,
     /// Latest substrate time observed (send or arrival).
     now: u64,
@@ -79,10 +82,24 @@ impl<T: Transport> FaultyTransport<T> {
             receiver,
             ready: VecDeque::new(),
             held: Vec::new(),
+            backlog: VecDeque::new(),
             stats: FaultStats::default(),
             now: 0,
             tel,
         }
+    }
+
+    /// Like [`FaultyTransport::new`], with an explicit per-channel cap
+    /// on both the retransmission window and the reorder buffer
+    /// (exercises backpressure; the default cap is
+    /// [`tulkun_core::dvm::reliable::DEFAULT_CHANNEL_CAP`]).
+    pub fn with_channel_cap(inner: T, profile: FaultProfile, cap: usize) -> FaultyTransport<T> {
+        let mut t = Self::new(inner, profile);
+        t.sender = SenderWindow::with_cap(cap);
+        t.receiver = ReceiverLedger::with_cap(cap);
+        t.sender.set_telemetry(t.tel.clone());
+        t.receiver.set_telemetry(t.tel.clone());
+        t
     }
 
     /// The active fault profile.
@@ -167,6 +184,54 @@ impl<T: Transport> FaultyTransport<T> {
         true
     }
 
+    /// Sequences one envelope into the sender window and exposes it to
+    /// the injector (or counts a drop). A full window gives the
+    /// (untouched) envelope back for parking.
+    fn launch(&mut self, from: DeviceId, at: u64, mut env: Envelope) -> Result<(), Envelope> {
+        if self
+            .sender
+            .assign(&mut env, at, self.profile.rto_ns)
+            .is_err()
+        {
+            return Err(env);
+        }
+        if self.roll(self.profile.drop_rate) {
+            self.stats.drops += 1;
+            self.fault_event(from, "fault.drop", env.trace, at);
+        } else {
+            self.inject_copies(from, at, &env);
+        }
+        Ok(())
+    }
+
+    /// Re-attempts parked sends as window capacity frees up, preserving
+    /// per-channel order (a channel that refuses again blocks its later
+    /// entries but not other channels').
+    fn drain_backlog(&mut self) -> bool {
+        if self.backlog.is_empty() {
+            return false;
+        }
+        let mut blocked: BTreeSet<ChannelKey> = BTreeSet::new();
+        let pending = std::mem::take(&mut self.backlog);
+        let mut launched = false;
+        for (from, env) in pending {
+            let ch = (env.from, env.to);
+            if blocked.contains(&ch) {
+                self.backlog.push_back((from, env));
+                continue;
+            }
+            let at = self.now;
+            match self.launch(from, at, env) {
+                Ok(()) => launched = true,
+                Err(env) => {
+                    blocked.insert(ch);
+                    self.backlog.push_back((from, env));
+                }
+            }
+        }
+        launched
+    }
+
     /// Retransmits the unacked envelope whose timer fires next.
     /// Retransmissions keep passing through the injector until the
     /// forcing cap, after which they bypass it — the termination bound.
@@ -210,13 +275,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn send(&mut self, from: DeviceId, at: u64, env: Envelope) {
         self.now = self.now.max(at);
         let stash = std::mem::take(&mut self.held);
-        let mut env = env;
-        self.sender.assign(&mut env, at, self.profile.rto_ns);
-        if self.roll(self.profile.drop_rate) {
-            self.stats.drops += 1;
-            self.fault_event(from, "fault.drop", env.trace, at);
+        // Per-channel FIFO: if earlier sends on this channel are parked,
+        // this one parks behind them instead of jumping the queue.
+        let ch = (env.from, env.to);
+        let parked_ahead = self.backlog.iter().any(|(_, e)| (e.from, e.to) == ch);
+        let refused = if parked_ahead {
+            Some(env)
         } else {
-            self.inject_copies(from, at, &env);
+            self.launch(from, at, env).err()
+        };
+        if let Some(env) = refused {
+            self.stats.backpressure += 1;
+            self.fault_event(from, "fault.backpressure", env.trace, at);
+            self.backlog.push_back((from, env));
         }
         for (t, held) in stash {
             let hfrom = held.from;
@@ -240,21 +311,31 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                         // An ack from `env.from` acknowledges data we
                         // sent on the (env.to, env.from) channel.
                         self.sender.ack((env.to, env.from), of);
+                        // Freed window capacity re-admits parked sends.
+                        self.drain_backlog();
                         continue;
                     }
                     match self.receiver.accept(t, env.clone()) {
-                        Accepted::Ready(released) => {
+                        Ok(Accepted::Ready(released)) => {
                             self.send_ack(t, &env, false);
                             self.ready.extend(released);
                         }
-                        Accepted::Buffered => {
+                        Ok(Accepted::Buffered) => {
                             self.send_ack(t, &env, false);
                         }
-                        Accepted::Duplicate => {
+                        Ok(Accepted::Duplicate) => {
                             // The sender is retransmitting: our ack was
                             // lost. Re-ack reliably so it can stop.
                             self.stats.dup_suppressed += 1;
                             self.send_ack(t, &env, true);
+                        }
+                        Err(_) => {
+                            // Reorder buffer at cap: refuse *without*
+                            // acking — backpressure, not loss. The
+                            // sender's retransmission redelivers once
+                            // the gap fills and the buffer drains.
+                            self.stats.backpressure += 1;
+                            self.fault_event(env.to, "fault.backpressure", env.trace, t);
                         }
                     }
                 }
@@ -262,10 +343,14 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                     if self.flush_held() {
                         continue;
                     }
+                    if self.drain_backlog() {
+                        continue;
+                    }
                     if self.retransmit_due() {
                         continue;
                     }
                     debug_assert!(self.sender.is_empty(), "quiescent with unacked data");
+                    debug_assert!(self.backlog.is_empty(), "quiescent with parked sends");
                     return None;
                 }
             }
@@ -274,6 +359,40 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
     fn fault_stats(&self) -> Option<FaultStats> {
         Some(self.stats)
+    }
+
+    /// A topology-epoch bump supersedes *everything* in flight: data,
+    /// duplicates, delayed copies, stashed reorders, parked sends and
+    /// acks alike are dropped, and both reliability endpoints restart
+    /// (sequences from 1, empty windows). Coherent because the engine
+    /// fences before any new-epoch send; re-announcement repairs the
+    /// state the dropped messages carried.
+    fn epoch_fence(&mut self, epoch: u64) {
+        self.ready.clear();
+        self.held.clear();
+        self.backlog.clear();
+        self.sender.reset();
+        self.receiver.reset();
+        self.inner.epoch_fence(epoch);
+    }
+
+    /// Clears every pending envelope addressed to a crash-restarted
+    /// device — released-but-undelivered, reorder-stashed, parked and
+    /// in-flight copies (including delayed duplicates) — plus stale
+    /// acks it originated, and restarts the reliability channels into
+    /// it. Neighbor replays rebuild the dropped content; without this
+    /// purge a delayed pre-crash copy could land on the fresh state.
+    fn purge_for_restart(&mut self, dev: DeviceId) {
+        self.ready.retain(|(_, e)| e.to != dev);
+        self.held.retain(|(_, e)| e.to != dev);
+        self.backlog.retain(|(_, e)| e.to != dev);
+        self.inner.purge_for_restart(dev);
+        self.sender.reset_channels_into(dev);
+        self.receiver.reset_channels_into(dev);
+    }
+
+    fn set_topology(&mut self, topo: &Topology) {
+        self.inner.set_topology(topo);
     }
 }
 
@@ -367,6 +486,73 @@ mod tests {
         }
         let st = t.stats();
         assert!(st.dups + st.reorders + st.delays > 0, "chaos must act");
+    }
+
+    #[test]
+    fn window_cap_parks_sends_then_releases_in_order() {
+        let mut t =
+            FaultyTransport::with_channel_cap(FifoTransport::default(), FaultProfile::none(1), 2);
+        for _ in 0..5 {
+            t.send(DeviceId(1), 0, data(1, 2));
+        }
+        // Only the window's worth launched; the rest parked under
+        // backpressure rather than being dropped or panicking.
+        assert!(t.stats().backpressure >= 3, "3 of 5 sends must park");
+        let got = drain(&mut t);
+        assert_eq!(got.len(), 5, "parked sends drain as acks free capacity");
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5],
+            "backlog preserves per-channel order"
+        );
+    }
+
+    /// Regression (crash-restart purge): a profile that duplicates and
+    /// delays every envelope stashes copies addressed to a device; a
+    /// crash-restart of that device must clear them all, or a delayed
+    /// pre-crash copy lands on the rebooted (re-sequenced) state.
+    #[test]
+    fn crash_restart_purges_delayed_and_duplicated_envelopes() {
+        let profile = FaultProfile {
+            seed: 5,
+            dup_rate: 1.0,
+            delay_rate: 1.0,
+            max_delay_ns: 1_000_000,
+            ..FaultProfile::none(5)
+        };
+        let mut t = FaultyTransport::new(FifoTransport::default(), profile);
+        for _ in 0..4 {
+            t.send(DeviceId(1), 0, data(1, 2));
+        }
+        t.purge_for_restart(DeviceId(2));
+        let got = drain(&mut t);
+        assert!(
+            got.is_empty(),
+            "no pre-crash envelope may survive the purge, got {got:?}"
+        );
+        // The reliability channel into the rebooted device restarted:
+        // a fresh send gets seq 1 and is accepted, not treated as a
+        // stale duplicate of the purged stream.
+        t.send(DeviceId(1), 0, data(1, 2));
+        let got = drain(&mut t);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 1, "channel into rebooted device restarts");
+    }
+
+    #[test]
+    fn epoch_fence_drops_all_inflight_state() {
+        let mut t = FaultyTransport::new(FifoTransport::default(), FaultProfile::chaos(11));
+        for _ in 0..20 {
+            t.send(DeviceId(1), 0, data(1, 2));
+            t.send(DeviceId(3), 0, data(3, 2));
+        }
+        t.epoch_fence(1);
+        let got = drain(&mut t);
+        assert!(got.is_empty(), "fence must drop every in-flight envelope");
+        t.send(DeviceId(1), 0, data(1, 2));
+        let got = drain(&mut t);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 1, "channels restart after the fence");
     }
 
     #[test]

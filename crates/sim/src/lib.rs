@@ -37,6 +37,16 @@
 //!   device crash/restarts (`Engine::crash_restart`,
 //!   `ThreadedEngine::crash_restart`).
 //!
+//! Live topology churn (`tulkun_core::churn::TopologyEvent`) is a
+//! first-class event on every substrate: `apply_topology_event`
+//! epoch-fences in-flight traffic, applies the incremental re-plan
+//! diff and re-announces durable state, converging to the same report
+//! as a fresh plan of the post-churn topology. The threaded substrate
+//! adds a convergence watchdog ([`runtime::WatchdogConfig`]) that
+//! distinguishes "still converging" from a wedged or partitioned
+//! device and degrades the report (`Stale`/`Unreachable` freshness
+//! markers) instead of hanging.
+//!
 //! [`Transport`]: runtime::Transport
 //! [`Clock`]: runtime::Clock
 //! [`Engine`]: runtime::Engine
@@ -56,5 +66,7 @@ pub use distributed::DistributedRun;
 pub use event::{DeviceStats, DvmSim, FaultyDvmSim, SimConfig, SimResult};
 pub use faults::FaultyTransport;
 pub use models::SwitchModel;
-pub use runtime::{Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine};
+pub use runtime::{
+    Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine, WatchdogConfig, WatchdogVerdict,
+};
 pub use tulkun_telemetry::{Telemetry, TelemetryConfig};

@@ -32,18 +32,19 @@
 
 use crate::models::SwitchModel;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tulkun_bdd::serial::PortablePred;
+use tulkun_core::churn::{replan_for_churn, ChurnState, ReplanDelta, TopologyEvent};
 use tulkun_core::count::Counts;
 use tulkun_core::dpvnet::NodeId;
 use tulkun_core::dvm::{DeviceVerifier, Envelope, Payload, VerifierConfig};
 use tulkun_core::fault::FaultStats;
-use tulkun_core::planner::{CountingPlan, NodeTask};
-use tulkun_core::spec::PacketSpace;
+use tulkun_core::planner::{CountingPlan, NodeTask, PlanError};
+use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::{self, Report};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::{DeviceId, Topology};
@@ -355,6 +356,22 @@ pub trait Transport {
     fn fault_stats(&self) -> Option<FaultStats> {
         None
     }
+    /// Epoch fence: the topology generation bumped, so every in-flight
+    /// envelope (data *and* acks) is superseded — drop them all and
+    /// reset any reliability state. Called by the engine *before* any
+    /// new-epoch send, so the wipe is coherent: re-announcement under
+    /// the new epoch repairs exactly the state the dropped messages
+    /// carried.
+    fn epoch_fence(&mut self, _epoch: u64) {}
+    /// A device's verification agent crashed and restarted: drop every
+    /// pending envelope addressed to it (delayed/duplicated copies must
+    /// not land on the fresh state) plus any stale acks it originated,
+    /// and restart reliability channels into it (neighbor replays rebuild
+    /// the content).
+    fn purge_for_restart(&mut self, _dev: DeviceId) {}
+    /// The topology changed under live churn; latency-aware transports
+    /// re-route future sends against the new link set.
+    fn set_topology(&mut self, _topo: &Topology) {}
 }
 
 /// Delivery through the topology's links: each envelope arrives after
@@ -404,6 +421,31 @@ impl Transport for LatencyTransport {
             .pop()
             .map(|Reverse((arrival, _, EnvelopeOrd(env)))| (arrival, env))
     }
+
+    fn epoch_fence(&mut self, _epoch: u64) {
+        self.queue.clear();
+    }
+
+    fn purge_for_restart(&mut self, dev: DeviceId) {
+        let kept: Vec<_> = self
+            .queue
+            .drain()
+            .filter(|Reverse((_, _, EnvelopeOrd(env)))| !purged_by_restart(env, dev))
+            .collect();
+        self.queue = kept.into_iter().collect();
+    }
+
+    fn set_topology(&mut self, topo: &Topology) {
+        self.topo = topo.clone();
+    }
+}
+
+/// Is this in-flight envelope invalidated by `dev` crash-restarting?
+/// Anything addressed to the rebooted device, plus any ack it sent
+/// before dying (a stale ack could acknowledge a fresh post-restart
+/// sequence number after the channel reset).
+fn purged_by_restart(env: &Envelope, dev: DeviceId) -> bool {
+    env.to == dev || (matches!(env.payload, Payload::Ack { .. }) && env.from == dev)
 }
 
 /// Instant in-order delivery: the synchronous reference semantics
@@ -421,6 +463,14 @@ impl Transport for FifoTransport {
 
     fn recv(&mut self) -> Option<(u64, Envelope)> {
         self.queue.pop_front().map(|env| (0, env))
+    }
+
+    fn epoch_fence(&mut self, _epoch: u64) {
+        self.queue.clear();
+    }
+
+    fn purge_for_restart(&mut self, dev: DeviceId) {
+        self.queue.retain(|env| !purged_by_restart(env, dev));
     }
 }
 
@@ -630,6 +680,17 @@ pub struct Engine<T: Transport, C: Clock> {
     tel: Arc<Telemetry>,
     /// Next causal trace id handed to an injected internal event.
     next_trace: u64,
+    /// Topology generation (0 = pre-churn). Stamped into every envelope
+    /// by the verifiers; stale-epoch arrivals are fenced off.
+    epoch: u64,
+    /// Cumulative live-churn state (down links/devices).
+    churn: ChurnState,
+    /// Devices currently quarantined (down): no deliveries, no
+    /// recounting.
+    quarantined: BTreeSet<DeviceId>,
+    /// Old-plan nodes stranded on quarantined devices, reported
+    /// `Unreachable`.
+    unreachable: BTreeMap<NodeId, DeviceId>,
 }
 
 impl<T: Transport, C: Clock> Engine<T, C> {
@@ -669,6 +730,10 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             watermark: 0,
             tel: cfg.telemetry.clone(),
             next_trace: FIRST_EVENT_TRACE,
+            epoch: 0,
+            churn: ChurnState::new(),
+            quarantined: BTreeSet::new(),
+            unreachable: BTreeMap::new(),
         }
     }
 
@@ -685,6 +750,9 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         let mut last_finish = self.watermark;
         while let Some((arrival, env)) = self.transport.recv() {
             let dev = env.to;
+            if self.quarantined.contains(&dev) {
+                continue;
+            }
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 continue;
             };
@@ -753,11 +821,28 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// quiescence. All updates arrive "now" (relative clock reset to 0
     /// so results are per-burst times).
     pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> RunOutcome {
+        self.stage_batch(updates);
+        let last_span = self.watermark;
+        let mut r = self.run();
+        r.completion_ns = r.completion_ns.max(last_span);
+        r
+    }
+
+    /// Stages a burst of rule updates *without* driving the exchange:
+    /// the coalesced per-device batches are applied and their DVM
+    /// messages enqueued, but delivery does not start — so a churn
+    /// event or a crash can be injected while those messages are still
+    /// in flight. Follow with [`Engine::run_staged`] (or any driven
+    /// round) to drain.
+    pub fn stage_batch(&mut self, updates: &[RuleUpdate]) {
         self.reset_time();
         let trace = self.alloc_trace();
         let batch: UpdateBatch = updates.iter().cloned().collect();
         let mut last_span = 0;
         for (dev, ops) in batch.coalesced() {
+            if self.quarantined.contains(&dev) {
+                continue;
+            }
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 continue;
             };
@@ -772,9 +857,14 @@ impl<T: Transport, C: Clock> Engine<T, C> {
                 self.transport.send(dev, span.finish, env);
             }
         }
-        let mut r = self.run();
-        r.completion_ns = r.completion_ns.max(last_span);
-        r
+        // Remember the staging high-water mark so a later `run` still
+        // reports a completion time covering the staged work.
+        self.watermark = last_span;
+    }
+
+    /// Drives staged (or otherwise in-flight) messages to quiescence.
+    pub fn run_staged(&mut self) -> RunOutcome {
+        self.run()
     }
 
     /// A link failure/recovery event delivered to both endpoints at
@@ -839,6 +929,10 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     pub fn crash_restart(&mut self, dev: DeviceId) -> RunOutcome {
         self.reset_time();
         let trace = self.alloc_trace();
+        // Pending envelopes addressed to the dead agent (delayed or
+        // duplicated copies included) must not land on the fresh state;
+        // neighbor replays rebuild everything they carried.
+        self.transport.purge_for_restart(dev);
         {
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 return RunOutcome::default();
@@ -883,16 +977,196 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         self.clock.reset();
     }
 
+    /// The current topology generation (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one live topology churn event and drives re-convergence
+    /// to quiescence: folds the event into the cumulative churn state,
+    /// incrementally re-plans against the post-churn topology (`base` is
+    /// the original topology, `inv` the invariant the running plan was
+    /// compiled from), bumps the epoch fence — the transport drops every
+    /// in-flight envelope, verifiers discard stragglers from superseded
+    /// epochs — applies the per-device task diff, and has every
+    /// reachable device re-announce its durable state under the new
+    /// epoch.
+    ///
+    /// `DeviceDown` quarantines its device (no deliveries, old nodes
+    /// reported `Unreachable`); `DeviceUp` lifts the quarantine, wipes
+    /// the revived verifier's soft counting state and re-tasks it. A
+    /// device that had no tasks in the running plan cannot be assigned
+    /// new ones (no verifier was built for it) — such re-plans fail
+    /// gracefully with [`PlanError::Unsupported`], leaving the engine on
+    /// the old epoch.
+    pub fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &Topology,
+        inv: &Invariant,
+    ) -> Result<RunOutcome, PlanError> {
+        let mut churn = self.churn.clone();
+        if !churn.apply(ev) {
+            return Ok(RunOutcome::default());
+        }
+        let replan_begin = self.tel.host_tick();
+        let replan_wall = Instant::now();
+        let delta = replan_for_churn(base, inv, &self.plan, &churn)?;
+        for dev in delta.changed.keys() {
+            if !self.verifiers.contains_key(dev) {
+                return Err(PlanError::Unsupported(format!(
+                    "churn re-plan assigns tasks to device {dev:?}, which has no verifier"
+                )));
+            }
+        }
+        self.reset_time();
+        self.churn = churn;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let trace = self.alloc_trace();
+        if self.tel.is_enabled() {
+            let first = self.verifiers.keys().next().copied().unwrap_or(DeviceId(0));
+            self.tel.span_aux(
+                first,
+                "churn.replan",
+                "churn",
+                replan_begin,
+                (replan_wall.elapsed().as_nanos() as u64).max(1),
+                trace,
+                epoch,
+            );
+            self.tel.count(first, "tulkun_epoch_bumps_total", 1);
+        }
+        for v in self.verifiers.values_mut() {
+            v.set_epoch(epoch);
+        }
+        match ev {
+            TopologyEvent::DeviceDown(d) => {
+                self.quarantined.insert(*d);
+                self.tel.count(*d, "tulkun_quarantined_total", 1);
+            }
+            TopologyEvent::DeviceUp(d) => {
+                // Revived: soft state from before the outage is
+                // meaningless under the new plan — clean slate.
+                self.quarantined.remove(d);
+                if let Some(v) = self.verifiers.get_mut(d) {
+                    let all = v.node_ids();
+                    v.remove_nodes(&all);
+                }
+            }
+            TopologyEvent::LinkDown(..) | TopologyEvent::LinkUp(..) => {}
+        }
+        // Fence *before* any new-epoch send: everything in flight is
+        // superseded; re-announcement repairs what it carried.
+        self.transport.epoch_fence(epoch);
+        self.transport.set_topology(&delta.topology);
+        for (dev, gone) in &delta.removed {
+            if let Some(v) = self.verifiers.get_mut(dev) {
+                v.remove_nodes(gone);
+            }
+        }
+        for (dev, tasks) in &delta.changed {
+            let v = self.verifiers.get_mut(dev).expect("checked above");
+            let begin = self.tel.host_tick();
+            let wall = Instant::now();
+            let mut replies = Vec::new();
+            v.set_trace(trace);
+            v.set_tasks(tasks.clone(), &mut replies);
+            let host_ns = wall.elapsed().as_nanos() as u64;
+            let span = self.clock.charge(*dev, 0, host_ns);
+            self.stats.per_device.entry(*dev).or_default().busy_ns += span.cpu_ns;
+            if self.tel.is_enabled() {
+                self.tel.span_aux(
+                    *dev,
+                    "churn.retask",
+                    "churn",
+                    begin,
+                    host_ns.max(1),
+                    trace,
+                    epoch,
+                );
+            }
+            for env in replies {
+                self.transport.send(*dev, span.finish, env);
+            }
+        }
+        // Every reachable device re-announces its durable state under
+        // the new epoch — including unchanged devices, whose in-flight
+        // messages the fence just dropped.
+        let devs: Vec<DeviceId> = self
+            .verifiers
+            .keys()
+            .copied()
+            .filter(|d| !self.quarantined.contains(d))
+            .collect();
+        for dev in devs {
+            let v = self.verifiers.get_mut(&dev).unwrap();
+            let wall = Instant::now();
+            let mut replies = Vec::new();
+            v.set_trace(trace);
+            v.reannounce(&mut replies);
+            if replies.is_empty() {
+                continue;
+            }
+            let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
+            self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
+            for env in replies {
+                self.transport.send(dev, span.finish, env);
+            }
+        }
+        self.unreachable.retain(|_, d| self.churn.is_down(*d));
+        for (n, d) in &delta.unreachable {
+            self.unreachable.insert(*n, *d);
+        }
+        self.plan = delta.plan;
+        Ok(self.run())
+    }
+
+    /// Like [`Engine::apply_topology_event`], also returning the
+    /// re-plan delta's reuse statistics (for the churn ablation bench).
+    pub fn apply_topology_event_with_delta(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &Topology,
+        inv: &Invariant,
+    ) -> Result<(RunOutcome, usize, usize), PlanError> {
+        let mut probe = self.churn.clone();
+        let (total, reused) = if probe.apply(ev) {
+            let ReplanDelta {
+                total_nodes,
+                reused_nodes,
+                ..
+            } = replan_for_churn(base, inv, &self.plan, &probe)?;
+            (total_nodes, reused_nodes)
+        } else {
+            (self.plan.tasks.len(), self.plan.tasks.len())
+        };
+        let r = self.apply_topology_event(ev, base, inv)?;
+        Ok((r, total, reused))
+    }
+
     /// Evaluates the invariant at the DPVNet sources. Takes `&mut self`
     /// because result export runs through each device's BDD manager.
+    /// After a churn event the report also carries per-node freshness
+    /// markers and the quarantined-device list.
     pub fn report(&mut self) -> Report {
         let verifiers = &mut self.verifiers;
-        verify::evaluate_sources(&self.plan, |dev, node| {
+        let mut r = verify::evaluate_sources(&self.plan, |dev, node| {
             verifiers
                 .get_mut(&dev)
                 .map(|v| v.node_result(node, None))
                 .unwrap_or_default()
-        })
+        });
+        if self.epoch > 0 {
+            verify::mark_freshness(
+                &mut r,
+                &self.plan,
+                &self.unreachable,
+                self.quarantined.iter().copied(),
+                &BTreeMap::new(),
+            );
+        }
+        r
     }
 
     /// The runtime observability surface.
@@ -936,8 +1210,27 @@ enum DeviceMsg {
     /// Replay durable protocol state toward a freshly restarted device,
     /// tagged with the recovery wave's trace id.
     ReplayFor(DeviceId, u64),
+    /// One device's share of an epoch bump, applied atomically by its
+    /// thread: fence to the new epoch, optionally wipe/swap/remove
+    /// tasks, then re-announce durable state (unless quarantined).
+    Churn {
+        epoch: u64,
+        trace: u64,
+        /// New task list, when the re-plan changed this device.
+        tasks: Option<Vec<NodeTask>>,
+        /// Old-plan nodes no longer assigned here.
+        remove: Vec<NodeId>,
+        /// Revived device: drop *all* soft node state first.
+        wipe: bool,
+        /// Re-announce after applying (false for quarantined devices).
+        reannounce: bool,
+    },
     #[cfg(test)]
     Crash,
+    /// Test-only: block the device thread until the paired sender is
+    /// dropped, so watchdog stalls can be staged deterministically.
+    #[cfg(test)]
+    Hang(mpsc::Receiver<()>),
     Shutdown,
 }
 
@@ -977,6 +1270,111 @@ impl InflightGauge {
             guard = self.zero.wait(guard).unwrap();
         }
     }
+
+    /// Waits for the gauge to reach zero, giving up after `timeout`.
+    /// Returns whether quiescence was observed.
+    fn wait_zero_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.lock.lock().unwrap();
+        while self.count.load(Ordering::SeqCst) != 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self.zero.wait_timeout(guard, deadline - now).unwrap();
+            guard = g;
+        }
+        true
+    }
+}
+
+/// Per-device progress accounting for the convergence watchdog:
+/// messages enqueued toward each device versus messages its thread has
+/// processed. A device whose backlog is non-empty while its processed
+/// counter stops advancing is stalled (dead, wedged or partitioned) —
+/// as opposed to a run that is merely still converging, where some
+/// counter always advances between heartbeats.
+struct Progress {
+    enqueued: BTreeMap<DeviceId, AtomicU64>,
+    processed: BTreeMap<DeviceId, AtomicU64>,
+}
+
+impl Progress {
+    fn new(devs: impl Iterator<Item = DeviceId> + Clone) -> Arc<Progress> {
+        Arc::new(Progress {
+            enqueued: devs.clone().map(|d| (d, AtomicU64::new(0))).collect(),
+            processed: devs.map(|d| (d, AtomicU64::new(0))).collect(),
+        })
+    }
+
+    fn note_enqueued(&self, dev: DeviceId) {
+        if let Some(c) = self.enqueued.get(&dev) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_processed(&self, dev: DeviceId) {
+        if let Some(c) = self.processed.get(&dev) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot_processed(&self) -> BTreeMap<DeviceId, u64> {
+        self.processed
+            .iter()
+            .map(|(d, c)| (*d, c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Devices with enqueued work their thread has not processed.
+    fn lagging(&self) -> Vec<DeviceId> {
+        self.enqueued
+            .iter()
+            .filter(|(d, e)| {
+                let done = self
+                    .processed
+                    .get(d)
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .unwrap_or(0);
+                e.load(Ordering::Relaxed) > done
+            })
+            .map(|(d, _)| *d)
+            .collect()
+    }
+}
+
+/// Convergence-watchdog tuning for [`ThreadedEngine::wait_quiescent_watched`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How often per-device progress is sampled while waiting.
+    pub heartbeat: Duration,
+    /// Consecutive heartbeats with zero progress anywhere before the
+    /// run is declared stalled. Separates "still converging" (some
+    /// counter advances every heartbeat) from "partitioned/dead device"
+    /// (backlog exists, nothing advances).
+    pub stall_heartbeats: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            heartbeat: Duration::from_millis(100),
+            stall_heartbeats: 5,
+        }
+    }
+}
+
+/// The watchdog's verdict on a watched wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// The run reached quiescence.
+    Converged,
+    /// No progress for the configured window; `devices` hold unprocessed
+    /// backlog (dead, wedged or partitioned device threads).
+    Stalled {
+        /// Devices with enqueued-but-unprocessed messages at stall time.
+        devices: Vec<DeviceId>,
+    },
 }
 
 /// A device-task panic, surfaced by [`ThreadedEngine::shutdown`].
@@ -1004,6 +1402,22 @@ pub struct ThreadedEngine {
     /// injections count up from [`FIRST_EVENT_TRACE`]). Atomic because
     /// `inject_batch` takes `&self`.
     next_trace: AtomicU64,
+    /// Topology generation (0 = pre-churn). Atomic so the watchdog and
+    /// report paths can read it through `&self`.
+    epoch: AtomicU64,
+    /// Cumulative live-churn state (down links/devices).
+    churn: ChurnState,
+    /// Devices currently quarantined: injections skip them and their
+    /// old-plan nodes report `Unreachable`.
+    quarantined: BTreeSet<DeviceId>,
+    /// Old-plan nodes stranded on quarantined devices.
+    unreachable: BTreeMap<NodeId, DeviceId>,
+    /// Per-device progress counters feeding the convergence watchdog.
+    progress: Arc<Progress>,
+    /// Devices the watchdog declared stalled (device → epoch at stall);
+    /// cleared when a later watched wait converges.
+    stalled: Mutex<BTreeMap<DeviceId, u64>>,
+    tel: Arc<Telemetry>,
     joined: bool,
 }
 
@@ -1022,6 +1436,7 @@ impl ThreadedEngine {
         let built = build_verifiers(net, plan, &packet_space, cfg, lec_cache);
 
         let inflight = InflightGauge::new();
+        let progress = Progress::new(built.iter().map(|b| b.dev));
         let mut senders: BTreeMap<DeviceId, mpsc::Sender<DeviceMsg>> = BTreeMap::new();
         let mut receivers: BTreeMap<DeviceId, mpsc::Receiver<DeviceMsg>> = BTreeMap::new();
         for b in &built {
@@ -1047,6 +1462,7 @@ impl ThreadedEngine {
             let rx = receivers.remove(&dev).expect("receiver");
             let peers = senders.clone();
             let inflight = inflight.clone();
+            let progress = progress.clone();
             let model = cfg.model;
             let tel = cfg.telemetry.clone();
 
@@ -1055,7 +1471,14 @@ impl ThreadedEngine {
             inflight.add(init_out.len() as i64);
             for env in init_out {
                 match peers.get(&env.to) {
-                    Some(tx) if tx.send(DeviceMsg::Dvm(env)).is_ok() => {}
+                    Some(tx) => {
+                        let to = env.to;
+                        if tx.send(DeviceMsg::Dvm(env)).is_ok() {
+                            progress.note_enqueued(to);
+                        } else {
+                            inflight.release();
+                        }
+                    }
                     _ => inflight.release(),
                 }
             }
@@ -1090,7 +1513,8 @@ impl ThreadedEngine {
                                     );
                                     tel.observe(dev, &HANDLE_NS, cpu);
                                 }
-                                route(&peers, out, &inflight);
+                                route(&peers, out, &inflight, &progress);
+                                progress.note_processed(dev);
                                 inflight.release();
                             }
                             DeviceMsg::FibBatch(us, trace) => {
@@ -1099,7 +1523,8 @@ impl ThreadedEngine {
                                 verifier.set_trace(trace);
                                 verifier.handle_fib_batch(&us, &mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
-                                route(&peers, out, &inflight);
+                                route(&peers, out, &inflight, &progress);
+                                progress.note_processed(dev);
                                 inflight.release();
                             }
                             DeviceMsg::Reboot(trace) => {
@@ -1108,7 +1533,8 @@ impl ThreadedEngine {
                                 verifier.set_trace(trace);
                                 verifier.reboot(&mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
-                                route(&peers, out, &inflight);
+                                route(&peers, out, &inflight, &progress);
+                                progress.note_processed(dev);
                                 inflight.release();
                             }
                             DeviceMsg::ReplayFor(d, trace) => {
@@ -1117,7 +1543,51 @@ impl ThreadedEngine {
                                 verifier.set_trace(trace);
                                 verifier.replay_for_restart(d, &mut out);
                                 stats.busy_ns += model.scale_ns(wall.elapsed().as_nanos() as u64);
-                                route(&peers, out, &inflight);
+                                route(&peers, out, &inflight, &progress);
+                                progress.note_processed(dev);
+                                inflight.release();
+                            }
+                            DeviceMsg::Churn {
+                                epoch,
+                                trace,
+                                tasks,
+                                remove,
+                                wipe,
+                                reannounce,
+                            } => {
+                                let begin = tel.host_tick();
+                                let wall = Instant::now();
+                                let mut out = Vec::new();
+                                verifier.set_trace(trace);
+                                verifier.set_epoch(epoch);
+                                if wipe {
+                                    let all = verifier.node_ids();
+                                    verifier.remove_nodes(&all);
+                                }
+                                if !remove.is_empty() {
+                                    verifier.remove_nodes(&remove);
+                                }
+                                if let Some(tasks) = tasks {
+                                    verifier.set_tasks(tasks, &mut out);
+                                }
+                                if reannounce {
+                                    verifier.reannounce(&mut out);
+                                }
+                                let host_ns = wall.elapsed().as_nanos() as u64;
+                                stats.busy_ns += model.scale_ns(host_ns);
+                                if tel.is_enabled() {
+                                    tel.span_aux(
+                                        dev,
+                                        "churn.apply",
+                                        "churn",
+                                        begin,
+                                        host_ns.max(1),
+                                        trace,
+                                        epoch,
+                                    );
+                                }
+                                route(&peers, out, &inflight, &progress);
+                                progress.note_processed(dev);
                                 inflight.release();
                             }
                             DeviceMsg::Collect(nodes, reply) => {
@@ -1129,6 +1599,13 @@ impl ThreadedEngine {
                             }
                             #[cfg(test)]
                             DeviceMsg::Crash => panic!("injected device-task crash"),
+                            #[cfg(test)]
+                            DeviceMsg::Hang(unblock) => {
+                                // Blocks until the test drops the sender,
+                                // wedging this thread while its channel
+                                // backlog grows — a staged stall.
+                                let _ = unblock.recv();
+                            }
                             DeviceMsg::Shutdown => break,
                         }
                     }
@@ -1144,6 +1621,13 @@ impl ThreadedEngine {
             handles,
             init_stats,
             next_trace: AtomicU64::new(FIRST_EVENT_TRACE),
+            epoch: AtomicU64::new(0),
+            churn: ChurnState::new(),
+            quarantined: BTreeSet::new(),
+            unreachable: BTreeMap::new(),
+            progress,
+            stalled: Mutex::new(BTreeMap::new()),
+            tel: cfg.telemetry.clone(),
             joined: false,
         }
     }
@@ -1155,6 +1639,130 @@ impl ThreadedEngine {
     /// Blocks until no DVM message is queued or being processed.
     pub fn wait_quiescent(&self) {
         self.inflight.wait_zero();
+    }
+
+    /// Waits for quiescence under a convergence watchdog: per-device
+    /// progress heartbeats distinguish a run that is still converging
+    /// (some processed counter advances every heartbeat) from one that
+    /// is stalled (backlog exists, nothing advances for
+    /// `stall_heartbeats` consecutive samples — a dead, wedged or
+    /// partitioned device). A stall records the offending devices so
+    /// [`ThreadedEngine::report`] marks their nodes `Stale`; a later
+    /// converged wait clears them.
+    pub fn wait_quiescent_watched(&self, cfg: &WatchdogConfig) -> WatchdogVerdict {
+        let mut last = self.progress.snapshot_processed();
+        let mut stalls = 0u32;
+        loop {
+            if self.inflight.wait_zero_timeout(cfg.heartbeat) {
+                self.stalled.lock().unwrap().clear();
+                return WatchdogVerdict::Converged;
+            }
+            let snap = self.progress.snapshot_processed();
+            if snap != last {
+                stalls = 0;
+                last = snap;
+                continue;
+            }
+            stalls += 1;
+            if stalls >= cfg.stall_heartbeats.max(1) {
+                let devices = self.progress.lagging();
+                let epoch = self.epoch.load(Ordering::SeqCst);
+                let mut stalled = self.stalled.lock().unwrap();
+                for d in &devices {
+                    stalled.insert(*d, epoch);
+                    self.tel.count(*d, "tulkun_watchdog_stalls_total", 1);
+                    if self.tel.is_enabled() {
+                        self.tel.span_aux(
+                            *d,
+                            "churn.watchdog_stall",
+                            "churn",
+                            self.tel.host_tick(),
+                            1,
+                            0,
+                            epoch,
+                        );
+                    }
+                }
+                return WatchdogVerdict::Stalled { devices };
+            }
+        }
+    }
+
+    /// The current topology generation (0 until the first churn event).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Applies one live topology churn event: incrementally re-plans,
+    /// bumps the epoch fence and sends each device thread its share of
+    /// the bump (epoch + task diff + re-announcement) as one atomic
+    /// channel message. Per-channel FIFO guarantees each device fences
+    /// before touching any post-churn message from a peer that already
+    /// bumped; stragglers from the old epoch are discarded by the
+    /// verifier-level fence and repaired by re-announcement. Call
+    /// [`ThreadedEngine::wait_quiescent`] (or the watched variant)
+    /// afterwards to let re-convergence drain.
+    ///
+    /// Fails with [`PlanError::Unsupported`] when the re-plan assigns
+    /// tasks to a device that had none in the running plan (no verifier
+    /// thread exists for it); the engine stays on the old epoch.
+    pub fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &Topology,
+        inv: &Invariant,
+    ) -> Result<(), PlanError> {
+        let mut churn = self.churn.clone();
+        if !churn.apply(ev) {
+            return Ok(());
+        }
+        let delta = replan_for_churn(base, inv, &self.plan, &churn)?;
+        for dev in delta.changed.keys() {
+            if !self.senders.contains_key(dev) {
+                return Err(PlanError::Unsupported(format!(
+                    "churn re-plan assigns tasks to device {dev:?}, which has no verifier thread"
+                )));
+            }
+        }
+        self.churn = churn;
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let trace = self.alloc_trace();
+        match ev {
+            TopologyEvent::DeviceDown(d) => {
+                self.quarantined.insert(*d);
+                self.tel.count(*d, "tulkun_quarantined_total", 1);
+            }
+            TopologyEvent::DeviceUp(d) => {
+                self.quarantined.remove(d);
+            }
+            TopologyEvent::LinkDown(..) | TopologyEvent::LinkUp(..) => {}
+        }
+        let wipe_dev = match ev {
+            TopologyEvent::DeviceUp(d) => Some(*d),
+            _ => None,
+        };
+        for (dev, tx) in &self.senders {
+            let bundle = DeviceMsg::Churn {
+                epoch,
+                trace,
+                tasks: delta.changed.get(dev).cloned(),
+                remove: delta.removed.get(dev).cloned().unwrap_or_default(),
+                wipe: wipe_dev == Some(*dev),
+                reannounce: !self.quarantined.contains(dev),
+            };
+            self.inflight.add(1);
+            if tx.send(bundle).is_ok() {
+                self.progress.note_enqueued(*dev);
+            } else {
+                self.inflight.release();
+            }
+        }
+        self.unreachable.retain(|_, d| self.churn.is_down(*d));
+        for (n, d) in &delta.unreachable {
+            self.unreachable.insert(*n, *d);
+        }
+        self.plan = delta.plan;
+        Ok(())
     }
 
     /// Injects a rule update at its device (counts as one in-flight
@@ -1170,9 +1778,14 @@ impl ThreadedEngine {
         let trace = self.alloc_trace();
         let batch: UpdateBatch = updates.into_iter().collect();
         for (dev, ops) in batch.coalesced() {
+            if self.quarantined.contains(&dev) {
+                continue;
+            }
             if let Some(tx) = self.senders.get(&dev) {
                 self.inflight.add(1);
-                if tx.send(DeviceMsg::FibBatch(ops, trace)).is_err() {
+                if tx.send(DeviceMsg::FibBatch(ops, trace)).is_ok() {
+                    self.progress.note_enqueued(dev);
+                } else {
                     self.inflight.release();
                 }
             }
@@ -1197,12 +1810,15 @@ impl ThreadedEngine {
             self.inflight.release();
             return;
         }
+        self.progress.note_enqueued(dev);
         for (nb, tx) in &self.senders {
             if *nb == dev {
                 continue;
             }
             self.inflight.add(1);
-            if tx.send(DeviceMsg::ReplayFor(dev, trace)).is_err() {
+            if tx.send(DeviceMsg::ReplayFor(dev, trace)).is_ok() {
+                self.progress.note_enqueued(*nb);
+            } else {
                 self.inflight.release();
             }
         }
@@ -1214,6 +1830,18 @@ impl ThreadedEngine {
         if let Some(tx) = self.senders.get(&dev) {
             let _ = tx.send(DeviceMsg::Crash);
         }
+    }
+
+    /// Wedges one device thread until the returned sender is dropped —
+    /// a staged genuine stall (thread alive, backlog growing) for
+    /// watchdog tests.
+    #[cfg(test)]
+    fn inject_hang(&self, dev: DeviceId) -> mpsc::Sender<()> {
+        let (tx, rx) = mpsc::channel();
+        if let Some(ch) = self.senders.get(&dev) {
+            let _ = ch.send(DeviceMsg::Hang(rx));
+        }
+        tx
     }
 
     /// Collects source results and evaluates the invariant — the same
@@ -1239,9 +1867,20 @@ impl ThreadedEngine {
                 }
             }
         }
-        verify::evaluate_sources(&self.plan, |dev, node| {
+        let mut r = verify::evaluate_sources(&self.plan, |dev, node| {
             results.get(&(dev, node)).cloned().unwrap_or_default()
-        })
+        });
+        if self.epoch.load(Ordering::SeqCst) > 0 {
+            let stalled = self.stalled.lock().unwrap().clone();
+            verify::mark_freshness(
+                &mut r,
+                &self.plan,
+                &self.unreachable,
+                self.quarantined.iter().copied(),
+                &stalled,
+            );
+        }
+        r
     }
 
     /// Shuts all device threads down, joining every handle. Per-device
@@ -1308,11 +1947,15 @@ fn route(
     peers: &BTreeMap<DeviceId, mpsc::Sender<DeviceMsg>>,
     out: Vec<Envelope>,
     inflight: &InflightGauge,
+    progress: &Progress,
 ) {
     inflight.add(out.len() as i64);
     for env in out {
-        match peers.get(&env.to) {
-            Some(tx) if tx.send(DeviceMsg::Dvm(env)).is_ok() => {}
+        let to = env.to;
+        match peers.get(&to) {
+            Some(tx) if tx.send(DeviceMsg::Dvm(env)).is_ok() => {
+                progress.note_enqueued(to);
+            }
             _ => inflight.release(),
         }
     }
@@ -1324,10 +1967,12 @@ mod tests {
     use tulkun_core::count::CountExpr;
     use tulkun_core::planner::Planner;
     use tulkun_core::spec::{Behavior, Invariant, PathExpr};
+    use tulkun_core::verify::Freshness;
     use tulkun_datasets::fig2a_network;
+    use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
 
-    fn waypoint_plan(net: &Network) -> (CountingPlan, PacketSpace) {
-        let inv = Invariant::builder()
+    pub(crate) fn waypoint_inv() -> Invariant {
+        Invariant::builder()
             .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
             .ingress(["S"])
             .behavior(Behavior::exist(
@@ -1335,10 +1980,39 @@ mod tests {
                 PathExpr::parse("S .* W .* D").unwrap().loop_free(),
             ))
             .build()
-            .unwrap();
+            .unwrap()
+    }
+
+    pub(crate) fn waypoint_plan(net: &Network) -> (CountingPlan, PacketSpace) {
+        let inv = waypoint_inv();
         let plan = Planner::new(&net.topology).plan(&inv).unwrap();
         let cp = plan.counting().unwrap().clone();
         (cp, inv.packet_space)
+    }
+
+    /// The churn acceptance reference: a *fresh* plan + run of the
+    /// post-churn topology, with no churn machinery involved.
+    fn fresh_report_bytes(base: &Network, churn: &ChurnState) -> Vec<u8> {
+        let net = Network {
+            topology: churn.apply_to(&base.topology),
+            fibs: base.fibs.clone(),
+            layout: base.layout,
+        };
+        let inv = waypoint_inv();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        let cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &inv.packet_space,
+            &EngineConfig::default(),
+            &cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        engine.burst();
+        engine.report().canonical_bytes()
     }
 
     #[test]
@@ -1475,6 +2149,341 @@ mod tests {
         assert_eq!(engine.report().canonical_bytes(), before);
         let stats = engine.shutdown().expect("no panics");
         assert_eq!(stats.crashes_recovered, 1);
+    }
+
+    #[test]
+    fn engine_linkdown_matches_fresh_plan_of_post_churn_topology() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let inv = waypoint_inv();
+        let cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        engine.burst();
+        let base_bytes = engine.report().canonical_bytes();
+        let a = net.topology.device("A").unwrap();
+        let b = net.topology.device("B").unwrap();
+
+        let down = TopologyEvent::LinkDown(a, b);
+        engine
+            .apply_topology_event(&down, &net.topology, &inv)
+            .unwrap();
+        assert_eq!(engine.epoch(), 1);
+        let mut churn = ChurnState::new();
+        churn.apply(&down);
+        assert_eq!(
+            engine.report().canonical_bytes(),
+            fresh_report_bytes(&net, &churn),
+            "incremental re-plan must match a fresh plan of the post-churn topology"
+        );
+
+        // Applying the same event again is a no-op: no epoch bump.
+        engine
+            .apply_topology_event(&down, &net.topology, &inv)
+            .unwrap();
+        assert_eq!(engine.epoch(), 1);
+
+        // Recovery converges back to the original verdict.
+        let up = TopologyEvent::LinkUp(a, b);
+        engine
+            .apply_topology_event(&up, &net.topology, &inv)
+            .unwrap();
+        assert_eq!(engine.epoch(), 2);
+        assert_eq!(engine.report().canonical_bytes(), base_bytes);
+        let fresh = engine.report();
+        assert!(
+            fresh.freshness.iter().all(|(_, f)| *f == Freshness::Fresh),
+            "no device is quarantined or stalled: everything is fresh"
+        );
+    }
+
+    #[test]
+    fn engine_devicedown_quarantines_and_marks_unreachable() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let inv = waypoint_inv();
+        let cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        engine.burst();
+        let base_bytes = engine.report().canonical_bytes();
+        let b = net.topology.device("B").unwrap();
+
+        let down = TopologyEvent::DeviceDown(b);
+        engine
+            .apply_topology_event(&down, &net.topology, &inv)
+            .unwrap();
+        let report = engine.report();
+        assert_eq!(report.quarantined, vec![b]);
+        assert!(
+            report
+                .freshness
+                .iter()
+                .any(|(_, f)| *f == Freshness::Unreachable),
+            "the quarantined device's old nodes must be marked unreachable"
+        );
+        let mut churn = ChurnState::new();
+        churn.apply(&down);
+        assert_eq!(
+            report.canonical_bytes(),
+            fresh_report_bytes(&net, &churn),
+            "reachable results must match a fresh plan without the dead device"
+        );
+
+        // The device comes back: quarantine lifts, its verifier is
+        // wiped and re-tasked, and the report returns to the original.
+        let up = TopologyEvent::DeviceUp(b);
+        engine
+            .apply_topology_event(&up, &net.topology, &inv)
+            .unwrap();
+        let report = engine.report();
+        assert!(report.quarantined.is_empty());
+        assert!(report.freshness.iter().all(|(_, f)| *f == Freshness::Fresh));
+        assert_eq!(report.canonical_bytes(), base_bytes);
+    }
+
+    #[test]
+    fn engine_staged_midflight_churn_terminates_and_matches_fresh() {
+        // Acceptance shape: a FIB batch is staged (enqueued, not yet
+        // drained) when LinkDown and DeviceDown land mid-flight. The
+        // run must terminate and match a fresh plan of the post-churn
+        // topology with the same update applied.
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let inv = waypoint_inv();
+        let w = net.topology.device("W").unwrap();
+        let a = net.topology.device("A").unwrap();
+        let b = net.topology.device("B").unwrap();
+        let update = RuleUpdate::Insert {
+            device: a,
+            rule: Rule {
+                priority: 50,
+                matches: MatchSpec::dst("10.0.1.0/24".parse().unwrap()),
+                action: Action::fwd(w),
+            },
+        };
+        let cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &cache,
+            LatencyTransport::new(net.topology.clone(), 10_000),
+            VirtualClock::new(SwitchModel::MELLANOX),
+        );
+        engine.burst();
+        engine.stage_batch(std::slice::from_ref(&update));
+        let mut churn = ChurnState::new();
+        for ev in [TopologyEvent::LinkDown(a, b), TopologyEvent::DeviceDown(b)] {
+            churn.apply(&ev);
+            engine
+                .apply_topology_event(&ev, &net.topology, &inv)
+                .unwrap();
+        }
+        engine.run_staged();
+        assert_eq!(engine.epoch(), 2);
+
+        // Reference: fresh engine on the post-churn topology, same
+        // update applied after its burst.
+        let fresh_net = Network {
+            topology: churn.apply_to(&net.topology),
+            fibs: net.fibs.clone(),
+            layout: net.layout,
+        };
+        let fresh_plan = Planner::new(&fresh_net.topology).plan(&inv).unwrap();
+        let fresh_cp = fresh_plan.counting().unwrap().clone();
+        let fresh_cache = LecCache::new();
+        let mut fresh = Engine::new_cached(
+            &fresh_net,
+            &fresh_cp,
+            &ps,
+            &EngineConfig::default(),
+            &fresh_cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        fresh.burst();
+        fresh.apply_batch(std::slice::from_ref(&update));
+        assert_eq!(
+            engine.report().canonical_bytes(),
+            fresh.report().canonical_bytes()
+        );
+        assert_eq!(engine.report().quarantined, vec![b]);
+    }
+
+    #[test]
+    fn threaded_engine_churn_matches_single_driver() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let inv = waypoint_inv();
+        let a = net.topology.device("A").unwrap();
+        let b = net.topology.device("B").unwrap();
+        let events = [TopologyEvent::LinkDown(a, b), TopologyEvent::DeviceDown(b)];
+
+        let cache = LecCache::new();
+        let mut reference = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        reference.burst();
+        for ev in &events {
+            reference
+                .apply_topology_event(ev, &net.topology, &inv)
+                .unwrap();
+        }
+
+        let cache = LecCache::new();
+        let mut threaded = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &cache);
+        threaded.wait_quiescent();
+        let cfg = WatchdogConfig::default();
+        for ev in &events {
+            threaded
+                .apply_topology_event(ev, &net.topology, &inv)
+                .unwrap();
+            // A healthy re-convergence must never trip the watchdog.
+            assert_eq!(
+                threaded.wait_quiescent_watched(&cfg),
+                WatchdogVerdict::Converged
+            );
+        }
+        assert_eq!(threaded.epoch(), 2);
+        assert_eq!(
+            threaded.report().canonical_bytes(),
+            reference.report().canonical_bytes()
+        );
+        let mut churn = ChurnState::new();
+        for ev in &events {
+            churn.apply(ev);
+        }
+        assert_eq!(
+            threaded.report().canonical_bytes(),
+            fresh_report_bytes(&net, &churn)
+        );
+        assert_eq!(threaded.report().quarantined, vec![b]);
+        threaded.shutdown().expect("no panics");
+    }
+
+    #[test]
+    fn watchdog_flags_wedged_device_and_recovers() {
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let inv = waypoint_inv();
+        let a = net.topology.device("A").unwrap();
+        let b = net.topology.device("B").unwrap();
+        let w = net.topology.device("W").unwrap();
+        let cache = LecCache::new();
+        let mut engine = ThreadedEngine::spawn(&net, &cp, &ps, &EngineConfig::default(), &cache);
+        engine.wait_quiescent();
+
+        // Bump the epoch once so freshness marking is active.
+        engine
+            .apply_topology_event(&TopologyEvent::LinkDown(a, b), &net.topology, &inv)
+            .unwrap();
+        let cfg = WatchdogConfig {
+            heartbeat: Duration::from_millis(5),
+            stall_heartbeats: 3,
+        };
+        assert_eq!(
+            engine.wait_quiescent_watched(&cfg),
+            WatchdogVerdict::Converged
+        );
+
+        // Wedge W, then hand it work it cannot process: the watchdog
+        // must blame exactly the wedged device, not the healthy ones.
+        let unblock = engine.inject_hang(w);
+        engine.inject_update(RuleUpdate::Insert {
+            device: w,
+            rule: Rule {
+                priority: 50,
+                matches: MatchSpec::dst("10.0.1.0/24".parse().unwrap()),
+                action: Action::fwd(b),
+            },
+        });
+        match engine.wait_quiescent_watched(&cfg) {
+            WatchdogVerdict::Stalled { devices } => assert_eq!(devices, vec![w]),
+            v => panic!("expected a stall, got {v:?}"),
+        }
+        // While stalled, the report marks the wedged device's nodes
+        // Stale at the stalling epoch — degraded, not wrong.
+        let report = engine.report();
+        assert!(
+            report
+                .freshness
+                .iter()
+                .any(|(_, f)| *f == Freshness::Stale(1)),
+            "the wedged device's results must be marked stale"
+        );
+
+        // Unblocking lets the backlog drain; a later converged wait
+        // clears the stall record and the report is fresh again.
+        drop(unblock);
+        assert_eq!(
+            engine.wait_quiescent_watched(&cfg),
+            WatchdogVerdict::Converged
+        );
+        let report = engine.report();
+        assert!(report
+            .freshness
+            .iter()
+            .all(|(_, f)| *f != Freshness::Stale(1)));
+        engine.shutdown().expect("no panics");
+    }
+
+    #[test]
+    fn churn_replan_to_untasked_device_fails_gracefully() {
+        // A re-plan that needs a verifier on a device which had no
+        // tasks in the running plan cannot be applied live: the engine
+        // must refuse with `Unsupported` and stay on the old epoch,
+        // not panic or half-apply.
+        let net = fig2a_network();
+        let (cp, ps) = waypoint_plan(&net);
+        let inv = waypoint_inv();
+        let cache = LecCache::new();
+        let mut engine = Engine::new_cached(
+            &net,
+            &cp,
+            &ps,
+            &EngineConfig::default(),
+            &cache,
+            FifoTransport::default(),
+            InstantClock,
+        );
+        engine.burst();
+        let before = engine.report().canonical_bytes();
+        let s = net.topology.device("S").unwrap();
+        let d = net.topology.device("D").unwrap();
+        // Isolating the destination makes the invariant unplannable.
+        let ev = TopologyEvent::DeviceDown(d);
+        let err = engine.apply_topology_event(&ev, &net.topology, &inv);
+        if err.is_err() {
+            assert_eq!(engine.epoch(), 0, "failed churn must not bump the epoch");
+            assert_eq!(engine.report().canonical_bytes(), before);
+        } else {
+            // If the planner still supports the degenerate topology the
+            // engine must at least have stayed coherent.
+            assert_eq!(engine.report().quarantined, vec![d]);
+        }
+        let _ = s;
     }
 
     #[test]

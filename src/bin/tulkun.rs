@@ -155,6 +155,13 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "churn" => match churn_run(&args, &get) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         "trace" => match observed_run(&args, &get) {
             Ok(run) => emit_observed(run.telemetry.chrome_trace_json(), &run, &args, &get),
             Err(e) => {
@@ -183,7 +190,9 @@ fn usage() -> ExitCode {
          tulkun trace [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
          [--faults SEED] [--off] [--out trace.json] [--stats]\n  \
          tulkun metrics [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
-         [--faults SEED] [--off] [--out metrics.prom] [--stats]"
+         [--faults SEED] [--off] [--out metrics.prom] [--stats]\n  \
+         tulkun churn [--name <NAME>] [--scale tiny|paper] [--seed S] [--events N] \
+         [--faults SEED] [--threaded]"
     );
     ExitCode::FAILURE
 }
@@ -215,44 +224,7 @@ fn observed_run(
         )
     })?;
     let net = &ds.network;
-    let topo = &net.topology;
-    let (dst, _) = topo
-        .external_map()
-        .next()
-        .ok_or_else(|| format!("dataset {name:?} announces no external prefixes"))?;
-    let prefixes = topo.external_prefixes(dst).to_vec();
-
-    // One WAN destination's subset-reachability invariant (the §9.3.1
-    // workload shape): every other device delivers along loop-free,
-    // <= shortest+2 paths.
-    let dst_name = topo.name(dst);
-    let ingress: Vec<String> = topo
-        .devices()
-        .filter(|d| *d != dst)
-        .map(|d| topo.name(d).to_string())
-        .collect();
-    let mut ps = PacketSpace::DstPrefix(prefixes[0]);
-    for p in &prefixes[1..] {
-        ps = ps.or(PacketSpace::DstPrefix(*p));
-    }
-    let path = PathExpr::parse(&format!(". * {dst_name}"))
-        .map_err(|e| e.to_string())?
-        .loop_free()
-        .shortest_plus(2);
-    let inv = Invariant::builder()
-        .name(format!("subset reachability -> {dst_name}"))
-        .packet_space(ps)
-        .ingress(ingress)
-        .behavior(Behavior::exist(CountExpr::ge(1), path.clone()).and(Behavior::covered(path)))
-        .build()
-        .map_err(|e| e.to_string())?;
-    let plan = Planner::new(topo)
-        .plan(&inv)
-        .map_err(|e| format!("planning failed: {e}"))?;
-    let cp = plan
-        .counting()
-        .ok_or("invariant planned as a local contract; nothing to trace")?
-        .clone();
+    let (inv, cp) = dataset_session(net, &name)?;
 
     let telemetry = if args.iter().any(|a| a == "--off") {
         Telemetry::disabled()
@@ -299,6 +271,183 @@ fn observed_run(
         stats,
         holds,
     })
+}
+
+/// One WAN destination's subset-reachability counting session on a
+/// generated dataset (the §9.3.1 workload shape): every other device
+/// delivers along loop-free, <= shortest+2 paths.
+fn dataset_session(
+    net: &Network,
+    name: &str,
+) -> Result<(Invariant, tulkun::core::planner::CountingPlan), String> {
+    let topo = &net.topology;
+    let (dst, _) = topo
+        .external_map()
+        .next()
+        .ok_or_else(|| format!("dataset {name:?} announces no external prefixes"))?;
+    let prefixes = topo.external_prefixes(dst).to_vec();
+    let dst_name = topo.name(dst);
+    let ingress: Vec<String> = topo
+        .devices()
+        .filter(|d| *d != dst)
+        .map(|d| topo.name(d).to_string())
+        .collect();
+    let mut ps = PacketSpace::DstPrefix(prefixes[0]);
+    for p in &prefixes[1..] {
+        ps = ps.or(PacketSpace::DstPrefix(*p));
+    }
+    let path = PathExpr::parse(&format!(". * {dst_name}"))
+        .map_err(|e| e.to_string())?
+        .loop_free()
+        .shortest_plus(2);
+    let inv = Invariant::builder()
+        .name(format!("subset reachability -> {dst_name}"))
+        .packet_space(ps)
+        .ingress(ingress)
+        .behavior(Behavior::exist(CountExpr::ge(1), path.clone()).and(Behavior::covered(path)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let plan = Planner::new(topo)
+        .plan(&inv)
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let cp = plan
+        .counting()
+        .ok_or("invariant planned as a local contract; nothing to drive")?
+        .clone();
+    Ok((inv, cp))
+}
+
+/// `tulkun churn`: drives a seeded live-churn schedule against a
+/// generated dataset, printing per-event epoch, re-plan reuse and
+/// re-convergence cost, and the final report's freshness summary. With
+/// `--threaded` the schedule runs on the concurrent substrate under
+/// the convergence watchdog; with `--faults SEED` it runs over a 10%
+/// lossy management network.
+fn churn_run(args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<ExitCode, String> {
+    use tulkun::core::churn::{ChurnSchedule, TopologyEvent};
+    use tulkun::core::verify::{Freshness, Report};
+
+    let name = get("--name").unwrap_or_else(|| "INet2".into());
+    let scale = match get("--scale").as_deref() {
+        Some("paper") => tulkun::datasets::Scale::Paper,
+        _ => tulkun::datasets::Scale::Tiny,
+    };
+    let ds = tulkun::datasets::by_name(&name, scale).ok_or_else(|| {
+        format!(
+            "unknown dataset {name:?}; available: {}",
+            tulkun::datasets::DATASET_NAMES.join(", ")
+        )
+    })?;
+    let net = &ds.network;
+    let topo = &net.topology;
+    let (inv, cp) = dataset_session(net, &name)?;
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let events: usize = get("--events").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let schedule = ChurnSchedule::seeded(topo, &inv, seed, events);
+    if schedule.is_empty() {
+        return Err("no plannable churn events for this dataset/invariant".into());
+    }
+    let describe = |ev: &TopologyEvent| match ev {
+        TopologyEvent::LinkDown(a, b) => format!("link-down {}-{}", topo.name(*a), topo.name(*b)),
+        TopologyEvent::LinkUp(a, b) => format!("link-up {}-{}", topo.name(*a), topo.name(*b)),
+        TopologyEvent::DeviceDown(d) => format!("device-down {}", topo.name(*d)),
+        TopologyEvent::DeviceUp(d) => format!("device-up {}", topo.name(*d)),
+    };
+    let summarize = |report: &Report| {
+        let mut fresh = 0usize;
+        let mut stale = 0usize;
+        let mut unreachable = 0usize;
+        for (_, f) in &report.freshness {
+            match f {
+                Freshness::Fresh => fresh += 1,
+                Freshness::Stale(_) => stale += 1,
+                Freshness::Unreachable => unreachable += 1,
+            }
+        }
+        println!(
+            "final report: holds={} violations={} fresh={fresh} stale={stale} \
+             unreachable={unreachable} quarantined=[{}]",
+            report.holds(),
+            report.violations.len(),
+            report
+                .quarantined
+                .iter()
+                .map(|d| topo.name(*d).to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    };
+
+    if args.iter().any(|a| a == "--threaded") {
+        let mut run = tulkun::sim::DistributedRun::spawn(net, &cp, &inv.packet_space);
+        run.quiesce();
+        let cfg = tulkun::sim::WatchdogConfig::default();
+        for ev in &schedule.0 {
+            run.apply_topology_event(ev, topo, &inv)
+                .map_err(|e| format!("churn re-plan failed: {e}"))?;
+            let verdict = run.quiesce_watched(&cfg);
+            println!(
+                "epoch {:>3}  {:<28} watchdog={verdict:?}",
+                run.epoch(),
+                describe(ev)
+            );
+        }
+        summarize(&run.report());
+        run.shutdown()
+            .map_err(|p| format!("{} device task(s) panicked", p.len()))?;
+    } else {
+        let faults = get("--faults").and_then(|v| v.parse::<u64>().ok());
+        let cfg = SimConfig::default();
+        match faults {
+            Some(fs) => {
+                let mut sim = FaultyDvmSim::new(
+                    net,
+                    &cp,
+                    &inv.packet_space,
+                    cfg,
+                    FaultProfile::loss(fs, 0.10),
+                );
+                sim.burst();
+                for ev in &schedule.0 {
+                    let r = sim
+                        .apply_topology_event(ev, topo, &inv)
+                        .map_err(|e| format!("churn re-plan failed: {e}"))?;
+                    println!(
+                        "epoch {:>3}  {:<28} messages={} completion_ns={}",
+                        sim.epoch(),
+                        describe(ev),
+                        r.messages,
+                        r.completion_ns
+                    );
+                }
+                let f = sim.stats().fault;
+                println!(
+                    "fault channel: drops={} retransmits={} backpressure={}",
+                    f.drops, f.retransmits, f.backpressure
+                );
+                summarize(&sim.report());
+            }
+            None => {
+                let mut sim = DvmSim::new(net, &cp, &inv.packet_space, cfg);
+                sim.burst();
+                for ev in &schedule.0 {
+                    let (r, total, reused) = sim
+                        .apply_topology_event_with_delta(ev, topo, &inv)
+                        .map_err(|e| format!("churn re-plan failed: {e}"))?;
+                    println!(
+                        "epoch {:>3}  {:<28} reused {reused}/{total} nodes, messages={} \
+                         completion_ns={}",
+                        sim.epoch(),
+                        describe(ev),
+                        r.messages,
+                        r.completion_ns
+                    );
+                }
+                summarize(&sim.report());
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Writes the exported artifact (`--out` or stdout); with `--stats`,
