@@ -22,9 +22,16 @@
 #                 interleaved with link/device down/up events; fails on
 #                 any epoch-final Report divergence
 #                 (tests/churn_matrix.rs, release mode)
+#   backend-matrix  predicate-backend equivalence: backend {deltanet,
+#                 intervals, auto} x substrate {event sim, faulty event
+#                 sim, threaded run} x loss {0%,10%} must produce
+#                 byte-equal Reports (tests/backend_equivalence.rs plus
+#                 the baselines agreement property test, release mode)
 #   bench-smoke   runs the ablation harness on tiny topologies and
 #                 validates every emitted figure JSON (structure only,
-#                 no timing assertions -- the CI box has 1 CPU)
+#                 no timing assertions -- the CI box has 1 CPU); also
+#                 refreshes the BENCH_backends.json snapshot from the
+#                 bench_backends figure
 #   obs-smoke     runs `tulkun trace` / `tulkun metrics` on tiny INet2
 #                 and validates the Chrome-trace JSON and Prometheus
 #                 text with check_telemetry (structure only, no timing
@@ -94,6 +101,11 @@ stage_churn_matrix() {
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test churn_matrix
 }
 
+stage_backend_matrix() {
+    TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test backend_equivalence
+    TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun-baselines --test backend_agreement
+}
+
 stage_bench_smoke() {
     cargo run --release -p tulkun-bench --bin ablation -- \
         --scale tiny --datasets INet2,AT1-2 --updates 48
@@ -105,7 +117,10 @@ stage_bench_smoke() {
         ablation_parallel_init \
         ablation_fault_overhead \
         ablation_burst_updates \
-        ablation_churn
+        ablation_churn \
+        bench_backends
+    cp "${CARGO_TARGET_DIR:-target}/figures/bench_backends.json" BENCH_backends.json
+    echo "bench-smoke: refreshed BENCH_backends.json"
 }
 
 stage_obs_smoke() {
@@ -149,18 +164,19 @@ run_stage() {
         fmt)          run_with_timeout "$1" stage_fmt ;;
         fault-matrix) run_with_timeout "$1" stage_fault_matrix ;;
         churn-matrix) run_with_timeout "$1" stage_churn_matrix ;;
+        backend-matrix) run_with_timeout "$1" stage_backend_matrix ;;
         bench-smoke)  run_with_timeout "$1" stage_bench_smoke ;;
         obs-smoke)    run_with_timeout "$1" stage_obs_smoke ;;
         doc-check)    run_with_timeout "$1" stage_doc_check ;;
         all)
             for s in build test lint fmt fault-matrix churn-matrix \
-                     bench-smoke obs-smoke doc-check; do
+                     backend-matrix bench-smoke obs-smoke doc-check; do
                 run_stage "$s"
             done
             ;;
         *)
             echo "ci.sh: unknown stage '$1'" >&2
-            echo "stages: build test lint fmt fault-matrix churn-matrix bench-smoke obs-smoke doc-check all" >&2
+            echo "stages: build test lint fmt fault-matrix churn-matrix backend-matrix bench-smoke obs-smoke doc-check all" >&2
             exit 2
             ;;
     esac

@@ -22,6 +22,16 @@ impl Pred {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a handle from a raw index previously obtained with
+    /// [`Pred::index`]. The index must come from the *same* manager the
+    /// handle will be used with; passing anything else yields a handle
+    /// whose operations are meaningless (or panic on out-of-range
+    /// accesses). Exists so backend facades can wrap predicate handles
+    /// of several representations behind one uniform handle type.
+    pub fn from_index(index: u32) -> Pred {
+        Pred(index)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -13,7 +13,7 @@ use crate::manager::{BddManager, Pred};
 ///
 /// Nodes are listed children-first, with local indices: 0 = FALSE,
 /// 1 = TRUE, and node `i >= 2` is `nodes[i - 2]`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortablePred {
     /// `(var, lo, hi)` triples in children-first order.
     nodes: Vec<(u32, u32, u32)>,
@@ -37,6 +37,20 @@ impl PortablePred {
     /// Approximate wire size in bytes (3 × u32 per node plus the root).
     pub fn wire_bytes(&self) -> usize {
         self.nodes.len() * 12 + 4
+    }
+
+    /// The `(var, lo, hi)` node triples in children-first order, local
+    /// indices as documented on the type. Exposed so non-BDD predicate
+    /// backends can decode the wire encoding into their own
+    /// representation without round-tripping through a manager.
+    pub fn nodes(&self) -> &[(u32, u32, u32)] {
+        &self.nodes
+    }
+
+    /// Local index of the root node (0 = FALSE, 1 = TRUE, `i >= 2` is
+    /// `nodes()[i - 2]`).
+    pub fn root(&self) -> u32 {
+        self.root
     }
 }
 

@@ -28,7 +28,9 @@ use tulkun_core::verify::Session;
 use tulkun_datasets::by_name;
 use tulkun_netmodel::network::Network;
 use tulkun_sim::event::LecCache;
-use tulkun_sim::{DvmSim, FaultyDvmSim, SimConfig, Telemetry, TelemetryConfig};
+use tulkun_sim::{
+    network_ip_only, BackendKind, DvmSim, FaultyDvmSim, SimConfig, Telemetry, TelemetryConfig,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -40,6 +42,154 @@ fn main() {
     ablate_fault_overhead(&cli);
     ablate_burst_updates(&cli);
     ablate_churn(&cli);
+    bench_backends(&cli);
+}
+
+/// The predicate backends a network's workload admits: all of
+/// [`BackendKind::CONCRETE`] for destination-prefix-only FIBs, just the
+/// BDD backend otherwise (the interval encodings are DST_ONLY).
+fn admitted_backends(net: &Network) -> Vec<BackendKind> {
+    if network_ip_only(net) {
+        BackendKind::CONCRETE.to_vec()
+    } else {
+        vec![BackendKind::Bdd]
+    }
+}
+
+/// Predicate-backend race: the same burst-replay and churn workloads on
+/// every admitted LEC encoding, with byte-equality of the final Report
+/// against the BDD run. This is the `BENCH_backends.json` snapshot the
+/// `backend-matrix` CI stage regenerates.
+fn bench_backends(cli: &Cli) {
+    let mut t = FigureTable::new(
+        "bench_backends",
+        "Predicate backends: burst replay and churn per LEC encoding (seed 7)",
+        &[
+            "dataset",
+            "workload",
+            "backend",
+            "verify time",
+            "messages",
+            "bytes",
+            "p50",
+            "p90",
+            "p99",
+            "speedup vs bdd",
+            "same report",
+        ],
+    );
+    for name in ["INet2", "B4-13", "AT1-2"] {
+        if !cli.wants(name) {
+            continue;
+        }
+        let ds = by_name(name, cli.scale).unwrap();
+        let topo = &ds.network.topology;
+        let (dst, _) = topo.external_map().next().unwrap();
+        let prefixes = topo.external_prefixes(dst).to_vec();
+        let inv = tulkun_bench::workload::wan_invariant(&ds.network, dst, &prefixes);
+        let plan = Planner::new(topo).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap();
+        let trace = tulkun_bench::churn_trace(&ds.network, cli.updates.min(96), 7);
+        let backends = admitted_backends(&ds.network);
+
+        // Burst replay at two coalescing regimes.
+        for burst in [8usize, 32] {
+            let mut bdd_ref: Option<tulkun_bench::ReplayOutcome> = None;
+            for &backend in &backends {
+                let r = tulkun_bench::replay_trace_with(
+                    &ds.network,
+                    cp,
+                    &inv.packet_space,
+                    &trace,
+                    burst,
+                    backend,
+                );
+                let (speedup, same) = match &bdd_ref {
+                    None => ("1.00x".into(), true),
+                    Some(b) => (
+                        format!(
+                            "{:.2}x",
+                            b.completion_ns as f64 / r.completion_ns.max(1) as f64
+                        ),
+                        b.report == r.report,
+                    ),
+                };
+                t.row(vec![
+                    name.into(),
+                    format!("burst {burst}"),
+                    backend.to_string(),
+                    fmt_ns(r.completion_ns),
+                    r.messages.to_string(),
+                    r.bytes.to_string(),
+                    fmt_ns(r.p50_ns),
+                    fmt_ns(r.p90_ns),
+                    fmt_ns(r.p99_ns),
+                    speedup,
+                    same.to_string(),
+                ]);
+                if bdd_ref.is_none() {
+                    bdd_ref = Some(r);
+                }
+            }
+        }
+
+        // Live topology churn (4 seeded events after the initial burst).
+        let schedule = ChurnSchedule::seeded(topo, &inv, 7, 4);
+        let mut bdd_churn: Option<(u64, Vec<u8>)> = None;
+        for &backend in &backends {
+            let telemetry = Telemetry::new(TelemetryConfig::enabled());
+            let mut sim = DvmSim::new(
+                &ds.network,
+                cp,
+                &inv.packet_space,
+                SimConfig {
+                    backend,
+                    telemetry: telemetry.clone(),
+                    ..SimConfig::default()
+                },
+            );
+            sim.burst();
+            let (mut completion, mut messages, mut bytes) = (0u64, 0usize, 0u64);
+            for ev in &schedule.0 {
+                let Ok(r) = sim.apply_topology_event(ev, topo, &inv) else {
+                    continue;
+                };
+                completion += r.completion_ns;
+                messages += r.messages;
+                bytes += r.bytes;
+            }
+            let report = sim.report().canonical_bytes();
+            let m = telemetry.metrics();
+            let pct = |p| {
+                m.percentile(tulkun_telemetry::HANDLE_NS.name, p)
+                    .unwrap_or(0)
+            };
+            let (speedup, same) = match &bdd_churn {
+                None => ("1.00x".into(), true),
+                Some((b_ns, b_report)) => (
+                    format!("{:.2}x", *b_ns as f64 / completion.max(1) as f64),
+                    *b_report == report,
+                ),
+            };
+            t.row(vec![
+                name.into(),
+                format!("churn x{}", schedule.0.len()),
+                backend.to_string(),
+                fmt_ns(completion),
+                messages.to_string(),
+                bytes.to_string(),
+                fmt_ns(pct(0.50)),
+                fmt_ns(pct(0.90)),
+                fmt_ns(pct(0.99)),
+                speedup,
+                same.to_string(),
+            ]);
+            if bdd_churn.is_none() {
+                bdd_churn = Some((completion, report));
+            }
+        }
+    }
+    t.finish();
 }
 
 /// Live topology churn: incremental re-plan (epoch fence + reused
@@ -132,9 +282,10 @@ fn ablate_churn(cli: &Cli) {
 fn ablate_burst_updates(cli: &Cli) {
     let mut t = FigureTable::new(
         "ablation_burst_updates",
-        "Burst updates: per-rule vs coalesced batch replay (seed 7)",
+        "Burst updates: per-rule vs coalesced batch replay, per backend (seed 7)",
         &[
             "dataset",
+            "backend",
             "burst",
             "batches",
             "messages",
@@ -160,27 +311,39 @@ fn ablate_burst_updates(cli: &Cli) {
 
         let trace = tulkun_bench::churn_trace(&ds.network, cli.updates.min(96), 7);
         let mut reference = None;
-        for burst in [1usize, 4, 16, 64] {
-            let r = tulkun_bench::replay_trace(&ds.network, cp, &inv.packet_space, &trace, burst);
-            let same = match &reference {
-                None => {
-                    reference = Some(r.report.clone());
-                    true
-                }
-                Some(reference) => *reference == r.report,
-            };
-            t.row(vec![
-                name.into(),
-                burst.to_string(),
-                r.batches.to_string(),
-                r.messages.to_string(),
-                r.bytes.to_string(),
-                fmt_ns(r.completion_ns),
-                fmt_ns(r.p50_ns),
-                fmt_ns(r.p90_ns),
-                fmt_ns(r.p99_ns),
-                same.to_string(),
-            ]);
+        for backend in admitted_backends(&ds.network) {
+            for burst in [1usize, 4, 16, 64] {
+                let r = tulkun_bench::replay_trace_with(
+                    &ds.network,
+                    cp,
+                    &inv.packet_space,
+                    &trace,
+                    burst,
+                    backend,
+                );
+                // One reference per dataset: backends and burst sizes
+                // must all converge to the same Report bytes.
+                let same = match &reference {
+                    None => {
+                        reference = Some(r.report.clone());
+                        true
+                    }
+                    Some(reference) => *reference == r.report,
+                };
+                t.row(vec![
+                    name.into(),
+                    backend.to_string(),
+                    burst.to_string(),
+                    r.batches.to_string(),
+                    r.messages.to_string(),
+                    r.bytes.to_string(),
+                    fmt_ns(r.completion_ns),
+                    fmt_ns(r.p50_ns),
+                    fmt_ns(r.p90_ns),
+                    fmt_ns(r.p99_ns),
+                    same.to_string(),
+                ]);
+            }
         }
     }
     t.finish();
@@ -198,9 +361,15 @@ fn ablate_parallel_init(cli: &Cli) {
             "parallel",
             "speedup",
             "workers",
+            "host cpus",
             "same report",
         ],
     );
+    // Speedup is bounded by the host: report the CPU count so a 1.0x
+    // result on a 1-CPU CI box reads as expected, not as a regression.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for name in ["INet2", "BTNA"] {
         if !cli.wants(name) {
             continue;
@@ -248,6 +417,7 @@ fn ablate_parallel_init(cli: &Cli) {
             fmt_ns(par),
             format!("{:.2}x", seq as f64 / par.max(1) as f64),
             workers.to_string(),
+            host_cpus.to_string(),
             (seq_report == par_report).to_string(),
         ]);
     }

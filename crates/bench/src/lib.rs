@@ -11,7 +11,7 @@ pub mod replay;
 pub mod report;
 pub mod workload;
 
-pub use replay::{churn_trace, replay_trace, ReplayOutcome};
+pub use replay::{churn_trace, replay_trace, replay_trace_with, ReplayOutcome};
 pub use report::FigureTable;
 pub use workload::{all_pair_workload, AllPairRun, TulkunAllPairs};
 

@@ -9,7 +9,7 @@ use tulkun_core::planner::CountingPlan;
 use tulkun_core::spec::PacketSpace;
 use tulkun_datasets::rule_updates;
 use tulkun_netmodel::network::{Network, RuleUpdate};
-use tulkun_sim::{DvmSim, SimConfig, Telemetry, TelemetryConfig};
+use tulkun_sim::{BackendKind, DvmSim, SimConfig, Telemetry, TelemetryConfig};
 use tulkun_telemetry::HANDLE_NS;
 
 /// Cost and verdict of one trace replay.
@@ -47,6 +47,20 @@ pub fn replay_trace(
     trace: &[RuleUpdate],
     burst: usize,
 ) -> ReplayOutcome {
+    replay_trace_with(net, cp, ps, trace, burst, BackendKind::Bdd)
+}
+
+/// Like [`replay_trace`], on an explicit predicate backend. The trace
+/// length doubles as the `Auto` update-rate hint, so `Auto` picks the
+/// Delta-net encoding for IP-only bursty replays.
+pub fn replay_trace_with(
+    net: &Network,
+    cp: &CountingPlan,
+    ps: &PacketSpace,
+    trace: &[RuleUpdate],
+    burst: usize,
+    backend: BackendKind,
+) -> ReplayOutcome {
     assert!(burst > 0, "burst size must be positive");
     let telemetry = Telemetry::new(TelemetryConfig::enabled());
     let mut sim = DvmSim::new(
@@ -55,6 +69,8 @@ pub fn replay_trace(
         ps,
         SimConfig {
             telemetry: telemetry.clone(),
+            backend,
+            update_rate_hint: trace.len() as f64,
             ..SimConfig::default()
         },
     );
@@ -112,6 +128,20 @@ mod tests {
         // Message counts depend on delivery order (the event sim
         // schedules by measured CPU time), so only the verdict is
         // asserted, not the wire counters.
+    }
+
+    #[test]
+    fn backends_agree_on_the_replayed_report() {
+        let (net, cp, ps) = inet2_session();
+        let trace = churn_trace(&net, 24, 7);
+        let bdd = replay_trace_with(&net, &cp, &ps, &trace, 8, BackendKind::Bdd);
+        for kind in [BackendKind::DeltaNet, BackendKind::Intervals] {
+            let other = replay_trace_with(&net, &cp, &ps, &trace, 8, kind);
+            assert_eq!(
+                bdd.report, other.report,
+                "{kind} backend diverged from bdd on the replayed report"
+            );
+        }
     }
 }
 

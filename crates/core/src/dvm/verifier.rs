@@ -2,13 +2,22 @@
 //!
 //! Every device runs one `DeviceVerifier` holding:
 //!
-//! * a private BDD manager and the device's **LEC table** (predicate →
-//!   action classes built from the FIB, §5.1);
+//! * a private predicate backend (a BDD manager, a Delta-net atom
+//!   partition, or an interval-set universe — see
+//!   [`tulkun_predicate::PredicateBackend`]) and the device's **LEC
+//!   table** (predicate → action classes built from the FIB, §5.1);
 //! * per DPVNet node mapped to this device: `CIBIn` (latest results per
 //!   downstream neighbor), `LocCIB` (this node's counting results) and
 //!   `CIBOut` (what upstream neighbors currently believe);
 //! * the counting scope (invariant packet space, grown by `SUBSCRIBE`
 //!   messages when upstream devices rewrite headers).
+//!
+//! The verifier is generic over the backend ([`DeviceVerifierIn`]);
+//! wire messages always carry the canonical [`PortablePred`] ROBDD
+//! encoding, so verifiers running different backends interoperate
+//! byte-for-byte (the wire-format invariant of `tulkun-predicate`).
+//! [`DeviceVerifier`] is the runtime-selected form used by the
+//! substrates.
 //!
 //! Deviation from §5.2, documented in DESIGN.md: affected `LocCIB`
 //! entries are recomputed from the stored `CIBIn` tables instead of
@@ -23,11 +32,12 @@ use crate::planner::NodeTask;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
-use tulkun_bdd::serial::{self, PortablePred};
-use tulkun_bdd::{BddManager, HeaderLayout, Pred};
+use tulkun_bdd::serial::PortablePred;
+use tulkun_bdd::HeaderLayout;
 use tulkun_netmodel::fib::{Action, ActionType, Fib, NextHop, Rewrite};
 use tulkun_netmodel::network::RuleUpdate;
 use tulkun_netmodel::DeviceId;
+use tulkun_predicate::{BackendKind, DynBackend, PredicateBackend};
 use tulkun_telemetry::{Telemetry, CIB_RECOMPUTE_NS, FIB_BATCH_NS, LEC_DELTA_NS};
 
 /// How destination nodes count their own delivery.
@@ -82,36 +92,36 @@ pub struct VerifierStats {
 }
 
 #[derive(Debug)]
-struct NodeState {
+struct NodeState<P> {
     task: NodeTask,
     /// Packet sets this node counts for (packet space + subscriptions).
-    scope: Pred,
+    scope: P,
     /// Indices of LEC classes intersecting `scope` — the only classes
     /// counting ever touches (devices hold thousands of classes, an
     /// invariant's packet space usually overlaps a handful).
     relevant: Vec<usize>,
     /// Latest results per downstream node (predicates in downstream
     /// header space). Missing coverage means count zero.
-    cib_in: BTreeMap<NodeId, Vec<(Pred, Counts)>>,
+    cib_in: BTreeMap<NodeId, Vec<(P, Counts)>>,
     /// This node's counting results (partitions `scope`).
-    loc_cib: Vec<(Pred, Counts)>,
+    loc_cib: Vec<(P, Counts)>,
     /// What upstream currently believes (reduced counts; partitions
     /// `scope`).
-    cib_out: Vec<(Pred, Counts)>,
+    cib_out: Vec<(P, Counts)>,
     /// Scope already requested from each downstream device.
-    sent_subs: BTreeMap<NodeId, Pred>,
+    sent_subs: BTreeMap<NodeId, P>,
 }
 
-/// The event-driven on-device verifier.
-pub struct DeviceVerifier {
+/// The event-driven on-device verifier, generic over the predicate
+/// backend `B`. See [`DeviceVerifier`] for the runtime-selected form.
+pub struct DeviceVerifierIn<B: PredicateBackend> {
     dev: DeviceId,
-    layout: HeaderLayout,
-    mgr: BddManager,
+    backend: B,
     fib: Fib,
-    lecs: Vec<(Pred, Action)>,
+    lecs: Vec<(B::Pred, Action)>,
     cfg: VerifierConfig,
-    packet_space: Pred,
-    nodes: BTreeMap<NodeId, NodeState>,
+    packet_space: B::Pred,
+    nodes: BTreeMap<NodeId, NodeState<B::Pred>>,
     /// Neighbor devices currently unreachable (failed adjacent links).
     down_neighbors: BTreeSet<DeviceId>,
     /// Causal trace id of the event currently being processed; stamped
@@ -128,17 +138,23 @@ pub struct DeviceVerifier {
     pub stats: VerifierStats,
 }
 
-/// Builds a [`DeviceVerifier`]: mandatory device/FIB/packet-space
+/// The on-device verifier with its backend chosen at runtime (the form
+/// every substrate instantiates).
+pub type DeviceVerifier = DeviceVerifierIn<DynBackend>;
+
+/// Builds a [`DeviceVerifierIn`]: mandatory device/FIB/packet-space
 /// context plus the optional parts (planner tasks, a pre-built LEC
 /// table, a destination-mode override).
 ///
 /// One device's LEC table is shared by all its tasks across invariants
 /// (§8 — re-deriving it per invariant would be wasted work); seed it
-/// with [`VerifierBuilder::lecs`]. The caller must guarantee the
+/// with [`VerifierBuilderIn::lecs`]. Cached tables are stored in the
+/// backend-neutral wire encoding, so a table exported under one backend
+/// seeds a verifier running any other. The caller must guarantee the
 /// exported table matches `fib`.
-pub struct VerifierBuilder<'a> {
+pub struct VerifierBuilderIn<'a, B: PredicateBackend> {
+    backend: B,
     dev: DeviceId,
-    layout: HeaderLayout,
     fib: Fib,
     packet_space: &'a PortablePred,
     cfg: VerifierConfig,
@@ -147,7 +163,10 @@ pub struct VerifierBuilder<'a> {
     tel: Option<Arc<Telemetry>>,
 }
 
-impl<'a> VerifierBuilder<'a> {
+/// Builder for the runtime-selected [`DeviceVerifier`].
+pub type VerifierBuilder<'a> = VerifierBuilderIn<'a, DynBackend>;
+
+impl<'a, B: PredicateBackend> VerifierBuilderIn<'a, B> {
     /// The counting tasks the planner assigned to this device.
     pub fn tasks(mut self, tasks: Vec<NodeTask>) -> Self {
         self.tasks = tasks;
@@ -183,10 +202,10 @@ impl<'a> VerifierBuilder<'a> {
 
     /// Builds the verifier (computing the LEC table unless one was
     /// provided).
-    pub fn build(self) -> DeviceVerifier {
-        let VerifierBuilder {
+    pub fn build(self) -> DeviceVerifierIn<B> {
+        let VerifierBuilderIn {
+            mut backend,
             dev,
-            layout,
             fib,
             packet_space,
             cfg,
@@ -194,8 +213,7 @@ impl<'a> VerifierBuilder<'a> {
             lecs,
             tel,
         } = self;
-        let mut mgr = BddManager::new(layout.num_vars());
-        let ps = serial::import(&mut mgr, packet_space).expect("packet space import");
+        let ps = backend.import(packet_space);
         let dim = cfg.dim();
         let mut nodes = BTreeMap::new();
         for task in tasks {
@@ -217,9 +235,9 @@ impl<'a> VerifierBuilder<'a> {
                 },
             );
         }
-        let mut v = DeviceVerifier {
+        let mut v = DeviceVerifierIn {
             dev,
-            layout,
+            backend,
             fib,
             lecs: Vec::new(),
             cfg,
@@ -230,18 +248,12 @@ impl<'a> VerifierBuilder<'a> {
             epoch: 0,
             tel: tel.unwrap_or_else(Telemetry::disabled),
             stats: VerifierStats::default(),
-            mgr,
         };
         match lecs {
             Some(lecs) => {
                 v.lecs = lecs
                     .iter()
-                    .map(|(p, a)| {
-                        (
-                            serial::import(&mut v.mgr, p).expect("lec import"),
-                            a.clone(),
-                        )
-                    })
+                    .map(|(p, a)| (v.backend.import(p), a.clone()))
                     .collect();
                 v.refresh_relevance();
             }
@@ -251,10 +263,23 @@ impl<'a> VerifierBuilder<'a> {
     }
 }
 
+impl<'a> VerifierBuilder<'a> {
+    /// Swaps the predicate backend for the given (concrete) kind.
+    /// Resolve [`BackendKind::Auto`] via [`BackendKind::resolve`]
+    /// before calling; passing it here panics.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        let layout = *self.backend.layout();
+        self.backend = DynBackend::new(kind, layout);
+        self
+    }
+}
+
 impl DeviceVerifier {
-    /// Starts building a verifier for `dev`. `packet_space` is the
-    /// invariant's packet space; tasks, cached LECs and a dest-mode
-    /// override are supplied on the returned [`VerifierBuilder`].
+    /// Starts building a verifier for `dev` with the default (BDD)
+    /// backend; select another with [`VerifierBuilder::backend`].
+    /// `packet_space` is the invariant's packet space; tasks, cached
+    /// LECs and a dest-mode override are supplied on the returned
+    /// [`VerifierBuilder`].
     pub fn builder(
         dev: DeviceId,
         layout: HeaderLayout,
@@ -262,9 +287,30 @@ impl DeviceVerifier {
         packet_space: &PortablePred,
         cfg: VerifierConfig,
     ) -> VerifierBuilder<'_> {
-        VerifierBuilder {
+        DeviceVerifierIn::builder_in(
+            DynBackend::new(BackendKind::Bdd, layout),
             dev,
-            layout,
+            fib,
+            packet_space,
+            cfg,
+        )
+    }
+}
+
+impl<B: PredicateBackend> DeviceVerifierIn<B> {
+    /// Starts building a verifier for `dev` over an explicit backend
+    /// instance (the fully generic entry point; [`DeviceVerifier`]
+    /// users go through [`DeviceVerifier::builder`]).
+    pub fn builder_in(
+        backend: B,
+        dev: DeviceId,
+        fib: Fib,
+        packet_space: &PortablePred,
+        cfg: VerifierConfig,
+    ) -> VerifierBuilderIn<'_, B> {
+        VerifierBuilderIn {
+            backend,
+            dev,
             fib,
             packet_space,
             cfg,
@@ -275,11 +321,12 @@ impl DeviceVerifier {
     }
 
     /// Exports the LEC table for reuse by another verifier of the same
-    /// device (see [`VerifierBuilder::lecs`]).
+    /// device (see [`VerifierBuilderIn::lecs`]). The export is in the
+    /// canonical wire encoding, hence backend-neutral.
     pub fn export_lecs(&self) -> Vec<(PortablePred, Action)> {
         self.lecs
             .iter()
-            .map(|(p, a)| (serial::export(&self.mgr, *p), a.clone()))
+            .map(|(p, a)| (self.backend.export(*p), a.clone()))
             .collect()
     }
 
@@ -288,11 +335,21 @@ impl DeviceVerifier {
         self.dev
     }
 
+    /// The predicate backend in use.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Short name of the predicate backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
     /// Sets the causal trace id stamped onto subsequently emitted
     /// envelopes. Runtimes call this before injecting an internal
     /// event (FIB batch, link event, reboot, replay) so the whole
     /// resulting UPDATE wave shares one id; incoming envelopes set it
-    /// automatically in [`DeviceVerifier::handle`].
+    /// automatically in [`DeviceVerifierIn::handle`].
     pub fn set_trace(&mut self, trace: u64) {
         self.trace = trace;
     }
@@ -335,19 +392,21 @@ impl DeviceVerifier {
         self.lecs.len()
     }
 
-    /// BDD nodes allocated (memory proxy for §9.4).
+    /// Backend memory proxy for §9.4: BDD nodes, stored intervals, or
+    /// atoms + list entries, depending on the representation.
+    pub fn mem_units(&self) -> usize {
+        self.backend.mem_units()
+    }
+
+    /// Backend memory proxy for §9.4 (historical name; same value as
+    /// [`DeviceVerifierIn::mem_units`]).
     pub fn bdd_nodes(&self) -> usize {
-        self.mgr.node_count()
+        self.backend.mem_units()
     }
 
     fn rebuild_lecs(&mut self) {
         self.stats.lec_rebuilds += 1;
-        self.lecs = self
-            .fib
-            .local_equivalence_classes(&mut self.mgr, &self.layout)
-            .into_iter()
-            .map(|l| (l.pred, l.action))
-            .collect();
+        self.lecs = tulkun_predicate::lecs(&self.fib, &mut self.backend);
         self.refresh_relevance();
     }
 
@@ -361,7 +420,7 @@ impl DeviceVerifier {
             let relevant = lecs
                 .iter()
                 .enumerate()
-                .filter(|(_, (p, _))| self.mgr.intersects(*p, scope))
+                .filter(|(_, (p, _))| self.backend.intersects(*p, scope))
                 .map(|(i, _)| i)
                 .collect();
             self.nodes.get_mut(&id).unwrap().relevant = relevant;
@@ -370,7 +429,7 @@ impl DeviceVerifier {
 
     /// The LEC classes that can matter for one node (those intersecting
     /// its scope).
-    fn relevant_lecs(&self, node: NodeId) -> Vec<(Pred, Action)> {
+    fn relevant_lecs(&self, node: NodeId) -> Vec<(B::Pred, Action)> {
         let st = &self.nodes[&node];
         st.relevant.iter().map(|&i| self.lecs[i].clone()).collect()
     }
@@ -437,23 +496,23 @@ impl DeviceVerifier {
             return; // stale message after a plan change
         }
         // Step 1: update CIBIn(v).
-        let mut w = self.mgr.falsum();
+        let mut w = self.backend.falsum();
         for p in withdrawn {
-            let p = serial::import(&mut self.mgr, p).expect("withdrawn import");
-            w = self.mgr.or(w, p);
+            let p = self.backend.import(p);
+            w = self.backend.or(w, p);
         }
         let mut incoming = Vec::with_capacity(results.len());
         for (p, c) in results {
-            let p = serial::import(&mut self.mgr, p).expect("result import");
+            let p = self.backend.import(p);
             incoming.push((p, c.clone()));
         }
         {
             let st = self.nodes.get_mut(&node).unwrap();
             let entry = st.cib_in.entry(v).or_default();
-            let mgr = &mut self.mgr;
+            let be = &mut self.backend;
             entry.retain_mut(|(p, _)| {
-                *p = mgr.diff(*p, w);
-                !mgr.is_false(*p)
+                *p = be.diff(*p, w);
+                !be.is_false(*p)
             });
             entry.extend(incoming);
         }
@@ -477,8 +536,8 @@ impl DeviceVerifier {
     /// Upstream region affected by a change of downstream predicates `w`
     /// at neighbor device `vdev` (the causality lookup of §5.2): LEC
     /// classes forwarding to `vdev`, pulled back through any rewrite.
-    fn affected_region(&mut self, node: NodeId, vdev: DeviceId, w: Pred) -> Pred {
-        let mut region = self.mgr.falsum();
+    fn affected_region(&mut self, node: NodeId, vdev: DeviceId, w: B::Pred) -> B::Pred {
+        let mut region = self.backend.falsum();
         let lecs = self.relevant_lecs(node);
         for (pred, action) in &lecs {
             let Action::Forward {
@@ -494,8 +553,8 @@ impl DeviceVerifier {
                 Some(rw) => self.preimage(w, rw),
                 None => w,
             };
-            let hit = self.mgr.and(*pred, wback);
-            region = self.mgr.or(region, hit);
+            let hit = self.backend.and(*pred, wback);
+            region = self.backend.or(region, hit);
         }
         region
     }
@@ -505,17 +564,17 @@ impl DeviceVerifier {
         if !self.nodes.contains_key(&node) {
             return;
         }
-        let s = serial::import(&mut self.mgr, space).expect("subscribe import");
+        let s = self.backend.import(space);
         let scope = self.nodes[&node].scope;
-        let grow = self.mgr.diff(s, scope);
-        if self.mgr.is_false(grow) {
+        let grow = self.backend.diff(s, scope);
+        if self.backend.is_false(grow) {
             return;
         }
         let zero = self.zero();
         {
-            let mgr = &mut self.mgr;
+            let be = &mut self.backend;
             let st = self.nodes.get_mut(&node).unwrap();
-            st.scope = mgr.or(st.scope, grow);
+            st.scope = be.or(st.scope, grow);
             // The new region starts at the implicit zero on both tables.
             st.loc_cib.push((grow, zero.clone()));
             st.cib_out.push((grow, zero));
@@ -527,7 +586,7 @@ impl DeviceVerifier {
             let relevant: Vec<usize> = lecs
                 .iter()
                 .enumerate()
-                .filter(|(_, (p, _))| self.mgr.intersects(*p, scope))
+                .filter(|(_, (p, _))| self.backend.intersects(*p, scope))
                 .map(|(i, _)| i)
                 .collect();
             self.nodes.get_mut(&node).unwrap().relevant = relevant;
@@ -538,7 +597,7 @@ impl DeviceVerifier {
 
     /// Applies one FIB rule update (internal event, §5.2), writing the
     /// resulting messages to `out`. Single-update form of
-    /// [`DeviceVerifier::handle_fib_batch`].
+    /// [`DeviceVerifierIn::handle_fib_batch`].
     pub fn handle_fib_update(&mut self, update: &RuleUpdate, out: &mut dyn Outbox) {
         self.handle_fib_batch(std::slice::from_ref(update), out);
     }
@@ -575,7 +634,7 @@ impl DeviceVerifier {
     fn fib_batch_inner(&mut self, updates: &[RuleUpdate], out: &mut dyn Outbox) {
         // Apply every FIB mutation in order, unioning the touched match
         // regions.
-        let mut m = self.mgr.falsum();
+        let mut m = self.backend.falsum();
         for update in updates {
             assert_eq!(update.device(), self.dev);
             let matches = match update {
@@ -590,8 +649,8 @@ impl DeviceVerifier {
                     *matches
                 }
             };
-            let mp = matches.to_pred(&mut self.mgr, &self.layout);
-            m = self.mgr.or(m, mp);
+            let mp = self.backend.match_pred(&matches);
+            m = self.backend.or(m, mp);
         }
         self.stats.lec_rebuilds += 1;
         let lec_timer = self
@@ -601,37 +660,36 @@ impl DeviceVerifier {
 
         // Old effective actions inside the region (for the changed-region
         // diff), keyed by action.
-        let mut old_in: Vec<(Pred, Action)> = Vec::new();
+        let mut old_in: Vec<(B::Pred, Action)> = Vec::new();
         for (p, a) in &self.lecs.clone() {
-            let i = self.mgr.and(*p, m);
-            if !self.mgr.is_false(i) {
+            let i = self.backend.and(*p, m);
+            if !self.backend.is_false(i) {
                 old_in.push((i, a.clone()));
             }
         }
         // Splice: strip the region from every class, re-derive classes
         // inside it, merge same-action classes back.
-        let fib = self.fib.clone();
-        let fresh = fib.local_equivalence_classes_in(m, &mut self.mgr, &self.layout);
+        let fresh = tulkun_predicate::lecs_in(&self.fib, m, &mut self.backend);
         {
-            let mgr = &mut self.mgr;
+            let be = &mut self.backend;
             self.lecs.retain_mut(|(p, _)| {
-                *p = mgr.diff(*p, m);
-                !mgr.is_false(*p)
+                *p = be.diff(*p, m);
+                !be.is_false(*p)
             });
         }
-        let mut changed = self.mgr.falsum();
-        for lec in fresh {
+        let mut changed = self.backend.falsum();
+        for (fp, fa) in fresh {
             // Changed where the new action differs from the old one.
             for (op, oa) in &old_in {
-                if *oa == lec.action {
+                if *oa == fa {
                     continue;
                 }
-                let i = self.mgr.and(*op, lec.pred);
-                changed = self.mgr.or(changed, i);
+                let i = self.backend.and(*op, fp);
+                changed = self.backend.or(changed, i);
             }
-            match self.lecs.iter_mut().find(|(_, a)| *a == lec.action) {
-                Some((p, _)) => *p = self.mgr.or(*p, lec.pred),
-                None => self.lecs.push((lec.pred, lec.action)),
+            match self.lecs.iter_mut().find(|(_, a)| *a == fa) {
+                Some((p, _)) => *p = self.backend.or(*p, fp),
+                None => self.lecs.push((fp, fa)),
             }
         }
         self.refresh_relevance();
@@ -641,7 +699,7 @@ impl DeviceVerifier {
             tel.span(self.dev, "lec.delta", "dvm", begin, dur, self.trace);
             tel.observe(self.dev, &LEC_DELTA_NS, dur);
         }
-        if self.mgr.is_false(changed) {
+        if self.backend.is_false(changed) {
             return;
         }
         let ids = self.node_ids();
@@ -718,11 +776,11 @@ impl DeviceVerifier {
             let st = &self.nodes[&node];
             let ups: Vec<(NodeId, DeviceId)> = st.task.upstream.clone();
             if !ups.is_empty() {
-                let withdrawn = vec![serial::export(&self.mgr, st.scope)];
+                let withdrawn = vec![self.backend.export(st.scope)];
                 let results: Vec<(PortablePred, Counts)> = st
                     .cib_out
                     .iter()
-                    .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+                    .map(|(p, c)| (self.backend.export(*p), c.clone()))
                     .collect();
                 for (un, ud) in ups {
                     let env = Envelope::data(
@@ -737,14 +795,14 @@ impl DeviceVerifier {
                     self.emit(env, out);
                 }
             }
-            let downs: Vec<(NodeId, DeviceId, Pred)> = self.nodes[&node]
+            let downs: Vec<(NodeId, DeviceId, B::Pred)> = self.nodes[&node]
                 .task
                 .downstream
                 .iter()
                 .filter_map(|(n, d)| self.nodes[&node].sent_subs.get(n).map(|s| (*n, *d, *s)))
                 .collect();
             for (vn, vd, space) in downs {
-                if self.mgr.is_false(space) {
+                if self.backend.is_false(space) {
                     continue;
                 }
                 let env = Envelope::data(
@@ -752,7 +810,7 @@ impl DeviceVerifier {
                     vd,
                     Payload::Subscribe {
                         edge: EdgeRef { up: node, down: vn },
-                        space: serial::export(&self.mgr, space),
+                        space: self.backend.export(space),
                     },
                 );
                 self.emit(env, out);
@@ -775,10 +833,10 @@ impl DeviceVerifier {
         // over its relevant classes only).
         let ids = self.node_ids();
         for id in ids {
-            let mut region = self.mgr.falsum();
+            let mut region = self.backend.falsum();
             for (pred, action) in self.relevant_lecs(id) {
                 if action.device_next_hops().contains(&neighbor) {
-                    region = self.mgr.or(region, pred);
+                    region = self.backend.or(region, pred);
                 }
             }
             self.recompute_node(id, region, out);
@@ -796,7 +854,7 @@ impl DeviceVerifier {
     ///
     /// Recovery of the *inputs* (neighbors' last counting results and
     /// subscriptions) is driven by the runtime calling
-    /// [`DeviceVerifier::replay_for_restart`] on each neighbor.
+    /// [`DeviceVerifierIn::replay_for_restart`] on each neighbor.
     pub fn reboot(&mut self, out: &mut dyn Outbox) {
         let dim = self.cfg.dim();
         let ps = self.packet_space;
@@ -836,11 +894,11 @@ impl DeviceVerifier {
                 .map(|(n, _)| *n)
                 .collect();
             if !ups.is_empty() {
-                let withdrawn = vec![serial::export(&self.mgr, st.scope)];
+                let withdrawn = vec![self.backend.export(st.scope)];
                 let results: Vec<(PortablePred, Counts)> = st
                     .cib_out
                     .iter()
-                    .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+                    .map(|(p, c)| (self.backend.export(*p), c.clone()))
                     .collect();
                 for un in ups {
                     let env = Envelope::data(
@@ -855,7 +913,7 @@ impl DeviceVerifier {
                     self.emit(env, out);
                 }
             }
-            let downs: Vec<(NodeId, Pred)> = self.nodes[&node]
+            let downs: Vec<(NodeId, B::Pred)> = self.nodes[&node]
                 .task
                 .downstream
                 .iter()
@@ -863,7 +921,7 @@ impl DeviceVerifier {
                 .filter_map(|(n, _)| self.nodes[&node].sent_subs.get(n).map(|s| (*n, *s)))
                 .collect();
             for (vn, space) in downs {
-                if self.mgr.is_false(space) {
+                if self.backend.is_false(space) {
                     continue;
                 }
                 let env = Envelope::data(
@@ -871,7 +929,7 @@ impl DeviceVerifier {
                     restarted,
                     Payload::Subscribe {
                         edge: EdgeRef { up: node, down: vn },
-                        space: serial::export(&self.mgr, space),
+                        space: self.backend.export(space),
                     },
                 );
                 self.emit(env, out);
@@ -886,7 +944,7 @@ impl DeviceVerifier {
         node: NodeId,
         space: Option<&PortablePred>,
     ) -> Vec<(PortablePred, Counts)> {
-        let q = space.map(|s| serial::import(&mut self.mgr, s).expect("space import"));
+        let q = space.map(|s| self.backend.import(s));
         let Some(st) = self.nodes.get(&node) else {
             return Vec::new();
         };
@@ -894,10 +952,10 @@ impl DeviceVerifier {
         for (p, c) in st.loc_cib.iter() {
             let keep = match q {
                 None => true,
-                Some(q) => self.mgr.intersects(*p, q),
+                Some(q) => self.backend.intersects(*p, q),
             };
             if keep {
-                out.push((serial::export(&self.mgr, *p), c.clone()));
+                out.push((self.backend.export(*p), c.clone()));
             }
         }
         out
@@ -942,7 +1000,7 @@ impl DeviceVerifier {
     /// Recomputes `LocCIB` over `region` for one node and writes the
     /// UPDATE messages for its upstream neighbors (steps 2–3 of §5.2)
     /// to `out`.
-    fn recompute_node(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
+    fn recompute_node(&mut self, node: NodeId, region: B::Pred, out: &mut dyn Outbox) {
         if !self.tel.is_enabled() {
             return self.recompute_node_inner(node, region, out);
         }
@@ -955,61 +1013,61 @@ impl DeviceVerifier {
         tel.observe(self.dev, &CIB_RECOMPUTE_NS, dur);
     }
 
-    fn recompute_node_inner(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
+    fn recompute_node_inner(&mut self, node: NodeId, region: B::Pred, out: &mut dyn Outbox) {
         let scope = self.nodes[&node].scope;
-        let r = self.mgr.and(region, scope);
-        if self.mgr.is_false(r) {
+        let r = self.backend.and(region, scope);
+        if self.backend.is_false(r) {
             return;
         }
         let new_entries = self.compute_entries(node, r);
 
         // Replace the region in LocCIB.
         {
-            let mgr = &mut self.mgr;
+            let be = &mut self.backend;
             let st = self.nodes.get_mut(&node).unwrap();
             st.loc_cib.retain_mut(|(p, _)| {
-                *p = mgr.diff(*p, r);
-                !mgr.is_false(*p)
+                *p = be.diff(*p, r);
+                !be.is_false(*p)
             });
             st.loc_cib.extend(new_entries.iter().cloned());
         }
 
         // Reduce (Proposition 1) and diff against CIBOut.
-        let reduced: Vec<(Pred, Counts)> = new_entries
+        let reduced: Vec<(B::Pred, Counts)> = new_entries
             .iter()
             .map(|(p, c)| (*p, c.reduce(self.cfg.reduce)))
             .collect();
-        let mut changed = self.mgr.falsum();
+        let mut changed = self.backend.falsum();
         {
             let old_out = self.nodes[&node].cib_out.clone();
             for (p, c) in &reduced {
                 for (q, oc) in &old_out {
                     if c != oc {
-                        let i = self.mgr.and(*p, *q);
-                        changed = self.mgr.or(changed, i);
+                        let i = self.backend.and(*p, *q);
+                        changed = self.backend.or(changed, i);
                     }
                 }
             }
         }
-        if self.mgr.is_false(changed) {
+        if self.backend.is_false(changed) {
             return;
         }
         // Update CIBOut over the changed region.
-        let mut out_results: Vec<(Pred, Counts)> = Vec::new();
+        let mut out_results: Vec<(B::Pred, Counts)> = Vec::new();
         {
-            let mgr = &mut self.mgr;
+            let be = &mut self.backend;
             let st = self.nodes.get_mut(&node).unwrap();
             st.cib_out.retain_mut(|(p, _)| {
-                *p = mgr.diff(*p, changed);
-                !mgr.is_false(*p)
+                *p = be.diff(*p, changed);
+                !be.is_false(*p)
             });
             for (p, c) in &reduced {
-                let pc = mgr.and(*p, changed);
-                if mgr.is_false(pc) {
+                let pc = be.and(*p, changed);
+                if be.is_false(pc) {
                     continue;
                 }
                 match out_results.iter_mut().find(|(_, oc)| oc == c) {
-                    Some((op, _)) => *op = mgr.or(*op, pc),
+                    Some((op, _)) => *op = be.or(*op, pc),
                     None => out_results.push((pc, c.clone())),
                 }
             }
@@ -1017,10 +1075,10 @@ impl DeviceVerifier {
         }
 
         // Emit one UPDATE per upstream edge.
-        let withdrawn = vec![serial::export(&self.mgr, changed)];
+        let withdrawn = vec![self.backend.export(changed)];
         let results: Vec<(PortablePred, Counts)> = out_results
             .iter()
-            .map(|(p, c)| (serial::export(&self.mgr, *p), c.clone()))
+            .map(|(p, c)| (self.backend.export(*p), c.clone()))
             .collect();
         let ups = self.nodes[&node].task.upstream.clone();
         for (un, udev) in ups {
@@ -1039,19 +1097,19 @@ impl DeviceVerifier {
 
     /// Computes fresh `(predicate, counts)` entries partitioning `r`
     /// (Equations (1) and (2) refined per packet set).
-    fn compute_entries(&mut self, node: NodeId, r: Pred) -> Vec<(Pred, Counts)> {
+    fn compute_entries(&mut self, node: NodeId, r: B::Pred) -> Vec<(B::Pred, Counts)> {
         let lecs = self.relevant_lecs(node);
         let accept = self.nodes[&node].task.accept.clone();
-        let mut out: Vec<(Pred, Counts)> = Vec::new();
+        let mut out: Vec<(B::Pred, Counts)> = Vec::new();
         for (lp, action) in &lecs {
-            let p0 = self.mgr.and(*lp, r);
-            if self.mgr.is_false(p0) {
+            let p0 = self.backend.and(*lp, r);
+            if self.backend.is_false(p0) {
                 continue;
             }
             for (p, c) in self.combine(node, p0, &accept, action) {
                 // Merge equal outcome sets.
                 match out.iter_mut().find(|(_, oc)| *oc == c) {
-                    Some((op, _)) => *op = self.mgr.or(*op, p),
+                    Some((op, _)) => *op = self.backend.or(*op, p),
                     None => out.push((p, c)),
                 }
             }
@@ -1063,10 +1121,10 @@ impl DeviceVerifier {
     fn combine(
         &mut self,
         node: NodeId,
-        p0: Pred,
+        p0: B::Pred,
         accept: &[bool],
         action: &Action,
-    ) -> Vec<(Pred, Counts)> {
+    ) -> Vec<(B::Pred, Counts)> {
         let accepting_any = accept.iter().any(|&a| a);
         let base = self.base(accept, action);
         let (mode, hops, rewrite, ext) = match action {
@@ -1156,35 +1214,35 @@ impl DeviceVerifier {
     fn refine(
         &mut self,
         node: NodeId,
-        p0: Pred,
+        p0: B::Pred,
         relevant: &[NodeId],
         rewrite: Option<&Rewrite>,
-    ) -> Vec<(Pred, Vec<Counts>)> {
-        let mut pieces: Vec<(Pred, Vec<Counts>)> = vec![(p0, Vec::new())];
+    ) -> Vec<(B::Pred, Vec<Counts>)> {
+        let mut pieces: Vec<(B::Pred, Vec<Counts>)> = vec![(p0, Vec::new())];
         for v in relevant {
-            let parts: Vec<(Pred, Counts)> =
+            let parts: Vec<(B::Pred, Counts)> =
                 self.nodes[&node].cib_in.get(v).cloned().unwrap_or_default();
             let mut next = Vec::with_capacity(pieces.len().max(parts.len()));
             for (p, cs) in pieces {
                 let mut rem = p;
                 for (q, c) in &parts {
-                    if self.mgr.is_false(rem) {
+                    if self.backend.is_false(rem) {
                         break;
                     }
                     let pq = match rewrite {
                         Some(rw) => self.preimage(*q, rw),
                         None => *q,
                     };
-                    let hit = self.mgr.and(rem, pq);
-                    if self.mgr.is_false(hit) {
+                    let hit = self.backend.and(rem, pq);
+                    if self.backend.is_false(hit) {
                         continue;
                     }
                     let mut ncs = cs.clone();
                     ncs.push(c.clone());
                     next.push((hit, ncs));
-                    rem = self.mgr.diff(rem, pq);
+                    rem = self.backend.diff(rem, pq);
                 }
-                if !self.mgr.is_false(rem) {
+                if !self.backend.is_false(rem) {
                     let mut ncs = cs;
                     ncs.push(self.zero());
                     next.push((rem, ncs));
@@ -1197,27 +1255,13 @@ impl DeviceVerifier {
 
     /// Image of a packet set under a rewrite: the top `to.len` bits of
     /// the destination address are replaced by the prefix bits.
-    fn image(&mut self, p: Pred, rw: &Rewrite) -> Pred {
-        let off = self.layout.dst_ip.offset;
-        let len = rw.to.len as u32;
-        let e = self.mgr.exists_range(p, off, off + len);
-        let pref = self
-            .layout
-            .dst_ip
-            .prefix(&mut self.mgr, rw.to.addr as u64, len);
-        self.mgr.and(e, pref)
+    fn image(&mut self, p: B::Pred, rw: &Rewrite) -> B::Pred {
+        self.backend.rewrite_image(p, rw)
     }
 
     /// Preimage of a downstream packet set under a rewrite.
-    fn preimage(&mut self, q: Pred, rw: &Rewrite) -> Pred {
-        let off = self.layout.dst_ip.offset;
-        let len = rw.to.len as u32;
-        let pref = self
-            .layout
-            .dst_ip
-            .prefix(&mut self.mgr, rw.to.addr as u64, len);
-        let qq = self.mgr.and(q, pref);
-        self.mgr.exists_range(qq, off, off + len)
+    fn preimage(&mut self, q: B::Pred, rw: &Rewrite) -> B::Pred {
+        self.backend.rewrite_preimage(q, rw)
     }
 
     /// Emits SUBSCRIBE messages (§5.2): downstream devices must count
@@ -1225,10 +1269,10 @@ impl DeviceVerifier {
     /// transformed space for rewriting classes, and any subscribed
     /// region beyond the invariant's packet space for plain forwarding
     /// (subscriptions propagate transitively toward destinations).
-    fn emit_subscriptions(&mut self, node: NodeId, region: Pred, out: &mut dyn Outbox) {
+    fn emit_subscriptions(&mut self, node: NodeId, region: B::Pred, out: &mut dyn Outbox) {
         let lecs = self.relevant_lecs(node);
         let scope = self.nodes[&node].scope;
-        let r = self.mgr.and(region, scope);
+        let r = self.backend.and(region, scope);
         for (lp, action) in &lecs {
             let Action::Forward {
                 next_hops, rewrite, ..
@@ -1236,8 +1280,8 @@ impl DeviceVerifier {
             else {
                 continue;
             };
-            let p = self.mgr.and(*lp, r);
-            if self.mgr.is_false(p) {
+            let p = self.backend.and(*lp, r);
+            if self.backend.is_false(p) {
                 continue;
             }
             let img = match rewrite {
@@ -1253,16 +1297,16 @@ impl DeviceVerifier {
                     .sent_subs
                     .get(&vn)
                     .copied()
-                    .unwrap_or_else(|| self.mgr.falsum());
+                    .unwrap_or_else(|| self.backend.falsum());
                 // Downstream scopes start at the packet space; only the
                 // region beyond it needs subscribing.
-                let known = self.mgr.or(already, self.packet_space);
-                let newspace = self.mgr.diff(img, known);
-                if self.mgr.is_false(newspace) {
+                let known = self.backend.or(already, self.packet_space);
+                let newspace = self.backend.diff(img, known);
+                if self.backend.is_false(newspace) {
                     continue;
                 }
                 {
-                    let merged = self.mgr.or(already, newspace);
+                    let merged = self.backend.or(already, newspace);
                     self.nodes
                         .get_mut(&node)
                         .unwrap()
@@ -1274,7 +1318,7 @@ impl DeviceVerifier {
                     vdev,
                     Payload::Subscribe {
                         edge: EdgeRef { up: node, down: vn },
-                        space: serial::export(&self.mgr, newspace),
+                        space: self.backend.export(newspace),
                     },
                 );
                 self.emit(env, out);

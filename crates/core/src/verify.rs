@@ -21,6 +21,7 @@ use tulkun_json::{Json, ToJson};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::topology::Topology;
 use tulkun_netmodel::DeviceId;
+use tulkun_predicate::BackendKind;
 
 /// Why an invariant does not hold.
 #[derive(Debug, Clone)]
@@ -208,8 +209,23 @@ impl Session {
         Session::from_counting(net, cp.clone(), &plan.invariant.packet_space)
     }
 
-    /// Builds a session directly from a counting plan.
+    /// Builds a session directly from a counting plan (on the default
+    /// BDD backend).
     pub fn from_counting(net: &Network, cp: CountingPlan, ps: &PacketSpace) -> Session {
+        Session::from_counting_with_backend(net, cp, ps, BackendKind::Bdd)
+    }
+
+    /// Like [`Session::from_counting`], with an explicit predicate
+    /// backend. [`BackendKind::Auto`] resolves against the network
+    /// (sessions have no update stream, so the rate hint is zero and
+    /// `Auto` stays on BDDs).
+    pub fn from_counting_with_backend(
+        net: &Network,
+        cp: CountingPlan,
+        ps: &PacketSpace,
+        backend: BackendKind,
+    ) -> Session {
+        let kind = backend.resolve(tulkun_predicate::network_ip_only(net), 0.0);
         let packet_space = compile_packet_space(&net.layout, ps);
         let cfg = VerifierConfig {
             n_exprs: cp.exprs.len(),
@@ -232,6 +248,7 @@ impl Session {
                 &packet_space,
                 cfg.clone(),
             )
+            .backend(kind)
             .tasks(tasks)
             .build();
             v.init(&mut queue);

@@ -1,0 +1,217 @@
+//! Interval-set predicate backend.
+//!
+//! Represents each predicate as a canonical sorted list of disjoint,
+//! non-adjacent half-open address intervals (the encoding of the
+//! IntervalSet/veriflow-style baselines, promoted to a first-class
+//! on-device backend). Handles are interned list ids, so handle
+//! equality is set equality — exactly what the CIB dedup paths need.
+//!
+//! Destination-prefix-only: matches on ports or protocol, and rewrite
+//! image/preimage, panic. [`crate::BackendKind::resolve`] refuses to
+//! select this backend for workloads outside that fragment.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use tulkun_bdd::builder::HeaderLayout;
+use tulkun_bdd::serial::PortablePred;
+use tulkun_netmodel::fib::{MatchSpec, Rewrite};
+
+use crate::ipset::{self, Iv};
+use crate::{BackendCaps, PredicateBackend};
+
+/// Interned handle to a canonical interval list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IvPred(pub(crate) u32);
+
+/// Predicate backend over canonical destination-interval sets.
+pub struct IntervalSetBackend {
+    layout: HeaderLayout,
+    sets: Vec<Vec<Iv>>,
+    intern: HashMap<Vec<Iv>, u32>,
+    // Wire encoding rebuilds the canonical ROBDD in a scratch manager,
+    // which dominates the per-message cost; handles are interned (one
+    // id per concrete set, forever), so exports memoize per handle and
+    // imports per wire predicate. Wire bytes are a pure function of
+    // the concrete set, so an import seeds the export cache.
+    exports: RefCell<HashMap<u32, PortablePred>>,
+    imports: HashMap<PortablePred, u32>,
+}
+
+impl IntervalSetBackend {
+    /// Fresh backend; handle 0 is the empty set, handle 1 the full
+    /// destination space.
+    pub fn new(layout: HeaderLayout) -> Self {
+        let mut be = IntervalSetBackend {
+            layout,
+            sets: Vec::new(),
+            intern: HashMap::new(),
+            exports: RefCell::new(HashMap::new()),
+            imports: HashMap::new(),
+        };
+        be.intern(Vec::new());
+        be.intern(vec![ipset::FULL]);
+        be
+    }
+
+    /// The header layout used for wire encoding.
+    pub fn layout(&self) -> &HeaderLayout {
+        &self.layout
+    }
+
+    fn intern(&mut self, set: Vec<Iv>) -> IvPred {
+        if let Some(&id) = self.intern.get(&set) {
+            return IvPred(id);
+        }
+        let id = self.sets.len() as u32;
+        self.sets.push(set.clone());
+        self.intern.insert(set, id);
+        IvPred(id)
+    }
+
+    fn set(&self, p: IvPred) -> &[Iv] {
+        &self.sets[p.0 as usize]
+    }
+}
+
+impl PredicateBackend for IntervalSetBackend {
+    type Pred = IvPred;
+
+    fn falsum(&self) -> IvPred {
+        IvPred(0)
+    }
+
+    fn verum(&self) -> IvPred {
+        IvPred(1)
+    }
+
+    fn and(&mut self, a: IvPred, b: IvPred) -> IvPred {
+        if a == b {
+            return a;
+        }
+        let r = ipset::intersect(self.set(a), self.set(b));
+        self.intern(r)
+    }
+
+    fn or(&mut self, a: IvPred, b: IvPred) -> IvPred {
+        if a == b {
+            return a;
+        }
+        let r = ipset::union(self.set(a), self.set(b));
+        self.intern(r)
+    }
+
+    fn diff(&mut self, a: IvPred, b: IvPred) -> IvPred {
+        if a == b {
+            return IvPred(0);
+        }
+        let r = ipset::diff(self.set(a), self.set(b));
+        self.intern(r)
+    }
+
+    fn is_false(&self, p: IvPred) -> bool {
+        p.0 == 0
+    }
+
+    fn intersects(&mut self, a: IvPred, b: IvPred) -> bool {
+        ipset::overlaps(self.set(a), self.set(b))
+    }
+
+    fn match_pred(&mut self, m: &MatchSpec) -> IvPred {
+        assert!(
+            m.dst_port.is_none() && m.proto.is_none(),
+            "interval backend supports destination-prefix-only workloads \
+             (got a port/proto match); use --backend bdd"
+        );
+        let iv = ipset::prefix_iv(m.dst.addr, m.dst.len);
+        self.intern(vec![iv])
+    }
+
+    fn rewrite_image(&mut self, _p: IvPred, _rw: &Rewrite) -> IvPred {
+        panic!(
+            "interval backend supports destination-prefix-only workloads \
+             (got a rewrite action); use --backend bdd"
+        );
+    }
+
+    fn rewrite_preimage(&mut self, _q: IvPred, _rw: &Rewrite) -> IvPred {
+        panic!(
+            "interval backend supports destination-prefix-only workloads \
+             (got a rewrite action); use --backend bdd"
+        );
+    }
+
+    fn import(&mut self, p: &PortablePred) -> IvPred {
+        if let Some(&id) = self.imports.get(p) {
+            return IvPred(id);
+        }
+        let set = ipset::from_portable(p);
+        let h = self.intern(set);
+        self.imports.insert(p.clone(), h.0);
+        self.exports
+            .borrow_mut()
+            .entry(h.0)
+            .or_insert_with(|| p.clone());
+        h
+    }
+
+    fn export(&self, p: IvPred) -> PortablePred {
+        self.exports
+            .borrow_mut()
+            .entry(p.0)
+            .or_insert_with(|| ipset::to_portable(self.set(p), &self.layout))
+            .clone()
+    }
+
+    fn mem_units(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps::DST_ONLY
+    }
+
+    fn name(&self) -> &'static str {
+        "intervals"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_netmodel::prefix::IpPrefix;
+
+    #[test]
+    fn handles_are_canonical() {
+        let mut be = IntervalSetBackend::new(HeaderLayout::ipv4_tcp());
+        let a = be.match_pred(&MatchSpec::dst(IpPrefix::new(0x0a000000, 8)));
+        let b = be.match_pred(&MatchSpec::dst(IpPrefix::new(0x0a000000, 9)));
+        let c = be.match_pred(&MatchSpec::dst(IpPrefix::new(0x0a800000, 9)));
+        // Two halves re-union to the parent prefix: same interned id.
+        assert_eq!(be.or(b, c), a);
+        // Everything minus everything is the canonical empty handle.
+        assert_eq!(be.diff(a, a), be.falsum());
+        let rest = be.diff(be.verum(), a);
+        assert!(!be.intersects(rest, a));
+        assert_eq!(be.or(rest, a), be.verum());
+    }
+
+    #[test]
+    fn wire_round_trip_is_identity() {
+        let mut be = IntervalSetBackend::new(HeaderLayout::ipv4_tcp());
+        let a = be.match_pred(&MatchSpec::dst(IpPrefix::new(0xc0a80000, 16)));
+        let b = be.match_pred(&MatchSpec::dst(IpPrefix::new(0x0a000000, 23)));
+        let u = be.or(a, b);
+        let enc = be.export(u);
+        assert_eq!(be.import(&enc), u);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination-prefix-only")]
+    fn rejects_port_matches() {
+        let mut be = IntervalSetBackend::new(HeaderLayout::ipv4_tcp());
+        let mut m = MatchSpec::dst(IpPrefix::new(0, 0));
+        m.dst_port = Some((80, 80));
+        be.match_pred(&m);
+    }
+}

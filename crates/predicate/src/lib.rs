@@ -1,0 +1,352 @@
+#![warn(missing_docs)]
+//! Pluggable predicate backends for the on-device verifier.
+//!
+//! The paper's core loop — local LEC delta → CIB recompute →
+//! counting-message exchange — does not require BDDs; it requires *any*
+//! canonical predicate algebra. This crate extracts the operations the
+//! hot path actually uses into the [`PredicateBackend`] trait and
+//! provides three interchangeable implementations:
+//!
+//! * [`BddBackend`] — the original ROBDD representation
+//!   ([`tulkun_bdd::BddManager`]); supports the full header layout
+//!   (ports, protocol, rewrites).
+//! * [`IntervalSetBackend`] — canonical sorted disjoint interval sets
+//!   over the 32-bit destination space; set operations are linear
+//!   merges. Destination-prefix-only workloads.
+//! * [`DeltaNetBackend`] — Delta-net-style *atoms*: a global splittable
+//!   boundary array over the destination space; a predicate is an
+//!   interned sorted atom-id list and every set operation is a sorted
+//!   list merge. On a stable prefix set, steady-state churn inserts no
+//!   new boundaries, which is exactly where Delta-net beats BDDs.
+//!
+//! # The wire-format invariant
+//!
+//! DVM messages carry predicates as [`PortablePred`] — the canonical
+//! children-first ROBDD node list. `export` of *any* backend produces
+//! the ROBDD encoding of the same packet set under the same fixed
+//! variable order, so the bytes on the wire are **byte-identical
+//! regardless of backend**: devices running different backends
+//! interoperate, cached LEC tables are backend-neutral, and Reports
+//! (whose violation predicates are exported) compare byte-equal across
+//! backends. Interval backends pay an encode/decode at the wire; they
+//! win it back on the set operations in between.
+//!
+//! # Selection
+//!
+//! [`BackendKind`] names a backend (`bdd`, `deltanet`, `intervals`, or
+//! `auto`); [`BackendKind::resolve`] implements the `auto` heuristic:
+//! interval representations require a destination-prefix-only workload
+//! (no port/proto matches, no header rewrites — see
+//! [`network_ip_only`]) and pay off once the update stream dominates,
+//! so `auto` picks Delta-net for IP-only workloads at or above
+//! [`AUTO_RATE_THRESHOLD`] expected updates and falls back to BDDs
+//! otherwise.
+
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
+
+use tulkun_bdd::serial::PortablePred;
+use tulkun_netmodel::fib::{Action, Fib, MatchSpec, Rewrite};
+use tulkun_netmodel::network::Network;
+
+mod bdd_backend;
+mod deltanet;
+mod dynamic;
+mod intervals;
+pub mod ipset;
+
+pub use bdd_backend::BddBackend;
+pub use deltanet::DeltaNetBackend;
+pub use dynamic::{DynBackend, DynPred};
+pub use intervals::IntervalSetBackend;
+
+/// What a backend can represent. Upstream code checks capabilities
+/// before selecting a backend; the builder methods of an unsupported
+/// feature panic with a clear message if the check is bypassed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Destination-port and protocol match conditions.
+    pub ports: bool,
+    /// Header rewrites (image/preimage of a packet set).
+    pub rewrites: bool,
+}
+
+impl BackendCaps {
+    /// Everything the header layout can express.
+    pub const FULL: BackendCaps = BackendCaps {
+        ports: true,
+        rewrites: true,
+    };
+    /// Destination-prefix-only workloads.
+    pub const DST_ONLY: BackendCaps = BackendCaps {
+        ports: false,
+        rewrites: false,
+    };
+}
+
+/// The operations the DVM hot path performs on predicates, extracted
+/// from what `DeviceVerifier` and the LEC builder actually use.
+///
+/// A backend owns its whole predicate universe (the analogue of one
+/// private `BddManager` per device); `Pred` handles are only meaningful
+/// with the backend that produced them. Handle equality must be
+/// *complete* set equality — every implementation interns canonical
+/// representations, so `a == b` ⇔ same packet set. That is what CIB
+/// deduplication and the subscription ledger rely on.
+pub trait PredicateBackend {
+    /// Handle to one predicate inside this backend.
+    type Pred: Copy + Eq + Ord + Hash + fmt::Debug;
+
+    /// The empty set.
+    fn falsum(&self) -> Self::Pred;
+    /// The full set.
+    fn verum(&self) -> Self::Pred;
+    /// Set intersection.
+    fn and(&mut self, a: Self::Pred, b: Self::Pred) -> Self::Pred;
+    /// Set union.
+    fn or(&mut self, a: Self::Pred, b: Self::Pred) -> Self::Pred;
+    /// Set difference `a \ b`.
+    fn diff(&mut self, a: Self::Pred, b: Self::Pred) -> Self::Pred;
+    /// Is the predicate the empty set?
+    fn is_false(&self, p: Self::Pred) -> bool;
+    /// Do the two sets share a packet?
+    fn intersects(&mut self, a: Self::Pred, b: Self::Pred) -> bool;
+
+    /// Compiles a FIB match condition (build-from-rule).
+    fn match_pred(&mut self, m: &MatchSpec) -> Self::Pred;
+
+    /// Image of a packet set under a destination rewrite: the top
+    /// `rw.to.len` bits of the destination are replaced by the prefix
+    /// bits. Panics on backends without rewrite capability.
+    fn rewrite_image(&mut self, p: Self::Pred, rw: &Rewrite) -> Self::Pred;
+    /// Preimage of a downstream packet set under a destination rewrite.
+    /// Panics on backends without rewrite capability.
+    fn rewrite_preimage(&mut self, q: Self::Pred, rw: &Rewrite) -> Self::Pred;
+
+    /// Decodes a wire predicate into this backend. Panics on malformed
+    /// input (wire predicates are produced by `export` and only travel
+    /// between trusted verifiers) and on predicates outside the
+    /// backend's capabilities.
+    fn import(&mut self, p: &PortablePred) -> Self::Pred;
+    /// Encodes a predicate into the canonical wire form. The bytes are
+    /// a pure function of the packet set — identical across backends
+    /// (the wire-format invariant).
+    fn export(&self, p: Self::Pred) -> PortablePred;
+
+    /// Memory proxy: BDD nodes, stored intervals, or atoms + list
+    /// entries, depending on the representation.
+    fn mem_units(&self) -> usize;
+    /// What this backend can represent.
+    fn caps(&self) -> BackendCaps;
+    /// Short stable name (`"bdd"`, `"deltanet"`, `"intervals"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The **LEC builder** generic over the predicate backend (§5.1):
+/// compresses a prioritized table into `(predicate, action)` classes
+/// that partition the full packet space; packets matching no rule fall
+/// into a `Drop` class, classes with identical actions are merged.
+/// Same algorithm and class order as the original
+/// `Fib::local_equivalence_classes`.
+pub fn lecs<B: PredicateBackend>(fib: &Fib, b: &mut B) -> Vec<(B::Pred, Action)> {
+    let full = b.verum();
+    lecs_in(fib, full, b)
+}
+
+/// Like [`lecs`], restricted to the packets in `region`: returns
+/// classes partitioning `region` only. Used for incremental LEC
+/// maintenance after a rule update (only the updated rules' match
+/// regions can change class).
+pub fn lecs_in<B: PredicateBackend>(
+    fib: &Fib,
+    region: B::Pred,
+    b: &mut B,
+) -> Vec<(B::Pred, Action)> {
+    let mut remaining = region;
+    let mut by_action: Vec<(Action, B::Pred)> = Vec::new();
+    for rule in fib.rules() {
+        if b.is_false(remaining) {
+            break;
+        }
+        let mp = b.match_pred(&rule.matches);
+        let eff = b.and(mp, remaining);
+        if b.is_false(eff) {
+            continue;
+        }
+        remaining = b.diff(remaining, mp);
+        match by_action.iter_mut().find(|(a, _)| *a == rule.action) {
+            Some((_, p)) => *p = b.or(*p, eff),
+            None => by_action.push((rule.action.clone(), eff)),
+        }
+    }
+    if !b.is_false(remaining) {
+        match by_action.iter_mut().find(|(a, _)| *a == Action::Drop) {
+            Some((_, p)) => *p = b.or(*p, remaining),
+            None => by_action.push((Action::Drop, remaining)),
+        }
+    }
+    by_action.into_iter().map(|(a, p)| (p, a)).collect()
+}
+
+/// Expected update rate (updates per replay window) at or above which
+/// `auto` prefers the Delta-net representation on IP-only workloads.
+/// Below it the one-off encode/decode and atom-boundary setup costs
+/// dominate and BDDs stay the safer default.
+pub const AUTO_RATE_THRESHOLD: f64 = 8.0;
+
+/// Names a predicate backend (or the `auto` selection policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// ROBDDs (the original representation; full capability).
+    #[default]
+    Bdd,
+    /// Delta-net atoms over the destination space (IP-only workloads).
+    DeltaNet,
+    /// Canonical disjoint interval sets (IP-only workloads).
+    Intervals,
+    /// Pick from the workload: Delta-net for IP-only workloads with an
+    /// update rate at or above [`AUTO_RATE_THRESHOLD`], BDDs otherwise.
+    Auto,
+}
+
+impl BackendKind {
+    /// All concrete (non-`Auto`) kinds, for matrix tests and benches.
+    pub const CONCRETE: [BackendKind; 3] = [
+        BackendKind::Bdd,
+        BackendKind::DeltaNet,
+        BackendKind::Intervals,
+    ];
+
+    /// Resolves `Auto` against the observed workload: `ip_only` is
+    /// whether the workload needs nothing beyond destination prefixes
+    /// (see [`network_ip_only`]); `update_rate_hint` is the expected
+    /// number of rule updates in the upcoming window. Concrete kinds
+    /// resolve to themselves after validating `ip_only` (an explicitly
+    /// chosen interval backend on a port/rewrite workload is a
+    /// configuration error and panics here, at build time, rather than
+    /// deep inside a rule compile).
+    pub fn resolve(self, ip_only: bool, update_rate_hint: f64) -> BackendKind {
+        match self {
+            BackendKind::Bdd => BackendKind::Bdd,
+            BackendKind::DeltaNet | BackendKind::Intervals => {
+                assert!(
+                    ip_only,
+                    "backend {self} supports destination-prefix-only workloads, but this \
+                     network uses port/proto matches or header rewrites; use --backend bdd"
+                );
+                self
+            }
+            BackendKind::Auto => {
+                if ip_only && update_rate_hint >= AUTO_RATE_THRESHOLD {
+                    BackendKind::DeltaNet
+                } else {
+                    BackendKind::Bdd
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Bdd => "bdd",
+            BackendKind::DeltaNet => "deltanet",
+            BackendKind::Intervals => "intervals",
+            BackendKind::Auto => "auto",
+        })
+    }
+}
+
+/// Error from parsing a [`BackendKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(pub String);
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?}; expected bdd, deltanet, intervals or auto",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for BackendKind {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bdd" => Ok(BackendKind::Bdd),
+            "deltanet" | "delta-net" => Ok(BackendKind::DeltaNet),
+            "intervals" | "intervalset" => Ok(BackendKind::Intervals),
+            "auto" => Ok(BackendKind::Auto),
+            other => Err(ParseBackendError(other.to_string())),
+        }
+    }
+}
+
+/// Does a FIB need nothing beyond destination prefixes? (No
+/// destination-port or protocol match conditions, no header rewrites.)
+pub fn fib_ip_only(fib: &Fib) -> bool {
+    fib.rules().iter().all(|r| {
+        r.matches.dst_port.is_none()
+            && r.matches.proto.is_none()
+            && !matches!(
+                &r.action,
+                Action::Forward {
+                    rewrite: Some(_),
+                    ..
+                }
+            )
+    })
+}
+
+/// Does every device FIB of the network stay within the
+/// destination-prefix-only fragment the interval backends cover?
+pub fn network_ip_only(net: &Network) -> bool {
+    net.topology.devices().all(|d| fib_ip_only(net.fib(d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        for (s, k) in [
+            ("bdd", BackendKind::Bdd),
+            ("deltanet", BackendKind::DeltaNet),
+            ("intervals", BackendKind::Intervals),
+            ("auto", BackendKind::Auto),
+        ] {
+            assert_eq!(s.parse::<BackendKind>().unwrap(), k);
+            assert_eq!(k.to_string(), s);
+        }
+        assert!("jdd".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn auto_resolution_follows_the_heuristic() {
+        assert_eq!(
+            BackendKind::Auto.resolve(true, AUTO_RATE_THRESHOLD),
+            BackendKind::DeltaNet
+        );
+        assert_eq!(BackendKind::Auto.resolve(true, 0.0), BackendKind::Bdd);
+        assert_eq!(
+            BackendKind::Auto.resolve(false, 1e9),
+            BackendKind::Bdd,
+            "port/rewrite workloads must never auto-select an interval backend"
+        );
+        assert_eq!(BackendKind::Bdd.resolve(false, 1e9), BackendKind::Bdd);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination-prefix-only")]
+    fn explicit_interval_backend_rejects_rich_workloads() {
+        BackendKind::DeltaNet.resolve(false, 100.0);
+    }
+}

@@ -24,6 +24,7 @@ use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::Report;
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::DeviceId;
+use tulkun_predicate::BackendKind;
 use tulkun_telemetry::Telemetry;
 
 pub use crate::runtime::{DeviceStats, LecCache, RunOutcome as SimResult};
@@ -42,6 +43,12 @@ pub struct SimConfig {
     /// Telemetry handle shared by every verifier and the driver loop
     /// (disabled by default: a no-op that takes no locks).
     pub telemetry: Arc<Telemetry>,
+    /// Predicate backend for every verifier (see
+    /// [`EngineConfig::backend`]).
+    pub backend: BackendKind,
+    /// Expected rule updates in the upcoming window, consumed by the
+    /// `Auto` backend heuristic (see [`EngineConfig::update_rate_hint`]).
+    pub update_rate_hint: f64,
 }
 
 impl Default for SimConfig {
@@ -51,6 +58,8 @@ impl Default for SimConfig {
             fallback_latency_ns: 10_000,
             parallel_init: false,
             telemetry: Telemetry::disabled(),
+            backend: BackendKind::Bdd,
+            update_rate_hint: 0.0,
         }
     }
 }
@@ -62,6 +71,8 @@ impl From<SimConfig> for EngineConfig {
             fallback_latency_ns: cfg.fallback_latency_ns,
             parallel_init: cfg.parallel_init,
             telemetry: cfg.telemetry,
+            backend: cfg.backend,
+            update_rate_hint: cfg.update_rate_hint,
         }
     }
 }

@@ -69,4 +69,5 @@ pub use models::SwitchModel;
 pub use runtime::{
     Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine, WatchdogConfig, WatchdogVerdict,
 };
+pub use tulkun_predicate::{network_ip_only, BackendKind, AUTO_RATE_THRESHOLD};
 pub use tulkun_telemetry::{Telemetry, TelemetryConfig};

@@ -48,6 +48,7 @@ use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::{self, Report};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::{DeviceId, Topology};
+use tulkun_predicate::{network_ip_only, BackendKind};
 use tulkun_telemetry::{Reservoir, Telemetry, HANDLE_NS};
 
 /// One device's exported LEC table (predicates + actions).
@@ -66,29 +67,34 @@ const LEC_CACHE_SHARDS: usize = 16;
 /// concurrent batch application never serialize on one global `Mutex`.
 /// All methods take `&self`; existing `&mut LecCache` call sites keep
 /// working through auto-coercion.
-pub struct LecCache {
-    shards: [Mutex<BTreeMap<DeviceId, Arc<LecTable>>>; LEC_CACHE_SHARDS],
+///
+/// Generic over the stored value; the default [`LecTable`] holds the
+/// backend-neutral wire encoding (exported predicates are canonical
+/// ROBDD bytes whatever backend produced them), so one cache serves
+/// engines running different predicate backends.
+pub struct LecCache<V = LecTable> {
+    shards: [Mutex<BTreeMap<DeviceId, Arc<V>>>; LEC_CACHE_SHARDS],
 }
 
-impl LecCache {
+impl<V> LecCache<V> {
     /// An empty cache.
-    pub fn new() -> LecCache {
+    pub fn new() -> LecCache<V> {
         LecCache {
             shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
     }
 
-    fn shard(&self, dev: DeviceId) -> &Mutex<BTreeMap<DeviceId, Arc<LecTable>>> {
+    fn shard(&self, dev: DeviceId) -> &Mutex<BTreeMap<DeviceId, Arc<V>>> {
         &self.shards[dev.idx() % LEC_CACHE_SHARDS]
     }
 
     /// The cached LEC table of a device, if any.
-    pub fn get(&self, dev: DeviceId) -> Option<Arc<LecTable>> {
+    pub fn get(&self, dev: DeviceId) -> Option<Arc<V>> {
         self.shard(dev).lock().unwrap().get(&dev).cloned()
     }
 
     /// Caches a device's exported LEC table.
-    pub fn insert(&self, dev: DeviceId, lecs: LecTable) {
+    pub fn insert(&self, dev: DeviceId, lecs: V) {
         self.shard(dev).lock().unwrap().insert(dev, Arc::new(lecs));
     }
 
@@ -103,8 +109,8 @@ impl LecCache {
     }
 }
 
-impl Default for LecCache {
-    fn default() -> LecCache {
+impl<V> Default for LecCache<V> {
+    fn default() -> LecCache<V> {
         LecCache::new()
     }
 }
@@ -120,7 +126,8 @@ pub struct DeviceStats {
     pub messages: u64,
     /// Bytes sent.
     pub bytes_sent: u64,
-    /// BDD nodes allocated (memory proxy).
+    /// Backend memory units allocated (BDD nodes, stored intervals or
+    /// atom-list entries, depending on the predicate backend).
     pub bdd_nodes: usize,
     /// Largest scaled single-message processing time (ns). Per-message
     /// *samples* live in [`RuntimeStats::msg_ns_samples`].
@@ -514,6 +521,15 @@ pub struct EngineConfig {
     /// handle, under which every record call is a single branch — no
     /// locks on the disabled path.
     pub telemetry: Arc<Telemetry>,
+    /// Predicate backend every verifier runs on. [`BackendKind::Auto`]
+    /// resolves at engine construction from the network (interval
+    /// backends require a destination-prefix-only workload) and
+    /// [`EngineConfig::update_rate_hint`].
+    pub backend: BackendKind,
+    /// Expected number of rule updates in the upcoming window; the
+    /// `Auto` heuristic picks Delta-net at or above
+    /// [`tulkun_predicate::AUTO_RATE_THRESHOLD`] on IP-only workloads.
+    pub update_rate_hint: f64,
 }
 
 impl Default for EngineConfig {
@@ -523,6 +539,8 @@ impl Default for EngineConfig {
             fallback_latency_ns: 10_000,
             parallel_init: false,
             telemetry: Telemetry::disabled(),
+            backend: BackendKind::Bdd,
+            update_rate_hint: 0.0,
         }
     }
 }
@@ -575,6 +593,13 @@ fn build_verifiers(
         by_dev.entry(t.dev).or_default().push(t.clone());
     }
 
+    // Resolve the backend once for the whole engine: every verifier of
+    // one run uses the same encoding (wire bytes are backend-neutral,
+    // so this is a pure performance choice).
+    let kind = cfg
+        .backend
+        .resolve(network_ip_only(net), cfg.update_rate_hint);
+
     let tel = &cfg.telemetry;
     let build_one = |dev: DeviceId, tasks: Vec<NodeTask>, worker: u64| -> BuiltVerifier {
         let begin = tel.host_tick();
@@ -587,6 +612,7 @@ fn build_verifiers(
             packet_space,
             vcfg.clone(),
         )
+        .backend(kind)
         .tasks(tasks)
         .maybe_lecs(cached.as_deref().map(Vec::as_slice))
         .telemetry(tel.clone())

@@ -188,11 +188,13 @@ fn usage() -> ExitCode {
          [--no-consistency-check]\n  \
          tulkun plan --network net.json --invariant \"(...)\" [--dot out.dot]\n  \
          tulkun trace [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
-         [--faults SEED] [--off] [--out trace.json] [--stats]\n  \
+         [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--off] [--out trace.json] \
+         [--stats]\n  \
          tulkun metrics [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
-         [--faults SEED] [--off] [--out metrics.prom] [--stats]\n  \
+         [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--off] [--out metrics.prom] \
+         [--stats]\n  \
          tulkun churn [--name <NAME>] [--scale tiny|paper] [--seed S] [--events N] \
-         [--faults SEED] [--threaded]"
+         [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--threaded]"
     );
     ExitCode::FAILURE
 }
@@ -231,11 +233,13 @@ fn observed_run(
     } else {
         Telemetry::new(TelemetryConfig::enabled())
     };
+    let updates: usize = get("--updates").and_then(|v| v.parse().ok()).unwrap_or(16);
     let cfg = SimConfig {
         telemetry: telemetry.clone(),
+        backend: parse_backend(get)?,
+        update_rate_hint: updates as f64,
         ..SimConfig::default()
     };
-    let updates: usize = get("--updates").and_then(|v| v.parse().ok()).unwrap_or(16);
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
     let trace = tulkun::datasets::rule_updates(net, updates, seed);
     let burst = (updates / 2).max(1);
@@ -271,6 +275,15 @@ fn observed_run(
         stats,
         holds,
     })
+}
+
+/// Parses `--backend` into a [`tulkun::sim::BackendKind`] (defaulting
+/// to the BDD backend when the flag is absent).
+fn parse_backend(get: &dyn Fn(&str) -> Option<String>) -> Result<tulkun::sim::BackendKind, String> {
+    match get("--backend") {
+        Some(s) => s.parse().map_err(|e| format!("{e}")),
+        None => Ok(tulkun::sim::BackendKind::default()),
+    }
 }
 
 /// One WAN destination's subset-reachability counting session on a
@@ -343,6 +356,7 @@ fn churn_run(args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<Ex
     let (inv, cp) = dataset_session(net, &name)?;
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
     let events: usize = get("--events").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let backend = parse_backend(get)?;
     let schedule = ChurnSchedule::seeded(topo, &inv, seed, events);
     if schedule.is_empty() {
         return Err("no plannable churn events for this dataset/invariant".into());
@@ -379,7 +393,13 @@ fn churn_run(args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<Ex
     };
 
     if args.iter().any(|a| a == "--threaded") {
-        let mut run = tulkun::sim::DistributedRun::spawn(net, &cp, &inv.packet_space);
+        let ecfg = tulkun::sim::EngineConfig {
+            backend,
+            ..Default::default()
+        };
+        let cache = tulkun::sim::LecCache::new();
+        let mut run =
+            tulkun::sim::DistributedRun::spawn_with(net, &cp, &inv.packet_space, &ecfg, &cache);
         run.quiesce();
         let cfg = tulkun::sim::WatchdogConfig::default();
         for ev in &schedule.0 {
@@ -397,7 +417,10 @@ fn churn_run(args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<Ex
             .map_err(|p| format!("{} device task(s) panicked", p.len()))?;
     } else {
         let faults = get("--faults").and_then(|v| v.parse::<u64>().ok());
-        let cfg = SimConfig::default();
+        let cfg = SimConfig {
+            backend,
+            ..SimConfig::default()
+        };
         match faults {
             Some(fs) => {
                 let mut sim = FaultyDvmSim::new(

@@ -16,6 +16,9 @@
 //! * [`bdd`] — binary decision diagrams used to encode packet-set predicates.
 //! * [`netmodel`] — topologies, FIBs (match-action tables), routing.
 //! * [`automata`] — regular expressions over device names, compiled to DFAs.
+//! * [`predicate`] — the pluggable [`predicate::PredicateBackend`] trait
+//!   with the BDD, Delta-net and interval-set LEC encodings, all
+//!   exporting byte-identical wire predicates.
 //! * [`core`] — the paper's contribution: specification language, planner,
 //!   DPVNet, counting, the DVM protocol, on-device verifiers, and
 //!   fault-tolerance support.
@@ -67,6 +70,7 @@ pub use tulkun_core as core;
 pub use tulkun_datasets as datasets;
 pub use tulkun_json as json;
 pub use tulkun_netmodel as netmodel;
+pub use tulkun_predicate as predicate;
 pub use tulkun_sim as sim;
 pub use tulkun_telemetry as telemetry;
 
