@@ -28,10 +28,21 @@
 #                 byte-equal Reports (tests/backend_equivalence.rs plus
 #                 the baselines agreement property test, release mode)
 #   bench-smoke   runs the ablation harness on tiny topologies and
-#                 validates every emitted figure JSON (structure only,
-#                 no timing assertions -- the CI box has 1 CPU); also
-#                 refreshes the BENCH_backends.json snapshot from the
-#                 bench_backends figure
+#                 validates every figure in ABLATION_FIGURES (structure
+#                 only, no timing assertions -- the CI box has 1 CPU);
+#                 diffs the bench_backends figure against the committed
+#                 BENCH_backends.json (labels + equivalence verdicts
+#                 must not drift) before refreshing the snapshot
+#   perf-gate     runs the bench_daemon replay workload (always-on
+#                 service: admission + churn + queries on tiny INet2)
+#                 and diffs it against the committed BENCH_daemon.json:
+#                 labels, admission counters and the report-equivalence
+#                 bit exactly; the p99 handle-time column under a
+#                 tolerance band (PERF_GATE_TOLERANCE, default 25%).
+#                 The latency gate is skipped with a loud notice on
+#                 1-CPU hosts (TULKUN_PERF_GATE_FORCE=1 overrides); an
+#                 always-on self-test proves a synthetic 2x p99
+#                 inflation trips the gate
 #   obs-smoke     runs `tulkun trace` / `tulkun metrics` on tiny INet2
 #                 and validates the Chrome-trace JSON and Prometheus
 #                 text with check_telemetry (structure only, no timing
@@ -47,23 +58,33 @@ set -eu
 
 STAGE_TIMEOUT="${CI_STAGE_TIMEOUT:-1800}"
 
-# Runs `$2` (a stage function) with stage name `$1` under the
-# wall-clock cap. The stage runs in a background subshell; a watcher
-# kills it on expiry, so the `wait` below returns non-zero and `set -e`
-# aborts the pipeline. The watcher polls in short sleeps (never one
-# long sleep) so it exits — and releases any pipe CI wraps around this
-# script — promptly after the stage finishes. (Killing cargo can leave
-# a test child behind, but CI still exits loudly — the box is recycled
-# per run.)
+# Runs stage `$1` under the wall-clock cap. The stage runs as a
+# re-exec of this script (`__stage` dispatch below) in its own session
+# via setsid, so on expiry the watcher can kill the stage's entire
+# session — cargo AND the test children it spawned (even ones that made
+# their own process groups) — not just the stage shell. `pkill -s`
+# rather than `kill -- -pgid` because dash's kill builtin rejects
+# negative pids. The watcher polls in short sleeps (never one long
+# sleep) so it exits — and releases any pipe CI wraps around this
+# script — promptly after the stage finishes.
 run_with_timeout() {
-    "$2" &
+    if command -v setsid >/dev/null 2>&1; then
+        # setsid execs in place (the background job is not a group
+        # leader here), so $cmd is also the new session's id.
+        setsid sh "$0" __stage "$1" &
+    else
+        # No setsid: the session kill below degrades to a single kill.
+        sh "$0" __stage "$1" &
+    fi
     cmd=$!
     (
         elapsed=0
         while kill -0 "$cmd" 2>/dev/null; do
             if [ "$elapsed" -ge "$STAGE_TIMEOUT" ]; then
                 echo "ci.sh: stage '$1' exceeded ${STAGE_TIMEOUT}s (convergence hang?)" >&2
-                kill -TERM "$cmd" 2>/dev/null
+                pkill -TERM -s "$cmd" 2>/dev/null || kill -TERM "$cmd" 2>/dev/null
+                sleep 2
+                pkill -KILL -s "$cmd" 2>/dev/null || kill -KILL "$cmd" 2>/dev/null || true
                 exit 0
             fi
             sleep 5
@@ -109,18 +130,63 @@ stage_backend_matrix() {
 stage_bench_smoke() {
     cargo run --release -p tulkun-bench --bin ablation -- \
         --scale tiny --datasets INet2,AT1-2 --updates 48
+    # --ablation-set expands to ABLATION_FIGURES in crates/bench — the
+    # one list both the ablation binary and this check assert against.
+    cargo run --release -p tulkun-bench --bin check_figures -- --ablation-set
+    # Drift check against the committed snapshot: labels and the
+    # backend-equivalence verdicts must be unchanged. Message/byte
+    # counts and timings are run-dependent on the event sim, so only
+    # these columns are exact.
     cargo run --release -p tulkun-bench --bin check_figures -- \
-        ablation_reduction \
-        ablation_suffix_merge \
-        ablation_lec_sharing \
-        ablation_scene_reuse \
-        ablation_parallel_init \
-        ablation_fault_overhead \
-        ablation_burst_updates \
-        ablation_churn \
-        bench_backends
+        --diff BENCH_backends.json \
+        "${CARGO_TARGET_DIR:-target}/figures/bench_backends.json" \
+        --exact "dataset,workload,backend,same report"
     cp "${CARGO_TARGET_DIR:-target}/figures/bench_backends.json" BENCH_backends.json
     echo "bench-smoke: refreshed BENCH_backends.json"
+}
+
+stage_perf_gate() {
+    cargo run --release -p tulkun-bench --bin bench_daemon -- \
+        --scale tiny --updates 200
+    fresh="${CARGO_TARGET_DIR:-target}/figures/bench_daemon.json"
+    if [ ! -f BENCH_daemon.json ]; then
+        echo "perf-gate: no committed BENCH_daemon.json; seeding from this run" >&2
+        cp "$fresh" BENCH_daemon.json
+    fi
+    # Admission decisions depend only on queue lengths, never timing,
+    # so labels, counters and the report-equivalence bit must match the
+    # committed snapshot exactly. ("slo ok" is exact too: handle times
+    # are measured CPU time, and the budgets carry >10x headroom.)
+    cargo run --release -p tulkun-bench --bin check_figures -- \
+        --diff BENCH_daemon.json "$fresh" \
+        --exact "dataset,policy,batches,churn,queries,admitted,shed,processed,slo ok,same report"
+    # The latency budget itself: p99 handle time may not regress past
+    # the tolerance band. Meaningful only on a multi-core box — on one
+    # CPU the daemon and the sim's bookkeeping share a core and the
+    # numbers measure contention, not the data path.
+    cpus="$(nproc 2>/dev/null || echo 1)"
+    if [ "$cpus" -gt 1 ] || [ "${TULKUN_PERF_GATE_FORCE:-0}" = "1" ]; then
+        cargo run --release -p tulkun-bench --bin check_figures -- \
+            --diff BENCH_daemon.json "$fresh" \
+            --gate "p99 ns" --tolerance "${PERF_GATE_TOLERANCE:-25}"
+    else
+        echo "perf-gate: SKIPPING the p99 latency gate: this host has $cpus CPU" >&2
+        echo "perf-gate: (timing here measures core contention, not the daemon;" >&2
+        echo "perf-gate:  set TULKUN_PERF_GATE_FORCE=1 to run the gate anyway)" >&2
+    fi
+    # Self-test, always on: a synthetic 2x p99 inflation must FAIL the
+    # gate — proves the tripwire is armed even when the real gate was
+    # skipped above.
+    if cargo run --release -p tulkun-bench --bin check_figures -- \
+        --diff BENCH_daemon.json BENCH_daemon.json \
+        --gate "p99 ns" --tolerance "${PERF_GATE_TOLERANCE:-25}" --inflate 2 \
+        >/dev/null 2>&1; then
+        echo "perf-gate: self-test FAILED -- a 2x p99 inflation passed the gate" >&2
+        exit 1
+    fi
+    echo "perf-gate: self-test ok (synthetic 2x p99 inflation trips the gate)"
+    cp "$fresh" BENCH_daemon.json
+    echo "perf-gate: refreshed BENCH_daemon.json"
 }
 
 stage_obs_smoke() {
@@ -144,7 +210,8 @@ stage_obs_smoke() {
 
 stage_doc_check() {
     for name in Engine ThreadedEngine FaultyTransport RuntimeStats \
-                TelemetryConfig MetricsRegistry; do
+                TelemetryConfig MetricsRegistry \
+                DaemonSession SloTracker AdmissionPolicy; do
         for doc in README.md DESIGN.md; do
             if ! grep -q "$name" "$doc"; then
                 echo "doc-check: $doc does not mention $name" >&2
@@ -158,29 +225,30 @@ stage_doc_check() {
 run_stage() {
     echo "== ci.sh: $1 =="
     case "$1" in
-        build)        run_with_timeout "$1" stage_build ;;
-        test)         run_with_timeout "$1" stage_test ;;
-        lint)         run_with_timeout "$1" stage_lint ;;
-        fmt)          run_with_timeout "$1" stage_fmt ;;
-        fault-matrix) run_with_timeout "$1" stage_fault_matrix ;;
-        churn-matrix) run_with_timeout "$1" stage_churn_matrix ;;
-        backend-matrix) run_with_timeout "$1" stage_backend_matrix ;;
-        bench-smoke)  run_with_timeout "$1" stage_bench_smoke ;;
-        obs-smoke)    run_with_timeout "$1" stage_obs_smoke ;;
-        doc-check)    run_with_timeout "$1" stage_doc_check ;;
+        build|test|lint|fmt|fault-matrix|churn-matrix|backend-matrix|bench-smoke|perf-gate|obs-smoke|doc-check)
+            run_with_timeout "$1"
+            ;;
         all)
             for s in build test lint fmt fault-matrix churn-matrix \
-                     backend-matrix bench-smoke obs-smoke doc-check; do
+                     backend-matrix bench-smoke perf-gate obs-smoke doc-check; do
                 run_stage "$s"
             done
             ;;
         *)
             echo "ci.sh: unknown stage '$1'" >&2
-            echo "stages: build test lint fmt fault-matrix churn-matrix backend-matrix bench-smoke obs-smoke doc-check all" >&2
+            echo "stages: build test lint fmt fault-matrix churn-matrix backend-matrix bench-smoke perf-gate obs-smoke doc-check all" >&2
             exit 2
             ;;
     esac
 }
+
+# Hidden dispatch used by run_with_timeout: runs one stage function in
+# the foreground of a re-exec'd (and setsid'd) copy of this script.
+if [ "${1:-}" = "__stage" ]; then
+    fn="stage_$(printf '%s' "$2" | tr - _)"
+    "$fn"
+    exit "$?"
+fi
 
 if [ "$#" -eq 0 ]; then
     run_stage all

@@ -43,6 +43,23 @@ fn main() {
     ablate_burst_updates(&cli);
     ablate_churn(&cli);
     bench_backends(&cli);
+
+    // The canonical figure list (tulkun_bench::ABLATION_FIGURES) and
+    // this binary's emissions must agree: a figure added above without
+    // being listed — or listed without being emitted — fails right
+    // here, before CI's check_figures --ablation-set ever runs.
+    let dir = std::path::PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("figures");
+    for id in tulkun_bench::ABLATION_FIGURES {
+        let path = dir.join(format!("{id}.json"));
+        assert!(
+            path.exists(),
+            "ABLATION_FIGURES lists {id:?} but this run did not emit {}",
+            path.display()
+        );
+    }
 }
 
 /// The predicate backends a network's workload admits: all of

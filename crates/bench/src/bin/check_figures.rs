@@ -1,27 +1,216 @@
 //! CI validator for the JSON figure sidecars.
 //!
-//! The `bench-smoke` CI stage runs a bench binary on a tiny topology
-//! and then runs this tool to assert the run actually produced
-//! well-formed output: every `*.json` under `target/figures/` must
-//! parse back into a [`FigureTable`] with consistent row widths, and
-//! every id named on the command line must exist with at least one row.
+//! Two modes:
 //!
-//! Usage: `check_figures [required-id ...]`
+//! **Scan** (default): the `bench-smoke` CI stage runs a bench binary
+//! on a tiny topology and then runs this tool to assert the run
+//! actually produced well-formed output: every `*.json` under
+//! `target/figures/` must parse back into a [`FigureTable`] with
+//! consistent row widths, and every id named on the command line must
+//! exist with at least one row. `--ablation-set` expands to every id
+//! in [`tulkun_bench::ABLATION_FIGURES`].
 //!
-//! No timing is checked anywhere — the CI box has 1 CPU, so the smoke
-//! stage guards structure, not speed.
+//! **Diff** (`--diff OLD NEW`): compares two FigureTable snapshots —
+//! the committed `BENCH_*.json` baseline against a fresh run. The
+//! schema (id, headers, row count) must match exactly. `--exact COLS`
+//! names comma-separated columns whose cells must be stringwise equal
+//! row-by-row (labels, counters, correctness bits). `--gate COL` names
+//! one numeric column gated by `--tolerance PCT` (default 25): each
+//! new cell must be ≤ old × (1 + PCT/100). `--inflate FACTOR`
+//! multiplies the new gated value first — the perf-gate's self-test
+//! knob, proving the gate trips on a synthetic regression.
+//!
+//! Usage:
+//!   `check_figures [--ablation-set] [required-id ...]`
+//!   `check_figures --diff OLD NEW [--exact COLS] [--gate COL]
+//!                  [--tolerance PCT] [--inflate FACTOR]`
+//!
+//! Scan mode checks no timing anywhere — the CI box has 1 CPU, so the
+//! smoke stage guards structure, not speed. Diff mode's gate column is
+//! opt-in for the same reason.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tulkun_bench::FigureTable;
+use tulkun_bench::{FigureTable, ABLATION_FIGURES};
 
 fn figures_dir() -> PathBuf {
     PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
         .join("figures")
 }
 
+fn load_table(path: &str) -> Result<FigureTable, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let table: FigureTable = tulkun_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a well-formed FigureTable: {e:?}"))?;
+    Ok(table)
+}
+
+/// `--diff` mode. Returns the list of failures (empty = pass).
+fn diff_tables(
+    old: &FigureTable,
+    new: &FigureTable,
+    exact: &[String],
+    gate: Option<&str>,
+    tolerance_pct: f64,
+    inflate: f64,
+) -> Vec<String> {
+    let mut fails = Vec::new();
+    if old.id != new.id {
+        fails.push(format!("id mismatch: {:?} vs {:?}", old.id, new.id));
+    }
+    if old.headers != new.headers {
+        fails.push(format!(
+            "header mismatch: {:?} vs {:?}",
+            old.headers, new.headers
+        ));
+        return fails; // Column lookups below would be meaningless.
+    }
+    if old.rows.len() != new.rows.len() {
+        fails.push(format!(
+            "row count mismatch: {} vs {}",
+            old.rows.len(),
+            new.rows.len()
+        ));
+        return fails;
+    }
+    let col = |name: &str| old.headers.iter().position(|h| h == name);
+    for name in exact {
+        let Some(c) = col(name) else {
+            fails.push(format!("--exact column {name:?} not in headers"));
+            continue;
+        };
+        for (i, (o, n)) in old.rows.iter().zip(&new.rows).enumerate() {
+            if o.get(c) != n.get(c) {
+                fails.push(format!(
+                    "row {i} column {name:?}: {:?} vs {:?}",
+                    o.get(c),
+                    n.get(c)
+                ));
+            }
+        }
+    }
+    if let Some(name) = gate {
+        let Some(c) = col(name) else {
+            fails.push(format!("--gate column {name:?} not in headers"));
+            return fails;
+        };
+        for (i, (o, n)) in old.rows.iter().zip(&new.rows).enumerate() {
+            let parse = |row: &[String], which: &str| -> Result<f64, String> {
+                row.get(c)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| format!("row {i} column {name:?}: {which} cell is not numeric"))
+            };
+            let (ov, nv) = match (parse(o, "old"), parse(n, "new")) {
+                (Ok(ov), Ok(nv)) => (ov, nv * inflate),
+                (o, n) => {
+                    fails.extend(o.err());
+                    fails.extend(n.err());
+                    continue;
+                }
+            };
+            let budget = ov * (1.0 + tolerance_pct / 100.0);
+            if nv > budget {
+                fails.push(format!(
+                    "row {i} column {name:?}: {nv:.0} exceeds {ov:.0} by more than \
+                     {tolerance_pct}% (budget {budget:.0})"
+                ));
+            } else {
+                println!(
+                    "check_figures: gate ok row {i} {name:?}: {nv:.0} <= {budget:.0} \
+                     ({ov:.0} +{tolerance_pct}%)"
+                );
+            }
+        }
+    }
+    fails
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut old_path = None;
+    let mut new_path = None;
+    let mut exact: Vec<String> = Vec::new();
+    let mut gate: Option<String> = None;
+    let mut tolerance = 25.0f64;
+    let mut inflate = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exact" => {
+                i += 1;
+                exact = args
+                    .get(i)
+                    .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+                    .unwrap_or_default();
+            }
+            "--gate" => {
+                i += 1;
+                gate = args.get(i).cloned();
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(tolerance);
+            }
+            "--inflate" => {
+                i += 1;
+                inflate = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(inflate);
+            }
+            p if old_path.is_none() => old_path = Some(p.to_string()),
+            p if new_path.is_none() => new_path = Some(p.to_string()),
+            other => {
+                eprintln!("check_figures: unexpected --diff argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let (Some(old_path), Some(new_path)) = (old_path, new_path) else {
+        eprintln!("check_figures: --diff needs OLD and NEW paths");
+        return ExitCode::FAILURE;
+    };
+    let (old, new) = match (load_table(&old_path), load_table(&new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for e in [o.err(), n.err()].into_iter().flatten() {
+                eprintln!("check_figures: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let fails = diff_tables(&old, &new, &exact, gate.as_deref(), tolerance, inflate);
+    if fails.is_empty() {
+        println!(
+            "check_figures: diff ok {} ({} rows, {} exact col(s), gate {:?})",
+            old.id,
+            old.rows.len(),
+            exact.len(),
+            gate
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &fails {
+            eprintln!("check_figures: diff {}: {f}", old.id);
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let required: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--diff") {
+        return run_diff(&args[1..]);
+    }
+
+    let mut required: Vec<String> = Vec::new();
+    for a in &args {
+        if a == "--ablation-set" {
+            required.extend(ABLATION_FIGURES.iter().map(|s| s.to_string()));
+        } else {
+            required.push(a.clone());
+        }
+    }
     let dir = figures_dir();
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
@@ -38,21 +227,10 @@ fn main() -> ExitCode {
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
             continue;
         }
-        let text = match std::fs::read_to_string(&path) {
+        let table = match load_table(&path.display().to_string()) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("check_figures: cannot read {}: {e}", path.display());
-                failed = true;
-                continue;
-            }
-        };
-        let table: FigureTable = match tulkun_json::from_str(&text) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!(
-                    "check_figures: {} is not a well-formed FigureTable: {e:?}",
-                    path.display()
-                );
+                eprintln!("check_figures: {e}");
                 failed = true;
                 continue;
             }

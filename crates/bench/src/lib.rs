@@ -15,6 +15,23 @@ pub use replay::{churn_trace, replay_trace, replay_trace_with, ReplayOutcome};
 pub use report::FigureTable;
 pub use workload::{all_pair_workload, AllPairRun, TulkunAllPairs};
 
+/// Every figure id the `ablation` binary emits, in emission order —
+/// the single source of truth `check_figures --ablation-set` and the
+/// `bench-smoke` CI stage validate against. Adding a figure to the
+/// ablation harness without listing it here (or vice versa) fails CI,
+/// so a new figure cannot silently escape validation.
+pub const ABLATION_FIGURES: &[&str] = &[
+    "ablation_reduction",
+    "ablation_suffix_merge",
+    "ablation_lec_sharing",
+    "ablation_scene_reuse",
+    "ablation_parallel_init",
+    "ablation_fault_overhead",
+    "ablation_burst_updates",
+    "ablation_churn",
+    "bench_backends",
+];
+
 /// Parses `--scale tiny|paper` and `--datasets a,b,c` style CLI args.
 pub struct Cli {
     pub scale: tulkun_datasets::Scale,

@@ -312,13 +312,31 @@ impl Session {
     /// each — and re-runs to quiescence. Returns the number of messages
     /// the burst caused.
     pub fn apply_batch(&mut self, updates: &[RuleUpdate]) -> usize {
+        self.stage_batch(updates);
+        self.run_to_quiescence()
+    }
+
+    /// Injects a burst of rule updates *without* running to quiescence:
+    /// the UPDATE wave each coalesced per-device batch causes stays in
+    /// the in-flight queue. The always-on service uses this to admit
+    /// work while deferring propagation to its own drain cadence;
+    /// [`Session::report`] stays callable in between — it evaluates
+    /// whatever each source has converged to so far, so a snapshot
+    /// never has to wait for (or force) quiescence.
+    pub fn stage_batch(&mut self, updates: &[RuleUpdate]) {
         let batch: UpdateBatch = updates.iter().cloned().collect();
         for (dev, ops) in batch.coalesced() {
             if let Some(v) = self.verifiers.get_mut(&dev) {
                 v.handle_fib_batch(&ops, &mut self.queue);
             }
         }
-        self.run_to_quiescence()
+    }
+
+    /// Messages currently in flight (staged but not yet delivered).
+    /// Zero means every past batch has fully propagated, i.e. a
+    /// [`Session::report`] taken now is quiescent, not just current.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Signals a link failure (`up = false`) or recovery to both

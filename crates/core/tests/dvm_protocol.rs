@@ -140,6 +140,44 @@ fn quiescent_session_is_silent_on_noop_updates() {
 }
 
 #[test]
+fn stage_batch_defers_propagation_and_report_never_blocks() {
+    let (net, plan) = line_setup();
+    let a = net.topology.device("A").unwrap();
+    let p = "10.0.0.0/24".parse().unwrap();
+    let cut = vec![RuleUpdate::Remove {
+        device: a,
+        priority: 24,
+        matches: MatchSpec::dst(p),
+    }];
+
+    let mut staged = Session::new(&net, &plan);
+    staged.run_to_quiescence();
+    staged.stage_batch(&cut);
+    assert!(
+        staged.pending() > 0,
+        "the UPDATE wave must be staged, not run"
+    );
+    // A snapshot taken mid-flight still answers — it reflects what the
+    // sources have converged to so far (the pre-cut state here).
+    assert!(
+        staged.report().holds(),
+        "pre-drain snapshot sees the old state"
+    );
+    staged.run_to_quiescence();
+    assert_eq!(staged.pending(), 0);
+
+    let mut reference = Session::new(&net, &plan);
+    reference.run_to_quiescence();
+    reference.apply_batch(&cut);
+    assert_eq!(
+        staged.report().canonical_bytes(),
+        reference.report().canonical_bytes(),
+        "stage+run must equal apply_batch"
+    );
+    assert!(!staged.report().holds(), "the cut breaks reachability");
+}
+
+#[test]
 fn reduction_min_is_on_the_wire() {
     // With `exist >= 1` the wire carries only min(c): build the Fig. 2a
     // diamond where A has an ANY group so A's own LocCIB holds [0, 1],

@@ -203,11 +203,87 @@ tulkun_json::impl_json_object!(Network {
     layout
 });
 
+impl tulkun_json::ToJson for RuleUpdate {
+    fn to_json(&self) -> tulkun_json::Json {
+        use tulkun_json::Json;
+        match self {
+            RuleUpdate::Insert { device, rule } => Json::Object(vec![(
+                "Insert".to_string(),
+                Json::Object(vec![
+                    ("device".to_string(), device.to_json()),
+                    ("rule".to_string(), rule.to_json()),
+                ]),
+            )]),
+            RuleUpdate::Remove {
+                device,
+                priority,
+                matches,
+            } => Json::Object(vec![(
+                "Remove".to_string(),
+                Json::Object(vec![
+                    ("device".to_string(), device.to_json()),
+                    ("priority".to_string(), priority.to_json()),
+                    ("matches".to_string(), matches.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl tulkun_json::FromJson for RuleUpdate {
+    fn from_json(v: &tulkun_json::Json) -> Result<Self, tulkun_json::JsonError> {
+        use tulkun_json::{FromJson, JsonError};
+        let field = |obj: &tulkun_json::Json, name: &str| {
+            obj.get(name)
+                .ok_or_else(|| JsonError::missing_field(name))
+                .cloned()
+        };
+        if let Some(ins) = v.get("Insert") {
+            return Ok(RuleUpdate::Insert {
+                device: FromJson::from_json(&field(ins, "device")?)?,
+                rule: FromJson::from_json(&field(ins, "rule")?)?,
+            });
+        }
+        if let Some(rem) = v.get("Remove") {
+            return Ok(RuleUpdate::Remove {
+                device: FromJson::from_json(&field(rem, "device")?)?,
+                priority: FromJson::from_json(&field(rem, "priority")?)?,
+                matches: FromJson::from_json(&field(rem, "matches")?)?,
+            });
+        }
+        Err(JsonError::expected("rule update", v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fib::Action;
     use crate::prefix::IpPrefix;
+
+    #[test]
+    fn rule_update_json_roundtrip() {
+        let p: IpPrefix = "10.1.0.0/16".parse().unwrap();
+        let ups = vec![
+            RuleUpdate::Insert {
+                device: DeviceId(3),
+                rule: Rule {
+                    priority: 7,
+                    matches: MatchSpec::dst(p),
+                    action: Action::deliver(),
+                },
+            },
+            RuleUpdate::Remove {
+                device: DeviceId(1),
+                priority: 7,
+                matches: MatchSpec::dst(p),
+            },
+        ];
+        let text = tulkun_json::to_string(&ups);
+        let parsed: Vec<RuleUpdate> = tulkun_json::from_str(&text).expect("rule updates roundtrip");
+        assert_eq!(parsed, ups);
+        assert!(tulkun_json::from_str::<RuleUpdate>("{\"Bogus\":{}}").is_err());
+    }
 
     #[test]
     fn apply_updates() {

@@ -60,6 +60,7 @@ pub mod faults;
 pub mod localsim;
 pub mod models;
 pub mod runtime;
+pub mod service;
 
 pub use central::{central_burst, central_update, CentralRun};
 pub use distributed::DistributedRun;
@@ -68,6 +69,9 @@ pub use faults::FaultyTransport;
 pub use models::SwitchModel;
 pub use runtime::{
     Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine, WatchdogConfig, WatchdogVerdict,
+};
+pub use service::{
+    AdmissionPolicy, Service, ServiceConfig, ServiceError, ServiceRequest, ServiceStatus,
 };
 pub use tulkun_predicate::{network_ip_only, BackendKind, AUTO_RATE_THRESHOLD};
 pub use tulkun_telemetry::{Telemetry, TelemetryConfig};

@@ -1,0 +1,732 @@
+//! The always-on verification service: admission control + SLO
+//! tracking around one long-lived simulator harness.
+//!
+//! Batch runs answer "does the invariant hold for this snapshot?";
+//! [`Service`] answers the paper's end-state question — does it *keep*
+//! holding while FIB batches and topology churn stream in from many
+//! independent sources, and is the verifier keeping up? It is the
+//! protocol-facing driver loop the `tulkun daemon` subcommand wraps:
+//! requests are *admitted* into bounded per-source queues (the same
+//! cap philosophy as the reliability layer's
+//! [`DEFAULT_CHANNEL_CAP`]), *drained* round-robin at the caller's
+//! cadence, and judged against a latency budget by a
+//! [`SloTracker`] rolling one window per drain round.
+//!
+//! Ordering contract: requests from one source are applied in their
+//! arrival order (per-source FIFO); ordering *across* sources is
+//! round-robin per drain round, which is the fairness guarantee — a
+//! source flooding its queue cannot starve another source's single
+//! update. Reports are snapshots-on-demand: [`Service::report`] never
+//! drains the ingress queues, it evaluates what the devices have
+//! converged to so far.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::{DvmSim, FaultyDvmSim, SimConfig, SimResult};
+use tulkun_core::churn::TopologyEvent;
+use tulkun_core::dvm::reliable::DEFAULT_CHANNEL_CAP;
+use tulkun_core::fault::FaultProfile;
+use tulkun_core::planner::{CountingPlan, PlanError};
+use tulkun_core::spec::Invariant;
+use tulkun_core::verify::Report;
+use tulkun_netmodel::network::{Network, RuleUpdate};
+use tulkun_netmodel::topology::{DeviceId, Topology};
+use tulkun_predicate::BackendKind;
+use tulkun_telemetry::{
+    SloPolicy, SloTracker, SloVerdict, Telemetry, TelemetryConfig, CONVERGENCE_LAG_NS,
+};
+
+/// What to do with a request that arrives while its queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject the request (the caller sees [`ServiceError::Shed`] and
+    /// may retry after a drain). Never blocks the ingress path.
+    Shed,
+    /// Drain every queued request first, then admit. Trades ingress
+    /// latency for losslessness — the service applies backpressure the
+    /// way [`DEFAULT_CHANNEL_CAP`] does on the wire.
+    Block,
+}
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Full-queue behavior.
+    pub policy: AdmissionPolicy,
+    /// Total queued requests across all sources before admission
+    /// control engages.
+    pub queue_cap: usize,
+    /// Queued requests one source may hold before admission control
+    /// engages for that source (fairness: one flooding source hits
+    /// this long before the shared cap).
+    pub per_source_cap: usize,
+    /// Latency budgets for the SLO tracker.
+    pub slo: SloPolicy,
+    /// Predicate backend for the device verifiers.
+    pub backend: BackendKind,
+    /// Run over a lossy management network (the reliability layer
+    /// recovers; the SLO windows see the retransmission cost).
+    pub faults: Option<FaultProfile>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: AdmissionPolicy::Block,
+            queue_cap: DEFAULT_CHANNEL_CAP,
+            per_source_cap: DEFAULT_CHANNEL_CAP / 4,
+            slo: SloPolicy::default(),
+            backend: BackendKind::Bdd,
+            faults: None,
+        }
+    }
+}
+
+/// One admitted unit of work.
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// A burst of FIB rule updates, applied as one coalesced batch.
+    Batch(Vec<RuleUpdate>),
+    /// A live topology churn event (epoch fence + incremental re-plan).
+    Churn(TopologyEvent),
+}
+
+/// Why the service refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Shed by admission control: the named queue was full.
+    Shed {
+        /// The source whose request was shed.
+        source: String,
+        /// Requests queued for that source at the time.
+        queued: usize,
+    },
+    /// A churn event the planner rejected (e.g. downing the only
+    /// ingress); the old epoch and report stand.
+    Rejected(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Shed { source, queued } => {
+                write!(
+                    f,
+                    "shed: queue for source {source:?} is full ({queued} queued)"
+                )
+            }
+            ServiceError::Rejected(why) => write!(f, "rejected: {why}"),
+        }
+    }
+}
+
+/// Counters and queue state for `tulkun status`.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStatus {
+    /// Requests accepted into a queue since start.
+    pub admitted: u64,
+    /// Requests refused by admission control since start.
+    pub shed: u64,
+    /// Requests applied to the harness since start.
+    pub processed: u64,
+    /// Churn events the planner rejected (epoch unchanged).
+    pub rejected_churn: u64,
+    /// Requests currently queued across all sources.
+    pub queued: usize,
+    /// Drain rounds run.
+    pub drains: u64,
+    /// Current topology generation.
+    pub epoch: u64,
+    /// Requests applied per source, in source order.
+    pub per_source: Vec<(String, u64)>,
+}
+
+impl ServiceStatus {
+    /// The status as a compact JSON object (one line).
+    pub fn to_json(&self) -> tulkun_json::Json {
+        use tulkun_json::Json;
+        Json::Object(vec![
+            ("admitted".into(), Json::Int(self.admitted as i64)),
+            ("shed".into(), Json::Int(self.shed as i64)),
+            ("processed".into(), Json::Int(self.processed as i64)),
+            (
+                "rejected_churn".into(),
+                Json::Int(self.rejected_churn as i64),
+            ),
+            ("queued".into(), Json::Int(self.queued as i64)),
+            ("drains".into(), Json::Int(self.drains as i64)),
+            ("epoch".into(), Json::Int(self.epoch as i64)),
+            (
+                "per_source".into(),
+                Json::Object(
+                    self.per_source
+                        .iter()
+                        .map(|(s, n)| (s.clone(), Json::Int(*n as i64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One harness, either over perfect or lossy channels. The service
+/// drives whichever it was configured with; both converge to the same
+/// Report fixpoint.
+enum Harness {
+    Clean(Box<DvmSim>),
+    Faulty(Box<FaultyDvmSim>),
+}
+
+impl Harness {
+    fn apply_batch(&mut self, updates: &[RuleUpdate]) -> SimResult {
+        match self {
+            Harness::Clean(s) => s.apply_batch(updates),
+            Harness::Faulty(s) => s.apply_batch(updates),
+        }
+    }
+
+    fn apply_topology_event(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &Topology,
+        inv: &Invariant,
+    ) -> Result<SimResult, PlanError> {
+        match self {
+            Harness::Clean(s) => s.apply_topology_event(ev, base, inv),
+            Harness::Faulty(s) => s.apply_topology_event(ev, base, inv),
+        }
+    }
+
+    fn report(&mut self) -> Report {
+        match self {
+            Harness::Clean(s) => s.report(),
+            Harness::Faulty(s) => s.report(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Harness::Clean(s) => s.epoch(),
+            Harness::Faulty(s) => s.epoch(),
+        }
+    }
+}
+
+/// The always-on verification service. See the module docs for the
+/// admission/ordering contract.
+pub struct Service {
+    cfg: ServiceConfig,
+    harness: Harness,
+    /// The network with every *processed* batch folded in — the
+    /// rebuild source for [`Service::set_backend`].
+    net: Network,
+    /// The pre-churn topology every churn re-plan diffs against.
+    base_topo: Topology,
+    inv: Invariant,
+    plan: CountingPlan,
+    /// Successfully applied churn events, replayed on rebuild.
+    churn_log: Vec<TopologyEvent>,
+    /// Per-source FIFO queues, drained round-robin in key order.
+    queues: BTreeMap<String, VecDeque<ServiceRequest>>,
+    queued: usize,
+    processed_by: BTreeMap<String, u64>,
+    admitted: u64,
+    shed: u64,
+    processed: u64,
+    rejected_churn: u64,
+    drains: u64,
+    tel: Arc<Telemetry>,
+    slo: SloTracker,
+}
+
+impl Service {
+    /// Builds the service over a network snapshot and runs the initial
+    /// burst (all FIBs at t=0) so the first report is already the
+    /// converged baseline.
+    pub fn new(net: &Network, plan: &CountingPlan, inv: &Invariant, cfg: ServiceConfig) -> Service {
+        // The service's own always-enabled telemetry handle: the SLO
+        // windows are the product, not an optional debugging aid.
+        let tel = Telemetry::new(TelemetryConfig::enabled());
+        let mut harness = Service::build_harness(net, plan, inv, &cfg, &tel);
+        match &mut harness {
+            Harness::Clean(s) => {
+                s.burst();
+            }
+            Harness::Faulty(s) => {
+                s.burst();
+            }
+        }
+        let mut slo = SloTracker::new(cfg.slo);
+        // Roll the init wave into its own window so steady-state
+        // windows start from the post-burst baseline.
+        slo.roll(&tel.metrics());
+        Service {
+            harness,
+            net: net.clone(),
+            base_topo: net.topology.clone(),
+            inv: inv.clone(),
+            plan: plan.clone(),
+            churn_log: Vec::new(),
+            queues: BTreeMap::new(),
+            queued: 0,
+            processed_by: BTreeMap::new(),
+            admitted: 0,
+            shed: 0,
+            processed: 0,
+            rejected_churn: 0,
+            drains: 0,
+            tel,
+            slo,
+            cfg,
+        }
+    }
+
+    fn build_harness(
+        net: &Network,
+        plan: &CountingPlan,
+        inv: &Invariant,
+        cfg: &ServiceConfig,
+        tel: &Arc<Telemetry>,
+    ) -> Harness {
+        let sim_cfg = SimConfig {
+            telemetry: tel.clone(),
+            backend: cfg.backend,
+            ..SimConfig::default()
+        };
+        match cfg.faults {
+            Some(profile) => Harness::Faulty(Box::new(FaultyDvmSim::new(
+                net,
+                plan,
+                &inv.packet_space,
+                sim_cfg,
+                profile,
+            ))),
+            None => Harness::Clean(Box::new(DvmSim::new(net, plan, &inv.packet_space, sim_cfg))),
+        }
+    }
+
+    /// Offers one request from `source`. Under [`AdmissionPolicy::Shed`]
+    /// a full queue returns [`ServiceError::Shed`]; under
+    /// [`AdmissionPolicy::Block`] the service drains everything first
+    /// and then admits.
+    pub fn offer(&mut self, source: &str, req: ServiceRequest) -> Result<(), ServiceError> {
+        let per_source = self.queues.get(source).map_or(0, |q| q.len());
+        let full = self.queued >= self.cfg.queue_cap.max(1)
+            || per_source >= self.cfg.per_source_cap.max(1);
+        if full {
+            match self.cfg.policy {
+                AdmissionPolicy::Shed => {
+                    self.shed += 1;
+                    return Err(ServiceError::Shed {
+                        source: source.to_string(),
+                        queued: per_source,
+                    });
+                }
+                AdmissionPolicy::Block => {
+                    self.drain();
+                }
+            }
+        }
+        self.queues
+            .entry(source.to_string())
+            .or_default()
+            .push_back(req);
+        self.queued += 1;
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// Drains every queued request. Returns the number applied.
+    pub fn drain(&mut self) -> usize {
+        self.drain_upto(usize::MAX)
+    }
+
+    /// Drains at most `max` requests, round-robin across sources in
+    /// source order (one request per non-empty source per pass), and
+    /// rolls one SLO window over what ran. Returns the number applied.
+    pub fn drain_upto(&mut self, max: usize) -> usize {
+        let mut n = 0;
+        // Virtual ns elapsed in this round so far: request i's
+        // convergence lag is the round's running quiescence time when
+        // its own application quiesces, so queueing behind earlier
+        // requests counts against the budget.
+        let mut round_ns: u64 = 0;
+        let sources: Vec<String> = self.queues.keys().cloned().collect();
+        'round: loop {
+            let mut any = false;
+            for src in &sources {
+                if n >= max {
+                    break 'round;
+                }
+                let Some(req) = self.queues.get_mut(src).and_then(|q| q.pop_front()) else {
+                    continue;
+                };
+                any = true;
+                self.queued -= 1;
+                let outcome = self.apply(req);
+                n += 1;
+                self.processed += 1;
+                *self.processed_by.entry(src.clone()).or_default() += 1;
+                if let Some(outcome) = outcome {
+                    round_ns = round_ns.saturating_add(outcome.completion_ns);
+                    self.tel.observe(DeviceId(0), &CONVERGENCE_LAG_NS, round_ns);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        if n > 0 {
+            self.drains += 1;
+            self.slo.roll(&self.tel.metrics());
+        }
+        n
+    }
+
+    /// Applies one request to the harness; `None` means a rejected
+    /// churn event (counted, epoch unchanged).
+    fn apply(&mut self, req: ServiceRequest) -> Option<SimResult> {
+        match req {
+            ServiceRequest::Batch(updates) => {
+                for u in &updates {
+                    self.net.apply(u);
+                }
+                Some(self.harness.apply_batch(&updates))
+            }
+            ServiceRequest::Churn(ev) => {
+                match self
+                    .harness
+                    .apply_topology_event(&ev, &self.base_topo, &self.inv)
+                {
+                    Ok(outcome) => {
+                        self.churn_log.push(ev);
+                        Some(outcome)
+                    }
+                    Err(_) => {
+                        self.rejected_churn += 1;
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// A Report snapshot *without* draining the ingress queues: the
+    /// sources are evaluated as they have converged so far. Call
+    /// [`Service::drain`] first for a quiescent report.
+    pub fn report(&mut self) -> Report {
+        self.harness.report()
+    }
+
+    /// Counters and queue state.
+    pub fn status(&self) -> ServiceStatus {
+        ServiceStatus {
+            admitted: self.admitted,
+            shed: self.shed,
+            processed: self.processed,
+            rejected_churn: self.rejected_churn,
+            queued: self.queued,
+            drains: self.drains,
+            epoch: self.harness.epoch(),
+            per_source: self
+                .processed_by
+                .iter()
+                .map(|(s, n)| (s.clone(), *n))
+                .collect(),
+        }
+    }
+
+    /// The SLO verdict over the rolling drain-round windows.
+    pub fn slo(&self) -> SloVerdict {
+        self.slo.verdict()
+    }
+
+    /// Replaces the SLO budgets (live config edit).
+    pub fn set_slo(&mut self, policy: SloPolicy) {
+        self.slo.set_policy(policy);
+    }
+
+    /// The active SLO budgets.
+    pub fn slo_policy(&self) -> &SloPolicy {
+        self.slo.policy()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Replaces the admission policy (live config edit).
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.cfg.policy = policy;
+    }
+
+    /// A snapshot of the service's full metrics registry (cumulative
+    /// since start — the SLO verdict covers only the rolling windows).
+    pub fn metrics(&self) -> tulkun_telemetry::MetricsSnapshot {
+        self.tel.metrics()
+    }
+
+    /// Prometheus text exposition: the full registry plus the
+    /// `tulkun_slo_*` verdict gauges.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.tel.prometheus_text();
+        out.push_str(&self.slo.verdict().prometheus_text());
+        out
+    }
+
+    /// Hot-swaps the predicate backend: rebuilds the harness from the
+    /// current network (every processed batch folded in), re-runs the
+    /// burst, and replays the successful churn log so the epoch and
+    /// quarantine state carry over. Queued-but-undrained requests are
+    /// preserved and will be applied to the new harness. The rebuild's
+    /// init wave lands in the SLO windows — a backend switch is not
+    /// free, and the tracker says so.
+    pub fn set_backend(&mut self, backend: BackendKind) -> Result<(), ServiceError> {
+        self.cfg.backend = backend;
+        let mut harness =
+            Service::build_harness(&self.net, &self.plan, &self.inv, &self.cfg, &self.tel);
+        match &mut harness {
+            Harness::Clean(s) => {
+                s.burst();
+            }
+            Harness::Faulty(s) => {
+                s.burst();
+            }
+        }
+        for ev in &self.churn_log {
+            harness
+                .apply_topology_event(ev, &self.base_topo, &self.inv)
+                .map_err(|e| ServiceError::Rejected(format!("churn replay failed: {e:?}")))?;
+        }
+        self.harness = harness;
+        self.slo.roll(&self.tel.metrics());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tulkun_core::count::CountExpr;
+    use tulkun_core::planner::Planner;
+    use tulkun_core::spec::{Behavior, PacketSpace, PathExpr};
+    use tulkun_datasets::fig2a_network;
+    use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
+    use tulkun_netmodel::topology::Topology;
+
+    fn fixture() -> (Network, CountingPlan, Invariant) {
+        let net = fig2a_network();
+        let inv = Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress(["S"])
+            .behavior(Behavior::exist(
+                CountExpr::ge(1),
+                PathExpr::parse("S .* D").unwrap().loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        (net, cp, inv)
+    }
+
+    /// An IP-only line S → B → W → D (dst-prefix matches only), so the
+    /// interval backends are legal for the swap test.
+    fn line_fixture() -> (Network, CountingPlan, Invariant) {
+        let mut t = Topology::new();
+        let s = t.add_device("S");
+        let b = t.add_device("B");
+        let w = t.add_device("W");
+        let d = t.add_device("D");
+        t.add_link(s, b, 1000);
+        t.add_link(b, w, 1000);
+        t.add_link(w, d, 1000);
+        let p: tulkun_netmodel::prefix::IpPrefix = "10.0.0.0/23".parse().unwrap();
+        t.add_external_prefix(d, p);
+        let mut net = Network::new(t);
+        for (dev, hop) in [(s, Some(b)), (b, Some(w)), (w, Some(d)), (d, None)] {
+            net.fib_mut(dev).insert(Rule {
+                priority: 24,
+                matches: MatchSpec::dst(p),
+                action: match hop {
+                    Some(h) => Action::fwd(h),
+                    None => Action::deliver(),
+                },
+            });
+        }
+        let inv = Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress(["S"])
+            .behavior(Behavior::exist(
+                CountExpr::ge(1),
+                PathExpr::parse("S .* D").unwrap().loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        (net, cp, inv)
+    }
+
+    fn some_update(net: &Network, prio: u32) -> RuleUpdate {
+        let b = net.topology.device("B").unwrap();
+        let w = net.topology.device("W").unwrap();
+        RuleUpdate::Insert {
+            device: b,
+            rule: Rule {
+                priority: prio,
+                matches: MatchSpec::dst("10.0.1.0/24".parse().unwrap()),
+                action: Action::fwd(w),
+            },
+        }
+    }
+
+    #[test]
+    fn shed_policy_rejects_beyond_per_source_cap() {
+        let (net, cp, inv) = fixture();
+        let cfg = ServiceConfig {
+            policy: AdmissionPolicy::Shed,
+            per_source_cap: 2,
+            ..ServiceConfig::default()
+        };
+        let mut svc = Service::new(&net, &cp, &inv, cfg);
+        for i in 0..2 {
+            svc.offer("a", ServiceRequest::Batch(vec![some_update(&net, 40 + i)]))
+                .unwrap();
+        }
+        let err = svc
+            .offer("a", ServiceRequest::Batch(vec![some_update(&net, 50)]))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Shed { queued: 2, .. }));
+        // Fairness: source "b" is unaffected by "a"'s full queue.
+        svc.offer("b", ServiceRequest::Batch(vec![some_update(&net, 51)]))
+            .unwrap();
+        let st = svc.status();
+        assert_eq!((st.admitted, st.shed, st.queued), (3, 1, 3));
+        svc.drain();
+        assert_eq!(svc.status().queued, 0);
+        assert_eq!(svc.status().processed, 3);
+    }
+
+    #[test]
+    fn block_policy_drains_instead_of_shedding() {
+        let (net, cp, inv) = fixture();
+        let cfg = ServiceConfig {
+            policy: AdmissionPolicy::Block,
+            per_source_cap: 1,
+            ..ServiceConfig::default()
+        };
+        let mut svc = Service::new(&net, &cp, &inv, cfg);
+        svc.offer("a", ServiceRequest::Batch(vec![some_update(&net, 40)]))
+            .unwrap();
+        // Queue full: this offer forces a drain, then admits.
+        svc.offer("a", ServiceRequest::Batch(vec![some_update(&net, 41)]))
+            .unwrap();
+        let st = svc.status();
+        assert_eq!(st.shed, 0);
+        assert_eq!(st.processed, 1, "the blocked offer drained first");
+        assert_eq!(st.queued, 1);
+    }
+
+    #[test]
+    fn drain_is_round_robin_across_sources() {
+        let (net, cp, inv) = fixture();
+        let mut svc = Service::new(&net, &cp, &inv, ServiceConfig::default());
+        for i in 0..3 {
+            svc.offer("a", ServiceRequest::Batch(vec![some_update(&net, 40 + i)]))
+                .unwrap();
+        }
+        svc.offer("b", ServiceRequest::Batch(vec![some_update(&net, 50)]))
+            .unwrap();
+        // Two slots: one must go to each source, not both to "a".
+        assert_eq!(svc.drain_upto(2), 2);
+        let st = svc.status();
+        assert_eq!(
+            st.per_source,
+            vec![("a".to_string(), 1), ("b".to_string(), 1)]
+        );
+        assert_eq!(svc.drain(), 2);
+    }
+
+    #[test]
+    fn service_report_matches_direct_replay_including_churn() {
+        let (net, cp, inv) = fixture();
+        let mut svc = Service::new(&net, &cp, &inv, ServiceConfig::default());
+        let b = net.topology.device("B").unwrap();
+        let w = net.topology.device("W").unwrap();
+        let up = some_update(&net, 40);
+        svc.offer("cp", ServiceRequest::Batch(vec![up.clone()]))
+            .unwrap();
+        svc.offer("cp", ServiceRequest::Churn(TopologyEvent::LinkDown(b, w)))
+            .unwrap();
+        svc.drain();
+        assert_eq!(svc.status().epoch, 1);
+
+        let mut reference = DvmSim::new(&net, &cp, &inv.packet_space, SimConfig::default());
+        reference.burst();
+        reference.apply_batch(std::slice::from_ref(&up));
+        reference
+            .apply_topology_event(&TopologyEvent::LinkDown(b, w), &net.topology, &inv)
+            .unwrap();
+        assert_eq!(
+            svc.report().canonical_bytes(),
+            reference.report().canonical_bytes()
+        );
+        // SLO machinery saw the work: windows rolled, samples recorded.
+        assert!(svc.slo().samples > 0);
+        assert!(svc.slo().lag_samples >= 2);
+    }
+
+    #[test]
+    fn lossy_service_converges_to_clean_report() {
+        let (net, cp, inv) = fixture();
+        let cfg = ServiceConfig {
+            faults: Some(FaultProfile::loss(23, 0.10)),
+            ..ServiceConfig::default()
+        };
+        let mut svc = Service::new(&net, &cp, &inv, cfg);
+        for i in 0..4 {
+            svc.offer("s", ServiceRequest::Batch(vec![some_update(&net, 40 + i)]))
+                .unwrap();
+        }
+        svc.drain();
+        let mut clean = DvmSim::new(&net, &cp, &inv.packet_space, SimConfig::default());
+        clean.burst();
+        for i in 0..4 {
+            clean.apply_batch(&[some_update(&net, 40 + i)]);
+        }
+        assert_eq!(
+            svc.report().canonical_bytes(),
+            clean.report().canonical_bytes()
+        );
+    }
+
+    #[test]
+    fn backend_swap_preserves_report_and_queues() {
+        let (net, cp, inv) = line_fixture();
+        let mut svc = Service::new(&net, &cp, &inv, ServiceConfig::default());
+        svc.offer("s", ServiceRequest::Batch(vec![some_update(&net, 40)]))
+            .unwrap();
+        svc.drain();
+        let before = svc.report().canonical_bytes();
+        // Queue one request, swap under it, then drain on the new
+        // backend.
+        svc.offer("s", ServiceRequest::Batch(vec![some_update(&net, 41)]))
+            .unwrap();
+        svc.set_backend(BackendKind::DeltaNet).unwrap();
+        assert_eq!(svc.report().canonical_bytes(), before, "swap is invisible");
+        assert_eq!(svc.status().queued, 1, "queued work survives the swap");
+        svc.drain();
+        let mut reference = DvmSim::new(&net, &cp, &inv.packet_space, SimConfig::default());
+        reference.burst();
+        reference.apply_batch(&[some_update(&net, 40)]);
+        reference.apply_batch(&[some_update(&net, 41)]);
+        assert_eq!(
+            svc.report().canonical_bytes(),
+            reference.report().canonical_bytes()
+        );
+    }
+}

@@ -34,13 +34,15 @@
 
 mod export;
 mod metrics;
+mod slo;
 mod trace;
 
 pub use export::{chrome_trace_json, prometheus_text};
 pub use metrics::{
-    HistSnapshot, HistogramSpec, MetricsRegistry, MetricsSnapshot, CIB_RECOMPUTE_NS, FIB_BATCH_NS,
-    HANDLE_NS, LEC_DELTA_NS, NS_BOUNDS,
+    HistSnapshot, HistogramSpec, MetricsRegistry, MetricsSnapshot, CIB_RECOMPUTE_NS,
+    CONVERGENCE_LAG_NS, FIB_BATCH_NS, HANDLE_NS, LEC_DELTA_NS, NS_BOUNDS,
 };
+pub use slo::{SloPolicy, SloTracker, SloVerdict};
 pub use trace::{SpanEvent, Tracer};
 
 use std::fmt;

@@ -67,6 +67,14 @@ pub const FIB_BATCH_NS: HistogramSpec = HistogramSpec {
     bounds: NS_BOUNDS,
 };
 
+/// Per-request convergence lag in the always-on service: virtual ns
+/// from a request's admission to the quiescence of the round it was
+/// applied in.
+pub const CONVERGENCE_LAG_NS: HistogramSpec = HistogramSpec {
+    name: "tulkun_convergence_lag_ns",
+    bounds: NS_BOUNDS,
+};
+
 #[derive(Debug, Clone)]
 struct Hist {
     bounds: &'static [u64],
@@ -222,6 +230,51 @@ impl HistSnapshot {
             }
         }
         self.bounds.last().copied()
+    }
+
+    /// An empty snapshot over the same bucket bounds.
+    pub fn empty_like(&self) -> HistSnapshot {
+        HistSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: vec![0; self.buckets.len()],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Bucket-wise difference `self - prev` of two cumulative
+    /// snapshots of the same histogram (counters are monotone, so the
+    /// result is the observations made between the two snapshots).
+    /// Saturates rather than panicking if `prev` is not actually an
+    /// earlier snapshot (mismatched bounds fall back to `self`).
+    pub fn delta(&self, prev: &HistSnapshot) -> HistSnapshot {
+        if prev.bounds != self.bounds || prev.buckets.len() != self.buckets.len() {
+            return self.clone();
+        }
+        HistSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&prev.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(prev.sum),
+            count: self.count.saturating_sub(prev.count),
+        }
+    }
+
+    /// Adds another snapshot's buckets into this one (same bounds
+    /// required; mismatches are ignored).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.bounds != self.bounds || other.buckets.len() != self.buckets.len() {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
     }
 }
 

@@ -18,10 +18,9 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use tulkun::core::count::CountExpr;
 use tulkun::core::fault::FaultProfile;
 use tulkun::core::planner::{Plan, PlanKind, Planner, PlannerOptions};
-use tulkun::core::spec::{Behavior, Invariant, PacketSpace, PathExpr};
+use tulkun::core::spec::Invariant;
 use tulkun::core::verify::{verify_snapshot, ViolationKind};
 use tulkun::json::Json;
 use tulkun::netmodel::network::Network;
@@ -162,6 +161,20 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "daemon" => match daemon_run(&args, &get) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "status" => match status_run(&get) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         "trace" => match observed_run(&args, &get) {
             Ok(run) => emit_observed(run.telemetry.chrome_trace_json(), &run, &args, &get),
             Err(e) => {
@@ -194,7 +207,12 @@ fn usage() -> ExitCode {
          [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--off] [--out metrics.prom] \
          [--stats]\n  \
          tulkun churn [--name <NAME>] [--scale tiny|paper] [--seed S] [--events N] \
-         [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--threaded]"
+         [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--threaded]\n  \
+         tulkun daemon [--name <NAME>] [--scale tiny|paper] \
+         [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--policy shed|block] \
+         [--queue-cap N] [--per-source-cap N] [--drain-every N] [--slo-p50 NS] [--slo-p90 NS] \
+         [--slo-p99 NS] [--slo-lag-p99 NS] [--uds PATH]\n  \
+         tulkun status --uds PATH"
     );
     ExitCode::FAILURE
 }
@@ -286,48 +304,127 @@ fn parse_backend(get: &dyn Fn(&str) -> Option<String>) -> Result<tulkun::sim::Ba
     }
 }
 
-/// One WAN destination's subset-reachability counting session on a
-/// generated dataset (the §9.3.1 workload shape): every other device
-/// delivers along loop-free, <= shortest+2 paths.
-fn dataset_session(
-    net: &Network,
-    name: &str,
-) -> Result<(Invariant, tulkun::core::planner::CountingPlan), String> {
-    let topo = &net.topology;
-    let (dst, _) = topo
-        .external_map()
-        .next()
-        .ok_or_else(|| format!("dataset {name:?} announces no external prefixes"))?;
-    let prefixes = topo.external_prefixes(dst).to_vec();
-    let dst_name = topo.name(dst);
-    let ingress: Vec<String> = topo
-        .devices()
-        .filter(|d| *d != dst)
-        .map(|d| topo.name(d).to_string())
-        .collect();
-    let mut ps = PacketSpace::DstPrefix(prefixes[0]);
-    for p in &prefixes[1..] {
-        ps = ps.or(PacketSpace::DstPrefix(*p));
+// The dataset workload construction lives in the library now (the
+// daemon shares it); see [`tulkun::daemon::dataset_session`].
+use tulkun::daemon::dataset_session;
+
+/// `tulkun daemon`: the always-on verification service behind the
+/// line-oriented request protocol (see `tulkun::daemon` module docs),
+/// served over stdin/stdout or, with `--uds PATH`, a unix domain
+/// socket accepting sequential client connections.
+fn daemon_run(_args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<ExitCode, String> {
+    use tulkun::daemon::{serve, DaemonConfig, DaemonSession};
+    use tulkun::sim::{AdmissionPolicy, ServiceConfig};
+    use tulkun::telemetry::SloPolicy;
+
+    let scale = match get("--scale").as_deref() {
+        Some("paper") => tulkun::datasets::Scale::Paper,
+        _ => tulkun::datasets::Scale::Tiny,
+    };
+    let mut slo = SloPolicy::default();
+    if let Some(v) = get("--slo-p50").and_then(|v| v.parse().ok()) {
+        slo.p50_ns = v;
     }
-    let path = PathExpr::parse(&format!(". * {dst_name}"))
-        .map_err(|e| e.to_string())?
-        .loop_free()
-        .shortest_plus(2);
-    let inv = Invariant::builder()
-        .name(format!("subset reachability -> {dst_name}"))
-        .packet_space(ps)
-        .ingress(ingress)
-        .behavior(Behavior::exist(CountExpr::ge(1), path.clone()).and(Behavior::covered(path)))
-        .build()
-        .map_err(|e| e.to_string())?;
-    let plan = Planner::new(topo)
-        .plan(&inv)
-        .map_err(|e| format!("planning failed: {e}"))?;
-    let cp = plan
-        .counting()
-        .ok_or("invariant planned as a local contract; nothing to drive")?
-        .clone();
-    Ok((inv, cp))
+    if let Some(v) = get("--slo-p90").and_then(|v| v.parse().ok()) {
+        slo.p90_ns = v;
+    }
+    if let Some(v) = get("--slo-p99").and_then(|v| v.parse().ok()) {
+        slo.p99_ns = v;
+    }
+    if let Some(v) = get("--slo-lag-p99").and_then(|v| v.parse().ok()) {
+        slo.lag_p99_ns = v;
+    }
+    let mut service = ServiceConfig {
+        policy: match get("--policy").as_deref() {
+            Some("shed") => AdmissionPolicy::Shed,
+            Some("block") | None => AdmissionPolicy::Block,
+            Some(other) => return Err(format!("unknown policy {other:?}")),
+        },
+        slo,
+        backend: parse_backend(get)?,
+        faults: get("--faults")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|seed| FaultProfile::loss(seed, 0.10)),
+        ..ServiceConfig::default()
+    };
+    if let Some(v) = get("--queue-cap").and_then(|v| v.parse().ok()) {
+        service.queue_cap = v;
+    }
+    if let Some(v) = get("--per-source-cap").and_then(|v| v.parse().ok()) {
+        service.per_source_cap = v;
+    }
+    let cfg = DaemonConfig {
+        name: get("--name").unwrap_or_else(|| "INet2".into()),
+        scale,
+        service,
+        drain_every: get("--drain-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+    let mut session = DaemonSession::new(cfg)?;
+
+    match get("--uds") {
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .map_err(|e| format!("bind {path}: {e}"))?;
+            eprintln!("tulkun daemon listening on {path}");
+            loop {
+                let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+                let reader =
+                    std::io::BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                match serve(&mut session, reader, &stream) {
+                    Ok(true) => break,     // peer sent quit: daemon shuts down
+                    Ok(false) => continue, // peer disconnected: next client
+                    Err(e) => {
+                        eprintln!("client error: {e}");
+                        continue;
+                    }
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve(&mut session, stdin.lock(), stdout.lock())
+                .map_err(|e| format!("session i/o: {e}"))?;
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+/// `tulkun status`: one-shot client for a `--uds` daemon. Prints the
+/// daemon's status and SLO verdict; exit code reflects the SLO (0 =
+/// within budget).
+fn status_run(get: &dyn Fn(&str) -> Option<String>) -> Result<ExitCode, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let path = get("--uds").ok_or("--uds <path> required (the daemon's socket)")?;
+    let mut stream = std::os::unix::net::UnixStream::connect(&path)
+        .map_err(|e| format!("connect {path}: {e}"))?;
+    stream
+        .write_all(b"status\nslo\n")
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut read_line = || -> Result<String, String> {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        Ok(line.trim_end().to_string())
+    };
+    let status = read_line()?;
+    let slo = read_line()?;
+    println!("{status}");
+    println!("{slo}");
+    let ok = slo.starts_with("ok ") && slo.contains("\"ok\":true");
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// `tulkun churn`: drives a seeded live-churn schedule against a

@@ -1,0 +1,393 @@
+//! The always-on daemon behind `tulkun daemon`: a line-oriented
+//! request protocol over a long-lived [`Service`].
+//!
+//! # Protocol grammar
+//!
+//! One request per line; blank lines and `#` comments are ignored
+//! (no response). Every request gets exactly one reply line starting
+//! `ok` or `err` — except `metrics`, whose `ok <n>` reply is followed
+//! by `n` raw export lines.
+//!
+//! ```text
+//! batch <source> <json array of rule updates>   admit a FIB batch
+//! churn <source> link-down <A> <B>              admit a churn event
+//! churn <source> link-up <A> <B>
+//! churn <source> device-down <D>
+//! churn <source> device-up <D>
+//! drain [<max>]                                 apply queued requests
+//! report                                        canonical Report JSON
+//! status                                        counters + queue state
+//! slo                                           SLO verdict JSON
+//! metrics                                       Prometheus exposition
+//! config backend <bdd|deltanet|intervals|auto>  hot-swap the backend
+//! config policy <shed|block>                    admission policy
+//! config drain-every <n>                        auto-drain cadence
+//! config slo <p50> <p90> <p99> <lag-p99>        budgets, ns
+//! quit                                          end the session
+//! ```
+//!
+//! Rule-update JSON is the wire encoding of
+//! [`netmodel::network::RuleUpdate`], e.g.
+//! `[{"Insert":{"device":3,"rule":{...}}}]`.
+//!
+//! Determinism contract: a scripted session (batches + churn from one
+//! source, drained in order) produces a final Report byte-equal to
+//! applying the same events directly via `apply_batch` /
+//! `apply_topology_event` — `tests/daemon_session.rs` holds this,
+//! including over a 10% lossy management network.
+
+use crate::core::churn::TopologyEvent;
+use crate::core::count::CountExpr;
+use crate::core::planner::{CountingPlan, Planner};
+use crate::core::spec::{Behavior, Invariant, PacketSpace, PathExpr};
+use crate::netmodel::network::{Network, RuleUpdate};
+use crate::netmodel::topology::Topology;
+use crate::sim::{AdmissionPolicy, BackendKind, Service, ServiceConfig, ServiceRequest};
+use crate::telemetry::SloPolicy;
+
+/// One WAN destination's subset-reachability counting session on a
+/// generated dataset (the §9.3.1 workload shape): every other device
+/// delivers along loop-free, <= shortest+2 paths. This is the session
+/// behind `tulkun trace`/`metrics`/`churn` and the daemon.
+pub fn dataset_session(net: &Network, name: &str) -> Result<(Invariant, CountingPlan), String> {
+    let topo = &net.topology;
+    let (dst, _) = topo
+        .external_map()
+        .next()
+        .ok_or_else(|| format!("dataset {name:?} announces no external prefixes"))?;
+    let prefixes = topo.external_prefixes(dst).to_vec();
+    let dst_name = topo.name(dst);
+    let ingress: Vec<String> = topo
+        .devices()
+        .filter(|d| *d != dst)
+        .map(|d| topo.name(d).to_string())
+        .collect();
+    let mut ps = PacketSpace::DstPrefix(prefixes[0]);
+    for p in &prefixes[1..] {
+        ps = ps.or(PacketSpace::DstPrefix(*p));
+    }
+    let path = PathExpr::parse(&format!(". * {dst_name}"))
+        .map_err(|e| e.to_string())?
+        .loop_free()
+        .shortest_plus(2);
+    let inv = Invariant::builder()
+        .name(format!("subset reachability -> {dst_name}"))
+        .packet_space(ps)
+        .ingress(ingress)
+        .behavior(Behavior::exist(CountExpr::ge(1), path.clone()).and(Behavior::covered(path)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let plan = Planner::new(topo)
+        .plan(&inv)
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let cp = plan
+        .counting()
+        .ok_or("invariant planned as a local contract; nothing to drive")?
+        .clone();
+    Ok((inv, cp))
+}
+
+/// Configuration for a [`DaemonSession`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Dataset the session verifies (see `tulkun datasets`).
+    pub name: String,
+    /// Dataset scale.
+    pub scale: crate::datasets::Scale,
+    /// Admission/SLO/backend/fault configuration of the service.
+    pub service: ServiceConfig,
+    /// Auto-drain after this many admitted requests (0 = only drain on
+    /// explicit `drain` requests or `Block`-policy backpressure).
+    pub drain_every: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            name: "INet2".into(),
+            scale: crate::datasets::Scale::Tiny,
+            service: ServiceConfig::default(),
+            drain_every: 0,
+        }
+    }
+}
+
+/// A reply to one protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Reply text: one line, or `1 + n` lines for `metrics`.
+    pub text: String,
+    /// Whether the request was `quit`.
+    pub quit: bool,
+}
+
+impl Reply {
+    fn ok(text: impl Into<String>) -> Reply {
+        Reply {
+            text: format!("ok {}", text.into()),
+            quit: false,
+        }
+    }
+
+    fn err(text: impl Into<String>) -> Reply {
+        Reply {
+            text: format!("err {}", text.into()),
+            quit: false,
+        }
+    }
+}
+
+/// The long-lived session `tulkun daemon` drives: parses protocol
+/// lines, admits work into the [`Service`], answers snapshots.
+pub struct DaemonSession {
+    service: Service,
+    topo: Topology,
+    drain_every: usize,
+    since_drain: usize,
+}
+
+impl DaemonSession {
+    /// Builds the session: dataset by name → counting plan → service
+    /// (initial burst included).
+    pub fn new(cfg: DaemonConfig) -> Result<DaemonSession, String> {
+        let ds = crate::datasets::by_name(&cfg.name, cfg.scale).ok_or_else(|| {
+            format!(
+                "unknown dataset {:?}; available: {}",
+                cfg.name,
+                crate::datasets::DATASET_NAMES.join(", ")
+            )
+        })?;
+        let (inv, cp) = dataset_session(&ds.network, &cfg.name)?;
+        let service = Service::new(&ds.network, &cp, &inv, cfg.service);
+        Ok(DaemonSession {
+            service,
+            topo: ds.network.topology.clone(),
+            drain_every: cfg.drain_every,
+            since_drain: 0,
+        })
+    }
+
+    /// Direct access to the underlying service (tests, embedding).
+    pub fn service_mut(&mut self) -> &mut Service {
+        &mut self.service
+    }
+
+    /// The session's topology (device-name resolution).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Handles one protocol line. `None` for blank lines and comments;
+    /// otherwise exactly one [`Reply`].
+    pub fn handle_line(&mut self, line: &str) -> Option<Reply> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        Some(match cmd {
+            "batch" => self.handle_batch(rest),
+            "churn" => self.handle_churn(rest),
+            "drain" => {
+                let max = if rest.is_empty() {
+                    usize::MAX
+                } else {
+                    match rest.parse() {
+                        Ok(n) => n,
+                        Err(_) => return Some(Reply::err(format!("bad drain count {rest:?}"))),
+                    }
+                };
+                let n = self.service.drain_upto(max);
+                self.since_drain = 0;
+                Reply::ok(format!("processed={n}"))
+            }
+            "report" => {
+                let bytes = self.service.report().canonical_bytes();
+                Reply::ok(String::from_utf8_lossy(&bytes).into_owned())
+            }
+            "status" => Reply::ok(crate::json::to_string(&self.service.status().to_json())),
+            "slo" => Reply::ok(crate::json::to_string(&self.service.slo().to_json())),
+            "metrics" => {
+                let text = self.service.metrics_text();
+                let lines: Vec<&str> = text.lines().collect();
+                let mut out = format!("ok {}", lines.len());
+                for l in &lines {
+                    out.push('\n');
+                    out.push_str(l);
+                }
+                Reply {
+                    text: out,
+                    quit: false,
+                }
+            }
+            "config" => self.handle_config(rest),
+            "quit" => Reply {
+                text: "ok bye".into(),
+                quit: true,
+            },
+            other => Reply::err(format!("unknown request {other:?}")),
+        })
+    }
+
+    fn handle_batch(&mut self, rest: &str) -> Reply {
+        let Some((source, json)) = rest.split_once(char::is_whitespace) else {
+            return Reply::err("usage: batch <source> <json array>");
+        };
+        let updates: Vec<RuleUpdate> = match crate::json::from_str(json.trim()) {
+            Ok(u) => u,
+            Err(e) => return Reply::err(format!("bad batch json: {e}")),
+        };
+        let n = updates.len();
+        match self.service.offer(source, ServiceRequest::Batch(updates)) {
+            Ok(()) => {
+                self.after_admit();
+                Reply::ok(format!(
+                    "admitted={n} queued={}",
+                    self.service.status().queued
+                ))
+            }
+            Err(e) => Reply::err(e.to_string()),
+        }
+    }
+
+    fn handle_churn(&mut self, rest: &str) -> Reply {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let dev = |name: &str| {
+            self.topo
+                .device(name)
+                .ok_or_else(|| format!("unknown device {name:?}"))
+        };
+        let ev = match parts.as_slice() {
+            [_, "link-down", a, b] => match (dev(a), dev(b)) {
+                (Ok(a), Ok(b)) => TopologyEvent::LinkDown(a, b),
+                (Err(e), _) | (_, Err(e)) => return Reply::err(e),
+            },
+            [_, "link-up", a, b] => match (dev(a), dev(b)) {
+                (Ok(a), Ok(b)) => TopologyEvent::LinkUp(a, b),
+                (Err(e), _) | (_, Err(e)) => return Reply::err(e),
+            },
+            [_, "device-down", d] => match dev(d) {
+                Ok(d) => TopologyEvent::DeviceDown(d),
+                Err(e) => return Reply::err(e),
+            },
+            [_, "device-up", d] => match dev(d) {
+                Ok(d) => TopologyEvent::DeviceUp(d),
+                Err(e) => return Reply::err(e),
+            },
+            _ => {
+                return Reply::err(
+                    "usage: churn <source> (link-down|link-up) <A> <B> | \
+                     churn <source> (device-down|device-up) <D>",
+                )
+            }
+        };
+        match self.service.offer(parts[0], ServiceRequest::Churn(ev)) {
+            Ok(()) => {
+                self.after_admit();
+                Reply::ok(format!("queued={}", self.service.status().queued))
+            }
+            Err(e) => Reply::err(e.to_string()),
+        }
+    }
+
+    fn handle_config(&mut self, rest: &str) -> Reply {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            ["backend", kind] => {
+                let kind: BackendKind = match kind.parse() {
+                    Ok(k) => k,
+                    Err(e) => return Reply::err(format!("{e}")),
+                };
+                match self.service.set_backend(kind) {
+                    Ok(()) => Reply::ok(format!("backend={kind}")),
+                    Err(e) => Reply::err(e.to_string()),
+                }
+            }
+            ["policy", p] => {
+                let policy = match *p {
+                    "shed" => AdmissionPolicy::Shed,
+                    "block" => AdmissionPolicy::Block,
+                    other => return Reply::err(format!("unknown policy {other:?}")),
+                };
+                self.service.set_policy(policy);
+                Reply::ok(format!("policy={p}"))
+            }
+            ["drain-every", n] => match n.parse::<usize>() {
+                Ok(n) => {
+                    self.drain_every = n;
+                    Reply::ok(format!("drain-every={n}"))
+                }
+                Err(_) => Reply::err(format!("bad drain-every {n:?}")),
+            },
+            ["slo", p50, p90, p99, lag] => {
+                let parse = |s: &str| s.parse::<u64>().map_err(|_| format!("bad budget {s:?}"));
+                match (parse(p50), parse(p90), parse(p99), parse(lag)) {
+                    (Ok(p50_ns), Ok(p90_ns), Ok(p99_ns), Ok(lag_p99_ns)) => {
+                        self.service.set_slo(SloPolicy {
+                            p50_ns,
+                            p90_ns,
+                            p99_ns,
+                            lag_p99_ns,
+                            ..*self.service_slo_policy()
+                        });
+                        Reply::ok("slo updated")
+                    }
+                    (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (.., Err(e)) => {
+                        Reply::err(e)
+                    }
+                }
+            }
+            _ => Reply::err(
+                "usage: config backend <kind> | config policy <shed|block> | \
+                 config drain-every <n> | config slo <p50> <p90> <p99> <lag-p99>",
+            ),
+        }
+    }
+
+    fn service_slo_policy(&self) -> &SloPolicy {
+        // The tracker's current policy (windows/min_samples survive a
+        // budget edit).
+        self.service.slo_policy()
+    }
+
+    fn after_admit(&mut self) {
+        self.since_drain += 1;
+        if self.drain_every > 0 && self.since_drain >= self.drain_every {
+            self.service.drain();
+            self.since_drain = 0;
+        }
+    }
+}
+
+/// Serves a full session over any line stream: reads requests from
+/// `input`, writes replies to `output`, stops on EOF or `quit`.
+/// Returns whether the peer asked to quit (vs plain EOF).
+pub fn serve<R: std::io::BufRead, W: std::io::Write>(
+    session: &mut DaemonSession,
+    input: R,
+    mut output: W,
+) -> std::io::Result<bool> {
+    for line in input.lines() {
+        let line = line?;
+        let Some(reply) = session.handle_line(&line) else {
+            continue;
+        };
+        writeln!(output, "{}", reply.text)?;
+        output.flush()?;
+        if reply.quit {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// A one-line JSON summary a client (e.g. `tulkun status`) can request
+/// remotely and a human can read: status + SLO verdict.
+pub fn status_line(session: &mut DaemonSession) -> String {
+    let status = crate::json::to_string(&session.service.status().to_json());
+    let slo = crate::json::to_string(&session.service.slo().to_json());
+    format!("{{\"status\":{status},\"slo\":{slo}}}")
+}

@@ -63,6 +63,8 @@
 //! assert!(!report.holds()); // Fig. 2a's data plane violates the invariant.
 //! ```
 
+pub mod daemon;
+
 pub use tulkun_automata as automata;
 pub use tulkun_baselines as baselines;
 pub use tulkun_bdd as bdd;

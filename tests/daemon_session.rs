@@ -1,0 +1,185 @@
+//! End-to-end tests of the daemon session protocol: a scripted
+//! 500-batch × churn × query session on tiny INet2, driven through the
+//! exact line protocol `tulkun daemon` speaks, must leave the service
+//! in a state byte-equal to applying the same events directly to a
+//! fresh simulator — the daemon adds liveness, never semantics. Held
+//! clean and over a 10% lossy management network, plus a smoke test of
+//! the real binary over a stdin pipe.
+
+use std::process::{Command, Stdio};
+
+use tulkun::core::churn::{ChurnSchedule, TopologyEvent};
+use tulkun::core::fault::FaultProfile;
+use tulkun::daemon::{dataset_session, DaemonConfig, DaemonSession};
+use tulkun::sim::{DvmSim, ServiceConfig, SimConfig};
+
+/// Renders a churn event as its protocol line from source `src`.
+fn churn_line(topo: &tulkun::netmodel::topology::Topology, src: &str, ev: &TopologyEvent) -> String {
+    match ev {
+        TopologyEvent::LinkDown(a, b) => {
+            format!("churn {src} link-down {} {}", topo.name(*a), topo.name(*b))
+        }
+        TopologyEvent::LinkUp(a, b) => {
+            format!("churn {src} link-up {} {}", topo.name(*a), topo.name(*b))
+        }
+        TopologyEvent::DeviceDown(d) => format!("churn {src} device-down {}", topo.name(*d)),
+        TopologyEvent::DeviceUp(d) => format!("churn {src} device-up {}", topo.name(*d)),
+    }
+}
+
+/// Drives a scripted session through [`DaemonSession::handle_line`] and
+/// asserts the final drained Report is byte-equal to a direct replay.
+///
+/// All requests come from one source, so per-source FIFO makes the
+/// apply order equal the script order and the reference replay exact.
+fn run_scripted_session(batches: usize, faults: Option<FaultProfile>) {
+    let cfg = DaemonConfig {
+        service: ServiceConfig {
+            faults,
+            ..ServiceConfig::default()
+        },
+        ..DaemonConfig::default()
+    };
+    let mut session = DaemonSession::new(cfg).expect("daemon session");
+    let topo = session.topology().clone();
+
+    let ds = tulkun::datasets::by_name("INet2", tulkun::datasets::Scale::Tiny).unwrap();
+    let (inv, cp) = dataset_session(&ds.network, "INet2").unwrap();
+    let trace = tulkun::datasets::rule_updates(&ds.network, batches, 13);
+    let churn = ChurnSchedule::seeded(&topo, &inv, 17, batches / 25).0;
+
+    // The script: one batch line per update; every 25th batch is
+    // followed by a churn event; every 10th by a drain; every 50th by
+    // the invariant queries (report/status/slo). All single-source.
+    let mut script: Vec<String> = Vec::new();
+    let mut churn_events = churn.iter();
+    let mut expected: Vec<Result<Vec<tulkun::netmodel::network::RuleUpdate>, TopologyEvent>> =
+        Vec::new();
+    for (i, up) in trace.iter().enumerate() {
+        let batch = vec![up.clone()];
+        script.push(format!(
+            "batch cp {}",
+            tulkun::json::to_string(&batch)
+        ));
+        expected.push(Ok(batch));
+        if (i + 1) % 25 == 0 {
+            if let Some(ev) = churn_events.next() {
+                script.push(churn_line(&topo, "cp", ev));
+                expected.push(Err(*ev));
+            }
+        }
+        if (i + 1) % 10 == 0 {
+            script.push("drain".into());
+        }
+        if (i + 1) % 50 == 0 {
+            script.push("# mid-session invariant queries".into());
+            script.push("report".into());
+            script.push("status".into());
+            script.push("slo".into());
+        }
+    }
+    script.push("drain".into());
+
+    for line in &script {
+        if let Some(reply) = session.handle_line(line) {
+            assert!(
+                reply.text.starts_with("ok "),
+                "request {line:?} failed: {}",
+                reply.text
+            );
+        }
+    }
+    let final_report = session
+        .handle_line("report")
+        .expect("report reply")
+        .text
+        .strip_prefix("ok ")
+        .expect("report is ok")
+        .to_string();
+
+    // Direct replay of the same script against a fresh clean simulator
+    // (the lossy session must converge to the clean fixpoint).
+    let mut reference = DvmSim::new(&ds.network, &cp, &inv.packet_space, SimConfig::default());
+    reference.burst();
+    for step in &expected {
+        match step {
+            Ok(batch) => {
+                reference.apply_batch(batch);
+            }
+            // Planner-rejected events change nothing on either side.
+            Err(ev) => {
+                let _ = reference.apply_topology_event(ev, &topo, &inv);
+            }
+        }
+    }
+    let reference_report =
+        String::from_utf8(reference.report().canonical_bytes()).expect("utf8 report");
+    assert_eq!(final_report, reference_report, "daemon diverged from direct replay");
+
+    let status = session.service_mut().status();
+    assert_eq!(status.queued, 0, "final drain left work queued");
+    assert_eq!(status.shed, 0, "single-source script under the cap never sheds");
+    assert!(status.processed as usize >= batches, "all batches processed");
+}
+
+#[test]
+fn scripted_session_matches_direct_replay() {
+    run_scripted_session(500, None);
+}
+
+#[test]
+fn scripted_session_matches_clean_replay_under_loss() {
+    run_scripted_session(200, Some(FaultProfile::loss(23, 0.10)));
+}
+
+#[test]
+fn daemon_binary_speaks_the_protocol_over_stdin() {
+    // A real batch for the wire: one insert on the INet2 dataset.
+    let ds = tulkun::datasets::by_name("INet2", tulkun::datasets::Scale::Tiny).unwrap();
+    let update = tulkun::datasets::rule_updates(&ds.network, 1, 5).remove(0);
+    let batch_json = tulkun::json::to_string(&vec![update]);
+
+    let script = format!(
+        "# smoke script\n\
+         status\n\
+         batch ops {batch_json}\n\
+         churn net link-down SEAT LOSA\n\
+         drain\n\
+         report\n\
+         slo\n\
+         badcmd\n\
+         quit\n"
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tulkun"))
+        .args(["daemon", "--name", "INet2", "--scale", "tiny"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    use std::io::Write;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("daemon run");
+    assert!(
+        out.status.success(),
+        "daemon exited nonzero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let replies: Vec<&str> = stdout.lines().collect();
+    // Comment swallowed; 8 requests → 8 replies.
+    assert_eq!(replies.len(), 8, "unexpected replies: {stdout}");
+    assert!(replies[0].starts_with("ok {\"admitted\""), "status: {}", replies[0]);
+    assert!(replies[1].starts_with("ok admitted=1"), "batch: {}", replies[1]);
+    assert!(replies[2].starts_with("ok queued="), "churn: {}", replies[2]);
+    assert!(replies[3].starts_with("ok processed=2"), "drain: {}", replies[3]);
+    assert!(replies[4].starts_with("ok ["), "report: {}", replies[4]);
+    assert!(replies[5].starts_with("ok {\"ok\""), "slo: {}", replies[5]);
+    assert!(replies[6].starts_with("err unknown request"), "badcmd: {}", replies[6]);
+    assert_eq!(replies[7], "ok bye");
+}
