@@ -22,6 +22,13 @@
 #                 interleaved with link/device down/up events; fails on
 #                 any epoch-final Report divergence
 #                 (tests/churn_matrix.rs, release mode)
+#   intent-matrix substrate equivalence under runtime intent churn:
+#                 seeds {1,7,23,101} x loss {0%,10%} x intent
+#                 install/remove interleaved with FIB batches, driven
+#                 through the unified RuntimeEvent API on all four
+#                 substrates; fails if any per-op Report diverges from
+#                 the merged standalone per-intent reference
+#                 (tests/intent_matrix.rs, release mode)
 #   backend-matrix  predicate-backend equivalence: backend {deltanet,
 #                 intervals, auto} x substrate {event sim, faulty event
 #                 sim, threaded run} x loss {0%,10%} must produce
@@ -122,6 +129,10 @@ stage_churn_matrix() {
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test churn_matrix
 }
 
+stage_intent_matrix() {
+    TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test intent_matrix
+}
+
 stage_backend_matrix() {
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test backend_equivalence
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun-baselines --test backend_agreement
@@ -159,7 +170,7 @@ stage_perf_gate() {
     # are measured CPU time, and the budgets carry >10x headroom.)
     cargo run --release -p tulkun-bench --bin check_figures -- \
         --diff BENCH_daemon.json "$fresh" \
-        --exact "dataset,policy,batches,churn,queries,admitted,shed,processed,slo ok,same report"
+        --exact "dataset,policy,loss,batches,churn,intents,queries,admitted,shed,processed,rej intents,slo ok,same report"
     # The latency budget itself: p99 handle time may not regress past
     # the tolerance band. Meaningful only on a multi-core box — on one
     # CPU the daemon and the sim's bookkeeping share a core and the
@@ -211,7 +222,8 @@ stage_obs_smoke() {
 stage_doc_check() {
     for name in Engine ThreadedEngine FaultyTransport RuntimeStats \
                 TelemetryConfig MetricsRegistry \
-                DaemonSession SloTracker AdmissionPolicy; do
+                DaemonSession SloTracker AdmissionPolicy \
+                IntentStore RuntimeEvent; do
         for doc in README.md DESIGN.md; do
             if ! grep -q "$name" "$doc"; then
                 echo "doc-check: $doc does not mention $name" >&2
@@ -225,18 +237,19 @@ stage_doc_check() {
 run_stage() {
     echo "== ci.sh: $1 =="
     case "$1" in
-        build|test|lint|fmt|fault-matrix|churn-matrix|backend-matrix|bench-smoke|perf-gate|obs-smoke|doc-check)
+        build|test|lint|fmt|fault-matrix|churn-matrix|intent-matrix|backend-matrix|bench-smoke|perf-gate|obs-smoke|doc-check)
             run_with_timeout "$1"
             ;;
         all)
             for s in build test lint fmt fault-matrix churn-matrix \
-                     backend-matrix bench-smoke perf-gate obs-smoke doc-check; do
+                     intent-matrix backend-matrix bench-smoke perf-gate \
+                     obs-smoke doc-check; do
                 run_stage "$s"
             done
             ;;
         *)
             echo "ci.sh: unknown stage '$1'" >&2
-            echo "stages: build test lint fmt fault-matrix churn-matrix backend-matrix bench-smoke perf-gate obs-smoke doc-check all" >&2
+            echo "stages: build test lint fmt fault-matrix churn-matrix intent-matrix backend-matrix bench-smoke perf-gate obs-smoke doc-check all" >&2
             exit 2
             ;;
     esac

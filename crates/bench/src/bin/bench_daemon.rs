@@ -1,14 +1,16 @@
 //! The daemon replay workload behind the `perf-gate` CI stage: drives
 //! the always-on [`Service`] through a multi-source session of FIB
-//! batches, live churn and snapshot queries — once per admission
-//! policy — and emits `bench_daemon.json`.
+//! batches, live churn, runtime intent churn and snapshot queries —
+//! per admission policy and management-plane loss rate — and emits
+//! `bench_daemon.json`.
 //!
 //! Column contract (the perf-gate relies on it):
 //!
-//! * Label and counter columns (`dataset`..`same report`) are
+//! * Label and counter columns (`dataset`..`rej intents`) are
 //!   *deterministic* for a given workload — admission decisions depend
-//!   only on queue lengths, never on timing — and are diffed exactly
-//!   against the committed `BENCH_daemon.json`.
+//!   only on queue lengths, churn state and seeded loss, never on
+//!   timing — and are diffed exactly against the committed
+//!   `BENCH_daemon.json`.
 //! * Timing columns (`p50 ns` etc.) are raw nanosecond integers,
 //!   bucket-quantized to the telemetry histogram's 1-2-5 grid (stable
 //!   across runs unless latency actually moves a bucket); `p99 ns` is
@@ -16,13 +18,19 @@
 //!
 //! `same report` is the workload's correctness bit: the service's final
 //! drained Report must be byte-equal to applying the same admitted
-//! requests directly to a fresh simulator.
+//! requests — including intent installs/removals, replayed under their
+//! original ids — directly to a fresh *clean* simulator (the lossy row
+//! must converge to the clean fixpoint).
 
 use tulkun_bench::{Cli, FigureTable};
 use tulkun_core::churn::{ChurnSchedule, TopologyEvent};
+use tulkun_core::count::CountExpr;
+use tulkun_core::fault::FaultProfile;
+use tulkun_core::intent::IntentId;
 use tulkun_core::planner::Planner;
+use tulkun_core::spec::{Behavior, Invariant, PathExpr};
 use tulkun_datasets::{by_name, rule_updates};
-use tulkun_netmodel::network::RuleUpdate;
+use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_sim::{AdmissionPolicy, DvmSim, Service, ServiceConfig, ServiceRequest, SimConfig};
 use tulkun_telemetry::{CONVERGENCE_LAG_NS, HANDLE_NS};
 
@@ -30,6 +38,35 @@ use tulkun_telemetry::{CONVERGENCE_LAG_NS, HANDLE_NS};
 enum Applied {
     Batch(Vec<RuleUpdate>),
     Churn(TopologyEvent),
+    /// An install the service accepted, under the id it allocated.
+    IntentAdd(IntentId, Invariant),
+    IntentRemove(IntentId),
+}
+
+/// The narrow runtime intent the workload churns: subset reachability
+/// toward the same external destination from one ingress, same
+/// outcome-vector shape as the base invariant.
+fn narrow_intent(net: &Network) -> Invariant {
+    let topo = &net.topology;
+    let (dst, _) = topo.external_map().next().expect("external prefixes");
+    let dst_name = topo.name(dst);
+    let prefix = topo.external_prefixes(dst)[0];
+    let ingress = topo
+        .devices()
+        .find(|d| *d != dst)
+        .map(|d| topo.name(d).to_string())
+        .expect("an ingress");
+    let path = PathExpr::parse(&format!(". * {dst_name}"))
+        .unwrap()
+        .loop_free()
+        .shortest_plus(2);
+    Invariant::builder()
+        .name(format!("narrow reach {ingress} -> {dst_name}"))
+        .packet_space(tulkun_core::spec::PacketSpace::DstPrefix(prefix))
+        .ingress([ingress])
+        .behavior(Behavior::exist(CountExpr::ge(1), path.clone()).and(Behavior::covered(path)))
+        .build()
+        .expect("narrow intent")
 }
 
 fn main() {
@@ -41,16 +78,19 @@ fn main() {
 
     let mut t = FigureTable::new(
         "bench_daemon",
-        "always-on daemon: admission, SLO windows, report equivalence",
+        "always-on daemon: admission, intent churn, SLO windows, report equivalence",
         &[
             "dataset",
             "policy",
+            "loss",
             "batches",
             "churn",
+            "intents",
             "queries",
             "admitted",
             "shed",
             "processed",
+            "rej intents",
             "p50 ns",
             "p90 ns",
             "p99 ns",
@@ -72,33 +112,50 @@ fn main() {
         let inv = tulkun_bench::workload::wan_invariant(net, dst, &prefixes);
         let plan = Planner::new(topo).plan(&inv).expect("plannable");
         let cp = plan.counting().expect("counting plan").clone();
+        let narrow = narrow_intent(net);
 
         let trace = rule_updates(net, cli.updates, 7);
         let churn = ChurnSchedule::seeded(topo, &inv, 11, 6).0;
 
-        for policy in [AdmissionPolicy::Block, AdmissionPolicy::Shed] {
+        for (policy, loss) in [
+            (AdmissionPolicy::Block, 0.0),
+            (AdmissionPolicy::Shed, 0.0),
+            (AdmissionPolicy::Shed, 0.10),
+        ] {
             let cfg = ServiceConfig {
                 policy,
                 // Three sub-batches per source turn against a cap of 2:
                 // Block drains mid-turn and stays lossless, Shed drops
-                // the third — the two rows differ only in policy.
+                // the third — the rows differ only in policy and loss.
                 per_source_cap: 2,
+                faults: (loss > 0.0).then(|| FaultProfile::loss(31, loss)),
                 ..ServiceConfig::default()
             };
             let mut svc = Service::new(net, &cp, &inv, cfg);
 
-            // The session: each source turn offers 3 batches of 4
-            // updates (sources alternate) and drains; every 2nd turn a
-            // third source then offers one churn event and drains
-            // again (its own round — drain is round-robin across
-            // sources, so sharing a round would interleave the churn
-            // between batches and break the linear replay below);
-            // every 4th turn queries status + report.
+            // The session runs in two regimes (runtime intents and
+            // live topology churn are mutually exclusive: installs
+            // need a quiet topology, churn needs an intent-free
+            // store). First two thirds: every 3rd source turn a
+            // fourth source toggles the narrow intent (install when
+            // absent, remove when live), interleaved with the FIB
+            // batches; any live intent is removed in the last quiet
+            // turn. Final third: every 2nd turn the "net" source
+            // offers one churn event and drains again (its own round —
+            // drain is round-robin across sources, so sharing a round
+            // would interleave the churn between batches and break
+            // the linear replay below). Every 4th turn queries
+            // status + report. Only state the service actually
+            // committed (reconciled against the intent store around
+            // each drain) enters the replay.
             let mut applied: Vec<Applied> = Vec::new();
             let mut batches = 0u64;
             let mut churn_admitted = 0u64;
+            let mut intent_ops = 0u64;
             let mut queries = 0u64;
             let mut churn_iter = churn.iter().cycle();
+            let groups = trace.chunks(12).count();
+            let churn_start = groups * 2 / 3;
             for (g, group) in trace.chunks(12).enumerate() {
                 let source = if g % 2 == 0 { "cp" } else { "ops" };
                 for chunk in group.chunks(4) {
@@ -111,7 +168,7 @@ fn main() {
                     }
                 }
                 svc.drain();
-                if g % 2 == 1 {
+                if g >= churn_start && g % 2 == 1 {
                     if let Some(ev) = churn_iter.next() {
                         if svc.offer("net", ServiceRequest::Churn(*ev)).is_ok() {
                             // Planner-rejected events are still counted
@@ -122,6 +179,44 @@ fn main() {
                         }
                     }
                     svc.drain();
+                }
+                let live_non_base: Vec<u64> = svc
+                    .intents()
+                    .live()
+                    .map(|i| i.id.0)
+                    .filter(|id| *id != 0)
+                    .collect();
+                // No installs in the turn before churn begins: the
+                // churn regime needs an intent-free store.
+                let toggle = g + 1 < churn_start && g % 3 == 2;
+                let evict = g + 1 == churn_start && !live_non_base.is_empty();
+                if toggle || evict {
+                    let req = match live_non_base.last() {
+                        Some(id) => ServiceRequest::IntentRemove(IntentId(*id)),
+                        None => ServiceRequest::IntentAdd {
+                            name: "narrow".into(),
+                            invariant: narrow.clone(),
+                        },
+                    };
+                    let next_id = svc.intents().next_intent_id();
+                    if svc.offer("intent", req).is_ok() {
+                        svc.drain();
+                        let now: Vec<u64> = svc
+                            .intents()
+                            .live()
+                            .map(|i| i.id.0)
+                            .filter(|id| *id != 0)
+                            .collect();
+                        if now.len() > live_non_base.len() {
+                            applied.push(Applied::IntentAdd(IntentId(next_id), narrow.clone()));
+                            intent_ops += 1;
+                        } else if now.len() < live_non_base.len() {
+                            applied.push(Applied::IntentRemove(IntentId(
+                                *live_non_base.last().unwrap(),
+                            )));
+                            intent_ops += 1;
+                        }
+                    }
                 }
                 if g % 4 == 3 {
                     let _ = svc.status();
@@ -135,7 +230,11 @@ fn main() {
             let verdict = svc.slo();
 
             // Reference: the same admitted requests, applied directly.
-            let mut reference = DvmSim::new(net, &cp, &inv.packet_space, SimConfig::default());
+            let sim_cfg = SimConfig {
+                all_devices: true,
+                ..SimConfig::default()
+            };
+            let mut reference = DvmSim::new(net, &cp, &inv.packet_space, sim_cfg);
             reference.burst();
             for a in &applied {
                 match a {
@@ -146,6 +245,14 @@ fn main() {
                         // The service counted planner-rejected events
                         // without applying them; mirror that.
                         let _ = reference.apply_topology_event(ev, topo, &inv);
+                    }
+                    Applied::IntentAdd(id, inv) => {
+                        reference
+                            .install_intent_as(*id, "narrow", inv)
+                            .expect("replay install");
+                    }
+                    Applied::IntentRemove(id) => {
+                        reference.remove_intent(*id).expect("replay remove");
                     }
                 }
             }
@@ -160,12 +267,15 @@ fn main() {
                     AdmissionPolicy::Block => "block".into(),
                     AdmissionPolicy::Shed => "shed".into(),
                 },
+                format!("{}%", (loss * 100.0) as u32),
                 batches.to_string(),
                 churn_admitted.to_string(),
+                intent_ops.to_string(),
                 queries.to_string(),
                 status.admitted.to_string(),
                 status.shed.to_string(),
                 status.processed.to_string(),
+                status.rejected_intents.to_string(),
                 q(0.50).to_string(),
                 q(0.90).to_string(),
                 q(0.99).to_string(),

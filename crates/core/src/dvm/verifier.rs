@@ -94,7 +94,12 @@ pub struct VerifierStats {
 #[derive(Debug)]
 struct NodeState<P> {
     task: NodeTask,
-    /// Packet sets this node counts for (packet space + subscriptions).
+    /// The node's base packet space: the space of the intent (or plan)
+    /// that installed it. Nodes of one verifier may belong to different
+    /// intents with different packet spaces; `scope` always starts at —
+    /// and a reboot resets it to — this base.
+    base: P,
+    /// Packet sets this node counts for (base space + subscriptions).
     scope: P,
     /// Indices of LEC classes intersecting `scope` — the only classes
     /// counting ever touches (devices hold thousands of classes, an
@@ -226,6 +231,7 @@ impl<'a, B: PredicateBackend> VerifierBuilderIn<'a, B> {
                 task.node,
                 NodeState {
                     task,
+                    base: ps,
                     scope: ps,
                     relevant: Vec::new(),
                     cib_in: BTreeMap::new(),
@@ -716,6 +722,26 @@ impl<B: PredicateBackend> DeviceVerifierIn<B> {
     /// diff-based UPDATEs stay correct — and `CIBIn` keeps entries for
     /// surviving downstream nodes.
     pub fn set_tasks(&mut self, tasks: Vec<NodeTask>, out: &mut dyn Outbox) {
+        let base = self.packet_space;
+        self.install_tasks_pred(tasks, base, out);
+    }
+
+    /// Installs (or re-tasks) DPVNet nodes whose *base packet space* is
+    /// `space` — the per-intent form of [`DeviceVerifierIn::set_tasks`].
+    /// Existing nodes keep the base they were installed with (only
+    /// their task — upstream/downstream edges, accept flags — is
+    /// replaced); new nodes start counting over `space`.
+    pub fn install_tasks(
+        &mut self,
+        tasks: Vec<NodeTask>,
+        space: &PortablePred,
+        out: &mut dyn Outbox,
+    ) {
+        let base = self.backend.import(space);
+        self.install_tasks_pred(tasks, base, out);
+    }
+
+    fn install_tasks_pred(&mut self, tasks: Vec<NodeTask>, base: B::Pred, out: &mut dyn Outbox) {
         let mut touched = Vec::with_capacity(tasks.len());
         for task in tasks {
             assert_eq!(task.dev, self.dev);
@@ -730,11 +756,12 @@ impl<B: PredicateBackend> DeviceVerifierIn<B> {
                     node,
                     NodeState {
                         task,
-                        scope: self.packet_space,
+                        base,
+                        scope: base,
                         relevant: Vec::new(),
                         cib_in: BTreeMap::new(),
-                        loc_cib: vec![(self.packet_space, zero.clone())],
-                        cib_out: vec![(self.packet_space, zero)],
+                        loc_cib: vec![(base, zero.clone())],
+                        cib_out: vec![(base, zero)],
                         sent_subs: BTreeMap::new(),
                     },
                 );
@@ -857,12 +884,11 @@ impl<B: PredicateBackend> DeviceVerifierIn<B> {
     /// [`DeviceVerifierIn::replay_for_restart`] on each neighbor.
     pub fn reboot(&mut self, out: &mut dyn Outbox) {
         let dim = self.cfg.dim();
-        let ps = self.packet_space;
         for st in self.nodes.values_mut() {
-            st.scope = ps;
+            st.scope = st.base;
             st.cib_in.clear();
-            st.loc_cib = vec![(ps, Counts::zero(dim))];
-            st.cib_out = vec![(ps, Counts::zero(dim))];
+            st.loc_cib = vec![(st.base, Counts::zero(dim))];
+            st.cib_out = vec![(st.base, Counts::zero(dim))];
             st.sent_subs.clear();
         }
         self.refresh_relevance();
@@ -1298,9 +1324,12 @@ impl<B: PredicateBackend> DeviceVerifierIn<B> {
                     .get(&vn)
                     .copied()
                     .unwrap_or_else(|| self.backend.falsum());
-                // Downstream scopes start at the packet space; only the
+                // Downstream scopes start at the node's base packet
+                // space (every DPVNet edge connects nodes installed by
+                // the same intent, hence sharing a base); only the
                 // region beyond it needs subscribing.
-                let known = self.backend.or(already, self.packet_space);
+                let base = self.nodes[&node].base;
+                let known = self.backend.or(already, base);
                 let newspace = self.backend.diff(img, known);
                 if self.backend.is_false(newspace) {
                     continue;

@@ -1,0 +1,82 @@
+//! The unified runtime-event API every execution substrate consumes.
+//!
+//! Before this module, each substrate (the synchronous [`Session`],
+//! the discrete-event engine, the threaded runner and their sim /
+//! distributed wrappers) grew one mutation method per feature —
+//! `apply_batch`, `apply_topology_event`, `crash_restart`,
+//! `set_backend`, and now the intent ops — five parallel method
+//! quintuples that had to be extended in lockstep. [`RuntimeEvent`]
+//! collapses them into one enum consumed by a single
+//! [`Substrate::apply_event`] entry point; the old names survive as
+//! thin delegating wrappers on each substrate.
+//!
+//! [`Session`]: crate::verify::Session
+
+use crate::churn::TopologyEvent;
+use crate::intent::IntentId;
+use crate::planner::PlanError;
+use crate::spec::Invariant;
+use tulkun_netmodel::network::RuleUpdate;
+use tulkun_netmodel::topology::Topology;
+use tulkun_netmodel::DeviceId;
+use tulkun_predicate::BackendKind;
+
+/// One runtime mutation, uniform across substrates.
+#[derive(Debug, Clone)]
+pub enum RuntimeEvent {
+    /// A burst of FIB rule updates, coalesced per device.
+    Batch(Vec<RuleUpdate>),
+    /// A live topology churn event. Carries the *base* (pre-churn)
+    /// topology and the invariant the running base plan was compiled
+    /// from — exactly the extra arguments every substrate's
+    /// `apply_topology_event` took.
+    Topology {
+        /// The link/device up/down event.
+        event: TopologyEvent,
+        /// The original topology the cumulative churn applies to.
+        base: Topology,
+        /// The base invariant to re-plan.
+        invariant: Invariant,
+    },
+    /// Crash one device's verification agent and restart it from its
+    /// neighbors' durable state.
+    CrashRestart(DeviceId),
+    /// Hot-swap the predicate backend.
+    SetBackend(BackendKind),
+    /// Compile an invariant and install it as a new runtime intent
+    /// (its DPVNet slice is deduplicated against live intents).
+    InstallIntent {
+        /// Human-readable intent name.
+        name: String,
+        /// The invariant to install.
+        invariant: Invariant,
+    },
+    /// Remove a live intent; only nodes no surviving intent owns are
+    /// uninstalled.
+    RemoveIntent(IntentId),
+}
+
+/// What applying a [`RuntimeEvent`] produced, uniform across
+/// substrates (each keeps richer per-substrate results on its native
+/// methods).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventOutcome {
+    /// Messages the event caused, when the substrate counts them
+    /// synchronously (0 for fire-and-forget substrates).
+    pub messages: usize,
+    /// The new intent's id, for [`RuntimeEvent::InstallIntent`].
+    pub intent: Option<IntentId>,
+    /// `(total_nodes, reused_nodes)` slice accounting for intent
+    /// events — the dedup/locality evidence.
+    pub slice: Option<(usize, usize)>,
+}
+
+/// The shared substrate trait: every execution substrate applies the
+/// same events. Substrates reject events outside their model (e.g. the
+/// synchronous reference session has no crash/restart) with
+/// [`PlanError::Unsupported`] instead of silently ignoring them.
+pub trait Substrate {
+    /// Applies one runtime event and (for synchronous substrates) runs
+    /// re-convergence.
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError>;
+}

@@ -1,0 +1,800 @@
+//! The runtime intent store: invariant add/remove as first-class
+//! events, with per-intent DPVNet slices deduplicated across intents.
+//!
+//! Production networks carry many concurrent reachability intents that
+//! come and go independently; each compiles to its own DPVNet touching
+//! only a slice of the network. The store keeps every installed
+//! intent's plan in its *intent-local* node ids and maintains one
+//! *global* node table shared by all of them:
+//!
+//! * **Slicing** — installing an intent only produces tasks for the
+//!   devices its DPVNet actually touches ([`IntentDelta::changed`]);
+//!   the rest of the network is untouched (the `ReplanDelta`-style
+//!   `total_nodes`/`reused_nodes` counters evidence this).
+//! * **Dedup** — structurally identical nodes of different intents
+//!   (same packet-space context, device, accept flags and downstream
+//!   cone) are hash-consed onto one global node, so two intents sharing
+//!   a node pay for its counting once. Ownership is refcounted
+//!   ([`GlobalNode`]'s owner and per-upstream-edge intent sets):
+//!   removing an intent only uninstalls what no surviving intent needs.
+//! * **Epoch interaction** — the store is pure bookkeeping; substrates
+//!   apply an [`IntentDelta`] under the PR-5 epoch fence (bump, apply
+//!   tasks, re-announce), so in-flight CIB messages from a superseded
+//!   intent set can never corrupt the new fixpoint.
+//!
+//! Soundness of sharing: a node's counting results depend only on its
+//! downstream cone (accept flags + structure), its device's FIB, and
+//! its base packet space. The interning key covers all three — the
+//! packet-space *context* is part of the key, so nodes of intents with
+//! different packet spaces never merge — hence a shared node computes
+//! exactly what each owning intent's standalone plan would.
+
+use crate::count::ReduceMode;
+use crate::dpvnet::NodeId;
+use crate::planner::{CountingPlan, NodeTask, PlanError};
+use crate::spec::{Invariant, PacketSpace};
+use std::collections::{BTreeMap, BTreeSet};
+use tulkun_netmodel::DeviceId;
+
+/// Identifier of one installed intent. Id 0 is the *base* intent: the
+/// plan the substrate was constructed with (legacy single-plan
+/// sessions are exactly "a store holding only intent 0").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntentId(pub u64);
+
+impl IntentId {
+    /// The base intent: the invariant the substrate was constructed
+    /// with. It anchors the session and cannot be removed.
+    pub const BASE: IntentId = IntentId(0);
+}
+
+impl std::fmt::Display for IntentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The counting profile every intent of one store must share: the
+/// on-device verifiers carry a single outcome-vector dimension and
+/// reduction mode for all hosted nodes, so intents with a different
+/// shape are rejected at install time instead of corrupting counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntentProfile {
+    /// Number of path expressions (outcome-vector components).
+    pub n_exprs: usize,
+    /// Whether the escape component is tracked.
+    pub track_escapes: bool,
+    /// Minimal-counting-information reduction mode.
+    pub reduce: ReduceMode,
+}
+
+impl IntentProfile {
+    fn of(plan: &CountingPlan) -> IntentProfile {
+        IntentProfile {
+            n_exprs: plan.exprs.len(),
+            track_escapes: plan.track_escapes,
+            reduce: plan.reduce,
+        }
+    }
+}
+
+/// One installed intent: its own counting plan (intent-local node ids)
+/// plus the mapping onto the store's global node table.
+#[derive(Debug, Clone)]
+pub struct InstalledIntent {
+    /// The intent's id.
+    pub id: IntentId,
+    /// Human-readable name (daemon protocol, status lines).
+    pub name: String,
+    /// The invariant, when known. The base intent of a store built
+    /// straight from a counting plan has none.
+    pub invariant: Option<Invariant>,
+    /// The intent's counting plan, in intent-local node ids — exactly
+    /// what a standalone session for this invariant would run.
+    pub plan: CountingPlan,
+    /// Intent-local node id (as index) → global node id.
+    pub to_global: Vec<NodeId>,
+    ctx: usize,
+}
+
+impl InstalledIntent {
+    /// Index of the intent's packet-space context in its store (nodes
+    /// only ever merge within one context).
+    pub fn context(&self) -> usize {
+        self.ctx
+    }
+
+    /// The distinct global nodes of this intent's slice.
+    pub fn global_nodes(&self) -> BTreeSet<NodeId> {
+        self.to_global.iter().copied().collect()
+    }
+
+    /// The devices this intent's slice touches.
+    pub fn devices(&self) -> BTreeSet<DeviceId> {
+        self.plan.tasks.iter().map(|t| t.dev).collect()
+    }
+}
+
+/// The structural part of a [`SigKey`]: device, accept vector, sorted
+/// downstream edges. Used to count same-signature duplicates while
+/// seeding.
+type NodeSig = (DeviceId, Vec<bool>, Vec<(NodeId, DeviceId)>);
+
+/// Hash-consing key of a global node. `children` are *global* ids, so
+/// a node's identity is exact (its whole downstream cone is pinned by
+/// construction); `occurrence` separates structurally identical
+/// duplicates *within* one intent so a standalone plan's node
+/// multiplicity is preserved.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SigKey {
+    ctx: usize,
+    dev: DeviceId,
+    accept: Vec<bool>,
+    children: Vec<(NodeId, DeviceId)>,
+    occurrence: u32,
+}
+
+/// One node of the global table, refcounted by owning intents.
+#[derive(Debug, Clone)]
+struct GlobalNode {
+    dev: DeviceId,
+    accept: Vec<bool>,
+    /// Downstream edges (global child ids), fixed for the node's
+    /// lifetime — part of its hash-consed identity.
+    downstream: Vec<(NodeId, DeviceId)>,
+    /// Upstream edges → the intents contributing each. An edge dies
+    /// when its last contributor is removed.
+    upstream: BTreeMap<(NodeId, DeviceId), BTreeSet<u64>>,
+    /// Intents that installed this node.
+    owners: BTreeSet<u64>,
+    key: SigKey,
+}
+
+/// What a substrate must apply after an install/remove: per-device
+/// task changes and node removals (global ids), plus the slice-reuse
+/// accounting that evidences slicing locality.
+#[derive(Debug, Clone, Default)]
+pub struct IntentDelta {
+    /// Tasks to install or re-task, per device (global node ids).
+    pub changed: BTreeMap<DeviceId, Vec<NodeTask>>,
+    /// Nodes to drop, per device.
+    pub removed: BTreeMap<DeviceId, Vec<NodeId>>,
+    /// Base packet space for *new* nodes (the installing intent's);
+    /// `None` for removals (removals never create nodes).
+    pub space: Option<PacketSpace>,
+    /// Distinct global nodes in the intent's slice.
+    pub total_nodes: usize,
+    /// Slice nodes shared with previously installed intents.
+    pub reused_nodes: usize,
+}
+
+impl IntentDelta {
+    /// Devices this delta touches (re-plan locality evidence).
+    pub fn touched_devices(&self) -> BTreeSet<DeviceId> {
+        self.changed
+            .keys()
+            .chain(self.removed.keys())
+            .copied()
+            .collect()
+    }
+}
+
+/// The `IntentId`-keyed intent store (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct IntentStore {
+    profile: Option<IntentProfile>,
+    contexts: Vec<PacketSpace>,
+    nodes: BTreeMap<NodeId, GlobalNode>,
+    intern: BTreeMap<SigKey, NodeId>,
+    intents: BTreeMap<u64, InstalledIntent>,
+    next_node: u32,
+    next_intent: u64,
+}
+
+impl IntentStore {
+    /// An empty store (no base intent).
+    pub fn new() -> IntentStore {
+        IntentStore::default()
+    }
+
+    /// A store seeded with the *base* intent (id 0) under an
+    /// **identity** local↔global node mapping, so a legacy single-plan
+    /// substrate behaves byte-identically to before the store existed.
+    pub fn with_base(
+        plan: CountingPlan,
+        space: PacketSpace,
+        invariant: Option<Invariant>,
+    ) -> IntentStore {
+        let mut store = IntentStore::new();
+        store.seed_base(plan, space, invariant);
+        store
+    }
+
+    /// Replaces the store's contents with a fresh base intent (used
+    /// after a topology churn re-plan, which is only supported while
+    /// the base intent is the sole live intent).
+    pub fn rebase(&mut self, plan: CountingPlan, space: PacketSpace, invariant: Option<Invariant>) {
+        *self = IntentStore::new();
+        self.seed_base(plan, space, invariant);
+    }
+
+    fn seed_base(&mut self, plan: CountingPlan, space: PacketSpace, invariant: Option<Invariant>) {
+        assert!(self.intents.is_empty(), "base intent must be seeded first");
+        self.profile = Some(IntentProfile::of(&plan));
+        self.contexts.push(space);
+        let by_local = local_tasks(&plan);
+        let order = topo_order(&by_local);
+        let n_local = by_local.len();
+        let mut occ: BTreeMap<NodeSig, u32> = BTreeMap::new();
+        for ln in order {
+            let t = &by_local[&ln];
+            // Identity mapping: the base intent's local ids ARE the
+            // global ids.
+            let children = sorted_edges(t.downstream.iter().map(|(n, d)| (*n, *d)));
+            let sig = (t.dev, t.accept.clone(), children.clone());
+            let o = occ.entry(sig).or_insert(0);
+            let key = SigKey {
+                ctx: 0,
+                dev: t.dev,
+                accept: t.accept.clone(),
+                children: children.clone(),
+                occurrence: *o,
+            };
+            *o += 1;
+            self.intern.insert(key.clone(), ln);
+            self.nodes.insert(
+                ln,
+                GlobalNode {
+                    dev: t.dev,
+                    accept: t.accept.clone(),
+                    downstream: children,
+                    upstream: BTreeMap::new(),
+                    owners: BTreeSet::from([0u64]),
+                    key,
+                },
+            );
+            self.next_node = self.next_node.max(ln.0 + 1);
+        }
+        for t in by_local.values() {
+            for (cl, _) in &t.downstream {
+                self.nodes
+                    .get_mut(cl)
+                    .expect("downstream node exists")
+                    .upstream
+                    .entry((t.node, t.dev))
+                    .or_default()
+                    .insert(0);
+            }
+        }
+        let to_global: Vec<NodeId> = (0..n_local as u32).map(NodeId).collect();
+        self.intents.insert(
+            0,
+            InstalledIntent {
+                id: IntentId(0),
+                name: "base".to_string(),
+                invariant,
+                plan,
+                to_global,
+                ctx: 0,
+            },
+        );
+        self.next_intent = 1;
+    }
+
+    /// Installs an intent: interns its DPVNet slice into the global
+    /// table (children-first, so sharing with existing cones is found
+    /// bottom-up) and returns the per-device delta a substrate must
+    /// apply under an epoch bump. Pass `id = None` to allocate the
+    /// next id; an explicit id is for deterministic replay (hot
+    /// backend swap) and must be unused.
+    pub fn install(
+        &mut self,
+        id: Option<IntentId>,
+        name: &str,
+        invariant: Option<Invariant>,
+        plan: CountingPlan,
+        space: PacketSpace,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        let profile = IntentProfile::of(&plan);
+        match self.profile {
+            None => self.profile = Some(profile),
+            Some(p) if p == profile => {}
+            Some(p) => {
+                return Err(PlanError::Unsupported(format!(
+                    "intent {name:?} has counting profile {profile:?}, \
+                     but this session runs {p:?} (one outcome-vector \
+                     shape per session)"
+                )));
+            }
+        }
+        let id = match id {
+            Some(i) => {
+                if self.intents.contains_key(&i.0) {
+                    return Err(PlanError::Unsupported(format!(
+                        "intent id {i} is already installed"
+                    )));
+                }
+                self.next_intent = self.next_intent.max(i.0 + 1);
+                i
+            }
+            None => {
+                let i = IntentId(self.next_intent);
+                self.next_intent += 1;
+                i
+            }
+        };
+        let ctx = match self.contexts.iter().position(|c| *c == space) {
+            Some(i) => i,
+            None => {
+                self.contexts.push(space.clone());
+                self.contexts.len() - 1
+            }
+        };
+
+        let by_local = local_tasks(&plan);
+        let order = topo_order(&by_local);
+        let n_local = by_local.len();
+        let mut to_global = vec![NodeId(u32::MAX); n_local];
+        let mut occ: BTreeMap<SigKey, u32> = BTreeMap::new();
+        let mut reused = 0usize;
+        let mut fresh: BTreeSet<NodeId> = BTreeSet::new();
+        for ln in order {
+            let t = &by_local[&ln];
+            let children = sorted_edges(
+                t.downstream
+                    .iter()
+                    .map(|(n, d)| (to_global[n.0 as usize], *d)),
+            );
+            let mut key = SigKey {
+                ctx,
+                dev: t.dev,
+                accept: t.accept.clone(),
+                children: children.clone(),
+                occurrence: 0,
+            };
+            // Nth structurally identical duplicate within this intent
+            // claims the Nth matching global node.
+            let o = occ.entry(key.clone()).or_insert(0);
+            key.occurrence = *o;
+            *o += 1;
+            let g = match self.intern.get(&key) {
+                Some(&g) => {
+                    reused += 1;
+                    self.nodes.get_mut(&g).unwrap().owners.insert(id.0);
+                    g
+                }
+                None => {
+                    let g = NodeId(self.next_node);
+                    self.next_node += 1;
+                    self.intern.insert(key.clone(), g);
+                    self.nodes.insert(
+                        g,
+                        GlobalNode {
+                            dev: t.dev,
+                            accept: t.accept.clone(),
+                            downstream: children,
+                            upstream: BTreeMap::new(),
+                            owners: BTreeSet::from([id.0]),
+                            key,
+                        },
+                    );
+                    fresh.insert(g);
+                    g
+                }
+            };
+            to_global[ln.0 as usize] = g;
+        }
+
+        // Contribute upstream edges; a grown edge set means the child
+        // must be re-tasked so it announces along the new edge.
+        let mut retask: BTreeSet<NodeId> = fresh.clone();
+        for t in by_local.values() {
+            let pg = to_global[t.node.0 as usize];
+            let pdev = t.dev;
+            for (cl, _) in &t.downstream {
+                let cg = to_global[cl.0 as usize];
+                let node = self.nodes.get_mut(&cg).expect("child exists");
+                let edge = node.upstream.entry((pg, pdev)).or_default();
+                if edge.is_empty() {
+                    retask.insert(cg);
+                }
+                edge.insert(id.0);
+            }
+        }
+
+        let mut delta = IntentDelta {
+            space: Some(self.contexts[ctx].clone()),
+            total_nodes: to_global.iter().collect::<BTreeSet<_>>().len(),
+            reused_nodes: reused,
+            ..IntentDelta::default()
+        };
+        for g in retask {
+            let task = self.global_task(g);
+            delta.changed.entry(task.dev).or_default().push(task);
+        }
+        self.intents.insert(
+            id.0,
+            InstalledIntent {
+                id,
+                name: name.to_string(),
+                invariant,
+                plan,
+                to_global,
+                ctx,
+            },
+        );
+        Ok((id, delta))
+    }
+
+    /// Removes an intent: drops its ownership refs, removes nodes no
+    /// surviving intent owns, shrinks upstream edge sets, and returns
+    /// the delta a substrate must apply under an epoch bump.
+    pub fn remove(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
+        if id == IntentId::BASE {
+            return Err(PlanError::Unsupported(
+                "the base intent anchors the session and cannot be removed".into(),
+            ));
+        }
+        let Some(intent) = self.intents.remove(&id.0) else {
+            return Err(PlanError::Unsupported(format!(
+                "intent {id} is not installed"
+            )));
+        };
+        let by_local = local_tasks(&intent.plan);
+        // Withdraw this intent's upstream-edge contributions.
+        let mut shrunk: BTreeSet<NodeId> = BTreeSet::new();
+        for t in by_local.values() {
+            let pg = intent.to_global[t.node.0 as usize];
+            let pdev = t.dev;
+            for (cl, _) in &t.downstream {
+                let cg = intent.to_global[cl.0 as usize];
+                let node = self.nodes.get_mut(&cg).expect("child exists");
+                if let Some(refs) = node.upstream.get_mut(&(pg, pdev)) {
+                    refs.remove(&id.0);
+                    if refs.is_empty() {
+                        node.upstream.remove(&(pg, pdev));
+                        shrunk.insert(cg);
+                    }
+                }
+            }
+        }
+        // Drop ownership; sweep nodes nobody owns anymore.
+        let mut delta = IntentDelta::default();
+        for g in intent.global_nodes() {
+            let node = self.nodes.get_mut(&g).expect("owned node exists");
+            node.owners.remove(&id.0);
+            if node.owners.is_empty() {
+                let node = self.nodes.remove(&g).unwrap();
+                self.intern.remove(&node.key);
+                shrunk.remove(&g);
+                delta.removed.entry(node.dev).or_default().push(g);
+            }
+        }
+        for g in shrunk {
+            let task = self.global_task(g);
+            delta.changed.entry(task.dev).or_default().push(task);
+        }
+        delta.total_nodes = intent.to_global.iter().collect::<BTreeSet<_>>().len();
+        delta.reused_nodes =
+            delta.total_nodes - delta.removed.values().map(Vec::len).sum::<usize>();
+        Ok(delta)
+    }
+
+    /// The current [`NodeTask`] of one global node (global ids, sorted
+    /// edges).
+    fn global_task(&self, g: NodeId) -> NodeTask {
+        let node = &self.nodes[&g];
+        NodeTask {
+            node: g,
+            dev: node.dev,
+            downstream: node.downstream.clone(),
+            upstream: node.upstream.keys().copied().collect(),
+            accept: node.accept.clone(),
+        }
+    }
+
+    /// Live intents, in id order.
+    pub fn live(&self) -> impl Iterator<Item = &InstalledIntent> {
+        self.intents.values()
+    }
+
+    /// One live intent.
+    pub fn get(&self, id: IntentId) -> Option<&InstalledIntent> {
+        self.intents.get(&id.0)
+    }
+
+    /// Number of live intents.
+    pub fn len(&self) -> usize {
+        self.intents.len()
+    }
+
+    /// Whether no intent is installed.
+    pub fn is_empty(&self) -> bool {
+        self.intents.is_empty()
+    }
+
+    /// Whether the base intent (id 0) is the *only* live intent — the
+    /// precondition for legacy whole-plan operations (topology churn
+    /// re-planning is not yet intent-aware).
+    pub fn only_base(&self) -> bool {
+        self.intents.len() == 1 && self.intents.contains_key(&0)
+    }
+
+    /// Number of distinct global nodes currently installed.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Every installed node's current task (global ids) — the union
+    /// task table across intents, deduplicated.
+    pub fn global_tasks(&self) -> Vec<NodeTask> {
+        self.nodes.keys().map(|g| self.global_task(*g)).collect()
+    }
+
+    /// The devices currently hosting at least one node.
+    pub fn devices(&self) -> BTreeSet<DeviceId> {
+        self.nodes.values().map(|n| n.dev).collect()
+    }
+
+    /// The id the next `install(None, ..)` will allocate (ids are
+    /// never reused, so this only ever grows).
+    pub fn next_intent_id(&self) -> u64 {
+        self.next_intent
+    }
+
+    /// How many intents own the given global node (dedup evidence).
+    pub fn owner_count(&self, g: NodeId) -> usize {
+        self.nodes.get(&g).map_or(0, |n| n.owners.len())
+    }
+}
+
+/// Tasks of one plan keyed by their local node id.
+fn local_tasks(plan: &CountingPlan) -> BTreeMap<NodeId, &NodeTask> {
+    plan.tasks.iter().map(|t| (t.node, t)).collect()
+}
+
+/// Children-first deterministic order: iterative DFS post-order from
+/// every node in ascending id, following downstream edges.
+fn topo_order(by_local: &BTreeMap<NodeId, &NodeTask>) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(by_local.len());
+    let mut done: BTreeSet<NodeId> = BTreeSet::new();
+    for &root in by_local.keys() {
+        if done.contains(&root) {
+            continue;
+        }
+        // (node, next child index) stack.
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some((n, i)) = stack.pop() {
+            let t = &by_local[&n];
+            if let Some((c, _)) = t.downstream.get(i) {
+                stack.push((n, i + 1));
+                if !done.contains(c) && by_local.contains_key(c) {
+                    stack.push((*c, 0));
+                }
+            } else if done.insert(n) {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+fn sorted_edges(it: impl Iterator<Item = (NodeId, DeviceId)>) -> Vec<(NodeId, DeviceId)> {
+    let mut v: Vec<(NodeId, DeviceId)> = it.collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::CountExpr;
+    use crate::planner::Planner;
+    use crate::spec::{Behavior, PacketSpace, PathExpr};
+    use tulkun_netmodel::fib::{Action, MatchSpec, Rule};
+    use tulkun_netmodel::network::Network;
+    use tulkun_netmodel::topology::Topology;
+    use tulkun_netmodel::IpPrefix;
+
+    fn pfx(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    /// The Figure 2a network (S → A → {B, W} → D).
+    fn fig2a_network() -> Network {
+        let mut t = Topology::new();
+        let s = t.add_device("S");
+        let a = t.add_device("A");
+        let b = t.add_device("B");
+        let w = t.add_device("W");
+        let d = t.add_device("D");
+        t.add_link(s, a, 1000);
+        t.add_link(a, b, 1000);
+        t.add_link(a, w, 1000);
+        t.add_link(b, w, 1000);
+        t.add_link(b, d, 1000);
+        t.add_link(w, d, 1000);
+        t.add_external_prefix(d, pfx("10.0.0.0/23"));
+        let mut net = Network::new(t);
+        net.fib_mut(s).insert(Rule {
+            priority: 23,
+            matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+            action: Action::fwd(a),
+        });
+        net.fib_mut(a).insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+            action: Action::fwd_all([b, w]),
+        });
+        net.fib_mut(b).insert(Rule {
+            priority: 10,
+            matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+            action: Action::fwd(d),
+        });
+        net.fib_mut(w).insert(Rule {
+            priority: 23,
+            matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+            action: Action::fwd(d),
+        });
+        net.fib_mut(d).insert(Rule {
+            priority: 23,
+            matches: MatchSpec::dst(pfx("10.0.0.0/23")),
+            action: Action::deliver(),
+        });
+        net
+    }
+
+    fn plan_for(net: &Network, expr: &str) -> (Invariant, CountingPlan) {
+        let inv = Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress([expr.split_whitespace().next().unwrap()])
+            .behavior(Behavior::exist(
+                CountExpr::ge(1),
+                PathExpr::parse(expr).unwrap().loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let plan = Planner::new(&net.topology).plan(&inv).unwrap();
+        let cp = plan.counting().unwrap().clone();
+        (inv, cp)
+    }
+
+    /// Overlapping intents share tasks; removal keeps shared tasks
+    /// alive (the dedup-refcount contract of the intent store).
+    #[test]
+    fn dedup_refcounts_shared_tasks() {
+        let net = fig2a_network();
+        let (inv_a, cp_a) = plan_for(&net, "S .* D");
+        let (inv_b, cp_b) = plan_for(&net, "A .* D");
+        let mut store = IntentStore::with_base(
+            cp_a.clone(),
+            inv_a.packet_space.clone(),
+            Some(inv_a.clone()),
+        );
+        let before = store.node_count();
+        let (id_b, delta_b) = store
+            .install(
+                None,
+                "b",
+                Some(inv_b.clone()),
+                cp_b.clone(),
+                inv_b.packet_space.clone(),
+            )
+            .unwrap();
+        assert!(
+            delta_b.reused_nodes > 0,
+            "S.*D and A.*D share the suffix cone toward D: {delta_b:?}"
+        );
+        assert_eq!(
+            store.node_count(),
+            before + delta_b.total_nodes - delta_b.reused_nodes
+        );
+        // A shared node is owned by both intents...
+        let b = store.get(id_b).unwrap();
+        let shared: Vec<NodeId> = b
+            .global_nodes()
+            .into_iter()
+            .filter(|g| store.owner_count(*g) == 2)
+            .collect();
+        assert_eq!(shared.len(), delta_b.reused_nodes);
+        // ...and removing one intent keeps every shared node alive.
+        let delta_rm = store.remove(id_b).unwrap();
+        for g in &shared {
+            assert_eq!(store.owner_count(*g), 1, "shared node {g:?} must survive");
+        }
+        let removed: usize = delta_rm.removed.values().map(Vec::len).sum();
+        assert_eq!(removed, delta_b.total_nodes - delta_b.reused_nodes);
+        assert_eq!(store.node_count(), before);
+        assert!(store.only_base());
+    }
+
+    /// Installing the same invariant twice is a full interning hit.
+    #[test]
+    fn duplicate_intent_is_fully_shared() {
+        let net = fig2a_network();
+        let (inv, cp) = plan_for(&net, "S .* W .* D");
+        let mut store =
+            IntentStore::with_base(cp.clone(), inv.packet_space.clone(), Some(inv.clone()));
+        let (id, delta) = store
+            .install(
+                None,
+                "dup",
+                Some(inv.clone()),
+                cp.clone(),
+                inv.packet_space.clone(),
+            )
+            .unwrap();
+        assert_eq!(delta.total_nodes, delta.reused_nodes, "{delta:?}");
+        assert!(delta.removed.is_empty());
+        let before = store.node_count();
+        let delta_rm = store.remove(id).unwrap();
+        assert!(delta_rm.removed.is_empty(), "{delta_rm:?}");
+        assert_eq!(store.node_count(), before);
+    }
+
+    /// Intents with a different packet space never merge nodes.
+    #[test]
+    fn contexts_keep_packet_spaces_apart() {
+        let net = fig2a_network();
+        let (inv, cp) = plan_for(&net, "S .* D");
+        let other = Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/24"))
+            .ingress(["S"])
+            .behavior(Behavior::exist(
+                CountExpr::ge(1),
+                PathExpr::parse("S .* D").unwrap().loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let ocp = Planner::new(&net.topology)
+            .plan(&other)
+            .unwrap()
+            .counting()
+            .unwrap()
+            .clone();
+        let mut store = IntentStore::with_base(cp, inv.packet_space.clone(), Some(inv.clone()));
+        let (_, delta) = store
+            .install(
+                None,
+                "other-space",
+                Some(other.clone()),
+                ocp,
+                other.packet_space.clone(),
+            )
+            .unwrap();
+        assert_eq!(delta.reused_nodes, 0, "{delta:?}");
+    }
+
+    /// A mismatched counting profile is rejected, not mis-counted.
+    #[test]
+    fn profile_mismatch_rejected() {
+        let net = fig2a_network();
+        let (inv, cp) = plan_for(&net, "S .* D");
+        let covered = Invariant::builder()
+            .packet_space(PacketSpace::dst_prefix("10.0.0.0/23"))
+            .ingress(["S"])
+            .behavior(Behavior::covered(
+                PathExpr::parse("S .* D").unwrap().loop_free(),
+            ))
+            .build()
+            .unwrap();
+        let ccp = Planner::new(&net.topology)
+            .plan(&covered)
+            .unwrap()
+            .counting()
+            .unwrap()
+            .clone();
+        let mut store = IntentStore::with_base(cp, inv.packet_space.clone(), Some(inv));
+        if IntentProfile::of(&store.get(IntentId(0)).unwrap().plan) != IntentProfile::of(&ccp) {
+            let err = store.install(
+                None,
+                "covered",
+                Some(covered.clone()),
+                ccp,
+                covered.packet_space.clone(),
+            );
+            assert!(err.is_err());
+        }
+    }
+}

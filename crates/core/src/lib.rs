@@ -24,6 +24,11 @@
 //!   recounting (§6).
 //! * [`churn`] — live topology churn: epoch-fenced incremental
 //!   re-planning around link/device up/down events at runtime.
+//! * [`intent`] — the runtime intent store: invariant add/remove as
+//!   first-class events, per-intent DPVNet slices, counting tasks
+//!   deduplicated (refcounted) across overlapping intents.
+//! * [`event`] — the unified [`event::RuntimeEvent`] /
+//!   [`event::Substrate`] API every execution substrate consumes.
 //! * [`verify`] — an in-process driver that runs all on-device verifiers
 //!   to quiescence over a network snapshot (the simulator and the threaded
 //!   runner drive the same verifiers asynchronously).
@@ -32,7 +37,9 @@ pub mod churn;
 pub mod count;
 pub mod dpvnet;
 pub mod dvm;
+pub mod event;
 pub mod fault;
+pub mod intent;
 pub mod localcheck;
 pub mod multipath;
 pub mod partition;

@@ -11,8 +11,9 @@ use crate::churn::{replan_for_churn, ChurnState, TopologyEvent};
 use crate::count::Counts;
 use crate::dpvnet::NodeId;
 use crate::dvm::{DestMode, DeviceVerifier, Envelope, VerifierConfig};
+use crate::intent::{IntentDelta, IntentId, IntentStore};
 use crate::localcheck::{ContractViolation, LocalChecker};
-use crate::planner::{CountingPlan, NodeTask, Plan, PlanError, PlanKind};
+use crate::planner::{CountingPlan, NodeTask, Plan, PlanError, PlanKind, Planner};
 use crate::spec::{Invariant, PacketSpace};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tulkun_bdd::serial::{self, PortablePred};
@@ -49,12 +50,17 @@ pub struct Violation {
     /// The device reporting the violation (a source for counting; the
     /// contract holder for `equal`).
     pub device: DeviceId,
-    /// Its DPVNet node.
+    /// Its DPVNet node, in the *violated intent's* local numbering —
+    /// the same id a standalone session for that intent would report.
     pub node: NodeId,
     /// The violating packet set.
     pub pred: PortablePred,
     /// What went wrong.
     pub kind: ViolationKind,
+    /// The intent that failed (0 = the base intent; omitted from the
+    /// JSON encoding when 0, so single-intent sessions keep their
+    /// pre-intent byte encoding).
+    pub intent: u64,
 }
 
 /// How current one DPVNet node's contribution to the verdict is after
@@ -134,12 +140,41 @@ impl tulkun_json::FromJson for ViolationKind {
     }
 }
 
-tulkun_json::impl_json_object!(Violation {
-    device,
-    node,
-    pred,
-    kind
-});
+// Hand-written (not `impl_json_object!`) so `intent` is only emitted
+// when non-zero: the base intent's violations keep the exact bytes the
+// pre-intent encoding produced, which `Report::canonical_bytes`
+// equivalence gates across substrates and sessions depend on.
+impl ToJson for Violation {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("device".to_string(), self.device.to_json()),
+            ("node".to_string(), self.node.to_json()),
+            ("pred".to_string(), self.pred.to_json()),
+            ("kind".to_string(), self.kind.to_json()),
+        ];
+        if self.intent != 0 {
+            fields.push(("intent".to_string(), self.intent.to_json()));
+        }
+        Json::Object(fields)
+    }
+}
+
+impl tulkun_json::FromJson for Violation {
+    fn from_json(v: &Json) -> Result<Self, tulkun_json::JsonError> {
+        use tulkun_json::{FromJson, JsonError};
+        let field = |name: &str| v.get(name).ok_or_else(|| JsonError::missing_field(name));
+        Ok(Violation {
+            device: FromJson::from_json(field("device")?)?,
+            node: FromJson::from_json(field("node")?)?,
+            pred: FromJson::from_json(field("pred")?)?,
+            kind: FromJson::from_json(field("kind")?)?,
+            intent: match v.get("intent") {
+                Some(i) => FromJson::from_json(i)?,
+                None => 0,
+            },
+        })
+    }
+}
 
 impl Report {
     /// Does the invariant hold?
@@ -183,19 +218,32 @@ pub fn compile_packet_space(layout: &HeaderLayout, ps: &PacketSpace) -> Portable
 pub struct Session {
     plan: CountingPlan,
     packet_space: PortablePred,
-    formula_escape_idx: Option<usize>,
     verifiers: BTreeMap<DeviceId, DeviceVerifier>,
     queue: VecDeque<Envelope>,
     /// Messages processed since creation.
     pub messages_processed: usize,
-    /// Topology generation (bumped by every applied churn event).
+    /// Event-fence generation: bumped by every applied churn event and
+    /// every intent install/remove.
     epoch: u64,
     /// Cumulative link/device churn.
     churn: ChurnState,
+    /// Applied topology-churn events (freshness marking is churn-era
+    /// only; intent churn alone never degrades a report).
+    churn_events: u64,
     /// Devices currently quarantined (no deliveries, no recounting).
     quarantined: BTreeSet<DeviceId>,
     /// Old-plan nodes stranded on quarantined devices.
     unreachable: BTreeMap<NodeId, DeviceId>,
+    /// Live intents and the shared (deduplicated) global node table.
+    store: IntentStore,
+    /// The network snapshot, kept current under rule updates so
+    /// verifiers can be built lazily for devices a later intent pulls
+    /// into the plan.
+    net: Network,
+    /// The base invariant's packet space (intent 0's context).
+    base_space: PacketSpace,
+    cfg: VerifierConfig,
+    backend_kind: BackendKind,
 }
 
 impl Session {
@@ -254,18 +302,23 @@ impl Session {
             v.init(&mut queue);
             verifiers.insert(dev, v);
         }
-        let escape_idx = cp.escape_idx();
+        let store = IntentStore::with_base(cp.clone(), ps.clone(), None);
         Session {
             plan: cp,
             packet_space,
-            formula_escape_idx: escape_idx,
             verifiers,
             queue,
             messages_processed: 0,
             epoch: 0,
             churn: ChurnState::new(),
+            churn_events: 0,
             quarantined: BTreeSet::new(),
             unreachable: BTreeMap::new(),
+            store,
+            net: net.clone(),
+            base_space: ps.clone(),
+            cfg,
+            backend_kind: kind,
         }
     }
 
@@ -325,6 +378,9 @@ impl Session {
     /// never has to wait for (or force) quiescence.
     pub fn stage_batch(&mut self, updates: &[RuleUpdate]) {
         let batch: UpdateBatch = updates.iter().cloned().collect();
+        // Keep the snapshot current: a verifier built lazily for a
+        // later intent must see the post-update FIB.
+        self.net.apply_batch(&batch);
         for (dev, ops) in batch.coalesced() {
             if let Some(v) = self.verifiers.get_mut(&dev) {
                 v.handle_fib_batch(&ops, &mut self.queue);
@@ -377,6 +433,14 @@ impl Session {
         base: &Topology,
         inv: &Invariant,
     ) -> Result<usize, PlanError> {
+        if !self.store.only_base() {
+            return Err(PlanError::Unsupported(
+                "topology churn while extra intents are installed is not \
+                 supported yet: remove them first (churn re-planning is \
+                 not intent-aware)"
+                    .to_string(),
+            ));
+        }
         let mut churn = self.churn.clone();
         if !churn.apply(ev) {
             return Ok(0);
@@ -390,6 +454,7 @@ impl Session {
             }
         }
         self.churn = churn;
+        self.churn_events += 1;
         self.epoch += 1;
         let epoch = self.epoch;
         for v in self.verifiers.values_mut() {
@@ -430,41 +495,29 @@ impl Session {
         for (n, d) in &delta.unreachable {
             self.unreachable.insert(*n, *d);
         }
+        // The base intent is the sole live intent (gated above), so the
+        // store simply follows the re-plan.
+        self.store.rebase(
+            delta.plan.clone(),
+            self.base_space.clone(),
+            Some(inv.clone()),
+        );
         self.plan = delta.plan;
         Ok(self.run_to_quiescence())
     }
 
-    /// Evaluates the invariant at every DPVNet source (each universe of
-    /// each packet set must satisfy the formula).
+    /// Evaluates every live intent at its DPVNet sources (each universe
+    /// of each packet set must satisfy the intent's formula).
     pub fn report(&mut self) -> Report {
-        let mut violations = Vec::new();
-        let sources: Vec<(DeviceId, NodeId)> = self.plan.dpvnet.sources().to_vec();
-        for (dev, node) in sources {
-            let Some(v) = self.verifiers.get_mut(&dev) else {
-                continue;
-            };
-            for (pred, counts) in v.node_result(node, None) {
-                let bad = counts
-                    .iter()
-                    .any(|u| !self.plan.formula.eval(u, self.formula_escape_idx));
-                if bad {
-                    violations.push(Violation {
-                        device: dev,
-                        node,
-                        pred,
-                        kind: ViolationKind::Counting {
-                            counts: counts.clone(),
-                        },
-                    });
-                }
-            }
-        }
-        let mut r = Report {
-            violations,
-            messages: self.messages_processed,
-            ..Report::default()
-        };
-        if self.epoch > 0 {
+        let store = &self.store;
+        let verifiers = &mut self.verifiers;
+        let mut r = evaluate_intents(store, |dev, node| {
+            verifiers
+                .get_mut(&dev)
+                .map_or_else(Vec::new, |v| v.node_result(node, None))
+        });
+        r.messages = self.messages_processed;
+        if self.churn_events > 0 {
             mark_freshness(
                 &mut r,
                 &self.plan,
@@ -476,9 +529,232 @@ impl Session {
         r
     }
 
+    /// The live intents and their shared global node table.
+    pub fn intents(&self) -> &IntentStore {
+        &self.store
+    }
+
+    /// Compiles `inv` against the session's topology and installs it as
+    /// a new runtime intent: the invariant's DPVNet slice is interned
+    /// into the shared node table (nodes already installed by other
+    /// intents are reused, not duplicated), only the devices in the
+    /// slice receive new or re-announced tasks, the epoch fence is
+    /// bumped so superseded in-flight messages can never corrupt the
+    /// new fixpoint, and the session re-converges. Returns the new
+    /// intent id and the applied delta (its `reused_nodes` /
+    /// `touched_devices` evidence slicing locality).
+    pub fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        self.install_intent_inner(None, name, inv)
+    }
+
+    /// [`Session::install_intent`] under a caller-chosen id — for
+    /// deterministic replay (e.g. a hot backend swap re-building the
+    /// session must keep every live intent's id stable).
+    pub fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        self.install_intent_inner(Some(id), name, inv)
+    }
+
+    fn install_intent_inner(
+        &mut self,
+        id: Option<IntentId>,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        if !self.churn.is_quiet() {
+            return Err(PlanError::Unsupported(
+                "intent install on a churned topology is not supported \
+                 yet: intents compile against the base topology"
+                    .to_string(),
+            ));
+        }
+        let plan = Planner::new(&self.net.topology).plan(inv)?;
+        let PlanKind::Counting(cp) = &plan.kind else {
+            return Err(PlanError::Unsupported(
+                "runtime intents require a counting plan (local-contract \
+                 behaviors have no DPVNet slice to install)"
+                    .to_string(),
+            ));
+        };
+        let (id, delta) = self.store.install(
+            id,
+            name,
+            Some(inv.clone()),
+            cp.clone(),
+            inv.packet_space.clone(),
+        )?;
+        let space = compile_packet_space(
+            &self.net.layout,
+            delta.space.as_ref().unwrap_or(&inv.packet_space),
+        );
+        // Build verifiers lazily for devices the slice pulls in.
+        for dev in delta.changed.keys() {
+            if !self.verifiers.contains_key(dev) {
+                let mut v = DeviceVerifier::builder(
+                    *dev,
+                    self.net.layout,
+                    self.net.fib(*dev).clone(),
+                    &self.packet_space,
+                    self.cfg.clone(),
+                )
+                .backend(self.backend_kind)
+                .tasks(Vec::new())
+                .build();
+                v.init(&mut self.queue);
+                self.verifiers.insert(*dev, v);
+            }
+        }
+        self.fence_and_apply(&delta, Some(&space));
+        Ok((id, delta))
+    }
+
+    /// Removes a live intent: its ownership references are dropped and
+    /// only nodes no surviving intent owns are uninstalled (shared
+    /// tasks stay, cheaper by exactly the dedup), under the same epoch
+    /// fence as [`Session::install_intent`]. Removing the base intent
+    /// (id 0) is allowed once other intents exist; removing the last
+    /// intent leaves an empty (trivially holding) session.
+    pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
+        let delta = self.store.remove(id)?;
+        self.fence_and_apply(&delta, None);
+        Ok(delta)
+    }
+
+    /// Bumps the epoch fence, applies an intent delta's removals and
+    /// task changes (`space` is the base packet space for new nodes —
+    /// `None` for removals, which never create nodes), re-announces
+    /// durable state and re-converges.
+    fn fence_and_apply(&mut self, delta: &IntentDelta, space: Option<&PortablePred>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for v in self.verifiers.values_mut() {
+            v.set_epoch(epoch);
+        }
+        for (dev, gone) in &delta.removed {
+            if let Some(v) = self.verifiers.get_mut(dev) {
+                v.remove_nodes(gone);
+            }
+        }
+        for (dev, tasks) in &delta.changed {
+            let v = self.verifiers.get_mut(dev).expect("verifier built above");
+            match space {
+                Some(sp) => v.install_tasks(tasks.clone(), sp, &mut self.queue),
+                None => v.set_tasks(tasks.clone(), &mut self.queue),
+            }
+        }
+        // The fence dropped whatever was in flight; re-announcement
+        // repairs it and feeds shared nodes' results to new upstream
+        // edges.
+        for (dev, v) in self.verifiers.iter_mut() {
+            if !self.quarantined.contains(dev) {
+                v.reannounce(&mut self.queue);
+            }
+        }
+        self.run_to_quiescence();
+    }
+
+    /// Installs `inv` as a single anonymous intent.
+    #[deprecated(note = "use install_intent / remove_intent")]
+    pub fn set_tasks(&mut self, inv: &Invariant) -> Result<IntentId, PlanError> {
+        self.install_intent("anonymous", inv).map(|(id, _)| id)
+    }
+
     /// The invariant's packet space as a portable predicate.
     pub fn packet_space(&self) -> &PortablePred {
         &self.packet_space
+    }
+}
+
+impl crate::event::Substrate for Session {
+    fn apply_event(
+        &mut self,
+        ev: &crate::event::RuntimeEvent,
+    ) -> Result<crate::event::EventOutcome, PlanError> {
+        use crate::event::{EventOutcome, RuntimeEvent as E};
+        match ev {
+            E::Batch(updates) => Ok(EventOutcome {
+                messages: self.apply_batch(updates),
+                ..EventOutcome::default()
+            }),
+            E::Topology {
+                event,
+                base,
+                invariant,
+            } => Ok(EventOutcome {
+                messages: self.apply_topology_event(event, base, invariant)?,
+                ..EventOutcome::default()
+            }),
+            E::CrashRestart(_) => Err(PlanError::Unsupported(
+                "the synchronous reference session has no crash/restart model".to_string(),
+            )),
+            E::SetBackend(_) => Err(PlanError::Unsupported(
+                "the synchronous reference session cannot hot-swap backends; rebuild it"
+                    .to_string(),
+            )),
+            E::InstallIntent { name, invariant } => {
+                let (id, delta) = self.install_intent(name, invariant)?;
+                Ok(EventOutcome {
+                    messages: 0,
+                    intent: Some(id),
+                    slice: Some((delta.total_nodes, delta.reused_nodes)),
+                })
+            }
+            E::RemoveIntent(id) => {
+                let delta = self.remove_intent(*id)?;
+                Ok(EventOutcome {
+                    messages: 0,
+                    intent: Some(*id),
+                    slice: Some((delta.total_nodes, delta.reused_nodes)),
+                })
+            }
+        }
+    }
+}
+
+/// Evaluates every live intent's formula at its own DPVNet sources,
+/// given a way to read a *global* node's counting results (used by the
+/// simulator and the threaded runner, which own their verifiers).
+/// Violations carry the intent id and the intent-local source node id,
+/// so a multi-intent report over the shared node table is byte-equal to
+/// the concatenation of each intent's standalone report (with non-base
+/// intents tagged).
+pub fn evaluate_intents(
+    store: &IntentStore,
+    mut node_result: impl FnMut(DeviceId, NodeId) -> Vec<(PortablePred, Counts)>,
+) -> Report {
+    let mut violations = Vec::new();
+    for intent in store.live() {
+        let escape_idx = intent.plan.escape_idx();
+        for (dev, local) in intent.plan.dpvnet.sources() {
+            let global = intent.to_global[local.0 as usize];
+            for (pred, counts) in node_result(*dev, global) {
+                let bad = counts
+                    .iter()
+                    .any(|u| !intent.plan.formula.eval(u, escape_idx));
+                if bad {
+                    violations.push(Violation {
+                        device: *dev,
+                        node: *local,
+                        pred,
+                        kind: ViolationKind::Counting { counts },
+                        intent: intent.id.0,
+                    });
+                }
+            }
+        }
+    }
+    Report {
+        violations,
+        messages: 0,
+        ..Report::default()
     }
 }
 
@@ -500,6 +776,7 @@ pub fn evaluate_sources(
                     node: *node,
                     pred,
                     kind: ViolationKind::Counting { counts },
+                    intent: 0,
                 });
             }
         }
@@ -589,5 +866,6 @@ fn contract_violation(cv: ContractViolation) -> Violation {
             found: cv.found,
             reason: cv.reason,
         },
+        intent: 0,
     }
 }

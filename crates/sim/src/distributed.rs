@@ -14,8 +14,10 @@ use crate::runtime::{
     WatchdogVerdict,
 };
 use tulkun_core::churn::TopologyEvent;
-use tulkun_core::planner::CountingPlan;
-use tulkun_core::spec::PacketSpace;
+use tulkun_core::event::{EventOutcome, RuntimeEvent, Substrate};
+use tulkun_core::intent::{IntentDelta, IntentId, IntentStore};
+use tulkun_core::planner::{CountingPlan, PlanError};
+use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::Report;
 use tulkun_netmodel::network::{Network, RuleUpdate};
 
@@ -99,6 +101,40 @@ impl DistributedRun {
         self.engine.epoch()
     }
 
+    /// The runtime intent store (read-only).
+    pub fn intents(&self) -> &IntentStore {
+        self.engine.intents()
+    }
+
+    /// Compiles an invariant and installs it as a runtime intent (one
+    /// atomic bundle per device thread); call
+    /// [`DistributedRun::quiesce`] to let re-convergence drain. Spawn
+    /// with [`EngineConfig::all_devices`] if intents may task devices
+    /// the initial plan skipped.
+    pub fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        self.engine.install_intent(name, inv)
+    }
+
+    /// [`DistributedRun::install_intent`] under a caller-chosen id.
+    pub fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        self.engine.install_intent_as(id, name, inv)
+    }
+
+    /// Removes a live intent (shared nodes survive); call
+    /// [`DistributedRun::quiesce`] to let re-convergence drain.
+    pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
+        self.engine.remove_intent(id)
+    }
+
     /// Collects source results and evaluates the invariant.
     pub fn report(&self) -> Report {
         self.engine.report()
@@ -109,6 +145,14 @@ impl DistributedRun {
     /// tasks. Dropping without calling this still joins all threads.
     pub fn shutdown(self) -> Result<RuntimeStats, Vec<DevicePanic>> {
         self.engine.shutdown()
+    }
+}
+
+impl Substrate for DistributedRun {
+    /// Applies one [`RuntimeEvent`] and waits for quiescence (delegates
+    /// to the threaded engine's uniform entry point).
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError> {
+        self.engine.apply_event(ev)
     }
 }
 

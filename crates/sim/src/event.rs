@@ -18,7 +18,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use tulkun_core::churn::TopologyEvent;
 use tulkun_core::dvm::DeviceVerifier;
+use tulkun_core::event::{EventOutcome, RuntimeEvent, Substrate};
 use tulkun_core::fault::FaultProfile;
+use tulkun_core::intent::{IntentDelta, IntentId};
 use tulkun_core::planner::{CountingPlan, NodeTask, PlanError};
 use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::Report;
@@ -49,6 +51,9 @@ pub struct SimConfig {
     /// Expected rule updates in the upcoming window, consumed by the
     /// `Auto` backend heuristic (see [`EngineConfig::update_rate_hint`]).
     pub update_rate_hint: f64,
+    /// Build a verifier for every topology device so runtime intents
+    /// can task any of them (see [`EngineConfig::all_devices`]).
+    pub all_devices: bool,
 }
 
 impl Default for SimConfig {
@@ -60,6 +65,7 @@ impl Default for SimConfig {
             telemetry: Telemetry::disabled(),
             backend: BackendKind::Bdd,
             update_rate_hint: 0.0,
+            all_devices: false,
         }
     }
 }
@@ -73,6 +79,7 @@ impl From<SimConfig> for EngineConfig {
             telemetry: cfg.telemetry,
             backend: cfg.backend,
             update_rate_hint: cfg.update_rate_hint,
+            all_devices: cfg.all_devices,
         }
     }
 }
@@ -213,6 +220,43 @@ impl DvmSim {
     pub fn verifier_mut(&mut self, dev: DeviceId) -> Option<&mut DeviceVerifier> {
         self.engine.verifier_mut(dev)
     }
+
+    /// The runtime intent store (read-only).
+    pub fn intents(&self) -> &tulkun_core::intent::IntentStore {
+        self.engine.intents()
+    }
+
+    /// Installs an invariant as a runtime intent and drives
+    /// re-convergence (see [`crate::runtime::Engine::install_intent`]).
+    pub fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, SimResult), PlanError> {
+        self.engine.install_intent(name, inv)
+    }
+
+    /// [`DvmSim::install_intent`] under a caller-chosen id (replay).
+    pub fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, SimResult), PlanError> {
+        self.engine.install_intent_as(id, name, inv)
+    }
+
+    /// Removes a live intent and drives re-convergence (see
+    /// [`crate::runtime::Engine::remove_intent`]).
+    pub fn remove_intent(&mut self, id: IntentId) -> Result<(IntentDelta, SimResult), PlanError> {
+        self.engine.remove_intent(id)
+    }
+}
+
+impl Substrate for DvmSim {
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError> {
+        self.engine.apply_event(ev)
+    }
 }
 
 /// The event simulator over a *faulty* management network: identical to
@@ -323,6 +367,44 @@ impl FaultyDvmSim {
     /// reliability-layer counters (drops, retransmits, acks, …).
     pub fn stats(&self) -> &RuntimeStats {
         self.engine.stats()
+    }
+
+    /// The runtime intent store (read-only).
+    pub fn intents(&self) -> &tulkun_core::intent::IntentStore {
+        self.engine.intents()
+    }
+
+    /// Installs an invariant as a runtime intent over the faulty
+    /// channel: dropped/duplicated/reordered install-wave messages are
+    /// recovered by the reliability layer and the report still
+    /// converges to the clean-channel fixpoint.
+    pub fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, SimResult), PlanError> {
+        self.engine.install_intent(name, inv)
+    }
+
+    /// [`FaultyDvmSim::install_intent`] under a caller-chosen id.
+    pub fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, SimResult), PlanError> {
+        self.engine.install_intent_as(id, name, inv)
+    }
+
+    /// Removes a live intent over the faulty channel.
+    pub fn remove_intent(&mut self, id: IntentId) -> Result<(IntentDelta, SimResult), PlanError> {
+        self.engine.remove_intent(id)
+    }
+}
+
+impl Substrate for FaultyDvmSim {
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError> {
+        self.engine.apply_event(ev)
     }
 }
 

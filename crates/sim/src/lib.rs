@@ -71,7 +71,8 @@ pub use runtime::{
     Engine, EngineConfig, LecCache, RuntimeStats, ThreadedEngine, WatchdogConfig, WatchdogVerdict,
 };
 pub use service::{
-    AdmissionPolicy, Service, ServiceConfig, ServiceError, ServiceRequest, ServiceStatus,
+    AdmissionPolicy, IntentStatus, Service, ServiceConfig, ServiceError, ServiceRequest,
+    ServiceStatus,
 };
 pub use tulkun_predicate::{network_ip_only, BackendKind, AUTO_RATE_THRESHOLD};
 pub use tulkun_telemetry::{Telemetry, TelemetryConfig};

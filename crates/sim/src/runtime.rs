@@ -38,12 +38,15 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tulkun_bdd::serial::PortablePred;
+use tulkun_bdd::HeaderLayout;
 use tulkun_core::churn::{replan_for_churn, ChurnState, ReplanDelta, TopologyEvent};
 use tulkun_core::count::Counts;
 use tulkun_core::dpvnet::NodeId;
 use tulkun_core::dvm::{DeviceVerifier, Envelope, Payload, VerifierConfig};
+use tulkun_core::event::{EventOutcome, RuntimeEvent, Substrate};
 use tulkun_core::fault::FaultStats;
-use tulkun_core::planner::{CountingPlan, NodeTask, PlanError};
+use tulkun_core::intent::{IntentDelta, IntentId, IntentStore};
+use tulkun_core::planner::{CountingPlan, NodeTask, PlanError, PlanKind, Planner};
 use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::{self, Report};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
@@ -530,6 +533,13 @@ pub struct EngineConfig {
     /// `Auto` heuristic picks Delta-net at or above
     /// [`tulkun_predicate::AUTO_RATE_THRESHOLD`] on IP-only workloads.
     pub update_rate_hint: f64,
+    /// Build a verifier for *every* topology device, not only those
+    /// with tasks in the initial plan. The threaded substrate cannot
+    /// add device threads after spawn, so runtime intent installs
+    /// ([`ThreadedEngine::install_intent`]) that pull in a previously
+    /// task-less device need its thread to already exist. Off by
+    /// default: idle verifiers cost init time on large topologies.
+    pub all_devices: bool,
 }
 
 impl Default for EngineConfig {
@@ -541,6 +551,7 @@ impl Default for EngineConfig {
             telemetry: Telemetry::disabled(),
             backend: BackendKind::Bdd,
             update_rate_hint: 0.0,
+            all_devices: false,
         }
     }
 }
@@ -575,6 +586,15 @@ struct BuiltVerifier {
 /// the sharded [`LecCache`] is used directly (per-shard locking, no
 /// global mutex), and results are returned in device order so
 /// downstream scheduling stays deterministic.
+fn plan_vcfg(plan: &CountingPlan) -> VerifierConfig {
+    VerifierConfig {
+        n_exprs: plan.exprs.len(),
+        track_escapes: plan.track_escapes,
+        reduce: plan.reduce,
+        dest_mode: Default::default(),
+    }
+}
+
 fn build_verifiers(
     net: &Network,
     plan: &CountingPlan,
@@ -582,15 +602,17 @@ fn build_verifiers(
     cfg: &EngineConfig,
     lec_cache: &LecCache,
 ) -> Vec<BuiltVerifier> {
-    let vcfg = VerifierConfig {
-        n_exprs: plan.exprs.len(),
-        track_escapes: plan.track_escapes,
-        reduce: plan.reduce,
-        dest_mode: Default::default(),
-    };
+    let vcfg = plan_vcfg(plan);
     let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
     for t in &plan.tasks {
         by_dev.entry(t.dev).or_default().push(t.clone());
+    }
+    if cfg.all_devices {
+        // Idle verifiers (no tasks) for every device the plan skipped,
+        // so runtime intents can task them later.
+        for d in 0..net.topology.num_devices() as u32 {
+            by_dev.entry(DeviceId(d)).or_default();
+        }
     }
 
     // Resolve the backend once for the whole engine: every verifier of
@@ -711,12 +733,32 @@ pub struct Engine<T: Transport, C: Clock> {
     epoch: u64,
     /// Cumulative live-churn state (down links/devices).
     churn: ChurnState,
+    /// Topology churn events applied so far (the epoch also advances
+    /// on intent installs/removals, so freshness marking keys off this
+    /// counter instead).
+    churn_events: u64,
     /// Devices currently quarantined (down): no deliveries, no
     /// recounting.
     quarantined: BTreeSet<DeviceId>,
     /// Old-plan nodes stranded on quarantined devices, reported
     /// `Unreachable`.
     unreachable: BTreeMap<NodeId, DeviceId>,
+    /// The runtime intent store: the base plan is intent 0; installs
+    /// intern their DPVNet slices against it.
+    store: IntentStore,
+    /// Network snapshot kept current across [`Engine::stage_batch`], so
+    /// intent compilation and lazy verifier builds see live FIBs.
+    net: Network,
+    /// The base intent's packet space (re-seeded into the store on a
+    /// churn re-plan).
+    base_space: PacketSpace,
+    /// Compiled base packet space, for lazily built verifiers.
+    packet_space: PortablePred,
+    /// Verifier profile shared by every intent of this engine.
+    vcfg: VerifierConfig,
+    /// Resolved predicate backend (every verifier of one run uses the
+    /// same encoding).
+    kind: BackendKind,
 }
 
 impl<T: Transport, C: Clock> Engine<T, C> {
@@ -758,8 +800,17 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             next_trace: FIRST_EVENT_TRACE,
             epoch: 0,
             churn: ChurnState::new(),
+            churn_events: 0,
             quarantined: BTreeSet::new(),
             unreachable: BTreeMap::new(),
+            store: IntentStore::with_base(plan.clone(), ps.clone(), None),
+            net: net.clone(),
+            base_space: ps.clone(),
+            packet_space,
+            vcfg: plan_vcfg(plan),
+            kind: cfg
+                .backend
+                .resolve(network_ip_only(net), cfg.update_rate_hint),
         }
     }
 
@@ -864,6 +915,9 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         self.reset_time();
         let trace = self.alloc_trace();
         let batch: UpdateBatch = updates.iter().cloned().collect();
+        // Keep the network snapshot current: intent compilation and
+        // lazy verifier builds must see the live FIBs.
+        self.net.apply_batch(&batch);
         let mut last_span = 0;
         for (dev, ops) in batch.coalesced() {
             if self.quarantined.contains(&dev) {
@@ -1031,6 +1085,13 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         base: &Topology,
         inv: &Invariant,
     ) -> Result<RunOutcome, PlanError> {
+        if !self.store.only_base() {
+            return Err(PlanError::Unsupported(
+                "topology churn with live runtime intents is not \
+                 supported yet: remove non-base intents first"
+                    .to_string(),
+            ));
+        }
         let mut churn = self.churn.clone();
         if !churn.apply(ev) {
             return Ok(RunOutcome::default());
@@ -1144,6 +1205,12 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         for (n, d) in &delta.unreachable {
             self.unreachable.insert(*n, *d);
         }
+        self.churn_events += 1;
+        self.store.rebase(
+            delta.plan.clone(),
+            self.base_space.clone(),
+            Some(inv.clone()),
+        );
         self.plan = delta.plan;
         Ok(self.run())
     }
@@ -1177,13 +1244,13 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// markers and the quarantined-device list.
     pub fn report(&mut self) -> Report {
         let verifiers = &mut self.verifiers;
-        let mut r = verify::evaluate_sources(&self.plan, |dev, node| {
+        let mut r = verify::evaluate_intents(&self.store, |dev, node| {
             verifiers
                 .get_mut(&dev)
                 .map(|v| v.node_result(node, None))
                 .unwrap_or_default()
         });
-        if self.epoch > 0 {
+        if self.churn_events > 0 {
             verify::mark_freshness(
                 &mut r,
                 &self.plan,
@@ -1193,6 +1260,210 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             );
         }
         r
+    }
+
+    /// The runtime intent store (read-only).
+    pub fn intents(&self) -> &IntentStore {
+        &self.store
+    }
+
+    /// Compiles `inv` against the engine's topology and installs it as
+    /// a new runtime intent under an epoch bump: the invariant's DPVNet
+    /// slice is interned into the shared node table (nodes other live
+    /// intents already installed are reused, not duplicated), only the
+    /// devices in the slice are re-tasked, verifiers are lazily built
+    /// for devices the slice pulls in, and the exchange is driven to
+    /// quiescence. Returns the new id, the applied delta (its
+    /// `reused_nodes` / `touched_devices` evidence slicing locality)
+    /// and the driven round.
+    pub fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, RunOutcome), PlanError> {
+        self.install_intent_inner(None, name, inv)
+    }
+
+    /// [`Engine::install_intent`] under a caller-chosen id — for
+    /// deterministic replay (a hot backend swap re-building the engine
+    /// must keep every live intent's id stable).
+    pub fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, RunOutcome), PlanError> {
+        self.install_intent_inner(Some(id), name, inv)
+    }
+
+    fn install_intent_inner(
+        &mut self,
+        id: Option<IntentId>,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, RunOutcome), PlanError> {
+        if !self.churn.is_quiet() {
+            return Err(PlanError::Unsupported(
+                "intent install on a churned topology is not supported \
+                 yet: intents compile against the base topology"
+                    .to_string(),
+            ));
+        }
+        let plan = Planner::new(&self.net.topology).plan(inv)?;
+        let PlanKind::Counting(cp) = &plan.kind else {
+            return Err(PlanError::Unsupported(
+                "runtime intents require a counting plan (local-contract \
+                 behaviors have no DPVNet slice to install)"
+                    .to_string(),
+            ));
+        };
+        let (id, delta) = self.store.install(
+            id,
+            name,
+            Some(inv.clone()),
+            cp.clone(),
+            inv.packet_space.clone(),
+        )?;
+        let space = verify::compile_packet_space(
+            &self.net.layout,
+            delta.space.as_ref().unwrap_or(&inv.packet_space),
+        );
+        self.reset_time();
+        let trace = self.alloc_trace();
+        // Build verifiers lazily for devices the slice pulls in (no
+        // LEC cache here: a late-joining device builds its table once).
+        for dev in delta.changed.keys() {
+            if self.verifiers.contains_key(dev) {
+                continue;
+            }
+            let begin = self.tel.host_tick();
+            let wall = Instant::now();
+            let mut v = DeviceVerifier::builder(
+                *dev,
+                self.net.layout,
+                self.net.fib(*dev).clone(),
+                &self.packet_space,
+                self.vcfg.clone(),
+            )
+            .backend(self.kind)
+            .tasks(Vec::new())
+            .telemetry(self.tel.clone())
+            .build();
+            v.set_trace(trace);
+            let mut out = Vec::new();
+            v.init(&mut out);
+            let host_ns = wall.elapsed().as_nanos() as u64;
+            let span = self.clock.charge(*dev, 0, host_ns);
+            let st = self.stats.per_device.entry(*dev).or_default();
+            st.init_ns = span.cpu_ns;
+            st.bdd_nodes = v.bdd_nodes();
+            if self.tel.is_enabled() {
+                self.tel
+                    .span_aux(*dev, "init.build", "init", begin, host_ns.max(1), trace, 0);
+            }
+            for env in out {
+                self.transport.send(*dev, span.finish, env);
+            }
+            self.verifiers.insert(*dev, v);
+        }
+        let r = self.fence_and_apply(&delta, Some(&space), trace, "intent.install");
+        Ok((id, delta, r))
+    }
+
+    /// Removes a live intent under the same epoch fence as
+    /// [`Engine::install_intent`]: only nodes no surviving intent owns
+    /// are uninstalled (shared tasks stay — cheaper by exactly the
+    /// dedup), and the exchange re-converges.
+    pub fn remove_intent(&mut self, id: IntentId) -> Result<(IntentDelta, RunOutcome), PlanError> {
+        let delta = self.store.remove(id)?;
+        self.reset_time();
+        let trace = self.alloc_trace();
+        let r = self.fence_and_apply(&delta, None, trace, "intent.remove");
+        Ok((delta, r))
+    }
+
+    /// Bumps the epoch fence, applies an intent delta's removals and
+    /// task changes (`space` is the base packet space for new nodes —
+    /// `None` for removals, which never create nodes), re-announces
+    /// durable state on every reachable device and drives the exchange
+    /// to quiescence.
+    fn fence_and_apply(
+        &mut self,
+        delta: &IntentDelta,
+        space: Option<&PortablePred>,
+        trace: u64,
+        span_name: &'static str,
+    ) -> RunOutcome {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        if self.tel.is_enabled() {
+            let first = self.verifiers.keys().next().copied().unwrap_or(DeviceId(0));
+            self.tel.count(first, "tulkun_epoch_bumps_total", 1);
+        }
+        for v in self.verifiers.values_mut() {
+            v.set_epoch(epoch);
+        }
+        // Fence *before* any new-epoch send: everything in flight is
+        // superseded; re-announcement repairs what it carried.
+        self.transport.epoch_fence(epoch);
+        for (dev, gone) in &delta.removed {
+            if let Some(v) = self.verifiers.get_mut(dev) {
+                v.remove_nodes(gone);
+            }
+        }
+        for (dev, tasks) in &delta.changed {
+            let v = self.verifiers.get_mut(dev).expect("verifier built above");
+            let begin = self.tel.host_tick();
+            let wall = Instant::now();
+            let mut replies = Vec::new();
+            v.set_trace(trace);
+            match space {
+                Some(sp) => v.install_tasks(tasks.clone(), sp, &mut replies),
+                None => v.set_tasks(tasks.clone(), &mut replies),
+            }
+            let host_ns = wall.elapsed().as_nanos() as u64;
+            let span = self.clock.charge(*dev, 0, host_ns);
+            self.stats.per_device.entry(*dev).or_default().busy_ns += span.cpu_ns;
+            if self.tel.is_enabled() {
+                self.tel.span_aux(
+                    *dev,
+                    span_name,
+                    "intent",
+                    begin,
+                    host_ns.max(1),
+                    trace,
+                    epoch,
+                );
+            }
+            for env in replies {
+                self.transport.send(*dev, span.finish, env);
+            }
+        }
+        // Every reachable device re-announces its durable state under
+        // the new epoch — including unchanged devices, whose in-flight
+        // messages the fence just dropped.
+        let devs: Vec<DeviceId> = self
+            .verifiers
+            .keys()
+            .copied()
+            .filter(|d| !self.quarantined.contains(d))
+            .collect();
+        for dev in devs {
+            let v = self.verifiers.get_mut(&dev).unwrap();
+            let wall = Instant::now();
+            let mut replies = Vec::new();
+            v.set_trace(trace);
+            v.reannounce(&mut replies);
+            if replies.is_empty() {
+                continue;
+            }
+            let span = self.clock.charge(dev, 0, wall.elapsed().as_nanos() as u64);
+            self.stats.per_device.entry(dev).or_default().busy_ns += span.cpu_ns;
+            for env in replies {
+                self.transport.send(dev, span.finish, env);
+            }
+        }
+        self.run()
     }
 
     /// The runtime observability surface.
@@ -1213,6 +1484,64 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// The counting plan driving this engine.
     pub fn plan(&self) -> &CountingPlan {
         &self.plan
+    }
+}
+
+impl<T: Transport, C: Clock> Substrate for Engine<T, C> {
+    /// Applies one [`RuntimeEvent`] and drives the exchange to
+    /// quiescence. Backend hot-swap lives in the service layer (it
+    /// rebuilds the engine), so [`RuntimeEvent::SetBackend`] is
+    /// rejected here.
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError> {
+        use RuntimeEvent as E;
+        match ev {
+            E::Batch(updates) => {
+                let r = self.apply_batch(updates);
+                Ok(EventOutcome {
+                    messages: r.messages,
+                    ..EventOutcome::default()
+                })
+            }
+            E::Topology {
+                event,
+                base,
+                invariant,
+            } => {
+                let r = self.apply_topology_event(event, base, invariant)?;
+                Ok(EventOutcome {
+                    messages: r.messages,
+                    ..EventOutcome::default()
+                })
+            }
+            E::CrashRestart(dev) => {
+                let r = self.crash_restart(*dev);
+                Ok(EventOutcome {
+                    messages: r.messages,
+                    ..EventOutcome::default()
+                })
+            }
+            E::SetBackend(_) => Err(PlanError::Unsupported(
+                "hot backend swap is a service-layer event (the engine \
+                 must be rebuilt); use the verification service"
+                    .to_string(),
+            )),
+            E::InstallIntent { name, invariant } => {
+                let (id, delta, r) = self.install_intent(name, invariant)?;
+                Ok(EventOutcome {
+                    messages: r.messages,
+                    intent: Some(id),
+                    slice: Some((delta.total_nodes, delta.reused_nodes)),
+                })
+            }
+            E::RemoveIntent(id) => {
+                let (delta, r) = self.remove_intent(*id)?;
+                Ok(EventOutcome {
+                    messages: r.messages,
+                    intent: Some(*id),
+                    slice: Some((delta.total_nodes, delta.reused_nodes)),
+                })
+            }
+        }
     }
 }
 
@@ -1250,6 +1579,9 @@ enum DeviceMsg {
         wipe: bool,
         /// Re-announce after applying (false for quarantined devices).
         reannounce: bool,
+        /// Base packet space for *new* nodes in `tasks` (intent
+        /// installs); `None` re-tasks under each node's existing base.
+        base: Option<PortablePred>,
     },
     #[cfg(test)]
     Crash,
@@ -1445,6 +1777,18 @@ pub struct ThreadedEngine {
     stalled: Mutex<BTreeMap<DeviceId, u64>>,
     tel: Arc<Telemetry>,
     joined: bool,
+    /// The runtime intent store: the base plan is intent 0.
+    store: IntentStore,
+    /// Topology snapshot for runtime intent compilation (planning is
+    /// FIB-independent, so no live FIB copy is needed here).
+    topology: Topology,
+    /// Header layout for compiling intent packet spaces.
+    layout: HeaderLayout,
+    /// The base intent's packet space (re-seeded on a churn re-plan).
+    base_space: PacketSpace,
+    /// Topology churn events applied so far (the epoch also advances
+    /// on intent installs/removals; freshness keys off this counter).
+    churn_events: u64,
 }
 
 impl ThreadedEngine {
@@ -1580,6 +1924,7 @@ impl ThreadedEngine {
                                 remove,
                                 wipe,
                                 reannounce,
+                                base,
                             } => {
                                 let begin = tel.host_tick();
                                 let wall = Instant::now();
@@ -1594,7 +1939,10 @@ impl ThreadedEngine {
                                     verifier.remove_nodes(&remove);
                                 }
                                 if let Some(tasks) = tasks {
-                                    verifier.set_tasks(tasks, &mut out);
+                                    match &base {
+                                        Some(sp) => verifier.install_tasks(tasks, sp, &mut out),
+                                        None => verifier.set_tasks(tasks, &mut out),
+                                    }
                                 }
                                 if reannounce {
                                     verifier.reannounce(&mut out);
@@ -1655,6 +2003,11 @@ impl ThreadedEngine {
             stalled: Mutex::new(BTreeMap::new()),
             tel: cfg.telemetry.clone(),
             joined: false,
+            store: IntentStore::with_base(plan.clone(), ps.clone(), None),
+            topology: net.topology.clone(),
+            layout: net.layout,
+            base_space: ps.clone(),
+            churn_events: 0,
         }
     }
 
@@ -1738,6 +2091,13 @@ impl ThreadedEngine {
         base: &Topology,
         inv: &Invariant,
     ) -> Result<(), PlanError> {
+        if !self.store.only_base() {
+            return Err(PlanError::Unsupported(
+                "topology churn with live runtime intents is not \
+                 supported yet: remove non-base intents first"
+                    .to_string(),
+            ));
+        }
         let mut churn = self.churn.clone();
         if !churn.apply(ev) {
             return Ok(());
@@ -1775,6 +2135,7 @@ impl ThreadedEngine {
                 remove: delta.removed.get(dev).cloned().unwrap_or_default(),
                 wipe: wipe_dev == Some(*dev),
                 reannounce: !self.quarantined.contains(dev),
+                base: None,
             };
             self.inflight.add(1);
             if tx.send(bundle).is_ok() {
@@ -1787,8 +2148,135 @@ impl ThreadedEngine {
         for (n, d) in &delta.unreachable {
             self.unreachable.insert(*n, *d);
         }
+        self.churn_events += 1;
+        self.store.rebase(
+            delta.plan.clone(),
+            self.base_space.clone(),
+            Some(inv.clone()),
+        );
         self.plan = delta.plan;
         Ok(())
+    }
+
+    /// The runtime intent store (read-only).
+    pub fn intents(&self) -> &IntentStore {
+        &self.store
+    }
+
+    /// Compiles `inv` and installs it as a runtime intent under an
+    /// epoch bump, fanning each device's share (fence + task diff with
+    /// the intent's base packet space + re-announcement) out as one
+    /// atomic channel message. Call [`ThreadedEngine::wait_quiescent`]
+    /// afterwards to let re-convergence drain.
+    ///
+    /// Device threads are fixed at [`ThreadedEngine::spawn`], so an
+    /// intent whose slice touches a thread-less device is rejected
+    /// *before* the store is touched (spawn with
+    /// [`EngineConfig::all_devices`] to keep every device taskable).
+    pub fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        self.install_intent_inner(None, name, inv)
+    }
+
+    /// [`ThreadedEngine::install_intent`] under a caller-chosen id —
+    /// for deterministic replay.
+    pub fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        self.install_intent_inner(Some(id), name, inv)
+    }
+
+    fn install_intent_inner(
+        &mut self,
+        id: Option<IntentId>,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta), PlanError> {
+        if !self.churn.is_quiet() {
+            return Err(PlanError::Unsupported(
+                "intent install on a churned topology is not supported \
+                 yet: intents compile against the base topology"
+                    .to_string(),
+            ));
+        }
+        let plan = Planner::new(&self.topology).plan(inv)?;
+        let PlanKind::Counting(cp) = &plan.kind else {
+            return Err(PlanError::Unsupported(
+                "runtime intents require a counting plan (local-contract \
+                 behaviors have no DPVNet slice to install)"
+                    .to_string(),
+            ));
+        };
+        // Transactionality: reject a slice touching a thread-less
+        // device *before* the store commits anything.
+        for t in &cp.tasks {
+            if !self.senders.contains_key(&t.dev) {
+                return Err(PlanError::Unsupported(format!(
+                    "intent {name:?} tasks device {:?}, which has no \
+                     verifier thread (spawn with EngineConfig::all_devices)",
+                    t.dev
+                )));
+            }
+        }
+        let (id, delta) = self.store.install(
+            id,
+            name,
+            Some(inv.clone()),
+            cp.clone(),
+            inv.packet_space.clone(),
+        )?;
+        let space = verify::compile_packet_space(
+            &self.layout,
+            delta.space.as_ref().unwrap_or(&inv.packet_space),
+        );
+        self.fence_and_fan_out(&delta, Some(space));
+        Ok((id, delta))
+    }
+
+    /// Removes a live intent under the same epoch fence: only nodes no
+    /// surviving intent owns are uninstalled. Call
+    /// [`ThreadedEngine::wait_quiescent`] afterwards.
+    pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
+        let delta = self.store.remove(id)?;
+        self.fence_and_fan_out(&delta, None);
+        Ok(delta)
+    }
+
+    /// Bumps the epoch and sends every device thread its share of an
+    /// intent delta as one atomic [`DeviceMsg::Churn`] bundle (fence +
+    /// removals + task diff + re-announcement). `base` is the packet
+    /// space new nodes count over (`None` for removals).
+    fn fence_and_fan_out(&mut self, delta: &IntentDelta, base: Option<PortablePred>) {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let trace = self.alloc_trace();
+        if self.tel.is_enabled() {
+            let first = self.senders.keys().next().copied().unwrap_or(DeviceId(0));
+            self.tel.count(first, "tulkun_epoch_bumps_total", 1);
+        }
+        for (dev, tx) in &self.senders {
+            let tasks = delta.changed.get(dev).cloned();
+            let bundle = DeviceMsg::Churn {
+                epoch,
+                trace,
+                base: if tasks.is_some() { base.clone() } else { None },
+                tasks,
+                remove: delta.removed.get(dev).cloned().unwrap_or_default(),
+                wipe: false,
+                reannounce: !self.quarantined.contains(dev),
+            };
+            self.inflight.add(1);
+            if tx.send(bundle).is_ok() {
+                self.progress.note_enqueued(*dev);
+            } else {
+                self.inflight.release();
+            }
+        }
     }
 
     /// Injects a rule update at its device (counts as one in-flight
@@ -1873,9 +2361,15 @@ impl ThreadedEngine {
     /// Collects source results and evaluates the invariant — the same
     /// report assembly as the single-driver engine, over channels.
     pub fn report(&self) -> Report {
-        let mut by_dev: BTreeMap<DeviceId, Vec<NodeId>> = BTreeMap::new();
-        for (dev, node) in self.plan.dpvnet.sources() {
-            by_dev.entry(*dev).or_default().push(*node);
+        // One Collect round trip per device covering every live
+        // intent's source nodes (global ids, deduplicated across
+        // overlapping slices).
+        let mut by_dev: BTreeMap<DeviceId, BTreeSet<NodeId>> = BTreeMap::new();
+        for intent in self.store.live() {
+            for (dev, local) in intent.plan.dpvnet.sources() {
+                let global = intent.to_global[local.0 as usize];
+                by_dev.entry(*dev).or_default().insert(global);
+            }
         }
         let mut results: BTreeMap<(DeviceId, NodeId), Vec<(PortablePred, Counts)>> =
             BTreeMap::new();
@@ -1884,7 +2378,10 @@ impl ThreadedEngine {
                 continue;
             };
             let (reply_tx, reply_rx) = mpsc::channel();
-            if tx.send(DeviceMsg::Collect(nodes, reply_tx)).is_err() {
+            if tx
+                .send(DeviceMsg::Collect(nodes.into_iter().collect(), reply_tx))
+                .is_err()
+            {
                 continue;
             }
             if let Ok(rs) = reply_rx.recv() {
@@ -1893,10 +2390,10 @@ impl ThreadedEngine {
                 }
             }
         }
-        let mut r = verify::evaluate_sources(&self.plan, |dev, node| {
+        let mut r = verify::evaluate_intents(&self.store, |dev, node| {
             results.get(&(dev, node)).cloned().unwrap_or_default()
         });
-        if self.epoch.load(Ordering::SeqCst) > 0 {
+        if self.churn_events > 0 {
             let stalled = self.stalled.lock().unwrap().clone();
             verify::mark_freshness(
                 &mut r,
@@ -1938,6 +2435,60 @@ impl ThreadedEngine {
         } else {
             Err(panics)
         }
+    }
+}
+
+impl Substrate for ThreadedEngine {
+    /// Applies one [`RuntimeEvent`] and waits for quiescence (the
+    /// threaded substrate is fire-and-forget internally, so the uniform
+    /// entry point drains before returning; `messages` is 0 — per-event
+    /// message counts are not tracked across threads).
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError> {
+        use RuntimeEvent as E;
+        let out = match ev {
+            E::Batch(updates) => {
+                self.inject_batch(updates.clone());
+                EventOutcome::default()
+            }
+            E::Topology {
+                event,
+                base,
+                invariant,
+            } => {
+                self.apply_topology_event(event, base, invariant)?;
+                EventOutcome::default()
+            }
+            E::CrashRestart(dev) => {
+                self.crash_restart(*dev);
+                EventOutcome::default()
+            }
+            E::SetBackend(_) => {
+                return Err(PlanError::Unsupported(
+                    "hot backend swap is a service-layer event (the \
+                     engine must be rebuilt); use the verification \
+                     service"
+                        .to_string(),
+                ))
+            }
+            E::InstallIntent { name, invariant } => {
+                let (id, delta) = self.install_intent(name, invariant)?;
+                EventOutcome {
+                    messages: 0,
+                    intent: Some(id),
+                    slice: Some((delta.total_nodes, delta.reused_nodes)),
+                }
+            }
+            E::RemoveIntent(id) => {
+                let delta = self.remove_intent(*id)?;
+                EventOutcome {
+                    messages: 0,
+                    intent: Some(*id),
+                    slice: Some((delta.total_nodes, delta.reused_nodes)),
+                }
+            }
+        };
+        self.wait_quiescent();
+        Ok(out)
     }
 }
 

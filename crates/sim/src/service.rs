@@ -27,10 +27,12 @@ use std::sync::Arc;
 use crate::event::{DvmSim, FaultyDvmSim, SimConfig, SimResult};
 use tulkun_core::churn::TopologyEvent;
 use tulkun_core::dvm::reliable::DEFAULT_CHANNEL_CAP;
+use tulkun_core::event::{EventOutcome, RuntimeEvent, Substrate};
 use tulkun_core::fault::FaultProfile;
+use tulkun_core::intent::{IntentDelta, IntentId, IntentStore};
 use tulkun_core::planner::{CountingPlan, PlanError};
 use tulkun_core::spec::Invariant;
-use tulkun_core::verify::Report;
+use tulkun_core::verify::{Freshness, Report};
 use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::topology::{DeviceId, Topology};
 use tulkun_predicate::BackendKind;
@@ -91,6 +93,16 @@ pub enum ServiceRequest {
     Batch(Vec<RuleUpdate>),
     /// A live topology churn event (epoch fence + incremental re-plan).
     Churn(TopologyEvent),
+    /// Install an invariant as a runtime intent (its DPVNet slice is
+    /// deduplicated against live intents).
+    IntentAdd {
+        /// Human-readable intent name.
+        name: String,
+        /// The invariant to compile and install.
+        invariant: Invariant,
+    },
+    /// Remove a live intent; shared nodes survive.
+    IntentRemove(IntentId),
 }
 
 /// Why the service refused a request.
@@ -133,6 +145,9 @@ pub struct ServiceStatus {
     pub processed: u64,
     /// Churn events the planner rejected (epoch unchanged).
     pub rejected_churn: u64,
+    /// Intent requests the planner or store rejected (e.g. a slice the
+    /// plan cannot count, or removing an unknown id).
+    pub rejected_intents: u64,
     /// Requests currently queued across all sources.
     pub queued: usize,
     /// Drain rounds run.
@@ -141,6 +156,23 @@ pub struct ServiceStatus {
     pub epoch: u64,
     /// Requests applied per source, in source order.
     pub per_source: Vec<(String, u64)>,
+    /// Live intents in id order: id, name and slice freshness (`false`
+    /// when any of the intent's nodes is stale or unreachable).
+    pub intents: Vec<IntentStatus>,
+}
+
+/// One live intent's row in `tulkun status`.
+#[derive(Debug, Clone)]
+pub struct IntentStatus {
+    /// The intent's id (0 = the base intent the service started with).
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Global DPVNet nodes in the intent's slice (shared nodes counted
+    /// once per intent).
+    pub nodes: usize,
+    /// Every node of the slice is counted against the current epoch.
+    pub fresh: bool,
 }
 
 impl ServiceStatus {
@@ -155,6 +187,10 @@ impl ServiceStatus {
                 "rejected_churn".into(),
                 Json::Int(self.rejected_churn as i64),
             ),
+            (
+                "rejected_intents".into(),
+                Json::Int(self.rejected_intents as i64),
+            ),
             ("queued".into(), Json::Int(self.queued as i64)),
             ("drains".into(), Json::Int(self.drains as i64)),
             ("epoch".into(), Json::Int(self.epoch as i64)),
@@ -164,6 +200,23 @@ impl ServiceStatus {
                     self.per_source
                         .iter()
                         .map(|(s, n)| (s.clone(), Json::Int(*n as i64)))
+                        .collect(),
+                ),
+            ),
+            ("intent_count".into(), Json::Int(self.intents.len() as i64)),
+            (
+                "intents".into(),
+                Json::Array(
+                    self.intents
+                        .iter()
+                        .map(|i| {
+                            Json::Object(vec![
+                                ("id".into(), Json::Int(i.id as i64)),
+                                ("name".into(), Json::Str(i.name.clone())),
+                                ("nodes".into(), Json::Int(i.nodes as i64)),
+                                ("fresh".into(), Json::Bool(i.fresh)),
+                            ])
+                        })
                         .collect(),
                 ),
             ),
@@ -212,6 +265,43 @@ impl Harness {
             Harness::Faulty(s) => s.epoch(),
         }
     }
+
+    fn intents(&self) -> &IntentStore {
+        match self {
+            Harness::Clean(s) => s.intents(),
+            Harness::Faulty(s) => s.intents(),
+        }
+    }
+
+    fn install_intent(
+        &mut self,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, SimResult), PlanError> {
+        match self {
+            Harness::Clean(s) => s.install_intent(name, inv),
+            Harness::Faulty(s) => s.install_intent(name, inv),
+        }
+    }
+
+    fn install_intent_as(
+        &mut self,
+        id: IntentId,
+        name: &str,
+        inv: &Invariant,
+    ) -> Result<(IntentId, IntentDelta, SimResult), PlanError> {
+        match self {
+            Harness::Clean(s) => s.install_intent_as(id, name, inv),
+            Harness::Faulty(s) => s.install_intent_as(id, name, inv),
+        }
+    }
+
+    fn remove_intent(&mut self, id: IntentId) -> Result<(IntentDelta, SimResult), PlanError> {
+        match self {
+            Harness::Clean(s) => s.remove_intent(id),
+            Harness::Faulty(s) => s.remove_intent(id),
+        }
+    }
 }
 
 /// The always-on verification service. See the module docs for the
@@ -236,6 +326,7 @@ pub struct Service {
     shed: u64,
     processed: u64,
     rejected_churn: u64,
+    rejected_intents: u64,
     drains: u64,
     tel: Arc<Telemetry>,
     slo: SloTracker,
@@ -276,6 +367,7 @@ impl Service {
             shed: 0,
             processed: 0,
             rejected_churn: 0,
+            rejected_intents: 0,
             drains: 0,
             tel,
             slo,
@@ -410,6 +502,22 @@ impl Service {
                     }
                 }
             }
+            ServiceRequest::IntentAdd { name, invariant } => {
+                match self.harness.install_intent(&name, &invariant) {
+                    Ok((_, _, outcome)) => Some(outcome),
+                    Err(_) => {
+                        self.rejected_intents += 1;
+                        None
+                    }
+                }
+            }
+            ServiceRequest::IntentRemove(id) => match self.harness.remove_intent(id) {
+                Ok((_, outcome)) => Some(outcome),
+                Err(_) => {
+                    self.rejected_intents += 1;
+                    None
+                }
+            },
         }
     }
 
@@ -420,13 +528,38 @@ impl Service {
         self.harness.report()
     }
 
-    /// Counters and queue state.
-    pub fn status(&self) -> ServiceStatus {
+    /// Counters, queue state and per-intent freshness. Takes `&mut
+    /// self` because slice freshness reads the current report (result
+    /// export runs through each device's BDD manager); the ingress
+    /// queues are *not* drained.
+    pub fn status(&mut self) -> ServiceStatus {
+        let report = self.harness.report();
+        let stale: std::collections::BTreeSet<_> = report
+            .freshness
+            .iter()
+            .filter(|(_, f)| !matches!(f, Freshness::Fresh))
+            .map(|(n, _)| *n)
+            .collect();
+        let intents = self
+            .harness
+            .intents()
+            .live()
+            .map(|i| {
+                let nodes = i.global_nodes();
+                IntentStatus {
+                    id: i.id.0,
+                    name: i.name.clone(),
+                    nodes: nodes.len(),
+                    fresh: nodes.iter().all(|n| !stale.contains(n)),
+                }
+            })
+            .collect();
         ServiceStatus {
             admitted: self.admitted,
             shed: self.shed,
             processed: self.processed,
             rejected_churn: self.rejected_churn,
+            rejected_intents: self.rejected_intents,
             queued: self.queued,
             drains: self.drains,
             epoch: self.harness.epoch(),
@@ -435,7 +568,13 @@ impl Service {
                 .iter()
                 .map(|(s, n)| (s.clone(), *n))
                 .collect(),
+            intents,
         }
+    }
+
+    /// The runtime intent store (read-only).
+    pub fn intents(&self) -> &IntentStore {
+        self.harness.intents()
     }
 
     /// The SLO verdict over the rolling drain-round windows.
@@ -479,13 +618,25 @@ impl Service {
 
     /// Hot-swaps the predicate backend: rebuilds the harness from the
     /// current network (every processed batch folded in), re-runs the
-    /// burst, and replays the successful churn log so the epoch and
-    /// quarantine state carry over. Queued-but-undrained requests are
-    /// preserved and will be applied to the new harness. The rebuild's
-    /// init wave lands in the SLO windows — a backend switch is not
-    /// free, and the tracker says so.
+    /// burst, replays the successful churn log so the epoch and
+    /// quarantine state carry over, and re-installs every live runtime
+    /// intent *under its original id* (ids are part of the protocol —
+    /// a client holding an id from before the swap can still remove
+    /// it). Queued-but-undrained requests are preserved and will be
+    /// applied to the new harness. The rebuild's init wave lands in the
+    /// SLO windows — a backend switch is not free, and the tracker says
+    /// so.
     pub fn set_backend(&mut self, backend: BackendKind) -> Result<(), ServiceError> {
         self.cfg.backend = backend;
+        // Live non-base intents, read off the old harness before it is
+        // dropped (the base intent is re-seeded by construction).
+        let live: Vec<(IntentId, String, Option<Invariant>)> = self
+            .harness
+            .intents()
+            .live()
+            .filter(|i| i.id.0 != 0)
+            .map(|i| (i.id, i.name.clone(), i.invariant.clone()))
+            .collect();
         let mut harness =
             Service::build_harness(&self.net, &self.plan, &self.inv, &self.cfg, &self.tel);
         match &mut harness {
@@ -501,9 +652,76 @@ impl Service {
                 .apply_topology_event(ev, &self.base_topo, &self.inv)
                 .map_err(|e| ServiceError::Rejected(format!("churn replay failed: {e:?}")))?;
         }
+        for (id, name, inv) in &live {
+            let Some(inv) = inv else {
+                return Err(ServiceError::Rejected(format!(
+                    "intent {id} has no stored invariant to replay"
+                )));
+            };
+            harness
+                .install_intent_as(*id, name, inv)
+                .map_err(|e| ServiceError::Rejected(format!("intent replay failed: {e:?}")))?;
+        }
         self.harness = harness;
         self.slo.roll(&self.tel.metrics());
         Ok(())
+    }
+}
+
+impl Substrate for Service {
+    /// The uniform event entry point: intent and batch/churn events are
+    /// *offered* through admission control under the synthetic source
+    /// `"event"` and drained immediately (one-request round);
+    /// [`RuntimeEvent::SetBackend`] maps to the rebuild path and
+    /// [`RuntimeEvent::CrashRestart`] is outside the service's model.
+    fn apply_event(&mut self, ev: &RuntimeEvent) -> Result<EventOutcome, PlanError> {
+        use RuntimeEvent as E;
+        let req = match ev {
+            E::Batch(updates) => ServiceRequest::Batch(updates.clone()),
+            E::Topology { event, .. } => ServiceRequest::Churn(*event),
+            E::CrashRestart(_) => {
+                return Err(PlanError::Unsupported(
+                    "the service drives a simulator harness without \
+                     crash injection; use the sim substrates directly"
+                        .to_string(),
+                ))
+            }
+            E::SetBackend(kind) => {
+                self.set_backend(*kind)
+                    .map_err(|e| PlanError::Unsupported(e.to_string()))?;
+                return Ok(EventOutcome::default());
+            }
+            E::InstallIntent { name, invariant } => ServiceRequest::IntentAdd {
+                name: name.clone(),
+                invariant: invariant.clone(),
+            },
+            E::RemoveIntent(id) => ServiceRequest::IntentRemove(*id),
+        };
+        // Flush queued work first so the id the store will hand our
+        // install is known before it is enqueued.
+        self.drain();
+        let before = (self.rejected_churn, self.rejected_intents);
+        let next_id = match ev {
+            E::InstallIntent { .. } => Some(IntentId(self.harness.intents().next_intent_id())),
+            _ => None,
+        };
+        self.offer("event", req)
+            .map_err(|e| PlanError::Unsupported(e.to_string()))?;
+        self.drain();
+        if self.rejected_churn > before.0 || self.rejected_intents > before.1 {
+            return Err(PlanError::Unsupported(
+                "the harness rejected the event (see status counters)".to_string(),
+            ));
+        }
+        Ok(EventOutcome {
+            messages: 0,
+            intent: match ev {
+                E::InstallIntent { .. } => next_id,
+                E::RemoveIntent(id) => Some(*id),
+                _ => None,
+            },
+            slice: None,
+        })
     }
 }
 

@@ -14,6 +14,8 @@
 //! churn <source> link-up <A> <B>
 //! churn <source> device-down <D>
 //! churn <source> device-up <D>
+//! intent add <source> <json object>             admit an intent install
+//! intent remove <source> <id>                   admit an intent removal
 //! drain [<max>]                                 apply queued requests
 //! report                                        canonical Report JSON
 //! status                                        counters + queue state
@@ -30,6 +32,13 @@
 //! [`netmodel::network::RuleUpdate`], e.g.
 //! `[{"Insert":{"device":3,"rule":{...}}}]`.
 //!
+//! Intent JSON names the intent and carries the invariant in the spec
+//! surface syntax, e.g. `{"name":"edge reach","spec":"(dstIP=10.0.0.0/23,
+//! [S], (exist >= 1, /S .* W .* D/ loop_free))"}`. The `ok` reply to
+//! `intent add` echoes the queue depth; the id the install will get is
+//! reported by `status` once drained. `intent remove <id>` takes that
+//! id (the base session is intent 0 and cannot be removed).
+//!
 //! Determinism contract: a scripted session (batches + churn from one
 //! source, drained in order) produces a final Report byte-equal to
 //! applying the same events directly via `apply_batch` /
@@ -38,6 +47,7 @@
 
 use crate::core::churn::TopologyEvent;
 use crate::core::count::CountExpr;
+use crate::core::intent::IntentId;
 use crate::core::planner::{CountingPlan, Planner};
 use crate::core::spec::{Behavior, Invariant, PacketSpace, PathExpr};
 use crate::netmodel::network::{Network, RuleUpdate};
@@ -191,6 +201,7 @@ impl DaemonSession {
         Some(match cmd {
             "batch" => self.handle_batch(rest),
             "churn" => self.handle_churn(rest),
+            "intent" => self.handle_intent(rest),
             "drain" => {
                 let max = if rest.is_empty() {
                     usize::MAX
@@ -285,6 +296,51 @@ impl DaemonSession {
             }
         };
         match self.service.offer(parts[0], ServiceRequest::Churn(ev)) {
+            Ok(()) => {
+                self.after_admit();
+                Reply::ok(format!("queued={}", self.service.status().queued))
+            }
+            Err(e) => Reply::err(e.to_string()),
+        }
+    }
+
+    fn handle_intent(&mut self, rest: &str) -> Reply {
+        const USAGE: &str =
+            "usage: intent add <source> {\"name\":...,\"spec\":...} | intent remove <source> <id>";
+        let Some((verb, rest)) = rest.split_once(char::is_whitespace) else {
+            return Reply::err(USAGE);
+        };
+        let Some((source, arg)) = rest.trim().split_once(char::is_whitespace) else {
+            return Reply::err(USAGE);
+        };
+        let req = match verb {
+            "add" => {
+                let obj = match crate::json::parse(arg.trim()) {
+                    Ok(o) => o,
+                    Err(e) => return Reply::err(format!("bad intent json: {e}")),
+                };
+                let Some(name) = obj.get("name").and_then(|v| v.as_str()) else {
+                    return Reply::err("intent json needs a string \"name\" field");
+                };
+                let Some(spec) = obj.get("spec").and_then(|v| v.as_str()) else {
+                    return Reply::err("intent json needs a string \"spec\" field");
+                };
+                let invariant = match Invariant::parse(spec) {
+                    Ok(inv) => inv,
+                    Err(e) => return Reply::err(format!("bad intent spec: {e}")),
+                };
+                ServiceRequest::IntentAdd {
+                    name: name.to_string(),
+                    invariant,
+                }
+            }
+            "remove" => match arg.trim().parse::<u64>() {
+                Ok(id) => ServiceRequest::IntentRemove(IntentId(id)),
+                Err(_) => return Reply::err(format!("bad intent id {arg:?}")),
+            },
+            _ => return Reply::err(USAGE),
+        };
+        match self.service.offer(source, req) {
             Ok(()) => {
                 self.after_admit();
                 Reply::ok(format!("queued={}", self.service.status().queued))

@@ -14,7 +14,11 @@ use tulkun::daemon::{dataset_session, DaemonConfig, DaemonSession};
 use tulkun::sim::{DvmSim, ServiceConfig, SimConfig};
 
 /// Renders a churn event as its protocol line from source `src`.
-fn churn_line(topo: &tulkun::netmodel::topology::Topology, src: &str, ev: &TopologyEvent) -> String {
+fn churn_line(
+    topo: &tulkun::netmodel::topology::Topology,
+    src: &str,
+    ev: &TopologyEvent,
+) -> String {
     match ev {
         TopologyEvent::LinkDown(a, b) => {
             format!("churn {src} link-down {} {}", topo.name(*a), topo.name(*b))
@@ -57,10 +61,7 @@ fn run_scripted_session(batches: usize, faults: Option<FaultProfile>) {
         Vec::new();
     for (i, up) in trace.iter().enumerate() {
         let batch = vec![up.clone()];
-        script.push(format!(
-            "batch cp {}",
-            tulkun::json::to_string(&batch)
-        ));
+        script.push(format!("batch cp {}", tulkun::json::to_string(&batch)));
         expected.push(Ok(batch));
         if (i + 1) % 25 == 0 {
             if let Some(ev) = churn_events.next() {
@@ -114,12 +115,21 @@ fn run_scripted_session(batches: usize, faults: Option<FaultProfile>) {
     }
     let reference_report =
         String::from_utf8(reference.report().canonical_bytes()).expect("utf8 report");
-    assert_eq!(final_report, reference_report, "daemon diverged from direct replay");
+    assert_eq!(
+        final_report, reference_report,
+        "daemon diverged from direct replay"
+    );
 
     let status = session.service_mut().status();
     assert_eq!(status.queued, 0, "final drain left work queued");
-    assert_eq!(status.shed, 0, "single-source script under the cap never sheds");
-    assert!(status.processed as usize >= batches, "all batches processed");
+    assert_eq!(
+        status.shed, 0,
+        "single-source script under the cap never sheds"
+    );
+    assert!(
+        status.processed as usize >= batches,
+        "all batches processed"
+    );
 }
 
 #[test]
@@ -132,6 +142,67 @@ fn scripted_session_matches_clean_replay_under_loss() {
     run_scripted_session(200, Some(FaultProfile::loss(23, 0.10)));
 }
 
+/// The intent spec line a client would send for a one-ingress subset
+/// intent toward the dataset's external destination (same
+/// outcome-vector shape as the base session).
+fn narrow_intent_spec(topo: &tulkun::netmodel::topology::Topology) -> String {
+    let (dst, _) = topo.external_map().next().expect("external dst");
+    let dst_name = topo.name(dst);
+    let prefix = topo.external_prefixes(dst)[0];
+    let ingress = topo
+        .devices()
+        .find(|d| *d != dst)
+        .map(|d| topo.name(d).to_string())
+        .expect("an ingress");
+    format!("(dstIP={prefix}, [{ingress}], (subset, /. * {dst_name}/ loop_free (<= shortest+2)))")
+}
+
+#[test]
+fn intent_protocol_round_trips() {
+    let mut session = DaemonSession::new(DaemonConfig::default()).expect("daemon session");
+    let spec = narrow_intent_spec(&session.topology().clone());
+    let payload = format!(
+        "{{\"name\":\"narrow\",\"spec\":{}}}",
+        tulkun::json::to_string(spec.as_str())
+    );
+
+    let ok = |r: Option<tulkun::daemon::Reply>| {
+        let r = r.expect("reply");
+        assert!(r.text.starts_with("ok "), "{}", r.text);
+        r.text
+    };
+    let err = |r: Option<tulkun::daemon::Reply>| {
+        let r = r.expect("reply");
+        assert!(r.text.starts_with("err "), "{}", r.text);
+        r.text
+    };
+
+    ok(session.handle_line(&format!("intent add ops {payload}")));
+    ok(session.handle_line("drain"));
+    let status = ok(session.handle_line("status"));
+    assert!(status.contains("\"intent_count\":2"), "{status}");
+    assert!(status.contains("\"rejected_intents\":0"), "{status}");
+    assert!(status.contains("\"name\":\"narrow\""), "{status}");
+
+    ok(session.handle_line("intent remove ops 1"));
+    ok(session.handle_line("drain"));
+    let status = ok(session.handle_line("status"));
+    assert!(status.contains("\"intent_count\":1"), "{status}");
+    assert!(status.contains("\"rejected_intents\":0"), "{status}");
+
+    // Malformed requests are rejected with a reason, not admitted.
+    err(session.handle_line("intent add ops notjson"));
+    err(session.handle_line("intent add ops {\"name\":\"x\"}"));
+    err(session.handle_line("intent remove ops twelve"));
+    err(session.handle_line("intent frobnicate ops 1"));
+    // Removing the base session is admitted but rejected at apply time.
+    ok(session.handle_line("intent remove ops 0"));
+    ok(session.handle_line("drain"));
+    let status = ok(session.handle_line("status"));
+    assert!(status.contains("\"rejected_intents\":1"), "{status}");
+    assert!(status.contains("\"intent_count\":1"), "{status}");
+}
+
 #[test]
 fn daemon_binary_speaks_the_protocol_over_stdin() {
     // A real batch for the wire: one insert on the INet2 dataset.
@@ -139,6 +210,10 @@ fn daemon_binary_speaks_the_protocol_over_stdin() {
     let update = tulkun::datasets::rule_updates(&ds.network, 1, 5).remove(0);
     let batch_json = tulkun::json::to_string(&vec![update]);
 
+    let intent_json = format!(
+        "{{\"name\":\"narrow\",\"spec\":{}}}",
+        tulkun::json::to_string(narrow_intent_spec(&ds.network.topology).as_str())
+    );
     let script = format!(
         "# smoke script\n\
          status\n\
@@ -147,6 +222,9 @@ fn daemon_binary_speaks_the_protocol_over_stdin() {
          drain\n\
          report\n\
          slo\n\
+         intent add ops {intent_json}\n\
+         intent remove ops 1\n\
+         drain\n\
          badcmd\n\
          quit\n"
     );
@@ -172,14 +250,49 @@ fn daemon_binary_speaks_the_protocol_over_stdin() {
     );
     let stdout = String::from_utf8(out.stdout).unwrap();
     let replies: Vec<&str> = stdout.lines().collect();
-    // Comment swallowed; 8 requests → 8 replies.
-    assert_eq!(replies.len(), 8, "unexpected replies: {stdout}");
-    assert!(replies[0].starts_with("ok {\"admitted\""), "status: {}", replies[0]);
-    assert!(replies[1].starts_with("ok admitted=1"), "batch: {}", replies[1]);
-    assert!(replies[2].starts_with("ok queued="), "churn: {}", replies[2]);
-    assert!(replies[3].starts_with("ok processed=2"), "drain: {}", replies[3]);
+    // Comment swallowed; 11 requests → 11 replies.
+    assert_eq!(replies.len(), 11, "unexpected replies: {stdout}");
+    assert!(
+        replies[0].starts_with("ok {\"admitted\""),
+        "status: {}",
+        replies[0]
+    );
+    assert!(
+        replies[1].starts_with("ok admitted=1"),
+        "batch: {}",
+        replies[1]
+    );
+    assert!(
+        replies[2].starts_with("ok queued="),
+        "churn: {}",
+        replies[2]
+    );
+    assert!(
+        replies[3].starts_with("ok processed=2"),
+        "drain: {}",
+        replies[3]
+    );
     assert!(replies[4].starts_with("ok ["), "report: {}", replies[4]);
     assert!(replies[5].starts_with("ok {\"ok\""), "slo: {}", replies[5]);
-    assert!(replies[6].starts_with("err unknown request"), "badcmd: {}", replies[6]);
-    assert_eq!(replies[7], "ok bye");
+    assert!(
+        replies[6].starts_with("ok queued="),
+        "intent add: {}",
+        replies[6]
+    );
+    assert!(
+        replies[7].starts_with("ok queued="),
+        "intent remove: {}",
+        replies[7]
+    );
+    assert!(
+        replies[8].starts_with("ok processed=2"),
+        "drain: {}",
+        replies[8]
+    );
+    assert!(
+        replies[9].starts_with("err unknown request"),
+        "badcmd: {}",
+        replies[9]
+    );
+    assert_eq!(replies[10], "ok bye");
 }
