@@ -181,6 +181,10 @@ stage_perf_gate() {
             --diff BENCH_daemon.json "$fresh" \
             --gate "p99 ns" --tolerance "${PERF_GATE_TOLERANCE:-25}"
     else
+        # Machine-readable marker, also recorded by bench_daemon in the
+        # snapshot's "notes" field — grep for it to tell a skipped gate
+        # from a passed one.
+        echo "perf-gate: SKIP(reason=1cpu)"
         echo "perf-gate: SKIPPING the p99 latency gate: this host has $cpus CPU" >&2
         echo "perf-gate: (timing here measures core contention, not the daemon;" >&2
         echo "perf-gate:  set TULKUN_PERF_GATE_FORCE=1 to run the gate anyway)" >&2
@@ -204,26 +208,73 @@ stage_obs_smoke() {
     obs_dir="target/obs-smoke"
     mkdir -p "$obs_dir"
     cargo run --release -p tulkun --bin tulkun -- \
-        trace --name INet2 --scale tiny --out "$obs_dir/trace.json"
+        trace --name INet2 --scale tiny --out "$obs_dir/trace.json" \
+        --journal-out "$obs_dir/journal.json"
     cargo run --release -p tulkun --bin tulkun -- \
         metrics --name INet2 --scale tiny --out "$obs_dir/metrics.prom"
+    # The flight-recorder dump must be schema-valid tulkun-journal-v1.
     cargo run --release -p tulkun-bench --bin check_telemetry -- \
-        --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.prom"
-    # The disabled path must be a no-op: zero spans, zero metrics.
+        --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.prom" \
+        --journal "$obs_dir/journal.json"
+    # The disabled path must be a no-op: zero spans, zero metrics, and
+    # literally zero journal bytes.
     cargo run --release -p tulkun --bin tulkun -- \
-        trace --name INet2 --scale tiny --off --out "$obs_dir/trace_off.json"
+        trace --name INet2 --scale tiny --off --out "$obs_dir/trace_off.json" \
+        --journal-out "$obs_dir/journal_off.json"
     cargo run --release -p tulkun --bin tulkun -- \
         metrics --name INet2 --scale tiny --off --out "$obs_dir/metrics_off.prom"
     cargo run --release -p tulkun-bench --bin check_telemetry -- \
         --expect-empty \
-        --trace "$obs_dir/trace_off.json" --metrics "$obs_dir/metrics_off.prom"
+        --trace "$obs_dir/trace_off.json" --metrics "$obs_dir/metrics_off.prom" \
+        --journal "$obs_dir/journal_off.json"
+    # Explain must be deterministic: two runs of the seeded fault scene
+    # render byte-identical tulkun-explain-v1 JSON.
+    cargo run --release -p tulkun --bin tulkun -- \
+        explain --name INet2 --scale tiny --seed 3 --json \
+        > "$obs_dir/explain.json" 2>/dev/null
+    cargo run --release -p tulkun --bin tulkun -- \
+        explain --name INet2 --scale tiny --seed 3 --json \
+        > "$obs_dir/explain_rerun.json" 2>/dev/null
+    cmp "$obs_dir/explain.json" "$obs_dir/explain_rerun.json"
+    cargo run --release -p tulkun-bench --bin check_telemetry -- \
+        --explain "$obs_dir/explain.json"
+    # Explain from a live daemon: a scripted faulty session with an
+    # impossible SLO budget must answer `events`/`explain` over the
+    # wire and auto-dump its journal on the breach.
+    rm -f "$obs_dir/daemon_journal.json"
+    printf '%s\n' \
+        "config slo 1 1 1 1" \
+        "churn ci link-down SEAT LOSA" \
+        "drain" \
+        "events ci" \
+        "explain ci SEAT" \
+        "quit" \
+    | cargo run --release -p tulkun --bin tulkun -- \
+        daemon --name INet2 --scale tiny --faults 7 \
+        --journal-dump "$obs_dir/daemon_journal.json" \
+        > "$obs_dir/daemon.out"
+    grep -q '"kind":"topology_churn"' "$obs_dir/daemon.out" || {
+        echo "obs-smoke: daemon events reply has no topology_churn entry" >&2
+        exit 1
+    }
+    sed -n 's/^ok \({"schema":"tulkun-explain-v1".*\)$/\1/p' \
+        "$obs_dir/daemon.out" > "$obs_dir/daemon_explain.json"
+    cargo run --release -p tulkun-bench --bin check_telemetry -- \
+        --explain "$obs_dir/daemon_explain.json"
+    if [ ! -s "$obs_dir/daemon_journal.json" ]; then
+        echo "obs-smoke: daemon did not auto-dump its journal on the SLO breach" >&2
+        exit 1
+    fi
+    cargo run --release -p tulkun-bench --bin check_telemetry -- \
+        --journal "$obs_dir/daemon_journal.json"
 }
 
 stage_doc_check() {
     for name in Engine ThreadedEngine FaultyTransport RuntimeStats \
                 TelemetryConfig MetricsRegistry \
                 DaemonSession SloTracker AdmissionPolicy \
-                IntentStore RuntimeEvent; do
+                IntentStore RuntimeEvent \
+                JournalKind explain; do
         for doc in README.md DESIGN.md; do
             if ! grep -q "$name" "$doc"; then
                 echo "doc-check: $doc does not mention $name" >&2

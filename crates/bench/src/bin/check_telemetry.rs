@@ -16,11 +16,21 @@
 //!   has monotonically non-decreasing cumulative buckets ending in
 //!   `le="+Inf"` plus `_sum` and `_count` lines, with `_count` equal
 //!   to the `+Inf` bucket.
+//! * `--journal <file>`: the file is a `tulkun-journal-v1` flight-
+//!   recorder dump — `schema`/`dropped`/`events`, every event carries
+//!   `seq`/`kind`/`device`/`epoch`/`trace`/`detail`, `kind` is one of
+//!   the known snake_case names, and `seq` is strictly increasing
+//!   (the journal's total deterministic order).
+//! * `--explain <file>`: the file is a `tulkun-explain-v1` causal
+//!   explanation — `subject`/`verdict`/`considered` plus a ranked
+//!   `causes` array whose entries each embed a full journal event.
 //! * `--expect-empty`: inverts the non-emptiness requirements — the
-//!   trace must have zero events and the metrics text must be empty,
-//!   which is what a run with telemetry disabled must produce.
+//!   trace must have zero events, the metrics text must be empty, and
+//!   a journal file must be zero bytes, which is what a run with
+//!   telemetry disabled must produce.
 //!
-//! Usage: `check_telemetry [--expect-empty] [--trace f.json] [--metrics f.prom]`
+//! Usage: `check_telemetry [--expect-empty] [--trace f.json]
+//! [--metrics f.prom] [--journal f.json] [--explain f.json]`
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -38,31 +48,28 @@ fn main() -> ExitCode {
     let expect_empty = args.iter().any(|a| a == "--expect-empty");
     let trace = get("--trace");
     let metrics = get("--metrics");
-    if trace.is_none() && metrics.is_none() {
-        eprintln!("usage: check_telemetry [--expect-empty] [--trace f.json] [--metrics f.prom]");
+    let journal = get("--journal");
+    let explain = get("--explain");
+    if trace.is_none() && metrics.is_none() && journal.is_none() && explain.is_none() {
+        eprintln!(
+            "usage: check_telemetry [--expect-empty] [--trace f.json] [--metrics f.prom] \
+             [--journal f.json] [--explain f.json]"
+        );
         return ExitCode::FAILURE;
     }
     let mut failed = false;
-    if let Some(path) = trace {
+    type Checker = fn(&str, bool) -> Result<(), String>;
+    let checks: [(Option<String>, Checker); 4] = [
+        (trace, check_trace),
+        (metrics, check_metrics),
+        (journal, check_journal),
+        (explain, check_explain),
+    ];
+    for (path, check) in checks {
+        let Some(path) = path else { continue };
         match std::fs::read_to_string(&path) {
             Ok(text) => {
-                if let Err(e) = check_trace(&text, expect_empty) {
-                    eprintln!("check_telemetry: {path}: {e}");
-                    failed = true;
-                } else {
-                    println!("check_telemetry: ok {path}");
-                }
-            }
-            Err(e) => {
-                eprintln!("check_telemetry: cannot read {path}: {e}");
-                failed = true;
-            }
-        }
-    }
-    if let Some(path) = metrics {
-        match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                if let Err(e) = check_metrics(&text, expect_empty) {
+                if let Err(e) = check(&text, expect_empty) {
                     eprintln!("check_telemetry: {path}: {e}");
                     failed = true;
                 } else {
@@ -226,25 +233,36 @@ fn check_metrics(text: &str, expect_empty: bool) -> Result<(), String> {
             .map_err(|_| format!("line {}: non-numeric value {value:?}", lineno + 1))?;
         samples += 1;
         if let Some((name, labels)) = name_part.split_once('{') {
-            let le = labels
-                .strip_suffix('}')
-                .and_then(|l| l.strip_prefix("le=\""))
-                .and_then(|l| l.strip_suffix('"'))
-                .ok_or(format!(
-                    "line {}: unsupported labels {labels:?}",
-                    lineno + 1
-                ))?;
-            let base = name.strip_suffix("_bucket").ok_or(format!(
-                "line {}: labeled sample is not a _bucket",
+            let labels = labels.strip_suffix('}').ok_or(format!(
+                "line {}: unterminated label set {labels:?}",
                 lineno + 1
             ))?;
-            let h = hists.entry(base.to_string()).or_default();
-            if h.saw_inf {
-                return Err(format!("line {}: bucket after le=\"+Inf\"", lineno + 1));
-            }
-            h.buckets.push(value as u64);
-            if le == "+Inf" {
-                h.saw_inf = true;
+            if let Some(le) = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+            {
+                let base = name.strip_suffix("_bucket").ok_or(format!(
+                    "line {}: le-labeled sample is not a _bucket",
+                    lineno + 1
+                ))?;
+                let h = hists.entry(base.to_string()).or_default();
+                if h.saw_inf {
+                    return Err(format!("line {}: bucket after le=\"+Inf\"", lineno + 1));
+                }
+                h.buckets.push(value as u64);
+                if le == "+Inf" {
+                    h.saw_inf = true;
+                }
+            } else {
+                // A labeled gauge/counter series (e.g. per-intent
+                // freshness `tulkun_intent_fresh{intent="0"}`): the
+                // label must at least be a `key="value"` pair.
+                let well_formed = labels
+                    .split_once("=\"")
+                    .is_some_and(|(k, v)| !k.is_empty() && v.ends_with('"'));
+                if !well_formed {
+                    return Err(format!("line {}: malformed labels {labels:?}", lineno + 1));
+                }
             }
         } else if let Some(base) = name_part.strip_suffix("_sum") {
             hists.entry(base.to_string()).or_default().sum = Some(value);
@@ -279,6 +297,164 @@ fn check_metrics(text: &str, expect_empty: bool) -> Result<(), String> {
     println!(
         "check_telemetry: {samples} samples, {} histogram(s) validated",
         hists.len()
+    );
+    Ok(())
+}
+
+/// The stable snake_case journal event names of `JournalKind::as_str`.
+const JOURNAL_KINDS: &[&str] = &[
+    "batch_applied",
+    "link_event",
+    "scene_applied",
+    "epoch_fence",
+    "topology_churn",
+    "churn_rejected",
+    "intent_installed",
+    "intent_removed",
+    "intent_rejected",
+    "fault_injected",
+    "retransmit",
+    "crash_restart",
+    "watchdog_stall",
+    "admission_shed",
+    "admission_blocked",
+    "slo_breach",
+    "backend_swap",
+];
+
+/// Validates one journal event object (shared by the journal and
+/// explain checkers); `what` names it in error messages.
+fn check_journal_event(ev: &Json, what: &str) -> Result<(), String> {
+    let kind = ev
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or(format!("{what}: missing kind"))?;
+    if !JOURNAL_KINDS.contains(&kind) {
+        return Err(format!("{what}: unknown kind {kind:?}"));
+    }
+    for key in ["seq", "device", "epoch", "trace"] {
+        let v = ev
+            .get(key)
+            .and_then(int_of)
+            .ok_or(format!("{what}: missing integer {key}"))?;
+        if v < 0 {
+            return Err(format!("{what}: negative {key}"));
+        }
+    }
+    ev.get("detail")
+        .and_then(Json::as_str)
+        .ok_or(format!("{what}: missing detail"))?;
+    Ok(())
+}
+
+/// Validates a `tulkun-journal-v1` flight-recorder dump. With
+/// `--expect-empty` the file must be zero bytes — the telemetry-off
+/// path writes no journal at all.
+fn check_journal(text: &str, expect_empty: bool) -> Result<(), String> {
+    if expect_empty {
+        return if text.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected a zero-byte journal (telemetry disabled), found {} byte(s)",
+                text.len()
+            ))
+        };
+    }
+    let doc = tulkun_json::parse(text).map_err(|e| format!("not JSON: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("tulkun-journal-v1") => {}
+        other => return Err(format!("bad schema {other:?}")),
+    }
+    let dropped = doc
+        .get("dropped")
+        .and_then(int_of)
+        .ok_or("missing integer dropped")?;
+    if dropped < 0 {
+        return Err("negative dropped count".into());
+    }
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or("no events array")?;
+    if events.is_empty() {
+        return Err("journal dump has no events".into());
+    }
+    let mut last_seq = 0i64;
+    for (i, ev) in events.iter().enumerate() {
+        check_journal_event(ev, &format!("event {i}"))?;
+        let seq = ev.get("seq").and_then(int_of).unwrap();
+        if seq <= last_seq {
+            return Err(format!(
+                "event {i}: seq {seq} not strictly increasing (prev {last_seq})"
+            ));
+        }
+        last_seq = seq;
+    }
+    println!(
+        "check_telemetry: journal ok — {} event(s), {dropped} dropped",
+        events.len()
+    );
+    Ok(())
+}
+
+/// Validates a `tulkun-explain-v1` causal explanation.
+fn check_explain(text: &str, expect_empty: bool) -> Result<(), String> {
+    if expect_empty {
+        return if text.is_empty() {
+            Ok(())
+        } else {
+            Err("expected no explanation (telemetry disabled)".into())
+        };
+    }
+    let doc = tulkun_json::parse(text).map_err(|e| format!("not JSON: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("tulkun-explain-v1") => {}
+        other => return Err(format!("bad schema {other:?}")),
+    }
+    for key in ["subject", "verdict"] {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .ok_or(format!("missing string {key}"))?;
+    }
+    let considered = doc
+        .get("considered")
+        .and_then(int_of)
+        .ok_or("missing integer considered")?;
+    let causes = doc
+        .get("causes")
+        .and_then(Json::as_array)
+        .ok_or("no causes array")?;
+    if causes.is_empty() {
+        return Err("explanation names no causes".into());
+    }
+    if (causes.len() as i64) > considered {
+        return Err(format!(
+            "{} causes but only {considered} considered",
+            causes.len()
+        ));
+    }
+    let mut last_rank = i64::MIN;
+    for (i, c) in causes.iter().enumerate() {
+        let rank = c
+            .get("rank")
+            .and_then(int_of)
+            .ok_or(format!("cause {i}: missing integer rank"))?;
+        if rank < last_rank {
+            return Err(format!(
+                "cause {i}: rank {rank} out of order (causes must be most-severe first)"
+            ));
+        }
+        last_rank = rank;
+        c.get("reason")
+            .and_then(Json::as_str)
+            .ok_or(format!("cause {i}: missing reason"))?;
+        let ev = c.get("event").ok_or(format!("cause {i}: missing event"))?;
+        check_journal_event(ev, &format!("cause {i} event"))?;
+    }
+    println!(
+        "check_telemetry: explanation ok — {} cause(s) of {considered} considered",
+        causes.len()
     );
     Ok(())
 }

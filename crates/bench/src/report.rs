@@ -9,6 +9,9 @@ pub struct FigureTable {
     pub title: String,
     pub headers: Vec<String>,
     pub rows: Vec<Vec<String>>,
+    /// Machine-readable annotations riding along with the data — e.g.
+    /// why a gate was skipped (`"perf-gate: SKIP(reason=1cpu)"`).
+    pub notes: Vec<String>,
 }
 
 impl FigureTable {
@@ -19,6 +22,7 @@ impl FigureTable {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -31,6 +35,11 @@ impl FigureTable {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
         self.rows.push(cells);
+    }
+
+    /// Adds a machine-readable note to the JSON sidecar.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
     }
 
     /// Prints the table with aligned columns.
@@ -86,7 +95,8 @@ tulkun_json::impl_json_object!(FigureTable {
     id,
     title,
     headers,
-    rows
+    rows,
+    notes
 });
 
 #[cfg(test)]

@@ -42,6 +42,27 @@ pub enum TopologyEvent {
     DeviceUp(DeviceId),
 }
 
+impl TopologyEvent {
+    /// A stable human/journal description, e.g. `"link-down d2-d3"`.
+    pub fn describe(&self) -> String {
+        match self {
+            TopologyEvent::LinkDown(a, b) => format!("link-down d{}-d{}", a.0, b.0),
+            TopologyEvent::LinkUp(a, b) => format!("link-up d{}-d{}", a.0, b.0),
+            TopologyEvent::DeviceDown(d) => format!("device-down d{}", d.0),
+            TopologyEvent::DeviceUp(d) => format!("device-up d{}", d.0),
+        }
+    }
+
+    /// The device the event is primarily about (the first endpoint for
+    /// link events) — the journal's attribution device.
+    pub fn primary_device(&self) -> DeviceId {
+        match self {
+            TopologyEvent::LinkDown(a, _) | TopologyEvent::LinkUp(a, _) => *a,
+            TopologyEvent::DeviceDown(d) | TopologyEvent::DeviceUp(d) => *d,
+        }
+    }
+}
+
 /// Cumulative churn: which links and devices are currently down.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChurnState {

@@ -29,6 +29,8 @@
 //!   deduplicated (refcounted) across overlapping intents.
 //! * [`event`] — the unified [`event::RuntimeEvent`] /
 //!   [`event::Substrate`] API every execution substrate consumes.
+//! * [`explain`] — the explain engine: ranked causal chains for
+//!   degraded verdicts, walked out of the telemetry flight recorder.
 //! * [`verify`] — an in-process driver that runs all on-device verifiers
 //!   to quiescence over a network snapshot (the simulator and the threaded
 //!   runner drive the same verifiers asynchronously).
@@ -38,6 +40,7 @@ pub mod count;
 pub mod dpvnet;
 pub mod dvm;
 pub mod event;
+pub mod explain;
 pub mod fault;
 pub mod intent;
 pub mod localcheck;

@@ -16,6 +16,7 @@ use crate::localcheck::{ContractViolation, LocalChecker};
 use crate::planner::{CountingPlan, NodeTask, Plan, PlanError, PlanKind, Planner};
 use crate::spec::{Invariant, PacketSpace};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 use tulkun_bdd::serial::{self, PortablePred};
 use tulkun_bdd::{BddManager, HeaderLayout};
 use tulkun_json::{Json, ToJson};
@@ -23,6 +24,7 @@ use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::topology::Topology;
 use tulkun_netmodel::DeviceId;
 use tulkun_predicate::BackendKind;
+use tulkun_telemetry::{JournalKind, Telemetry};
 
 /// Why an invariant does not hold.
 #[derive(Debug, Clone)]
@@ -244,6 +246,11 @@ pub struct Session {
     base_space: PacketSpace,
     cfg: VerifierConfig,
     backend_kind: BackendKind,
+    /// Observability handle (disabled by default; see
+    /// [`Session::set_telemetry`]). The reference session records only
+    /// flight-recorder journal entries — no spans, its clockless
+    /// delivery has nothing to time.
+    tel: Arc<Telemetry>,
 }
 
 impl Session {
@@ -319,7 +326,15 @@ impl Session {
             base_space: ps.clone(),
             cfg,
             backend_kind: kind,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach an observability handle: flight-recorder journal entries
+    /// for every fence/churn/intent event the session applies. The
+    /// default handle is disabled (every record call is one branch).
+    pub fn set_telemetry(&mut self, tel: Arc<Telemetry>) {
+        self.tel = tel;
     }
 
     /// The counting plan driving this session.
@@ -381,7 +396,16 @@ impl Session {
         // Keep the snapshot current: a verifier built lazily for a
         // later intent must see the post-update FIB.
         self.net.apply_batch(&batch);
+        let n = updates.len();
+        let mut journaled = false;
         for (dev, ops) in batch.coalesced() {
+            if !journaled {
+                journaled = true;
+                self.tel
+                    .journal(JournalKind::BatchApplied, dev, self.epoch, 0, None, || {
+                        format!("{n} updates")
+                    });
+            }
             if let Some(v) = self.verifiers.get_mut(&dev) {
                 v.handle_fib_batch(&ops, &mut self.queue);
             }
@@ -398,6 +422,11 @@ impl Session {
     /// Signals a link failure (`up = false`) or recovery to both
     /// endpoint devices and re-runs to quiescence.
     pub fn apply_link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> usize {
+        self.tel
+            .journal(JournalKind::LinkEvent, a, self.epoch, 0, None, || {
+                let dir = if up { "up" } else { "down" };
+                format!("link-{dir} d{}-d{}", a.0, b.0)
+            });
         if let Some(v) = self.verifiers.get_mut(&a) {
             v.handle_link_event(b, up, &mut self.queue);
         }
@@ -457,6 +486,22 @@ impl Session {
         self.churn_events += 1;
         self.epoch += 1;
         let epoch = self.epoch;
+        self.tel.journal(
+            JournalKind::TopologyChurn,
+            ev.primary_device(),
+            epoch,
+            0,
+            None,
+            || ev.describe(),
+        );
+        self.tel.journal(
+            JournalKind::EpochFence,
+            ev.primary_device(),
+            epoch,
+            0,
+            None,
+            || format!("fence to epoch {epoch} (churn)"),
+        );
         for v in self.verifiers.values_mut() {
             v.set_epoch(epoch);
         }
@@ -613,6 +658,18 @@ impl Session {
             }
         }
         self.fence_and_apply(&delta, Some(&space));
+        if self.tel.journal_on() {
+            let dev = delta.changed.keys().next().copied().unwrap_or(DeviceId(0));
+            let name = name.to_string();
+            self.tel.journal(
+                JournalKind::IntentInstalled,
+                dev,
+                self.epoch,
+                0,
+                Some(id.0),
+                || format!("intent {name:?} installed"),
+            );
+        }
         Ok((id, delta))
     }
 
@@ -625,6 +682,20 @@ impl Session {
     pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
         let delta = self.store.remove(id)?;
         self.fence_and_apply(&delta, None);
+        self.tel.journal(
+            JournalKind::IntentRemoved,
+            delta
+                .removed
+                .keys()
+                .chain(delta.changed.keys())
+                .next()
+                .copied()
+                .unwrap_or(DeviceId(0)),
+            self.epoch,
+            0,
+            Some(id.0),
+            || format!("intent {} removed", id.0),
+        );
         Ok(delta)
     }
 
@@ -635,6 +706,19 @@ impl Session {
     fn fence_and_apply(&mut self, delta: &IntentDelta, space: Option<&PortablePred>) {
         self.epoch += 1;
         let epoch = self.epoch;
+        if self.tel.journal_on() {
+            let first = delta
+                .changed
+                .keys()
+                .chain(delta.removed.keys())
+                .next()
+                .copied()
+                .unwrap_or(DeviceId(0));
+            self.tel
+                .journal(JournalKind::EpochFence, first, epoch, 0, None, || {
+                    format!("fence to epoch {epoch} (intent churn)")
+                });
+        }
         for v in self.verifiers.values_mut() {
             v.set_epoch(epoch);
         }

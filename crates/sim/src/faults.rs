@@ -30,7 +30,7 @@ use tulkun_core::dvm::reliable::{Accepted, ChannelKey, ReceiverLedger, SenderWin
 use tulkun_core::dvm::{Envelope, Payload};
 use tulkun_core::fault::{FaultProfile, FaultStats};
 use tulkun_netmodel::{DeviceId, Topology};
-use tulkun_telemetry::Telemetry;
+use tulkun_telemetry::{JournalKind, Telemetry};
 
 /// A [`Transport`] decorator that injects seeded message faults and
 /// recovers from them with at-least-once delivery.
@@ -51,6 +51,9 @@ pub struct FaultyTransport<T: Transport> {
     stats: FaultStats,
     /// Latest substrate time observed (send or arrival).
     now: u64,
+    /// Current fence generation (updated by `epoch_fence`), stamped
+    /// onto journal entries.
+    cur_epoch: u64,
     /// Telemetry handle: injected faults are recorded as instant
     /// events (`fault.*`, substrate time in `aux`); disabled by
     /// default.
@@ -85,6 +88,7 @@ impl<T: Transport> FaultyTransport<T> {
             backlog: VecDeque::new(),
             stats: FaultStats::default(),
             now: 0,
+            cur_epoch: 0,
             tel,
         }
     }
@@ -150,12 +154,21 @@ impl<T: Transport> FaultyTransport<T> {
     }
 
     /// Records one injected fault as an instant event (substrate time
-    /// in `aux`); a single branch when telemetry is disabled.
+    /// in `aux`) and a flight-recorder entry; a single branch per sink
+    /// when telemetry is disabled.
     fn fault_event(&self, dev: DeviceId, name: &'static str, trace: u64, at: u64) {
         if self.tel.is_enabled() {
             self.tel
                 .span_aux(dev, name, "fault", self.tel.host_tick(), 0, trace, at);
         }
+        self.tel.journal(
+            JournalKind::FaultInjected,
+            dev,
+            self.cur_epoch,
+            trace,
+            None,
+            || name.to_string(),
+        );
     }
 
     /// Emits an ack for `env` back to its sender, subject (unless
@@ -257,6 +270,14 @@ impl<T: Transport> FaultyTransport<T> {
         self.stats.retransmits += 1;
         self.stats.retransmit_bytes += env.wire_bytes() as u64;
         let from = env.from;
+        self.tel.journal(
+            JournalKind::Retransmit,
+            from,
+            self.cur_epoch,
+            env.trace,
+            None,
+            || format!("retransmit #{attempts} d{}->d{}", env.from.0, env.to.0),
+        );
         if attempts >= self.profile.force_after_attempts {
             self.stats.forced += 1;
             self.fault_event(from, "fault.forced", env.trace, fire);
@@ -368,6 +389,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     /// fences before any new-epoch send; re-announcement repairs the
     /// state the dropped messages carried.
     fn epoch_fence(&mut self, epoch: u64) {
+        self.cur_epoch = epoch;
         self.ready.clear();
         self.held.clear();
         self.backlog.clear();

@@ -2,13 +2,18 @@
 //! factors relative to the x86 server the simulator runs on.
 
 /// A switch model: its on-device CPU runs verifier code `cpu_factor`
-/// times slower than the simulation host.
+/// times slower than the simulation host. A model with `fixed_ns > 0`
+/// ignores the measured host time entirely and charges a flat cost per
+/// unit of work instead (see [`SwitchModel::LOCKSTEP`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchModel {
     /// Vendor/model label used in figures.
     pub name: &'static str,
     /// CPU slowdown relative to the simulation host.
     pub cpu_factor: f64,
+    /// Flat virtual cost per charged unit of work, ns (0 = scale the
+    /// measured host time by `cpu_factor`).
+    pub fixed_ns: u64,
 }
 
 impl SwitchModel {
@@ -16,29 +21,49 @@ impl SwitchModel {
     pub const MELLANOX: SwitchModel = SwitchModel {
         name: "Mellanox",
         cpu_factor: 1.6,
+        fixed_ns: 0,
     };
     /// UfiSpace S9180-32X (x86 Xeon-D-class CPU).
     pub const UFISPACE: SwitchModel = SwitchModel {
         name: "UfiSpace",
         cpu_factor: 1.8,
+        fixed_ns: 0,
     };
     /// Edgecore Wedge100-32X (x86 Atom-class CPU).
     pub const EDGECORE: SwitchModel = SwitchModel {
         name: "Edgecore",
         cpu_factor: 2.2,
+        fixed_ns: 0,
     };
     /// Centec (ARM CPU; the slowest in Fig. 14).
     pub const CENTEC: SwitchModel = SwitchModel {
         name: "Centec",
         cpu_factor: 4.0,
+        fixed_ns: 0,
+    };
+    /// The deterministic lockstep model: every charged unit of work
+    /// costs a flat 1µs of virtual time regardless of measured host
+    /// time. The virtual timeline — and therefore the event
+    /// interleaving, the fault RNG draw order, and the flight-recorder
+    /// journal — becomes a pure function of the seed, which is what
+    /// `tulkun explain` and the golden explain tests rely on. Not a
+    /// benchmarked model; timing figures under it are meaningless.
+    pub const LOCKSTEP: SwitchModel = SwitchModel {
+        name: "Lockstep",
+        cpu_factor: 1.0,
+        fixed_ns: 1_000,
     };
 
     /// All four models, as benchmarked in §9.4.
     pub const ALL: [SwitchModel; 4] =
         [Self::MELLANOX, Self::UFISPACE, Self::EDGECORE, Self::CENTEC];
 
-    /// Scales a measured host duration to this switch's CPU.
+    /// Scales a measured host duration to this switch's CPU (or
+    /// charges the flat per-unit cost of a deterministic model).
     pub fn scale_ns(&self, host_ns: u64) -> u64 {
+        if self.fixed_ns > 0 {
+            return self.fixed_ns;
+        }
         (host_ns as f64 * self.cpu_factor) as u64
     }
 }

@@ -52,7 +52,7 @@ use tulkun_core::verify::{self, Report};
 use tulkun_netmodel::network::{Network, RuleUpdate, UpdateBatch};
 use tulkun_netmodel::{DeviceId, Topology};
 use tulkun_predicate::{network_ip_only, BackendKind};
-use tulkun_telemetry::{Reservoir, Telemetry, HANDLE_NS};
+use tulkun_telemetry::{JournalKind, Reservoir, Telemetry, HANDLE_NS};
 
 /// One device's exported LEC table (predicates + actions).
 pub type LecTable = Vec<(PortablePred, tulkun_netmodel::fib::Action)>;
@@ -918,6 +918,22 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         // Keep the network snapshot current: intent compilation and
         // lazy verifier builds must see the live FIBs.
         self.net.apply_batch(&batch);
+        if self.tel.journal_on() {
+            let n = updates.len();
+            let first = batch
+                .coalesced()
+                .first()
+                .map(|(d, _)| *d)
+                .unwrap_or(DeviceId(0));
+            self.tel.journal(
+                JournalKind::BatchApplied,
+                first,
+                self.epoch,
+                trace,
+                None,
+                || format!("{n} updates"),
+            );
+        }
         let mut last_span = 0;
         for (dev, ops) in batch.coalesced() {
             if self.quarantined.contains(&dev) {
@@ -952,6 +968,11 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     pub fn link_event(&mut self, a: DeviceId, b: DeviceId, up: bool) -> RunOutcome {
         self.reset_time();
         let trace = self.alloc_trace();
+        self.tel
+            .journal(JournalKind::LinkEvent, a, self.epoch, trace, None, || {
+                let dir = if up { "up" } else { "down" };
+                format!("link-{dir} d{}-d{}", a.0, b.0)
+            });
         for (x, y) in [(a, b), (b, a)] {
             let Some(v) = self.verifiers.get_mut(&x) else {
                 continue;
@@ -974,6 +995,18 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     pub fn apply_scene(&mut self, tasks: &[NodeTask], flood_ns: u64) -> RunOutcome {
         self.reset_time();
         let trace = self.alloc_trace();
+        if self.tel.journal_on() {
+            let n = tasks.len();
+            let first = tasks.first().map(|t| t.dev).unwrap_or(DeviceId(0));
+            self.tel.journal(
+                JournalKind::SceneApplied,
+                first,
+                self.epoch,
+                trace,
+                None,
+                || format!("fault-scene recount over {n} tasks"),
+            );
+        }
         let mut by_dev: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
         for t in tasks {
             by_dev.entry(t.dev).or_default().push(t.clone());
@@ -1009,6 +1042,14 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     pub fn crash_restart(&mut self, dev: DeviceId) -> RunOutcome {
         self.reset_time();
         let trace = self.alloc_trace();
+        self.tel.journal(
+            JournalKind::CrashRestart,
+            dev,
+            self.epoch,
+            trace,
+            None,
+            || format!("verification agent on d{} crashed and restarted", dev.0),
+        );
         // Pending envelopes addressed to the dead agent (delayed or
         // duplicated copies included) must not land on the fresh state;
         // neighbor replays rebuild everything they carried.
@@ -1124,6 +1165,22 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             );
             self.tel.count(first, "tulkun_epoch_bumps_total", 1);
         }
+        self.tel.journal(
+            JournalKind::TopologyChurn,
+            ev.primary_device(),
+            epoch,
+            trace,
+            None,
+            || ev.describe(),
+        );
+        self.tel.journal(
+            JournalKind::EpochFence,
+            ev.primary_device(),
+            epoch,
+            trace,
+            None,
+            || format!("fence to epoch {epoch} (churn)"),
+        );
         for v in self.verifiers.values_mut() {
             v.set_epoch(epoch);
         }
@@ -1367,6 +1424,18 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             self.verifiers.insert(*dev, v);
         }
         let r = self.fence_and_apply(&delta, Some(&space), trace, "intent.install");
+        let dev = delta.changed.keys().next().copied().unwrap_or(DeviceId(0));
+        let name = name.to_string();
+        self.tel.journal(
+            JournalKind::IntentInstalled,
+            dev,
+            self.epoch,
+            trace,
+            Some(id.0),
+            || format!("intent {name:?} installed"),
+        );
+        self.tel
+            .gauge_set(dev, "tulkun_intent_count", self.store.live().count() as i64);
         Ok((id, delta, r))
     }
 
@@ -1379,6 +1448,23 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         self.reset_time();
         let trace = self.alloc_trace();
         let r = self.fence_and_apply(&delta, None, trace, "intent.remove");
+        let dev = delta
+            .removed
+            .keys()
+            .chain(delta.changed.keys())
+            .next()
+            .copied()
+            .unwrap_or(DeviceId(0));
+        self.tel.journal(
+            JournalKind::IntentRemoved,
+            dev,
+            self.epoch,
+            trace,
+            Some(id.0),
+            || format!("intent {} removed", id.0),
+        );
+        self.tel
+            .gauge_set(dev, "tulkun_intent_count", self.store.live().count() as i64);
         Ok((delta, r))
     }
 
@@ -1399,6 +1485,19 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         if self.tel.is_enabled() {
             let first = self.verifiers.keys().next().copied().unwrap_or(DeviceId(0));
             self.tel.count(first, "tulkun_epoch_bumps_total", 1);
+        }
+        if self.tel.journal_on() {
+            let first = delta
+                .changed
+                .keys()
+                .chain(delta.removed.keys())
+                .next()
+                .copied()
+                .unwrap_or(DeviceId(0));
+            self.tel
+                .journal(JournalKind::EpochFence, first, epoch, trace, None, || {
+                    format!("fence to epoch {epoch} (intent churn)")
+                });
         }
         for v in self.verifiers.values_mut() {
             v.set_epoch(epoch);
@@ -2061,6 +2160,10 @@ impl ThreadedEngine {
                             epoch,
                         );
                     }
+                    self.tel
+                        .journal(JournalKind::WatchdogStall, *d, epoch, 0, None, || {
+                            format!("watchdog declared d{} stalled (unprocessed backlog)", d.0)
+                        });
                 }
                 return WatchdogVerdict::Stalled { devices };
             }
@@ -2113,6 +2216,22 @@ impl ThreadedEngine {
         self.churn = churn;
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let trace = self.alloc_trace();
+        self.tel.journal(
+            JournalKind::TopologyChurn,
+            ev.primary_device(),
+            epoch,
+            trace,
+            None,
+            || ev.describe(),
+        );
+        self.tel.journal(
+            JournalKind::EpochFence,
+            ev.primary_device(),
+            epoch,
+            trace,
+            None,
+            || format!("fence to epoch {epoch} (churn)"),
+        );
         match ev {
             TopologyEvent::DeviceDown(d) => {
                 self.quarantined.insert(*d);
@@ -2236,6 +2355,18 @@ impl ThreadedEngine {
             delta.space.as_ref().unwrap_or(&inv.packet_space),
         );
         self.fence_and_fan_out(&delta, Some(space));
+        let dev = delta.changed.keys().next().copied().unwrap_or(DeviceId(0));
+        let name = name.to_string();
+        self.tel.journal(
+            JournalKind::IntentInstalled,
+            dev,
+            self.epoch.load(Ordering::SeqCst),
+            0,
+            Some(id.0),
+            || format!("intent {name:?} installed"),
+        );
+        self.tel
+            .gauge_set(dev, "tulkun_intent_count", self.store.live().count() as i64);
         Ok((id, delta))
     }
 
@@ -2245,6 +2376,23 @@ impl ThreadedEngine {
     pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
         let delta = self.store.remove(id)?;
         self.fence_and_fan_out(&delta, None);
+        let dev = delta
+            .removed
+            .keys()
+            .chain(delta.changed.keys())
+            .next()
+            .copied()
+            .unwrap_or(DeviceId(0));
+        self.tel.journal(
+            JournalKind::IntentRemoved,
+            dev,
+            self.epoch.load(Ordering::SeqCst),
+            0,
+            Some(id.0),
+            || format!("intent {} removed", id.0),
+        );
+        self.tel
+            .gauge_set(dev, "tulkun_intent_count", self.store.live().count() as i64);
         Ok(delta)
     }
 
@@ -2258,6 +2406,19 @@ impl ThreadedEngine {
         if self.tel.is_enabled() {
             let first = self.senders.keys().next().copied().unwrap_or(DeviceId(0));
             self.tel.count(first, "tulkun_epoch_bumps_total", 1);
+        }
+        if self.tel.journal_on() {
+            let first = delta
+                .changed
+                .keys()
+                .chain(delta.removed.keys())
+                .next()
+                .copied()
+                .unwrap_or(DeviceId(0));
+            self.tel
+                .journal(JournalKind::EpochFence, first, epoch, trace, None, || {
+                    format!("fence to epoch {epoch} (intent churn)")
+                });
         }
         for (dev, tx) in &self.senders {
             let tasks = delta.changed.get(dev).cloned();
@@ -2290,7 +2451,23 @@ impl ThreadedEngine {
     /// device (each counts as one in-flight event until processed).
     pub fn inject_batch(&self, updates: Vec<RuleUpdate>) {
         let trace = self.alloc_trace();
+        let n = updates.len();
         let batch: UpdateBatch = updates.into_iter().collect();
+        if self.tel.journal_on() {
+            let first = batch
+                .coalesced()
+                .first()
+                .map(|(d, _)| *d)
+                .unwrap_or(DeviceId(0));
+            self.tel.journal(
+                JournalKind::BatchApplied,
+                first,
+                self.epoch.load(Ordering::SeqCst),
+                trace,
+                None,
+                || format!("{n} updates"),
+            );
+        }
         for (dev, ops) in batch.coalesced() {
             if self.quarantined.contains(&dev) {
                 continue;
@@ -2319,6 +2496,14 @@ impl ThreadedEngine {
             return;
         };
         let trace = self.alloc_trace();
+        self.tel.journal(
+            JournalKind::CrashRestart,
+            dev,
+            self.epoch.load(Ordering::SeqCst),
+            trace,
+            None,
+            || format!("verification agent on d{} crashed and restarted", dev.0),
+        );
         self.inflight.add(1);
         if tx.send(DeviceMsg::Reboot(trace)).is_err() {
             self.inflight.release();

@@ -28,6 +28,7 @@ use crate::event::{DvmSim, FaultyDvmSim, SimConfig, SimResult};
 use tulkun_core::churn::TopologyEvent;
 use tulkun_core::dvm::reliable::DEFAULT_CHANNEL_CAP;
 use tulkun_core::event::{EventOutcome, RuntimeEvent, Substrate};
+use tulkun_core::explain::{self, Explanation, Subject};
 use tulkun_core::fault::FaultProfile;
 use tulkun_core::intent::{IntentDelta, IntentId, IntentStore};
 use tulkun_core::planner::{CountingPlan, PlanError};
@@ -37,7 +38,8 @@ use tulkun_netmodel::network::{Network, RuleUpdate};
 use tulkun_netmodel::topology::{DeviceId, Topology};
 use tulkun_predicate::BackendKind;
 use tulkun_telemetry::{
-    SloPolicy, SloTracker, SloVerdict, Telemetry, TelemetryConfig, CONVERGENCE_LAG_NS,
+    JournalEvent, JournalKind, SloPolicy, SloTracker, SloVerdict, Telemetry, TelemetryConfig,
+    CONVERGENCE_LAG_NS,
 };
 
 /// What to do with a request that arrives while its queue is full.
@@ -330,6 +332,10 @@ pub struct Service {
     drains: u64,
     tel: Arc<Telemetry>,
     slo: SloTracker,
+    /// An SLO breach or an `Unreachable` verdict was observed since the
+    /// last [`Service::take_dump_pending`]: the embedding daemon should
+    /// auto-dump the journal.
+    dump_pending: bool,
 }
 
 impl Service {
@@ -371,6 +377,7 @@ impl Service {
             drains: 0,
             tel,
             slo,
+            dump_pending: false,
             cfg,
         }
     }
@@ -411,12 +418,31 @@ impl Service {
             match self.cfg.policy {
                 AdmissionPolicy::Shed => {
                     self.shed += 1;
+                    let epoch = self.harness.epoch();
+                    self.tel.journal(
+                        JournalKind::AdmissionShed,
+                        DeviceId(0),
+                        epoch,
+                        0,
+                        None,
+                        || format!("shed request from {source:?} ({per_source} queued)"),
+                    );
                     return Err(ServiceError::Shed {
                         source: source.to_string(),
                         queued: per_source,
                     });
                 }
                 AdmissionPolicy::Block => {
+                    let epoch = self.harness.epoch();
+                    let queued = self.queued;
+                    self.tel.journal(
+                        JournalKind::AdmissionBlocked,
+                        DeviceId(0),
+                        epoch,
+                        0,
+                        None,
+                        || format!("blocked ingress from {source:?}: draining {queued} queued"),
+                    );
                     self.drain();
                 }
             }
@@ -457,7 +483,11 @@ impl Service {
                 };
                 any = true;
                 self.queued -= 1;
+                // Journal entries recorded while this request applies
+                // carry its source tag (`events <source>` filtering).
+                self.tel.journal_scope(Some(src));
                 let outcome = self.apply(req);
+                self.tel.journal_scope(None);
                 n += 1;
                 self.processed += 1;
                 *self.processed_by.entry(src.clone()).or_default() += 1;
@@ -473,6 +503,25 @@ impl Service {
         if n > 0 {
             self.drains += 1;
             self.slo.roll(&self.tel.metrics());
+            if !self.slo.verdict().ok() {
+                let epoch = self.harness.epoch();
+                let drains = self.drains;
+                self.tel
+                    .journal(JournalKind::SloBreach, DeviceId(0), epoch, 0, None, || {
+                        format!("SLO breach after drain round {drains}")
+                    });
+                self.dump_pending = true;
+            }
+            self.tel.gauge_set(
+                DeviceId(0),
+                "tulkun_intent_count",
+                self.harness.intents().live().count() as i64,
+            );
+            self.tel.gauge_set(
+                DeviceId(0),
+                "tulkun_rejected_intents",
+                self.rejected_intents as i64,
+            );
         }
         n
     }
@@ -496,8 +545,17 @@ impl Service {
                         self.churn_log.push(ev);
                         Some(outcome)
                     }
-                    Err(_) => {
+                    Err(e) => {
                         self.rejected_churn += 1;
+                        let epoch = self.harness.epoch();
+                        self.tel.journal(
+                            JournalKind::ChurnRejected,
+                            ev.primary_device(),
+                            epoch,
+                            0,
+                            None,
+                            || format!("planner rejected {}: {e:?}", ev.describe()),
+                        );
                         None
                     }
                 }
@@ -505,16 +563,34 @@ impl Service {
             ServiceRequest::IntentAdd { name, invariant } => {
                 match self.harness.install_intent(&name, &invariant) {
                     Ok((_, _, outcome)) => Some(outcome),
-                    Err(_) => {
+                    Err(e) => {
                         self.rejected_intents += 1;
+                        let epoch = self.harness.epoch();
+                        self.tel.journal(
+                            JournalKind::IntentRejected,
+                            DeviceId(0),
+                            epoch,
+                            0,
+                            None,
+                            || format!("install of intent {name:?} rejected: {e:?}"),
+                        );
                         None
                     }
                 }
             }
             ServiceRequest::IntentRemove(id) => match self.harness.remove_intent(id) {
                 Ok((_, outcome)) => Some(outcome),
-                Err(_) => {
+                Err(e) => {
                     self.rejected_intents += 1;
+                    let epoch = self.harness.epoch();
+                    self.tel.journal(
+                        JournalKind::IntentRejected,
+                        DeviceId(0),
+                        epoch,
+                        0,
+                        Some(id.0),
+                        || format!("remove of intent {id} rejected: {e:?}"),
+                    );
                     None
                 }
             },
@@ -540,7 +616,14 @@ impl Service {
             .filter(|(_, f)| !matches!(f, Freshness::Fresh))
             .map(|(n, _)| *n)
             .collect();
-        let intents = self
+        if report
+            .freshness
+            .iter()
+            .any(|(_, f)| matches!(f, Freshness::Unreachable))
+        {
+            self.dump_pending = true;
+        }
+        let intents: Vec<IntentStatus> = self
             .harness
             .intents()
             .live()
@@ -554,6 +637,25 @@ impl Service {
                 }
             })
             .collect();
+        // Observability gauges (satellite of the flight recorder): the
+        // intent population and per-intent slice freshness, exported
+        // through the Prometheus surface. Refreshed here because slice
+        // freshness needs the report this method just computed.
+        self.tel
+            .gauge_set(DeviceId(0), "tulkun_intent_count", intents.len() as i64);
+        self.tel.gauge_set(
+            DeviceId(0),
+            "tulkun_rejected_intents",
+            self.rejected_intents as i64,
+        );
+        for i in &intents {
+            self.tel.gauge_set_labeled(
+                DeviceId(0),
+                "tulkun_intent_fresh",
+                &format!("intent=\"{}\"", i.id),
+                i.fresh as i64,
+            );
+        }
         ServiceStatus {
             admitted: self.admitted,
             shed: self.shed,
@@ -663,8 +765,101 @@ impl Service {
                 .map_err(|e| ServiceError::Rejected(format!("intent replay failed: {e:?}")))?;
         }
         self.harness = harness;
+        let epoch = self.harness.epoch();
+        self.tel.journal(
+            JournalKind::BackendSwap,
+            DeviceId(0),
+            epoch,
+            0,
+            None,
+            || {
+                format!(
+                    "hot-swapped predicate backend to {backend} (rebuild + burst + \
+                     churn replay + {} intent replays)",
+                    live.len()
+                )
+            },
+        );
         self.slo.roll(&self.tel.metrics());
         Ok(())
+    }
+
+    /// Journal entries, oldest first, optionally filtered to one
+    /// ingress source. A source filter keeps that source's entries
+    /// *plus* untagged driver-side entries (bursts, SLO verdicts,
+    /// admission decisions — shared causal context). At most `limit`
+    /// entries are returned, keeping the newest.
+    pub fn journal_events(&self, source: Option<&str>, limit: usize) -> Vec<JournalEvent> {
+        let mut events: Vec<JournalEvent> = self
+            .tel
+            .journal_events()
+            .into_iter()
+            .filter(|e| match source {
+                None => true,
+                Some(s) => e.source.is_none() || e.source.as_deref() == Some(s),
+            })
+            .collect();
+        if events.len() > limit {
+            events.drain(..events.len() - limit);
+        }
+        events
+    }
+
+    /// The full journal as one deterministic JSON document
+    /// (`tulkun-journal-v1`).
+    pub fn journal_json(&self) -> String {
+        self.tel.journal_json()
+    }
+
+    /// True once per SLO breach or `Unreachable` sighting: the caller
+    /// (the daemon) should dump the journal now. Clears the flag.
+    pub fn take_dump_pending(&mut self) -> bool {
+        std::mem::take(&mut self.dump_pending)
+    }
+
+    /// The service's telemetry handle (journal + metrics), for
+    /// embedding surfaces that render exports directly.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tel
+    }
+
+    /// Explains why a device's slice is degraded (or confirms it is
+    /// fresh): computes the device's verdict from the current report
+    /// and walks the journal backwards for the ranked causal chain.
+    pub fn explain_device(&mut self, source: Option<&str>, dev: DeviceId) -> Explanation {
+        let report = self.harness.report();
+        let nodes: Vec<u32> = self
+            .harness
+            .intents()
+            .global_tasks()
+            .iter()
+            .filter(|t| t.dev == dev)
+            .map(|t| t.node.0)
+            .collect();
+        let verdict = explain::device_verdict(&report, dev, &nodes);
+        if verdict.contains("unreachable") {
+            self.dump_pending = true;
+        }
+        let events = self.journal_events(source, usize::MAX);
+        explain::explain(&events, Subject::Device(dev), &verdict)
+    }
+
+    /// Explains why an intent's slice is degraded (or confirms it is
+    /// fresh), by intent id (0 = the base intent).
+    pub fn explain_intent(&mut self, source: Option<&str>, id: u64) -> Explanation {
+        let report = self.harness.report();
+        let nodes: Vec<u32> = self
+            .harness
+            .intents()
+            .get(IntentId(id))
+            .map(|i| i.global_nodes().iter().map(|n| n.0).collect())
+            .unwrap_or_default();
+        let verdict = explain::intent_verdict(&report, id, &nodes);
+        if verdict.contains("unreachable") {
+            self.dump_pending = true;
+        }
+        let events = self.journal_events(source, usize::MAX);
+        explain::explain(&events, Subject::Intent(id), &verdict)
     }
 }
 

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use tulkun_json::Json;
 
-use crate::{MetricsSnapshot, SpanEvent};
+use crate::{JournalEvent, MetricsSnapshot, SpanEvent};
 
 fn micros(ns: u64) -> Json {
     // Chrome-trace timestamps are microseconds; keep sub-µs precision
@@ -21,8 +21,21 @@ fn micros(ns: u64) -> Json {
 /// completed spans use phase `"X"`, instantaneous events phase `"i"`;
 /// the causal trace id and the auxiliary word ride in `args`.
 pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    chrome_trace_json_with_journal(spans, &[])
+}
+
+/// [`chrome_trace_json`] plus a journal lane: each flight-recorder
+/// entry becomes an instant event (phase `"i"`, cat `"journal"`) on
+/// its device's thread, timestamped by its deterministic `seq` so the
+/// lane needs no wall clock. The entry's kind becomes the event name
+/// and its epoch/detail ride in `args`.
+pub fn chrome_trace_json_with_journal(spans: &[SpanEvent], journal: &[JournalEvent]) -> String {
     let mut events = Vec::new();
-    let devices: BTreeSet<u32> = spans.iter().map(|s| s.device.0).collect();
+    let devices: BTreeSet<u32> = spans
+        .iter()
+        .map(|s| s.device.0)
+        .chain(journal.iter().map(|e| e.device.0))
+        .collect();
     for d in &devices {
         events.push(Json::Object(vec![
             ("ph".into(), Json::Str("M".into())),
@@ -60,6 +73,27 @@ pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
         ));
         events.push(Json::Object(ev));
     }
+    for e in journal {
+        let mut args = vec![
+            ("trace".into(), Json::Int(e.trace as i64)),
+            ("seq".into(), Json::Int(e.seq as i64)),
+            ("epoch".into(), Json::Int(e.epoch as i64)),
+        ];
+        if let Some(id) = e.intent {
+            args.push(("intent".into(), Json::Int(id as i64)));
+        }
+        args.push(("detail".into(), Json::Str(e.detail.clone())));
+        events.push(Json::Object(vec![
+            ("name".into(), Json::Str(e.kind.as_str().into())),
+            ("cat".into(), Json::Str("journal".into())),
+            ("ph".into(), Json::Str("i".into())),
+            ("s".into(), Json::Str("t".into())),
+            ("ts".into(), Json::Float(e.seq as f64)),
+            ("pid".into(), Json::Int(1)),
+            ("tid".into(), Json::Int(e.device.0 as i64)),
+            ("args".into(), Json::Object(args)),
+        ]));
+    }
     let doc = Json::Object(vec![
         ("displayTimeUnit".into(), Json::Str("ns".into())),
         ("traceEvents".into(), Json::Array(events)),
@@ -79,6 +113,14 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     for (name, v) in &snap.gauges {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {v}");
+    }
+    let mut last_family = "";
+    for ((name, label), v) in &snap.labeled_gauges {
+        if name != last_family {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            last_family = name;
+        }
+        let _ = writeln!(out, "{name}{{{label}}} {v}");
     }
     for (name, h) in &snap.hists {
         let _ = writeln!(out, "# TYPE {name} histogram");

@@ -33,11 +33,13 @@
 //! time under `DvmSim`, the worker index for `parallel_init` spans).
 
 mod export;
+mod journal;
 mod metrics;
 mod slo;
 mod trace;
 
-pub use export::{chrome_trace_json, prometheus_text};
+pub use export::{chrome_trace_json, chrome_trace_json_with_journal, prometheus_text};
+pub use journal::{journal_json, Journal, JournalEvent, JournalKind};
 pub use metrics::{
     HistSnapshot, HistogramSpec, MetricsRegistry, MetricsSnapshot, CIB_RECOMPUTE_NS,
     CONVERGENCE_LAG_NS, FIB_BATCH_NS, HANDLE_NS, LEC_DELTA_NS, NS_BOUNDS,
@@ -66,6 +68,11 @@ pub struct TelemetryConfig {
     /// once a device exceeds it (overwrites are counted, see
     /// [`Telemetry::spans_dropped`]).
     pub ring_capacity: usize,
+    /// Causal flight-recorder ring capacity; 0 disables the journal
+    /// even when spans/metrics are on (the oldest entry is evicted
+    /// once full, see [`Telemetry::journal_dropped`]). The journal is
+    /// active only when `enabled` is also set.
+    pub journal_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -73,6 +80,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             enabled: false,
             ring_capacity: 4096,
+            journal_capacity: 1024,
         }
     }
 }
@@ -82,6 +90,16 @@ impl TelemetryConfig {
     pub fn enabled() -> Self {
         TelemetryConfig {
             enabled: true,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// An enabled config with the journal switched off — spans and
+    /// metrics record, the flight recorder does not.
+    pub fn enabled_without_journal() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            journal_capacity: 0,
             ..TelemetryConfig::default()
         }
     }
@@ -95,6 +113,10 @@ pub struct Telemetry {
     epoch: Instant,
     tracer: Tracer,
     registry: MetricsRegistry,
+    /// Causal flight recorder; inactive when `journal_on` is false
+    /// (disabled handle or `journal_capacity == 0`).
+    journal: Journal,
+    journal_on: bool,
 }
 
 impl fmt::Debug for Telemetry {
@@ -113,6 +135,8 @@ impl Telemetry {
             epoch: Instant::now(),
             tracer: Tracer::new(cfg.ring_capacity),
             registry: MetricsRegistry::new(),
+            journal: Journal::new(cfg.journal_capacity),
+            journal_on: cfg.enabled && cfg.journal_capacity > 0,
         })
     }
 
@@ -211,6 +235,16 @@ impl Telemetry {
         self.registry.gauge_set(dev, name, value);
     }
 
+    /// Set one series of the labeled gauge family `name` (shard chosen
+    /// by `dev`). `label` is one rendered Prometheus pair, e.g.
+    /// `intent="3"`.
+    pub fn gauge_set_labeled(&self, dev: DeviceId, name: &'static str, label: &str, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.gauge_set_labeled(dev, name, label, value);
+    }
+
     /// Record `value` into the fixed-bucket histogram described by
     /// `spec` (shard chosen by `dev`).
     pub fn observe(&self, dev: DeviceId, spec: &HistogramSpec, value: u64) {
@@ -236,9 +270,81 @@ impl Telemetry {
         self.registry.snapshot()
     }
 
-    /// The recorded spans as Chrome `trace_event` JSON.
+    /// Whether the causal flight recorder is active (telemetry enabled
+    /// *and* a non-zero journal capacity). Callers assembling a detail
+    /// string should branch on this first; [`Telemetry::journal`]
+    /// checks it again itself.
+    pub fn journal_on(&self) -> bool {
+        self.journal_on
+    }
+
+    /// Record one flight-recorder entry. `detail` is only rendered
+    /// when the journal is active, so the disabled path stays a single
+    /// branch with no allocation.
+    pub fn journal(
+        &self,
+        kind: JournalKind,
+        dev: DeviceId,
+        epoch: u64,
+        trace: u64,
+        intent: Option<u64>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.journal_on {
+            return;
+        }
+        self.journal
+            .record(kind, dev, epoch, trace, intent, detail());
+    }
+
+    /// Set (or clear with `None`) the request-source scope stamped
+    /// onto subsequent journal entries — the service layer brackets
+    /// each daemon request with this so causality can be filtered by
+    /// source.
+    pub fn journal_scope(&self, source: Option<&str>) {
+        if !self.journal_on {
+            return;
+        }
+        self.journal.set_source(source.map(str::to_string));
+    }
+
+    /// Retained journal entries, oldest first (seq ascending). Empty
+    /// when the journal is inactive.
+    pub fn journal_events(&self) -> Vec<JournalEvent> {
+        if !self.journal_on {
+            return Vec::new();
+        }
+        self.journal.snapshot()
+    }
+
+    /// Journal entries evicted because the ring filled up.
+    pub fn journal_dropped(&self) -> u64 {
+        if !self.journal_on {
+            return 0;
+        }
+        self.journal.dropped()
+    }
+
+    /// Total journal entries ever recorded (including evicted ones).
+    pub fn journal_recorded(&self) -> u64 {
+        if !self.journal_on {
+            return 0;
+        }
+        self.journal.recorded()
+    }
+
+    /// The retained journal as the deterministic dump document
+    /// (`tulkun-journal-v1` schema).
+    pub fn journal_json(&self) -> String {
+        journal_json(&self.journal_events(), self.journal_dropped())
+    }
+
+    /// The recorded spans as Chrome `trace_event` JSON, with the
+    /// journal riding along as an instant-event lane (cat
+    /// `"journal"`, timestamped by `seq`) so flight-recorder entries
+    /// open in Perfetto next to the spans.
     pub fn chrome_trace_json(&self) -> String {
-        chrome_trace_json(&self.spans())
+        chrome_trace_json_with_journal(&self.spans(), &self.journal_events())
     }
 
     /// The merged metrics as Prometheus text exposition.
@@ -385,6 +491,7 @@ mod tests {
         let tel = Telemetry::new(TelemetryConfig {
             enabled: true,
             ring_capacity: 2,
+            ..TelemetryConfig::default()
         });
         tel.span(dev(0), "a", "t", 1, 1, 0);
         tel.span(dev(0), "b", "t", 2, 1, 0);

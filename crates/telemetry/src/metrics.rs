@@ -110,6 +110,9 @@ impl Hist {
 struct Shard {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, i64>,
+    /// Labeled gauge families: `(family, label)` → value, where
+    /// `label` is one rendered Prometheus pair like `intent="3"`.
+    labeled_gauges: BTreeMap<(&'static str, String), i64>,
     hists: BTreeMap<&'static str, Hist>,
 }
 
@@ -151,6 +154,15 @@ impl MetricsRegistry {
         s.gauges.insert(name, value);
     }
 
+    /// Set one series of the labeled gauge family `name` in `dev`'s
+    /// shard. `label` is a single rendered Prometheus pair, e.g.
+    /// `intent="3"`; the snapshot reports the maximum across shards
+    /// per series.
+    pub fn gauge_set_labeled(&self, dev: DeviceId, name: &'static str, label: &str, value: i64) {
+        let mut s = self.shard(dev).lock().unwrap();
+        s.labeled_gauges.insert((name, label.to_string()), value);
+    }
+
     /// Record `value` into the histogram described by `spec`.
     pub fn observe(&self, dev: DeviceId, spec: &HistogramSpec, value: u64) {
         let mut s = self.shard(dev).lock().unwrap();
@@ -172,6 +184,13 @@ impl MetricsRegistry {
             }
             for (&name, &v) in &s.gauges {
                 let e = snap.gauges.entry(name.to_string()).or_insert(i64::MIN);
+                *e = (*e).max(v);
+            }
+            for ((name, label), &v) in &s.labeled_gauges {
+                let e = snap
+                    .labeled_gauges
+                    .entry((name.to_string(), label.clone()))
+                    .or_insert(i64::MIN);
                 *e = (*e).max(v);
             }
             for (&name, h) in &s.hists {
@@ -285,6 +304,9 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauge name → maximum shard value.
     pub gauges: BTreeMap<String, i64>,
+    /// Labeled gauge `(family, rendered label pair)` → maximum shard
+    /// value, e.g. `("tulkun_intent_fresh", "intent=\"3\"")`.
+    pub labeled_gauges: BTreeMap<(String, String), i64>,
     /// Histogram name → merged buckets.
     pub hists: BTreeMap<String, HistSnapshot>,
 }
@@ -292,7 +314,10 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.labeled_gauges.is_empty()
+            && self.hists.is_empty()
     }
 
     /// `quantile(q)` of histogram `name`, if present and non-empty.

@@ -175,6 +175,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "explain" => match explain_run(&args, &get) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         "trace" => match observed_run(&args, &get) {
             Ok(run) => emit_observed(run.telemetry.chrome_trace_json(), &run, &args, &get),
             Err(e) => {
@@ -202,17 +209,19 @@ fn usage() -> ExitCode {
          tulkun plan --network net.json --invariant \"(...)\" [--dot out.dot]\n  \
          tulkun trace [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
          [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--off] [--out trace.json] \
-         [--stats]\n  \
+         [--journal-out journal.json] [--stats]\n  \
          tulkun metrics [--name <NAME>] [--scale tiny|paper] [--updates N] [--seed S] \
          [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--off] [--out metrics.prom] \
-         [--stats]\n  \
+         [--journal-out journal.json] [--stats]\n  \
          tulkun churn [--name <NAME>] [--scale tiny|paper] [--seed S] [--events N] \
          [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--threaded]\n  \
          tulkun daemon [--name <NAME>] [--scale tiny|paper] \
          [--backend bdd|deltanet|intervals|auto] [--faults SEED] [--policy shed|block] \
          [--queue-cap N] [--per-source-cap N] [--drain-every N] [--slo-p50 NS] [--slo-p90 NS] \
-         [--slo-p99 NS] [--slo-lag-p99 NS] [--uds PATH]\n  \
-         tulkun status --uds PATH"
+         [--slo-p99 NS] [--slo-lag-p99 NS] [--uds PATH] [--journal-dump PATH]\n  \
+         tulkun status --uds PATH\n  \
+         tulkun explain [--name <NAME>] [--scale tiny|paper] [--seed S] \
+         [--backend bdd|deltanet|intervals|auto] [--subject <device|intent:<id>>] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -362,6 +371,9 @@ fn daemon_run(_args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<
             .unwrap_or(0),
     };
     let mut session = DaemonSession::new(cfg)?;
+    if let Some(path) = get("--journal-dump") {
+        session.set_journal_dump(path);
+    }
 
     match get("--uds") {
         Some(path) => {
@@ -425,6 +437,109 @@ fn status_run(get: &dyn Fn(&str) -> Option<String>) -> Result<ExitCode, String> 
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// `tulkun explain`: runs a seeded fault scene — one link-down plus a
+/// crash/restart of the affected device, over a 10% lossy management
+/// network — against a generated dataset, then asks the explain engine
+/// why the affected device's slice looks the way it does. The walk is
+/// deterministic: the same seed produces byte-identical `--json`
+/// output across reruns. `--subject` redirects the question to another
+/// device (by name) or to `intent:<id>`.
+fn explain_run(args: &[String], get: &dyn Fn(&str) -> Option<String>) -> Result<ExitCode, String> {
+    use tulkun::core::churn::{ChurnSchedule, TopologyEvent};
+    use tulkun::core::explain::{device_verdict, explain, intent_verdict, Subject};
+    use tulkun::core::intent::IntentId;
+
+    let name = get("--name").unwrap_or_else(|| "INet2".into());
+    let scale = match get("--scale").as_deref() {
+        Some("paper") => tulkun::datasets::Scale::Paper,
+        _ => tulkun::datasets::Scale::Tiny,
+    };
+    let ds = tulkun::datasets::by_name(&name, scale).ok_or_else(|| {
+        format!(
+            "unknown dataset {name:?}; available: {}",
+            tulkun::datasets::DATASET_NAMES.join(", ")
+        )
+    })?;
+    let net = &ds.network;
+    let topo = &net.topology;
+    let (inv, cp) = dataset_session(net, &name)?;
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let telemetry = Telemetry::new(TelemetryConfig::enabled());
+    // The lockstep model makes the virtual timeline — and with it the
+    // fault RNG draw order and the journal — a pure function of the
+    // seed, so the explanation is byte-identical across reruns.
+    let cfg = SimConfig {
+        telemetry: telemetry.clone(),
+        backend: parse_backend(get)?,
+        model: tulkun::sim::SwitchModel::LOCKSTEP,
+        ..SimConfig::default()
+    };
+    let mut sim = FaultyDvmSim::new(
+        net,
+        &cp,
+        &inv.packet_space,
+        cfg,
+        FaultProfile::loss(seed, 0.10),
+    );
+    sim.burst();
+    let schedule = ChurnSchedule::seeded(topo, &inv, seed, 8);
+    let Some(ev) = schedule
+        .0
+        .iter()
+        .find(|e| matches!(e, TopologyEvent::LinkDown(..)))
+        .copied()
+    else {
+        return Err("no plannable link-down event for this dataset/invariant".into());
+    };
+    sim.apply_topology_event(&ev, topo, &inv)
+        .map_err(|e| format!("churn re-plan failed: {e}"))?;
+    let hit = ev.primary_device();
+    sim.crash_restart(hit);
+    let report = sim.report();
+    eprintln!(
+        "scene: {} + crash/restart of {} under 10% loss (seed {seed})",
+        ev.describe(),
+        topo.name(hit)
+    );
+    let explanation = match get("--subject") {
+        Some(s) if s.starts_with("intent:") => {
+            let id: u64 = s["intent:".len()..]
+                .parse()
+                .map_err(|_| format!("bad intent id in {s:?}"))?;
+            let nodes: Vec<u32> = sim
+                .intents()
+                .get(IntentId(id))
+                .map(|i| i.global_nodes().iter().map(|n| n.0).collect())
+                .unwrap_or_default();
+            let verdict = intent_verdict(&report, id, &nodes);
+            explain(&telemetry.journal_events(), Subject::Intent(id), &verdict)
+        }
+        other => {
+            let dev = match other {
+                Some(name) => topo
+                    .device(&name)
+                    .ok_or_else(|| format!("unknown device {name:?}"))?,
+                None => hit,
+            };
+            let nodes: Vec<u32> = sim
+                .intents()
+                .global_tasks()
+                .iter()
+                .filter(|t| t.dev == dev)
+                .map(|t| t.node.0)
+                .collect();
+            let verdict = device_verdict(&report, dev, &nodes);
+            explain(&telemetry.journal_events(), Subject::Device(dev), &verdict)
+        }
+    };
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", explanation.to_json());
+    } else {
+        print!("{}", explanation.to_text());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `tulkun churn`: drives a seeded live-churn schedule against a
@@ -580,6 +695,21 @@ fn emit_observed(
 ) -> ExitCode {
     if args.iter().any(|a| a == "--stats") {
         eprintln!("{}", tulkun::json::to_string_pretty(&stats_json(run)));
+    }
+    if let Some(path) = get("--journal-out") {
+        // Zero bytes when nothing was journaled (telemetry off, or the
+        // journal ring disabled): CI asserts the disabled path writes
+        // literally nothing, not an empty-but-valid dump document.
+        let dump = if run.telemetry.journal_recorded() > 0 {
+            run.telemetry.journal_json()
+        } else {
+            String::new()
+        };
+        if let Err(e) = std::fs::write(&path, dump) {
+            eprintln!("could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     match get("--out") {
         Some(path) => {

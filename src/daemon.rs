@@ -21,12 +21,24 @@
 //! status                                        counters + queue state
 //! slo                                           SLO verdict JSON
 //! metrics                                       Prometheus exposition
+//! events <source> [n]                           flight-recorder entries
+//! explain <source> <node|intent:<id>>           ranked causal chain JSON
 //! config backend <bdd|deltanet|intervals|auto>  hot-swap the backend
 //! config policy <shed|block>                    admission policy
 //! config drain-every <n>                        auto-drain cadence
 //! config slo <p50> <p90> <p99> <lag-p99>        budgets, ns
 //! quit                                          end the session
 //! ```
+//!
+//! `events` replies `ok <k>` followed by `k` one-line JSON journal
+//! entries (oldest first); `explain` replies one `tulkun-explain-v1`
+//! JSON line. For both, `<source>` is an ingress source name or `*`
+//! for all sources; a named source keeps its own entries plus untagged
+//! driver-side entries (bursts, fences, admission decisions — shared
+//! causal context). The `explain` subject is a device name from the
+//! dataset topology or `intent:<id>`. With `--journal-dump <path>` on
+//! `tulkun daemon`, the full journal is written to `<path>` whenever
+//! the service observes an SLO breach or an `Unreachable` verdict.
 //!
 //! Rule-update JSON is the wire encoding of
 //! [`netmodel::network::RuleUpdate`], e.g.
@@ -154,6 +166,7 @@ pub struct DaemonSession {
     topo: Topology,
     drain_every: usize,
     since_drain: usize,
+    journal_dump: Option<std::path::PathBuf>,
 }
 
 impl DaemonSession {
@@ -174,7 +187,30 @@ impl DaemonSession {
             topo: ds.network.topology.clone(),
             drain_every: cfg.drain_every,
             since_drain: 0,
+            journal_dump: None,
         })
+    }
+
+    /// Arms the journal auto-dump: whenever the service flags an SLO
+    /// breach or an `Unreachable` verdict, the full journal is written
+    /// to `path` (overwriting the previous dump).
+    pub fn set_journal_dump(&mut self, path: impl Into<std::path::PathBuf>) {
+        self.journal_dump = Some(path.into());
+    }
+
+    /// Writes the journal to the armed dump path if the service has a
+    /// dump pending. Returns the path written to, if any.
+    pub fn maybe_dump_journal(&mut self) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Some(path) = self.journal_dump.clone() else {
+            // No dump armed: leave the pending flag for an embedder
+            // that polls `Service::take_dump_pending` itself.
+            return Ok(None);
+        };
+        if !self.service.take_dump_pending() {
+            return Ok(None);
+        }
+        std::fs::write(&path, self.service.journal_json())?;
+        Ok(Some(path))
     }
 
     /// Direct access to the underlying service (tests, embedding).
@@ -234,6 +270,8 @@ impl DaemonSession {
                     quit: false,
                 }
             }
+            "events" => self.handle_events(rest),
+            "explain" => self.handle_explain(rest),
             "config" => self.handle_config(rest),
             "quit" => Reply {
                 text: "ok bye".into(),
@@ -349,6 +387,56 @@ impl DaemonSession {
         }
     }
 
+    /// `events <source> [n]`: the newest `n` (default: all) journal
+    /// entries visible to `source` (`*` = every source), oldest first,
+    /// as `ok <k>` plus `k` one-line JSON entries.
+    fn handle_events(&mut self, rest: &str) -> Reply {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let (source, limit) = match parts.as_slice() {
+            [source] => (*source, usize::MAX),
+            [source, n] => match n.parse::<usize>() {
+                Ok(n) => (*source, n),
+                Err(_) => return Reply::err(format!("bad event count {n:?}")),
+            },
+            _ => return Reply::err("usage: events <source|*> [n]"),
+        };
+        let filter = (source != "*").then_some(source);
+        let events = self.service.journal_events(filter, limit);
+        let mut out = format!("ok {}", events.len());
+        for e in &events {
+            out.push('\n');
+            out.push_str(&crate::json::to_string(&e.to_json()));
+        }
+        Reply {
+            text: out,
+            quit: false,
+        }
+    }
+
+    /// `explain <source> <node|intent:<id>>`: the ranked causal chain
+    /// for a device's or intent's current verdict, walked out of the
+    /// journal entries visible to `source` (`*` = every source), as
+    /// one `tulkun-explain-v1` JSON line.
+    fn handle_explain(&mut self, rest: &str) -> Reply {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [source, subject] = parts.as_slice() else {
+            return Reply::err("usage: explain <source|*> <node|intent:<id>>");
+        };
+        let filter = (*source != "*").then_some(*source);
+        let explanation = if let Some(id) = subject.strip_prefix("intent:") {
+            let Ok(id) = id.parse::<u64>() else {
+                return Reply::err(format!("bad intent id {id:?}"));
+            };
+            self.service.explain_intent(filter, id)
+        } else {
+            let Some(dev) = self.topo.device(subject) else {
+                return Reply::err(format!("unknown device {subject:?}"));
+            };
+            self.service.explain_device(filter, dev)
+        };
+        Reply::ok(explanation.to_json())
+    }
+
     fn handle_config(&mut self, rest: &str) -> Reply {
         let parts: Vec<&str> = rest.split_whitespace().collect();
         match parts.as_slice() {
@@ -433,6 +521,9 @@ pub fn serve<R: std::io::BufRead, W: std::io::Write>(
         };
         writeln!(output, "{}", reply.text)?;
         output.flush()?;
+        if let Some(path) = session.maybe_dump_journal()? {
+            eprintln!("tulkun daemon: journal dumped to {}", path.display());
+        }
         if reply.quit {
             return Ok(true);
         }

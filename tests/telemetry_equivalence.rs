@@ -130,6 +130,24 @@ fn run_threaded(
     bytes
 }
 
+/// Burst + repair update on the synchronous reference [`Session`]
+/// (the substrate with no clock and no causal trace ids — its journal
+/// entries carry trace 0).
+fn run_session(
+    net: &Network,
+    cp: &CountingPlan,
+    ps: &PacketSpace,
+    update: &RuleUpdate,
+    telemetry: Arc<Telemetry>,
+) -> Vec<u8> {
+    use tulkun::core::verify::Session;
+    let mut s = Session::from_counting(net, cp.clone(), ps);
+    s.set_telemetry(telemetry);
+    s.run_to_quiescence();
+    s.apply_rule_update(update);
+    s.report().canonical_bytes()
+}
+
 #[test]
 fn reports_byte_identical_with_telemetry_on_and_off() {
     let (net, inv, update) = fig2_setup();
@@ -138,7 +156,8 @@ fn reports_byte_identical_with_telemetry_on_and_off() {
     let ps = &inv.packet_space;
 
     type Runner = fn(&Network, &CountingPlan, &PacketSpace, &RuleUpdate, Arc<Telemetry>) -> Vec<u8>;
-    let substrates: [(&str, Runner); 4] = [
+    let substrates: [(&str, Runner); 5] = [
+        ("session", run_session),
         ("fifo engine", run_fifo),
         ("event sim", run_sim),
         ("faulty sim", run_faulty),
@@ -147,19 +166,31 @@ fn reports_byte_identical_with_telemetry_on_and_off() {
     for (name, run) in substrates {
         let off = Telemetry::disabled();
         let on = Telemetry::new(TelemetryConfig::enabled());
+        // Telemetry on but the flight-recorder ring sized to zero: the
+        // journal hot path must stay a pure observer too.
+        let no_journal = Telemetry::new(TelemetryConfig::enabled_without_journal());
         let report_off = run(&net, &cp, ps, &update, off.clone());
         let report_on = run(&net, &cp, ps, &update, on.clone());
+        let report_no_journal = run(&net, &cp, ps, &update, no_journal.clone());
         assert_eq!(
             report_off, report_on,
             "{name}: enabling telemetry changed the Report bytes"
         );
+        assert_eq!(
+            report_on, report_no_journal,
+            "{name}: disabling the journal changed the Report bytes"
+        );
         assert!(
-            !on.spans().is_empty(),
+            !on.spans().is_empty() || name == "session",
             "{name}: enabled telemetry recorded no spans (vacuous test)"
         );
         assert!(
-            !on.metrics().hists.is_empty(),
+            !on.metrics().hists.is_empty() || name == "session",
             "{name}: enabled telemetry recorded no histograms"
+        );
+        assert!(
+            on.journal_recorded() > 0,
+            "{name}: enabled telemetry journaled nothing (vacuous test)"
         );
         assert!(
             off.spans().is_empty(),
@@ -168,6 +199,20 @@ fn reports_byte_identical_with_telemetry_on_and_off() {
         assert!(
             off.metrics().counters.is_empty() && off.metrics().hists.is_empty(),
             "{name}: disabled telemetry recorded metrics"
+        );
+        assert_eq!(
+            off.journal_recorded(),
+            0,
+            "{name}: disabled telemetry journaled events"
+        );
+        assert_eq!(
+            no_journal.journal_recorded(),
+            0,
+            "{name}: zero-capacity journal recorded events"
+        );
+        assert!(
+            no_journal.journal_events().is_empty(),
+            "{name}: zero-capacity journal returned events"
         );
     }
 }
