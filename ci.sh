@@ -29,6 +29,14 @@
 #                 substrates; fails if any per-op Report diverges from
 #                 the merged standalone per-intent reference
 #                 (tests/intent_matrix.rs, release mode)
+#   churn-intent-matrix  substrate equivalence under *overlapping*
+#                 intent and topology churn: installs/removals racing
+#                 link/device events x loss {0%,10%} x crash/restart,
+#                 with no rejected arms — installs racing a fence park,
+#                 severed slices degrade; fails if lifecycle state or
+#                 any per-op Report diverges from the merged
+#                 from-scratch reference
+#                 (tests/churn_intent_matrix.rs, release mode)
 #   backend-matrix  predicate-backend equivalence: backend {deltanet,
 #                 intervals, auto} x substrate {event sim, faulty event
 #                 sim, threaded run} x loss {0%,10%} must produce
@@ -133,6 +141,10 @@ stage_intent_matrix() {
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test intent_matrix
 }
 
+stage_churn_intent_matrix() {
+    TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test churn_intent_matrix
+}
+
 stage_backend_matrix() {
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun --test backend_equivalence
     TULKUN_WORKSPACE_TESTS=1 cargo test --release -q -p tulkun-baselines --test backend_agreement
@@ -170,7 +182,7 @@ stage_perf_gate() {
     # are measured CPU time, and the budgets carry >10x headroom.)
     cargo run --release -p tulkun-bench --bin check_figures -- \
         --diff BENCH_daemon.json "$fresh" \
-        --exact "dataset,policy,loss,batches,churn,intents,queries,admitted,shed,processed,rej intents,slo ok,same report"
+        --exact "dataset,policy,loss,batches,churn,intents,queries,admitted,shed,processed,rej intents,parked,degraded,slo ok,same report"
     # The latency budget itself: p99 handle time may not regress past
     # the tolerance band. Meaningful only on a multi-core box — on one
     # CPU the daemon and the sim's bookkeeping share a core and the
@@ -288,19 +300,19 @@ stage_doc_check() {
 run_stage() {
     echo "== ci.sh: $1 =="
     case "$1" in
-        build|test|lint|fmt|fault-matrix|churn-matrix|intent-matrix|backend-matrix|bench-smoke|perf-gate|obs-smoke|doc-check)
+        build|test|lint|fmt|fault-matrix|churn-matrix|intent-matrix|churn-intent-matrix|backend-matrix|bench-smoke|perf-gate|obs-smoke|doc-check)
             run_with_timeout "$1"
             ;;
         all)
             for s in build test lint fmt fault-matrix churn-matrix \
-                     intent-matrix backend-matrix bench-smoke perf-gate \
-                     obs-smoke doc-check; do
+                     intent-matrix churn-intent-matrix backend-matrix \
+                     bench-smoke perf-gate obs-smoke doc-check; do
                 run_stage "$s"
             done
             ;;
         *)
             echo "ci.sh: unknown stage '$1'" >&2
-            echo "stages: build test lint fmt fault-matrix churn-matrix intent-matrix backend-matrix bench-smoke perf-gate obs-smoke doc-check all" >&2
+            echo "stages: build test lint fmt fault-matrix churn-matrix intent-matrix churn-intent-matrix backend-matrix bench-smoke perf-gate obs-smoke doc-check all" >&2
             exit 2
             ;;
     esac

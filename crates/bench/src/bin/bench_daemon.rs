@@ -91,6 +91,8 @@ fn main() {
             "shed",
             "processed",
             "rej intents",
+            "parked",
+            "degraded",
             "p50 ns",
             "p90 ns",
             "p99 ns",
@@ -133,21 +135,23 @@ fn main() {
             };
             let mut svc = Service::new(net, &cp, &inv, cfg);
 
-            // The session runs in two regimes (runtime intents and
-            // live topology churn are mutually exclusive: installs
-            // need a quiet topology, churn needs an intent-free
-            // store). First two thirds: every 3rd source turn a
-            // fourth source toggles the narrow intent (install when
-            // absent, remove when live), interleaved with the FIB
-            // batches; any live intent is removed in the last quiet
-            // turn. Final third: every 2nd turn the "net" source
-            // offers one churn event and drains again (its own round —
-            // drain is round-robin across sources, so sharing a round
-            // would interleave the churn between batches and break
-            // the linear replay below). Every 4th turn queries
-            // status + report. Only state the service actually
-            // committed (reconciled against the intent store around
-            // each drain) enters the replay.
+            // The session overlaps its regimes: every 3rd source turn
+            // a fourth source toggles the narrow intent (install when
+            // untracked, remove when live *or* parked), interleaved
+            // with the FIB batches — including through the final
+            // third, where every 2nd turn the "net" source offers one
+            // churn event and drains again (its own round — drain is
+            // round-robin across sources, so sharing a round would
+            // interleave the churn between batches and break the
+            // linear replay below). Installs landing while a fence is
+            // active park and re-plan at the next epoch rather than
+            // being rejected, so `rej intents` stays 0 here. Every
+            // 4th turn queries status + report. Only state the
+            // service actually committed (reconciled against the
+            // intent store around each drain, counting parked
+            // installs as committed — `install_intent_as` re-parks
+            // them deterministically in the replay) enters the
+            // reference.
             let mut applied: Vec<Applied> = Vec::new();
             let mut batches = 0u64;
             let mut churn_admitted = 0u64;
@@ -180,18 +184,23 @@ fn main() {
                     }
                     svc.drain();
                 }
-                let live_non_base: Vec<u64> = svc
-                    .intents()
-                    .live()
-                    .map(|i| i.id.0)
-                    .filter(|id| *id != 0)
-                    .collect();
-                // No installs in the turn before churn begins: the
-                // churn regime needs an intent-free store.
-                let toggle = g + 1 < churn_start && g % 3 == 2;
-                let evict = g + 1 == churn_start && !live_non_base.is_empty();
-                if toggle || evict {
-                    let req = match live_non_base.last() {
+                // Tracked = live + parked: a parked install is
+                // committed state (it lands at the next fence), so
+                // the toggle must see it or it would double-install.
+                let tracked_non_base = |svc: &Service| -> Vec<u64> {
+                    let mut ids: Vec<u64> = svc
+                        .intents()
+                        .live()
+                        .map(|i| i.id.0)
+                        .chain(svc.intents().parked().map(|p| p.id.0))
+                        .filter(|id| *id != 0)
+                        .collect();
+                    ids.sort_unstable();
+                    ids
+                };
+                if g % 3 == 2 {
+                    let before = tracked_non_base(&svc);
+                    let req = match before.last() {
                         Some(id) => ServiceRequest::IntentRemove(IntentId(*id)),
                         None => ServiceRequest::IntentAdd {
                             name: "narrow".into(),
@@ -201,19 +210,12 @@ fn main() {
                     let next_id = svc.intents().next_intent_id();
                     if svc.offer("intent", req).is_ok() {
                         svc.drain();
-                        let now: Vec<u64> = svc
-                            .intents()
-                            .live()
-                            .map(|i| i.id.0)
-                            .filter(|id| *id != 0)
-                            .collect();
-                        if now.len() > live_non_base.len() {
+                        let now = tracked_non_base(&svc);
+                        if now.contains(&next_id) && !before.contains(&next_id) {
                             applied.push(Applied::IntentAdd(IntentId(next_id), narrow.clone()));
                             intent_ops += 1;
-                        } else if now.len() < live_non_base.len() {
-                            applied.push(Applied::IntentRemove(IntentId(
-                                *live_non_base.last().unwrap(),
-                            )));
+                        } else if let Some(id) = before.iter().find(|id| !now.contains(id)) {
+                            applied.push(Applied::IntentRemove(IntentId(*id)));
                             intent_ops += 1;
                         }
                     }
@@ -276,6 +278,8 @@ fn main() {
                 status.shed.to_string(),
                 status.processed.to_string(),
                 status.rejected_intents.to_string(),
+                status.parked.to_string(),
+                status.degraded.to_string(),
                 q(0.50).to_string(),
                 q(0.90).to_string(),
                 q(0.99).to_string(),

@@ -69,6 +69,10 @@ pub struct EventOutcome {
     /// `(total_nodes, reused_nodes)` slice accounting for intent
     /// events — the dedup/locality evidence.
     pub slice: Option<(usize, usize)>,
+    /// For [`RuntimeEvent::InstallIntent`]: the install raced a
+    /// topology fence and was parked for re-planning against the next
+    /// epoch instead of landing now (`intent` still carries its id).
+    pub parked: bool,
 }
 
 /// The shared substrate trait: every execution substrate applies the

@@ -89,7 +89,10 @@ fn severity(kind: JournalKind) -> u32 {
     use JournalKind as K;
     match kind {
         K::TopologyChurn => 0,
-        K::CrashRestart => 1,
+        // Parking/degradation are the per-intent face of a churn fence:
+        // for an intent subject they ARE the root cause ("parked behind
+        // fence @epoch N"), so they rank right behind the churn itself.
+        K::CrashRestart | K::IntentParked | K::IntentDegraded => 1,
         K::WatchdogStall => 2,
         K::FaultInjected => 3,
         K::Retransmit => 4,
@@ -97,7 +100,7 @@ fn severity(kind: JournalKind) -> u32 {
         K::SloBreach => 6,
         K::EpochFence => 7,
         K::ChurnRejected | K::IntentRejected => 8,
-        K::IntentInstalled | K::IntentRemoved | K::BackendSwap => 9,
+        K::IntentInstalled | K::IntentRemoved | K::IntentReplanned | K::BackendSwap => 9,
         K::LinkEvent | K::SceneApplied => 10,
         K::BatchApplied => 11,
     }
@@ -345,6 +348,25 @@ mod tests {
         assert_eq!(a.to_json(), b.to_json());
         assert!(a.to_json().contains("\"subject\":\"intent:3\""));
         assert!(a.causes.iter().any(|c| c.event.intent == Some(3)));
+    }
+
+    #[test]
+    fn parked_intent_ranks_behind_only_the_churn() {
+        // "parked behind fence @epoch N" must outrank the fence itself
+        // and everything downstream of it — only the churn event that
+        // caused the fence ranks higher.
+        let mut parked = ev(3, JournalKind::IntentParked, 0, 2, 9);
+        parked.intent = Some(5);
+        let events = vec![
+            ev(1, JournalKind::TopologyChurn, 1, 2, 9),
+            ev(2, JournalKind::EpochFence, 1, 2, 9),
+            parked,
+            ev(4, JournalKind::Retransmit, 1, 2, 9),
+        ];
+        let x = explain(&events, Subject::Intent(5), "parked(epoch 2)");
+        assert_eq!(x.causes[0].event.kind, JournalKind::TopologyChurn);
+        assert_eq!(x.causes[1].event.kind, JournalKind::IntentParked);
+        assert_eq!(x.causes[1].event.intent, Some(5));
     }
 
     #[test]

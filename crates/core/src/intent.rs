@@ -29,11 +29,13 @@
 //! different packet spaces never merge — hence a shared node computes
 //! exactly what each owning intent's standalone plan would.
 
+use crate::churn::ChurnState;
 use crate::count::ReduceMode;
 use crate::dpvnet::NodeId;
-use crate::planner::{CountingPlan, NodeTask, PlanError};
+use crate::planner::{CountingPlan, NodeTask, PlanError, Planner};
 use crate::spec::{Invariant, PacketSpace};
 use std::collections::{BTreeMap, BTreeSet};
+use tulkun_netmodel::topology::Topology;
 use tulkun_netmodel::DeviceId;
 
 /// Identifier of one installed intent. Id 0 is the *base* intent: the
@@ -95,6 +97,7 @@ pub struct InstalledIntent {
     /// Intent-local node id (as index) → global node id.
     pub to_global: Vec<NodeId>,
     ctx: usize,
+    degraded: bool,
 }
 
 impl InstalledIntent {
@@ -102,6 +105,15 @@ impl InstalledIntent {
     /// only ever merge within one context).
     pub fn context(&self) -> usize {
         self.ctx
+    }
+
+    /// Whether the intent is *degraded*: the current post-churn
+    /// topology cannot host its slice (e.g. its ingress is isolated),
+    /// so it owns no global nodes and is excluded from evaluation
+    /// until a later churn event makes it plannable again. Its `plan`
+    /// and `to_global` are the last good (pre-degradation) ones.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The distinct global nodes of this intent's slice.
@@ -179,6 +191,80 @@ impl IntentDelta {
     }
 }
 
+/// How many churn fences a parked install may ride before it is
+/// rejected with a journaled, explainable error instead of waiting
+/// forever (see [`PendingIntent`]).
+pub const MAX_INTENT_RETRIES: u32 = 3;
+
+/// An install that raced a topology fence: its invariant could not be
+/// planned against the *current* effective topology, so it waits in
+/// the store's pending queue and is deterministically re-planned on
+/// every subsequent fence. Its [`IntentId`] is allocated at park time,
+/// so replicas that make the same park decisions agree on ids.
+#[derive(Debug, Clone)]
+pub struct PendingIntent {
+    /// The id the intent will carry once it lands.
+    pub id: IntentId,
+    /// Human-readable name (daemon protocol, status lines).
+    pub name: String,
+    /// The invariant to plan once the topology allows it.
+    pub invariant: Invariant,
+    /// Failed re-plan attempts so far; at [`MAX_INTENT_RETRIES`] the
+    /// intent is rejected instead of retried.
+    pub retries: u32,
+}
+
+/// One per-device task group of a [`StoreReplan`]. Groups carry the
+/// packet-space context their *new* nodes must be seeded with:
+/// `ctx: None` means every node in the group already exists on the
+/// device (pure re-task — apply with `set_tasks`); `ctx: Some(i)`
+/// means the group introduces nodes of context `i` (apply with
+/// `install_tasks` under [`IntentStore::context_space`]). Groups for
+/// one device are ordered `None` first, then contexts ascending.
+#[derive(Debug, Clone)]
+pub struct ReplanTaskGroup {
+    /// Packet-space context index for new nodes; `None` for re-tasks.
+    pub ctx: Option<usize>,
+    /// The tasks, sorted by global node id.
+    pub tasks: Vec<NodeTask>,
+}
+
+/// What [`IntentStore::replan_all_for_churn`] asks a substrate to
+/// apply under one epoch fence, plus the per-intent lifecycle
+/// transitions the fence caused (for journaling and gauges).
+#[derive(Debug, Clone)]
+pub struct StoreReplan {
+    /// The post-churn topology every surviving slice was planned
+    /// against.
+    pub topology: Topology,
+    /// Per device: task groups to apply (see [`ReplanTaskGroup`]).
+    /// Devices whose hosted nodes all survived verbatim are absent —
+    /// unaffected slices ship zero tasks.
+    pub changed: BTreeMap<DeviceId, Vec<ReplanTaskGroup>>,
+    /// Per device: nodes of the old table no longer present.
+    pub removed: BTreeMap<DeviceId, Vec<NodeId>>,
+    /// Nodes of the *old* table hosted on now-quarantined devices;
+    /// their last results are reported `Unreachable`, not recomputed.
+    pub unreachable: Vec<(NodeId, DeviceId)>,
+    /// Intents whose slice cannot be planned on the new topology, with
+    /// the planner's reason. Includes intents that were already
+    /// degraded and still fail; substrates diff against their own
+    /// records to journal only fresh transitions.
+    pub degraded: Vec<(IntentId, String)>,
+    /// Previously degraded intents that planned again this fence.
+    pub revived: Vec<IntentId>,
+    /// Parked installs that landed this fence (now live intents).
+    pub unparked: Vec<IntentId>,
+    /// Parked installs that exhausted [`MAX_INTENT_RETRIES`], with the
+    /// last planner error; they are dropped from the queue.
+    pub rejected: Vec<(IntentId, String)>,
+    /// Nodes in the rebuilt global table.
+    pub total_nodes: usize,
+    /// Nodes whose id *and* task survived the re-plan verbatim (no
+    /// recount, no re-task — only a re-announce under the new epoch).
+    pub reused_nodes: usize,
+}
+
 /// The `IntentId`-keyed intent store (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct IntentStore {
@@ -187,6 +273,7 @@ pub struct IntentStore {
     nodes: BTreeMap<NodeId, GlobalNode>,
     intern: BTreeMap<SigKey, NodeId>,
     intents: BTreeMap<u64, InstalledIntent>,
+    parked: BTreeMap<u64, PendingIntent>,
     next_node: u32,
     next_intent: u64,
 }
@@ -276,6 +363,7 @@ impl IntentStore {
                 plan,
                 to_global,
                 ctx: 0,
+                degraded: false,
             },
         );
         self.next_intent = 1;
@@ -309,7 +397,7 @@ impl IntentStore {
         }
         let id = match id {
             Some(i) => {
-                if self.intents.contains_key(&i.0) {
+                if self.intents.contains_key(&i.0) || self.parked.contains_key(&i.0) {
                     return Err(PlanError::Unsupported(format!(
                         "intent id {i} is already installed"
                     )));
@@ -421,6 +509,7 @@ impl IntentStore {
                 plan,
                 to_global,
                 ctx,
+                degraded: false,
             },
         );
         Ok((id, delta))
@@ -435,11 +524,23 @@ impl IntentStore {
                 "the base intent anchors the session and cannot be removed".into(),
             ));
         }
+        // A parked install can be cancelled before it ever lands: the
+        // pending-queue entry is drained and no device hosts anything
+        // for it, so the delta is empty (no `Unsupported` mid-fence).
+        if self.parked.remove(&id.0).is_some() {
+            return Ok(IntentDelta::default());
+        }
         let Some(intent) = self.intents.remove(&id.0) else {
             return Err(PlanError::Unsupported(format!(
                 "intent {id} is not installed"
             )));
         };
+        if intent.degraded {
+            // A degraded intent owns no nodes in the current global
+            // table (its slice was not re-planned in); dropping the
+            // record is the whole removal.
+            return Ok(IntentDelta::default());
+        }
         let by_local = local_tasks(&intent.plan);
         // Withdraw this intent's upstream-edge contributions.
         let mut shrunk: BTreeSet<NodeId> = BTreeSet::new();
@@ -513,9 +614,11 @@ impl IntentStore {
         self.intents.is_empty()
     }
 
-    /// Whether the base intent (id 0) is the *only* live intent — the
-    /// precondition for legacy whole-plan operations (topology churn
-    /// re-planning is not yet intent-aware).
+    /// Whether the base intent (id 0) is the *only* live intent.
+    /// Topology churn no longer requires this
+    /// ([`replan_all_for_churn`](Self::replan_all_for_churn) re-plans
+    /// every live slice); it remains the fast-path predicate for
+    /// whole-plan shortcuts that skip per-intent accounting.
     pub fn only_base(&self) -> bool {
         self.intents.len() == 1 && self.intents.contains_key(&0)
     }
@@ -546,6 +649,434 @@ impl IntentStore {
     pub fn owner_count(&self, g: NodeId) -> usize {
         self.nodes.get(&g).map_or(0, |n| n.owners.len())
     }
+
+    /// Parks an install that raced a topology fence: allocates the
+    /// intent's id now (so replicas agree on ids) and queues it for
+    /// re-planning on the next fence (see [`PendingIntent`]). An
+    /// explicit id is for deterministic replay and must be unused.
+    pub fn park(
+        &mut self,
+        id: Option<IntentId>,
+        name: &str,
+        invariant: Invariant,
+    ) -> Result<IntentId, PlanError> {
+        let id = match id {
+            Some(i) => {
+                if self.intents.contains_key(&i.0) || self.parked.contains_key(&i.0) {
+                    return Err(PlanError::Unsupported(format!(
+                        "intent id {i} is already installed"
+                    )));
+                }
+                self.next_intent = self.next_intent.max(i.0 + 1);
+                i
+            }
+            None => {
+                let i = IntentId(self.next_intent);
+                self.next_intent += 1;
+                i
+            }
+        };
+        self.parked.insert(
+            id.0,
+            PendingIntent {
+                id,
+                name: name.to_string(),
+                invariant,
+                retries: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Parked installs, in id order.
+    pub fn parked(&self) -> impl Iterator<Item = &PendingIntent> {
+        self.parked.values()
+    }
+
+    /// Number of parked installs.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether this id is waiting in the pending queue.
+    pub fn is_parked(&self, id: IntentId) -> bool {
+        self.parked.contains_key(&id.0)
+    }
+
+    /// Live intents currently degraded (see
+    /// [`InstalledIntent::is_degraded`]), in id order.
+    pub fn degraded_ids(&self) -> Vec<IntentId> {
+        self.intents
+            .values()
+            .filter(|i| i.degraded)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Number of live-but-degraded intents.
+    pub fn degraded_count(&self) -> usize {
+        self.intents.values().filter(|i| i.degraded).count()
+    }
+
+    /// The base intent's counting plan (`None` only for an empty
+    /// store). After a churn fence this is the post-churn base plan.
+    pub fn base_plan(&self) -> Option<&CountingPlan> {
+        self.intents.get(&0).map(|i| &i.plan)
+    }
+
+    /// The packet space of one interning context (see
+    /// [`ReplanTaskGroup::ctx`]).
+    pub fn context_space(&self, ctx: usize) -> &PacketSpace {
+        &self.contexts[ctx]
+    }
+
+    /// Re-plans **every** live intent slice against the post-churn
+    /// topology under one shared fence, rebuilds the global node table
+    /// with stable ids for unchanged cones, retries parked installs,
+    /// and returns the per-device diff plus the intent lifecycle
+    /// transitions.
+    ///
+    /// * The **base** intent failing to plan rejects the whole event
+    ///   (`Err`, store untouched) — the session keeps verifying the
+    ///   old epoch, exactly like the single-intent re-planner.
+    /// * Any **other** intent failing degrades that intent only: it
+    ///   stays installed but owns no nodes and is skipped by
+    ///   evaluation until a later fence revives it.
+    /// * **Parked** installs are re-planned; successes land as live
+    ///   intents (`unparked`), failures burn one retry, and at
+    ///   [`MAX_INTENT_RETRIES`] they are dropped (`rejected`).
+    ///
+    /// Id stability: a rebuilt node whose hash-consing key (context,
+    /// device, accept vector, global downstream cone) matches a
+    /// pre-churn node keeps that node's id. By bottom-up induction the
+    /// whole unchanged cone keeps its exact ids *and* tasks, so it
+    /// appears in neither `changed` nor `removed` — unaffected slices
+    /// ship zero tasks and only re-announce under the new epoch.
+    ///
+    /// `taskable` restricts which devices plans may task (substrates
+    /// with a fixed thread-per-device set pass their roster; lazily
+    /// building substrates pass `None`). A base plan tasking an
+    /// unlisted device is an error; any other intent degrades.
+    pub fn replan_all_for_churn(
+        &mut self,
+        base: &Topology,
+        base_inv: Option<&Invariant>,
+        churn: &ChurnState,
+        taskable: Option<&BTreeSet<DeviceId>>,
+    ) -> Result<StoreReplan, PlanError> {
+        let topology = churn.apply_to(base);
+
+        // Phase 1: plan every live intent (degraded ones included, so
+        // recovery revives them). Nothing is committed until the base
+        // plan is known good.
+        let mut new_plans: BTreeMap<u64, CountingPlan> = BTreeMap::new();
+        let mut degraded: Vec<(IntentId, String)> = Vec::new();
+        for intent in self.intents.values() {
+            let inv = match intent.invariant.as_ref() {
+                Some(inv) => inv,
+                None if intent.id == IntentId::BASE => match base_inv {
+                    Some(inv) => inv,
+                    None => {
+                        return Err(PlanError::Unsupported(
+                            "base intent has no invariant to re-plan under churn".into(),
+                        ))
+                    }
+                },
+                None => {
+                    degraded.push((
+                        intent.id,
+                        "no invariant recorded; cannot re-plan".to_string(),
+                    ));
+                    continue;
+                }
+            };
+            match plan_intent_on(&topology, inv, churn, taskable) {
+                Ok(cp) => {
+                    new_plans.insert(intent.id.0, cp);
+                }
+                Err(e) if intent.id == IntentId::BASE => return Err(e),
+                Err(e) => degraded.push((intent.id, e.to_string())),
+            }
+        }
+
+        // Phase 2: retry parked installs against the new topology.
+        let mut unpark_plans: Vec<(PendingIntent, CountingPlan)> = Vec::new();
+        let mut rejected: Vec<(IntentId, String)> = Vec::new();
+        let mut still_parked: BTreeMap<u64, PendingIntent> = BTreeMap::new();
+        for (pid, mut p) in std::mem::take(&mut self.parked) {
+            let attempt = plan_intent_on(&topology, &p.invariant, churn, taskable).and_then(|cp| {
+                let profile = IntentProfile::of(&cp);
+                match self.profile {
+                    Some(pr) if pr != profile => Err(PlanError::Unsupported(format!(
+                        "intent {:?} has counting profile {profile:?}, \
+                         but this session runs {pr:?}",
+                        p.name
+                    ))),
+                    _ => Ok(cp),
+                }
+            });
+            match attempt {
+                Ok(cp) => unpark_plans.push((p, cp)),
+                Err(e) => {
+                    p.retries += 1;
+                    if p.retries >= MAX_INTENT_RETRIES {
+                        rejected.push((
+                            p.id,
+                            format!(
+                                "parked intent exhausted {MAX_INTENT_RETRIES} \
+                                 re-plan attempts; last error: {e}"
+                            ),
+                        ));
+                    } else {
+                        still_parked.insert(pid, p);
+                    }
+                }
+            }
+        }
+        self.parked = still_parked;
+
+        // Phase 3: snapshot the old table and rebuild from scratch,
+        // claiming old ids wherever the hash-consing key survives.
+        let old_tasks: BTreeMap<NodeId, NodeTask> = self
+            .nodes
+            .keys()
+            .map(|g| (*g, self.global_task(*g)))
+            .collect();
+        let old_intern = std::mem::take(&mut self.intern);
+        self.nodes.clear();
+
+        let degraded_now: BTreeSet<u64> = degraded.iter().map(|(i, _)| i.0).collect();
+        let mut revived: Vec<IntentId> = Vec::new();
+        let ids: Vec<u64> = self.intents.keys().copied().collect();
+        for id in ids {
+            if degraded_now.contains(&id) {
+                self.intents.get_mut(&id).unwrap().degraded = true;
+                continue;
+            }
+            let cp = new_plans.remove(&id).expect("planned in phase 1");
+            let ctx = self.intents[&id].ctx;
+            let to_global = self.rebuild_intern(id, &cp, ctx, &old_intern);
+            let it = self.intents.get_mut(&id).unwrap();
+            it.plan = cp;
+            it.to_global = to_global;
+            if it.degraded {
+                it.degraded = false;
+                revived.push(IntentId(id));
+            }
+        }
+        let mut unparked: Vec<IntentId> = Vec::new();
+        for (p, cp) in unpark_plans {
+            if self.profile.is_none() {
+                self.profile = Some(IntentProfile::of(&cp));
+            }
+            let space = p.invariant.packet_space.clone();
+            let ctx = match self.contexts.iter().position(|c| *c == space) {
+                Some(i) => i,
+                None => {
+                    self.contexts.push(space);
+                    self.contexts.len() - 1
+                }
+            };
+            let to_global = self.rebuild_intern(p.id.0, &cp, ctx, &old_intern);
+            self.intents.insert(
+                p.id.0,
+                InstalledIntent {
+                    id: p.id,
+                    name: p.name,
+                    invariant: Some(p.invariant),
+                    plan: cp,
+                    to_global,
+                    ctx,
+                    degraded: false,
+                },
+            );
+            unparked.push(p.id);
+        }
+
+        // Phase 4: diff old table vs new. Down devices' old nodes are
+        // unreachable (never removed — the planner tasks them with
+        // nothing and a later DeviceUp wipes the verifier anyway).
+        let mut removed: BTreeMap<DeviceId, Vec<NodeId>> = BTreeMap::new();
+        let mut unreachable: Vec<(NodeId, DeviceId)> = Vec::new();
+        for (g, old) in &old_tasks {
+            if churn.is_down(old.dev) {
+                unreachable.push((*g, old.dev));
+            } else if !self.nodes.contains_key(g) {
+                removed.entry(old.dev).or_default().push(*g);
+            }
+        }
+        for list in removed.values_mut() {
+            list.sort();
+        }
+        let mut reused_nodes = 0usize;
+        let mut retask: BTreeMap<DeviceId, Vec<NodeTask>> = BTreeMap::new();
+        let mut fresh: BTreeMap<DeviceId, BTreeMap<usize, Vec<NodeTask>>> = BTreeMap::new();
+        for (g, node) in &self.nodes {
+            let task = self.global_task(*g);
+            match old_tasks.get(g) {
+                Some(old) if *old == task => reused_nodes += 1,
+                Some(_) => retask.entry(node.dev).or_default().push(task),
+                None => fresh
+                    .entry(node.dev)
+                    .or_default()
+                    .entry(node.key.ctx)
+                    .or_default()
+                    .push(task),
+            }
+        }
+        let mut changed: BTreeMap<DeviceId, Vec<ReplanTaskGroup>> = BTreeMap::new();
+        for (dev, mut tasks) in retask {
+            tasks.sort_by_key(|t| t.node);
+            changed
+                .entry(dev)
+                .or_default()
+                .push(ReplanTaskGroup { ctx: None, tasks });
+        }
+        for (dev, by_ctx) in fresh {
+            for (ctx, mut tasks) in by_ctx {
+                tasks.sort_by_key(|t| t.node);
+                changed.entry(dev).or_default().push(ReplanTaskGroup {
+                    ctx: Some(ctx),
+                    tasks,
+                });
+            }
+        }
+        Ok(StoreReplan {
+            total_nodes: self.nodes.len(),
+            topology,
+            changed,
+            removed,
+            unreachable,
+            degraded,
+            revived,
+            unparked,
+            rejected,
+            reused_nodes,
+        })
+    }
+
+    /// Interns one plan into the (rebuilding) global table, claiming
+    /// pre-churn ids via `old_intern` when the key is unchanged (see
+    /// [`IntentStore::replan_all_for_churn`]). Same interning
+    /// discipline as [`IntentStore::install`].
+    fn rebuild_intern(
+        &mut self,
+        id: u64,
+        plan: &CountingPlan,
+        ctx: usize,
+        old_intern: &BTreeMap<SigKey, NodeId>,
+    ) -> Vec<NodeId> {
+        let by_local = local_tasks(plan);
+        let order = topo_order(&by_local);
+        let mut to_global = vec![NodeId(u32::MAX); by_local.len()];
+        let mut occ: BTreeMap<SigKey, u32> = BTreeMap::new();
+        for ln in order {
+            let t = &by_local[&ln];
+            let children = sorted_edges(
+                t.downstream
+                    .iter()
+                    .map(|(n, d)| (to_global[n.0 as usize], *d)),
+            );
+            let mut key = SigKey {
+                ctx,
+                dev: t.dev,
+                accept: t.accept.clone(),
+                children: children.clone(),
+                occurrence: 0,
+            };
+            let o = occ.entry(key.clone()).or_insert(0);
+            key.occurrence = *o;
+            *o += 1;
+            let g = match self.intern.get(&key) {
+                Some(&g) => {
+                    self.nodes.get_mut(&g).unwrap().owners.insert(id);
+                    g
+                }
+                None => {
+                    let g = old_intern.get(&key).copied().unwrap_or_else(|| {
+                        let g = NodeId(self.next_node);
+                        self.next_node += 1;
+                        g
+                    });
+                    self.intern.insert(key.clone(), g);
+                    self.nodes.insert(
+                        g,
+                        GlobalNode {
+                            dev: t.dev,
+                            accept: t.accept.clone(),
+                            downstream: children,
+                            upstream: BTreeMap::new(),
+                            owners: BTreeSet::from([id]),
+                            key,
+                        },
+                    );
+                    g
+                }
+            };
+            to_global[ln.0 as usize] = g;
+        }
+        for t in by_local.values() {
+            let pg = to_global[t.node.0 as usize];
+            for (cl, _) in &t.downstream {
+                let cg = to_global[cl.0 as usize];
+                self.nodes
+                    .get_mut(&cg)
+                    .expect("child exists")
+                    .upstream
+                    .entry((pg, t.dev))
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        to_global
+    }
+}
+
+/// Plans one invariant against a (post-churn) topology, returning its
+/// counting plan. Rejects plans that task a quarantined device (the
+/// device is down — nothing can run there; e.g. an intent whose
+/// ingress is the isolated device still "plans" onto it) and, with
+/// `taskable`, plans that task a device outside the roster (fixed
+/// thread-per-device substrates cannot grow verifiers after spawn).
+/// Substrates use this for installs racing an active fence: an `Err`
+/// here means "park it", not "reject it".
+pub fn plan_intent_on(
+    topology: &Topology,
+    inv: &Invariant,
+    churn: &ChurnState,
+    taskable: Option<&BTreeSet<DeviceId>>,
+) -> Result<CountingPlan, PlanError> {
+    let plan = Planner::new(topology).plan(inv)?;
+    let cp = plan
+        .counting()
+        .ok_or_else(|| PlanError::Unsupported("churn re-planning needs a counting plan".into()))?
+        .clone();
+    if cp.tasks.is_empty() {
+        // No DPVNet node materialized (e.g. the ingress is isolated):
+        // there is nothing to count anywhere, which would report the
+        // invariant as vacuously holding. Degrade instead.
+        return Err(PlanError::Unsupported(
+            "slice has no DPVNet nodes on the current topology".into(),
+        ));
+    }
+    for t in &cp.tasks {
+        if churn.is_down(t.dev) {
+            return Err(PlanError::Unsupported(format!(
+                "slice tasks quarantined device d{}",
+                t.dev.0
+            )));
+        }
+        if let Some(ok) = taskable {
+            if !ok.contains(&t.dev) {
+                return Err(PlanError::Unsupported(format!(
+                    "plan tasks device d{} but this substrate has no verifier \
+                     for it (spawn with all_devices)",
+                    t.dev.0
+                )));
+            }
+        }
+    }
+    Ok(cp)
 }
 
 /// Tasks of one plan keyed by their local node id.
@@ -796,5 +1327,186 @@ mod tests {
             );
             assert!(err.is_err());
         }
+    }
+
+    use crate::churn::{ChurnState, TopologyEvent};
+
+    fn two_intent_store(net: &Network) -> (IntentStore, IntentId) {
+        let (inv_a, cp_a) = plan_for(net, "S .* D");
+        let (inv_b, cp_b) = plan_for(net, "A .* D");
+        let mut store =
+            IntentStore::with_base(cp_a, inv_a.packet_space.clone(), Some(inv_a.clone()));
+        let (id_b, _) = store
+            .install(
+                None,
+                "b",
+                Some(inv_b.clone()),
+                cp_b,
+                inv_b.packet_space.clone(),
+            )
+            .unwrap();
+        (store, id_b)
+    }
+
+    /// A fence with no effective topology change must rebuild the
+    /// table onto the exact same ids and ship zero tasks — the "my
+    /// slice is unaffected" guarantee.
+    #[test]
+    fn quiet_replan_is_idempotent() {
+        let net = fig2a_network();
+        let (mut store, id_b) = two_intent_store(&net);
+        let before_base = store.get(IntentId::BASE).unwrap().to_global.clone();
+        let before_b = store.get(id_b).unwrap().to_global.clone();
+        let nodes_before = store.node_count();
+        let r = store
+            .replan_all_for_churn(&net.topology, None, &ChurnState::new(), None)
+            .unwrap();
+        assert!(
+            r.changed.is_empty(),
+            "unchanged plan must diff empty: {r:?}"
+        );
+        assert!(r.removed.is_empty());
+        assert!(r.unreachable.is_empty() && r.degraded.is_empty());
+        assert_eq!(r.reused_nodes, r.total_nodes);
+        assert_eq!(store.node_count(), nodes_before);
+        assert_eq!(store.get(IntentId::BASE).unwrap().to_global, before_base);
+        assert_eq!(store.get(id_b).unwrap().to_global, before_b);
+    }
+
+    /// An intent whose ingress goes down degrades (stays installed,
+    /// owns no nodes) instead of poisoning the store, and revives on
+    /// recovery.
+    #[test]
+    fn unplannable_intent_degrades_then_revives() {
+        let net = fig2a_network();
+        let (inv_s, cp_s) = plan_for(&net, "S .* D");
+        let (inv_b, cp_b) = plan_for(&net, "B .* D");
+        let mut store =
+            IntentStore::with_base(cp_s, inv_s.packet_space.clone(), Some(inv_s.clone()));
+        let (id_b, _) = store
+            .install(
+                None,
+                "from-b",
+                Some(inv_b.clone()),
+                cp_b,
+                inv_b.packet_space.clone(),
+            )
+            .unwrap();
+        let b = net.topology.expect_device("B");
+        let mut churn = ChurnState::new();
+        churn.apply(&TopologyEvent::DeviceDown(b));
+        let r = store
+            .replan_all_for_churn(&net.topology, None, &churn, None)
+            .unwrap();
+        assert_eq!(r.degraded.len(), 1, "{r:?}");
+        assert_eq!(r.degraded[0].0, id_b);
+        assert!(store.get(id_b).unwrap().is_degraded());
+        assert_eq!(store.degraded_count(), 1);
+        // The degraded slice owns nothing in the rebuilt table.
+        assert!(store.nodes.values().all(|n| !n.owners.contains(&id_b.0)));
+        // The base intent still verifies (S→A→W→D survives B's loss).
+        assert!(!store.get(IntentId::BASE).unwrap().is_degraded());
+        // Recovery re-plans the degraded slice back in.
+        churn.apply(&TopologyEvent::DeviceUp(b));
+        let r = store
+            .replan_all_for_churn(&net.topology, None, &churn, None)
+            .unwrap();
+        assert_eq!(r.revived, vec![id_b], "{r:?}");
+        assert!(!store.get(id_b).unwrap().is_degraded());
+        assert_eq!(store.degraded_count(), 0);
+    }
+
+    /// Parked installs land on the first fence that makes them
+    /// plannable; hopeless ones are rejected after the retry cap.
+    #[test]
+    fn parked_intent_unparks_or_rejects() {
+        let net = fig2a_network();
+        let (inv_s, cp_s) = plan_for(&net, "S .* D");
+        let mut store =
+            IntentStore::with_base(cp_s, inv_s.packet_space.clone(), Some(inv_s.clone()));
+        let (inv_a, _) = plan_for(&net, "A .* D");
+        let id = store.park(None, "from-a", inv_a).unwrap();
+        assert!(store.is_parked(id));
+        let r = store
+            .replan_all_for_churn(&net.topology, None, &ChurnState::new(), None)
+            .unwrap();
+        assert_eq!(r.unparked, vec![id], "{r:?}");
+        assert!(!store.is_parked(id));
+        assert!(!store.get(id).unwrap().is_degraded());
+        // A never-plannable park burns its retries and is rejected.
+        let (inv_b, _) = plan_for(&net, "B .* D");
+        let hopeless = store.park(None, "from-b", inv_b).unwrap();
+        let b = net.topology.expect_device("B");
+        let mut churn = ChurnState::new();
+        churn.apply(&TopologyEvent::DeviceDown(b));
+        for round in 1..=MAX_INTENT_RETRIES {
+            let r = store
+                .replan_all_for_churn(&net.topology, None, &churn, None)
+                .unwrap();
+            if round < MAX_INTENT_RETRIES {
+                assert!(store.is_parked(hopeless), "round {round}: {r:?}");
+                assert!(r.rejected.is_empty());
+            } else {
+                assert!(!store.is_parked(hopeless));
+                assert_eq!(r.rejected.len(), 1);
+                assert_eq!(r.rejected[0].0, hopeless);
+            }
+        }
+        assert!(store.get(hopeless).is_none(), "rejected, never installed");
+    }
+
+    /// Satellite regression: `remove` during an in-flight fence drains
+    /// the pending-queue entry instead of returning `Unsupported`.
+    #[test]
+    fn remove_drains_parked_entry() {
+        let net = fig2a_network();
+        let (inv_s, cp_s) = plan_for(&net, "S .* D");
+        let mut store =
+            IntentStore::with_base(cp_s, inv_s.packet_space.clone(), Some(inv_s.clone()));
+        let (inv_a, _) = plan_for(&net, "A .* D");
+        let id = store.park(None, "from-a", inv_a).unwrap();
+        let delta = store.remove(id).expect("drain, not Unsupported");
+        assert!(delta.changed.is_empty() && delta.removed.is_empty());
+        assert_eq!(store.parked_count(), 0);
+        // The drained park never resurrects on the next fence.
+        let r = store
+            .replan_all_for_churn(&net.topology, None, &ChurnState::new(), None)
+            .unwrap();
+        assert!(r.unparked.is_empty());
+        assert!(store.get(id).is_none());
+    }
+
+    /// Removing a degraded intent is a pure bookkeeping drop (it owns
+    /// no nodes), and the store stays consistent afterwards.
+    #[test]
+    fn remove_degraded_intent_is_clean() {
+        let net = fig2a_network();
+        let (inv_s, cp_s) = plan_for(&net, "S .* D");
+        let (inv_b, cp_b) = plan_for(&net, "B .* D");
+        let mut store =
+            IntentStore::with_base(cp_s, inv_s.packet_space.clone(), Some(inv_s.clone()));
+        let (id_b, _) = store
+            .install(
+                None,
+                "from-b",
+                Some(inv_b.clone()),
+                cp_b,
+                inv_b.packet_space.clone(),
+            )
+            .unwrap();
+        let b = net.topology.expect_device("B");
+        let mut churn = ChurnState::new();
+        churn.apply(&TopologyEvent::DeviceDown(b));
+        store
+            .replan_all_for_churn(&net.topology, None, &churn, None)
+            .unwrap();
+        assert!(store.get(id_b).unwrap().is_degraded());
+        let delta = store.remove(id_b).unwrap();
+        assert!(delta.changed.is_empty() && delta.removed.is_empty());
+        assert!(store.get(id_b).is_none());
+        store
+            .replan_all_for_churn(&net.topology, None, &churn, None)
+            .unwrap();
+        assert!(store.only_base());
     }
 }

@@ -7,11 +7,13 @@
 //! latencies; this driver is the convenient synchronous API (and the
 //! reference semantics the others are tested against).
 
-use crate::churn::{replan_for_churn, ChurnState, TopologyEvent};
+use crate::churn::{ChurnState, TopologyEvent};
 use crate::count::Counts;
 use crate::dpvnet::NodeId;
 use crate::dvm::{DestMode, DeviceVerifier, Envelope, VerifierConfig};
-use crate::intent::{IntentDelta, IntentId, IntentStore};
+use crate::intent::{
+    plan_intent_on, IntentDelta, IntentId, IntentStore, StoreReplan, MAX_INTENT_RETRIES,
+};
 use crate::localcheck::{ContractViolation, LocalChecker};
 use crate::planner::{CountingPlan, NodeTask, Plan, PlanError, PlanKind, Planner};
 use crate::spec::{Invariant, PacketSpace};
@@ -238,12 +240,13 @@ pub struct Session {
     unreachable: BTreeMap<NodeId, DeviceId>,
     /// Live intents and the shared (deduplicated) global node table.
     store: IntentStore,
+    /// Intent id → the epoch whose fence degraded it (freshness
+    /// attribution; cleared when a later fence revives the intent).
+    degraded_epochs: BTreeMap<u64, u64>,
     /// The network snapshot, kept current under rule updates so
     /// verifiers can be built lazily for devices a later intent pulls
     /// into the plan.
     net: Network,
-    /// The base invariant's packet space (intent 0's context).
-    base_space: PacketSpace,
     cfg: VerifierConfig,
     backend_kind: BackendKind,
     /// Observability handle (disabled by default; see
@@ -322,8 +325,8 @@ impl Session {
             quarantined: BTreeSet::new(),
             unreachable: BTreeMap::new(),
             store,
+            degraded_epochs: BTreeMap::new(),
             net: net.clone(),
-            base_space: ps.clone(),
             cfg,
             backend_kind: kind,
             tel: Telemetry::disabled(),
@@ -452,36 +455,29 @@ impl Session {
     ///
     /// Devices named by `DeviceDown` are quarantined: no deliveries, no
     /// recounting; their old-plan nodes show up `Unreachable` in the
-    /// report. A device that had no tasks in the running plan cannot be
-    /// assigned new ones (its verifier was never built) — such re-plans
-    /// fail with [`PlanError::Unsupported`] and leave the session on
-    /// the old epoch.
+    /// report. Every *live* intent is re-planned under the same fence
+    /// ([`IntentStore::replan_all_for_churn`]): unaffected slices keep
+    /// their node ids and ship zero tasks, slices the churned topology
+    /// cannot host degrade per-intent (excluded from evaluation, marked
+    /// stale/unreachable in the report) instead of rejecting the event,
+    /// and parked installs get their bounded retry against the new
+    /// epoch. Only a failure to re-plan the *base* invariant leaves the
+    /// session on the old epoch.
     pub fn apply_topology_event(
         &mut self,
         ev: &TopologyEvent,
         base: &Topology,
         inv: &Invariant,
     ) -> Result<usize, PlanError> {
-        if !self.store.only_base() {
-            return Err(PlanError::Unsupported(
-                "topology churn while extra intents are installed is not \
-                 supported yet: remove them first (churn re-planning is \
-                 not intent-aware)"
-                    .to_string(),
-            ));
-        }
         let mut churn = self.churn.clone();
         if !churn.apply(ev) {
             return Ok(0);
         }
-        let delta = replan_for_churn(base, inv, &self.plan, &churn)?;
-        for dev in delta.changed.keys() {
-            if !self.verifiers.contains_key(dev) {
-                return Err(PlanError::Unsupported(format!(
-                    "churn re-plan assigns tasks to device {dev:?}, which has no verifier"
-                )));
-            }
-        }
+        // Transactional: an Err re-planning the base invariant happens
+        // before the store mutates anything.
+        let replan = self
+            .store
+            .replan_all_for_churn(base, Some(inv), &churn, None)?;
         self.churn = churn;
         self.churn_events += 1;
         self.epoch += 1;
@@ -502,6 +498,15 @@ impl Session {
             None,
             || format!("fence to epoch {epoch} (churn)"),
         );
+        journal_replan_transitions(
+            &self.tel,
+            &mut self.degraded_epochs,
+            &replan,
+            ev.primary_device(),
+            epoch,
+            0,
+            &ev.describe(),
+        );
         for v in self.verifiers.values_mut() {
             v.set_epoch(epoch);
         }
@@ -520,14 +525,49 @@ impl Session {
             }
             TopologyEvent::LinkDown(..) | TopologyEvent::LinkUp(..) => {}
         }
-        for (dev, gone) in &delta.removed {
+        for (dev, gone) in &replan.removed {
             if let Some(v) = self.verifiers.get_mut(dev) {
                 v.remove_nodes(gone);
             }
         }
-        for (dev, tasks) in &delta.changed {
-            let v = self.verifiers.get_mut(dev).expect("checked above");
-            v.set_tasks(tasks.clone(), &mut self.queue);
+        // New nodes import their context's packet space; compile each
+        // referenced context once.
+        let mut spaces: BTreeMap<usize, PortablePred> = BTreeMap::new();
+        for groups in replan.changed.values() {
+            for g in groups {
+                if let Some(c) = g.ctx {
+                    spaces.entry(c).or_insert_with(|| {
+                        compile_packet_space(&self.net.layout, self.store.context_space(c))
+                    });
+                }
+            }
+        }
+        // Build verifiers lazily for devices the re-plan pulls in (e.g.
+        // a detour through a device the base plan never tasked).
+        for dev in replan.changed.keys() {
+            if !self.verifiers.contains_key(dev) {
+                let mut v = DeviceVerifier::builder(
+                    *dev,
+                    self.net.layout,
+                    self.net.fib(*dev).clone(),
+                    &self.packet_space,
+                    self.cfg.clone(),
+                )
+                .backend(self.backend_kind)
+                .tasks(Vec::new())
+                .build();
+                v.init(&mut self.queue);
+                self.verifiers.insert(*dev, v);
+            }
+        }
+        for (dev, groups) in &replan.changed {
+            let v = self.verifiers.get_mut(dev).expect("built above");
+            for g in groups {
+                match g.ctx {
+                    None => v.set_tasks(g.tasks.clone(), &mut self.queue),
+                    Some(c) => v.install_tasks(g.tasks.clone(), &spaces[&c], &mut self.queue),
+                }
+            }
         }
         // Everyone reachable re-announces: the epoch fence dropped
         // whatever was in flight, re-announcement repairs it.
@@ -537,17 +577,12 @@ impl Session {
             }
         }
         self.unreachable.retain(|_, d| self.churn.is_down(*d));
-        for (n, d) in &delta.unreachable {
+        for (n, d) in &replan.unreachable {
             self.unreachable.insert(*n, *d);
         }
-        // The base intent is the sole live intent (gated above), so the
-        // store simply follows the re-plan.
-        self.store.rebase(
-            delta.plan.clone(),
-            self.base_space.clone(),
-            Some(inv.clone()),
-        );
-        self.plan = delta.plan;
+        if let Some(p) = self.store.base_plan() {
+            self.plan = p.clone();
+        }
         Ok(self.run_to_quiescence())
     }
 
@@ -563,12 +598,13 @@ impl Session {
         });
         r.messages = self.messages_processed;
         if self.churn_events > 0 {
-            mark_freshness(
+            mark_freshness_store(
                 &mut r,
-                &self.plan,
+                &self.store,
                 &self.unreachable,
                 self.quarantined.iter().copied(),
                 &BTreeMap::new(),
+                &self.degraded_epochs,
             );
         }
         r
@@ -614,28 +650,42 @@ impl Session {
         name: &str,
         inv: &Invariant,
     ) -> Result<(IntentId, IntentDelta), PlanError> {
-        if !self.churn.is_quiet() {
-            return Err(PlanError::Unsupported(
-                "intent install on a churned topology is not supported \
-                 yet: intents compile against the base topology"
-                    .to_string(),
-            ));
-        }
-        let plan = Planner::new(&self.net.topology).plan(inv)?;
-        let PlanKind::Counting(cp) = &plan.kind else {
-            return Err(PlanError::Unsupported(
-                "runtime intents require a counting plan (local-contract \
-                 behaviors have no DPVNet slice to install)"
-                    .to_string(),
-            ));
+        let cp = if self.churn.is_quiet() {
+            let plan = Planner::new(&self.net.topology).plan(inv)?;
+            let PlanKind::Counting(cp) = &plan.kind else {
+                return Err(PlanError::Unsupported(
+                    "runtime intents require a counting plan (local-contract \
+                     behaviors have no DPVNet slice to install)"
+                        .to_string(),
+                ));
+            };
+            cp.clone()
+        } else {
+            // The install races an active topology fence: plan against
+            // the effective (post-churn) topology; a slice it cannot
+            // host is *parked* for bounded retry on the next fence
+            // instead of rejected.
+            let effective = self.churn.apply_to(&self.net.topology);
+            match plan_intent_on(&effective, inv, &self.churn, None) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    let id = self.store.park(id, name, inv.clone())?;
+                    let epoch = self.epoch;
+                    self.tel.journal(
+                        JournalKind::IntentParked,
+                        DeviceId(0),
+                        epoch,
+                        0,
+                        Some(id.0),
+                        || format!("parked behind fence @epoch {epoch}: {e}"),
+                    );
+                    return Ok((id, IntentDelta::default()));
+                }
+            }
         };
-        let (id, delta) = self.store.install(
-            id,
-            name,
-            Some(inv.clone()),
-            cp.clone(),
-            inv.packet_space.clone(),
-        )?;
+        let (id, delta) =
+            self.store
+                .install(id, name, Some(inv.clone()), cp, inv.packet_space.clone())?;
         let space = compile_packet_space(
             &self.net.layout,
             delta.space.as_ref().unwrap_or(&inv.packet_space),
@@ -680,8 +730,15 @@ impl Session {
     /// (id 0) is allowed once other intents exist; removing the last
     /// intent leaves an empty (trivially holding) session.
     pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
+        // A parked or degraded intent owns no on-device state: removing
+        // it drains the bookkeeping without a fence.
+        let no_footprint =
+            self.store.is_parked(id) || self.store.get(id).is_some_and(|i| i.is_degraded());
         let delta = self.store.remove(id)?;
-        self.fence_and_apply(&delta, None);
+        self.degraded_epochs.remove(&id.0);
+        if !no_footprint {
+            self.fence_and_apply(&delta, None);
+        }
         self.tel.journal(
             JournalKind::IntentRemoved,
             delta
@@ -789,6 +846,7 @@ impl crate::event::Substrate for Session {
                     messages: 0,
                     intent: Some(id),
                     slice: Some((delta.total_nodes, delta.reused_nodes)),
+                    parked: self.store.is_parked(id),
                 })
             }
             E::RemoveIntent(id) => {
@@ -797,6 +855,7 @@ impl crate::event::Substrate for Session {
                     messages: 0,
                     intent: Some(*id),
                     slice: Some((delta.total_nodes, delta.reused_nodes)),
+                    parked: false,
                 })
             }
         }
@@ -816,6 +875,11 @@ pub fn evaluate_intents(
 ) -> Report {
     let mut violations = Vec::new();
     for intent in store.live() {
+        if intent.is_degraded() {
+            // The current topology cannot host this slice; its stale
+            // results are reported via freshness, not as verdicts.
+            continue;
+        }
         let escape_idx = intent.plan.escape_idx();
         for (dev, local) in intent.plan.dpvnet.sources() {
             let global = intent.to_global[local.0 as usize];
@@ -898,6 +962,119 @@ pub fn mark_freshness(
     fr.sort_by_key(|(n, _)| *n);
     r.freshness = fr;
     r.quarantined = quarantined.into_iter().collect();
+}
+
+/// [`mark_freshness`] over an intent store's global node table: every
+/// global node a non-degraded intent owns is `Fresh` unless its device
+/// appears in `stale_devices`; `unreachable` entries (old-table nodes
+/// stranded on quarantined devices) are `Unreachable`; a *degraded*
+/// intent's last-good source nodes are `Stale(e)` at the epoch whose
+/// fence degraded it (`degraded_epochs`), or `Unreachable` when they
+/// sit on a quarantined device. Degraded entries refer to the
+/// superseded table's numbering (like `unreachable`); both entries are
+/// kept when an id collides.
+pub fn mark_freshness_store(
+    r: &mut Report,
+    store: &IntentStore,
+    unreachable: &BTreeMap<NodeId, DeviceId>,
+    quarantined: impl IntoIterator<Item = DeviceId>,
+    stale_devices: &BTreeMap<DeviceId, u64>,
+    degraded_epochs: &BTreeMap<u64, u64>,
+) {
+    let q: Vec<DeviceId> = quarantined.into_iter().collect();
+    let qset: BTreeSet<DeviceId> = q.iter().copied().collect();
+    let mut fr: Vec<(NodeId, Freshness)> = Vec::new();
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    for intent in store.live().filter(|i| !i.is_degraded()) {
+        for t in &intent.plan.tasks {
+            let g = intent.to_global[t.node.0 as usize];
+            if !seen.insert(g) {
+                continue;
+            }
+            fr.push(match stale_devices.get(&t.dev) {
+                Some(e) => (g, Freshness::Stale(*e)),
+                None => (g, Freshness::Fresh),
+            });
+        }
+    }
+    fr.extend(unreachable.keys().map(|n| (*n, Freshness::Unreachable)));
+    for intent in store.live().filter(|i| i.is_degraded()) {
+        let e = degraded_epochs.get(&intent.id.0).copied().unwrap_or(0);
+        for (dev, local) in intent.plan.dpvnet.sources() {
+            let g = intent.to_global[local.0 as usize];
+            let f = if qset.contains(dev) {
+                Freshness::Unreachable
+            } else {
+                Freshness::Stale(e)
+            };
+            fr.push((g, f));
+        }
+    }
+    fr.sort_by_key(|(n, _)| *n);
+    r.freshness = fr;
+    r.quarantined = q;
+}
+
+/// Journals the per-intent lifecycle transitions of one churn fence
+/// (degrade / revive / unpark / give-up) and maintains the substrate's
+/// intent → degradation-epoch record used for freshness attribution.
+/// `StoreReplan::degraded` lists *every* currently-unplannable intent,
+/// so only newly degraded ones (absent from `degraded_epochs`) get a
+/// journal entry — a slice stays degraded silently across fences that
+/// do not change its fate.
+pub fn journal_replan_transitions(
+    tel: &Telemetry,
+    degraded_epochs: &mut BTreeMap<u64, u64>,
+    replan: &StoreReplan,
+    dev: DeviceId,
+    epoch: u64,
+    trace: u64,
+    cause: &str,
+) {
+    for (id, reason) in &replan.degraded {
+        if let std::collections::btree_map::Entry::Vacant(e) = degraded_epochs.entry(id.0) {
+            e.insert(epoch);
+            tel.journal(
+                JournalKind::IntentDegraded,
+                dev,
+                epoch,
+                trace,
+                Some(id.0),
+                || format!("degraded by {cause}: {reason}"),
+            );
+        }
+    }
+    for id in &replan.revived {
+        degraded_epochs.remove(&id.0);
+        tel.journal(
+            JournalKind::IntentReplanned,
+            dev,
+            epoch,
+            trace,
+            Some(id.0),
+            || format!("revived by {cause} at epoch {epoch}"),
+        );
+    }
+    for id in &replan.unparked {
+        tel.journal(
+            JournalKind::IntentReplanned,
+            dev,
+            epoch,
+            trace,
+            Some(id.0),
+            || format!("unparked: re-planned against epoch {epoch}"),
+        );
+    }
+    for (id, reason) in &replan.rejected {
+        tel.journal(
+            JournalKind::IntentRejected,
+            dev,
+            epoch,
+            trace,
+            Some(id.0),
+            || format!("parked install gave up after {MAX_INTENT_RETRIES} fences: {reason}"),
+        );
+    }
 }
 
 /// Verifies a network snapshot against a plan (counting or local) and

@@ -39,13 +39,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tulkun_bdd::serial::PortablePred;
 use tulkun_bdd::HeaderLayout;
-use tulkun_core::churn::{replan_for_churn, ChurnState, ReplanDelta, TopologyEvent};
+use tulkun_core::churn::{ChurnState, TopologyEvent};
 use tulkun_core::count::Counts;
 use tulkun_core::dpvnet::NodeId;
 use tulkun_core::dvm::{DeviceVerifier, Envelope, Payload, VerifierConfig};
 use tulkun_core::event::{EventOutcome, RuntimeEvent, Substrate};
 use tulkun_core::fault::FaultStats;
-use tulkun_core::intent::{IntentDelta, IntentId, IntentStore};
+use tulkun_core::intent::{plan_intent_on, IntentDelta, IntentId, IntentStore};
 use tulkun_core::planner::{CountingPlan, NodeTask, PlanError, PlanKind, Planner};
 use tulkun_core::spec::{Invariant, PacketSpace};
 use tulkun_core::verify::{self, Report};
@@ -746,12 +746,12 @@ pub struct Engine<T: Transport, C: Clock> {
     /// The runtime intent store: the base plan is intent 0; installs
     /// intern their DPVNet slices against it.
     store: IntentStore,
+    /// Intent id → the epoch whose fence degraded it (freshness
+    /// attribution; cleared when a later fence revives the intent).
+    degraded_epochs: BTreeMap<u64, u64>,
     /// Network snapshot kept current across [`Engine::stage_batch`], so
     /// intent compilation and lazy verifier builds see live FIBs.
     net: Network,
-    /// The base intent's packet space (re-seeded into the store on a
-    /// churn re-plan).
-    base_space: PacketSpace,
     /// Compiled base packet space, for lazily built verifiers.
     packet_space: PortablePred,
     /// Verifier profile shared by every intent of this engine.
@@ -804,8 +804,8 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             quarantined: BTreeSet::new(),
             unreachable: BTreeMap::new(),
             store: IntentStore::with_base(plan.clone(), ps.clone(), None),
+            degraded_epochs: BTreeMap::new(),
             net: net.clone(),
-            base_space: ps.clone(),
             packet_space,
             vcfg: plan_vcfg(plan),
             kind: cfg
@@ -936,9 +936,11 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         }
         let mut last_span = 0;
         for (dev, ops) in batch.coalesced() {
-            if self.quarantined.contains(&dev) {
-                continue;
-            }
+            // Quarantine blocks *protocol* deliveries, not the
+            // device's own FIB: a quarantined verifier still folds in
+            // rule updates (it owns no plan nodes, so nothing is
+            // announced), so a later `DeviceUp` revives it against the
+            // current data plane — mirroring the reference session.
             let Some(v) = self.verifiers.get_mut(&dev) else {
                 continue;
             };
@@ -1115,38 +1117,42 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     ///
     /// `DeviceDown` quarantines its device (no deliveries, old nodes
     /// reported `Unreachable`); `DeviceUp` lifts the quarantine, wipes
-    /// the revived verifier's soft counting state and re-tasks it. A
-    /// device that had no tasks in the running plan cannot be assigned
-    /// new ones (no verifier was built for it) — such re-plans fail
-    /// gracefully with [`PlanError::Unsupported`], leaving the engine on
-    /// the old epoch.
+    /// the revived verifier's soft counting state and re-tasks it.
+    /// Every *live* intent is re-planned under the same fence
+    /// ([`IntentStore::replan_all_for_churn`]): unaffected slices keep
+    /// their node ids and ship zero tasks, slices the churned topology
+    /// cannot host degrade per-intent instead of rejecting the event,
+    /// and parked installs get their bounded retry against the new
+    /// epoch. Only a failure to re-plan the *base* invariant leaves the
+    /// engine on the old epoch.
     pub fn apply_topology_event(
         &mut self,
         ev: &TopologyEvent,
         base: &Topology,
         inv: &Invariant,
     ) -> Result<RunOutcome, PlanError> {
-        if !self.store.only_base() {
-            return Err(PlanError::Unsupported(
-                "topology churn with live runtime intents is not \
-                 supported yet: remove non-base intents first"
-                    .to_string(),
-            ));
-        }
+        self.apply_topology_event_inner(ev, base, inv)
+            .map(|(r, _, _)| r)
+    }
+
+    fn apply_topology_event_inner(
+        &mut self,
+        ev: &TopologyEvent,
+        base: &Topology,
+        inv: &Invariant,
+    ) -> Result<(RunOutcome, usize, usize), PlanError> {
         let mut churn = self.churn.clone();
         if !churn.apply(ev) {
-            return Ok(RunOutcome::default());
+            let n = self.plan.tasks.len();
+            return Ok((RunOutcome::default(), n, n));
         }
         let replan_begin = self.tel.host_tick();
         let replan_wall = Instant::now();
-        let delta = replan_for_churn(base, inv, &self.plan, &churn)?;
-        for dev in delta.changed.keys() {
-            if !self.verifiers.contains_key(dev) {
-                return Err(PlanError::Unsupported(format!(
-                    "churn re-plan assigns tasks to device {dev:?}, which has no verifier"
-                )));
-            }
-        }
+        // Transactional: an Err re-planning the base invariant happens
+        // before the store mutates anything.
+        let replan = self
+            .store
+            .replan_all_for_churn(base, Some(inv), &churn, None)?;
         self.reset_time();
         self.churn = churn;
         self.epoch += 1;
@@ -1181,6 +1187,15 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             None,
             || format!("fence to epoch {epoch} (churn)"),
         );
+        verify::journal_replan_transitions(
+            &self.tel,
+            &mut self.degraded_epochs,
+            &replan,
+            ev.primary_device(),
+            epoch,
+            trace,
+            &ev.describe(),
+        );
         for v in self.verifiers.values_mut() {
             v.set_epoch(epoch);
         }
@@ -1203,19 +1218,47 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         // Fence *before* any new-epoch send: everything in flight is
         // superseded; re-announcement repairs what it carried.
         self.transport.epoch_fence(epoch);
-        self.transport.set_topology(&delta.topology);
-        for (dev, gone) in &delta.removed {
+        self.transport.set_topology(&replan.topology);
+        for (dev, gone) in &replan.removed {
             if let Some(v) = self.verifiers.get_mut(dev) {
                 v.remove_nodes(gone);
             }
         }
-        for (dev, tasks) in &delta.changed {
-            let v = self.verifiers.get_mut(dev).expect("checked above");
+        // New nodes import their context's packet space; compile each
+        // referenced context once.
+        let mut spaces: BTreeMap<usize, PortablePred> = BTreeMap::new();
+        for groups in replan.changed.values() {
+            for g in groups {
+                if let Some(c) = g.ctx {
+                    spaces.entry(c).or_insert_with(|| {
+                        verify::compile_packet_space(&self.net.layout, self.store.context_space(c))
+                    });
+                }
+            }
+        }
+        // Build verifiers lazily for devices the re-plan pulls in (e.g.
+        // a detour through a device no prior plan tasked).
+        let missing: Vec<DeviceId> = replan
+            .changed
+            .keys()
+            .filter(|d| !self.verifiers.contains_key(d))
+            .copied()
+            .collect();
+        for dev in missing {
+            self.build_verifier_lazily(dev, trace);
+        }
+        for (dev, groups) in &replan.changed {
+            let v = self.verifiers.get_mut(dev).expect("built above");
             let begin = self.tel.host_tick();
             let wall = Instant::now();
             let mut replies = Vec::new();
             v.set_trace(trace);
-            v.set_tasks(tasks.clone(), &mut replies);
+            for g in groups {
+                match g.ctx {
+                    None => v.set_tasks(g.tasks.clone(), &mut replies),
+                    Some(c) => v.install_tasks(g.tasks.clone(), &spaces[&c], &mut replies),
+                }
+            }
             let host_ns = wall.elapsed().as_nanos() as u64;
             let span = self.clock.charge(*dev, 0, host_ns);
             self.stats.per_device.entry(*dev).or_default().busy_ns += span.cpu_ns;
@@ -1259,40 +1302,61 @@ impl<T: Transport, C: Clock> Engine<T, C> {
             }
         }
         self.unreachable.retain(|_, d| self.churn.is_down(*d));
-        for (n, d) in &delta.unreachable {
+        for (n, d) in &replan.unreachable {
             self.unreachable.insert(*n, *d);
         }
         self.churn_events += 1;
-        self.store.rebase(
-            delta.plan.clone(),
-            self.base_space.clone(),
-            Some(inv.clone()),
-        );
-        self.plan = delta.plan;
-        Ok(self.run())
+        if let Some(p) = self.store.base_plan() {
+            self.plan = p.clone();
+        }
+        let r = self.run();
+        Ok((r, replan.total_nodes, replan.reused_nodes))
     }
 
     /// Like [`Engine::apply_topology_event`], also returning the
-    /// re-plan delta's reuse statistics (for the churn ablation bench).
+    /// re-plan's reuse statistics (for the churn ablation bench).
     pub fn apply_topology_event_with_delta(
         &mut self,
         ev: &TopologyEvent,
         base: &Topology,
         inv: &Invariant,
     ) -> Result<(RunOutcome, usize, usize), PlanError> {
-        let mut probe = self.churn.clone();
-        let (total, reused) = if probe.apply(ev) {
-            let ReplanDelta {
-                total_nodes,
-                reused_nodes,
-                ..
-            } = replan_for_churn(base, inv, &self.plan, &probe)?;
-            (total_nodes, reused_nodes)
-        } else {
-            (self.plan.tasks.len(), self.plan.tasks.len())
-        };
-        let r = self.apply_topology_event(ev, base, inv)?;
-        Ok((r, total, reused))
+        self.apply_topology_event_inner(ev, base, inv)
+    }
+
+    /// Builds one verifier after construction time, for a device a
+    /// later intent or churn re-plan pulls into the plan (no LEC cache:
+    /// a late-joining device builds its table once).
+    fn build_verifier_lazily(&mut self, dev: DeviceId, trace: u64) {
+        let begin = self.tel.host_tick();
+        let wall = Instant::now();
+        let mut v = DeviceVerifier::builder(
+            dev,
+            self.net.layout,
+            self.net.fib(dev).clone(),
+            &self.packet_space,
+            self.vcfg.clone(),
+        )
+        .backend(self.kind)
+        .tasks(Vec::new())
+        .telemetry(self.tel.clone())
+        .build();
+        v.set_trace(trace);
+        let mut out = Vec::new();
+        v.init(&mut out);
+        let host_ns = wall.elapsed().as_nanos() as u64;
+        let span = self.clock.charge(dev, 0, host_ns);
+        let st = self.stats.per_device.entry(dev).or_default();
+        st.init_ns = span.cpu_ns;
+        st.bdd_nodes = v.bdd_nodes();
+        if self.tel.is_enabled() {
+            self.tel
+                .span_aux(dev, "init.build", "init", begin, host_ns.max(1), trace, 0);
+        }
+        for env in out {
+            self.transport.send(dev, span.finish, env);
+        }
+        self.verifiers.insert(dev, v);
     }
 
     /// Evaluates the invariant at the DPVNet sources. Takes `&mut self`
@@ -1308,12 +1372,13 @@ impl<T: Transport, C: Clock> Engine<T, C> {
                 .unwrap_or_default()
         });
         if self.churn_events > 0 {
-            verify::mark_freshness(
+            verify::mark_freshness_store(
                 &mut r,
-                &self.plan,
+                &self.store,
                 &self.unreachable,
                 self.quarantined.iter().copied(),
                 &BTreeMap::new(),
+                &self.degraded_epochs,
             );
         }
         r
@@ -1359,69 +1424,57 @@ impl<T: Transport, C: Clock> Engine<T, C> {
         name: &str,
         inv: &Invariant,
     ) -> Result<(IntentId, IntentDelta, RunOutcome), PlanError> {
-        if !self.churn.is_quiet() {
-            return Err(PlanError::Unsupported(
-                "intent install on a churned topology is not supported \
-                 yet: intents compile against the base topology"
-                    .to_string(),
-            ));
-        }
-        let plan = Planner::new(&self.net.topology).plan(inv)?;
-        let PlanKind::Counting(cp) = &plan.kind else {
-            return Err(PlanError::Unsupported(
-                "runtime intents require a counting plan (local-contract \
-                 behaviors have no DPVNet slice to install)"
-                    .to_string(),
-            ));
+        let cp = if self.churn.is_quiet() {
+            let plan = Planner::new(&self.net.topology).plan(inv)?;
+            let PlanKind::Counting(cp) = &plan.kind else {
+                return Err(PlanError::Unsupported(
+                    "runtime intents require a counting plan (local-contract \
+                     behaviors have no DPVNet slice to install)"
+                        .to_string(),
+                ));
+            };
+            cp.clone()
+        } else {
+            // The install races an active topology fence: plan against
+            // the effective (post-churn) topology; a slice it cannot
+            // host is *parked* for bounded retry on the next fence
+            // instead of rejected.
+            let effective = self.churn.apply_to(&self.net.topology);
+            match plan_intent_on(&effective, inv, &self.churn, None) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    let id = self.store.park(id, name, inv.clone())?;
+                    let epoch = self.epoch;
+                    self.tel.journal(
+                        JournalKind::IntentParked,
+                        DeviceId(0),
+                        epoch,
+                        0,
+                        Some(id.0),
+                        || format!("parked behind fence @epoch {epoch}: {e}"),
+                    );
+                    return Ok((id, IntentDelta::default(), RunOutcome::default()));
+                }
+            }
         };
-        let (id, delta) = self.store.install(
-            id,
-            name,
-            Some(inv.clone()),
-            cp.clone(),
-            inv.packet_space.clone(),
-        )?;
+        let (id, delta) =
+            self.store
+                .install(id, name, Some(inv.clone()), cp, inv.packet_space.clone())?;
         let space = verify::compile_packet_space(
             &self.net.layout,
             delta.space.as_ref().unwrap_or(&inv.packet_space),
         );
         self.reset_time();
         let trace = self.alloc_trace();
-        // Build verifiers lazily for devices the slice pulls in (no
-        // LEC cache here: a late-joining device builds its table once).
-        for dev in delta.changed.keys() {
-            if self.verifiers.contains_key(dev) {
-                continue;
-            }
-            let begin = self.tel.host_tick();
-            let wall = Instant::now();
-            let mut v = DeviceVerifier::builder(
-                *dev,
-                self.net.layout,
-                self.net.fib(*dev).clone(),
-                &self.packet_space,
-                self.vcfg.clone(),
-            )
-            .backend(self.kind)
-            .tasks(Vec::new())
-            .telemetry(self.tel.clone())
-            .build();
-            v.set_trace(trace);
-            let mut out = Vec::new();
-            v.init(&mut out);
-            let host_ns = wall.elapsed().as_nanos() as u64;
-            let span = self.clock.charge(*dev, 0, host_ns);
-            let st = self.stats.per_device.entry(*dev).or_default();
-            st.init_ns = span.cpu_ns;
-            st.bdd_nodes = v.bdd_nodes();
-            if self.tel.is_enabled() {
-                self.tel
-                    .span_aux(*dev, "init.build", "init", begin, host_ns.max(1), trace, 0);
-            }
-            for env in out {
-                self.transport.send(*dev, span.finish, env);
-            }
-            self.verifiers.insert(*dev, v);
+        // Build verifiers lazily for devices the slice pulls in.
+        let missing: Vec<DeviceId> = delta
+            .changed
+            .keys()
+            .filter(|d| !self.verifiers.contains_key(d))
+            .copied()
+            .collect();
+        for dev in missing {
+            self.build_verifier_lazily(dev, trace);
         }
         let r = self.fence_and_apply(&delta, Some(&space), trace, "intent.install");
         let dev = delta.changed.keys().next().copied().unwrap_or(DeviceId(0));
@@ -1444,10 +1497,22 @@ impl<T: Transport, C: Clock> Engine<T, C> {
     /// are uninstalled (shared tasks stay — cheaper by exactly the
     /// dedup), and the exchange re-converges.
     pub fn remove_intent(&mut self, id: IntentId) -> Result<(IntentDelta, RunOutcome), PlanError> {
+        // A parked or degraded intent owns no on-device state: removing
+        // it drains the bookkeeping without a fence.
+        let no_footprint =
+            self.store.is_parked(id) || self.store.get(id).is_some_and(|i| i.is_degraded());
         let delta = self.store.remove(id)?;
-        self.reset_time();
-        let trace = self.alloc_trace();
-        let r = self.fence_and_apply(&delta, None, trace, "intent.remove");
+        self.degraded_epochs.remove(&id.0);
+        let (r, trace) = if no_footprint {
+            (RunOutcome::default(), 0)
+        } else {
+            self.reset_time();
+            let trace = self.alloc_trace();
+            (
+                self.fence_and_apply(&delta, None, trace, "intent.remove"),
+                trace,
+            )
+        };
         let dev = delta
             .removed
             .keys()
@@ -1630,6 +1695,7 @@ impl<T: Transport, C: Clock> Substrate for Engine<T, C> {
                     messages: r.messages,
                     intent: Some(id),
                     slice: Some((delta.total_nodes, delta.reused_nodes)),
+                    parked: self.store.is_parked(id),
                 })
             }
             E::RemoveIntent(id) => {
@@ -1638,6 +1704,7 @@ impl<T: Transport, C: Clock> Substrate for Engine<T, C> {
                     messages: r.messages,
                     intent: Some(*id),
                     slice: Some((delta.total_nodes, delta.reused_nodes)),
+                    parked: false,
                 })
             }
         }
@@ -1670,17 +1737,17 @@ enum DeviceMsg {
     Churn {
         epoch: u64,
         trace: u64,
-        /// New task list, when the re-plan changed this device.
-        tasks: Option<Vec<NodeTask>>,
+        /// Task groups to apply in order, when the re-plan changed this
+        /// device: `None` re-tasks existing nodes under their current
+        /// base packet space; `Some(sp)` installs new nodes counting
+        /// over `sp` (their intent context's space).
+        groups: Vec<(Option<PortablePred>, Vec<NodeTask>)>,
         /// Old-plan nodes no longer assigned here.
         remove: Vec<NodeId>,
         /// Revived device: drop *all* soft node state first.
         wipe: bool,
         /// Re-announce after applying (false for quarantined devices).
         reannounce: bool,
-        /// Base packet space for *new* nodes in `tasks` (intent
-        /// installs); `None` re-tasks under each node's existing base.
-        base: Option<PortablePred>,
     },
     #[cfg(test)]
     Crash,
@@ -1883,8 +1950,9 @@ pub struct ThreadedEngine {
     topology: Topology,
     /// Header layout for compiling intent packet spaces.
     layout: HeaderLayout,
-    /// The base intent's packet space (re-seeded on a churn re-plan).
-    base_space: PacketSpace,
+    /// Intent id → the epoch whose fence degraded it (freshness
+    /// attribution; cleared when a later fence revives the intent).
+    degraded_epochs: BTreeMap<u64, u64>,
     /// Topology churn events applied so far (the epoch also advances
     /// on intent installs/removals; freshness keys off this counter).
     churn_events: u64,
@@ -2019,11 +2087,10 @@ impl ThreadedEngine {
                             DeviceMsg::Churn {
                                 epoch,
                                 trace,
-                                tasks,
+                                groups,
                                 remove,
                                 wipe,
                                 reannounce,
-                                base,
                             } => {
                                 let begin = tel.host_tick();
                                 let wall = Instant::now();
@@ -2037,7 +2104,7 @@ impl ThreadedEngine {
                                 if !remove.is_empty() {
                                     verifier.remove_nodes(&remove);
                                 }
-                                if let Some(tasks) = tasks {
+                                for (base, tasks) in groups {
                                     match &base {
                                         Some(sp) => verifier.install_tasks(tasks, sp, &mut out),
                                         None => verifier.set_tasks(tasks, &mut out),
@@ -2105,7 +2172,7 @@ impl ThreadedEngine {
             store: IntentStore::with_base(plan.clone(), ps.clone(), None),
             topology: net.topology.clone(),
             layout: net.layout,
-            base_space: ps.clone(),
+            degraded_epochs: BTreeMap::new(),
             churn_events: 0,
         }
     }
@@ -2185,34 +2252,31 @@ impl ThreadedEngine {
     /// [`ThreadedEngine::wait_quiescent`] (or the watched variant)
     /// afterwards to let re-convergence drain.
     ///
-    /// Fails with [`PlanError::Unsupported`] when the re-plan assigns
-    /// tasks to a device that had none in the running plan (no verifier
-    /// thread exists for it); the engine stays on the old epoch.
+    /// Every *live* intent is re-planned under the same fence
+    /// ([`IntentStore::replan_all_for_churn`]): unaffected slices keep
+    /// their node ids and ship zero tasks, slices the churned topology
+    /// cannot host (or that would task a thread-less device — threads
+    /// are fixed at spawn) degrade per-intent instead of rejecting the
+    /// event, and parked installs get their bounded retry against the
+    /// new epoch. Only a failure to re-plan the *base* invariant leaves
+    /// the engine on the old epoch.
     pub fn apply_topology_event(
         &mut self,
         ev: &TopologyEvent,
         base: &Topology,
         inv: &Invariant,
     ) -> Result<(), PlanError> {
-        if !self.store.only_base() {
-            return Err(PlanError::Unsupported(
-                "topology churn with live runtime intents is not \
-                 supported yet: remove non-base intents first"
-                    .to_string(),
-            ));
-        }
         let mut churn = self.churn.clone();
         if !churn.apply(ev) {
             return Ok(());
         }
-        let delta = replan_for_churn(base, inv, &self.plan, &churn)?;
-        for dev in delta.changed.keys() {
-            if !self.senders.contains_key(dev) {
-                return Err(PlanError::Unsupported(format!(
-                    "churn re-plan assigns tasks to device {dev:?}, which has no verifier thread"
-                )));
-            }
-        }
+        // Transactional: an Err re-planning the base invariant happens
+        // before the store mutates anything. The thread roster caps
+        // what any re-plan may task.
+        let roster: BTreeSet<DeviceId> = self.senders.keys().copied().collect();
+        let replan = self
+            .store
+            .replan_all_for_churn(base, Some(inv), &churn, Some(&roster))?;
         self.churn = churn;
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let trace = self.alloc_trace();
@@ -2232,6 +2296,15 @@ impl ThreadedEngine {
             None,
             || format!("fence to epoch {epoch} (churn)"),
         );
+        verify::journal_replan_transitions(
+            &self.tel,
+            &mut self.degraded_epochs,
+            &replan,
+            ev.primary_device(),
+            epoch,
+            trace,
+            &ev.describe(),
+        );
         match ev {
             TopologyEvent::DeviceDown(d) => {
                 self.quarantined.insert(*d);
@@ -2246,15 +2319,35 @@ impl ThreadedEngine {
             TopologyEvent::DeviceUp(d) => Some(*d),
             _ => None,
         };
+        // New nodes import their context's packet space; compile each
+        // referenced context once.
+        let mut spaces: BTreeMap<usize, PortablePred> = BTreeMap::new();
+        for groups in replan.changed.values() {
+            for g in groups {
+                if let Some(c) = g.ctx {
+                    spaces.entry(c).or_insert_with(|| {
+                        verify::compile_packet_space(&self.layout, self.store.context_space(c))
+                    });
+                }
+            }
+        }
         for (dev, tx) in &self.senders {
+            let groups = replan
+                .changed
+                .get(dev)
+                .map(|gs| {
+                    gs.iter()
+                        .map(|g| (g.ctx.map(|c| spaces[&c].clone()), g.tasks.clone()))
+                        .collect()
+                })
+                .unwrap_or_default();
             let bundle = DeviceMsg::Churn {
                 epoch,
                 trace,
-                tasks: delta.changed.get(dev).cloned(),
-                remove: delta.removed.get(dev).cloned().unwrap_or_default(),
+                groups,
+                remove: replan.removed.get(dev).cloned().unwrap_or_default(),
                 wipe: wipe_dev == Some(*dev),
                 reannounce: !self.quarantined.contains(dev),
-                base: None,
             };
             self.inflight.add(1);
             if tx.send(bundle).is_ok() {
@@ -2264,16 +2357,13 @@ impl ThreadedEngine {
             }
         }
         self.unreachable.retain(|_, d| self.churn.is_down(*d));
-        for (n, d) in &delta.unreachable {
+        for (n, d) in &replan.unreachable {
             self.unreachable.insert(*n, *d);
         }
         self.churn_events += 1;
-        self.store.rebase(
-            delta.plan.clone(),
-            self.base_space.clone(),
-            Some(inv.clone()),
-        );
-        self.plan = delta.plan;
+        if let Some(p) = self.store.base_plan() {
+            self.plan = p.clone();
+        }
         Ok(())
     }
 
@@ -2317,39 +2407,54 @@ impl ThreadedEngine {
         name: &str,
         inv: &Invariant,
     ) -> Result<(IntentId, IntentDelta), PlanError> {
-        if !self.churn.is_quiet() {
-            return Err(PlanError::Unsupported(
-                "intent install on a churned topology is not supported \
-                 yet: intents compile against the base topology"
-                    .to_string(),
-            ));
-        }
-        let plan = Planner::new(&self.topology).plan(inv)?;
-        let PlanKind::Counting(cp) = &plan.kind else {
-            return Err(PlanError::Unsupported(
-                "runtime intents require a counting plan (local-contract \
-                 behaviors have no DPVNet slice to install)"
-                    .to_string(),
-            ));
-        };
-        // Transactionality: reject a slice touching a thread-less
-        // device *before* the store commits anything.
-        for t in &cp.tasks {
-            if !self.senders.contains_key(&t.dev) {
-                return Err(PlanError::Unsupported(format!(
-                    "intent {name:?} tasks device {:?}, which has no \
-                     verifier thread (spawn with EngineConfig::all_devices)",
-                    t.dev
-                )));
+        let cp = if self.churn.is_quiet() {
+            let plan = Planner::new(&self.topology).plan(inv)?;
+            let PlanKind::Counting(cp) = &plan.kind else {
+                return Err(PlanError::Unsupported(
+                    "runtime intents require a counting plan (local-contract \
+                     behaviors have no DPVNet slice to install)"
+                        .to_string(),
+                ));
+            };
+            // Transactionality: reject a slice touching a thread-less
+            // device *before* the store commits anything.
+            for t in &cp.tasks {
+                if !self.senders.contains_key(&t.dev) {
+                    return Err(PlanError::Unsupported(format!(
+                        "intent {name:?} tasks device {:?}, which has no \
+                         verifier thread (spawn with EngineConfig::all_devices)",
+                        t.dev
+                    )));
+                }
             }
-        }
-        let (id, delta) = self.store.install(
-            id,
-            name,
-            Some(inv.clone()),
-            cp.clone(),
-            inv.packet_space.clone(),
-        )?;
+            cp.clone()
+        } else {
+            // The install races an active topology fence: plan against
+            // the effective (post-churn) topology; a slice it cannot
+            // host is *parked* for bounded retry on the next fence
+            // instead of rejected.
+            let roster: BTreeSet<DeviceId> = self.senders.keys().copied().collect();
+            let effective = self.churn.apply_to(&self.topology);
+            match plan_intent_on(&effective, inv, &self.churn, Some(&roster)) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    let id = self.store.park(id, name, inv.clone())?;
+                    let epoch = self.epoch.load(Ordering::SeqCst);
+                    self.tel.journal(
+                        JournalKind::IntentParked,
+                        DeviceId(0),
+                        epoch,
+                        0,
+                        Some(id.0),
+                        || format!("parked behind fence @epoch {epoch}: {e}"),
+                    );
+                    return Ok((id, IntentDelta::default()));
+                }
+            }
+        };
+        let (id, delta) =
+            self.store
+                .install(id, name, Some(inv.clone()), cp, inv.packet_space.clone())?;
         let space = verify::compile_packet_space(
             &self.layout,
             delta.space.as_ref().unwrap_or(&inv.packet_space),
@@ -2374,8 +2479,15 @@ impl ThreadedEngine {
     /// surviving intent owns are uninstalled. Call
     /// [`ThreadedEngine::wait_quiescent`] afterwards.
     pub fn remove_intent(&mut self, id: IntentId) -> Result<IntentDelta, PlanError> {
+        // A parked or degraded intent owns no on-device state: removing
+        // it drains the bookkeeping without a fence.
+        let no_footprint =
+            self.store.is_parked(id) || self.store.get(id).is_some_and(|i| i.is_degraded());
         let delta = self.store.remove(id)?;
-        self.fence_and_fan_out(&delta, None);
+        self.degraded_epochs.remove(&id.0);
+        if !no_footprint {
+            self.fence_and_fan_out(&delta, None);
+        }
         let dev = delta
             .removed
             .keys()
@@ -2421,12 +2533,14 @@ impl ThreadedEngine {
                 });
         }
         for (dev, tx) in &self.senders {
-            let tasks = delta.changed.get(dev).cloned();
+            let groups = match delta.changed.get(dev) {
+                Some(tasks) => vec![(base.clone(), tasks.clone())],
+                None => Vec::new(),
+            };
             let bundle = DeviceMsg::Churn {
                 epoch,
                 trace,
-                base: if tasks.is_some() { base.clone() } else { None },
-                tasks,
+                groups,
                 remove: delta.removed.get(dev).cloned().unwrap_or_default(),
                 wipe: false,
                 reannounce: !self.quarantined.contains(dev),
@@ -2469,9 +2583,10 @@ impl ThreadedEngine {
             );
         }
         for (dev, ops) in batch.coalesced() {
-            if self.quarantined.contains(&dev) {
-                continue;
-            }
+            // Quarantined devices still fold in their own FIB updates
+            // (no plan nodes, so nothing is announced) so `DeviceUp`
+            // revives them against the current data plane — mirroring
+            // the single-driver engine and the reference session.
             if let Some(tx) = self.senders.get(&dev) {
                 self.inflight.add(1);
                 if tx.send(DeviceMsg::FibBatch(ops, trace)).is_ok() {
@@ -2551,6 +2666,11 @@ impl ThreadedEngine {
         // overlapping slices).
         let mut by_dev: BTreeMap<DeviceId, BTreeSet<NodeId>> = BTreeMap::new();
         for intent in self.store.live() {
+            if intent.is_degraded() {
+                // Not evaluated; its stale global ids may have been
+                // reassigned by a later fence.
+                continue;
+            }
             for (dev, local) in intent.plan.dpvnet.sources() {
                 let global = intent.to_global[local.0 as usize];
                 by_dev.entry(*dev).or_default().insert(global);
@@ -2580,12 +2700,13 @@ impl ThreadedEngine {
         });
         if self.churn_events > 0 {
             let stalled = self.stalled.lock().unwrap().clone();
-            verify::mark_freshness(
+            verify::mark_freshness_store(
                 &mut r,
-                &self.plan,
+                &self.store,
                 &self.unreachable,
                 self.quarantined.iter().copied(),
                 &stalled,
+                &self.degraded_epochs,
             );
         }
         r
@@ -2661,6 +2782,7 @@ impl Substrate for ThreadedEngine {
                     messages: 0,
                     intent: Some(id),
                     slice: Some((delta.total_nodes, delta.reused_nodes)),
+                    parked: self.store.is_parked(id),
                 }
             }
             E::RemoveIntent(id) => {
@@ -2669,6 +2791,7 @@ impl Substrate for ThreadedEngine {
                     messages: 0,
                     intent: Some(*id),
                     slice: Some((delta.total_nodes, delta.reused_nodes)),
+                    parked: false,
                 }
             }
         };

@@ -150,6 +150,12 @@ pub struct ServiceStatus {
     /// Intent requests the planner or store rejected (e.g. a slice the
     /// plan cannot count, or removing an unknown id).
     pub rejected_intents: u64,
+    /// Installs parked behind an active topology fence, waiting to be
+    /// re-planned against the next epoch (parked is *not* rejected).
+    pub parked: u64,
+    /// Live intents currently degraded because churn severed their
+    /// slice; they revive on a later fence.
+    pub degraded: u64,
     /// Requests currently queued across all sources.
     pub queued: usize,
     /// Drain rounds run.
@@ -175,6 +181,9 @@ pub struct IntentStatus {
     pub nodes: usize,
     /// Every node of the slice is counted against the current epoch.
     pub fresh: bool,
+    /// The slice was severed by churn; the intent reports stale
+    /// results until a later fence revives it.
+    pub degraded: bool,
 }
 
 impl ServiceStatus {
@@ -193,6 +202,8 @@ impl ServiceStatus {
                 "rejected_intents".into(),
                 Json::Int(self.rejected_intents as i64),
             ),
+            ("parked".into(), Json::Int(self.parked as i64)),
+            ("degraded".into(), Json::Int(self.degraded as i64)),
             ("queued".into(), Json::Int(self.queued as i64)),
             ("drains".into(), Json::Int(self.drains as i64)),
             ("epoch".into(), Json::Int(self.epoch as i64)),
@@ -217,6 +228,7 @@ impl ServiceStatus {
                                 ("name".into(), Json::Str(i.name.clone())),
                                 ("nodes".into(), Json::Int(i.nodes as i64)),
                                 ("fresh".into(), Json::Bool(i.fresh)),
+                                ("degraded".into(), Json::Bool(i.degraded)),
                             ])
                         })
                         .collect(),
@@ -522,6 +534,16 @@ impl Service {
                 "tulkun_rejected_intents",
                 self.rejected_intents as i64,
             );
+            self.tel.gauge_set(
+                DeviceId(0),
+                "tulkun_parked_intents",
+                self.harness.intents().parked_count() as i64,
+            );
+            self.tel.gauge_set(
+                DeviceId(0),
+                "tulkun_degraded_intents",
+                self.harness.intents().degraded_count() as i64,
+            );
         }
         n
     }
@@ -633,7 +655,8 @@ impl Service {
                     id: i.id.0,
                     name: i.name.clone(),
                     nodes: nodes.len(),
-                    fresh: nodes.iter().all(|n| !stale.contains(n)),
+                    fresh: !i.is_degraded() && nodes.iter().all(|n| !stale.contains(n)),
+                    degraded: i.is_degraded(),
                 }
             })
             .collect();
@@ -648,12 +671,42 @@ impl Service {
             "tulkun_rejected_intents",
             self.rejected_intents as i64,
         );
+        let store = self.harness.intents();
+        let (parked, degraded) = (store.parked_count() as u64, store.degraded_count() as u64);
+        let parked_ids: Vec<u64> = store.parked().map(|p| p.id.0).collect();
+        self.tel
+            .gauge_set(DeviceId(0), "tulkun_parked_intents", parked as i64);
+        self.tel
+            .gauge_set(DeviceId(0), "tulkun_degraded_intents", degraded as i64);
         for i in &intents {
             self.tel.gauge_set_labeled(
                 DeviceId(0),
                 "tulkun_intent_fresh",
                 &format!("intent=\"{}\"", i.id),
                 i.fresh as i64,
+            );
+            // A live id was either never parked or has since landed;
+            // refreshing both labels to their current state keeps the
+            // exported series honest across park -> land transitions.
+            self.tel.gauge_set_labeled(
+                DeviceId(0),
+                "tulkun_degraded_intents",
+                &format!("intent=\"{}\"", i.id),
+                i.degraded as i64,
+            );
+            self.tel.gauge_set_labeled(
+                DeviceId(0),
+                "tulkun_parked_intents",
+                &format!("intent=\"{}\"", i.id),
+                0,
+            );
+        }
+        for id in &parked_ids {
+            self.tel.gauge_set_labeled(
+                DeviceId(0),
+                "tulkun_parked_intents",
+                &format!("intent=\"{}\"", id),
+                1,
             );
         }
         ServiceStatus {
@@ -662,6 +715,8 @@ impl Service {
             processed: self.processed,
             rejected_churn: self.rejected_churn,
             rejected_intents: self.rejected_intents,
+            parked,
+            degraded,
             queued: self.queued,
             drains: self.drains,
             epoch: self.harness.epoch(),
@@ -739,6 +794,16 @@ impl Service {
             .filter(|i| i.id.0 != 0)
             .map(|i| (i.id, i.name.clone(), i.invariant.clone()))
             .collect();
+        // Installs parked behind an in-flight fence must survive the
+        // swap too: replayed under the same churn state they park again
+        // deterministically under their original id (the retry budget
+        // restarts — a swap is a fresh admission, not a burned fence).
+        let parked: Vec<(IntentId, String, Invariant)> = self
+            .harness
+            .intents()
+            .parked()
+            .map(|p| (p.id, p.name.clone(), p.invariant.clone()))
+            .collect();
         let mut harness =
             Service::build_harness(&self.net, &self.plan, &self.inv, &self.cfg, &self.tel);
         match &mut harness {
@@ -749,11 +814,11 @@ impl Service {
                 s.burst();
             }
         }
-        for ev in &self.churn_log {
-            harness
-                .apply_topology_event(ev, &self.base_topo, &self.inv)
-                .map_err(|e| ServiceError::Rejected(format!("churn replay failed: {e:?}")))?;
-        }
+        // Intents first, churn second: the churn replay's fences then
+        // re-plan every slice exactly as the live history did, so an
+        // intent whose slice churn severed comes back *degraded* (not
+        // parked, not rejected). Parked installs replay last, under the
+        // replayed churn state, and deterministically park again.
         for (id, name, inv) in &live {
             let Some(inv) = inv else {
                 return Err(ServiceError::Rejected(format!(
@@ -763,6 +828,16 @@ impl Service {
             harness
                 .install_intent_as(*id, name, inv)
                 .map_err(|e| ServiceError::Rejected(format!("intent replay failed: {e:?}")))?;
+        }
+        for ev in &self.churn_log {
+            harness
+                .apply_topology_event(ev, &self.base_topo, &self.inv)
+                .map_err(|e| ServiceError::Rejected(format!("churn replay failed: {e:?}")))?;
+        }
+        for (id, name, inv) in &parked {
+            harness
+                .install_intent_as(*id, name, inv)
+                .map_err(|e| ServiceError::Rejected(format!("parked replay failed: {e:?}")))?;
         }
         self.harness = harness;
         let epoch = self.harness.epoch();
@@ -845,7 +920,10 @@ impl Service {
     }
 
     /// Explains why an intent's slice is degraded (or confirms it is
-    /// fresh), by intent id (0 = the base intent).
+    /// fresh), by intent id (0 = the base intent). A parked install —
+    /// one that raced a topology fence and is waiting to be re-planned
+    /// — gets a `parked` verdict whose causal chain leads back to the
+    /// fence it raced.
     pub fn explain_intent(&mut self, source: Option<&str>, id: u64) -> Explanation {
         let report = self.harness.report();
         let nodes: Vec<u32> = self
@@ -854,7 +932,11 @@ impl Service {
             .get(IntentId(id))
             .map(|i| i.global_nodes().iter().map(|n| n.0).collect())
             .unwrap_or_default();
-        let verdict = explain::intent_verdict(&report, id, &nodes);
+        let verdict = if self.harness.intents().is_parked(IntentId(id)) {
+            format!("parked(awaiting epoch {})", self.harness.epoch() + 1)
+        } else {
+            explain::intent_verdict(&report, id, &nodes)
+        };
         if verdict.contains("unreachable") {
             self.dump_pending = true;
         }
@@ -916,6 +998,10 @@ impl Substrate for Service {
                 _ => None,
             },
             slice: None,
+            parked: match (ev, next_id) {
+                (E::InstallIntent { .. }, Some(id)) => self.harness.intents().is_parked(id),
+                _ => false,
+            },
         })
     }
 }

@@ -49,6 +49,16 @@ pub enum JournalKind {
     IntentRemoved,
     /// An intent install/remove request was rejected.
     IntentRejected,
+    /// An install raced a topology fence and was queued for re-planning
+    /// against the next epoch (bounded by the retry cap).
+    IntentParked,
+    /// A live or parked intent's slice was re-planned under a churn
+    /// fence (it landed, revived, or re-tasked).
+    IntentReplanned,
+    /// A live intent's slice cannot be planned on the current topology;
+    /// it is degraded (excluded from evaluation) until a fence revives
+    /// it.
+    IntentDegraded,
     /// The fault-injecting transport dropped/duplicated/reordered/
     /// delayed an envelope (detail names which).
     FaultInjected,
@@ -82,6 +92,9 @@ impl JournalKind {
             K::IntentInstalled => "intent_installed",
             K::IntentRemoved => "intent_removed",
             K::IntentRejected => "intent_rejected",
+            K::IntentParked => "intent_parked",
+            K::IntentReplanned => "intent_replanned",
+            K::IntentDegraded => "intent_degraded",
             K::FaultInjected => "fault_injected",
             K::Retransmit => "retransmit",
             K::CrashRestart => "crash_restart",

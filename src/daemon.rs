@@ -19,6 +19,7 @@
 //! drain [<max>]                                 apply queued requests
 //! report                                        canonical Report JSON
 //! status                                        counters + queue state
+//!                                               (incl. parked/degraded)
 //! slo                                           SLO verdict JSON
 //! metrics                                       Prometheus exposition
 //! events <source> [n]                           flight-recorder entries
@@ -50,6 +51,15 @@
 //! `intent add` echoes the queue depth; the id the install will get is
 //! reported by `status` once drained. `intent remove <id>` takes that
 //! id (the base session is intent 0 and cannot be removed).
+//!
+//! Installs and churn interleave freely: an install whose slice cannot
+//! be planned while a topology fence is in flight is *parked* (not
+//! rejected) and re-planned against the next epoch, and an intent
+//! whose slice churn severed *degrades* (stale results, revived by a
+//! later fence) instead of poisoning the session. `status` reports
+//! both populations (`parked`/`degraded` counts plus a per-intent
+//! `degraded` flag), and `explain <source> intent:<id>` walks the
+//! causal chain back to the fence that parked or degraded the intent.
 //!
 //! Determinism contract: a scripted session (batches + churn from one
 //! source, drained in order) produces a final Report byte-equal to
